@@ -1,0 +1,121 @@
+// Ablations over the design choices DESIGN.md §6 calls out (not figures from
+// the paper, but the knobs its design space exposes):
+//
+//   * R* split vs. Guttman quadratic split (build cost and join cost)
+//   * node size / fan-out sweep (the paper fixed 1K nodes / fan-out 50)
+//   * insertion-built vs. bulk-loaded trees
+//   * point metric (Euclidean / Manhattan / Chessboard)
+//
+// Each configuration rebuilds its trees, then runs the default incremental
+// join for 10,000 result pairs.
+#include <benchmark/benchmark.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/distance_join.h"
+
+namespace sdj::bench {
+namespace {
+
+std::unique_ptr<RTree<2>> Build(const std::vector<Point<2>>& points,
+                                const RTreeOptions& options, bool bulk,
+                                double* build_seconds) {
+  WallTimer timer;
+  auto tree = std::make_unique<RTree<2>>(options);
+  if (bulk) {
+    std::vector<RTree<2>::Entry> entries;
+    entries.reserve(points.size());
+    for (size_t i = 0; i < points.size(); ++i) {
+      entries.push_back({Rect<2>::FromPoint(points[i]), i});
+    }
+    tree->BulkLoad(std::move(entries));
+  } else {
+    for (size_t i = 0; i < points.size(); ++i) {
+      tree->Insert(Rect<2>::FromPoint(points[i]), i);
+    }
+  }
+  *build_seconds = timer.Seconds();
+  return tree;
+}
+
+void RunTreeConfig(benchmark::State& state, const std::string& series,
+                   const RTreeOptions& options, bool bulk, Metric metric) {
+  for (auto _ : state) {
+    double build_water = 0.0;
+    double build_roads = 0.0;
+    auto water = Build(WaterPoints(), options, bulk, &build_water);
+    auto roads = Build(RoadsPoints(), options, bulk, &build_roads);
+    const uint64_t pairs = ScaledPairs(10000);
+    WallTimer timer;
+    DistanceJoinOptions join_options;
+    join_options.metric = metric;
+    DistanceJoin<2> join(*water, *roads, join_options);
+    JoinResult<2> result;
+    uint64_t produced = 0;
+    while (produced < pairs && join.Next(&result)) ++produced;
+    const double seconds = timer.Seconds();
+    state.SetIterationTime(seconds);
+    state.counters["build_s"] = build_water + build_roads;
+    state.counters["fan_out"] = water->max_entries();
+    AddRow({series, produced, seconds, join.stats(),
+            "build " + std::to_string(build_water + build_roads) +
+                " s, fan-out " + std::to_string(water->max_entries())});
+  }
+}
+
+void Register(const std::string& series, const RTreeOptions& options,
+              bool bulk, Metric metric = Metric::kEuclidean) {
+  benchmark::RegisterBenchmark(
+      ("Ablation/" + series).c_str(),
+      [series, options, bulk, metric](benchmark::State& state) {
+        RunTreeConfig(state, series, options, bulk, metric);
+      })
+      ->Iterations(1)
+      ->UseManualTime()
+      ->Unit(benchmark::kMillisecond);
+}
+
+void RegisterAll() {
+  RTreeOptions paper;
+  paper.page_size = 2048;
+  paper.buffer_pages = 128;
+
+  // Split policy.
+  Register("Split/RStar", paper, /*bulk=*/false);
+  RTreeOptions quadratic = paper;
+  quadratic.split_policy = RTreeOptions::Split::kQuadratic;
+  Register("Split/Quadratic", quadratic, /*bulk=*/false);
+
+  // Node size sweep (fan-out 12 / 25 / 51 / 102), buffer fixed at 256K.
+  for (uint32_t page_size : {512u, 1024u, 2048u, 4096u}) {
+    RTreeOptions options = paper;
+    options.page_size = page_size;
+    options.buffer_pages = 256 * 1024 / page_size;
+    Register("NodeSize/" + std::to_string(page_size), options,
+             /*bulk=*/false);
+  }
+
+  // Build method.
+  Register("Build/Insert", paper, /*bulk=*/false);
+  Register("Build/BulkLoad", paper, /*bulk=*/true);
+
+  // Metric sweep (bulk-loaded trees to keep this binary fast).
+  Register("Metric/Euclidean", paper, /*bulk=*/true, Metric::kEuclidean);
+  Register("Metric/Manhattan", paper, /*bulk=*/true, Metric::kManhattan);
+  Register("Metric/Chessboard", paper, /*bulk=*/true, Metric::kChessboard);
+}
+
+}  // namespace
+}  // namespace sdj::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  sdj::bench::RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  sdj::bench::PrintTable("Ablations: split policy, node size, build, metric");
+  return 0;
+}

@@ -1,0 +1,167 @@
+#include "bench_common.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <vector>
+
+#include "core/distance_join.h"
+#include "core/semi_join.h"
+#include "data/datasets.h"
+#include "util/check.h"
+
+namespace sdj::bench {
+
+namespace {
+
+RTreeOptions PaperTreeOptions() {
+  RTreeOptions options;
+  options.page_size = 2048;    // fan-out 51 (paper: 50)
+  options.buffer_pages = 128;  // 256K of buffer, as in Section 3.1
+  return options;
+}
+
+std::unique_ptr<RTree<2>> BuildTree(const std::vector<Point<2>>& points) {
+  auto tree = std::make_unique<RTree<2>>(PaperTreeOptions());
+  for (size_t i = 0; i < points.size(); ++i) {
+    tree->Insert(Rect<2>::FromPoint(points[i]), i);
+  }
+  return tree;
+}
+
+std::vector<Row>& Rows() {
+  static std::vector<Row>* rows = new std::vector<Row>;
+  return *rows;
+}
+
+// Cached prefix distances of the default join / semi-join.
+std::vector<double>& JoinPrefix() {
+  static std::vector<double>* prefix = new std::vector<double>;
+  return *prefix;
+}
+std::vector<double>& SemiPrefix() {
+  static std::vector<double>* prefix = new std::vector<double>;
+  return *prefix;
+}
+
+}  // namespace
+
+double Scale() {
+  static const double scale = [] {
+    const char* env = std::getenv("SDJ_BENCH_SCALE");
+    if (env == nullptr) return 1.0;
+    const double v = std::atof(env);
+    if (v <= 0.0 || v > 1.0) return 1.0;
+    return v;
+  }();
+  return scale;
+}
+
+const std::vector<Point<2>>& WaterPoints() {
+  static const std::vector<Point<2>>* points =
+      new std::vector<Point<2>>(data::MakeWater(Scale()));
+  return *points;
+}
+
+const std::vector<Point<2>>& RoadsPoints() {
+  static const std::vector<Point<2>>* points =
+      new std::vector<Point<2>>(data::MakeRoads(Scale()));
+  return *points;
+}
+
+const RTree<2>& WaterTree() {
+  static const RTree<2>* tree = BuildTree(WaterPoints()).release();
+  return *tree;
+}
+
+const RTree<2>& RoadsTree() {
+  static const RTree<2>* tree = BuildTree(RoadsPoints()).release();
+  return *tree;
+}
+
+uint64_t ScaledPairs(uint64_t k) {
+  const double scaled = static_cast<double>(k) * Scale() * Scale();
+  return scaled < 1.0 ? 1 : static_cast<uint64_t>(scaled);
+}
+
+uint64_t ScaledSemiPairs(uint64_t k) {
+  const double scaled = static_cast<double>(k) * Scale();
+  const uint64_t v = scaled < 1.0 ? 1 : static_cast<uint64_t>(scaled);
+  return std::min<uint64_t>(v, WaterTree().size());
+}
+
+double JoinDistanceAt(uint64_t k) {
+  SDJ_CHECK(k >= 1);
+  std::vector<double>& prefix = JoinPrefix();
+  if (prefix.size() < k) {
+    prefix.clear();
+    DistanceJoinOptions options;
+    DistanceJoin<2> join(WaterTree(), RoadsTree(), options);
+    JoinResult<2> pair;
+    while (prefix.size() < k && join.Next(&pair)) {
+      prefix.push_back(pair.distance);
+    }
+  }
+  SDJ_CHECK(prefix.size() >= k);
+  return prefix[k - 1];
+}
+
+double SemiDistanceAt(uint64_t k) {
+  SDJ_CHECK(k >= 1);
+  std::vector<double>& prefix = SemiPrefix();
+  if (prefix.size() < k) {
+    prefix.clear();
+    SemiJoinOptions options;
+    options.bound = SemiJoinBound::kGlobalAll;
+    DistanceSemiJoin<2> semi(WaterTree(), RoadsTree(), options);
+    JoinResult<2> pair;
+    while (prefix.size() < k && semi.Next(&pair)) {
+      prefix.push_back(pair.distance);
+    }
+  }
+  SDJ_CHECK(prefix.size() >= k);
+  return prefix[k - 1];
+}
+
+void ColdCaches() {
+  WaterTree().pool().Invalidate();
+  RoadsTree().pool().Invalidate();
+}
+
+void AddRow(const Row& row) { Rows().push_back(row); }
+
+void PrintTable(const std::string& title) {
+  std::printf("\n=== %s (scale %.3g: |Water|=%zu, |Roads|=%zu) ===\n",
+              title.c_str(), Scale(), WaterPoints().size(),
+              RoadsPoints().size());
+  std::printf("%-34s %10s %9s %13s %13s %10s  %s\n", "series", "pairs",
+              "time(s)", "dist.calc", "queue size", "node I/O", "note");
+  for (const Row& row : Rows()) {
+    std::printf("%-34s %10llu %9.3f %13llu %13llu %10llu  %s\n",
+                row.series.c_str(),
+                static_cast<unsigned long long>(row.pairs), row.seconds,
+                static_cast<unsigned long long>(row.stats.object_distance_calcs),
+                static_cast<unsigned long long>(row.stats.max_queue_size),
+                static_cast<unsigned long long>(row.stats.node_io),
+                row.note.c_str());
+  }
+  std::fflush(stdout);
+}
+
+WallTimer::WallTimer()
+    : start_ns_(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now().time_since_epoch())
+              .count())) {}
+
+double WallTimer::Seconds() const {
+  const uint64_t now = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+  return static_cast<double>(now - start_ns_) * 1e-9;
+}
+
+}  // namespace sdj::bench

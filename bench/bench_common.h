@@ -1,0 +1,81 @@
+// Shared infrastructure for the paper-reproduction benchmarks: the Water and
+// Roads evaluation datasets and their insertion-built R*-trees (Section 3.1),
+// cached result-distance checkpoints (for "MaxDist @ pair #k" experiments),
+// and a paper-style results table printed after each binary's benchmarks.
+//
+// Every bench binary honors the environment variable SDJ_BENCH_SCALE
+// (default 1.0 = the paper's full 37,495 x 200,482 points); e.g.
+// SDJ_BENCH_SCALE=0.1 runs a 10% instance for quick iteration.
+#ifndef SDJOIN_BENCH_BENCH_COMMON_H_
+#define SDJOIN_BENCH_BENCH_COMMON_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/join_stats.h"
+#include "rtree/rtree.h"
+
+namespace sdj::bench {
+
+// Dataset scale factor from SDJ_BENCH_SCALE (clamped to (0, 1]).
+double Scale();
+
+// The evaluation trees, built once per process by repeated R* insertion
+// (matching the paper's setup: 2K pages => fan-out ~50, 256K buffer).
+const RTree<2>& WaterTree();
+const RTree<2>& RoadsTree();
+
+// The raw datasets (ids = positions).
+const std::vector<Point<2>>& WaterPoints();
+const std::vector<Point<2>>& RoadsPoints();
+
+// Result-count-scaled: K result pairs at scale 1.0 correspond to
+// K * Scale()^2 pairs on a scaled instance (pair density scales with the
+// product of the relation sizes). Returns at least 1.
+uint64_t ScaledPairs(uint64_t k);
+// For semi-join targets (scales with |Water|).
+uint64_t ScaledSemiPairs(uint64_t k);
+
+// Distance of result pair #k (1-based) of the Water x Roads distance join
+// under the default Even/DepthFirst configuration. Backed by one cached run
+// draining max(k) pairs.
+double JoinDistanceAt(uint64_t k);
+
+// Distance of result pair #k (1-based) of the Water -> Roads distance
+// semi-join; k may be Water size for the "All" experiments.
+double SemiDistanceAt(uint64_t k);
+
+// Drops all cached pages so each measurement starts from a cold buffer.
+void ColdCaches();
+
+// --- paper-style output table ---
+
+struct Row {
+  std::string series;   // e.g. "Even/DepthFirst"
+  uint64_t pairs = 0;   // result pairs produced
+  double seconds = 0.0;
+  JoinStats stats;
+  std::string note;
+};
+
+// Records one measurement row.
+void AddRow(const Row& row);
+
+// Prints all recorded rows as a Table-1-style table ("Time, Dist. Calc.,
+// Queue Size, Node I/O" columns) to stdout.
+void PrintTable(const std::string& title);
+
+// Wall-clock helper.
+class WallTimer {
+ public:
+  WallTimer();
+  double Seconds() const;
+
+ private:
+  uint64_t start_ns_;
+};
+
+}  // namespace sdj::bench
+
+#endif  // SDJOIN_BENCH_BENCH_COMMON_H_

@@ -1,0 +1,108 @@
+// Validates the analytical cost model (core/cost_model.h, the Section 5
+// future-work item) against measured joins: predicted vs. actual result
+// counts and node-pair expansions, on uniform data (the model's assumption)
+// and on the clustered evaluation datasets (its stress case).
+#include <benchmark/benchmark.h>
+
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/cost_model.h"
+#include "core/distance_join.h"
+#include "data/generators.h"
+
+namespace sdj::bench {
+namespace {
+
+void RunValidation(benchmark::State& state, const RTree<2>& t1,
+                   const RTree<2>& t2, double dmax, const std::string& label) {
+  for (auto _ : state) {
+    const auto estimate = EstimateDistanceJoinCost(t1, t2, dmax);
+    WallTimer timer;
+    DistanceJoinOptions options;
+    options.max_distance = dmax;
+    DistanceJoin<2> join(t1, t2, options);
+    JoinResult<2> pair;
+    uint64_t actual_results = 0;
+    while (join.Next(&pair)) ++actual_results;
+    const double seconds = timer.Seconds();
+    state.SetIterationTime(seconds);
+    const double actual_visits =
+        static_cast<double>(join.stats().nodes_expanded);
+    state.counters["pred_results"] = estimate.expected_result_pairs;
+    state.counters["act_results"] = static_cast<double>(actual_results);
+    state.counters["pred_visits"] = estimate.expected_node_pair_visits;
+    state.counters["act_visits"] = actual_visits;
+    char note[160];
+    std::snprintf(note, sizeof(note),
+                  "results pred/act %.2g/%llu (x%.2f), visits pred/act "
+                  "%.2g/%.0f (x%.2f)",
+                  estimate.expected_result_pairs,
+                  static_cast<unsigned long long>(actual_results),
+                  actual_results > 0
+                      ? estimate.expected_result_pairs / actual_results
+                      : 0.0,
+                  estimate.expected_node_pair_visits, actual_visits,
+                  actual_visits > 0
+                      ? estimate.expected_node_pair_visits / actual_visits
+                      : 0.0);
+    AddRow({label, actual_results, seconds, join.stats(), note});
+  }
+}
+
+void RegisterAll() {
+  // Uniform instance (model assumption holds).
+  static const Rect<2> extent({0, 0}, {100000, 100000});
+  static RTree<2>* ua = nullptr;
+  static RTree<2>* ub = nullptr;
+  const auto build = [](uint64_t seed) {
+    auto* tree = new RTree<2>;
+    const auto pts = data::GenerateUniform(20000, extent, seed);
+    std::vector<RTree<2>::Entry> entries;
+    for (size_t i = 0; i < pts.size(); ++i) {
+      entries.push_back({Rect<2>::FromPoint(pts[i]), i});
+    }
+    tree->BulkLoad(std::move(entries));
+    return tree;
+  };
+  ua = build(71);
+  ub = build(72);
+  for (double dmax : {50.0, 200.0, 800.0}) {
+    benchmark::RegisterBenchmark(
+        ("CostModel/Uniform/dmax:" + std::to_string(static_cast<int>(dmax)))
+            .c_str(),
+        [dmax](benchmark::State& state) {
+          RunValidation(state, *ua, *ub, dmax,
+                        "Uniform dmax=" + std::to_string(dmax));
+        })
+        ->Iterations(1)
+        ->UseManualTime()
+        ->Unit(benchmark::kMillisecond);
+  }
+  // Clustered evaluation datasets (assumption violated; degradation shown).
+  for (uint64_t anchor : {1000ull, 100000ull}) {
+    const double dmax = JoinDistanceAt(ScaledPairs(anchor));
+    benchmark::RegisterBenchmark(
+        ("CostModel/WaterRoads/at:" + std::to_string(anchor)).c_str(),
+        [dmax, anchor](benchmark::State& state) {
+          RunValidation(state, WaterTree(), RoadsTree(), dmax,
+                        "Water x Roads @" + std::to_string(anchor));
+        })
+        ->Iterations(1)
+        ->UseManualTime()
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+}  // namespace
+}  // namespace sdj::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  sdj::bench::RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  sdj::bench::PrintTable("Cost model validation (Section 5 future work)");
+  return 0;
+}

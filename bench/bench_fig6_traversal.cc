@@ -1,0 +1,89 @@
+// Reproduces Figure 6: execution time of four incremental-join variants vs.
+// number of result pairs.
+//
+//   Even/DepthFirst      — the recommended default
+//   Even/BreadthFirst    — shallower node pairs first on ties
+//   Basic/DepthFirst     — always expand item 1 of node/node pairs (Figure 3)
+//   Simultaneous/DepthFirst — expand both nodes with filter + plane sweep
+//
+// Paper shape: all four similar up to ~10k pairs, Basic and Simultaneous
+// clearly worse (larger queues / more distance calcs) since no maximum
+// distance is set; DepthFirst slightly ahead of BreadthFirst only for the
+// very first pair.
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "bench_common.h"
+#include "core/distance_join.h"
+
+namespace sdj::bench {
+namespace {
+
+struct Variant {
+  const char* name;
+  NodeProcessingPolicy node_policy;
+  TieBreakPolicy tie_break;
+};
+
+constexpr Variant kVariants[] = {
+    {"Even/DepthFirst", NodeProcessingPolicy::kEven,
+     TieBreakPolicy::kDepthFirst},
+    {"Even/BreadthFirst", NodeProcessingPolicy::kEven,
+     TieBreakPolicy::kBreadthFirst},
+    {"Basic/DepthFirst", NodeProcessingPolicy::kBasic,
+     TieBreakPolicy::kDepthFirst},
+    {"Simultaneous/DepthFirst", NodeProcessingPolicy::kSimultaneous,
+     TieBreakPolicy::kDepthFirst},
+};
+
+void RunVariant(benchmark::State& state, const Variant& variant,
+                uint64_t pairs) {
+  for (auto _ : state) {
+    ColdCaches();
+    WallTimer timer;
+    DistanceJoinOptions options;
+    options.node_policy = variant.node_policy;
+    options.tie_break = variant.tie_break;
+    DistanceJoin<2> join(WaterTree(), RoadsTree(), options);
+    JoinResult<2> result;
+    uint64_t produced = 0;
+    while (produced < pairs && join.Next(&result)) ++produced;
+    const double seconds = timer.Seconds();
+    state.SetIterationTime(seconds);
+    state.counters["queue_size"] =
+        static_cast<double>(join.stats().max_queue_size);
+    AddRow({variant.name, produced, seconds, join.stats(), ""});
+  }
+}
+
+void RegisterAll() {
+  for (const Variant& variant : kVariants) {
+    for (uint64_t k : {1ull, 10ull, 100ull, 1000ull, 10000ull, 100000ull}) {
+      const uint64_t pairs = ScaledPairs(k);
+      benchmark::RegisterBenchmark(
+          (std::string("Fig6/") + variant.name + "/pairs:" +
+           std::to_string(pairs))
+              .c_str(),
+          [&variant, pairs](benchmark::State& state) {
+            RunVariant(state, variant, pairs);
+          })
+          ->Iterations(1)
+          ->UseManualTime()
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sdj::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  sdj::bench::RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  sdj::bench::PrintTable(
+      "Figure 6: priority-queue ordering and tree-traversal variants");
+  return 0;
+}

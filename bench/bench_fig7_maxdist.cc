@@ -1,0 +1,93 @@
+// Reproduces Figure 7: the effect of a maximum distance and of
+// maximum-distance *estimation* from a pair budget (Section 2.2.4) on the
+// distance join.
+//
+//   Regular        — the Even/DepthFirst join, no bounds
+//   MaxDist @k     — max distance set to the (measured) distance of result
+//                    pair #k, for k = 1,000 / 10,000 / 100,000
+//   MaxPair K      — D_max estimated from a STOP AFTER budget of K = 100 /
+//                    10,000 pairs
+//
+// Paper shape: any MaxDist helps substantially and the three settings are
+// close to one another; MaxPair 100 rivals MaxDist, MaxPair 10,000 helps
+// less (looser estimate + estimation overhead).
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "bench_common.h"
+#include "core/distance_join.h"
+
+namespace sdj::bench {
+namespace {
+
+void RunConfig(benchmark::State& state, const std::string& series,
+               const DistanceJoinOptions& options, uint64_t pairs) {
+  for (auto _ : state) {
+    ColdCaches();
+    WallTimer timer;
+    DistanceJoin<2> join(WaterTree(), RoadsTree(), options);
+    JoinResult<2> result;
+    uint64_t produced = 0;
+    while (produced < pairs && join.Next(&result)) ++produced;
+    const double seconds = timer.Seconds();
+    state.SetIterationTime(seconds);
+    state.counters["queue_size"] =
+        static_cast<double>(join.stats().max_queue_size);
+    AddRow({series, produced, seconds, join.stats(), ""});
+  }
+}
+
+void Register(const std::string& series, const DistanceJoinOptions& options,
+              uint64_t pairs) {
+  benchmark::RegisterBenchmark(
+      ("Fig7/" + series + "/pairs:" + std::to_string(pairs)).c_str(),
+      [series, options, pairs](benchmark::State& state) {
+        RunConfig(state, series, options, pairs);
+      })
+      ->Iterations(1)
+      ->UseManualTime()
+      ->Unit(benchmark::kMillisecond);
+}
+
+void RegisterAll() {
+  const uint64_t ks[] = {1, 10, 100, 1000, 10000, 100000};
+  // Regular.
+  for (uint64_t k : ks) {
+    Register("Regular", DistanceJoinOptions{}, ScaledPairs(k));
+  }
+  // MaxDist @ pair #1,000 / #10,000 / #100,000 (only up to that many pairs).
+  for (uint64_t cutoff : {1000ull, 10000ull, 100000ull}) {
+    DistanceJoinOptions options;
+    options.max_distance = JoinDistanceAt(ScaledPairs(cutoff));
+    const std::string series = "MaxDist@" + std::to_string(cutoff);
+    for (uint64_t k : ks) {
+      if (k > cutoff) continue;
+      Register(series, options, ScaledPairs(k));
+    }
+  }
+  // MaxPair 100 / 10,000: estimation from the budget.
+  for (uint64_t budget : {100ull, 10000ull}) {
+    DistanceJoinOptions options;
+    options.max_pairs = ScaledPairs(budget);
+    options.estimate_max_distance = true;
+    const std::string series = "MaxPair" + std::to_string(budget);
+    for (uint64_t k : ks) {
+      if (k > budget) continue;
+      Register(series, options, ScaledPairs(k));
+    }
+  }
+}
+
+}  // namespace
+}  // namespace sdj::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  sdj::bench::RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  sdj::bench::PrintTable(
+      "Figure 7: maximum distance and maximum pairs (distance join)");
+  return 0;
+}

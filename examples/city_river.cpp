@@ -1,0 +1,93 @@
+// "Find the city nearest to any river, such that the city has a population
+// of more than 5 million" — the pipelined-query scenario from Sections 1 and
+// 5 of the paper.
+//
+// Because the join is incremental, the query engine can lay a selection on
+// top of the streaming result and stop at the first qualifying pair (option 1
+// of Section 5), instead of computing a full join or building a throwaway
+// index over the filtered cities.
+//
+//   $ ./examples/city_river
+#include <cstdio>
+#include <vector>
+
+#include "core/distance_join.h"
+#include "data/generators.h"
+#include "rtree/rtree.h"
+#include "util/rng.h"
+
+namespace {
+
+struct City {
+  sdj::Point<2> location;
+  long population;
+};
+
+}  // namespace
+
+int main() {
+  const sdj::Rect<2> country({0.0, 0.0}, {2000.0, 2000.0});
+  sdj::Rng rng(42);
+
+  // 5,000 cities with a skewed population distribution.
+  std::vector<City> cities;
+  for (int i = 0; i < 5000; ++i) {
+    const double z = rng.NextDouble();
+    const long population = static_cast<long>(5000.0 / (0.0005 + z * z));
+    cities.push_back({{rng.Uniform(0, 2000), rng.Uniform(0, 2000)},
+                      population});
+  }
+  // River sample points (polyline walks).
+  sdj::data::PolylineOptions river_gen;
+  river_gen.num_points = 20000;
+  river_gen.extent = country;
+  river_gen.num_polylines = 12;
+  river_gen.seed = 7;
+  const auto rivers = sdj::data::GeneratePolylines(river_gen);
+
+  sdj::RTree<2> city_index;
+  for (size_t i = 0; i < cities.size(); ++i) {
+    city_index.Insert(sdj::Rect<2>::FromPoint(cities[i].location), i);
+  }
+  sdj::RTree<2> river_index;
+  for (size_t i = 0; i < rivers.size(); ++i) {
+    river_index.Insert(sdj::Rect<2>::FromPoint(rivers[i]), i);
+  }
+
+  const long kMinPopulation = 5000000;
+  sdj::DistanceJoinOptions options;
+  sdj::DistanceJoin<2> join(city_index, river_index, options);
+
+  sdj::JoinResult<2> pair;
+  long scanned = 0;
+  while (join.Next(&pair)) {
+    ++scanned;
+    if (cities[pair.id1].population > kMinPopulation) {
+      std::printf(
+          "nearest big city to any river: city %llu at %s\n"
+          "  population %ld, %.2f km from river point %s\n",
+          static_cast<unsigned long long>(pair.id1),
+          cities[pair.id1].location.ToString().c_str(),
+          cities[pair.id1].population, pair.distance,
+          rivers[pair.id2].ToString().c_str());
+      break;
+    }
+  }
+  std::printf(
+      "pipeline consumed %ld candidate pairs before the filter matched;\n"
+      "the join expanded %llu node pairs of %zu + %zu total nodes.\n",
+      scanned, static_cast<unsigned long long>(join.stats().nodes_expanded),
+      city_index.num_nodes(), river_index.num_nodes());
+
+  // Variant: "cities within 5 km of any river", streamed in distance order.
+  sdj::DistanceJoinOptions range_options;
+  range_options.max_distance = 5.0;
+  sdj::DistanceJoin<2> range_join(city_index, river_index, range_options);
+  long within = 0;
+  sdj::DynamicBitset seen(cities.size());
+  while (range_join.Next(&pair)) {
+    if (seen.TestAndSet(pair.id1)) ++within;
+  }
+  std::printf("%ld distinct cities lie within 5 km of a river.\n", within);
+  return 0;
+}

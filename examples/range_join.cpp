@@ -1,0 +1,95 @@
+// Distance-range joins and farthest-first ordering (Sections 2.2.3, 2.2.5).
+//
+// Three variations over the same facility/customer data:
+//   1. a [min, max] distance window ("customers between 2 and 10 km"),
+//   2. STOP AFTER K with maximum-distance estimation (Section 2.2.4),
+//   3. reverse ordering ("most isolated matches first").
+//
+//   $ ./examples/range_join
+#include <cstdio>
+
+#include "core/distance_join.h"
+#include "data/generators.h"
+#include "rtree/rtree.h"
+
+namespace {
+
+sdj::RTree<2> IndexOf(const std::vector<sdj::Point<2>>& points) {
+  sdj::RTree<2> tree;
+  std::vector<sdj::RTree<2>::Entry> entries;
+  for (size_t i = 0; i < points.size(); ++i) {
+    entries.push_back({sdj::Rect<2>::FromPoint(points[i]), i});
+  }
+  tree.BulkLoad(std::move(entries));
+  return tree;
+}
+
+}  // namespace
+
+int main() {
+  const sdj::Rect<2> region({0.0, 0.0}, {100.0, 100.0});
+  const auto facilities = sdj::data::GenerateUniform(500, region, 11);
+
+  sdj::data::ClusterOptions customer_gen;
+  customer_gen.num_points = 20000;
+  customer_gen.extent = region;
+  customer_gen.num_clusters = 25;
+  customer_gen.seed = 12;
+  const auto customers = sdj::data::GenerateClustered(customer_gen);
+
+  sdj::RTree<2> facility_index = IndexOf(facilities);
+  sdj::RTree<2> customer_index = IndexOf(customers);
+
+  // 1. Window query: pairs with distance in [2, 10] km, nearest first.
+  {
+    sdj::DistanceJoinOptions options;
+    options.min_distance = 2.0;
+    options.max_distance = 10.0;
+    sdj::DistanceJoin<2> join(facility_index, customer_index, options);
+    sdj::JoinResult<2> pair;
+    long count = 0;
+    double first = -1.0;
+    double last = 0.0;
+    while (join.Next(&pair)) {
+      if (first < 0) first = pair.distance;
+      last = pair.distance;
+      ++count;
+    }
+    std::printf("window [2, 10] km: %ld pairs, distances %.3f .. %.3f\n",
+                count, first, last);
+    std::printf("  range pruning rejected %llu candidate pairs\n",
+                static_cast<unsigned long long>(join.stats().pruned_by_range));
+  }
+
+  // 2. STOP AFTER 100 with estimation: the engine tightens its own Dmax.
+  {
+    sdj::DistanceJoinOptions options;
+    options.max_pairs = 100;
+    options.estimate_max_distance = true;
+    sdj::DistanceJoin<2> join(facility_index, customer_index, options);
+    sdj::JoinResult<2> pair;
+    while (join.Next(&pair)) {
+    }
+    std::printf(
+        "STOP AFTER 100 with estimation: effective Dmax tightened to %.3f "
+        "km,\n  queue peaked at %llu pairs (vs. millions unbounded)\n",
+        join.effective_max_distance(),
+        static_cast<unsigned long long>(join.stats().max_queue_size));
+  }
+
+  // 3. Farthest pairs first, capped to the region diameter.
+  {
+    sdj::DistanceJoinOptions options;
+    options.reverse_order = true;
+    options.max_pairs = 3;
+    sdj::DistanceJoin<2> join(facility_index, customer_index, options);
+    sdj::JoinResult<2> pair;
+    std::printf("three farthest (facility, customer) pairs:\n");
+    while (join.Next(&pair)) {
+      std::printf("  facility %llu <-> customer %llu: %.3f km\n",
+                  static_cast<unsigned long long>(pair.id1),
+                  static_cast<unsigned long long>(pair.id2), pair.distance);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,81 @@
+// "Find the intersections of roads and rivers in order of distance from a
+// given house" — the secondary-ordering extension of Section 2.2.5,
+// implemented by OrderedIntersectionJoin.
+//
+//   $ ./examples/road_river_crossings
+#include <cstdio>
+#include <vector>
+
+#include "core/intersection_join.h"
+#include "rtree/rtree.h"
+#include "util/rng.h"
+
+namespace {
+
+// Chops a random-walk polyline into small axis-aligned segment boxes.
+std::vector<sdj::Rect<2>> MakeSegments(int walks, int segments_per_walk,
+                                       uint64_t seed) {
+  sdj::Rng rng(seed);
+  std::vector<sdj::Rect<2>> segments;
+  for (int w = 0; w < walks; ++w) {
+    double x = rng.Uniform(100, 900);
+    double y = rng.Uniform(100, 900);
+    double heading = rng.Uniform(0, 6.2831853);
+    for (int s = 0; s < segments_per_walk; ++s) {
+      const double nx = x + 25.0 * std::cos(heading);
+      const double ny = y + 25.0 * std::sin(heading);
+      segments.push_back({{std::min(x, nx), std::min(y, ny)},
+                          {std::max(x, nx), std::max(y, ny)}});
+      x = nx;
+      y = ny;
+      heading += rng.Gaussian(0.0, 0.35);
+    }
+  }
+  return segments;
+}
+
+sdj::RTree<2> IndexSegments(const std::vector<sdj::Rect<2>>& segments) {
+  sdj::RTree<2> tree;
+  std::vector<sdj::RTree<2>::Entry> entries;
+  for (size_t i = 0; i < segments.size(); ++i) {
+    entries.push_back({segments[i], i});
+  }
+  tree.BulkLoad(std::move(entries));
+  return tree;
+}
+
+}  // namespace
+
+int main() {
+  const auto roads = MakeSegments(60, 80, 21);
+  const auto rivers = MakeSegments(15, 120, 22);
+  sdj::RTree<2> road_index = IndexSegments(roads);
+  sdj::RTree<2> river_index = IndexSegments(rivers);
+
+  const sdj::Point<2> house{500.0, 500.0};
+  sdj::OrderedIntersectionJoin<2> crossings(road_index, river_index, house);
+
+  std::printf("five crossings nearest to the house at %s:\n",
+              house.ToString().c_str());
+  sdj::JoinResult<2> pair;
+  int shown = 0;
+  int total = 0;
+  while (crossings.Next(&pair)) {
+    if (shown < 5) {
+      const sdj::Rect<2> overlap =
+          roads[pair.id1].IntersectionWith(rivers[pair.id2]);
+      std::printf("  road seg %4llu x river seg %4llu near %s  (%.1f away)\n",
+                  static_cast<unsigned long long>(pair.id1),
+                  static_cast<unsigned long long>(pair.id2),
+                  overlap.Center().ToString().c_str(), pair.distance);
+      ++shown;
+    }
+    ++total;
+  }
+  std::printf("%d crossings in total; the five nearest cost %llu node-pair\n"
+              "expansions out of %zu + %zu index nodes.\n",
+              total,
+              static_cast<unsigned long long>(crossings.stats().nodes_expanded),
+              road_index.num_nodes(), river_index.num_nodes());
+  return 0;
+}

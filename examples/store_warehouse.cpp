@@ -1,0 +1,74 @@
+// Store/warehouse assignment with the distance semi-join (Section 1 of the
+// paper): for every store, find its closest warehouse. The complete result is
+// a clustering of the stores — a discrete Voronoi diagram with the warehouses
+// as sites — obtained from a database primitive instead of a computational-
+// geometry library.
+//
+//   $ ./examples/store_warehouse
+#include <cstdio>
+#include <vector>
+
+#include "core/semi_join.h"
+#include "data/generators.h"
+#include "rtree/rtree.h"
+
+int main() {
+  const sdj::Rect<2> region({0.0, 0.0}, {100.0, 100.0});
+
+  // 2,000 stores clustered around shopping districts; 12 warehouses.
+  sdj::data::ClusterOptions store_gen;
+  store_gen.num_points = 2000;
+  store_gen.extent = region;
+  store_gen.num_clusters = 15;
+  store_gen.spread_fraction = 0.03;
+  store_gen.seed = 2024;
+  const auto stores = sdj::data::GenerateClustered(store_gen);
+  const auto warehouses = sdj::data::GenerateUniform(12, region, 7);
+
+  sdj::RTree<2> store_index;
+  for (size_t i = 0; i < stores.size(); ++i) {
+    store_index.Insert(sdj::Rect<2>::FromPoint(stores[i]), i);
+  }
+  sdj::RTree<2> warehouse_index;
+  for (size_t i = 0; i < warehouses.size(); ++i) {
+    warehouse_index.Insert(sdj::Rect<2>::FromPoint(warehouses[i]), i);
+  }
+
+  // Semi-join with the strongest pruning configuration (GlobalAll).
+  sdj::SemiJoinOptions options;
+  options.bound = sdj::SemiJoinBound::kGlobalAll;
+  sdj::DistanceSemiJoin<2> semi(store_index, warehouse_index, options);
+
+  std::vector<int> cluster_size(warehouses.size(), 0);
+  std::vector<double> cluster_max_distance(warehouses.size(), 0.0);
+  sdj::JoinResult<2> pair;
+  int shown = 0;
+  std::printf("first assignments (store -> warehouse), closest first:\n");
+  while (semi.Next(&pair)) {
+    ++cluster_size[pair.id2];
+    if (pair.distance > cluster_max_distance[pair.id2]) {
+      cluster_max_distance[pair.id2] = pair.distance;
+    }
+    if (shown < 5) {
+      std::printf("  store %4llu -> warehouse %2llu  (%.3f km)\n",
+                  static_cast<unsigned long long>(pair.id1),
+                  static_cast<unsigned long long>(pair.id2), pair.distance);
+      ++shown;
+    }
+  }
+
+  std::printf("\ndiscrete Voronoi cells (one per warehouse):\n");
+  for (size_t w = 0; w < warehouses.size(); ++w) {
+    std::printf("  warehouse %2zu at %s: %4d stores, farthest %.2f km\n", w,
+                warehouses[w].ToString().c_str(), cluster_size[w],
+                cluster_max_distance[w]);
+  }
+  const sdj::JoinStats stats = semi.stats();
+  std::printf(
+      "\ncost: %llu pairs reported, %llu pruned by d_max bounds, "
+      "%llu duplicates filtered\n",
+      static_cast<unsigned long long>(stats.pairs_reported),
+      static_cast<unsigned long long>(stats.pruned_by_bound),
+      static_cast<unsigned long long>(stats.filtered_reported));
+  return 0;
+}

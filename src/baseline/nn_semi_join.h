@@ -1,0 +1,69 @@
+// Nearest-neighbor-based distance semi-join baseline (Section 4.2.3).
+//
+// "For each object in relation A, we perform a nearest neighbor computation
+// in relation B, and sort the resulting array of distances once all
+// neighbors have been computed." Non-incremental: the full result must be
+// produced before the first pair can be returned in order.
+#ifndef SDJOIN_BASELINE_NN_SEMI_JOIN_H_
+#define SDJOIN_BASELINE_NN_SEMI_JOIN_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "core/distance_join.h"
+#include "geometry/metrics.h"
+#include "nn/inc_nearest.h"
+#include "rtree/rtree.h"
+
+namespace sdj::baseline {
+
+// Aggregate costs of one NnSemiJoin run.
+struct NnSemiJoinStats {
+  uint64_t nn_queries = 0;
+  uint64_t distance_calcs = 0;
+  uint64_t queue_pushes = 0;
+  uint64_t node_io = 0;
+};
+
+// Computes the complete distance semi-join of `tree1` with `tree2` by
+// repeated nearest-neighbor search, returning the pairs sorted by distance.
+// Point objects only (each leaf entry's rect must be degenerate; the NN query
+// uses the entry's lower corner as the query point).
+template <int Dim>
+std::vector<JoinResult<Dim>> NnSemiJoin(const RTree<Dim>& tree1,
+                                        const RTree<Dim>& tree2,
+                                        Metric metric = Metric::kEuclidean,
+                                        NnSemiJoinStats* stats = nullptr) {
+  std::vector<JoinResult<Dim>> results;
+  results.reserve(tree1.size());
+  const uint64_t base_io = tree1.pool().stats().buffer_misses +
+                           tree2.pool().stats().buffer_misses;
+  uint64_t distance_calcs = 0;
+  uint64_t queue_pushes = 0;
+  tree1.ForEachObject([&](const Rect<Dim>& rect, ObjectId id) {
+    IncNearestNeighbor<Dim> nn(tree2, rect.lo, metric);
+    typename IncNearestNeighbor<Dim>::Result hit;
+    if (nn.Next(&hit)) {
+      results.push_back({id, hit.id, rect, hit.rect, hit.distance});
+    }
+    distance_calcs += nn.stats().distance_calcs;
+    queue_pushes += nn.stats().queue_pushes;
+  });
+  std::sort(results.begin(), results.end(),
+            [](const JoinResult<Dim>& a, const JoinResult<Dim>& b) {
+              return a.distance < b.distance;
+            });
+  if (stats != nullptr) {
+    stats->nn_queries = tree1.size();
+    stats->distance_calcs = distance_calcs;
+    stats->queue_pushes = queue_pushes;
+    stats->node_io = tree1.pool().stats().buffer_misses +
+                     tree2.pool().stats().buffer_misses - base_io;
+  }
+  return results;
+}
+
+}  // namespace sdj::baseline
+
+#endif  // SDJOIN_BASELINE_NN_SEMI_JOIN_H_

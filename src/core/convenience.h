@@ -1,0 +1,108 @@
+// One-call conveniences over the incremental iterators, for callers who want
+// a complete answer rather than a pipeline.
+#ifndef SDJOIN_CORE_CONVENIENCE_H_
+#define SDJOIN_CORE_CONVENIENCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/distance_join.h"
+#include "core/join_result.h"
+#include "core/semi_join.h"
+#include "rtree/rtree.h"
+
+namespace sdj {
+
+// The k closest (o1, o2) pairs, ascending by distance (fewer if the product
+// is smaller). Runs the incremental join with estimation enabled.
+template <typename Index>
+std::vector<JoinResult<Index::kDim>> KClosestPairs(
+    const Index& tree1, const Index& tree2, uint64_t k,
+    Metric metric = Metric::kEuclidean) {
+  constexpr int Dim = Index::kDim;
+  DistanceJoinOptions options;
+  options.metric = metric;
+  options.max_pairs = k;
+  options.estimate_max_distance = k > 0;
+  DistanceJoin<Dim, Index> join(tree1, tree2, options);
+  std::vector<JoinResult<Dim>> results;
+  results.reserve(k);
+  JoinResult<Dim> pair;
+  while (join.Next(&pair)) results.push_back(pair);
+  return results;
+}
+
+// The k farthest (o1, o2) pairs, descending by distance.
+template <typename Index>
+std::vector<JoinResult<Index::kDim>> KFarthestPairs(
+    const Index& tree1, const Index& tree2, uint64_t k,
+    Metric metric = Metric::kEuclidean) {
+  constexpr int Dim = Index::kDim;
+  DistanceJoinOptions options;
+  options.metric = metric;
+  options.max_pairs = k;
+  options.reverse_order = true;
+  options.estimate_max_distance = k > 0;
+  DistanceJoin<Dim, Index> join(tree1, tree2, options);
+  std::vector<JoinResult<Dim>> results;
+  results.reserve(k);
+  JoinResult<Dim> pair;
+  while (join.Next(&pair)) results.push_back(pair);
+  return results;
+}
+
+// All pairs within `max_distance`, ascending (the ordered within-join).
+template <typename Index>
+std::vector<JoinResult<Index::kDim>> PairsWithin(
+    const Index& tree1, const Index& tree2, double max_distance,
+    Metric metric = Metric::kEuclidean) {
+  constexpr int Dim = Index::kDim;
+  DistanceJoinOptions options;
+  options.metric = metric;
+  options.max_distance = max_distance;
+  DistanceJoin<Dim, Index> join(tree1, tree2, options);
+  std::vector<JoinResult<Dim>> results;
+  JoinResult<Dim> pair;
+  while (join.Next(&pair)) results.push_back(pair);
+  return results;
+}
+
+// Number of pairs within `max_distance` (no materialization).
+template <typename Index>
+uint64_t CountPairsWithin(const Index& tree1, const Index& tree2,
+                          double max_distance,
+                          Metric metric = Metric::kEuclidean) {
+  constexpr int Dim = Index::kDim;
+  DistanceJoinOptions options;
+  options.metric = metric;
+  options.max_distance = max_distance;
+  DistanceJoin<Dim, Index> join(tree1, tree2, options);
+  uint64_t count = 0;
+  JoinResult<Dim> pair;
+  while (join.Next(&pair)) ++count;
+  return count;
+}
+
+// For every object of tree1, its nearest partner in tree2, ascending by
+// distance (the complete distance semi-join / discrete Voronoi assignment).
+template <typename Index>
+std::vector<JoinResult<Index::kDim>> NearestPartnerForAll(
+    const Index& tree1, const Index& tree2,
+    Metric metric = Metric::kEuclidean) {
+  constexpr int Dim = Index::kDim;
+  SemiJoinOptions options;
+  options.join.metric = metric;
+  options.bound = SemiJoinBound::kGlobalAll;
+  DistanceSemiJoin<Dim, Index> semi(tree1, tree2, options);
+  std::vector<JoinResult<Dim>> results;
+  results.reserve(tree1.size());
+  JoinResult<Dim> pair;
+  while (results.size() < tree1.size() && semi.Next(&pair)) {
+    results.push_back(pair);
+  }
+  return results;
+}
+
+}  // namespace sdj
+
+#endif  // SDJOIN_CORE_CONVENIENCE_H_

@@ -1,0 +1,251 @@
+// Analytical cost model for distance joins — the Section 5 future-work item
+// ("to enable a query optimizer to choose between these options requires a
+// cost model for the relevant algorithms", citing the Theodoridis-Sellis
+// style models for R-tree spatial joins).
+//
+// The model profiles both R-trees (per-level node counts and average MBR
+// extents) and predicts, for a distance join bounded by `max_distance`:
+//   * the number of result pairs, via the Minkowski-sum selectivity of the
+//     distance ball over the common data extent;
+//   * the number of node-pair visits per level, via the probability that two
+//     random level-l MBRs come within `max_distance` of each other.
+// Assumptions: uniformly distributed data within each tree's extent and
+// independence between the relations — the standard cost-model premises. On
+// clustered data the estimates degrade gracefully (see
+// tests/cost_model_test.cc and bench/bench_cost_model.cc for measured
+// accuracy).
+#ifndef SDJOIN_CORE_COST_MODEL_H_
+#define SDJOIN_CORE_COST_MODEL_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "geometry/metrics.h"
+#include "geometry/rect.h"
+#include "rtree/rtree.h"
+#include "util/check.h"
+
+namespace sdj {
+
+// Per-level aggregate statistics of one R-tree.
+template <int Dim>
+struct LevelProfile {
+  int level = 0;          // 0 = leaves
+  uint64_t nodes = 0;     // node count at this level
+  double avg_extent[Dim] = {};  // mean MBR side length per dimension
+};
+
+// Whole-tree statistics used by the cost model.
+template <int Dim>
+struct TreeProfile {
+  uint64_t objects = 0;
+  Rect<Dim> extent;  // MBR of the whole tree
+  double avg_object_extent[Dim] = {};  // mean object MBR side lengths
+  std::vector<LevelProfile<Dim>> levels;  // index 0 = leaves
+};
+
+// Computes a TreeProfile by one full traversal (O(#nodes) page reads).
+template <int Dim>
+TreeProfile<Dim> ProfileTree(const RTree<Dim>& tree) {
+  TreeProfile<Dim> profile;
+  profile.objects = tree.size();
+  if (tree.empty()) {
+    profile.extent = Rect<Dim>::Empty();
+    return profile;
+  }
+  profile.extent = tree.RootMbr();
+  profile.levels.resize(tree.height());
+  for (int l = 0; l < tree.height(); ++l) profile.levels[l].level = l;
+
+  // Iterative traversal recording each node's MBR extents at its level.
+  struct Frame {
+    storage::PageId page;
+    Rect<Dim> mbr;
+  };
+  std::vector<Frame> stack;
+  stack.push_back({tree.root(), tree.RootMbr()});
+  while (!stack.empty()) {
+    const Frame frame = stack.back();
+    stack.pop_back();
+    typename RTree<Dim>::PinnedNode node = tree.Pin(frame.page);
+    LevelProfile<Dim>& level = profile.levels[node.level()];
+    ++level.nodes;
+    for (int d = 0; d < Dim; ++d) {
+      level.avg_extent[d] += frame.mbr.hi[d] - frame.mbr.lo[d];
+    }
+    if (!node.is_leaf()) {
+      for (uint32_t i = 0; i < node.count(); ++i) {
+        stack.push_back(
+            {static_cast<storage::PageId>(node.ref(i)), node.rect(i)});
+      }
+    } else {
+      for (uint32_t i = 0; i < node.count(); ++i) {
+        const Rect<Dim> rect = node.rect(i);
+        for (int d = 0; d < Dim; ++d) {
+          profile.avg_object_extent[d] += rect.hi[d] - rect.lo[d];
+        }
+      }
+    }
+  }
+  if (profile.objects > 0) {
+    for (int d = 0; d < Dim; ++d) {
+      profile.avg_object_extent[d] /= profile.objects;
+    }
+  }
+  for (LevelProfile<Dim>& level : profile.levels) {
+    if (level.nodes > 0) {
+      for (int d = 0; d < Dim; ++d) level.avg_extent[d] /= level.nodes;
+    }
+  }
+  return profile;
+}
+
+// Volume of the metric's unit ball relative to the enclosing [-1,1]^Dim cube
+// (1 for Chessboard; pi/4 in 2-D Euclidean; 1/Dim! for Manhattan).
+inline double UnitBallVolumeRatio(Metric metric, int dim) {
+  switch (metric) {
+    case Metric::kChessboard:
+      return 1.0;
+    case Metric::kManhattan:
+      return 1.0 / std::tgamma(dim + 1);
+    case Metric::kEuclidean: {
+      const double ball =
+          std::pow(3.14159265358979323846, dim / 2.0) /
+          std::tgamma(dim / 2.0 + 1.0);
+      return ball / std::pow(2.0, dim);
+    }
+  }
+  return 1.0;
+}
+
+// Predicted costs for a distance join with a maximum distance.
+struct DistanceJoinCostEstimate {
+  // Result pairs with distance <= max_distance.
+  double expected_result_pairs = 0.0;
+  // Node-pair expansions the bounded traversal performs.
+  double expected_node_pair_visits = 0.0;
+  // Per-level breakdown (index 0 = leaf level pairs).
+  std::vector<double> node_pairs_per_level;
+};
+
+// Estimates the cost of DistanceJoin(tree1, tree2) with
+// options.max_distance = `max_distance`.
+template <int Dim>
+DistanceJoinCostEstimate EstimateDistanceJoinCost(
+    const RTree<Dim>& tree1, const RTree<Dim>& tree2, double max_distance,
+    Metric metric = Metric::kEuclidean) {
+  SDJ_CHECK(max_distance >= 0.0);
+  DistanceJoinCostEstimate estimate;
+  if (tree1.empty() || tree2.empty()) return estimate;
+  const TreeProfile<Dim> p1 = ProfileTree(tree1);
+  const TreeProfile<Dim> p2 = ProfileTree(tree2);
+
+  // The joint domain: the union of both extents (pairs can only arise where
+  // the extents come within max_distance, captured by the per-dim factors).
+  Rect<Dim> domain = p1.extent;
+  domain.ExpandToInclude(p2.extent);
+
+  // Result selectivity: the Minkowski model gives, per dimension, the
+  // probability that two uniform points fall within max_distance, which is
+  // ~ 2*D / W clipped to 1; the metric's ball shape contributes its volume
+  // ratio relative to the L-infinity box.
+  double selectivity = UnitBallVolumeRatio(metric, Dim);
+  for (int d = 0; d < Dim; ++d) {
+    const double width = domain.hi[d] - domain.lo[d];
+    if (width <= 0.0) continue;  // degenerate dimension: always within
+    selectivity *= std::min(1.0, 2.0 * max_distance / width);
+  }
+  estimate.expected_result_pairs = static_cast<double>(p1.objects) *
+                                   static_cast<double>(p2.objects) *
+                                   selectivity;
+
+  // Node-pair visits. Two average MBRs come within D per dimension with
+  // probability (s1 + s2 + 2D) / W (Minkowski sum of the rects and the
+  // distance ball), clipped to 1. The even traversal expands same-level
+  // pairs (l, l) AND the mixed pairs (l, l+1) they produce on the way down,
+  // so both terms are counted.
+  const auto qualifying_pairs = [&domain, max_distance](
+                                    const LevelProfile<Dim>& l1,
+                                    const LevelProfile<Dim>& l2) {
+    double probability = 1.0;
+    for (int d = 0; d < Dim; ++d) {
+      const double width = domain.hi[d] - domain.lo[d];
+      if (width <= 0.0) continue;
+      probability *= std::min(
+          1.0,
+          (l1.avg_extent[d] + l2.avg_extent[d] + 2.0 * max_distance) / width);
+    }
+    return static_cast<double>(l1.nodes) * static_cast<double>(l2.nodes) *
+           probability;
+  };
+  const int shared_levels =
+      std::min(static_cast<int>(p1.levels.size()),
+               static_cast<int>(p2.levels.size()));
+  for (int l = 0; l < shared_levels; ++l) {
+    double pairs = qualifying_pairs(p1.levels[l], p2.levels[l]);
+    if (l + 1 < shared_levels) {
+      // Mixed pairs produced while descending one side at a time.
+      pairs += qualifying_pairs(p1.levels[l], p2.levels[l + 1]);
+    }
+    estimate.node_pairs_per_level.push_back(pairs);
+    estimate.expected_node_pair_visits += pairs;
+  }
+  // The dominant expansion class: (object, leaf) pairs created when a leaf
+  // of tree1 is unpacked against a tree2 leaf — one expansion per qualifying
+  // object/leaf combination.
+  if (!p1.levels.empty() && !p2.levels.empty()) {
+    LevelProfile<Dim> object_level;
+    object_level.level = -1;
+    object_level.nodes = p1.objects;
+    for (int d = 0; d < Dim; ++d) {
+      object_level.avg_extent[d] = p1.avg_object_extent[d];
+    }
+    estimate.expected_node_pair_visits +=
+        qualifying_pairs(object_level, p2.levels[0]);
+  }
+  return estimate;
+}
+
+// The Section 5 planning question: is it cheaper to (1) run the join on the
+// full relations and filter the stream, or (2) pre-filter relation 1 down to
+// `selectivity1 * |R1|` objects, build a temporary index, and join that?
+// Returns true if option 2 (filter first) is predicted cheaper.
+//
+// Option 1 pays for join work inflated by 1/selectivity1 (that fraction of
+// the stream survives the filter); option 2 pays the index build
+// (~ c_build * |R1'|) plus the smaller join. `cost_unit_build` calibrates
+// index-build cost relative to join work per expected result.
+template <int Dim>
+bool ShouldFilterBeforeJoin(const RTree<Dim>& tree1, const RTree<Dim>& tree2,
+                            double selectivity1, double max_distance,
+                            uint64_t desired_pairs,
+                            Metric metric = Metric::kEuclidean,
+                            double cost_unit_build = 2.0) {
+  SDJ_CHECK(selectivity1 > 0.0 && selectivity1 <= 1.0);
+  const DistanceJoinCostEstimate full =
+      EstimateDistanceJoinCost(tree1, tree2, max_distance, metric);
+  if (full.expected_result_pairs <= 0.0) return false;
+  // Option 1: the pipeline must produce desired_pairs / selectivity1 raw
+  // results; cost scales with the matching fraction of node visits.
+  const double fraction1 =
+      std::min(1.0, static_cast<double>(desired_pairs) /
+                        (selectivity1 * full.expected_result_pairs));
+  const double option1 = full.expected_node_pair_visits * fraction1 /
+                         selectivity1;
+  // Option 2: build cost over the filtered relation + the proportionally
+  // smaller join (node visits scale ~ selectivity of side 1).
+  const double filtered = selectivity1 * static_cast<double>(tree1.size());
+  const double fraction2 =
+      std::min(1.0, static_cast<double>(desired_pairs) /
+                        (selectivity1 * full.expected_result_pairs));
+  const double option2 = cost_unit_build * filtered / tree1.max_entries() +
+                         full.expected_node_pair_visits * selectivity1 *
+                             fraction2;
+  return option2 < option1;
+}
+
+}  // namespace sdj
+
+#endif  // SDJOIN_CORE_COST_MODEL_H_

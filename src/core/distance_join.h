@@ -1,0 +1,882 @@
+// The incremental distance join (Section 2.2) — the paper's primary
+// contribution — together with every policy knob its evaluation exercises:
+//
+//   * node-processing policies (Section 2.2.2): Basic (always expand item 1),
+//     Even (expand the shallower node, the paper's recommended default), and
+//     Simultaneous (expand both nodes of a node/node pair with the within-
+//     filter + plane-sweep optimizations of traditional spatial joins);
+//   * tie-break policies: depth-first vs. breadth-first (Section 2.2.2);
+//   * a [Dmin, Dmax] distance range with MAXDIST/MINMAXDIST pruning
+//     (Section 2.2.3, Figure 5);
+//   * maximum-distance estimation from a STOP AFTER budget (Section 2.2.4),
+//     in guaranteed (minimum fan-out) and aggressive (expected occupancy,
+//     restart-on-failure) flavors;
+//   * farthest-first ("reverse") ordering (Section 2.2.5);
+//   * the hybrid memory/disk priority queue (Section 3.2);
+//   * object-bounding-rectangle mode for objects stored outside the tree
+//     (Figure 3, lines 7-14), via a user exact-distance callback;
+//   * the distance semi-join filter and bound strategies (Sections 2.3,
+//     4.2.1) — configured through DistanceSemiJoin in core/semi_join.h.
+//
+// The iterator is pipelined: each Next() call reports the next pair by
+// non-decreasing distance, and the entire state lives in the priority queue,
+// so a caller may stop at any time ("fast first", Section 1).
+#ifndef SDJOIN_CORE_DISTANCE_JOIN_H_
+#define SDJOIN_CORE_DISTANCE_JOIN_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/hybrid_queue.h"
+#include "core/join_result.h"
+#include "core/join_stats.h"
+#include "core/max_dist_estimator.h"
+#include "core/pair_entry.h"
+#include "core/pair_queue.h"
+#include "geometry/distance.h"
+#include "geometry/metrics.h"
+#include "rtree/rtree.h"
+#include "util/check.h"
+#include "util/dynamic_bitset.h"
+
+namespace sdj {
+
+// How node/node pairs are expanded (Section 2.2.2).
+enum class NodeProcessingPolicy {
+  kBasic,         // always process item 1 (Figure 3 as printed)
+  kEven,          // process the node at the shallower level (the default)
+  kSimultaneous,  // process both nodes at once with filter + plane sweep
+  // Defer leaf expansion until BOTH items are leaf nodes, then process the
+  // two leaves simultaneously — the strategy Section 2.2.2 recommends for
+  // unbalanced structures without leaf bounding rectangles (quadtrees),
+  // reducing per-object accesses.
+  kDeferredLeaf,
+};
+
+// Semi-join duplicate filtering (Section 2.3 / Figure 9). kNone = plain join.
+enum class SemiJoinFilter {
+  kNone,
+  kOutside,  // filter outside the algorithm (handled by DistanceSemiJoin)
+  kInside1,  // filter dequeued pairs inside the main loop
+  kInside2,  // additionally filter pairs when nodes are expanded
+};
+
+// Semi-join d_max-bound exploitation (Section 4.2.1). All bound strategies
+// imply Inside2 filtering, as in the paper's experiments.
+enum class SemiJoinBound {
+  kNone,
+  kLocal,        // prune siblings within one ProcessNode call only
+  kGlobalNodes,  // plus a global smallest-d_max table for R1 nodes
+  kGlobalAll,    // plus a global table for R1 objects as well
+};
+
+// Query options for DistanceJoin (and, via SemiJoinOptions, the semi-join).
+struct DistanceJoinOptions {
+  Metric metric = Metric::kEuclidean;
+  NodeProcessingPolicy node_policy = NodeProcessingPolicy::kEven;
+  TieBreakPolicy tie_break = TieBreakPolicy::kDepthFirst;
+
+  // Report only pairs with min_distance <= distance <= max_distance
+  // (the WHERE clause of Figure 1; Section 2.2.3).
+  double min_distance = 0.0;
+  double max_distance = std::numeric_limits<double>::infinity();
+
+  // Stop after this many result pairs (0 = unlimited); the STOP AFTER clause.
+  uint64_t max_pairs = 0;
+  // Use max_pairs to estimate and tighten max_distance while running
+  // (Section 2.2.4). Requires max_pairs > 0.
+  bool estimate_max_distance = false;
+  // Estimate subtree cardinalities from average occupancy instead of the
+  // guaranteed minimum; tighter but may force a restart (Section 2.2.4).
+  bool aggressive_estimation = false;
+
+  // Report pairs farthest-first instead (Section 2.2.5). With max_pairs and
+  // estimate_max_distance set, the engine estimates a rising *minimum*
+  // distance instead of a falling maximum (the symmetric construction the
+  // paper describes at the end of Section 2.2.5).
+  bool reverse_order = false;
+
+  // Use the hybrid memory/disk priority queue (Section 3.2).
+  bool use_hybrid_queue = false;
+  HybridQueueOptions hybrid;
+
+  // If set, leaf entries are treated as object bounding rectangles and this
+  // callback supplies the exact object distance (Figure 3, lines 7-14).
+  // If unset, objects are stored directly in the leaves (the paper's
+  // experimental configuration) and entry MBRs are exact geometry.
+  std::function<double(ObjectId, ObjectId)> exact_object_distance;
+};
+
+// Optional selection criteria on the joined relations (Section 2.2.5's first
+// extension / Section 5's option 1): spatial windows prune whole subtrees,
+// attribute predicates filter objects as the pipeline produces them.
+template <int Dim>
+struct JoinFilters {
+  // Only objects whose geometry intersects the window participate. Nodes
+  // whose MBR misses the window are pruned wholesale.
+  std::optional<Rect<Dim>> window1;
+  std::optional<Rect<Dim>> window2;
+  // Arbitrary per-object predicates (e.g., "population > 5 million").
+  // Applied to objects only — subtrees cannot be pruned by attributes.
+  std::function<bool(ObjectId)> object_filter1;
+  std::function<bool(ObjectId)> object_filter2;
+
+  bool Empty() const {
+    return !window1.has_value() && !window2.has_value() &&
+           object_filter1 == nullptr && object_filter2 == nullptr;
+  }
+};
+
+// Incremental distance join iterator over two R-trees. The trees must
+// outlive the iterator and must not be modified while iterating.
+//
+//   DistanceJoin<2> join(water, roads, options);
+//   JoinResult<2> pair;
+//   while (join.Next(&pair)) Use(pair);   // pairs by non-decreasing distance
+//
+// The three trailing constructor parameters select the semi-join variants;
+// use DistanceSemiJoin (core/semi_join.h) instead of setting them directly.
+//
+// `Index` is the spatial index type; any hierarchical structure exposing the
+// RTree<Dim> read interface works (the paper's "large class of hierarchical
+// spatial data structures"). Indexes whose node regions do not minimally
+// bound their contents (Index::kMinimalBoundingRegions == false, e.g., the
+// PointQuadtree) automatically get the containment-only d_max bounds.
+template <int Dim, typename Index = RTree<Dim>>
+class DistanceJoin {
+ public:
+  DistanceJoin(const Index& tree1, const Index& tree2,
+               const DistanceJoinOptions& options,
+               JoinFilters<Dim> filters = JoinFilters<Dim>{},
+               SemiJoinFilter semi_filter = SemiJoinFilter::kNone,
+               SemiJoinBound semi_bound = SemiJoinBound::kNone,
+               bool semi_estimation = false)
+      : tree1_(tree1),
+        tree2_(tree2),
+        options_(options),
+        filters_(std::move(filters)),
+        semi_filter_(semi_filter),
+        semi_bound_(semi_bound),
+        semi_estimation_(semi_estimation),
+        base_node_misses_(PoolMisses()),
+        base_node_accesses_(PoolAccesses()) {
+    SDJ_CHECK(options.min_distance >= 0.0);
+    SDJ_CHECK(options.min_distance <= options.max_distance);
+    if (options.estimate_max_distance) SDJ_CHECK(options.max_pairs > 0);
+    if (options.use_hybrid_queue) SDJ_CHECK(!options.reverse_order);
+    // Reverse semi-join estimation would estimate the wrong bound (the
+    // paper's Section 2.3 discussion); plain reverse semi-joins are fine.
+    SDJ_CHECK(!(semi_estimation && options.reverse_order));
+    // Selection filters remove result pairs, so subtree-cardinality-based
+    // estimation would overcount and over-prune.
+    SDJ_CHECK(!options.estimate_max_distance || filters_.Empty());
+    // Filters on the second relation break the SemiPairMaxDist bounds: the
+    // nearest *qualifying* partner can be farther than the geometric bound.
+    SDJ_CHECK(semi_bound == SemiJoinBound::kNone ||
+              (!filters_.window2.has_value() &&
+               filters_.object_filter2 == nullptr));
+    const bool inside_semi = semi_filter == SemiJoinFilter::kInside1 ||
+                             semi_filter == SemiJoinFilter::kInside2;
+    if (inside_semi || semi_bound_ != SemiJoinBound::kNone) {
+      reported_.Resize(tree1.size());
+    }
+    if (semi_bound_ == SemiJoinBound::kGlobalNodes ||
+        semi_bound_ == SemiJoinBound::kGlobalAll) {
+      node_bounds_.assign(tree1.pool().num_pages(),
+                          std::numeric_limits<double>::infinity());
+    }
+    if (semi_bound_ == SemiJoinBound::kGlobalAll) {
+      object_bounds_.assign(tree1.size(),
+                            std::numeric_limits<double>::infinity());
+    }
+    ResetEstimator();
+    queue_ = MakeQueue();
+    Seed();
+  }
+
+  // Produces the next result pair; returns false once no further pair exists
+  // (range exhausted, STOP AFTER budget reached, or trees exhausted).
+  bool Next(JoinResult<Dim>* out) {
+    SDJ_CHECK(out != nullptr);
+    if (options_.max_pairs > 0 && reported_count_ >= options_.max_pairs) {
+      return false;
+    }
+    for (;;) {
+      if (queue_->Empty()) {
+        if (NeedRestart()) {
+          Restart();
+          continue;
+        }
+        return false;
+      }
+      PairEntry<Dim> e = queue_->Pop();
+      ++stats_.queue_pops;
+      if (estimator_.has_value()) {
+        estimator_->OnDequeue(KeyOf(e));
+      }
+      // Global cut-offs: with ascending keys, once the head violates the
+      // distance window nothing behind it can produce results.
+      if (!options_.reverse_order) {
+        if (e.distance > EffectiveMax()) {
+          stats_.pruned_by_estimate += 1 + queue_->Size();
+          queue_->Clear();
+          continue;
+        }
+      } else {
+        // Reverse mode keys are negated upper bounds.
+        if (-e.key < EffectiveMin()) {
+          stats_.pruned_by_range += 1 + queue_->Size();
+          queue_->Clear();
+          continue;
+        }
+      }
+      // Semi-join Inside1/Inside2: drop pairs whose first object was already
+      // paired (Section 2.3).
+      if (semi_filter_ == SemiJoinFilter::kInside1 ||
+          semi_filter_ == SemiJoinFilter::kInside2) {
+        if (e.item1.is_object_like() && IsReported(e.item1.ref)) {
+          ++stats_.filtered_reported;
+          continue;
+        }
+      }
+      // Semi-join global bounds: a pair whose MINDIST exceeds the best known
+      // d_max for its first item can never contain a first pair.
+      if (IsPrunedByBound(e.item1, e.distance)) {
+        ++stats_.pruned_by_bound;
+        continue;
+      }
+
+      if (e.IsObjectPair()) {
+        if (!ReportableDistance(e.distance)) continue;
+        if (!AcceptSemiReport(e.item1.ref)) continue;
+        if (estimator_.has_value()) NotifyReport(e.item1.ref);
+        if (replay_ > 0) {
+          --replay_;
+          continue;
+        }
+        Fill(e, out);
+        ++reported_count_;
+        ++stats_.pairs_reported;
+        return true;
+      }
+      if (e.IsObrPair()) {
+        ResolveObrPair(e, out);
+        if (resolved_ready_) {
+          resolved_ready_ = false;
+          return true;
+        }
+        continue;
+      }
+      Expand(e);
+    }
+  }
+
+  // Cumulative statistics (Table 1's measures among them). Node I/O is
+  // derived from the trees' buffer pools, so it assumes the pools are not
+  // shared with concurrent work.
+  const JoinStats& stats() const {
+    stats_.max_queue_size =
+        std::max<uint64_t>(stats_.max_queue_size, queue_->MaxSize());
+    stats_.node_io = PoolMisses() - base_node_misses_;
+    stats_.node_accesses = PoolAccesses() - base_node_accesses_;
+    return stats_;
+  }
+
+  // Peak number of queue pairs resident in memory (differs from
+  // stats().max_queue_size only for the hybrid queue).
+  size_t max_memory_queue_size() const { return queue_->MaxMemorySize(); }
+
+  // The currently effective maximum distance (query bound or estimate).
+  double effective_max_distance() const { return EffectiveMax(); }
+
+  // Semi-join Outside support: tells the estimator that `id1` was accepted
+  // as a new first object by an external filter.
+  void NotifyExternalSemiReport(ObjectId id1) {
+    if (estimator_.has_value() && semi_estimation_) {
+      estimator_->OnReportSemi(EncodeEstimatorItem(
+          static_cast<uint8_t>(ObjectKind()), -1, id1));
+    }
+  }
+
+ private:
+  using Item = JoinItem<Dim>;
+  using Entry = PairEntry<Dim>;
+
+  static constexpr double kInf = std::numeric_limits<double>::infinity();
+
+  // ---- construction helpers ----
+
+  std::unique_ptr<PairQueue<Dim>> MakeQueue() const {
+    PairEntryCompare<Dim> cmp{options_.tie_break};
+    if (options_.use_hybrid_queue) {
+      return std::make_unique<HybridPairQueue<Dim>>(cmp, options_.hybrid);
+    }
+    return std::make_unique<MemoryPairQueue<Dim>>(cmp);
+  }
+
+  void ResetEstimator() {
+    if (options_.estimate_max_distance && !estimation_disabled_) {
+      // In reverse mode the estimator runs on negated values, so that its
+      // falling "maximum" is a rising minimum distance (Section 2.2.5).
+      const double initial = options_.reverse_order ? -options_.min_distance
+                                                    : options_.max_distance;
+      estimator_.emplace(options_.max_pairs, initial, semi_estimation_);
+    } else {
+      estimator_.reset();
+    }
+  }
+
+  void Seed() {
+    if (tree1_.empty() || tree2_.empty()) return;
+    Item root1{tree1_.RootMbr(), tree1_.root(),
+               static_cast<int16_t>(tree1_.root_level()), JoinItemKind::kNode};
+    Item root2{tree2_.RootMbr(), tree2_.root(),
+               static_cast<int16_t>(tree2_.root_level()), JoinItemKind::kNode};
+    TryEnqueue(root1, root2);
+  }
+
+  // ---- small helpers ----
+
+  JoinItemKind ObjectKind() const {
+    return options_.exact_object_distance ? JoinItemKind::kObjectRect
+                                          : JoinItemKind::kObject;
+  }
+
+  uint64_t PoolMisses() const {
+    return tree1_.pool().stats().buffer_misses +
+           tree2_.pool().stats().buffer_misses;
+  }
+  uint64_t PoolAccesses() const {
+    return tree1_.pool().stats().logical_reads +
+           tree2_.pool().stats().logical_reads;
+  }
+
+  double EffectiveMax() const {
+    if (estimator_.has_value() && !options_.reverse_order) {
+      return std::min(options_.max_distance, estimator_->max_distance());
+    }
+    return options_.max_distance;
+  }
+
+  double EffectiveMin() const {
+    if (estimator_.has_value() && options_.reverse_order) {
+      return std::max(options_.min_distance, -estimator_->max_distance());
+    }
+    return options_.min_distance;
+  }
+
+  bool ReportableDistance(double d) const {
+    return d >= options_.min_distance && d <= options_.max_distance;
+  }
+
+  bool IsReported(uint64_t id) const {
+    return id < reported_.size() && reported_.Test(id);
+  }
+
+  // For Inside filters: claims `id1` as reported; returns false if it was
+  // already claimed. No-op (true) for plain joins and Outside filtering.
+  bool AcceptSemiReport(uint64_t id1) {
+    if (semi_filter_ != SemiJoinFilter::kInside1 &&
+        semi_filter_ != SemiJoinFilter::kInside2) {
+      return true;
+    }
+    SDJ_CHECK(id1 < reported_.size());
+    if (!reported_.TestAndSet(id1)) {
+      ++stats_.filtered_reported;
+      return false;
+    }
+    return true;
+  }
+
+  void NotifyReport(uint64_t id1) {
+    if (!estimator_.has_value()) return;
+    if (semi_estimation_) {
+      // For Inside filters the engine itself dedupes, so every report is a
+      // fresh first object. (Outside mode goes via NotifyExternalSemiReport.)
+      if (semi_filter_ == SemiJoinFilter::kInside1 ||
+          semi_filter_ == SemiJoinFilter::kInside2) {
+        estimator_->OnReportSemi(EncodeEstimatorItem(
+            static_cast<uint8_t>(ObjectKind()), -1, id1));
+      }
+    } else {
+      estimator_->OnReportJoin();
+    }
+  }
+
+  static MaxDistEstimator::PairKey KeyOf(const Entry& e) {
+    return MaxDistEstimator::PairKey{
+        EncodeEstimatorItem(static_cast<uint8_t>(e.item1.kind), e.item1.level,
+                            e.item1.ref),
+        EncodeEstimatorItem(static_cast<uint8_t>(e.item2.kind), e.item2.level,
+                            e.item2.ref)};
+  }
+
+  void Fill(const Entry& e, JoinResult<Dim>* out) const {
+    out->id1 = e.item1.ref;
+    out->id2 = e.item2.ref;
+    out->rect1 = e.item1.rect;
+    out->rect2 = e.item2.rect;
+    out->distance = e.distance;
+  }
+
+  // ---- semi-join d_max bounds ----
+
+  // Selects the minimality-aware or containment-only semi-join bound.
+  double SemiDmax(const Item& a, const Item& b) const {
+    if constexpr (Index::kMinimalBoundingRegions) {
+      return SemiPairMaxDist(a, b, options_.metric);
+    } else {
+      return SemiPairMaxDistLoose(a, b, options_.metric);
+    }
+  }
+
+  double BoundOf(const Item& item) const {
+    if (item.is_node()) {
+      if ((semi_bound_ == SemiJoinBound::kGlobalNodes ||
+           semi_bound_ == SemiJoinBound::kGlobalAll) &&
+          item.ref < node_bounds_.size()) {
+        return node_bounds_[item.ref];
+      }
+    } else if (semi_bound_ == SemiJoinBound::kGlobalAll &&
+               item.ref < object_bounds_.size()) {
+      return object_bounds_[item.ref];
+    }
+    return kInf;
+  }
+
+  bool IsPrunedByBound(const Item& item1, double d) const {
+    return semi_bound_ != SemiJoinBound::kNone && d > BoundOf(item1);
+  }
+
+  void UpdateBound(const Item& item1, double dmax) {
+    if (item1.is_node()) {
+      if ((semi_bound_ == SemiJoinBound::kGlobalNodes ||
+           semi_bound_ == SemiJoinBound::kGlobalAll) &&
+          item1.ref < node_bounds_.size()) {
+        node_bounds_[item1.ref] = std::min(node_bounds_[item1.ref], dmax);
+      }
+    } else if (semi_bound_ == SemiJoinBound::kGlobalAll &&
+               item1.ref < object_bounds_.size()) {
+      object_bounds_[item1.ref] = std::min(object_bounds_[item1.ref], dmax);
+    }
+  }
+
+  // ---- pair creation ----
+
+  // Lower bound on results generated from (a, b), for the estimator.
+  uint64_t CountLowerBound(const Item& a, const Item& b) const {
+    const auto side = [this](const Item& item, const Index& tree) {
+      if (!item.is_node()) return 1.0;
+      return options_.aggressive_estimation
+                 ? tree.ExpectedObjectsUnder(item.level)
+                 : static_cast<double>(tree.MinObjectsUnder(item.level));
+    };
+    const double n1 = side(a, tree1_);
+    const double n2 = semi_estimation_ ? 1.0 : side(b, tree2_);
+    const double product = std::max(1.0, n1) * std::max(1.0, n2);
+    return product >= 1e18 ? static_cast<uint64_t>(1e18)
+                           : static_cast<uint64_t>(product);
+  }
+
+  // Creates, filters, and enqueues the pair (a, b). `semi_dmax_hint`, when
+  // non-negative, carries an already computed SemiPairMaxDist(a, b).
+  void TryEnqueue(const Item& a, const Item& b,
+                  double semi_dmax_hint = -1.0) {
+    // Selection criteria (Section 2.2.5): spatial windows prune nodes and
+    // objects alike; attribute predicates apply to objects only.
+    if (filters_.window1.has_value() &&
+        !a.rect.Intersects(*filters_.window1)) {
+      ++stats_.pruned_by_filter;
+      return;
+    }
+    if (filters_.window2.has_value() &&
+        !b.rect.Intersects(*filters_.window2)) {
+      ++stats_.pruned_by_filter;
+      return;
+    }
+    if (a.is_object_like() && filters_.object_filter1 != nullptr &&
+        !filters_.object_filter1(a.ref)) {
+      ++stats_.pruned_by_filter;
+      return;
+    }
+    if (b.is_object_like() && filters_.object_filter2 != nullptr &&
+        !filters_.object_filter2(b.ref)) {
+      ++stats_.pruned_by_filter;
+      return;
+    }
+    // Inside2: never create pairs for already-reported first objects.
+    if (semi_filter_ == SemiJoinFilter::kInside2 && a.is_object_like() &&
+        IsReported(a.ref)) {
+      ++stats_.filtered_reported;
+      return;
+    }
+
+    const double d = PairMinDist(a, b, options_.metric);
+    ++stats_.total_distance_calcs;
+    if (a.kind == JoinItemKind::kObject && b.kind == JoinItemKind::kObject) {
+      ++stats_.object_distance_calcs;
+    }
+
+    const double eff_max = EffectiveMax();
+    if (d > eff_max) {
+      ++(estimator_.has_value() && eff_max < options_.max_distance
+             ? stats_.pruned_by_estimate
+             : stats_.pruned_by_range);
+      return;
+    }
+
+    const bool need_join_dmax = options_.min_distance > 0.0 ||
+                                (estimator_.has_value() && !semi_estimation_) ||
+                                options_.reverse_order;
+    const bool need_semi_dmax =
+        semi_bound_ != SemiJoinBound::kNone ||
+        (estimator_.has_value() && semi_estimation_);
+    double join_dmax = kInf;
+    if (need_join_dmax) {
+      join_dmax = PairMaxDist(a, b, options_.metric);
+      ++stats_.total_distance_calcs;
+      if (join_dmax < EffectiveMin()) {
+        // Every result from this pair lies below Dmin (Figure 5), or below
+        // the reverse-mode minimum-distance estimate.
+        ++stats_.pruned_by_range;
+        return;
+      }
+    }
+    double semi_dmax = semi_dmax_hint;
+    if (need_semi_dmax && semi_dmax < 0.0) {
+      semi_dmax = SemiDmax(a, b);
+      ++stats_.total_distance_calcs;
+    }
+
+    if (semi_bound_ != SemiJoinBound::kNone) {
+      if (d > BoundOf(a)) {
+        ++stats_.pruned_by_bound;
+        return;
+      }
+      UpdateBound(a, semi_dmax);
+    }
+
+    Entry e;
+    e.distance = d;
+    e.item1 = a;
+    e.item2 = b;
+    e.seq = next_seq_++;
+    FinalizePairMetadata(&e);
+    e.key = options_.reverse_order ? -join_dmax : d;
+
+    if (estimator_.has_value()) {
+      if (options_.reverse_order) {
+        // Negated mapping: the estimator's falling maximum of (-distance)
+        // is a rising minimum distance.
+        estimator_->OnEnqueue(KeyOf(e), -join_dmax, -d, CountLowerBound(a, b),
+                              -options_.max_distance);
+      } else {
+        const double est_dmax = semi_estimation_ ? semi_dmax : join_dmax;
+        estimator_->OnEnqueue(KeyOf(e), d, est_dmax, CountLowerBound(a, b),
+                              options_.min_distance);
+      }
+    }
+    queue_->Push(e);
+    ++stats_.queue_pushes;
+  }
+
+  // ---- node expansion ----
+
+  void Expand(const Entry& e) {
+    const bool n1 = e.item1.is_node();
+    const bool n2 = e.item2.is_node();
+    SDJ_CHECK(n1 || n2);
+    if (n1 && n2) {
+      switch (options_.node_policy) {
+        case NodeProcessingPolicy::kBasic:
+          ProcessNode1(e);
+          return;
+        case NodeProcessingPolicy::kEven:
+          // Expand the node at the shallower level; ties to item 1.
+          if (e.item2.level > e.item1.level) {
+            ProcessNode2(e);
+          } else {
+            ProcessNode1(e);
+          }
+          return;
+        case NodeProcessingPolicy::kSimultaneous:
+          if (e.item1.level == e.item2.level) {
+            ProcessBoth(e);
+          } else if (e.item2.level > e.item1.level) {
+            ProcessNode2(e);
+          } else {
+            ProcessNode1(e);
+          }
+          return;
+        case NodeProcessingPolicy::kDeferredLeaf: {
+          bool leaf1;
+          bool leaf2;
+          {
+            typename Index::PinnedNode node1 =
+                tree1_.Pin(static_cast<storage::PageId>(e.item1.ref));
+            leaf1 = node1.is_leaf();
+          }
+          {
+            typename Index::PinnedNode node2 =
+                tree2_.Pin(static_cast<storage::PageId>(e.item2.ref));
+            leaf2 = node2.is_leaf();
+          }
+          if (leaf1 && leaf2) {
+            ProcessBoth(e);
+          } else if (leaf1) {
+            ProcessNode2(e);
+          } else if (leaf2) {
+            ProcessNode1(e);
+          } else if (e.item2.level > e.item1.level) {
+            ProcessNode2(e);
+          } else {
+            ProcessNode1(e);
+          }
+          return;
+        }
+      }
+    }
+    if (n1) {
+      ProcessNode1(e);
+    } else {
+      ProcessNode2(e);
+    }
+  }
+
+  // Turns entry `i` of `node` (in `tree`) into a queue item.
+  Item ChildItem(const typename Index::PinnedNode& node, uint32_t i)
+      const {
+    Item item;
+    item.rect = node.rect(i);
+    item.ref = node.ref(i);
+    if (node.is_leaf()) {
+      item.level = -1;
+      item.kind = ObjectKind();
+    } else {
+      item.level = static_cast<int16_t>(node.level() - 1);
+      item.kind = JoinItemKind::kNode;
+    }
+    return item;
+  }
+
+  // PROCESSNODE1 (Figure 3): pair every entry of item 1's node with item 2.
+  void ProcessNode1(const Entry& e) {
+    ++stats_.nodes_expanded;
+    typename Index::PinnedNode node =
+        tree1_.Pin(static_cast<storage::PageId>(e.item1.ref));
+    if (estimator_.has_value() && semi_estimation_) {
+      estimator_->MarkFirstItemProcessed(EncodeEstimatorItem(
+          static_cast<uint8_t>(e.item1.kind), e.item1.level, e.item1.ref));
+    }
+    for (uint32_t i = 0; i < node.count(); ++i) {
+      TryEnqueue(ChildItem(node, i), e.item2);
+    }
+  }
+
+  // PROCESSNODE2: same with the items exchanged. For the semi-join this is
+  // where the Local bound applies: all new pairs share the first item, so the
+  // smallest d_max across the node's entries prunes its siblings
+  // (Section 4.2.1).
+  void ProcessNode2(const Entry& e) {
+    ++stats_.nodes_expanded;
+    typename Index::PinnedNode node =
+        tree2_.Pin(static_cast<storage::PageId>(e.item2.ref));
+    if (semi_bound_ == SemiJoinBound::kNone) {
+      for (uint32_t i = 0; i < node.count(); ++i) {
+        TryEnqueue(e.item1, ChildItem(node, i));
+      }
+      return;
+    }
+    // First pass: compute each child's semi d_max and their minimum.
+    std::vector<Item> children;
+    std::vector<double> dmax;
+    children.reserve(node.count());
+    dmax.reserve(node.count());
+    double best = BoundOf(e.item1);
+    for (uint32_t i = 0; i < node.count(); ++i) {
+      children.push_back(ChildItem(node, i));
+      dmax.push_back(SemiDmax(e.item1, children.back()));
+      ++stats_.total_distance_calcs;
+      best = std::min(best, dmax.back());
+    }
+    UpdateBound(e.item1, best);
+    for (size_t i = 0; i < children.size(); ++i) {
+      const double d = MinDist(e.item1.rect, children[i].rect,
+                               options_.metric);
+      ++stats_.total_distance_calcs;
+      if (d > best) {
+        ++stats_.pruned_by_bound;
+        continue;
+      }
+      TryEnqueue(e.item1, children[i], dmax[i]);
+    }
+  }
+
+  // Simultaneous processing of a node/node pair (Section 2.2.2): restrict
+  // each node's entries to those within the distance window of the other
+  // node's region, then pair them up with a plane sweep along axis 0
+  // (Figure 4), extended by Dmax as the paper describes.
+  void ProcessBoth(const Entry& e) {
+    stats_.nodes_expanded += 2;
+    std::vector<Item> left;
+    std::vector<Item> right;
+    {
+      typename Index::PinnedNode node1 =
+          tree1_.Pin(static_cast<storage::PageId>(e.item1.ref));
+      typename Index::PinnedNode node2 =
+          tree2_.Pin(static_cast<storage::PageId>(e.item2.ref));
+      if (estimator_.has_value() && semi_estimation_) {
+        estimator_->MarkFirstItemProcessed(EncodeEstimatorItem(
+            static_cast<uint8_t>(e.item1.kind), e.item1.level, e.item1.ref));
+      }
+      const double eff_max = EffectiveMax();
+      left.reserve(node1.count());
+      for (uint32_t i = 0; i < node1.count(); ++i) {
+        Item item = ChildItem(node1, i);
+        ++stats_.total_distance_calcs;
+        if (MinDist(item.rect, e.item2.rect, options_.metric) <= eff_max) {
+          left.push_back(item);
+        } else {
+          ++stats_.pruned_by_range;
+        }
+      }
+      right.reserve(node2.count());
+      for (uint32_t i = 0; i < node2.count(); ++i) {
+        Item item = ChildItem(node2, i);
+        ++stats_.total_distance_calcs;
+        if (MinDist(item.rect, e.item1.rect, options_.metric) <= eff_max) {
+          right.push_back(item);
+        } else {
+          ++stats_.pruned_by_range;
+        }
+      }
+    }
+    const auto by_lo = [](const Item& a, const Item& b) {
+      return a.rect.lo[0] < b.rect.lo[0];
+    };
+    std::sort(left.begin(), left.end(), by_lo);
+    std::sort(right.begin(), right.end(), by_lo);
+    // Sweep: for the rectangle with the smaller lower edge, pair it with the
+    // other list's rectangles whose lower edge starts within Dmax of its
+    // upper edge (the paper's x2 + Dmax sweep extension).
+    const double eff_max = EffectiveMax();
+    size_t i = 0;
+    size_t j = 0;
+    while (i < left.size() && j < right.size()) {
+      if (left[i].rect.lo[0] <= right[j].rect.lo[0]) {
+        const double limit = left[i].rect.hi[0] + eff_max;
+        for (size_t k = j; k < right.size() && right[k].rect.lo[0] <= limit;
+             ++k) {
+          TryEnqueue(left[i], right[k]);
+        }
+        ++i;
+      } else {
+        const double limit = right[j].rect.hi[0] + eff_max;
+        for (size_t k = i; k < left.size() && left[k].rect.lo[0] <= limit;
+             ++k) {
+          TryEnqueue(left[k], right[j]);
+        }
+        ++j;
+      }
+    }
+  }
+
+  // ---- obr resolution (Figure 3, lines 7-14) ----
+
+  // Computes the exact distance of an obr/obr pair. Reports it immediately
+  // when it is still guaranteed to be the closest pending pair, else
+  // re-enqueues it as an object/object pair.
+  void ResolveObrPair(const Entry& e, JoinResult<Dim>* out) {
+    SDJ_CHECK(options_.exact_object_distance != nullptr);
+    const double d =
+        options_.exact_object_distance(e.item1.ref, e.item2.ref);
+    ++stats_.object_distance_calcs;
+    ++stats_.total_distance_calcs;
+    if (d < options_.min_distance || d > EffectiveMax()) {
+      ++stats_.pruned_by_range;
+      return;
+    }
+    Entry resolved = e;
+    resolved.distance = d;
+    resolved.item1.kind = JoinItemKind::kObject;
+    resolved.item2.kind = JoinItemKind::kObject;
+    FinalizePairMetadata(&resolved);
+    resolved.key = options_.reverse_order ? -d : d;
+    const bool head = queue_->Empty() || !(queue_->Top().key < resolved.key);
+    if (head) {
+      if (!AcceptSemiReport(resolved.item1.ref)) return;
+      if (estimator_.has_value()) NotifyReport(resolved.item1.ref);
+      if (replay_ > 0) {
+        --replay_;
+        return;
+      }
+      Fill(resolved, out);
+      ++reported_count_;
+      ++stats_.pairs_reported;
+      resolved_ready_ = true;
+      return;
+    }
+    resolved.seq = next_seq_++;
+    queue_->Push(resolved);
+    ++stats_.queue_pushes;
+  }
+
+  // ---- restart (over-aggressive estimation, Section 2.2.4) ----
+
+  bool NeedRestart() const {
+    return estimator_.has_value() && estimator_->ever_tightened() &&
+           options_.max_pairs > 0 && reported_count_ < options_.max_pairs;
+  }
+
+  void Restart() {
+    ++stats_.restarts;
+    estimation_disabled_ = true;
+    ResetEstimator();
+    queue_->Clear();
+    reported_.Clear();
+    if (!node_bounds_.empty()) {
+      node_bounds_.assign(node_bounds_.size(), kInf);
+    }
+    if (!object_bounds_.empty()) {
+      object_bounds_.assign(object_bounds_.size(), kInf);
+    }
+    replay_ = reported_count_;
+    Seed();
+  }
+
+  // ---- members ----
+
+  const Index& tree1_;
+  const Index& tree2_;
+  const DistanceJoinOptions options_;
+  const JoinFilters<Dim> filters_;
+  const SemiJoinFilter semi_filter_;
+  const SemiJoinBound semi_bound_;
+  const bool semi_estimation_;
+
+  std::unique_ptr<PairQueue<Dim>> queue_;
+  std::optional<MaxDistEstimator> estimator_;
+  bool estimation_disabled_ = false;
+
+  DynamicBitset reported_;             // S_o (semi-join Inside filters)
+  std::vector<double> node_bounds_;    // smallest d_max per R1 node page
+  std::vector<double> object_bounds_;  // smallest d_max per R1 object
+
+  uint64_t next_seq_ = 0;
+  uint64_t reported_count_ = 0;
+  uint64_t replay_ = 0;       // results to swallow after a restart
+  bool resolved_ready_ = false;
+  uint64_t base_node_misses_ = 0;
+  uint64_t base_node_accesses_ = 0;
+  mutable JoinStats stats_;
+};
+
+}  // namespace sdj
+
+#endif  // SDJOIN_CORE_DISTANCE_JOIN_H_

@@ -1,0 +1,280 @@
+// Hybrid memory/disk priority queue (Section 3.2).
+//
+// Pairs are layered by distance into three tiers:
+//   * distance <  D1           — in-memory pairing heap (fully ordered)
+//   * D1 <= distance < D2      — in-memory unorganized list
+//   * distance >= D2           — on "disk": linked lists of pages, one list
+//                                per distance bucket [k*D_T, (k+1)*D_T)
+// with D1 and D2 advancing by a fixed increment D_T whenever the heap runs
+// dry: the list is heapified, the bucket covering the new [D1, D2) window is
+// loaded into the list. Keeping the heap small both bounds memory and keeps
+// heap operations cheap; pairs that are never requested never touch the heap.
+//
+// Internally the boundaries are kept as an integer bucket *frontier*
+// (D1 = frontier * D_T, D2 = D1 + D_T): every distance maps to its bucket
+// through one floor(dist / D_T) computation, so no accumulated floating-
+// point boundary can disagree with the bucket indexing.
+//
+// The paper notes D_T is a fixed constant chosen per workload; Figure 8
+// benchmarks its sensitivity. Only forward (nearest-first) ordering is
+// supported — the tiering is keyed on ascending distance.
+#ifndef SDJOIN_CORE_HYBRID_QUEUE_H_
+#define SDJOIN_CORE_HYBRID_QUEUE_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/pair_entry.h"
+#include "core/pair_queue.h"
+#include "storage/buffer_pool.h"
+#include "storage/page.h"
+#include "storage/page_file.h"
+#include "util/check.h"
+#include "util/pairing_heap.h"
+
+namespace sdj {
+
+// Construction parameters for HybridPairQueue.
+struct HybridQueueOptions {
+  // The distance increment D_T. Must be > 0. D1 starts at D_T and D2 at
+  // 2*D_T, as in the paper's implementation.
+  double tier_width = 1.0;
+  // Page size of the disk tier.
+  uint32_t page_size = 4096;
+  // Buffer pages used while reading/writing the disk tier.
+  uint32_t buffer_pages = 16;
+  // If non-empty, the disk tier lives in this file; otherwise in memory
+  // (still exercising the exact same page traffic and counters).
+  std::string spill_path;
+};
+
+// Three-tier pair queue. See file comment.
+template <int Dim>
+class HybridPairQueue final : public PairQueue<Dim> {
+ public:
+  HybridPairQueue(PairEntryCompare<Dim> cmp, const HybridQueueOptions& options)
+      : options_(options), heap_(cmp) {
+    SDJ_CHECK(options.tier_width > 0.0);
+    std::unique_ptr<storage::PageFile> file =
+        options.spill_path.empty()
+            ? storage::NewMemoryPageFile(options.page_size)
+            : storage::NewFilePageFile(options.spill_path, options.page_size);
+    SDJ_CHECK(file != nullptr);
+    pool_ = std::make_unique<storage::BufferPool>(std::move(file),
+                                                  options.buffer_pages);
+    records_per_page_ = (options.page_size - kPageHeader) / kRecordSize;
+    SDJ_CHECK(records_per_page_ > 0);
+  }
+
+  void Push(const PairEntry<Dim>& entry) override {
+    SDJ_CHECK(entry.key == entry.distance);  // reverse mode is unsupported
+    const uint64_t bucket = BucketIndex(entry.distance, options_.tier_width);
+    if (bucket < frontier_) {
+      heap_.Push(entry);
+    } else if (bucket == frontier_) {
+      list_.push_back(entry);
+    } else {
+      PushToDisk(entry, bucket);
+    }
+    ++total_size_;
+    max_size_ = std::max(max_size_, total_size_);
+    max_memory_size_ =
+        std::max(max_memory_size_, heap_.Size() + list_.size());
+  }
+
+  bool Empty() override {
+    Refill();
+    return heap_.Empty();
+  }
+
+  const PairEntry<Dim>& Top() override {
+    Refill();
+    return heap_.Top();
+  }
+
+  PairEntry<Dim> Pop() override {
+    Refill();
+    --total_size_;
+    return heap_.Pop();
+  }
+
+  void Clear() override {
+    heap_.Clear();
+    list_.clear();
+    buckets_.clear();  // disk pages are abandoned (rebuilt queues start new)
+    total_size_ = 0;
+    frontier_ = 1;
+  }
+
+  size_t Size() const override { return total_size_; }
+  size_t MaxSize() const override { return max_size_; }
+  size_t MaxMemorySize() const override { return max_memory_size_; }
+
+  // Disk-tier traffic (page-file reads/writes behind the small buffer).
+  const storage::IoStats& disk_stats() const { return pool_->stats(); }
+
+ private:
+  static constexpr uint32_t kPageHeader = 8;  // next page id + record count
+  static constexpr uint32_t kItemSize = 16 * Dim + 16;
+  static constexpr uint32_t kRecordSize = 16 + 2 * kItemSize + 16;
+
+  struct Bucket {
+    storage::PageId head = storage::kInvalidPageId;
+    storage::PageId tail = storage::kInvalidPageId;
+    uint32_t tail_count = 0;
+    uint64_t total = 0;
+  };
+
+  static uint64_t BucketIndex(double distance, double dt) {
+    const double idx = std::floor(distance / dt);
+    return idx >= 9.0e15 ? static_cast<uint64_t>(9.0e15)
+                         : static_cast<uint64_t>(idx);
+  }
+
+  // -- record serialization (fixed-size, memcpy-based) --
+
+  static char* PutBytes(char* dst, const void* src, size_t n) {
+    std::memcpy(dst, src, n);
+    return dst + n;
+  }
+  static const char* GetBytes(const char* src, void* dst, size_t n) {
+    std::memcpy(dst, src, n);
+    return src + n;
+  }
+
+  static void WriteItem(char* dst, const JoinItem<Dim>& item) {
+    dst = PutBytes(dst, item.rect.lo.coords.data(), 8 * Dim);
+    dst = PutBytes(dst, item.rect.hi.coords.data(), 8 * Dim);
+    dst = PutBytes(dst, &item.ref, 8);
+    dst = PutBytes(dst, &item.level, 2);
+    const uint8_t kind = static_cast<uint8_t>(item.kind);
+    PutBytes(dst, &kind, 1);
+  }
+  static void ReadItem(const char* src, JoinItem<Dim>* item) {
+    src = GetBytes(src, item->rect.lo.coords.data(), 8 * Dim);
+    src = GetBytes(src, item->rect.hi.coords.data(), 8 * Dim);
+    src = GetBytes(src, &item->ref, 8);
+    src = GetBytes(src, &item->level, 2);
+    uint8_t kind = 0;
+    GetBytes(src, &kind, 1);
+    item->kind = static_cast<JoinItemKind>(kind);
+  }
+
+  static void WriteRecord(char* dst, const PairEntry<Dim>& e) {
+    PutBytes(dst, &e.key, 8);
+    PutBytes(dst + 8, &e.distance, 8);
+    WriteItem(dst + 16, e.item1);
+    WriteItem(dst + 16 + kItemSize, e.item2);
+    char* tail = dst + 16 + 2 * kItemSize;
+    PutBytes(tail, &e.seq, 8);
+    PutBytes(tail + 8, &e.category, 1);
+    PutBytes(tail + 9, &e.depth, 2);
+  }
+  static PairEntry<Dim> ReadRecord(const char* src) {
+    PairEntry<Dim> e;
+    GetBytes(src, &e.key, 8);
+    GetBytes(src + 8, &e.distance, 8);
+    ReadItem(src + 16, &e.item1);
+    ReadItem(src + 16 + kItemSize, &e.item2);
+    const char* tail = src + 16 + 2 * kItemSize;
+    GetBytes(tail, &e.seq, 8);
+    GetBytes(tail + 8, &e.category, 1);
+    GetBytes(tail + 9, &e.depth, 2);
+    return e;
+  }
+
+  // -- disk tier --
+
+  void PushToDisk(const PairEntry<Dim>& entry, uint64_t bucket_index) {
+    Bucket& bucket = buckets_[bucket_index];
+    if (bucket.tail == storage::kInvalidPageId ||
+        bucket.tail_count == records_per_page_) {
+      storage::PageId page;
+      pool_->NewPage(&page);
+      pool_->Unpin(page, /*dirty=*/true);
+      if (bucket.tail == storage::kInvalidPageId) {
+        bucket.head = page;
+      } else {
+        // Link the old tail to the new page.
+        char* old_tail = pool_->Pin(bucket.tail);
+        std::memcpy(old_tail, &page, sizeof(page));
+        pool_->Unpin(bucket.tail, /*dirty=*/true);
+      }
+      bucket.tail = page;
+      bucket.tail_count = 0;
+    }
+    char* data = pool_->Pin(bucket.tail);
+    if (bucket.tail_count == 0) {
+      const storage::PageId no_next = storage::kInvalidPageId;
+      std::memcpy(data, &no_next, sizeof(no_next));
+    }
+    WriteRecord(data + kPageHeader + bucket.tail_count * kRecordSize, entry);
+    ++bucket.tail_count;
+    std::memcpy(data + 4, &bucket.tail_count, 4);
+    pool_->Unpin(bucket.tail, /*dirty=*/true);
+    ++bucket.total;
+  }
+
+  void LoadBucketIntoList(uint64_t index) {
+    auto it = buckets_.find(index);
+    if (it == buckets_.end()) return;
+    storage::PageId page = it->second.head;
+    while (page != storage::kInvalidPageId) {
+      const char* data = pool_->Pin(page);
+      storage::PageId next;
+      uint32_t count;
+      std::memcpy(&next, data, 4);
+      std::memcpy(&count, data + 4, 4);
+      for (uint32_t i = 0; i < count; ++i) {
+        list_.push_back(ReadRecord(data + kPageHeader + i * kRecordSize));
+      }
+      pool_->Unpin(page, /*dirty=*/false);
+      page = next;
+    }
+    buckets_.erase(it);
+  }
+
+  // Restores the invariant "the global minimum, if any, is in the heap" by
+  // advancing the bucket frontier (the paper's D1 <- D2, D2 <- D2 + D_T).
+  // Invariant: heap holds buckets < frontier_, list holds bucket frontier_,
+  // disk holds buckets > frontier_.
+  void Refill() {
+    while (heap_.Empty()) {
+      if (!list_.empty()) {
+        for (const PairEntry<Dim>& e : list_) heap_.Push(e);
+        list_.clear();
+        ++frontier_;
+        LoadBucketIntoList(frontier_);
+        continue;
+      }
+      if (buckets_.empty()) return;  // genuinely empty
+      // Jump directly to the first non-empty bucket.
+      frontier_ = buckets_.begin()->first;
+      LoadBucketIntoList(frontier_);
+    }
+    max_memory_size_ =
+        std::max(max_memory_size_, heap_.Size() + list_.size());
+  }
+
+  HybridQueueOptions options_;
+  PairingHeap<PairEntry<Dim>, PairEntryCompare<Dim>> heap_;
+  std::vector<PairEntry<Dim>> list_;
+  std::map<uint64_t, Bucket> buckets_;
+  std::unique_ptr<storage::BufferPool> pool_;
+  uint32_t records_per_page_ = 0;
+  // Heap < bucket frontier_ <= list; disk > frontier_. D1 = frontier_ * D_T.
+  uint64_t frontier_ = 1;
+  size_t total_size_ = 0;
+  size_t max_size_ = 0;
+  size_t max_memory_size_ = 0;
+};
+
+}  // namespace sdj
+
+#endif  // SDJOIN_CORE_HYBRID_QUEUE_H_

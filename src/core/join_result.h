@@ -1,0 +1,24 @@
+// The result-pair type shared by all join iterators.
+#ifndef SDJOIN_CORE_JOIN_RESULT_H_
+#define SDJOIN_CORE_JOIN_RESULT_H_
+
+#include "geometry/rect.h"
+#include "rtree/rtree.h"
+
+namespace sdj {
+
+// One reported pair: the object ids, their geometry, and the ordering
+// distance (pair distance for the distance join / semi-join; anchor distance
+// for OrderedIntersectionJoin).
+template <int Dim>
+struct JoinResult {
+  ObjectId id1 = 0;
+  ObjectId id2 = 0;
+  Rect<Dim> rect1;
+  Rect<Dim> rect2;
+  double distance = 0.0;
+};
+
+}  // namespace sdj
+
+#endif  // SDJOIN_CORE_JOIN_RESULT_H_

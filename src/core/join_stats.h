@@ -1,0 +1,46 @@
+// Performance counters for the incremental join algorithms, matching the
+// measures the paper reports (Table 1: execution time, object distance
+// calculations, maximum queue size, node I/O) plus diagnostics for the
+// pruning machinery.
+#ifndef SDJOIN_CORE_JOIN_STATS_H_
+#define SDJOIN_CORE_JOIN_STATS_H_
+
+#include <cstdint>
+
+namespace sdj {
+
+// Cumulative counters over the lifetime of one join iterator.
+struct JoinStats {
+  uint64_t pairs_reported = 0;
+  // Exact object-to-object distance computations (Table 1 "Dist. Calc.").
+  uint64_t object_distance_calcs = 0;
+  // All distance-function evaluations, including node-level MINDIST/MAXDIST.
+  uint64_t total_distance_calcs = 0;
+  uint64_t queue_pushes = 0;
+  uint64_t queue_pops = 0;
+  // Largest number of pairs simultaneously in the priority queue
+  // (Table 1 "Queue Size").
+  uint64_t max_queue_size = 0;
+  // Buffer-pool misses on R-tree nodes during the join (Table 1 "Node I/O").
+  uint64_t node_io = 0;
+  // R-tree node accesses (buffer hits + misses).
+  uint64_t node_accesses = 0;
+  uint64_t nodes_expanded = 0;
+  // Pairs rejected by the [Dmin, Dmax] range tests of Figure 5.
+  uint64_t pruned_by_range = 0;
+  // Pairs rejected by the estimated maximum distance (Section 2.2.4).
+  uint64_t pruned_by_estimate = 0;
+  // Pairs rejected by semi-join d_max bounds (Local/GlobalNodes/GlobalAll).
+  uint64_t pruned_by_bound = 0;
+  // Items rejected by selection windows / object predicates (JoinFilters).
+  uint64_t pruned_by_filter = 0;
+  // Pairs skipped because their first object was already reported
+  // (semi-join Inside1/Inside2 filtering).
+  uint64_t filtered_reported = 0;
+  // Full restarts forced by over-aggressive maximum-distance estimation.
+  uint64_t restarts = 0;
+};
+
+}  // namespace sdj
+
+#endif  // SDJOIN_CORE_JOIN_STATS_H_

@@ -1,0 +1,235 @@
+// Maximum-distance estimation from a result-count budget (Section 2.2.4).
+//
+// Given that at most K result pairs will be requested (the STOP AFTER clause),
+// the algorithm can shrink the effective maximum distance D_max as it runs:
+// it maintains a set M of pairs that (a) are guaranteed to produce results
+// inside the current [D_min, D_max] window and (b) together are guaranteed to
+// generate at least K result pairs. The largest d_max value in M then bounds
+// the distance of the K-th result, so D_max can be lowered to it, which in
+// turn prunes queue insertions.
+//
+// M is kept as a d_max-ordered pairing heap Q_M plus a hash table locating a
+// pair's heap node so it can be deleted when the pair leaves the main queue —
+// exactly the two-structure design the paper describes.
+//
+// The semi-join variant (Section 2.3) additionally enforces that first items
+// in M are unique, counts only first-item objects, and refuses pairs whose
+// first item (a node) has already been expanded (its objects were counted
+// through its children already).
+#ifndef SDJOIN_CORE_MAX_DIST_ESTIMATOR_H_
+#define SDJOIN_CORE_MAX_DIST_ESTIMATOR_H_
+
+#include <cstdint>
+#include <limits>
+#include <unordered_map>
+#include <unordered_set>
+#include <utility>
+
+#include "util/check.h"
+#include "util/pairing_heap.h"
+
+namespace sdj {
+
+// Identifies one side of a pair: kind/level/ref packed into 64 bits.
+// (Object ids must fit in 48 bits; page ids are 32 bits.)
+inline uint64_t EncodeEstimatorItem(uint8_t kind, int16_t level,
+                                    uint64_t ref) {
+  return (static_cast<uint64_t>(kind) << 62) |
+         (static_cast<uint64_t>(static_cast<uint16_t>(level + 1)) << 48) |
+         (ref & 0x0000FFFFFFFFFFFFULL);
+}
+
+// Estimates D_max for the incremental distance join / semi-join.
+class MaxDistEstimator {
+ public:
+  struct PairKey {
+    uint64_t first = 0;
+    uint64_t second = 0;
+    bool operator==(const PairKey&) const = default;
+  };
+
+  // `k` is the result budget (> 0); `initial_max` the query's own D_max
+  // (infinity if unbounded); `semi_join` selects the Section 2.3 variant.
+  MaxDistEstimator(uint64_t k, double initial_max, bool semi_join)
+      : remaining_(k), max_distance_(initial_max), semi_join_(semi_join) {
+    SDJ_CHECK(k > 0);
+  }
+
+  // Current estimate; pairs with MINDIST above this can be pruned.
+  double max_distance() const { return max_distance_; }
+  // Whether the estimate ever tightened below the query's own bound (used to
+  // decide if an exhausted queue may be an artifact of over-pruning).
+  bool ever_tightened() const { return ever_tightened_; }
+
+  // Notifies that `key` was pushed on the main queue with MINDIST `d`,
+  // d_max bound `dmax`, and at least `count` result pairs generated from it.
+  // For the join variant `count` is a lower bound on object pairs; for the
+  // semi-join variant it is a lower bound on distinct first objects.
+  // `count` may be an expected value instead (the paper's aggressive mode) at
+  // the price of possible restarts. Returns the (possibly lowered) D_max.
+  double OnEnqueue(const PairKey& key, double d, double dmax, uint64_t count,
+                   double query_min) {
+    if (remaining_ == 0) return max_distance_;
+    // Eligibility (Section 2.2.4): every result generated from the pair must
+    // fall inside [D_min, D_max].
+    if (d < query_min || dmax > max_distance_) return max_distance_;
+    if (count == 0) return max_distance_;
+    if (semi_join_) {
+      InsertSemi(key, dmax, count);
+    } else {
+      InsertJoin(key, dmax, count);
+    }
+    Shrink();
+    return max_distance_;
+  }
+
+  // Notifies that the pair `key` was removed from the main queue.
+  void OnDequeue(const PairKey& key) {
+    auto it = by_pair_.find(key);
+    if (it == by_pair_.end()) return;
+    RemoveEntry(it);
+  }
+
+  // Semi-join: notifies that node `first_key` was expanded while in first
+  // position; its subtree must not be counted again (Section 2.3).
+  void MarkFirstItemProcessed(uint64_t first_key) {
+    if (!semi_join_) return;
+    processed_first_.insert(first_key);
+    // Drop any M entry with this first item: its children are about to be
+    // counted individually, and keeping both would double-count objects and
+    // make the estimate unsound.
+    auto it = by_first_.find(first_key);
+    if (it != by_first_.end()) {
+      auto pair_it = by_pair_.find(it->second);
+      SDJ_CHECK(pair_it != by_pair_.end());
+      RemoveEntry(pair_it);
+    }
+  }
+
+  // Semi-join: the pair (o1, o2) was reported; any M pair with first item o1
+  // must be dropped, and the budget shrinks by one.
+  void OnReportSemi(uint64_t first_key) {
+    SDJ_CHECK(semi_join_);
+    auto it = by_first_.find(first_key);
+    if (it != by_first_.end()) {
+      auto pair_it = by_pair_.find(it->second);
+      SDJ_CHECK(pair_it != by_pair_.end());
+      RemoveEntry(pair_it);
+    }
+    DecrementBudget();
+  }
+
+  // Join: a result pair was reported; the budget shrinks by one.
+  void OnReportJoin() {
+    SDJ_CHECK(!semi_join_);
+    DecrementBudget();
+  }
+
+  size_t set_size() const { return by_pair_.size(); }
+  uint64_t updates() const { return updates_; }
+
+ private:
+  struct HeapEntry {
+    double dmax;
+    PairKey key;
+    uint64_t count;
+  };
+  struct HeapCompare {
+    // Max-heap on dmax: the first candidate for removal on top.
+    bool operator()(const HeapEntry& a, const HeapEntry& b) const {
+      return a.dmax > b.dmax;
+    }
+  };
+  using Heap = PairingHeap<HeapEntry, HeapCompare>;
+
+  struct PairKeyHash {
+    size_t operator()(const PairKey& k) const {
+      uint64_t h = k.first * 0x9e3779b97f4a7c15ULL;
+      h ^= (k.second + 0x9e3779b97f4a7c15ULL + (h << 6) + (h >> 2));
+      return static_cast<size_t>(h * 0xff51afd7ed558ccdULL);
+    }
+  };
+
+  void InsertJoin(const PairKey& key, double dmax, uint64_t count) {
+    if (by_pair_.contains(key)) return;  // already tracked
+    Heap::Handle handle = qm_.Push(HeapEntry{dmax, key, count});
+    by_pair_.emplace(key, handle);
+    sum_ += count;
+    ++updates_;
+  }
+
+  void InsertSemi(const PairKey& key, double dmax, uint64_t count) {
+    if (processed_first_.contains(key.first)) return;
+    auto it = by_first_.find(key.first);
+    if (it != by_first_.end()) {
+      // Keep whichever pair for this first item has the smaller d_max.
+      auto pair_it = by_pair_.find(it->second);
+      SDJ_CHECK(pair_it != by_pair_.end());
+      if (pair_it->second->value.dmax <= dmax) return;
+      RemoveEntry(pair_it);
+    }
+    Heap::Handle handle = qm_.Push(HeapEntry{dmax, key, count});
+    by_pair_.emplace(key, handle);
+    by_first_.emplace(key.first, key);
+    sum_ += count;
+    ++updates_;
+  }
+
+  // Removes the entry addressed by a by_pair_ iterator.
+  void RemoveEntry(
+      std::unordered_map<PairKey, Heap::Handle, PairKeyHash>::iterator it) {
+    const HeapEntry entry = qm_.Erase(it->second);
+    sum_ -= entry.count;
+    by_pair_.erase(it);
+    if (semi_join_) by_first_.erase(entry.key.first);
+    ++updates_;
+  }
+
+  // The paper's trimming rule: while M guarantees MORE than the remaining
+  // budget, remove the largest-d_max pair and lower D_max to its d_max. This
+  // is sound because at the moment of removal, M holds > K results that all
+  // lie within the removed pair's d_max, so the K-th result does too.
+  void Shrink() {
+    while (!qm_.Empty() && sum_ > remaining_) {
+      const HeapEntry top = qm_.Pop();
+      sum_ -= top.count;
+      by_pair_.erase(top.key);
+      if (semi_join_) by_first_.erase(top.key.first);
+      if (top.dmax < max_distance_) {
+        max_distance_ = top.dmax;
+        ever_tightened_ = true;
+      }
+      ++updates_;
+    }
+  }
+
+  void DecrementBudget() {
+    if (remaining_ > 0) {
+      --remaining_;
+      if (remaining_ == 0) {
+        // No more results needed; M is moot.
+        qm_.Clear();
+        by_pair_.clear();
+        by_first_.clear();
+        sum_ = 0;
+      } else {
+        Shrink();
+      }
+    }
+  }
+
+  uint64_t remaining_;
+  double max_distance_;
+  const bool semi_join_;
+  bool ever_tightened_ = false;
+  Heap qm_;
+  std::unordered_map<PairKey, Heap::Handle, PairKeyHash> by_pair_;
+  std::unordered_map<uint64_t, PairKey> by_first_;  // semi-join only
+  std::unordered_set<uint64_t> processed_first_;    // semi-join only
+  uint64_t sum_ = 0;  // total guaranteed results across M
+  uint64_t updates_ = 0;
+};
+
+}  // namespace sdj
+
+#endif  // SDJOIN_CORE_MAX_DIST_ESTIMATOR_H_

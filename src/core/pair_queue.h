@@ -1,0 +1,64 @@
+// Priority-queue abstraction for the incremental join, with the default
+// fully in-memory implementation (a pairing heap, Section 3.2 [13]).
+// The hybrid memory/disk implementation lives in core/hybrid_queue.h.
+#ifndef SDJOIN_CORE_PAIR_QUEUE_H_
+#define SDJOIN_CORE_PAIR_QUEUE_H_
+
+#include <algorithm>
+#include <cstddef>
+
+#include "core/pair_entry.h"
+#include "util/pairing_heap.h"
+
+namespace sdj {
+
+// Interface over the join's pair priority queue. `Empty`/`Top`/`Pop` are
+// non-const because the hybrid implementation migrates pairs between tiers
+// lazily when the head is requested.
+template <int Dim>
+class PairQueue {
+ public:
+  virtual ~PairQueue() = default;
+
+  virtual void Push(const PairEntry<Dim>& entry) = 0;
+  virtual bool Empty() = 0;
+  // Highest-priority entry; queue must be non-empty.
+  virtual const PairEntry<Dim>& Top() = 0;
+  virtual PairEntry<Dim> Pop() = 0;
+  virtual void Clear() = 0;
+
+  // Live entries (across all tiers for hybrid queues).
+  virtual size_t Size() const = 0;
+  // High-water mark of Size().
+  virtual size_t MaxSize() const = 0;
+  // High-water mark of entries held in memory (== MaxSize for the memory
+  // queue; smaller for the hybrid queue).
+  virtual size_t MaxMemorySize() const = 0;
+};
+
+// Fully in-memory pair queue backed by a pairing heap.
+template <int Dim>
+class MemoryPairQueue final : public PairQueue<Dim> {
+ public:
+  explicit MemoryPairQueue(PairEntryCompare<Dim> cmp) : heap_(cmp) {}
+
+  void Push(const PairEntry<Dim>& entry) override {
+    heap_.Push(entry);
+    max_size_ = std::max(max_size_, heap_.Size());
+  }
+  bool Empty() override { return heap_.Empty(); }
+  const PairEntry<Dim>& Top() override { return heap_.Top(); }
+  PairEntry<Dim> Pop() override { return heap_.Pop(); }
+  void Clear() override { heap_.Clear(); }
+  size_t Size() const override { return heap_.Size(); }
+  size_t MaxSize() const override { return max_size_; }
+  size_t MaxMemorySize() const override { return max_size_; }
+
+ private:
+  PairingHeap<PairEntry<Dim>, PairEntryCompare<Dim>> heap_;
+  size_t max_size_ = 0;
+};
+
+}  // namespace sdj
+
+#endif  // SDJOIN_CORE_PAIR_QUEUE_H_

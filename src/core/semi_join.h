@@ -1,0 +1,134 @@
+// The incremental distance semi-join (Section 2.3).
+//
+// For each object o1 of the first relation, reports the pair (o1, o2) with
+// the nearest o2 from the second relation — pairs stream out in order of
+// distance, so the complete result is the discrete-Voronoi clustering of
+// Section 1, while a prefix answers "which o1 have a neighbor within d".
+//
+// The implementation is the incremental distance join with duplicate-first
+// filtering layered in at selectable depths (the Outside / Inside1 / Inside2
+// strategies of Figure 9) and optional d_max-bound pruning (Local /
+// GlobalNodes / GlobalAll, Section 4.2.1).
+#ifndef SDJOIN_CORE_SEMI_JOIN_H_
+#define SDJOIN_CORE_SEMI_JOIN_H_
+
+#include <utility>
+
+#include "core/distance_join.h"
+#include "core/join_stats.h"
+#include "rtree/rtree.h"
+#include "util/check.h"
+#include "util/dynamic_bitset.h"
+
+namespace sdj {
+
+// Query options for DistanceSemiJoin.
+struct SemiJoinOptions {
+  // Shared knobs (metric, traversal, range, STOP AFTER, queue, estimation).
+  // max_pairs counts distinct first objects. Maximum-distance estimation uses
+  // the semi-join variant of Section 2.3 and requires an Inside filter.
+  DistanceJoinOptions join;
+  // Where duplicate first objects are filtered out (Figure 9).
+  SemiJoinFilter filter = SemiJoinFilter::kInside2;
+  // d_max bound exploitation (Section 4.2.1). Any setting other than kNone
+  // implies Inside2 filtering, as in the paper's experiments.
+  SemiJoinBound bound = SemiJoinBound::kNone;
+};
+
+// Incremental distance semi-join iterator. Usage mirrors DistanceJoin:
+//
+//   DistanceSemiJoin<2> semi(stores, warehouses, options);
+//   JoinResult<2> pair;
+//   while (semi.Next(&pair)) Assign(pair.id1, pair.id2);
+template <int Dim, typename Index = RTree<Dim>>
+class DistanceSemiJoin {
+ public:
+  DistanceSemiJoin(const Index& tree1, const Index& tree2,
+                   const SemiJoinOptions& options,
+                   JoinFilters<Dim> filters = JoinFilters<Dim>{})
+      : options_(Normalize(options)),
+        outside_(options_.filter == SemiJoinFilter::kOutside ? tree1.size()
+                                                             : 0),
+        engine_(tree1, tree2, EngineJoinOptions(options_), std::move(filters),
+                EngineFilter(options_), options_.bound,
+                options_.join.estimate_max_distance) {}
+
+  // Produces the next (o1, nearest o2) pair by non-decreasing distance.
+  bool Next(JoinResult<Dim>* out) {
+    if (options_.join.max_pairs > 0 &&
+        reported_ >= options_.join.max_pairs) {
+      return false;
+    }
+    if (options_.filter == SemiJoinFilter::kOutside) {
+      JoinResult<Dim> candidate;
+      while (engine_.Next(&candidate)) {
+        SDJ_CHECK(candidate.id1 < outside_.size());
+        if (outside_.TestAndSet(candidate.id1)) {
+          *out = candidate;
+          ++reported_;
+          return true;
+        }
+        ++outside_filtered_;
+      }
+      return false;
+    }
+    if (engine_.Next(out)) {
+      ++reported_;
+      return true;
+    }
+    return false;
+  }
+
+  // Cumulative statistics; filtered_reported includes pairs dropped by the
+  // Outside filter when that strategy is selected.
+  JoinStats stats() const {
+    JoinStats s = engine_.stats();
+    s.filtered_reported += outside_filtered_;
+    s.pairs_reported = reported_;
+    return s;
+  }
+
+  size_t max_memory_queue_size() const {
+    return engine_.max_memory_queue_size();
+  }
+
+ private:
+  // Applies the paper's coupling rules: bounds imply Inside2; estimation
+  // requires an Inside filter (the engine must see distinct-first reports).
+  static SemiJoinOptions Normalize(SemiJoinOptions options) {
+    if (options.bound != SemiJoinBound::kNone) {
+      options.filter = SemiJoinFilter::kInside2;
+    }
+    if (options.join.estimate_max_distance) {
+      SDJ_CHECK(options.filter == SemiJoinFilter::kInside1 ||
+                options.filter == SemiJoinFilter::kInside2);
+    }
+    SDJ_CHECK(options.filter != SemiJoinFilter::kNone);
+    return options;
+  }
+
+  static DistanceJoinOptions EngineJoinOptions(const SemiJoinOptions& options) {
+    DistanceJoinOptions join = options.join;
+    if (options.filter == SemiJoinFilter::kOutside) {
+      // The engine emits raw pairs; this wrapper dedupes and caps.
+      join.max_pairs = 0;
+      join.estimate_max_distance = false;
+    }
+    return join;
+  }
+
+  static SemiJoinFilter EngineFilter(const SemiJoinOptions& options) {
+    return options.filter == SemiJoinFilter::kOutside ? SemiJoinFilter::kNone
+                                                      : options.filter;
+  }
+
+  const SemiJoinOptions options_;
+  DynamicBitset outside_;  // S_o for the Outside strategy
+  DistanceJoin<Dim, Index> engine_;
+  uint64_t reported_ = 0;
+  uint64_t outside_filtered_ = 0;
+};
+
+}  // namespace sdj
+
+#endif  // SDJOIN_CORE_SEMI_JOIN_H_

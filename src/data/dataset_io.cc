@@ -1,0 +1,52 @@
+#include "data/dataset_io.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+namespace sdj::data {
+
+bool SavePointsCsv(const std::string& path,
+                   const std::vector<sdj::Point<2>>& points) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  bool ok = true;
+  for (const auto& p : points) {
+    if (std::fprintf(f, "%.17g,%.17g\n", p[0], p[1]) < 0) {
+      ok = false;
+      break;
+    }
+  }
+  ok = (std::fclose(f) == 0) && ok;
+  return ok;
+}
+
+bool LoadPointsCsv(const std::string& path,
+                   std::vector<sdj::Point<2>>* points) {
+  std::FILE* f = std::fopen(path.c_str(), "r");
+  if (f == nullptr) return false;
+  char line[256];
+  bool ok = true;
+  while (std::fgets(line, sizeof(line), f) != nullptr) {
+    if (line[0] == '\n' || line[0] == '#') continue;
+    char* end = nullptr;
+    const double x = std::strtod(line, &end);
+    if (end == line || *end != ',') {
+      ok = false;
+      break;
+    }
+    const char* y_start = end + 1;
+    const double y = std::strtod(y_start, &end);
+    if (end == y_start) {
+      ok = false;
+      break;
+    }
+    points->push_back({x, y});
+  }
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace sdj::data

@@ -1,0 +1,25 @@
+// CSV import/export for 2-D point datasets, so real TIGER/Line extracts can
+// replace the synthetic datasets without code changes.
+#ifndef SDJOIN_DATA_DATASET_IO_H_
+#define SDJOIN_DATA_DATASET_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "geometry/point.h"
+
+namespace sdj::data {
+
+// Writes one "x,y" line per point. Returns false on I/O failure.
+bool SavePointsCsv(const std::string& path,
+                   const std::vector<sdj::Point<2>>& points);
+
+// Reads "x,y" lines (blank lines and lines starting with '#' are skipped).
+// Returns false on I/O failure or malformed input; `points` receives the
+// parsed prefix either way.
+bool LoadPointsCsv(const std::string& path,
+                   std::vector<sdj::Point<2>>* points);
+
+}  // namespace sdj::data
+
+#endif  // SDJOIN_DATA_DATASET_IO_H_

@@ -1,0 +1,60 @@
+#include "data/datasets.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "data/generators.h"
+#include "util/check.h"
+
+namespace sdj::data {
+
+namespace {
+
+size_t Scaled(size_t n, double scale) {
+  SDJ_CHECK(scale > 0.0 && scale <= 1.0);
+  return static_cast<size_t>(std::ceil(static_cast<double>(n) * scale));
+}
+
+}  // namespace
+
+sdj::Rect<2> EvaluationExtent() {
+  return sdj::Rect<2>({0.0, 0.0}, {100000.0, 100000.0});
+}
+
+std::vector<sdj::Point<2>> MakeWater(double scale) {
+  ClusterOptions options;
+  options.num_points = Scaled(kWaterSize, scale);
+  options.extent = EvaluationExtent();
+  options.num_clusters = 48;          // rivers, lakes, reservoirs
+  options.spread_fraction = 0.03;
+  options.background_fraction = 0.08;
+  options.seed = 0x57415445;  // "WATE"
+  return GenerateClustered(options);
+}
+
+std::vector<sdj::Point<2>> MakeRoads(double scale) {
+  // Road centroids follow the street network: mostly line-like features with
+  // a clustered urban core.
+  PolylineOptions lines;
+  lines.num_points = Scaled(kRoadsSize, scale) * 7 / 10;
+  lines.extent = EvaluationExtent();
+  lines.num_polylines = std::max(20, static_cast<int>(400 * scale));
+  lines.step_fraction = 0.003;
+  lines.jitter_fraction = 0.0006;
+  lines.seed = 0x524f4144;  // "ROAD"
+  std::vector<sdj::Point<2>> points = GeneratePolylines(lines);
+
+  ClusterOptions core;
+  core.num_points = Scaled(kRoadsSize, scale) - points.size();
+  core.extent = EvaluationExtent();
+  core.num_clusters = 24;
+  core.spread_fraction = 0.05;
+  core.background_fraction = 0.15;
+  core.seed = 0x524f4145;
+  std::vector<sdj::Point<2>> urban = GenerateClustered(core);
+  points.insert(points.end(), urban.begin(), urban.end());
+  return points;
+}
+
+}  // namespace sdj::data

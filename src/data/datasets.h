@@ -1,0 +1,37 @@
+// The evaluation datasets.
+//
+// Synthetic stand-ins for the paper's TIGER/Line extracts of the Washington,
+// DC area (Section 3.1): `Water` = 37,495 water-feature centroids (clustered),
+// `Roads` = 200,482 road-feature centroids (line-like + clustered). The
+// cardinalities, shared extent, and spatial skew match the paper; see
+// DESIGN.md §2.
+#ifndef SDJOIN_DATA_DATASETS_H_
+#define SDJOIN_DATA_DATASETS_H_
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "geometry/point.h"
+#include "geometry/rect.h"
+
+namespace sdj::data {
+
+// Paper cardinalities.
+inline constexpr size_t kWaterSize = 37495;
+inline constexpr size_t kRoadsSize = 200482;
+
+// The common coordinate extent of both datasets (a 100km x 100km frame in
+// meters, roughly the DC-area TIGER coverage).
+sdj::Rect<2> EvaluationExtent();
+
+// The Water stand-in, scaled to `ceil(kWaterSize * scale)` points.
+// `scale` in (0, 1] lets tests run on smaller instances of the same shape.
+std::vector<sdj::Point<2>> MakeWater(double scale = 1.0);
+
+// The Roads stand-in, scaled to `ceil(kRoadsSize * scale)` points.
+std::vector<sdj::Point<2>> MakeRoads(double scale = 1.0);
+
+}  // namespace sdj::data
+
+#endif  // SDJOIN_DATA_DATASETS_H_

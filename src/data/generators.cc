@@ -1,0 +1,142 @@
+#include "data/generators.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+#include "util/check.h"
+#include "util/rng.h"
+
+namespace sdj::data {
+
+namespace {
+
+// Clamps `p` into `extent` coordinate-wise.
+sdj::Point<2> ClampToExtent(sdj::Point<2> p, const sdj::Rect<2>& extent) {
+  for (int i = 0; i < 2; ++i) {
+    p[i] = std::clamp(p[i], extent.lo[i], extent.hi[i]);
+  }
+  return p;
+}
+
+}  // namespace
+
+std::vector<sdj::Point<2>> GenerateUniform(size_t num_points,
+                                           const sdj::Rect<2>& extent,
+                                           uint64_t seed) {
+  SDJ_CHECK(extent.IsValid());
+  sdj::Rng rng(seed);
+  std::vector<sdj::Point<2>> points;
+  points.reserve(num_points);
+  for (size_t i = 0; i < num_points; ++i) {
+    points.push_back({rng.Uniform(extent.lo[0], extent.hi[0]),
+                      rng.Uniform(extent.lo[1], extent.hi[1])});
+  }
+  return points;
+}
+
+std::vector<sdj::Point<2>> GenerateClustered(const ClusterOptions& options) {
+  SDJ_CHECK(options.extent.IsValid());
+  SDJ_CHECK(options.num_clusters > 0);
+  sdj::Rng rng(options.seed);
+  const double width = options.extent.hi[0] - options.extent.lo[0];
+  const double height = options.extent.hi[1] - options.extent.lo[1];
+  const double spread =
+      options.spread_fraction * std::max(width, height);
+
+  // Cluster centers and relative weights.
+  std::vector<sdj::Point<2>> centers;
+  std::vector<double> cumulative_weight;
+  centers.reserve(options.num_clusters);
+  double total = 0.0;
+  for (int c = 0; c < options.num_clusters; ++c) {
+    centers.push_back({rng.Uniform(options.extent.lo[0], options.extent.hi[0]),
+                       rng.Uniform(options.extent.lo[1], options.extent.hi[1])});
+    // Zipf-ish weights: a few dominant clusters, many small ones.
+    total += 1.0 / (c + 1);
+    cumulative_weight.push_back(total);
+  }
+
+  std::vector<sdj::Point<2>> points;
+  points.reserve(options.num_points);
+  for (size_t i = 0; i < options.num_points; ++i) {
+    if (rng.NextDouble() < options.background_fraction) {
+      points.push_back(
+          {rng.Uniform(options.extent.lo[0], options.extent.hi[0]),
+           rng.Uniform(options.extent.lo[1], options.extent.hi[1])});
+      continue;
+    }
+    const double pick = rng.NextDouble() * total;
+    const auto it = std::lower_bound(cumulative_weight.begin(),
+                                     cumulative_weight.end(), pick);
+    const size_t c = static_cast<size_t>(it - cumulative_weight.begin());
+    const sdj::Point<2>& center = centers[std::min(c, centers.size() - 1)];
+    points.push_back(ClampToExtent({rng.Gaussian(center[0], spread),
+                                    rng.Gaussian(center[1], spread)},
+                                   options.extent));
+  }
+  return points;
+}
+
+std::vector<sdj::Point<2>> GeneratePolylines(const PolylineOptions& options) {
+  SDJ_CHECK(options.extent.IsValid());
+  SDJ_CHECK(options.num_polylines > 0);
+  sdj::Rng rng(options.seed);
+  const double width = options.extent.hi[0] - options.extent.lo[0];
+  const double height = options.extent.hi[1] - options.extent.lo[1];
+  const double scale = std::max(width, height);
+  const double step = options.step_fraction * scale;
+  const double jitter = options.jitter_fraction * scale;
+
+  const size_t per_line =
+      (options.num_points + options.num_polylines - 1) /
+      static_cast<size_t>(options.num_polylines);
+
+  std::vector<sdj::Point<2>> points;
+  points.reserve(options.num_points);
+  for (int line = 0; line < options.num_polylines; ++line) {
+    double x = rng.Uniform(options.extent.lo[0], options.extent.hi[0]);
+    double y = rng.Uniform(options.extent.lo[1], options.extent.hi[1]);
+    double heading = rng.Uniform(0.0, 6.283185307179586);
+    for (size_t i = 0; i < per_line && points.size() < options.num_points;
+         ++i) {
+      points.push_back(ClampToExtent({x + rng.Gaussian(0.0, jitter),
+                                      y + rng.Gaussian(0.0, jitter)},
+                                     options.extent));
+      // Drift the heading gently so walks look like road segments rather than
+      // Brownian noise.
+      heading += rng.Gaussian(0.0, 0.25);
+      x += step * std::cos(heading);
+      y += step * std::sin(heading);
+      // Bounce off the extent so lines stay inside.
+      if (x < options.extent.lo[0] || x > options.extent.hi[0]) {
+        heading = 3.141592653589793 - heading;
+        x = std::clamp(x, options.extent.lo[0], options.extent.hi[0]);
+      }
+      if (y < options.extent.lo[1] || y > options.extent.hi[1]) {
+        heading = -heading;
+        y = std::clamp(y, options.extent.lo[1], options.extent.hi[1]);
+      }
+    }
+  }
+  return points;
+}
+
+std::vector<sdj::Point<2>> GenerateGrid(int rows, int cols,
+                                        const sdj::Rect<2>& extent) {
+  SDJ_CHECK(rows > 0 && cols > 0);
+  SDJ_CHECK(extent.IsValid());
+  std::vector<sdj::Point<2>> points;
+  points.reserve(static_cast<size_t>(rows) * cols);
+  for (int r = 0; r < rows; ++r) {
+    for (int c = 0; c < cols; ++c) {
+      const double fx = cols == 1 ? 0.5 : static_cast<double>(c) / (cols - 1);
+      const double fy = rows == 1 ? 0.5 : static_cast<double>(r) / (rows - 1);
+      points.push_back({extent.lo[0] + fx * (extent.hi[0] - extent.lo[0]),
+                        extent.lo[1] + fy * (extent.hi[1] - extent.lo[1])});
+    }
+  }
+  return points;
+}
+
+}  // namespace sdj::data

@@ -1,0 +1,61 @@
+// Synthetic spatial workload generators.
+//
+// The paper evaluated on TIGER/Line points (Section 3.1). Those extracts are
+// not redistributable here, so these generators produce datasets with the same
+// statistical character: heavy clustering (Gaussian mixtures), line-like
+// features (random-walk polylines, mimicking road-segment centroids), and a
+// uniform background. See DESIGN.md §2 for the substitution rationale.
+// All generators are deterministic in their seed.
+#ifndef SDJOIN_DATA_GENERATORS_H_
+#define SDJOIN_DATA_GENERATORS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "geometry/point.h"
+#include "geometry/rect.h"
+
+namespace sdj::data {
+
+// Parameters for the clustered generator.
+struct ClusterOptions {
+  size_t num_points = 0;
+  sdj::Rect<2> extent;        // all points fall inside this box
+  int num_clusters = 32;      // Gaussian mixture components
+  double spread_fraction = 0.02;  // cluster stddev as a fraction of extent
+  double background_fraction = 0.1;  // share of uniformly scattered points
+  uint64_t seed = 1;
+};
+
+// Parameters for the polyline ("road centroid") generator.
+struct PolylineOptions {
+  size_t num_points = 0;
+  sdj::Rect<2> extent;
+  int num_polylines = 200;      // independent random walks
+  double step_fraction = 0.004;  // walk step length as a fraction of extent
+  double jitter_fraction = 0.0005;  // per-point perpendicular noise
+  uint64_t seed = 1;
+};
+
+// `num_points` points uniformly distributed over `extent`.
+std::vector<sdj::Point<2>> GenerateUniform(size_t num_points,
+                                           const sdj::Rect<2>& extent,
+                                           uint64_t seed);
+
+// Gaussian-mixture clusters plus a uniform background (water-feature-like
+// skew). Points are clamped to the extent.
+std::vector<sdj::Point<2>> GenerateClustered(const ClusterOptions& options);
+
+// Points sampled along random-walk polylines (road-centroid-like skew).
+// Points are clamped to the extent.
+std::vector<sdj::Point<2>> GeneratePolylines(const PolylineOptions& options);
+
+// `rows` x `cols` regular grid covering `extent` (useful for tests with
+// exactly predictable nearest neighbors and for tie-handling tests).
+std::vector<sdj::Point<2>> GenerateGrid(int rows, int cols,
+                                        const sdj::Rect<2>& extent);
+
+}  // namespace sdj::data
+
+#endif  // SDJOIN_DATA_GENERATORS_H_

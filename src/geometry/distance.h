@@ -1,0 +1,245 @@
+// Distance bounds between points and rectangles.
+//
+// These are the four families of distance functions the incremental distance
+// join needs (Section 2.2): exact point distances, MINDIST lower bounds,
+// MAXDIST upper bounds over all contained point pairs, and MINMAXDIST-style
+// tight upper bounds that exploit the minimal-bounding property of MBRs
+// (Section 2.2.3, citing Roussopoulos et al. [25]).
+//
+// Consistency contract (Section 2.2): for objects o1 ⊆ r1 and o2 ⊆ r2,
+//   MinDist(r1, r2) <= d(o1, o2) <= MaxDist(r1, r2),
+// and when r2 *minimally* bounds a single object (or the union of the objects
+// under an R-tree node — every face of an MBR is touched by some object),
+//   min_{q in o2} d(p, q) <= MinMaxDist(p, r2).
+// All bounds hold for every metric in geometry/metrics.h; the property tests
+// in tests/geometry_distance_test.cc exercise them with random samples.
+#ifndef SDJOIN_GEOMETRY_DISTANCE_H_
+#define SDJOIN_GEOMETRY_DISTANCE_H_
+
+#include <algorithm>
+#include <cmath>
+
+#include "geometry/metrics.h"
+#include "geometry/point.h"
+#include "geometry/rect.h"
+
+namespace sdj {
+
+namespace distance_internal {
+
+// Distance from coordinate x to the nearer of the two face coordinates of
+// the interval [lo, hi].
+inline double NearerFaceDelta(double x, double lo, double hi) {
+  return std::min(std::abs(x - lo), std::abs(x - hi));
+}
+
+// Distance from coordinate x to the farther of the two face coordinates.
+inline double FartherFaceDelta(double x, double lo, double hi) {
+  return std::max(std::abs(x - lo), std::abs(x - hi));
+}
+
+}  // namespace distance_internal
+
+// Exact distance between two points under `metric`.
+template <int Dim>
+double Dist(const Point<Dim>& a, const Point<Dim>& b,
+            Metric metric = Metric::kEuclidean) {
+  double acc = 0.0;
+  for (int i = 0; i < Dim; ++i) {
+    acc = metric_internal::Accumulate(metric, acc, std::abs(a[i] - b[i]));
+  }
+  return metric_internal::Finish(metric, acc);
+}
+
+// MINDIST(p, r): distance from `p` to the closest point of `r`.
+// Zero if `p` lies inside `r`.
+template <int Dim>
+double MinDist(const Point<Dim>& p, const Rect<Dim>& r,
+               Metric metric = Metric::kEuclidean) {
+  double acc = 0.0;
+  for (int i = 0; i < Dim; ++i) {
+    double delta = 0.0;
+    if (p[i] < r.lo[i]) {
+      delta = r.lo[i] - p[i];
+    } else if (p[i] > r.hi[i]) {
+      delta = p[i] - r.hi[i];
+    }
+    acc = metric_internal::Accumulate(metric, acc, delta);
+  }
+  return metric_internal::Finish(metric, acc);
+}
+
+// MINDIST(r1, r2): distance between the closest pair of points, one from each
+// rectangle. Zero if the rectangles intersect. This is the priority-queue key
+// for every non-object pair in the incremental join.
+template <int Dim>
+double MinDist(const Rect<Dim>& a, const Rect<Dim>& b,
+               Metric metric = Metric::kEuclidean) {
+  double acc = 0.0;
+  for (int i = 0; i < Dim; ++i) {
+    double delta = 0.0;
+    if (a.hi[i] < b.lo[i]) {
+      delta = b.lo[i] - a.hi[i];
+    } else if (b.hi[i] < a.lo[i]) {
+      delta = a.lo[i] - b.hi[i];
+    }
+    acc = metric_internal::Accumulate(metric, acc, delta);
+  }
+  return metric_internal::Finish(metric, acc);
+}
+
+// MAXDIST(p, r): distance from `p` to the farthest point of `r`; an upper
+// bound on d(p, q) for every q in r.
+template <int Dim>
+double MaxDist(const Point<Dim>& p, const Rect<Dim>& r,
+               Metric metric = Metric::kEuclidean) {
+  double acc = 0.0;
+  for (int i = 0; i < Dim; ++i) {
+    acc = metric_internal::Accumulate(
+        metric, acc, distance_internal::FartherFaceDelta(p[i], r.lo[i], r.hi[i]));
+  }
+  return metric_internal::Finish(metric, acc);
+}
+
+// MAXDIST(r1, r2): the farthest-corner distance; an upper bound on d(p, q)
+// for every p in r1 and q in r2. This is the "simpler d_max function for
+// node/node pairs" of Section 2.2.3.
+template <int Dim>
+double MaxDist(const Rect<Dim>& a, const Rect<Dim>& b,
+               Metric metric = Metric::kEuclidean) {
+  double acc = 0.0;
+  for (int i = 0; i < Dim; ++i) {
+    const double delta =
+        std::max(std::abs(a.hi[i] - b.lo[i]), std::abs(b.hi[i] - a.lo[i]));
+    acc = metric_internal::Accumulate(metric, acc, delta);
+  }
+  return metric_internal::Finish(metric, acc);
+}
+
+// MINMAXDIST(p, r) (Section 2.2.3): given that `r` minimally bounds an object
+// (or object set) O — i.e., every face of `r` touches O — returns an upper
+// bound on min_{q in O} d(p, q). Computed as
+//   min_k Combine( |p_k - nearer face_k| , |p_i - farther face_i| for i != k ),
+// the standard formulation of Roussopoulos et al. [25] generalized to all
+// supported metrics.
+template <int Dim>
+double MinMaxDist(const Point<Dim>& p, const Rect<Dim>& r,
+                  Metric metric = Metric::kEuclidean) {
+  using distance_internal::FartherFaceDelta;
+  using distance_internal::NearerFaceDelta;
+  // Precompute the per-dimension face deltas once.
+  double far_delta[Dim];
+  double near_delta[Dim];
+  for (int i = 0; i < Dim; ++i) {
+    far_delta[i] = FartherFaceDelta(p[i], r.lo[i], r.hi[i]);
+    near_delta[i] = NearerFaceDelta(p[i], r.lo[i], r.hi[i]);
+  }
+  double best = -1.0;
+  for (int k = 0; k < Dim; ++k) {
+    double acc = 0.0;
+    for (int i = 0; i < Dim; ++i) {
+      acc = metric_internal::Accumulate(
+          metric, acc, i == k ? near_delta[i] : far_delta[i]);
+    }
+    const double candidate = metric_internal::Finish(metric, acc);
+    if (best < 0.0 || candidate < best) best = candidate;
+  }
+  return best;
+}
+
+// MINMAXDIST(r1, r2): given that r1 and r2 each minimally bound objects o1 and
+// o2, returns an upper bound on d(o1, o2) (the paper's d_max for obr/obr
+// pairs, Section 2.2.3). Uses the face-pair construction: in some dimension k,
+// o1 touches a face of r1 and o2 touches a face of r2; picking the closest
+// face pair in dimension k and bounding every other dimension by its maximal
+// span gives
+//   min_k Combine( min |face1_k - face2_k| , maxdelta_i for i != k ).
+template <int Dim>
+double MinMaxDist(const Rect<Dim>& a, const Rect<Dim>& b,
+                  Metric metric = Metric::kEuclidean) {
+  double face_gap[Dim];
+  double max_delta[Dim];
+  for (int i = 0; i < Dim; ++i) {
+    face_gap[i] = std::min(
+        std::min(std::abs(a.lo[i] - b.lo[i]), std::abs(a.lo[i] - b.hi[i])),
+        std::min(std::abs(a.hi[i] - b.lo[i]), std::abs(a.hi[i] - b.hi[i])));
+    max_delta[i] =
+        std::max(std::abs(a.hi[i] - b.lo[i]), std::abs(b.hi[i] - a.lo[i]));
+  }
+  double best = -1.0;
+  for (int k = 0; k < Dim; ++k) {
+    double acc = 0.0;
+    for (int i = 0; i < Dim; ++i) {
+      acc = metric_internal::Accumulate(metric, acc,
+                                        i == k ? face_gap[i] : max_delta[i]);
+    }
+    const double candidate = metric_internal::Finish(metric, acc);
+    if (best < 0.0 || candidate < best) best = candidate;
+  }
+  return best;
+}
+
+// MAXMINDIST(a, b) = max_{p in a} MINDIST(p, b): an upper bound on d(o1, o2)
+// for every o1 contained in `a` when `b` is the *exact* geometry of o2 (e.g.,
+// an object stored directly in a leaf). Tighter than MaxDist(a, b) and valid
+// because any point of o1 is within MINDIST(p, b) <= this bound of o2.
+template <int Dim>
+double MaxMinDist(const Rect<Dim>& a, const Rect<Dim>& b,
+                  Metric metric = Metric::kEuclidean) {
+  double acc = 0.0;
+  for (int i = 0; i < Dim; ++i) {
+    // Per-dimension max over p_i in [a.lo, a.hi] of the gap to [b.lo, b.hi];
+    // the maximum of this piecewise-linear function sits at an endpoint.
+    const double delta =
+        std::max(0.0, std::max(b.lo[i] - a.lo[i], a.hi[i] - b.hi[i]));
+    acc = metric_internal::Accumulate(metric, acc, delta);
+  }
+  return metric_internal::Finish(metric, acc);
+}
+
+// Upper bound on max_{p in a} MINMAXDIST(p, b): for every object o1 under a
+// node with MBR `a`, the distance from o1 to the nearest object under the node
+// with MBR `b` is at most this value (b's faces are each touched by some
+// object). This is the tighter node/node d_max bound used by the semi-join's
+// Local/GlobalNodes/GlobalAll strategies (Section 4.2.1); it is never larger
+// than MaxDist(a, b) plus never smaller than MinMaxDist evaluated at any
+// single point of `a`.
+template <int Dim>
+double MaxMinMaxDist(const Rect<Dim>& a, const Rect<Dim>& b,
+                     Metric metric = Metric::kEuclidean) {
+  // Per-dimension maxima over p_i in [a.lo[i], a.hi[i]] of the nearer-face
+  // and farther-face deltas to b's interval.
+  double near_max[Dim];
+  double far_max[Dim];
+  for (int i = 0; i < Dim; ++i) {
+    const double lo = b.lo[i];
+    const double hi = b.hi[i];
+    const double mid = 0.5 * (lo + hi);
+    using distance_internal::FartherFaceDelta;
+    using distance_internal::NearerFaceDelta;
+    double nm = std::max(NearerFaceDelta(a.lo[i], lo, hi),
+                         NearerFaceDelta(a.hi[i], lo, hi));
+    // The nearer-face delta peaks at b's midpoint with value halfwidth.
+    if (a.lo[i] <= mid && mid <= a.hi[i]) {
+      nm = std::max(nm, 0.5 * (hi - lo));
+    }
+    near_max[i] = nm;
+    far_max[i] = std::max(FartherFaceDelta(a.lo[i], lo, hi),
+                          FartherFaceDelta(a.hi[i], lo, hi));
+  }
+  double best = -1.0;
+  for (int k = 0; k < Dim; ++k) {
+    double acc = 0.0;
+    for (int i = 0; i < Dim; ++i) {
+      acc = metric_internal::Accumulate(metric, acc,
+                                        i == k ? near_max[i] : far_max[i]);
+    }
+    const double candidate = metric_internal::Finish(metric, acc);
+    if (best < 0.0 || candidate < best) best = candidate;
+  }
+  return best;
+}
+
+}  // namespace sdj
+
+#endif  // SDJOIN_GEOMETRY_DISTANCE_H_

@@ -1,0 +1,49 @@
+// Point distance metrics.
+//
+// The paper's algorithms work with any metric as long as the derived distance
+// functions are "consistent" (Section 2.2): a pair never has a smaller
+// distance than the pair that generated it. All functions in
+// geometry/distance.h are parameterized by the metrics defined here
+// (Euclidean, Manhattan, Chessboard — the three the paper names).
+#ifndef SDJOIN_GEOMETRY_METRICS_H_
+#define SDJOIN_GEOMETRY_METRICS_H_
+
+#include <algorithm>
+#include <cmath>
+
+namespace sdj {
+
+// Point metric selector. All of these are L_p metrics whose per-dimension
+// contributions combine monotonically, which is what makes MINDIST-style
+// bounds derivable dimension by dimension.
+enum class Metric {
+  kEuclidean,   // L2
+  kManhattan,   // L1
+  kChessboard,  // L-infinity
+};
+
+namespace metric_internal {
+
+// Folds a non-negative per-dimension delta into a running accumulator.
+inline double Accumulate(Metric metric, double acc, double delta) {
+  switch (metric) {
+    case Metric::kEuclidean:
+      return acc + delta * delta;
+    case Metric::kManhattan:
+      return acc + delta;
+    case Metric::kChessboard:
+      return std::max(acc, delta);
+  }
+  return acc;  // Unreachable; silences -Wreturn-type.
+}
+
+// Converts a fully folded accumulator into the metric's distance value.
+inline double Finish(Metric metric, double acc) {
+  return metric == Metric::kEuclidean ? std::sqrt(acc) : acc;
+}
+
+}  // namespace metric_internal
+
+}  // namespace sdj
+
+#endif  // SDJOIN_GEOMETRY_METRICS_H_

@@ -1,0 +1,54 @@
+// D-dimensional point type used by all spatial components.
+#ifndef SDJOIN_GEOMETRY_POINT_H_
+#define SDJOIN_GEOMETRY_POINT_H_
+
+#include <array>
+#include <cstddef>
+#include <initializer_list>
+#include <string>
+
+#include "util/check.h"
+
+namespace sdj {
+
+// A point in Dim-dimensional Euclidean space with double coordinates.
+// A passive value type: all members public, freely copyable.
+template <int Dim>
+struct Point {
+  static_assert(Dim >= 1, "Point dimension must be positive");
+
+  std::array<double, Dim> coords{};
+
+  Point() = default;
+  // Constructs a point from exactly Dim coordinates.
+  Point(std::initializer_list<double> values) {
+    SDJ_CHECK(values.size() == static_cast<size_t>(Dim));
+    int i = 0;
+    for (double v : values) coords[i++] = v;
+  }
+
+  double& operator[](int i) { return coords[i]; }
+  double operator[](int i) const { return coords[i]; }
+
+  friend bool operator==(const Point& a, const Point& b) {
+    return a.coords == b.coords;
+  }
+
+  // Human-readable rendering, e.g. "(1.5, 2)". For logs and test output.
+  std::string ToString() const {
+    std::string out = "(";
+    for (int i = 0; i < Dim; ++i) {
+      if (i > 0) out += ", ";
+      out += std::to_string(coords[i]);
+    }
+    out += ")";
+    return out;
+  }
+};
+
+using Point2 = Point<2>;
+using Point3 = Point<3>;
+
+}  // namespace sdj
+
+#endif  // SDJOIN_GEOMETRY_POINT_H_

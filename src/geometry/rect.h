@@ -1,0 +1,142 @@
+// Axis-aligned hyper-rectangles (minimum bounding rectangles).
+#ifndef SDJOIN_GEOMETRY_RECT_H_
+#define SDJOIN_GEOMETRY_RECT_H_
+
+#include <algorithm>
+#include <limits>
+#include <string>
+
+#include "geometry/point.h"
+#include "util/check.h"
+
+namespace sdj {
+
+// A closed axis-aligned box [lo, hi] in Dim dimensions. The R-tree stores one
+// per entry (Section 2.1); a degenerate box with lo == hi represents a point
+// object stored directly in a leaf, as in the paper's experiments.
+// A passive value type: all members public, freely copyable.
+template <int Dim>
+struct Rect {
+  Point<Dim> lo;
+  Point<Dim> hi;
+
+  Rect() = default;
+  Rect(const Point<Dim>& low, const Point<Dim>& high) : lo(low), hi(high) {}
+
+  // A rectangle containing only `p` (used for point objects in leaves).
+  static Rect FromPoint(const Point<Dim>& p) { return Rect(p, p); }
+
+  // The identity for `ExpandToInclude`: every Expand replaces it entirely.
+  static Rect Empty() {
+    Rect r;
+    for (int i = 0; i < Dim; ++i) {
+      r.lo[i] = std::numeric_limits<double>::infinity();
+      r.hi[i] = -std::numeric_limits<double>::infinity();
+    }
+    return r;
+  }
+
+  // True if lo <= hi in every dimension (Empty() is not valid).
+  bool IsValid() const {
+    for (int i = 0; i < Dim; ++i) {
+      if (!(lo[i] <= hi[i])) return false;
+    }
+    return true;
+  }
+
+  bool Contains(const Point<Dim>& p) const {
+    for (int i = 0; i < Dim; ++i) {
+      if (p[i] < lo[i] || p[i] > hi[i]) return false;
+    }
+    return true;
+  }
+
+  bool Contains(const Rect& other) const {
+    for (int i = 0; i < Dim; ++i) {
+      if (other.lo[i] < lo[i] || other.hi[i] > hi[i]) return false;
+    }
+    return true;
+  }
+
+  bool Intersects(const Rect& other) const {
+    for (int i = 0; i < Dim; ++i) {
+      if (other.hi[i] < lo[i] || other.lo[i] > hi[i]) return false;
+    }
+    return true;
+  }
+
+  // Grows this rectangle minimally so that it contains `other`.
+  void ExpandToInclude(const Rect& other) {
+    for (int i = 0; i < Dim; ++i) {
+      lo[i] = std::min(lo[i], other.lo[i]);
+      hi[i] = std::max(hi[i], other.hi[i]);
+    }
+  }
+
+  void ExpandToInclude(const Point<Dim>& p) { ExpandToInclude(FromPoint(p)); }
+
+  // Hyper-volume (product of extents). Zero for degenerate boxes.
+  double Area() const {
+    double a = 1.0;
+    for (int i = 0; i < Dim; ++i) a *= hi[i] - lo[i];
+    return a;
+  }
+
+  // Sum of extents; the R*-tree split algorithm minimizes this (margin).
+  double Margin() const {
+    double m = 0.0;
+    for (int i = 0; i < Dim; ++i) m += hi[i] - lo[i];
+    return m;
+  }
+
+  // Hyper-volume of the intersection with `other` (0 if disjoint).
+  double OverlapArea(const Rect& other) const {
+    double a = 1.0;
+    for (int i = 0; i < Dim; ++i) {
+      const double w =
+          std::min(hi[i], other.hi[i]) - std::max(lo[i], other.lo[i]);
+      if (w <= 0.0) return 0.0;
+      a *= w;
+    }
+    return a;
+  }
+
+  // Increase in area needed to include `other`.
+  double AreaEnlargement(const Rect& other) const {
+    Rect combined = *this;
+    combined.ExpandToInclude(other);
+    return combined.Area() - Area();
+  }
+
+  // The overlap box with `other`. Only meaningful when Intersects(other);
+  // otherwise the result is not IsValid().
+  Rect IntersectionWith(const Rect& other) const {
+    Rect r;
+    for (int i = 0; i < Dim; ++i) {
+      r.lo[i] = std::max(lo[i], other.lo[i]);
+      r.hi[i] = std::min(hi[i], other.hi[i]);
+    }
+    return r;
+  }
+
+  Point<Dim> Center() const {
+    Point<Dim> c;
+    for (int i = 0; i < Dim; ++i) c[i] = 0.5 * (lo[i] + hi[i]);
+    return c;
+  }
+
+  friend bool operator==(const Rect& a, const Rect& b) {
+    return a.lo == b.lo && a.hi == b.hi;
+  }
+
+  std::string ToString() const {
+    return "[" + lo.ToString() + " - " + hi.ToString() + "]";
+  }
+};
+
+using Rect2 = Rect<2>;
+using Rect3 = Rect<3>;
+
+}  // namespace sdj
+
+#endif  // SDJOIN_GEOMETRY_RECT_H_

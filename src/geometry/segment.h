@@ -1,0 +1,110 @@
+// Line segments and exact Euclidean segment distances.
+//
+// The paper's experiments use point data and defer "more complex spatial
+// features (lines, polygons)" to future work (Sections 3.1, 5). The
+// incremental join already supports them through the object-bounding-
+// rectangle mode (Figure 3, lines 7-14): index the segment MBRs and supply
+// the exact segment distance as the `exact_object_distance` callback. This
+// header provides that geometry.
+//
+// Distances are Euclidean only — the closest-point parametrization below is
+// specific to the L2 inner product.
+#ifndef SDJOIN_GEOMETRY_SEGMENT_H_
+#define SDJOIN_GEOMETRY_SEGMENT_H_
+
+#include <algorithm>
+#include <cmath>
+
+#include "geometry/distance.h"
+#include "geometry/point.h"
+#include "geometry/rect.h"
+
+namespace sdj {
+
+// A line segment between two endpoints. Degenerate (a == b) is allowed and
+// behaves like a point.
+template <int Dim>
+struct Segment {
+  Point<Dim> a;
+  Point<Dim> b;
+
+  // Minimal bounding rectangle — the leaf key for obr-mode indexing.
+  Rect<Dim> Mbr() const {
+    Rect<Dim> r = Rect<Dim>::FromPoint(a);
+    r.ExpandToInclude(b);
+    return r;
+  }
+};
+
+namespace segment_internal {
+
+template <int Dim>
+double DotDelta(const Point<Dim>& u1, const Point<Dim>& u0,
+                const Point<Dim>& v1, const Point<Dim>& v0) {
+  double dot = 0.0;
+  for (int i = 0; i < Dim; ++i) {
+    dot += (u1[i] - u0[i]) * (v1[i] - v0[i]);
+  }
+  return dot;
+}
+
+// Point at parameter t along s.
+template <int Dim>
+Point<Dim> Lerp(const Segment<Dim>& s, double t) {
+  Point<Dim> p;
+  for (int i = 0; i < Dim; ++i) {
+    p[i] = s.a[i] + t * (s.b[i] - s.a[i]);
+  }
+  return p;
+}
+
+}  // namespace segment_internal
+
+// Euclidean distance from `p` to the nearest point of segment `s`.
+template <int Dim>
+double Dist(const Point<Dim>& p, const Segment<Dim>& s) {
+  using segment_internal::DotDelta;
+  const double len_sq = DotDelta(s.b, s.a, s.b, s.a);
+  if (len_sq <= 0.0) return Dist(p, s.a);
+  const double t =
+      std::clamp(DotDelta(p, s.a, s.b, s.a) / len_sq, 0.0, 1.0);
+  return Dist(p, segment_internal::Lerp(s, t));
+}
+
+// Euclidean distance between the closest points of two segments (0 when they
+// intersect). The standard clamped-parametric construction, valid in any
+// dimension.
+template <int Dim>
+double Dist(const Segment<Dim>& s1, const Segment<Dim>& s2) {
+  using segment_internal::DotDelta;
+  const double a = DotDelta(s1.b, s1.a, s1.b, s1.a);  // |d1|^2
+  const double e = DotDelta(s2.b, s2.a, s2.b, s2.a);  // |d2|^2
+  const double f = DotDelta(s2.b, s2.a, s1.a, s2.a);  // d2 . (p1 - p2)
+  if (a <= 0.0 && e <= 0.0) return Dist(s1.a, s2.a);
+  if (a <= 0.0) return Dist(s1.a, s2);
+  if (e <= 0.0) return Dist(s2.a, s1);
+
+  const double b = DotDelta(s1.b, s1.a, s2.b, s2.a);  // d1 . d2
+  const double c = DotDelta(s1.b, s1.a, s1.a, s2.a);  // d1 . (p1 - p2)
+  const double denom = a * e - b * b;
+
+  // Closest point on the infinite line of s1 to line of s2 (0 if parallel).
+  double s = 0.0;
+  if (denom > 0.0) {
+    s = std::clamp((b * f - c * e) / denom, 0.0, 1.0);
+  }
+  double t = (b * s + f) / e;
+  // Clamp t, then recompute s for the clamped t.
+  if (t < 0.0) {
+    t = 0.0;
+    s = std::clamp(-c / a, 0.0, 1.0);
+  } else if (t > 1.0) {
+    t = 1.0;
+    s = std::clamp((b - c) / a, 0.0, 1.0);
+  }
+  return Dist(segment_internal::Lerp(s1, s), segment_internal::Lerp(s2, t));
+}
+
+}  // namespace sdj
+
+#endif  // SDJOIN_GEOMETRY_SEGMENT_H_

@@ -1,0 +1,102 @@
+// Incremental farthest-neighbor search: the single-tree analogue of the
+// join's reverse ordering (Section 2.2.5). Objects stream out by
+// non-increasing distance from the query point.
+//
+// Nodes are keyed by MAXDIST(query, node MBR) — an upper bound on the
+// distance of any object beneath, monotone under containment — and objects
+// by their exact distance; popping the maximum key therefore yields the
+// farthest remaining object as soon as it surfaces.
+#ifndef SDJOIN_NN_INC_FARTHEST_H_
+#define SDJOIN_NN_INC_FARTHEST_H_
+
+#include <cstdint>
+#include <queue>
+
+#include "geometry/distance.h"
+#include "geometry/metrics.h"
+#include "geometry/point.h"
+#include "geometry/rect.h"
+#include "nn/inc_nearest.h"
+#include "rtree/rtree.h"
+#include "util/check.h"
+
+namespace sdj {
+
+// Pull-based farthest-neighbor iterator; mirrors IncNearestNeighbor.
+template <int Dim, typename Index = RTree<Dim>>
+class IncFarthestNeighbor {
+ public:
+  using Result = typename IncNearestNeighbor<Dim, Index>::Result;
+
+  IncFarthestNeighbor(const Index& tree, const Point<Dim>& query,
+                      Metric metric = Metric::kEuclidean)
+      : tree_(tree), query_(query), metric_(metric) {
+    if (!tree.empty()) {
+      const Rect<Dim> mbr = tree.RootMbr();
+      Push(QueueItem{MaxDist(query, mbr, metric), /*is_object=*/false,
+                     tree.root(), Rect<Dim>()});
+    }
+  }
+
+  // Yields the next farthest object; returns false when exhausted. For
+  // extended objects, the reported distance is the maximal distance from the
+  // query to the object's rectangle (consistent with the node bound).
+  bool Next(Result* out) {
+    SDJ_CHECK(out != nullptr);
+    while (!queue_.empty()) {
+      const QueueItem item = queue_.top();
+      queue_.pop();
+      if (item.is_object) {
+        out->id = static_cast<ObjectId>(item.ref);
+        out->rect = item.rect;
+        out->distance = item.distance;
+        ++stats_.neighbors_reported;
+        return true;
+      }
+      ++stats_.nodes_expanded;
+      typename Index::PinnedNode node =
+          tree_.Pin(static_cast<storage::PageId>(item.ref));
+      const bool leaf = node.is_leaf();
+      for (uint32_t i = 0; i < node.count(); ++i) {
+        const Rect<Dim> rect = node.rect(i);
+        const double d = MaxDist(query_, rect, metric_);
+        ++stats_.distance_calcs;
+        Push(QueueItem{d, leaf, node.ref(i), leaf ? rect : Rect<Dim>()});
+      }
+    }
+    return false;
+  }
+
+  const IncNearestStats& stats() const { return stats_; }
+
+ private:
+  struct QueueItem {
+    double distance;
+    bool is_object;
+    uint64_t ref;
+    Rect<Dim> rect;
+
+    // Max-heap on distance; objects before nodes at equal distance.
+    bool operator<(const QueueItem& other) const {
+      if (distance != other.distance) return distance < other.distance;
+      return is_object < other.is_object;
+    }
+  };
+
+  void Push(const QueueItem& item) {
+    queue_.push(item);
+    ++stats_.queue_pushes;
+    stats_.max_queue_size =
+        std::max<uint64_t>(stats_.max_queue_size, queue_.size());
+  }
+
+  const Index& tree_;
+  const Point<Dim> query_;
+  const Metric metric_;
+  std::priority_queue<QueueItem> queue_;
+  IncNearestStats stats_;
+};
+
+}  // namespace sdj
+
+#endif  // SDJOIN_NN_INC_FARTHEST_H_

@@ -1,0 +1,132 @@
+// Incremental nearest-neighbor search over an R-tree.
+//
+// This is the Hjaltason–Samet algorithm the paper builds on (its reference
+// [18]): a single priority queue holds both nodes (keyed by MINDIST to the
+// query) and objects (keyed by their distance); whenever an object surfaces
+// at the head of the queue it is the next nearest neighbor. Used standalone,
+// as the inner loop of the paper's distance-join (conceptually "two of these
+// run simultaneously", Section 2.2), and as the non-incremental semi-join
+// baseline of Section 4.2.3.
+#ifndef SDJOIN_NN_INC_NEAREST_H_
+#define SDJOIN_NN_INC_NEAREST_H_
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "geometry/distance.h"
+#include "geometry/metrics.h"
+#include "geometry/point.h"
+#include "geometry/rect.h"
+#include "rtree/rtree.h"
+#include "util/check.h"
+
+namespace sdj {
+
+// Counters describing one incremental-NN traversal.
+struct IncNearestStats {
+  uint64_t distance_calcs = 0;
+  uint64_t queue_pushes = 0;
+  uint64_t max_queue_size = 0;
+  uint64_t nodes_expanded = 0;
+  uint64_t neighbors_reported = 0;
+};
+
+// Pull-based nearest-neighbor iterator: each Next() yields the next closest
+// object, in non-decreasing distance. The referenced tree must outlive the
+// iterator and must not be modified while iterating.
+//
+//   IncNearestNeighbor<2> nn(tree, {3.0, 4.0});
+//   IncNearestNeighbor<2>::Result hit;
+//   while (nn.Next(&hit) && hit.distance <= radius) Use(hit);
+template <int Dim, typename Index = RTree<Dim>>
+class IncNearestNeighbor {
+ public:
+  struct Result {
+    ObjectId id = 0;
+    Rect<Dim> rect;
+    double distance = 0.0;
+  };
+
+  IncNearestNeighbor(const Index& tree, const Point<Dim>& query,
+                     Metric metric = Metric::kEuclidean)
+      : tree_(tree), query_(query), metric_(metric) {
+    if (!tree.empty()) {
+      Push(QueueItem{0.0, /*is_object=*/false, tree.root(), Rect<Dim>()});
+    }
+  }
+
+  // Yields the next nearest object; returns false when the tree is exhausted.
+  bool Next(Result* out) {
+    SDJ_CHECK(out != nullptr);
+    while (!queue_.empty()) {
+      const QueueItem item = queue_.top();
+      queue_.pop();
+      if (item.is_object) {
+        out->id = static_cast<ObjectId>(item.ref);
+        out->rect = item.rect;
+        out->distance = item.distance;
+        ++stats_.neighbors_reported;
+        return true;
+      }
+      ++stats_.nodes_expanded;
+      typename Index::PinnedNode node =
+          tree_.Pin(static_cast<storage::PageId>(item.ref));
+      const bool leaf = node.is_leaf();
+      for (uint32_t i = 0; i < node.count(); ++i) {
+        const Rect<Dim> rect = node.rect(i);
+        const double d = MinDist(query_, rect, metric_);
+        ++stats_.distance_calcs;
+        Push(QueueItem{d, leaf, node.ref(i), leaf ? rect : Rect<Dim>()});
+      }
+    }
+    return false;
+  }
+
+  const IncNearestStats& stats() const { return stats_; }
+
+ private:
+  struct QueueItem {
+    double distance;
+    bool is_object;
+    uint64_t ref;  // object id or node page
+    Rect<Dim> rect;
+
+    // std::priority_queue is a max-heap; order so the smallest distance is on
+    // top, with objects before nodes at equal distance (report ASAP).
+    bool operator<(const QueueItem& other) const {
+      if (distance != other.distance) return distance > other.distance;
+      return is_object < other.is_object;
+    }
+  };
+
+  void Push(const QueueItem& item) {
+    queue_.push(item);
+    ++stats_.queue_pushes;
+    stats_.max_queue_size =
+        std::max<uint64_t>(stats_.max_queue_size, queue_.size());
+  }
+
+  const Index& tree_;
+  const Point<Dim> query_;
+  const Metric metric_;
+  std::priority_queue<QueueItem> queue_;
+  IncNearestStats stats_;
+};
+
+// Convenience: the k nearest objects to `query`, closest first (fewer if the
+// tree holds fewer than k objects).
+template <int Dim, typename Index = RTree<Dim>>
+std::vector<typename IncNearestNeighbor<Dim, Index>::Result> KNearest(
+    const Index& tree, const Point<Dim>& query, size_t k,
+    Metric metric = Metric::kEuclidean) {
+  IncNearestNeighbor<Dim, Index> nn(tree, query, metric);
+  std::vector<typename IncNearestNeighbor<Dim, Index>::Result> results;
+  typename IncNearestNeighbor<Dim, Index>::Result hit;
+  while (results.size() < k && nn.Next(&hit)) results.push_back(hit);
+  return results;
+}
+
+}  // namespace sdj
+
+#endif  // SDJOIN_NN_INC_NEAREST_H_

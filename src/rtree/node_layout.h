@@ -1,0 +1,86 @@
+// On-page layout of R-tree nodes.
+//
+// A node occupies exactly one page (Section 2.1: "the node capacity is
+// usually chosen so that a node fills up one disk page"):
+//
+//   offset 0: uint16 level   (0 = leaf)
+//   offset 2: uint16 count   (number of live entries)
+//   offset 4: 4 bytes padding (keeps entries 8-byte aligned)
+//   offset 8: count entries, each
+//             2*Dim doubles  (entry MBR: lo coords then hi coords)
+//             uint64         (child page id for interior nodes,
+//                             object id for leaves)
+//
+// All access goes through memcpy-based accessors so that the raw page buffer
+// never needs to satisfy strict-aliasing requirements; compilers lower these
+// to single loads/stores.
+#ifndef SDJOIN_RTREE_NODE_LAYOUT_H_
+#define SDJOIN_RTREE_NODE_LAYOUT_H_
+
+#include <cstdint>
+#include <cstring>
+
+#include "geometry/rect.h"
+#include "util/check.h"
+
+namespace sdj::rtree_internal {
+
+template <int Dim>
+struct NodeLayout {
+  static constexpr uint32_t kHeaderSize = 8;
+  static constexpr uint32_t kRectSize = 2 * Dim * sizeof(double);
+  static constexpr uint32_t kEntrySize = kRectSize + sizeof(uint64_t);
+
+  // Maximum number of entries that fit in one page of `page_size` bytes.
+  static constexpr uint32_t Capacity(uint32_t page_size) {
+    return (page_size - kHeaderSize) / kEntrySize;
+  }
+
+  static uint16_t GetLevel(const char* page) {
+    uint16_t v;
+    std::memcpy(&v, page, sizeof(v));
+    return v;
+  }
+  static void SetLevel(char* page, uint16_t level) {
+    std::memcpy(page, &level, sizeof(level));
+  }
+
+  static uint16_t GetCount(const char* page) {
+    uint16_t v;
+    std::memcpy(&v, page + 2, sizeof(v));
+    return v;
+  }
+  static void SetCount(char* page, uint16_t count) {
+    std::memcpy(page + 2, &count, sizeof(count));
+  }
+
+  static sdj::Rect<Dim> GetRect(const char* page, uint32_t i) {
+    sdj::Rect<Dim> r;
+    const char* base = page + kHeaderSize + i * kEntrySize;
+    std::memcpy(r.lo.coords.data(), base, Dim * sizeof(double));
+    std::memcpy(r.hi.coords.data(), base + Dim * sizeof(double),
+                Dim * sizeof(double));
+    return r;
+  }
+  static void SetRect(char* page, uint32_t i, const sdj::Rect<Dim>& r) {
+    char* base = page + kHeaderSize + i * kEntrySize;
+    std::memcpy(base, r.lo.coords.data(), Dim * sizeof(double));
+    std::memcpy(base + Dim * sizeof(double), r.hi.coords.data(),
+                Dim * sizeof(double));
+  }
+
+  static uint64_t GetRef(const char* page, uint32_t i) {
+    uint64_t v;
+    std::memcpy(&v, page + kHeaderSize + i * kEntrySize + kRectSize,
+                sizeof(v));
+    return v;
+  }
+  static void SetRef(char* page, uint32_t i, uint64_t ref) {
+    std::memcpy(page + kHeaderSize + i * kEntrySize + kRectSize, &ref,
+                sizeof(ref));
+  }
+};
+
+}  // namespace sdj::rtree_internal
+
+#endif  // SDJOIN_RTREE_NODE_LAYOUT_H_

@@ -1,0 +1,31 @@
+// Umbrella header: the whole sdjoin public API in one include.
+//
+//   #include "sdjoin.h"
+//
+//   sdj::RTree<2> cities, rivers;                  // spatial indexes
+//   sdj::DistanceJoin<2> join(cities, rivers, {}); // ordered pair stream
+//   sdj::DistanceSemiJoin<2> semi(cities, rivers, {});
+//
+// Individual headers remain includable for finer-grained builds; see
+// README.md for the module map.
+#ifndef SDJOIN_SDJOIN_H_
+#define SDJOIN_SDJOIN_H_
+
+#include "baseline/nested_loop_join.h"
+#include "baseline/nn_semi_join.h"
+#include "baseline/within_join.h"
+#include "core/convenience.h"
+#include "core/cost_model.h"
+#include "core/distance_join.h"
+#include "core/intersection_join.h"
+#include "core/semi_join.h"
+#include "data/dataset_io.h"
+#include "data/generators.h"
+#include "geometry/distance.h"
+#include "geometry/segment.h"
+#include "nn/inc_farthest.h"
+#include "nn/inc_nearest.h"
+#include "quadtree/quadtree.h"
+#include "rtree/rtree.h"
+
+#endif  // SDJOIN_SDJOIN_H_

@@ -1,0 +1,125 @@
+#include "storage/buffer_pool.h"
+
+#include <cstring>
+#include <memory>
+#include <utility>
+
+#include "util/check.h"
+
+namespace sdj::storage {
+
+BufferPool::BufferPool(std::unique_ptr<PageFile> file, uint32_t capacity_pages)
+    : file_(std::move(file)), capacity_(capacity_pages) {
+  SDJ_CHECK(file_ != nullptr);
+  SDJ_CHECK(capacity_ > 0);
+  frames_.resize(capacity_);
+  free_frames_.reserve(capacity_);
+  for (uint32_t i = 0; i < capacity_; ++i) {
+    frames_[i].data = std::make_unique<char[]>(file_->page_size());
+    free_frames_.push_back(capacity_ - 1 - i);  // hand out frame 0 first
+  }
+}
+
+BufferPool::~BufferPool() { FlushAll(); }
+
+char* BufferPool::NewPage(PageId* id) {
+  SDJ_CHECK(id != nullptr);
+  *id = file_->Allocate();
+  const uint32_t frame_index = GrabFrame();
+  Frame& frame = frames_[frame_index];
+  frame.page_id = *id;
+  frame.pin_count = 1;
+  frame.dirty = true;  // fresh pages must reach the file eventually
+  std::memset(frame.data.get(), 0, file_->page_size());
+  page_table_[*id] = frame_index;
+  ++stats_.logical_reads;
+  ++stats_.buffer_misses;  // a new page never hits the cache
+  return frame.data.get();
+}
+
+char* BufferPool::Pin(PageId id) {
+  ++stats_.logical_reads;
+  auto it = page_table_.find(id);
+  if (it != page_table_.end()) {
+    Frame& frame = frames_[it->second];
+    if (frame.in_lru) {
+      lru_.erase(frame.lru_pos);
+      frame.in_lru = false;
+    }
+    ++frame.pin_count;
+    ++stats_.buffer_hits;
+    return frame.data.get();
+  }
+  ++stats_.buffer_misses;
+  const uint32_t frame_index = GrabFrame();
+  Frame& frame = frames_[frame_index];
+  ++stats_.physical_reads;
+  SDJ_CHECK(file_->Read(id, frame.data.get()));
+  frame.page_id = id;
+  frame.pin_count = 1;
+  frame.dirty = false;
+  page_table_[id] = frame_index;
+  return frame.data.get();
+}
+
+void BufferPool::Unpin(PageId id, bool dirty) {
+  auto it = page_table_.find(id);
+  SDJ_CHECK(it != page_table_.end());
+  Frame& frame = frames_[it->second];
+  SDJ_CHECK(frame.pin_count > 0);
+  frame.dirty = frame.dirty || dirty;
+  if (--frame.pin_count == 0) {
+    lru_.push_back(it->second);
+    frame.lru_pos = std::prev(lru_.end());
+    frame.in_lru = true;
+  }
+}
+
+void BufferPool::FlushAll() {
+  for (auto& [page_id, frame_index] : page_table_) {
+    Frame& frame = frames_[frame_index];
+    if (frame.dirty) {
+      ++stats_.physical_writes;
+      SDJ_CHECK(file_->Write(page_id, frame.data.get()));
+      frame.dirty = false;
+    }
+  }
+}
+
+void BufferPool::Invalidate() {
+  while (!lru_.empty()) {
+    EvictFrame(lru_.front());
+  }
+}
+
+uint32_t BufferPool::GrabFrame() {
+  if (!free_frames_.empty()) {
+    const uint32_t index = free_frames_.back();
+    free_frames_.pop_back();
+    return index;
+  }
+  // Evict the least recently used unpinned page.
+  SDJ_CHECK(!lru_.empty());  // every frame pinned => capacity exhausted
+  const uint32_t victim = lru_.front();
+  EvictFrame(victim);
+  const uint32_t index = free_frames_.back();
+  free_frames_.pop_back();
+  return index;
+}
+
+void BufferPool::EvictFrame(uint32_t frame_index) {
+  Frame& frame = frames_[frame_index];
+  SDJ_CHECK(frame.pin_count == 0 && frame.in_lru);
+  lru_.erase(frame.lru_pos);
+  frame.in_lru = false;
+  if (frame.dirty) {
+    ++stats_.physical_writes;
+    SDJ_CHECK(file_->Write(frame.page_id, frame.data.get()));
+    frame.dirty = false;
+  }
+  page_table_.erase(frame.page_id);
+  frame.page_id = kInvalidPageId;
+  free_frames_.push_back(frame_index);
+}
+
+}  // namespace sdj::storage

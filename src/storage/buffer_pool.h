@@ -1,0 +1,91 @@
+// LRU buffer pool over a PageFile.
+//
+// Reproduces the paper's experimental setup of a fixed buffer over fixed-size
+// R-tree nodes (Section 3.1: 1K nodes, 256K of buffer memory). The pool's
+// miss counter is the "Node I/O" performance measure of Table 1.
+#ifndef SDJOIN_STORAGE_BUFFER_POOL_H_
+#define SDJOIN_STORAGE_BUFFER_POOL_H_
+
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "storage/io_stats.h"
+#include "storage/page.h"
+#include "storage/page_file.h"
+
+namespace sdj::storage {
+
+// Fixed-capacity page cache with LRU replacement and pin counting.
+//
+// Usage:
+//   BufferPool pool(std::move(file), /*capacity_pages=*/128);
+//   char* data = pool.Pin(id);        // fetch and pin
+//   ... read/modify *data ...
+//   pool.Unpin(id, /*dirty=*/true);   // release; written back on eviction
+//
+// Pinned pages are never evicted; pinning more pages than the capacity is a
+// programming error and aborts.
+class BufferPool {
+ public:
+  // Takes ownership of `file`. `capacity_pages` > 0.
+  BufferPool(std::unique_ptr<PageFile> file, uint32_t capacity_pages);
+  ~BufferPool();
+
+  BufferPool(const BufferPool&) = delete;
+  BufferPool& operator=(const BufferPool&) = delete;
+
+  uint32_t page_size() const { return file_->page_size(); }
+  uint32_t capacity() const { return capacity_; }
+  PageId num_pages() const { return file_->num_pages(); }
+
+  // Allocates a fresh zeroed page, pins it, and returns its buffer.
+  char* NewPage(PageId* id);
+
+  // Pins page `id` and returns its buffer. The page stays resident until the
+  // matching Unpin (pins nest).
+  char* Pin(PageId id);
+
+  // Releases one pin of `id`. If `dirty`, the page is written back before
+  // eviction (or at FlushAll).
+  void Unpin(PageId id, bool dirty);
+
+  // Writes all dirty resident pages back to the file.
+  void FlushAll();
+
+  // Drops every unpinned page (writing dirty ones back). Makes cold-cache
+  // experiments reproducible.
+  void Invalidate();
+
+  const IoStats& stats() const { return stats_; }
+  void ResetStats() { stats_ = IoStats{}; }
+
+ private:
+  struct Frame {
+    std::unique_ptr<char[]> data;
+    PageId page_id = kInvalidPageId;
+    uint32_t pin_count = 0;
+    bool dirty = false;
+    // Position in lru_ when the frame is resident and unpinned.
+    std::list<uint32_t>::iterator lru_pos;
+    bool in_lru = false;
+  };
+
+  // Returns a frame to load into, evicting the LRU unpinned page if needed.
+  uint32_t GrabFrame();
+  void EvictFrame(uint32_t frame_index);
+
+  std::unique_ptr<PageFile> file_;
+  const uint32_t capacity_;
+  std::vector<Frame> frames_;
+  std::vector<uint32_t> free_frames_;
+  std::unordered_map<PageId, uint32_t> page_table_;
+  std::list<uint32_t> lru_;  // front = least recently used
+  IoStats stats_;
+};
+
+}  // namespace sdj::storage
+
+#endif  // SDJOIN_STORAGE_BUFFER_POOL_H_

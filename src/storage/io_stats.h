@@ -1,0 +1,29 @@
+// Counters for measuring I/O behaviour, mirroring the performance measures of
+// the paper's Table 1 (node I/O = buffer misses that reach the page file).
+#ifndef SDJOIN_STORAGE_IO_STATS_H_
+#define SDJOIN_STORAGE_IO_STATS_H_
+
+#include <cstdint>
+
+namespace sdj::storage {
+
+// Cumulative I/O counters. Plain data; reset by assigning {}.
+struct IoStats {
+  uint64_t logical_reads = 0;    // page accesses through the buffer pool
+  uint64_t buffer_hits = 0;      // accesses served from the pool
+  uint64_t buffer_misses = 0;    // accesses that read the page file
+  uint64_t physical_reads = 0;   // page-file reads
+  uint64_t physical_writes = 0;  // page-file writes (evictions + flushes)
+
+  IoStats operator-(const IoStats& other) const {
+    return IoStats{logical_reads - other.logical_reads,
+                   buffer_hits - other.buffer_hits,
+                   buffer_misses - other.buffer_misses,
+                   physical_reads - other.physical_reads,
+                   physical_writes - other.physical_writes};
+  }
+};
+
+}  // namespace sdj::storage
+
+#endif  // SDJOIN_STORAGE_IO_STATS_H_

@@ -1,0 +1,23 @@
+// Basic page types shared by the storage layer.
+#ifndef SDJOIN_STORAGE_PAGE_H_
+#define SDJOIN_STORAGE_PAGE_H_
+
+#include <cstdint>
+
+namespace sdj::storage {
+
+// Identifies a page within one PageFile. Dense, starting at 0.
+using PageId = uint32_t;
+
+// Sentinel for "no page" (e.g., an R-tree with no root yet, or the end of a
+// linked page list in the hybrid queue's disk tier).
+inline constexpr PageId kInvalidPageId = 0xFFFFFFFFu;
+
+// Default page size. The paper used 1K nodes with float coordinates for a
+// max fan-out of 50; with double coordinates 2K pages give the same fan-out
+// (see DESIGN.md §2, substitutions).
+inline constexpr uint32_t kDefaultPageSize = 2048;
+
+}  // namespace sdj::storage
+
+#endif  // SDJOIN_STORAGE_PAGE_H_

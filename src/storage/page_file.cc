@@ -1,0 +1,121 @@
+#include "storage/page_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/check.h"
+
+namespace sdj::storage {
+
+namespace {
+
+// Heap-backed page store. Pages are allocated lazily and zero-initialized.
+class MemoryPageFile final : public PageFile {
+ public:
+  explicit MemoryPageFile(uint32_t page_size) : PageFile(page_size) {}
+
+  PageId num_pages() const override {
+    return static_cast<PageId>(pages_.size());
+  }
+
+  PageId Allocate() override {
+    pages_.emplace_back(page_size_, '\0');
+    return static_cast<PageId>(pages_.size() - 1);
+  }
+
+  bool Read(PageId id, char* buffer) override {
+    if (id >= pages_.size()) return false;
+    ++physical_reads_;
+    std::memcpy(buffer, pages_[id].data(), page_size_);
+    return true;
+  }
+
+  bool Write(PageId id, const char* buffer) override {
+    if (id >= pages_.size()) return false;
+    ++physical_writes_;
+    std::memcpy(pages_[id].data(), buffer, page_size_);
+    return true;
+  }
+
+ private:
+  std::vector<std::vector<char>> pages_;
+};
+
+// POSIX file-backed page store using pread/pwrite at page-aligned offsets.
+class PosixPageFile final : public PageFile {
+ public:
+  PosixPageFile(int fd, uint32_t page_size, PageId num_pages = 0)
+      : PageFile(page_size), fd_(fd), num_pages_(num_pages) {}
+
+  ~PosixPageFile() override {
+    if (fd_ >= 0) ::close(fd_);
+  }
+
+  PageId num_pages() const override { return num_pages_; }
+
+  PageId Allocate() override {
+    // Extend the file with a zeroed page so that reads of fresh pages succeed.
+    std::vector<char> zeros(page_size_, '\0');
+    const off_t offset = static_cast<off_t>(num_pages_) * page_size_;
+    const ssize_t written = ::pwrite(fd_, zeros.data(), page_size_, offset);
+    SDJ_CHECK(written == static_cast<ssize_t>(page_size_));
+    return num_pages_++;
+  }
+
+  bool Read(PageId id, char* buffer) override {
+    if (id >= num_pages_) return false;
+    ++physical_reads_;
+    const off_t offset = static_cast<off_t>(id) * page_size_;
+    return ::pread(fd_, buffer, page_size_, offset) ==
+           static_cast<ssize_t>(page_size_);
+  }
+
+  bool Write(PageId id, const char* buffer) override {
+    if (id >= num_pages_) return false;
+    ++physical_writes_;
+    const off_t offset = static_cast<off_t>(id) * page_size_;
+    return ::pwrite(fd_, buffer, page_size_, offset) ==
+           static_cast<ssize_t>(page_size_);
+  }
+
+ private:
+  int fd_;
+  PageId num_pages_ = 0;
+};
+
+}  // namespace
+
+std::unique_ptr<PageFile> NewMemoryPageFile(uint32_t page_size) {
+  SDJ_CHECK(page_size > 0);
+  return std::make_unique<MemoryPageFile>(page_size);
+}
+
+std::unique_ptr<PageFile> NewFilePageFile(const std::string& path,
+                                          uint32_t page_size) {
+  SDJ_CHECK(page_size > 0);
+  const int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) return nullptr;
+  return std::make_unique<PosixPageFile>(fd, page_size);
+}
+
+std::unique_ptr<PageFile> OpenFilePageFile(const std::string& path,
+                                           uint32_t page_size) {
+  SDJ_CHECK(page_size > 0);
+  const int fd = ::open(path.c_str(), O_RDWR);
+  if (fd < 0) return nullptr;
+  const off_t size = ::lseek(fd, 0, SEEK_END);
+  if (size < 0 || size % page_size != 0) {
+    ::close(fd);
+    return nullptr;
+  }
+  return std::make_unique<PosixPageFile>(
+      fd, page_size, static_cast<PageId>(size / page_size));
+}
+
+}  // namespace sdj::storage

@@ -1,0 +1,75 @@
+// Fixed-size page store, the bottom layer under the buffer pool.
+//
+// Two backends share one interface: an in-memory store (the common case for
+// tests and experiments — it still produces exact logical/physical I/O counts)
+// and a POSIX file store (for datasets larger than memory and for the hybrid
+// priority queue's disk tier).
+#ifndef SDJOIN_STORAGE_PAGE_FILE_H_
+#define SDJOIN_STORAGE_PAGE_FILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/page.h"
+
+namespace sdj::storage {
+
+// Abstract fixed-size page store. All pages have the same size; page ids are
+// dense and allocated in order. Thread-compatible (external synchronization
+// required for concurrent use).
+class PageFile {
+ public:
+  explicit PageFile(uint32_t page_size) : page_size_(page_size) {}
+  virtual ~PageFile() = default;
+
+  PageFile(const PageFile&) = delete;
+  PageFile& operator=(const PageFile&) = delete;
+
+  uint32_t page_size() const { return page_size_; }
+
+  // Number of allocated pages; valid ids are [0, num_pages()).
+  virtual PageId num_pages() const = 0;
+
+  // Allocates a new zeroed page and returns its id.
+  virtual PageId Allocate() = 0;
+
+  // Reads page `id` into `buffer` (page_size() bytes). Returns false on I/O
+  // failure or invalid id.
+  virtual bool Read(PageId id, char* buffer) = 0;
+
+  // Writes `buffer` (page_size() bytes) to page `id`. Returns false on I/O
+  // failure or invalid id.
+  virtual bool Write(PageId id, const char* buffer) = 0;
+
+  uint64_t physical_reads() const { return physical_reads_; }
+  uint64_t physical_writes() const { return physical_writes_; }
+  void ResetCounters() {
+    physical_reads_ = 0;
+    physical_writes_ = 0;
+  }
+
+ protected:
+  const uint32_t page_size_;
+  uint64_t physical_reads_ = 0;
+  uint64_t physical_writes_ = 0;
+};
+
+// Creates a heap-backed page store.
+std::unique_ptr<PageFile> NewMemoryPageFile(uint32_t page_size);
+
+// Creates (truncating) a file-backed page store at `path`. Returns null if
+// the file cannot be created.
+std::unique_ptr<PageFile> NewFilePageFile(const std::string& path,
+                                          uint32_t page_size);
+
+// Opens an existing file-backed page store at `path`. The file size must be
+// a multiple of `page_size`; existing pages keep their contents. Returns
+// null if the file cannot be opened or has an inconsistent size.
+std::unique_ptr<PageFile> OpenFilePageFile(const std::string& path,
+                                           uint32_t page_size);
+
+}  // namespace sdj::storage
+
+#endif  // SDJOIN_STORAGE_PAGE_FILE_H_

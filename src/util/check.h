@@ -1,0 +1,38 @@
+// Lightweight invariant-checking macros.
+//
+// The library does not use exceptions (see DESIGN.md §7); internal invariant
+// violations are programming errors and abort with a diagnostic instead.
+// `SDJ_CHECK` is always on; `SDJ_DCHECK` compiles away in release builds.
+#ifndef SDJOIN_UTIL_CHECK_H_
+#define SDJOIN_UTIL_CHECK_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace sdj::internal {
+
+// Prints a fatal-check diagnostic and aborts. Used only by the macros below.
+[[noreturn]] inline void CheckFailed(const char* expr, const char* file,
+                                     int line) {
+  std::fprintf(stderr, "SDJ_CHECK failed: %s at %s:%d\n", expr, file, line);
+  std::abort();
+}
+
+}  // namespace sdj::internal
+
+#define SDJ_CHECK(cond)                                     \
+  do {                                                      \
+    if (!(cond)) {                                          \
+      ::sdj::internal::CheckFailed(#cond, __FILE__, __LINE__); \
+    }                                                       \
+  } while (0)
+
+#ifdef NDEBUG
+#define SDJ_DCHECK(cond) \
+  do {                   \
+  } while (0)
+#else
+#define SDJ_DCHECK(cond) SDJ_CHECK(cond)
+#endif
+
+#endif  // SDJOIN_UTIL_CHECK_H_

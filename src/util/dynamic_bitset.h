@@ -1,0 +1,85 @@
+// Fixed-capacity bit string, the paper's representation of the reported-object
+// set `S_o` (Section 3.2): O(1) membership tests and insertions, with storage
+// proportional to the universe size rather than the set size.
+#ifndef SDJOIN_UTIL_DYNAMIC_BITSET_H_
+#define SDJOIN_UTIL_DYNAMIC_BITSET_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "util/check.h"
+
+namespace sdj {
+
+// A bit string over the universe [0, size). All bits start unset.
+class DynamicBitset {
+ public:
+  DynamicBitset() = default;
+  explicit DynamicBitset(size_t size) : size_(size), words_((size + 63) / 64) {}
+
+  // Number of addressable bits.
+  size_t size() const { return size_; }
+
+  // Grows (or shrinks) the universe; newly added bits are unset.
+  void Resize(size_t size) {
+    size_ = size;
+    words_.resize((size + 63) / 64, 0);
+    // Clear any bits beyond the new size in the last word.
+    if (size % 64 != 0 && !words_.empty()) {
+      words_.back() &= (uint64_t{1} << (size % 64)) - 1;
+    }
+  }
+
+  // Returns true if bit `i` is set.
+  bool Test(size_t i) const {
+    SDJ_DCHECK(i < size_);
+    return (words_[i >> 6] >> (i & 63)) & 1;
+  }
+
+  // Sets bit `i`.
+  void Set(size_t i) {
+    SDJ_DCHECK(i < size_);
+    words_[i >> 6] |= uint64_t{1} << (i & 63);
+  }
+
+  // Clears bit `i`.
+  void Reset(size_t i) {
+    SDJ_DCHECK(i < size_);
+    words_[i >> 6] &= ~(uint64_t{1} << (i & 63));
+  }
+
+  // Sets bit `i` and returns whether it was previously unset (i.e., whether
+  // this call inserted a new member).
+  bool TestAndSet(size_t i) {
+    SDJ_DCHECK(i < size_);
+    uint64_t& word = words_[i >> 6];
+    const uint64_t mask = uint64_t{1} << (i & 63);
+    const bool was_set = (word & mask) != 0;
+    word |= mask;
+    return !was_set;
+  }
+
+  // Number of set bits.
+  size_t Count() const {
+    size_t n = 0;
+    for (uint64_t w : words_) n += static_cast<size_t>(__builtin_popcountll(w));
+    return n;
+  }
+
+  // Clears all bits.
+  void Clear() {
+    for (uint64_t& w : words_) w = 0;
+  }
+
+  // Approximate heap footprint in bytes (the paper quotes 122K for 1M bits).
+  size_t MemoryBytes() const { return words_.size() * sizeof(uint64_t); }
+
+ private:
+  size_t size_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace sdj
+
+#endif  // SDJOIN_UTIL_DYNAMIC_BITSET_H_

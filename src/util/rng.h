@@ -1,0 +1,94 @@
+// Deterministic pseudo-random number generator for workload generation and
+// property tests.
+//
+// Uses xoshiro256** seeded through splitmix64 so that a single 64-bit seed
+// reproduces an entire dataset across platforms and standard-library versions
+// (std::mt19937 distributions are not bit-stable across implementations).
+#ifndef SDJOIN_UTIL_RNG_H_
+#define SDJOIN_UTIL_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+
+#include "util/check.h"
+
+namespace sdj {
+
+// Deterministic 64-bit PRNG (xoshiro256**). Not cryptographically secure.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    // splitmix64 expansion of the seed into the four state words.
+    uint64_t x = seed;
+    for (auto& word : state_) {
+      x += 0x9e3779b97f4a7c15ULL;
+      uint64_t z = x;
+      z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+      z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+      word = z ^ (z >> 31);
+    }
+  }
+
+  // Returns the next raw 64-bit value.
+  uint64_t NextUint64() {
+    const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+    const uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = Rotl(state_[3], 45);
+    return result;
+  }
+
+  // Returns a double uniformly distributed in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+  }
+
+  // Returns a double uniformly distributed in [lo, hi).
+  double Uniform(double lo, double hi) {
+    SDJ_DCHECK(lo <= hi);
+    return lo + (hi - lo) * NextDouble();
+  }
+
+  // Returns an integer uniformly distributed in [0, bound). `bound` > 0.
+  uint64_t NextBounded(uint64_t bound) {
+    SDJ_DCHECK(bound > 0);
+    // Rejection sampling to avoid modulo bias.
+    const uint64_t threshold = (~bound + 1) % bound;  // = 2^64 mod bound
+    for (;;) {
+      const uint64_t r = NextUint64();
+      if (r >= threshold) return r % bound;
+    }
+  }
+
+  // Returns a sample from N(mean, stddev^2) via the Box-Muller transform.
+  double Gaussian(double mean, double stddev) {
+    if (has_spare_) {
+      has_spare_ = false;
+      return mean + stddev * spare_;
+    }
+    double u1 = NextDouble();
+    double u2 = NextDouble();
+    // Guard against log(0).
+    if (u1 <= 0.0) u1 = 0x1.0p-53;
+    const double mag = std::sqrt(-2.0 * std::log(u1));
+    const double two_pi = 6.283185307179586476925286766559;
+    spare_ = mag * std::sin(two_pi * u2);
+    has_spare_ = true;
+    return mean + stddev * mag * std::cos(two_pi * u2);
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t state_[4];
+  double spare_ = 0.0;
+  bool has_spare_ = false;
+};
+
+}  // namespace sdj
+
+#endif  // SDJOIN_UTIL_RNG_H_

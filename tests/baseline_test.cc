@@ -1,0 +1,226 @@
+#include "baseline/nested_loop_join.h"
+#include "baseline/nn_semi_join.h"
+#include "baseline/within_join.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/distance_join.h"
+#include "core/semi_join.h"
+#include "data/generators.h"
+#include "join_test_util.h"
+
+namespace sdj::baseline {
+namespace {
+
+using test::BruteForcePairs;
+using test::BruteForceSemiDistances;
+using test::BuildPointTree;
+
+std::vector<Point<2>> PointsA(size_t n = 150, uint64_t seed = 201) {
+  return data::GenerateUniform(n, Rect<2>({0, 0}, {500, 500}), seed);
+}
+std::vector<Point<2>> PointsB(size_t n = 200, uint64_t seed = 202) {
+  data::ClusterOptions options;
+  options.num_points = n;
+  options.extent = Rect<2>({0, 0}, {500, 500});
+  options.num_clusters = 5;
+  options.seed = seed;
+  return data::GenerateClustered(options);
+}
+
+std::vector<RTree<2>::Entry> ToEntries(const std::vector<Point<2>>& points) {
+  std::vector<RTree<2>::Entry> entries;
+  for (size_t i = 0; i < points.size(); ++i) {
+    entries.push_back({Rect<2>::FromPoint(points[i]), i});
+  }
+  return entries;
+}
+
+TEST(NestedLoopDistanceJoin, TopKMatchesBruteForce) {
+  const auto a = PointsA();
+  const auto b = PointsB();
+  const auto reference = BruteForcePairs(a, b);
+  NestedLoopDistanceJoin<2> nl(ToEntries(a), ToEntries(b));
+  const auto got = nl.TopK(100);
+  ASSERT_EQ(got.size(), 100u);
+  for (size_t k = 0; k < got.size(); ++k) {
+    ASSERT_NEAR(got[k].distance, reference[k].distance, 1e-9) << k;
+  }
+  EXPECT_EQ(nl.distance_calcs(), a.size() * b.size());
+}
+
+TEST(NestedLoopDistanceJoin, TopKWithMaxDistance) {
+  const auto a = PointsA(80, 203);
+  const auto b = PointsB(90, 204);
+  const auto reference = BruteForcePairs(a, b);
+  const double dmax = reference[200].distance;
+  NestedLoopDistanceJoin<2> nl(ToEntries(a), ToEntries(b));
+  const auto got = nl.TopK(1000, dmax);
+  for (const auto& r : got) EXPECT_LE(r.distance, dmax);
+  size_t expected = 0;
+  for (const auto& p : reference) {
+    if (p.distance <= dmax) ++expected;
+  }
+  EXPECT_EQ(got.size(), std::min<size_t>(expected, 1000));
+}
+
+TEST(NestedLoopDistanceJoin, TopKLargerThanProductReturnsEverything) {
+  const auto a = PointsA(20, 205);
+  const auto b = PointsB(25, 206);
+  NestedLoopDistanceJoin<2> nl(ToEntries(a), ToEntries(b));
+  EXPECT_EQ(nl.TopK(10000).size(), 20u * 25u);
+}
+
+TEST(NestedLoopDistanceJoin, AllWithinSortedAndComplete) {
+  const auto a = PointsA(60, 207);
+  const auto b = PointsB(70, 208);
+  const auto reference = BruteForcePairs(a, b);
+  const double dmax = reference[800].distance;
+  NestedLoopDistanceJoin<2> nl(ToEntries(a), ToEntries(b));
+  const auto got = nl.AllWithin(dmax);
+  size_t expected = 0;
+  for (const auto& p : reference) {
+    if (p.distance <= dmax) ++expected;
+  }
+  ASSERT_EQ(got.size(), expected);
+  for (size_t k = 1; k < got.size(); ++k) {
+    ASSERT_GE(got[k].distance, got[k - 1].distance);
+  }
+}
+
+TEST(NestedLoopDistanceJoin, ScanAllCountsEveryPair) {
+  const auto a = PointsA(30, 209);
+  const auto b = PointsB(40, 210);
+  NestedLoopDistanceJoin<2> nl(ToEntries(a), ToEntries(b));
+  const double sum = nl.ScanAllDistances();
+  EXPECT_GT(sum, 0.0);
+  EXPECT_EQ(nl.distance_calcs(), 30u * 40u);
+}
+
+TEST(NestedLoopDistanceJoin, MaterializeReadsWholeTree) {
+  const auto a = PointsA(120, 211);
+  RTree<2> tree = BuildPointTree(a);
+  const auto entries = NestedLoopDistanceJoin<2>::Materialize(tree);
+  EXPECT_EQ(entries.size(), a.size());
+  std::set<ObjectId> ids;
+  for (const auto& e : entries) ids.insert(e.id);
+  EXPECT_EQ(ids.size(), a.size());
+}
+
+TEST(NnSemiJoin, MatchesIncrementalSemiJoin) {
+  const auto a = PointsA(120, 213);
+  const auto b = PointsB(150, 214);
+  RTree<2> ta = BuildPointTree(a);
+  RTree<2> tb = BuildPointTree(b);
+  const auto expected = BruteForceSemiDistances(a, b);
+
+  NnSemiJoinStats stats;
+  const auto got = NnSemiJoin(ta, tb, Metric::kEuclidean, &stats);
+  ASSERT_EQ(got.size(), a.size());
+  for (size_t k = 0; k < got.size(); ++k) {
+    ASSERT_NEAR(got[k].distance, expected[k], 1e-9) << k;
+  }
+  EXPECT_EQ(stats.nn_queries, a.size());
+  EXPECT_GT(stats.distance_calcs, 0u);
+}
+
+TEST(NnSemiJoin, AgreesWithIncrementalAlgorithmPairByPair) {
+  const auto a = PointsA(100, 215);
+  const auto b = PointsB(100, 216);
+  RTree<2> ta = BuildPointTree(a);
+  RTree<2> tb = BuildPointTree(b);
+
+  const auto nn_result = NnSemiJoin(ta, tb);
+  SemiJoinOptions options;
+  options.bound = SemiJoinBound::kGlobalAll;
+  DistanceSemiJoin<2> semi(ta, tb, options);
+  JoinResult<2> pair;
+  size_t k = 0;
+  while (semi.Next(&pair)) {
+    ASSERT_LT(k, nn_result.size());
+    ASSERT_NEAR(pair.distance, nn_result[k].distance, 1e-9) << k;
+    ++k;
+  }
+  EXPECT_EQ(k, nn_result.size());
+}
+
+TEST(WithinJoin, MatchesBruteForceWithinEps) {
+  const auto a = PointsA(130, 217);
+  const auto b = PointsB(140, 218);
+  RTree<2> ta = BuildPointTree(a);
+  RTree<2> tb = BuildPointTree(b);
+  const auto reference = BruteForcePairs(a, b);
+  const double eps = reference[1500].distance;
+
+  WithinJoinStats stats;
+  const auto got = WithinJoinSorted(ta, tb, eps, Metric::kEuclidean, &stats);
+  std::set<std::pair<size_t, size_t>> expected;
+  for (const auto& p : reference) {
+    if (p.distance <= eps) expected.insert({p.id1, p.id2});
+  }
+  ASSERT_EQ(got.size(), expected.size());
+  for (const auto& r : got) {
+    EXPECT_TRUE(expected.count({r.id1, r.id2})) << r.id1 << "," << r.id2;
+    EXPECT_LE(r.distance, eps);
+  }
+  for (size_t k = 1; k < got.size(); ++k) {
+    ASSERT_GE(got[k].distance, got[k - 1].distance);
+  }
+  EXPECT_GT(stats.node_pairs_visited, 0u);
+}
+
+TEST(WithinJoin, ZeroEpsFindsOnlyCoincidentPoints) {
+  std::vector<Point<2>> a = {{1, 1}, {2, 2}, {3, 3}};
+  std::vector<Point<2>> b = {{2, 2}, {4, 4}};
+  RTree<2> ta = BuildPointTree(a);
+  RTree<2> tb = BuildPointTree(b);
+  const auto got = WithinJoinSorted(ta, tb, 0.0, Metric::kEuclidean);
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0].id1, 1u);
+  EXPECT_EQ(got[0].id2, 0u);
+  EXPECT_DOUBLE_EQ(got[0].distance, 0.0);
+}
+
+TEST(WithinJoin, TreesOfDifferentHeights) {
+  const auto a = PointsA(1000, 219);  // tall tree
+  const auto b = PointsB(15, 220);    // root-leaf tree
+  RTree<2> ta = BuildPointTree(a);
+  RTree<2> tb = BuildPointTree(b);
+  ASSERT_GT(ta.height(), tb.height());
+  const auto reference = BruteForcePairs(a, b);
+  const double eps = reference[500].distance;
+  const auto got = WithinJoinSorted(ta, tb, eps, Metric::kEuclidean);
+  size_t expected = 0;
+  for (const auto& p : reference) {
+    if (p.distance <= eps) ++expected;
+  }
+  EXPECT_EQ(got.size(), expected);
+}
+
+TEST(WithinJoin, AgreesWithIncrementalJoinUnderMaxDistance) {
+  const auto a = PointsA(90, 221);
+  const auto b = PointsB(110, 222);
+  RTree<2> ta = BuildPointTree(a);
+  RTree<2> tb = BuildPointTree(b);
+  const double eps = 40.0;
+
+  const auto within = WithinJoinSorted(ta, tb, eps, Metric::kEuclidean);
+  DistanceJoinOptions options;
+  options.max_distance = eps;
+  DistanceJoin<2> join(ta, tb, options);
+  JoinResult<2> pair;
+  size_t k = 0;
+  while (join.Next(&pair)) {
+    ASSERT_LT(k, within.size());
+    ASSERT_NEAR(pair.distance, within[k].distance, 1e-9) << k;
+    ++k;
+  }
+  EXPECT_EQ(k, within.size());
+}
+
+}  // namespace
+}  // namespace sdj::baseline

@@ -1,0 +1,169 @@
+#include "storage/buffer_pool.h"
+
+#include <cstring>
+
+#include <gtest/gtest.h>
+
+#include "storage/page_file.h"
+
+namespace sdj::storage {
+namespace {
+
+BufferPool MakePool(uint32_t capacity, uint32_t page_size = 64) {
+  return BufferPool(NewMemoryPageFile(page_size), capacity);
+}
+
+TEST(BufferPool, NewPageIsZeroedAndPinned) {
+  BufferPool pool = MakePool(4);
+  PageId id;
+  char* data = pool.NewPage(&id);
+  ASSERT_NE(data, nullptr);
+  for (uint32_t i = 0; i < pool.page_size(); ++i) EXPECT_EQ(data[i], 0);
+  pool.Unpin(id, false);
+}
+
+TEST(BufferPool, PinnedDataPersistsAcrossUnpinRepin) {
+  BufferPool pool = MakePool(4);
+  PageId id;
+  char* data = pool.NewPage(&id);
+  std::memset(data, 0x5A, pool.page_size());
+  pool.Unpin(id, true);
+  char* again = pool.Pin(id);
+  for (uint32_t i = 0; i < pool.page_size(); ++i) {
+    EXPECT_EQ(static_cast<unsigned char>(again[i]), 0x5A);
+  }
+  pool.Unpin(id, false);
+}
+
+TEST(BufferPool, DirtyPageSurvivesEviction) {
+  BufferPool pool = MakePool(2);
+  PageId id;
+  char* data = pool.NewPage(&id);
+  std::memset(data, 0x77, pool.page_size());
+  pool.Unpin(id, true);
+  // Thrash the pool with enough other pages to force eviction of `id`.
+  for (int i = 0; i < 4; ++i) {
+    PageId other;
+    pool.NewPage(&other);
+    pool.Unpin(other, false);
+  }
+  char* again = pool.Pin(id);
+  for (uint32_t i = 0; i < pool.page_size(); ++i) {
+    ASSERT_EQ(static_cast<unsigned char>(again[i]), 0x77);
+  }
+  pool.Unpin(id, false);
+}
+
+TEST(BufferPool, HitAndMissAccounting) {
+  BufferPool pool = MakePool(2);
+  PageId a, b, c;
+  pool.NewPage(&a);
+  pool.Unpin(a, false);
+  pool.NewPage(&b);
+  pool.Unpin(b, false);
+  pool.NewPage(&c);  // evicts a (LRU)
+  pool.Unpin(c, false);
+  pool.ResetStats();
+
+  pool.Pin(b);  // hit
+  pool.Unpin(b, false);
+  pool.Pin(a);  // miss (was evicted)
+  pool.Unpin(a, false);
+  const IoStats& s = pool.stats();
+  EXPECT_EQ(s.logical_reads, 2u);
+  EXPECT_EQ(s.buffer_hits, 1u);
+  EXPECT_EQ(s.buffer_misses, 1u);
+  EXPECT_EQ(s.physical_reads, 1u);
+}
+
+TEST(BufferPool, LruEvictsLeastRecentlyUsed) {
+  BufferPool pool = MakePool(2);
+  PageId a, b;
+  pool.NewPage(&a);
+  pool.Unpin(a, false);
+  pool.NewPage(&b);
+  pool.Unpin(b, false);
+  // Touch `a` so that `b` becomes LRU.
+  pool.Pin(a);
+  pool.Unpin(a, false);
+  PageId c;
+  pool.NewPage(&c);  // must evict b, not a
+  pool.Unpin(c, false);
+  pool.ResetStats();
+  pool.Pin(a);
+  pool.Unpin(a, false);
+  EXPECT_EQ(pool.stats().buffer_hits, 1u);  // a still resident
+  pool.Pin(b);
+  pool.Unpin(b, false);
+  EXPECT_EQ(pool.stats().buffer_misses, 1u);  // b was evicted
+}
+
+TEST(BufferPool, PinNestingKeepsPageResident) {
+  BufferPool pool = MakePool(2);
+  PageId a;
+  pool.NewPage(&a);  // pin 1
+  pool.Pin(a);       // pin 2
+  pool.Unpin(a, false);
+  // Still pinned once: allocating new pages must not evict it.
+  PageId b;
+  pool.NewPage(&b);
+  pool.Unpin(b, false);
+  pool.ResetStats();
+  pool.Pin(a);
+  EXPECT_EQ(pool.stats().buffer_hits, 1u);
+  pool.Unpin(a, false);
+  pool.Unpin(a, false);
+}
+
+TEST(BufferPool, FlushAllWritesDirtyPages) {
+  auto file = NewMemoryPageFile(64);
+  PageFile* raw = file.get();
+  BufferPool pool(std::move(file), 4);
+  PageId id;
+  char* data = pool.NewPage(&id);
+  std::memset(data, 0x42, 64);
+  pool.Unpin(id, true);
+  pool.FlushAll();
+  char buffer[64];
+  ASSERT_TRUE(raw->Read(id, buffer));
+  for (char ch : buffer) EXPECT_EQ(static_cast<unsigned char>(ch), 0x42);
+}
+
+TEST(BufferPool, InvalidateDropsCleanPagesAndFlushesDirty) {
+  BufferPool pool = MakePool(4);
+  PageId a;
+  char* data = pool.NewPage(&a);
+  std::memset(data, 0x11, pool.page_size());
+  pool.Unpin(a, true);
+  pool.Invalidate();
+  pool.ResetStats();
+  char* again = pool.Pin(a);
+  EXPECT_EQ(pool.stats().buffer_misses, 1u);  // cold after invalidate
+  for (uint32_t i = 0; i < pool.page_size(); ++i) {
+    ASSERT_EQ(static_cast<unsigned char>(again[i]), 0x11);
+  }
+  pool.Unpin(a, false);
+}
+
+TEST(BufferPool, ManyPagesThrashCorrectly) {
+  BufferPool pool = MakePool(8, 32);
+  const int n = 100;
+  for (int i = 0; i < n; ++i) {
+    PageId id;
+    char* data = pool.NewPage(&id);
+    EXPECT_EQ(id, static_cast<PageId>(i));
+    std::memset(data, i & 0xFF, 32);
+    pool.Unpin(id, true);
+  }
+  // Verify all pages, far exceeding the pool capacity.
+  for (int i = 0; i < n; ++i) {
+    char* data = pool.Pin(static_cast<PageId>(i));
+    for (int j = 0; j < 32; ++j) {
+      ASSERT_EQ(static_cast<unsigned char>(data[j]), i & 0xFF) << i;
+    }
+    pool.Unpin(static_cast<PageId>(i), false);
+  }
+}
+
+}  // namespace
+}  // namespace sdj::storage

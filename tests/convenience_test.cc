@@ -1,0 +1,150 @@
+#include "core/convenience.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "join_test_util.h"
+#include "quadtree/quadtree.h"
+
+namespace sdj {
+namespace {
+
+using test::BruteForcePairs;
+using test::BruteForceSemiDistances;
+using test::BuildPointTree;
+
+std::vector<Point<2>> A() {
+  return data::GenerateUniform(120, Rect<2>({0, 0}, {1000, 1000}), 551);
+}
+std::vector<Point<2>> B() {
+  return data::GenerateUniform(150, Rect<2>({0, 0}, {1000, 1000}), 552);
+}
+
+TEST(Convenience, KClosestPairs) {
+  const auto a = A();
+  const auto b = B();
+  RTree<2> ta = BuildPointTree(a);
+  RTree<2> tb = BuildPointTree(b);
+  const auto reference = BruteForcePairs(a, b);
+  const auto got = KClosestPairs(ta, tb, 25);
+  ASSERT_EQ(got.size(), 25u);
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got[i].distance, reference[i].distance, 1e-9) << i;
+  }
+}
+
+TEST(Convenience, KClosestPairsMoreThanProduct) {
+  std::vector<Point<2>> a = {{0, 0}, {1, 1}};
+  std::vector<Point<2>> b = {{2, 2}};
+  RTree<2> ta = BuildPointTree(a);
+  RTree<2> tb = BuildPointTree(b);
+  EXPECT_EQ(KClosestPairs(ta, tb, 100).size(), 2u);
+}
+
+TEST(Convenience, KFarthestPairs) {
+  const auto a = A();
+  const auto b = B();
+  RTree<2> ta = BuildPointTree(a);
+  RTree<2> tb = BuildPointTree(b);
+  const auto reference = BruteForcePairs(a, b);
+  const auto got = KFarthestPairs(ta, tb, 10);
+  ASSERT_EQ(got.size(), 10u);
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got[i].distance,
+                reference[reference.size() - 1 - i].distance, 1e-9)
+        << i;
+  }
+}
+
+TEST(Convenience, PairsWithinAndCount) {
+  const auto a = A();
+  const auto b = B();
+  RTree<2> ta = BuildPointTree(a);
+  RTree<2> tb = BuildPointTree(b);
+  const auto reference = BruteForcePairs(a, b);
+  const double dmax = reference[500].distance;
+  const auto got = PairsWithin(ta, tb, dmax);
+  size_t expected = 0;
+  for (const auto& p : reference) {
+    if (p.distance <= dmax) ++expected;
+  }
+  EXPECT_EQ(got.size(), expected);
+  EXPECT_EQ(CountPairsWithin(ta, tb, dmax), expected);
+  for (size_t i = 1; i < got.size(); ++i) {
+    EXPECT_GE(got[i].distance, got[i - 1].distance);
+  }
+}
+
+TEST(Convenience, NearestPartnerForAll) {
+  const auto a = A();
+  const auto b = B();
+  RTree<2> ta = BuildPointTree(a);
+  RTree<2> tb = BuildPointTree(b);
+  const auto expected = BruteForceSemiDistances(a, b);
+  const auto got = NearestPartnerForAll(ta, tb);
+  ASSERT_EQ(got.size(), a.size());
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got[i].distance, expected[i], 1e-9) << i;
+  }
+}
+
+TEST(Convenience, WorksOverQuadtrees) {
+  const auto a = A();
+  const auto b = B();
+  const Rect<2> world({0, 0}, {1000, 1000});
+  PointQuadtree<2> ta(world);
+  PointQuadtree<2> tb(world);
+  for (size_t i = 0; i < a.size(); ++i) ta.Insert(a[i], i);
+  for (size_t i = 0; i < b.size(); ++i) tb.Insert(b[i], i);
+  const auto reference = BruteForcePairs(a, b);
+  const auto got = KClosestPairs(ta, tb, 15);
+  ASSERT_EQ(got.size(), 15u);
+  for (size_t i = 0; i < got.size(); ++i) {
+    EXPECT_NEAR(got[i].distance, reference[i].distance, 1e-9) << i;
+  }
+}
+
+TEST(DeferredLeafPolicy, MatchesBruteForceOnRTrees) {
+  const auto a = A();
+  const auto b = B();
+  RTree<2> ta = BuildPointTree(a);
+  RTree<2> tb = BuildPointTree(b);
+  const auto reference = BruteForcePairs(a, b);
+  DistanceJoinOptions options;
+  options.node_policy = NodeProcessingPolicy::kDeferredLeaf;
+  DistanceJoin<2> join(ta, tb, options);
+  JoinResult<2> pair;
+  for (size_t k = 0; k < 400; ++k) {
+    ASSERT_TRUE(join.Next(&pair)) << k;
+    ASSERT_NEAR(pair.distance, reference[k].distance, 1e-9) << k;
+  }
+}
+
+TEST(DeferredLeafPolicy, MatchesBruteForceOnQuadtrees) {
+  // The policy exists for exactly this case (Section 2.2.2: unbalanced
+  // structures without leaf bounding rectangles).
+  const auto a = A();
+  const auto b = B();
+  const Rect<2> world({0, 0}, {1000, 1000});
+  PointQuadtree<2> ta(world);
+  PointQuadtree<2> tb(world);
+  for (size_t i = 0; i < a.size(); ++i) ta.Insert(a[i], i);
+  for (size_t i = 0; i < b.size(); ++i) tb.Insert(b[i], i);
+  const auto reference = BruteForcePairs(a, b);
+  DistanceJoinOptions options;
+  options.node_policy = NodeProcessingPolicy::kDeferredLeaf;
+  DistanceJoin<2, PointQuadtree<2>> join(ta, tb, options);
+  JoinResult<2> pair;
+  std::vector<double> got;
+  while (join.Next(&pair)) got.push_back(pair.distance);
+  ASSERT_EQ(got.size(), reference.size());
+  for (size_t k = 0; k < got.size(); ++k) {
+    ASSERT_NEAR(got[k], reference[k].distance, 1e-9) << k;
+  }
+}
+
+}  // namespace
+}  // namespace sdj

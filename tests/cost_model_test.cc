@@ -1,0 +1,141 @@
+#include "core/cost_model.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/distance_join.h"
+#include "data/generators.h"
+#include "join_test_util.h"
+
+namespace sdj {
+namespace {
+
+using test::BuildPointTree;
+
+TEST(ProfileTree, CountsNodesAndLevels) {
+  const auto points =
+      data::GenerateUniform(1000, Rect<2>({0, 0}, {100, 100}), 1);
+  RTree<2> tree = BuildPointTree(points);
+  const TreeProfile<2> profile = ProfileTree(tree);
+  EXPECT_EQ(profile.objects, 1000u);
+  ASSERT_EQ(profile.levels.size(), static_cast<size_t>(tree.height()));
+  EXPECT_EQ(profile.levels[0].nodes, tree.num_leaves());
+  size_t total = 0;
+  for (const auto& level : profile.levels) total += level.nodes;
+  EXPECT_EQ(total, tree.num_nodes());
+  // Upper levels have fewer, larger nodes.
+  for (size_t l = 1; l < profile.levels.size(); ++l) {
+    EXPECT_LT(profile.levels[l].nodes, profile.levels[l - 1].nodes);
+    EXPECT_GT(profile.levels[l].avg_extent[0],
+              profile.levels[l - 1].avg_extent[0]);
+  }
+}
+
+TEST(ProfileTree, EmptyTree) {
+  RTree<2> tree;
+  const TreeProfile<2> profile = ProfileTree(tree);
+  EXPECT_EQ(profile.objects, 0u);
+  EXPECT_TRUE(profile.levels.empty());
+}
+
+TEST(UnitBallVolumeRatio, KnownValues) {
+  EXPECT_DOUBLE_EQ(UnitBallVolumeRatio(Metric::kChessboard, 2), 1.0);
+  EXPECT_NEAR(UnitBallVolumeRatio(Metric::kEuclidean, 2),
+              3.14159265358979 / 4.0, 1e-9);
+  EXPECT_DOUBLE_EQ(UnitBallVolumeRatio(Metric::kManhattan, 2), 0.5);
+  EXPECT_NEAR(UnitBallVolumeRatio(Metric::kEuclidean, 3),
+              (4.0 / 3.0) * 3.14159265358979 / 8.0, 1e-9);
+}
+
+TEST(EstimateDistanceJoinCost, ResultCountAccurateOnUniformData) {
+  const Rect<2> extent({0, 0}, {1000, 1000});
+  const auto a = data::GenerateUniform(800, extent, 11);
+  const auto b = data::GenerateUniform(800, extent, 12);
+  RTree<2> ta = BuildPointTree(a);
+  RTree<2> tb = BuildPointTree(b);
+
+  for (double dmax : {10.0, 30.0, 60.0}) {
+    const auto estimate = EstimateDistanceJoinCost(ta, tb, dmax);
+    // Measure the truth.
+    DistanceJoinOptions options;
+    options.max_distance = dmax;
+    DistanceJoin<2> join(ta, tb, options);
+    JoinResult<2> pair;
+    double actual = 0;
+    while (join.Next(&pair)) ++actual;
+    ASSERT_GT(actual, 0);
+    const double ratio = estimate.expected_result_pairs / actual;
+    EXPECT_GT(ratio, 0.5) << "dmax=" << dmax;
+    EXPECT_LT(ratio, 2.0) << "dmax=" << dmax;
+  }
+}
+
+TEST(EstimateDistanceJoinCost, NodeVisitsWithinOrderOfMagnitude) {
+  const Rect<2> extent({0, 0}, {1000, 1000});
+  const auto a = data::GenerateUniform(2000, extent, 13);
+  const auto b = data::GenerateUniform(2000, extent, 14);
+  RTree<2> ta = BuildPointTree(a);
+  RTree<2> tb = BuildPointTree(b);
+  const double dmax = 15.0;
+
+  const auto estimate = EstimateDistanceJoinCost(ta, tb, dmax);
+  DistanceJoinOptions options;
+  options.max_distance = dmax;
+  DistanceJoin<2> join(ta, tb, options);
+  JoinResult<2> pair;
+  while (join.Next(&pair)) {
+  }
+  const double actual = static_cast<double>(join.stats().nodes_expanded);
+  ASSERT_GT(actual, 0);
+  const double ratio = estimate.expected_node_pair_visits / actual;
+  EXPECT_GT(ratio, 0.5);
+  EXPECT_LT(ratio, 2.0);
+}
+
+TEST(EstimateDistanceJoinCost, MonotoneInMaxDistance) {
+  const auto a = data::GenerateUniform(500, Rect<2>({0, 0}, {100, 100}), 15);
+  const auto b = data::GenerateUniform(500, Rect<2>({0, 0}, {100, 100}), 16);
+  RTree<2> ta = BuildPointTree(a);
+  RTree<2> tb = BuildPointTree(b);
+  double last_results = -1.0;
+  double last_visits = -1.0;
+  for (double dmax : {0.0, 1.0, 5.0, 20.0, 100.0}) {
+    const auto estimate = EstimateDistanceJoinCost(ta, tb, dmax);
+    EXPECT_GE(estimate.expected_result_pairs, last_results);
+    EXPECT_GE(estimate.expected_node_pair_visits, last_visits);
+    last_results = estimate.expected_result_pairs;
+    last_visits = estimate.expected_node_pair_visits;
+  }
+}
+
+TEST(EstimateDistanceJoinCost, ZeroDistanceOnPointsPredictsNoResults) {
+  const auto a = data::GenerateUniform(300, Rect<2>({0, 0}, {100, 100}), 17);
+  const auto b = data::GenerateUniform(300, Rect<2>({0, 0}, {100, 100}), 18);
+  RTree<2> ta = BuildPointTree(a);
+  RTree<2> tb = BuildPointTree(b);
+  const auto estimate = EstimateDistanceJoinCost(ta, tb, 0.0);
+  EXPECT_DOUBLE_EQ(estimate.expected_result_pairs, 0.0);
+}
+
+TEST(EstimateDistanceJoinCost, EmptyTrees) {
+  RTree<2> empty;
+  RTree<2> tree = BuildPointTree(
+      data::GenerateUniform(100, Rect<2>({0, 0}, {10, 10}), 19));
+  const auto estimate = EstimateDistanceJoinCost(empty, tree, 5.0);
+  EXPECT_DOUBLE_EQ(estimate.expected_result_pairs, 0.0);
+  EXPECT_DOUBLE_EQ(estimate.expected_node_pair_visits, 0.0);
+}
+
+TEST(ShouldFilterBeforeJoin, HighSelectivityFavorsFiltering) {
+  const Rect<2> extent({0, 0}, {1000, 1000});
+  RTree<2> ta = BuildPointTree(data::GenerateUniform(5000, extent, 20));
+  RTree<2> tb = BuildPointTree(data::GenerateUniform(5000, extent, 21));
+  // Very selective predicate (0.1% survive): filter first.
+  EXPECT_TRUE(ShouldFilterBeforeJoin(ta, tb, 0.001, 50.0, 100));
+  // Everything survives: filtering first only adds the build cost.
+  EXPECT_FALSE(ShouldFilterBeforeJoin(ta, tb, 1.0, 50.0, 100));
+}
+
+}  // namespace
+}  // namespace sdj

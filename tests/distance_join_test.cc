@@ -1,0 +1,508 @@
+#include "core/distance_join.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "join_test_util.h"
+#include "rtree/rtree.h"
+
+namespace sdj {
+namespace {
+
+using test::BruteForcePairs;
+using test::BuildPointTree;
+using test::RefPair;
+
+std::vector<Point<2>> SampleA(size_t n = 300, uint64_t seed = 51) {
+  data::ClusterOptions options;
+  options.num_points = n;
+  options.extent = Rect<2>({0, 0}, {1000, 1000});
+  options.num_clusters = 6;
+  options.spread_fraction = 0.05;
+  options.seed = seed;
+  return data::GenerateClustered(options);
+}
+
+std::vector<Point<2>> SampleB(size_t n = 400, uint64_t seed = 52) {
+  return data::GenerateUniform(n, Rect<2>({100, 100}, {900, 900}), seed);
+}
+
+// Drains up to `limit` pairs from the join.
+std::vector<JoinResult<2>> Drain(DistanceJoin<2>& join, size_t limit) {
+  std::vector<JoinResult<2>> out;
+  JoinResult<2> pair;
+  while (out.size() < limit && join.Next(&pair)) out.push_back(pair);
+  return out;
+}
+
+struct PolicyParam {
+  NodeProcessingPolicy node_policy;
+  TieBreakPolicy tie_break;
+};
+
+class JoinPolicySweep : public ::testing::TestWithParam<PolicyParam> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Policies, JoinPolicySweep,
+    ::testing::Values(
+        PolicyParam{NodeProcessingPolicy::kEven, TieBreakPolicy::kDepthFirst},
+        PolicyParam{NodeProcessingPolicy::kEven,
+                    TieBreakPolicy::kBreadthFirst},
+        PolicyParam{NodeProcessingPolicy::kBasic, TieBreakPolicy::kDepthFirst},
+        PolicyParam{NodeProcessingPolicy::kSimultaneous,
+                    TieBreakPolicy::kDepthFirst},
+        PolicyParam{NodeProcessingPolicy::kDeferredLeaf,
+                    TieBreakPolicy::kDepthFirst}),
+    [](const auto& info) {
+      std::string name;
+      switch (info.param.node_policy) {
+        case NodeProcessingPolicy::kBasic: name = "Basic"; break;
+        case NodeProcessingPolicy::kEven: name = "Even"; break;
+        case NodeProcessingPolicy::kSimultaneous: name = "Simultaneous"; break;
+        case NodeProcessingPolicy::kDeferredLeaf: name = "DeferredLeaf"; break;
+      }
+      name += info.param.tie_break == TieBreakPolicy::kDepthFirst
+                  ? "DepthFirst"
+                  : "BreadthFirst";
+      return name;
+    });
+
+TEST_P(JoinPolicySweep, MatchesBruteForcePrefix) {
+  const auto a = SampleA();
+  const auto b = SampleB();
+  RTree<2> ta = BuildPointTree(a);
+  RTree<2> tb = BuildPointTree(b);
+  const auto reference = BruteForcePairs(a, b);
+
+  DistanceJoinOptions options;
+  options.node_policy = GetParam().node_policy;
+  options.tie_break = GetParam().tie_break;
+  DistanceJoin<2> join(ta, tb, options);
+  const auto got = Drain(join, 500);
+  ASSERT_EQ(got.size(), 500u);
+  for (size_t k = 0; k < got.size(); ++k) {
+    ASSERT_NEAR(got[k].distance, reference[k].distance, 1e-9) << "k=" << k;
+    // The reported distance must be the true distance of the reported pair.
+    ASSERT_NEAR(got[k].distance, Dist(a[got[k].id1], b[got[k].id2]), 1e-9);
+    if (k > 0) {
+      ASSERT_GE(got[k].distance, got[k - 1].distance - 1e-12);
+    }
+  }
+}
+
+TEST_P(JoinPolicySweep, FullEnumerationIsExactCartesianProduct) {
+  const auto a = SampleA(40, 3);
+  const auto b = SampleB(50, 4);
+  RTree<2> ta = BuildPointTree(a);
+  RTree<2> tb = BuildPointTree(b);
+
+  DistanceJoinOptions options;
+  options.node_policy = GetParam().node_policy;
+  options.tie_break = GetParam().tie_break;
+  DistanceJoin<2> join(ta, tb, options);
+  const auto got = Drain(join, 40 * 50 + 10);
+  ASSERT_EQ(got.size(), 40u * 50u);
+  std::set<std::pair<ObjectId, ObjectId>> seen;
+  for (const auto& r : got) {
+    EXPECT_TRUE(seen.insert({r.id1, r.id2}).second)
+        << "duplicate " << r.id1 << "," << r.id2;
+  }
+}
+
+TEST(DistanceJoin, EmptyTreesYieldNothing) {
+  RTree<2> empty1;
+  RTree<2> empty2;
+  RTree<2> nonempty = BuildPointTree(SampleA(10, 7));
+  DistanceJoinOptions options;
+  {
+    DistanceJoin<2> join(empty1, empty2, options);
+    JoinResult<2> r;
+    EXPECT_FALSE(join.Next(&r));
+  }
+  {
+    DistanceJoin<2> join(empty1, nonempty, options);
+    JoinResult<2> r;
+    EXPECT_FALSE(join.Next(&r));
+  }
+  {
+    DistanceJoin<2> join(nonempty, empty2, options);
+    JoinResult<2> r;
+    EXPECT_FALSE(join.Next(&r));
+  }
+}
+
+TEST(DistanceJoin, SelfJoinReportsZeroDistanceFirst) {
+  const auto a = SampleA(60, 9);
+  RTree<2> t1 = BuildPointTree(a);
+  RTree<2> t2 = BuildPointTree(a);
+  DistanceJoinOptions options;
+  DistanceJoin<2> join(t1, t2, options);
+  // The first |a| pairs are the identity pairs at distance 0 (assuming
+  // distinct points).
+  const auto got = Drain(join, a.size());
+  for (const auto& r : got) {
+    ASSERT_DOUBLE_EQ(r.distance, 0.0);
+  }
+}
+
+TEST(DistanceJoin, RespectsMaxDistance) {
+  const auto a = SampleA();
+  const auto b = SampleB();
+  RTree<2> ta = BuildPointTree(a);
+  RTree<2> tb = BuildPointTree(b);
+  const auto reference = BruteForcePairs(a, b);
+  const double dmax = reference[2000].distance;
+
+  DistanceJoinOptions options;
+  options.max_distance = dmax;
+  DistanceJoin<2> join(ta, tb, options);
+  const auto got = Drain(join, a.size() * b.size());
+  size_t expected = 0;
+  while (expected < reference.size() && reference[expected].distance <= dmax) {
+    ++expected;
+  }
+  EXPECT_EQ(got.size(), expected);
+  for (const auto& r : got) EXPECT_LE(r.distance, dmax);
+  // Pruning must have been useful: far fewer queue pushes than the
+  // unbounded join.
+  DistanceJoin<2> unbounded(ta, tb, DistanceJoinOptions{});
+  Drain(unbounded, expected);
+  EXPECT_LT(join.stats().queue_pushes, unbounded.stats().queue_pushes);
+}
+
+TEST(DistanceJoin, RespectsMinDistance) {
+  const auto a = SampleA(150, 11);
+  const auto b = SampleB(150, 12);
+  RTree<2> ta = BuildPointTree(a);
+  RTree<2> tb = BuildPointTree(b);
+  const auto reference = BruteForcePairs(a, b);
+  const double dmin = reference[reference.size() / 2].distance;
+
+  DistanceJoinOptions options;
+  options.min_distance = dmin;
+  DistanceJoin<2> join(ta, tb, options);
+  const auto got = Drain(join, reference.size());
+  size_t expected = 0;
+  for (const auto& p : reference) {
+    if (p.distance >= dmin) ++expected;
+  }
+  EXPECT_EQ(got.size(), expected);
+  for (const auto& r : got) EXPECT_GE(r.distance, dmin);
+  // The first result is the smallest distance >= dmin.
+  auto first_ge = std::lower_bound(
+      reference.begin(), reference.end(), dmin,
+      [](const RefPair& p, double v) { return p.distance < v; });
+  ASSERT_NE(first_ge, reference.end());
+  EXPECT_NEAR(got.front().distance, first_ge->distance, 1e-9);
+}
+
+TEST(DistanceJoin, DistanceRangeWindow) {
+  const auto a = SampleA(120, 13);
+  const auto b = SampleB(120, 14);
+  RTree<2> ta = BuildPointTree(a);
+  RTree<2> tb = BuildPointTree(b);
+  const auto reference = BruteForcePairs(a, b);
+  const double lo = reference[1000].distance;
+  const double hi = reference[5000].distance;
+
+  DistanceJoinOptions options;
+  options.min_distance = lo;
+  options.max_distance = hi;
+  DistanceJoin<2> join(ta, tb, options);
+  const auto got = Drain(join, reference.size());
+  size_t expected = 0;
+  for (const auto& p : reference) {
+    if (p.distance >= lo && p.distance <= hi) ++expected;
+  }
+  EXPECT_EQ(got.size(), expected);
+}
+
+TEST(DistanceJoin, MaxPairsStopsExactly) {
+  RTree<2> ta = BuildPointTree(SampleA(100, 15));
+  RTree<2> tb = BuildPointTree(SampleB(100, 16));
+  DistanceJoinOptions options;
+  options.max_pairs = 37;
+  DistanceJoin<2> join(ta, tb, options);
+  const auto got = Drain(join, 1000);
+  EXPECT_EQ(got.size(), 37u);
+  JoinResult<2> extra;
+  EXPECT_FALSE(join.Next(&extra));
+}
+
+TEST(DistanceJoin, MaxDistanceEstimationPreservesResults) {
+  const auto a = SampleA();
+  const auto b = SampleB();
+  RTree<2> ta = BuildPointTree(a);
+  RTree<2> tb = BuildPointTree(b);
+  const auto reference = BruteForcePairs(a, b);
+
+  for (uint64_t k : {1u, 10u, 100u, 1000u}) {
+    DistanceJoinOptions options;
+    options.max_pairs = k;
+    options.estimate_max_distance = true;
+    DistanceJoin<2> join(ta, tb, options);
+    const auto got = Drain(join, k + 5);
+    ASSERT_EQ(got.size(), k) << "k=" << k;
+    for (size_t i = 0; i < k; ++i) {
+      ASSERT_NEAR(got[i].distance, reference[i].distance, 1e-9)
+          << "k=" << k << " i=" << i;
+    }
+    EXPECT_EQ(join.stats().restarts, 0u);
+  }
+}
+
+TEST(DistanceJoin, EstimationReducesQueueGrowth) {
+  const auto a = SampleA(500, 61);
+  const auto b = SampleB(800, 62);
+  RTree<2> ta = BuildPointTree(a);
+  RTree<2> tb = BuildPointTree(b);
+
+  DistanceJoinOptions plain;
+  plain.max_pairs = 50;
+  DistanceJoin<2> join_plain(ta, tb, plain);
+  Drain(join_plain, 50);
+
+  DistanceJoinOptions est = plain;
+  est.estimate_max_distance = true;
+  DistanceJoin<2> join_est(ta, tb, est);
+  Drain(join_est, 50);
+
+  EXPECT_LT(join_est.stats().queue_pushes, join_plain.stats().queue_pushes);
+  EXPECT_LT(join_est.stats().max_queue_size,
+            join_plain.stats().max_queue_size);
+}
+
+TEST(DistanceJoin, AggressiveEstimationCorrectEvenWithRestarts) {
+  const auto a = SampleA(200, 63);
+  const auto b = SampleB(300, 64);
+  RTree<2> ta = BuildPointTree(a);
+  RTree<2> tb = BuildPointTree(b);
+  const auto reference = BruteForcePairs(a, b);
+
+  for (uint64_t k : {5u, 50u, 500u}) {
+    DistanceJoinOptions options;
+    options.max_pairs = k;
+    options.estimate_max_distance = true;
+    options.aggressive_estimation = true;
+    DistanceJoin<2> join(ta, tb, options);
+    const auto got = Drain(join, k + 5);
+    ASSERT_EQ(got.size(), k);
+    for (size_t i = 0; i < k; ++i) {
+      ASSERT_NEAR(got[i].distance, reference[i].distance, 1e-9)
+          << "k=" << k << " i=" << i;
+    }
+  }
+}
+
+TEST(DistanceJoin, ReverseOrderReportsFarthestFirst) {
+  const auto a = SampleA(80, 17);
+  const auto b = SampleB(90, 18);
+  RTree<2> ta = BuildPointTree(a);
+  RTree<2> tb = BuildPointTree(b);
+  auto reference = BruteForcePairs(a, b);
+
+  DistanceJoinOptions options;
+  options.reverse_order = true;
+  DistanceJoin<2> join(ta, tb, options);
+  const auto got = Drain(join, 200);
+  ASSERT_EQ(got.size(), 200u);
+  for (size_t k = 0; k < got.size(); ++k) {
+    ASSERT_NEAR(got[k].distance,
+                reference[reference.size() - 1 - k].distance, 1e-9)
+        << k;
+    if (k > 0) {
+      ASSERT_LE(got[k].distance, got[k - 1].distance + 1e-12);
+    }
+  }
+}
+
+TEST(DistanceJoin, ReverseOrderFullEnumeration) {
+  const auto a = SampleA(25, 19);
+  const auto b = SampleB(30, 20);
+  RTree<2> ta = BuildPointTree(a);
+  RTree<2> tb = BuildPointTree(b);
+  DistanceJoinOptions options;
+  options.reverse_order = true;
+  DistanceJoin<2> join(ta, tb, options);
+  const auto got = Drain(join, 25 * 30 + 5);
+  EXPECT_EQ(got.size(), 25u * 30u);
+}
+
+TEST(DistanceJoin, ReverseOrderWithMinDistance) {
+  const auto a = SampleA(60, 21);
+  const auto b = SampleB(60, 22);
+  RTree<2> ta = BuildPointTree(a);
+  RTree<2> tb = BuildPointTree(b);
+  const auto reference = BruteForcePairs(a, b);
+  const double dmin = reference[reference.size() / 2].distance;
+  DistanceJoinOptions options;
+  options.reverse_order = true;
+  options.min_distance = dmin;
+  DistanceJoin<2> join(ta, tb, options);
+  const auto got = Drain(join, reference.size());
+  size_t expected = 0;
+  for (const auto& p : reference) {
+    if (p.distance >= dmin) ++expected;
+  }
+  EXPECT_EQ(got.size(), expected);
+  for (const auto& r : got) EXPECT_GE(r.distance, dmin - 1e-12);
+}
+
+class MetricJoinSweep : public ::testing::TestWithParam<Metric> {};
+INSTANTIATE_TEST_SUITE_P(Metrics, MetricJoinSweep,
+                         ::testing::Values(Metric::kEuclidean,
+                                           Metric::kManhattan,
+                                           Metric::kChessboard),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case Metric::kEuclidean: return "Euclidean";
+                             case Metric::kManhattan: return "Manhattan";
+                             case Metric::kChessboard: return "Chessboard";
+                           }
+                           return "Unknown";
+                         });
+
+TEST_P(MetricJoinSweep, PrefixMatchesBruteForce) {
+  const auto a = SampleA(120, 23);
+  const auto b = SampleB(130, 24);
+  RTree<2> ta = BuildPointTree(a);
+  RTree<2> tb = BuildPointTree(b);
+  const auto reference = BruteForcePairs(a, b, GetParam());
+  DistanceJoinOptions options;
+  options.metric = GetParam();
+  DistanceJoin<2> join(ta, tb, options);
+  const auto got = Drain(join, 300);
+  ASSERT_EQ(got.size(), 300u);
+  for (size_t k = 0; k < got.size(); ++k) {
+    ASSERT_NEAR(got[k].distance, reference[k].distance, 1e-9) << k;
+  }
+}
+
+TEST(DistanceJoin, TieHeavyGridData) {
+  // Regular grids produce massive distance ties; the join must still report
+  // every pair exactly once in non-decreasing order.
+  const auto a = data::GenerateGrid(8, 8, Rect<2>({0, 0}, {7, 7}));
+  const auto b = data::GenerateGrid(8, 8, Rect<2>({0.5, 0.5}, {7.5, 7.5}));
+  RTree<2> ta = BuildPointTree(a);
+  RTree<2> tb = BuildPointTree(b);
+  DistanceJoinOptions options;
+  DistanceJoin<2> join(ta, tb, options);
+  const auto got = Drain(join, a.size() * b.size() + 10);
+  ASSERT_EQ(got.size(), a.size() * b.size());
+  std::set<std::pair<ObjectId, ObjectId>> seen;
+  double last = 0.0;
+  for (const auto& r : got) {
+    EXPECT_TRUE(seen.insert({r.id1, r.id2}).second);
+    EXPECT_GE(r.distance, last - 1e-12);
+    last = r.distance;
+  }
+}
+
+TEST(DistanceJoin, ObrModeMatchesDirectStorage) {
+  // Object-bounding-rectangle mode: the tree stores MBRs and the exact
+  // distance comes from a callback (Figure 3, lines 7-14).
+  const auto a = SampleA(150, 25);
+  const auto b = SampleB(150, 26);
+  RTree<2> ta = BuildPointTree(a);
+  RTree<2> tb = BuildPointTree(b);
+  const auto reference = BruteForcePairs(a, b);
+
+  DistanceJoinOptions options;
+  options.exact_object_distance = [&a, &b](ObjectId i, ObjectId j) {
+    return Dist(a[i], b[j]);
+  };
+  DistanceJoin<2> join(ta, tb, options);
+  const auto got = Drain(join, 400);
+  ASSERT_EQ(got.size(), 400u);
+  for (size_t k = 0; k < got.size(); ++k) {
+    ASSERT_NEAR(got[k].distance, reference[k].distance, 1e-9) << k;
+  }
+  EXPECT_GT(join.stats().object_distance_calcs, 0u);
+}
+
+TEST(DistanceJoin, HybridQueueMatchesMemoryQueue) {
+  const auto a = SampleA(250, 27);
+  const auto b = SampleB(350, 28);
+  RTree<2> ta = BuildPointTree(a);
+  RTree<2> tb = BuildPointTree(b);
+
+  DistanceJoinOptions memory_options;
+  DistanceJoin<2> memory_join(ta, tb, memory_options);
+  const auto expected = Drain(memory_join, 2000);
+
+  DistanceJoinOptions hybrid_options;
+  hybrid_options.use_hybrid_queue = true;
+  hybrid_options.hybrid.tier_width = 5.0;  // small => heavy tier traffic
+  DistanceJoin<2> hybrid_join(ta, tb, hybrid_options);
+  const auto got = Drain(hybrid_join, 2000);
+
+  ASSERT_EQ(got.size(), expected.size());
+  for (size_t k = 0; k < got.size(); ++k) {
+    ASSERT_NEAR(got[k].distance, expected[k].distance, 1e-9) << k;
+  }
+  // The hybrid queue must actually have kept part of the queue out of
+  // memory.
+  EXPECT_LT(hybrid_join.max_memory_queue_size(),
+            hybrid_join.stats().max_queue_size);
+}
+
+TEST(DistanceJoin, FirstPairIsCheap) {
+  // "Fast first": retrieving one pair costs a small fraction of a long run
+  // (Table 1's shape: node-pair expansions grow with the result count).
+  const auto a = SampleA(2000, 29);
+  const auto b = SampleB(3000, 30);
+  RTree<2> ta = BuildPointTree(a);
+  RTree<2> tb = BuildPointTree(b);
+  DistanceJoinOptions options;
+  DistanceJoin<2> first(ta, tb, options);
+  JoinResult<2> r;
+  ASSERT_TRUE(first.Next(&r));
+  DistanceJoin<2> many(ta, tb, options);
+  Drain(many, 100000);
+  EXPECT_LT(first.stats().nodes_expanded, many.stats().nodes_expanded / 2);
+  EXPECT_LT(first.stats().queue_pushes, many.stats().queue_pushes / 2);
+}
+
+TEST(DistanceJoin, StatsAreConsistent) {
+  RTree<2> ta = BuildPointTree(SampleA(200, 31));
+  RTree<2> tb = BuildPointTree(SampleB(200, 32));
+  DistanceJoinOptions options;
+  DistanceJoin<2> join(ta, tb, options);
+  Drain(join, 500);
+  const JoinStats& s = join.stats();
+  EXPECT_EQ(s.pairs_reported, 500u);
+  EXPECT_GT(s.object_distance_calcs, 0u);
+  EXPECT_GE(s.total_distance_calcs, s.object_distance_calcs);
+  EXPECT_GT(s.max_queue_size, 0u);
+  EXPECT_GE(s.queue_pushes, s.queue_pops);
+  EXPECT_GT(s.node_accesses, 0u);
+}
+
+TEST(DistanceJoin, InsertBuiltTreeGivesSameResults) {
+  // The join must not depend on how the R-tree was constructed.
+  const auto a = SampleA(120, 33);
+  const auto b = SampleB(120, 34);
+  RTree<2> bulk_a = BuildPointTree(a, 512, /*bulk=*/true);
+  RTree<2> ins_a = BuildPointTree(a, 512, /*bulk=*/false);
+  RTree<2> bulk_b = BuildPointTree(b, 512, /*bulk=*/true);
+  RTree<2> ins_b = BuildPointTree(b, 512, /*bulk=*/false);
+
+  DistanceJoinOptions options;
+  DistanceJoin<2> join1(bulk_a, bulk_b, options);
+  DistanceJoin<2> join2(ins_a, ins_b, options);
+  const auto r1 = Drain(join1, 300);
+  const auto r2 = Drain(join2, 300);
+  ASSERT_EQ(r1.size(), r2.size());
+  for (size_t k = 0; k < r1.size(); ++k) {
+    ASSERT_NEAR(r1[k].distance, r2[k].distance, 1e-9) << k;
+  }
+}
+
+}  // namespace
+}  // namespace sdj

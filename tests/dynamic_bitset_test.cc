@@ -1,0 +1,106 @@
+#include "util/dynamic_bitset.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace sdj {
+namespace {
+
+TEST(DynamicBitset, StartsAllUnset) {
+  DynamicBitset bits(130);
+  EXPECT_EQ(bits.size(), 130u);
+  for (size_t i = 0; i < 130; ++i) EXPECT_FALSE(bits.Test(i));
+  EXPECT_EQ(bits.Count(), 0u);
+}
+
+TEST(DynamicBitset, SetAndTest) {
+  DynamicBitset bits(100);
+  bits.Set(0);
+  bits.Set(63);
+  bits.Set(64);
+  bits.Set(99);
+  EXPECT_TRUE(bits.Test(0));
+  EXPECT_TRUE(bits.Test(63));
+  EXPECT_TRUE(bits.Test(64));
+  EXPECT_TRUE(bits.Test(99));
+  EXPECT_FALSE(bits.Test(1));
+  EXPECT_FALSE(bits.Test(65));
+  EXPECT_EQ(bits.Count(), 4u);
+}
+
+TEST(DynamicBitset, ResetClearsBit) {
+  DynamicBitset bits(10);
+  bits.Set(5);
+  EXPECT_TRUE(bits.Test(5));
+  bits.Reset(5);
+  EXPECT_FALSE(bits.Test(5));
+}
+
+TEST(DynamicBitset, TestAndSetReportsInsertion) {
+  DynamicBitset bits(64);
+  EXPECT_TRUE(bits.TestAndSet(17));   // newly inserted
+  EXPECT_FALSE(bits.TestAndSet(17));  // already present
+  EXPECT_TRUE(bits.Test(17));
+}
+
+TEST(DynamicBitset, ResizeGrowsWithUnsetBits) {
+  DynamicBitset bits(10);
+  bits.Set(9);
+  bits.Resize(200);
+  EXPECT_TRUE(bits.Test(9));
+  EXPECT_FALSE(bits.Test(150));
+  EXPECT_EQ(bits.Count(), 1u);
+}
+
+TEST(DynamicBitset, ResizeShrinkDropsTrailingBits) {
+  DynamicBitset bits(128);
+  bits.Set(100);
+  bits.Set(10);
+  bits.Resize(50);
+  EXPECT_EQ(bits.Count(), 1u);
+  EXPECT_TRUE(bits.Test(10));
+  // Growing again must not resurrect bit 100 (word-boundary hygiene).
+  bits.Resize(128);
+  EXPECT_FALSE(bits.Test(100));
+}
+
+TEST(DynamicBitset, ClearResetsEverything) {
+  DynamicBitset bits(300);
+  for (size_t i = 0; i < 300; i += 7) bits.Set(i);
+  bits.Clear();
+  EXPECT_EQ(bits.Count(), 0u);
+}
+
+TEST(DynamicBitset, MemoryFootprintMatchesPaperExample) {
+  // The paper (Section 3.2): 1 million elements occupy 122K.
+  DynamicBitset bits(1000000);
+  EXPECT_EQ(bits.MemoryBytes(), ((1000000 + 63) / 64) * 8u);
+  EXPECT_LE(bits.MemoryBytes(), 125008u);
+}
+
+TEST(DynamicBitset, RandomizedAgainstStdSet) {
+  Rng rng(4242);
+  const size_t universe = 5000;
+  DynamicBitset bits(universe);
+  std::set<size_t> ref;
+  for (int round = 0; round < 20000; ++round) {
+    const size_t i = rng.NextBounded(universe);
+    if (rng.NextDouble() < 0.7) {
+      const bool inserted = bits.TestAndSet(i);
+      EXPECT_EQ(inserted, ref.insert(i).second);
+    } else {
+      bits.Reset(i);
+      ref.erase(i);
+    }
+  }
+  EXPECT_EQ(bits.Count(), ref.size());
+  for (size_t i = 0; i < universe; ++i) {
+    ASSERT_EQ(bits.Test(i), ref.count(i) == 1) << i;
+  }
+}
+
+}  // namespace
+}  // namespace sdj

@@ -1,0 +1,334 @@
+// Tests for the Section 2.2.5 extensions: selection filters, reverse-mode
+// minimum-distance estimation, reverse semi-join, ordered intersection join,
+// and the farthest-neighbor iterator.
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/distance_join.h"
+#include "core/intersection_join.h"
+#include "core/semi_join.h"
+#include "data/generators.h"
+#include "join_test_util.h"
+#include "nn/inc_farthest.h"
+#include "rtree/rtree.h"
+#include "util/rng.h"
+
+namespace sdj {
+namespace {
+
+using test::BruteForcePairs;
+using test::BuildPointTree;
+
+std::vector<Point<2>> PointsA(size_t n = 200, uint64_t seed = 301) {
+  return data::GenerateUniform(n, Rect<2>({0, 0}, {1000, 1000}), seed);
+}
+std::vector<Point<2>> PointsB(size_t n = 250, uint64_t seed = 302) {
+  return data::GenerateUniform(n, Rect<2>({0, 0}, {1000, 1000}), seed);
+}
+
+std::vector<JoinResult<2>> DrainJoin(DistanceJoin<2>& join, size_t limit) {
+  std::vector<JoinResult<2>> out;
+  JoinResult<2> pair;
+  while (out.size() < limit && join.Next(&pair)) out.push_back(pair);
+  return out;
+}
+
+TEST(JoinFilters, Window1RestrictsFirstRelation) {
+  const auto a = PointsA();
+  const auto b = PointsB();
+  RTree<2> ta = BuildPointTree(a);
+  RTree<2> tb = BuildPointTree(b);
+  const Rect<2> window({0, 0}, {400, 400});
+
+  JoinFilters<2> filters;
+  filters.window1 = window;
+  DistanceJoin<2> join(ta, tb, DistanceJoinOptions{}, filters);
+  const auto got = DrainJoin(join, a.size() * b.size());
+
+  // Reference: only a-points inside the window participate.
+  size_t expected = 0;
+  for (const auto& p : a) {
+    if (window.Contains(p)) expected += b.size();
+  }
+  EXPECT_EQ(got.size(), expected);
+  for (const auto& r : got) {
+    EXPECT_TRUE(window.Contains(a[r.id1]));
+  }
+  EXPECT_GT(join.stats().pruned_by_filter, 0u);
+}
+
+TEST(JoinFilters, BothWindowsCompose) {
+  const auto a = PointsA(150, 303);
+  const auto b = PointsB(150, 304);
+  RTree<2> ta = BuildPointTree(a);
+  RTree<2> tb = BuildPointTree(b);
+  const Rect<2> w1({0, 0}, {500, 1000});
+  const Rect<2> w2({250, 0}, {1000, 500});
+
+  JoinFilters<2> filters;
+  filters.window1 = w1;
+  filters.window2 = w2;
+  DistanceJoin<2> join(ta, tb, DistanceJoinOptions{}, filters);
+  const auto got = DrainJoin(join, a.size() * b.size());
+  size_t in1 = 0;
+  size_t in2 = 0;
+  for (const auto& p : a) {
+    if (w1.Contains(p)) ++in1;
+  }
+  for (const auto& p : b) {
+    if (w2.Contains(p)) ++in2;
+  }
+  EXPECT_EQ(got.size(), in1 * in2);
+  // Results remain distance-ordered under filtering.
+  for (size_t k = 1; k < got.size(); ++k) {
+    EXPECT_GE(got[k].distance, got[k - 1].distance - 1e-12);
+  }
+}
+
+TEST(JoinFilters, ObjectPredicateFiltersPipeline) {
+  // The paper's "city with population > 5 million" pattern (Section 5,
+  // option 1) pushed into the engine.
+  const auto a = PointsA(120, 305);
+  const auto b = PointsB(120, 306);
+  RTree<2> ta = BuildPointTree(a);
+  RTree<2> tb = BuildPointTree(b);
+
+  JoinFilters<2> filters;
+  filters.object_filter1 = [](ObjectId id) { return id % 3 == 0; };
+  DistanceJoin<2> join(ta, tb, DistanceJoinOptions{}, filters);
+  const auto got = DrainJoin(join, a.size() * b.size());
+  EXPECT_EQ(got.size(), ((a.size() + 2) / 3) * b.size());
+  for (const auto& r : got) {
+    EXPECT_EQ(r.id1 % 3, 0u);
+  }
+}
+
+TEST(JoinFilters, SemiJoinWithWindowOnSecondRelation) {
+  // "Nearest qualifying warehouse": the nearest b inside the window.
+  const auto a = PointsA(80, 307);
+  const auto b = PointsB(120, 308);
+  RTree<2> ta = BuildPointTree(a);
+  RTree<2> tb = BuildPointTree(b);
+  const Rect<2> window({200, 200}, {800, 800});
+
+  JoinFilters<2> filters;
+  filters.window2 = window;
+  SemiJoinOptions options;
+  // Note: d_max bounds must stay off when the second relation is filtered
+  // (the engine enforces this — the nearest *qualifying* partner can be
+  // farther than the geometric bound).
+  options.bound = SemiJoinBound::kNone;
+  DistanceSemiJoin<2> semi(ta, tb, options, filters);
+  JoinResult<2> pair;
+  size_t count = 0;
+  while (semi.Next(&pair)) {
+    // The reported partner is within the window and is the nearest such b.
+    ASSERT_TRUE(window.Contains(b[pair.id2]));
+    double best = std::numeric_limits<double>::infinity();
+    for (size_t j = 0; j < b.size(); ++j) {
+      if (window.Contains(b[j])) best = std::min(best, Dist(a[pair.id1], b[j]));
+    }
+    ASSERT_NEAR(pair.distance, best, 1e-9);
+    ++count;
+  }
+  EXPECT_EQ(count, a.size());
+}
+
+TEST(ReverseEstimation, MatchesUnestimatedReverseJoin) {
+  const auto a = PointsA(150, 309);
+  const auto b = PointsB(200, 310);
+  RTree<2> ta = BuildPointTree(a);
+  RTree<2> tb = BuildPointTree(b);
+
+  for (uint64_t k : {1u, 10u, 100u}) {
+    DistanceJoinOptions plain;
+    plain.reverse_order = true;
+    plain.max_pairs = k;
+    DistanceJoin<2> join_plain(ta, tb, plain);
+    const auto expected = DrainJoin(join_plain, k);
+
+    DistanceJoinOptions est = plain;
+    est.estimate_max_distance = true;
+    DistanceJoin<2> join_est(ta, tb, est);
+    const auto got = DrainJoin(join_est, k);
+
+    ASSERT_EQ(got.size(), expected.size()) << "k=" << k;
+    for (size_t i = 0; i < got.size(); ++i) {
+      ASSERT_NEAR(got[i].distance, expected[i].distance, 1e-9)
+          << "k=" << k << " i=" << i;
+    }
+    EXPECT_EQ(join_est.stats().restarts, 0u);
+  }
+}
+
+TEST(ReverseEstimation, PrunesQueueGrowth) {
+  const auto a = PointsA(400, 311);
+  const auto b = PointsB(500, 312);
+  RTree<2> ta = BuildPointTree(a);
+  RTree<2> tb = BuildPointTree(b);
+
+  DistanceJoinOptions plain;
+  plain.reverse_order = true;
+  plain.max_pairs = 20;
+  DistanceJoin<2> join_plain(ta, tb, plain);
+  DrainJoin(join_plain, 20);
+
+  DistanceJoinOptions est = plain;
+  est.estimate_max_distance = true;
+  DistanceJoin<2> join_est(ta, tb, est);
+  DrainJoin(join_est, 20);
+
+  EXPECT_LT(join_est.stats().queue_pushes, join_plain.stats().queue_pushes);
+}
+
+TEST(ReverseSemiJoin, ReportsFarthestPartnerPerObject) {
+  // The paper's "second definition" (Section 2.3): applying the reverse join
+  // to the semi-join reports, for each o1, the o2 farthest from it, in
+  // reverse order of that distance.
+  const auto a = PointsA(60, 313);
+  const auto b = PointsB(80, 314);
+  RTree<2> ta = BuildPointTree(a);
+  RTree<2> tb = BuildPointTree(b);
+
+  SemiJoinOptions options;
+  options.filter = SemiJoinFilter::kInside2;
+  options.join.reverse_order = true;
+  DistanceSemiJoin<2> semi(ta, tb, options);
+  JoinResult<2> pair;
+  std::set<ObjectId> firsts;
+  double last = std::numeric_limits<double>::infinity();
+  size_t count = 0;
+  while (semi.Next(&pair)) {
+    EXPECT_TRUE(firsts.insert(pair.id1).second);
+    EXPECT_LE(pair.distance, last + 1e-12);
+    last = pair.distance;
+    double farthest = 0.0;
+    for (const auto& q : b) farthest = std::max(farthest, Dist(a[pair.id1], q));
+    ASSERT_NEAR(pair.distance, farthest, 1e-9) << pair.id1;
+    ++count;
+  }
+  EXPECT_EQ(count, a.size());
+}
+
+// --- OrderedIntersectionJoin ---
+
+std::vector<Rect<2>> RandomBoxes(size_t n, uint64_t seed, double max_side) {
+  Rng rng(seed);
+  std::vector<Rect<2>> boxes;
+  for (size_t i = 0; i < n; ++i) {
+    const double x = rng.Uniform(0, 1000 - max_side);
+    const double y = rng.Uniform(0, 1000 - max_side);
+    boxes.push_back({{x, y},
+                     {x + rng.Uniform(1, max_side), y + rng.Uniform(1, max_side)}});
+  }
+  return boxes;
+}
+
+RTree<2> BuildBoxTree(const std::vector<Rect<2>>& boxes) {
+  RTreeOptions options;
+  options.page_size = 512;
+  RTree<2> tree(options);
+  std::vector<RTree<2>::Entry> entries;
+  for (size_t i = 0; i < boxes.size(); ++i) entries.push_back({boxes[i], i});
+  tree.BulkLoad(std::move(entries));
+  return tree;
+}
+
+TEST(OrderedIntersectionJoin, FindsAllIntersectionsInAnchorOrder) {
+  const auto roads = RandomBoxes(150, 315, 40);
+  const auto rivers = RandomBoxes(150, 316, 40);
+  RTree<2> tr = BuildBoxTree(roads);
+  RTree<2> tv = BuildBoxTree(rivers);
+  const Point<2> house{500, 500};
+
+  OrderedIntersectionJoin<2> join(tr, tv, house);
+  std::vector<JoinResult<2>> got;
+  JoinResult<2> pair;
+  while (join.Next(&pair)) got.push_back(pair);
+
+  // Brute-force reference.
+  std::set<std::pair<size_t, size_t>> expected;
+  for (size_t i = 0; i < roads.size(); ++i) {
+    for (size_t j = 0; j < rivers.size(); ++j) {
+      if (roads[i].Intersects(rivers[j])) expected.insert({i, j});
+    }
+  }
+  ASSERT_EQ(got.size(), expected.size());
+  std::set<std::pair<size_t, size_t>> seen;
+  for (size_t k = 0; k < got.size(); ++k) {
+    const std::pair<size_t, size_t> key{got[k].id1, got[k].id2};
+    EXPECT_TRUE(expected.count(key));
+    EXPECT_TRUE(seen.insert(key).second);
+    const double d = MinDist(
+        house, roads[got[k].id1].IntersectionWith(rivers[got[k].id2]));
+    ASSERT_NEAR(got[k].distance, d, 1e-9);
+    if (k > 0) {
+      ASSERT_GE(got[k].distance, got[k - 1].distance - 1e-12);
+    }
+  }
+}
+
+TEST(OrderedIntersectionJoin, EmptyWhenNothingIntersects) {
+  std::vector<Rect<2>> left = {{{0, 0}, {10, 10}}};
+  std::vector<Rect<2>> right = {{{20, 20}, {30, 30}}};
+  RTree<2> tl = BuildBoxTree(left);
+  RTree<2> tr = BuildBoxTree(right);
+  OrderedIntersectionJoin<2> join(tl, tr, {0, 0});
+  JoinResult<2> pair;
+  EXPECT_FALSE(join.Next(&pair));
+}
+
+TEST(OrderedIntersectionJoin, PointDataRequiresCoincidence) {
+  std::vector<Point<2>> a = {{1, 1}, {5, 5}};
+  std::vector<Point<2>> b = {{5, 5}, {9, 9}};
+  RTree<2> ta = BuildPointTree(a);
+  RTree<2> tb = BuildPointTree(b);
+  OrderedIntersectionJoin<2> join(ta, tb, {0, 0});
+  JoinResult<2> pair;
+  ASSERT_TRUE(join.Next(&pair));
+  EXPECT_EQ(pair.id1, 1u);
+  EXPECT_EQ(pair.id2, 0u);
+  EXPECT_NEAR(pair.distance, Dist(Point<2>{0, 0}, Point<2>{5, 5}), 1e-12);
+  EXPECT_FALSE(join.Next(&pair));
+}
+
+// --- IncFarthestNeighbor ---
+
+TEST(IncFarthestNeighbor, MatchesBruteForceDescendingOrder) {
+  const auto points = PointsA(300, 317);
+  RTree<2> tree = BuildPointTree(points);
+  const Point<2> query{100, 900};
+  std::vector<double> expected;
+  for (const auto& p : points) expected.push_back(Dist(query, p));
+  std::sort(expected.rbegin(), expected.rend());
+
+  IncFarthestNeighbor<2> fn(tree, query);
+  IncFarthestNeighbor<2>::Result hit;
+  for (size_t k = 0; k < points.size(); ++k) {
+    ASSERT_TRUE(fn.Next(&hit));
+    ASSERT_NEAR(hit.distance, expected[k], 1e-9) << k;
+  }
+  EXPECT_FALSE(fn.Next(&hit));
+}
+
+TEST(IncFarthestNeighbor, FirstResultIsCheap) {
+  const auto points = PointsA(5000, 318);
+  RTree<2> tree = BuildPointTree(points);
+  IncFarthestNeighbor<2> fn(tree, {500, 500});
+  IncFarthestNeighbor<2>::Result hit;
+  ASSERT_TRUE(fn.Next(&hit));
+  EXPECT_LT(fn.stats().nodes_expanded, tree.num_nodes() / 2);
+}
+
+TEST(IncFarthestNeighbor, EmptyTree) {
+  RTree<2> tree;
+  IncFarthestNeighbor<2> fn(tree, {0, 0});
+  IncFarthestNeighbor<2>::Result hit;
+  EXPECT_FALSE(fn.Next(&hit));
+}
+
+}  // namespace
+}  // namespace sdj

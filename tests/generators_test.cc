@@ -1,0 +1,107 @@
+#include "data/generators.h"
+
+#include <gtest/gtest.h>
+
+#include "data/datasets.h"
+#include "geometry/rect.h"
+
+namespace sdj::data {
+namespace {
+
+const Rect<2> kExtent({0.0, 0.0}, {1000.0, 1000.0});
+
+TEST(GenerateUniform, CountAndExtent) {
+  const auto points = GenerateUniform(500, kExtent, 1);
+  EXPECT_EQ(points.size(), 500u);
+  for (const auto& p : points) EXPECT_TRUE(kExtent.Contains(p));
+}
+
+TEST(GenerateUniform, DeterministicInSeed) {
+  EXPECT_EQ(GenerateUniform(100, kExtent, 7), GenerateUniform(100, kExtent, 7));
+  EXPECT_NE(GenerateUniform(100, kExtent, 7), GenerateUniform(100, kExtent, 8));
+}
+
+TEST(GenerateClustered, CountAndExtent) {
+  ClusterOptions options;
+  options.num_points = 2000;
+  options.extent = kExtent;
+  options.seed = 3;
+  const auto points = GenerateClustered(options);
+  EXPECT_EQ(points.size(), 2000u);
+  for (const auto& p : points) EXPECT_TRUE(kExtent.Contains(p));
+}
+
+TEST(GenerateClustered, IsActuallySkewed) {
+  // A clustered distribution concentrates mass: some coarse grid cell should
+  // hold far more than the uniform share.
+  ClusterOptions options;
+  options.num_points = 5000;
+  options.extent = kExtent;
+  options.num_clusters = 8;
+  options.spread_fraction = 0.01;
+  options.background_fraction = 0.0;
+  options.seed = 5;
+  const auto points = GenerateClustered(options);
+  int grid[10][10] = {};
+  for (const auto& p : points) {
+    const int gx = std::min(9, static_cast<int>(p[0] / 100.0));
+    const int gy = std::min(9, static_cast<int>(p[1] / 100.0));
+    ++grid[gx][gy];
+  }
+  int max_cell = 0;
+  for (auto& row : grid) {
+    for (int c : row) max_cell = std::max(max_cell, c);
+  }
+  EXPECT_GT(max_cell, 3 * 5000 / 100);  // >3x the uniform expectation
+}
+
+TEST(GeneratePolylines, CountAndExtent) {
+  PolylineOptions options;
+  options.num_points = 3000;
+  options.extent = kExtent;
+  options.num_polylines = 10;
+  options.seed = 11;
+  const auto points = GeneratePolylines(options);
+  EXPECT_EQ(points.size(), 3000u);
+  for (const auto& p : points) EXPECT_TRUE(kExtent.Contains(p));
+}
+
+TEST(GeneratePolylines, Deterministic) {
+  PolylineOptions options;
+  options.num_points = 200;
+  options.extent = kExtent;
+  options.seed = 13;
+  EXPECT_EQ(GeneratePolylines(options), GeneratePolylines(options));
+}
+
+TEST(GenerateGrid, ExactPlacement) {
+  const auto points = GenerateGrid(3, 3, Rect<2>({0, 0}, {2, 2}));
+  ASSERT_EQ(points.size(), 9u);
+  EXPECT_EQ(points[0], (Point<2>{0, 0}));
+  EXPECT_EQ(points[4], (Point<2>{1, 1}));
+  EXPECT_EQ(points[8], (Point<2>{2, 2}));
+}
+
+TEST(GenerateGrid, SingleRowAndColumn) {
+  const auto row = GenerateGrid(1, 4, Rect<2>({0, 0}, {3, 10}));
+  ASSERT_EQ(row.size(), 4u);
+  for (const auto& p : row) EXPECT_EQ(p[1], 5.0);  // centered vertically
+}
+
+TEST(Datasets, PaperCardinalities) {
+  const auto water = MakeWater(0.01);
+  const auto roads = MakeRoads(0.01);
+  EXPECT_EQ(water.size(), 375u);   // ceil(37495 * 0.01)
+  EXPECT_EQ(roads.size(), 2005u);  // ceil(200482 * 0.01)
+  const auto extent = EvaluationExtent();
+  for (const auto& p : water) EXPECT_TRUE(extent.Contains(p));
+  for (const auto& p : roads) EXPECT_TRUE(extent.Contains(p));
+}
+
+TEST(Datasets, DeterministicAcrossCalls) {
+  EXPECT_EQ(MakeWater(0.005), MakeWater(0.005));
+  EXPECT_EQ(MakeRoads(0.002), MakeRoads(0.002));
+}
+
+}  // namespace
+}  // namespace sdj::data

@@ -1,0 +1,353 @@
+// Unit and property tests for the distance bound functions. The property
+// tests verify exactly the "consistency" contract of Section 2.2 that the
+// incremental join's correctness rests on.
+#include "geometry/distance.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "geometry/metrics.h"
+#include "geometry/point.h"
+#include "geometry/rect.h"
+#include "util/rng.h"
+
+namespace sdj {
+namespace {
+
+TEST(Dist, EuclideanKnownValues) {
+  EXPECT_DOUBLE_EQ(Dist(Point<2>{0, 0}, Point<2>{3, 4}), 5.0);
+  EXPECT_DOUBLE_EQ(Dist(Point<2>{1, 1}, Point<2>{1, 1}), 0.0);
+  EXPECT_DOUBLE_EQ(Dist(Point<3>{0, 0, 0}, Point<3>{1, 2, 2}), 3.0);
+}
+
+TEST(Dist, ManhattanKnownValues) {
+  EXPECT_DOUBLE_EQ(Dist(Point<2>{0, 0}, Point<2>{3, 4}, Metric::kManhattan),
+                   7.0);
+  EXPECT_DOUBLE_EQ(Dist(Point<2>{-1, 2}, Point<2>{2, -2}, Metric::kManhattan),
+                   7.0);
+}
+
+TEST(Dist, ChessboardKnownValues) {
+  EXPECT_DOUBLE_EQ(Dist(Point<2>{0, 0}, Point<2>{3, 4}, Metric::kChessboard),
+                   4.0);
+  EXPECT_DOUBLE_EQ(
+      Dist(Point<2>{10, 0}, Point<2>{3, 4}, Metric::kChessboard), 7.0);
+}
+
+TEST(MinDist, PointInsideRectIsZero) {
+  const Rect<2> r({0, 0}, {10, 10});
+  EXPECT_DOUBLE_EQ(MinDist(Point<2>{5, 5}, r), 0.0);
+  EXPECT_DOUBLE_EQ(MinDist(Point<2>{0, 10}, r), 0.0);  // boundary
+}
+
+TEST(MinDist, PointOutsideRect) {
+  const Rect<2> r({0, 0}, {10, 10});
+  EXPECT_DOUBLE_EQ(MinDist(Point<2>{13, 14}, r), 5.0);   // corner 3-4-5
+  EXPECT_DOUBLE_EQ(MinDist(Point<2>{5, -2}, r), 2.0);    // face
+  EXPECT_DOUBLE_EQ(MinDist(Point<2>{13, 14}, r, Metric::kManhattan), 7.0);
+  EXPECT_DOUBLE_EQ(MinDist(Point<2>{13, 14}, r, Metric::kChessboard), 4.0);
+}
+
+TEST(MinDist, IntersectingRectsAreZero) {
+  const Rect<2> a({0, 0}, {5, 5});
+  const Rect<2> b({4, 4}, {9, 9});
+  EXPECT_DOUBLE_EQ(MinDist(a, b), 0.0);
+  const Rect<2> touching({5, 0}, {6, 5});
+  EXPECT_DOUBLE_EQ(MinDist(a, touching), 0.0);
+}
+
+TEST(MinDist, SeparatedRects) {
+  const Rect<2> a({0, 0}, {1, 1});
+  const Rect<2> b({4, 5}, {6, 7});
+  EXPECT_DOUBLE_EQ(MinDist(a, b), 5.0);  // gap (3, 4)
+  EXPECT_DOUBLE_EQ(MinDist(a, b, Metric::kManhattan), 7.0);
+  EXPECT_DOUBLE_EQ(MinDist(a, b, Metric::kChessboard), 4.0);
+  EXPECT_DOUBLE_EQ(MinDist(b, a), 5.0);  // symmetric
+}
+
+TEST(MaxDist, PointToRect) {
+  const Rect<2> r({0, 0}, {10, 10});
+  EXPECT_DOUBLE_EQ(MaxDist(Point<2>{0, 0}, r),
+                   std::sqrt(200.0));  // farthest corner (10,10)
+  EXPECT_DOUBLE_EQ(MaxDist(Point<2>{5, 5}, r), std::sqrt(50.0));
+}
+
+TEST(MaxDist, RectToRect) {
+  const Rect<2> a({0, 0}, {1, 1});
+  const Rect<2> b({2, 0}, {3, 1});
+  EXPECT_DOUBLE_EQ(MaxDist(a, b), std::sqrt(9.0 + 1.0));
+  EXPECT_DOUBLE_EQ(MaxDist(a, a), std::sqrt(2.0));  // own diagonal
+}
+
+TEST(MinMaxDist, PointToDegenerateRectIsExactDistance) {
+  const auto r = Rect<2>::FromPoint({3, 4});
+  EXPECT_DOUBLE_EQ(MinMaxDist(Point<2>{0, 0}, r), 5.0);
+}
+
+TEST(MinMaxDist, KnownValue2D) {
+  // Unit square, query at origin. Choosing dimension x: nearer face x=0
+  // (delta 0), farther face y=1 (delta 1) => sqrt(0+1) = 1. Same for y.
+  const Rect<2> r({0, 0}, {1, 1});
+  EXPECT_DOUBLE_EQ(MinMaxDist(Point<2>{0, 0}, r), 1.0);
+}
+
+TEST(MinMaxDist, NeverExceedsMaxDist) {
+  const Rect<2> r({2, 3}, {5, 9});
+  const Point<2> p{0, 0};
+  EXPECT_LE(MinMaxDist(p, r), MaxDist(p, r));
+  EXPECT_GE(MinMaxDist(p, r), MinDist(p, r));
+}
+
+TEST(MinMaxDist, RectRectDegenerateIsExactDistance) {
+  const auto a = Rect<2>::FromPoint({0, 0});
+  const auto b = Rect<2>::FromPoint({3, 4});
+  EXPECT_DOUBLE_EQ(MinMaxDist(a, b), 5.0);
+}
+
+class MetricSweep : public ::testing::TestWithParam<Metric> {};
+
+INSTANTIATE_TEST_SUITE_P(AllMetrics, MetricSweep,
+                         ::testing::Values(Metric::kEuclidean,
+                                           Metric::kManhattan,
+                                           Metric::kChessboard),
+                         [](const auto& info) {
+                           switch (info.param) {
+                             case Metric::kEuclidean: return "Euclidean";
+                             case Metric::kManhattan: return "Manhattan";
+                             case Metric::kChessboard: return "Chessboard";
+                           }
+                           return "Unknown";
+                         });
+
+Rect<2> RandomRect(Rng& rng, double span) {
+  const double x1 = rng.Uniform(-span, span);
+  const double x2 = rng.Uniform(-span, span);
+  const double y1 = rng.Uniform(-span, span);
+  const double y2 = rng.Uniform(-span, span);
+  return Rect<2>({std::min(x1, x2), std::min(y1, y2)},
+                 {std::max(x1, x2), std::max(y1, y2)});
+}
+
+Point<2> RandomPointIn(Rng& rng, const Rect<2>& r) {
+  return {rng.Uniform(r.lo[0], r.hi[0]), rng.Uniform(r.lo[1], r.hi[1])};
+}
+
+// Samples a point set that `r` *minimally* bounds: every face of `r` is
+// touched by some point (the precondition of MINMAXDIST).
+std::vector<Point<2>> RandomMinimallyBoundedObject(Rng& rng,
+                                                   const Rect<2>& r) {
+  std::vector<Point<2>> points;
+  for (int dim = 0; dim < 2; ++dim) {
+    Point<2> on_lo = RandomPointIn(rng, r);
+    on_lo[dim] = r.lo[dim];
+    Point<2> on_hi = RandomPointIn(rng, r);
+    on_hi[dim] = r.hi[dim];
+    points.push_back(on_lo);
+    points.push_back(on_hi);
+  }
+  for (int extra = 0; extra < 4; ++extra) {
+    points.push_back(RandomPointIn(rng, r));
+  }
+  return points;
+}
+
+double MinPairDist(const std::vector<Point<2>>& a,
+                   const std::vector<Point<2>>& b, Metric metric) {
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& p : a) {
+    for (const auto& q : b) {
+      best = std::min(best, Dist(p, q, metric));
+    }
+  }
+  return best;
+}
+
+TEST_P(MetricSweep, MinDistAndMaxDistBoundAllPointPairs) {
+  const Metric metric = GetParam();
+  Rng rng(101);
+  for (int trial = 0; trial < 500; ++trial) {
+    const Rect<2> a = RandomRect(rng, 100.0);
+    const Rect<2> b = RandomRect(rng, 100.0);
+    const double lo = MinDist(a, b, metric);
+    const double hi = MaxDist(a, b, metric);
+    for (int s = 0; s < 10; ++s) {
+      const Point<2> p = RandomPointIn(rng, a);
+      const Point<2> q = RandomPointIn(rng, b);
+      const double d = Dist(p, q, metric);
+      ASSERT_LE(lo, d + 1e-9);
+      ASSERT_GE(hi, d - 1e-9);
+    }
+  }
+}
+
+TEST_P(MetricSweep, PointRectMinDistMaxDistBound) {
+  const Metric metric = GetParam();
+  Rng rng(102);
+  for (int trial = 0; trial < 500; ++trial) {
+    const Rect<2> r = RandomRect(rng, 50.0);
+    const Point<2> p{rng.Uniform(-100, 100), rng.Uniform(-100, 100)};
+    const double lo = MinDist(p, r, metric);
+    const double hi = MaxDist(p, r, metric);
+    ASSERT_LE(lo, hi + 1e-12);
+    for (int s = 0; s < 10; ++s) {
+      const double d = Dist(p, RandomPointIn(rng, r), metric);
+      ASSERT_LE(lo, d + 1e-9);
+      ASSERT_GE(hi, d - 1e-9);
+    }
+  }
+}
+
+TEST_P(MetricSweep, MinMaxDistUpperBoundsDistanceToMinimallyBoundedObject) {
+  const Metric metric = GetParam();
+  Rng rng(103);
+  for (int trial = 0; trial < 300; ++trial) {
+    const Rect<2> r = RandomRect(rng, 50.0);
+    const auto object = RandomMinimallyBoundedObject(rng, r);
+    const Point<2> p{rng.Uniform(-100, 100), rng.Uniform(-100, 100)};
+    double nearest = std::numeric_limits<double>::infinity();
+    for (const auto& q : object) {
+      nearest = std::min(nearest, Dist(p, q, metric));
+    }
+    ASSERT_LE(nearest, MinMaxDist(p, r, metric) + 1e-9)
+        << "trial " << trial;
+    // Sanity: the MINMAXDIST estimate itself sits between the bounds.
+    ASSERT_GE(MinMaxDist(p, r, metric), MinDist(p, r, metric) - 1e-9);
+    ASSERT_LE(MinMaxDist(p, r, metric), MaxDist(p, r, metric) + 1e-9);
+  }
+}
+
+TEST_P(MetricSweep, RectRectMinMaxDistUpperBoundsObjectPairDistance) {
+  const Metric metric = GetParam();
+  Rng rng(104);
+  for (int trial = 0; trial < 300; ++trial) {
+    const Rect<2> a = RandomRect(rng, 50.0);
+    const Rect<2> b = RandomRect(rng, 50.0);
+    const auto o1 = RandomMinimallyBoundedObject(rng, a);
+    const auto o2 = RandomMinimallyBoundedObject(rng, b);
+    const double actual = MinPairDist(o1, o2, metric);
+    ASSERT_LE(actual, MinMaxDist(a, b, metric) + 1e-9) << "trial " << trial;
+    ASSERT_LE(MinMaxDist(a, b, metric), MaxDist(a, b, metric) + 1e-9);
+  }
+}
+
+TEST_P(MetricSweep, MaxMinMaxDistDominatesPointwiseMinMaxDist) {
+  const Metric metric = GetParam();
+  Rng rng(105);
+  for (int trial = 0; trial < 300; ++trial) {
+    const Rect<2> a = RandomRect(rng, 50.0);
+    const Rect<2> b = RandomRect(rng, 50.0);
+    const double bound = MaxMinMaxDist(a, b, metric);
+    ASSERT_LE(bound, MaxDist(a, b, metric) + 1e-9);
+    for (int s = 0; s < 20; ++s) {
+      const Point<2> p = RandomPointIn(rng, a);
+      ASSERT_LE(MinMaxDist(p, b, metric), bound + 1e-9)
+          << "trial " << trial << " p=" << p.ToString();
+    }
+  }
+}
+
+TEST_P(MetricSweep, ConsistencyUnderContainment) {
+  // The core consistency property (Section 2.2): shrinking either side of a
+  // pair can only increase MINDIST — a child pair never has a smaller
+  // distance than the pair that generated it.
+  const Metric metric = GetParam();
+  Rng rng(106);
+  for (int trial = 0; trial < 300; ++trial) {
+    const Rect<2> parent = RandomRect(rng, 50.0);
+    // A child contained in the parent.
+    const Point<2> c1 = RandomPointIn(rng, parent);
+    const Point<2> c2 = RandomPointIn(rng, parent);
+    const Rect<2> child({std::min(c1[0], c2[0]), std::min(c1[1], c2[1])},
+                        {std::max(c1[0], c2[0]), std::max(c1[1], c2[1])});
+    const Rect<2> other = RandomRect(rng, 80.0);
+    ASSERT_GE(MinDist(child, other, metric),
+              MinDist(parent, other, metric) - 1e-9);
+    ASSERT_LE(MaxDist(child, other, metric),
+              MaxDist(parent, other, metric) + 1e-9);
+  }
+}
+
+TEST_P(MetricSweep, MaxMinDistBoundsObjectsAgainstExactGeometry) {
+  // MaxMinDist(a, b) must bound d(o1, o2) for every o1 inside `a` when `b`
+  // is the exact geometry of o2 (point or box object).
+  const Metric metric = GetParam();
+  Rng rng(107);
+  for (int trial = 0; trial < 300; ++trial) {
+    const Rect<2> a = RandomRect(rng, 50.0);
+    const Rect<2> b = RandomRect(rng, 50.0);
+    const double bound = MaxMinDist(a, b, metric);
+    ASSERT_LE(bound, MaxDist(a, b, metric) + 1e-9);
+    for (int s = 0; s < 15; ++s) {
+      // o1: an arbitrary point set inside `a` — a single sample suffices as
+      // a witness since d(o1, b) <= d(p, b) for p in o1.
+      const Point<2> p = RandomPointIn(rng, a);
+      ASSERT_LE(MinDist(p, b, metric), bound + 1e-9) << trial;
+    }
+  }
+}
+
+Rect<3> RandomRect3(Rng& rng, double span) {
+  Point<3> a{rng.Uniform(-span, span), rng.Uniform(-span, span),
+             rng.Uniform(-span, span)};
+  Point<3> b{rng.Uniform(-span, span), rng.Uniform(-span, span),
+             rng.Uniform(-span, span)};
+  Rect<3> r;
+  for (int i = 0; i < 3; ++i) {
+    r.lo[i] = std::min(a[i], b[i]);
+    r.hi[i] = std::max(a[i], b[i]);
+  }
+  return r;
+}
+
+Point<3> RandomPointIn3(Rng& rng, const Rect<3>& r) {
+  return {rng.Uniform(r.lo[0], r.hi[0]), rng.Uniform(r.lo[1], r.hi[1]),
+          rng.Uniform(r.lo[2], r.hi[2])};
+}
+
+TEST_P(MetricSweep, ThreeDimensionalBoundHierarchy) {
+  // The full bound chain in 3-D: MinDist <= sampled distances <= MaxDist,
+  // MinMaxDist between them, MaxMinDist <= MaxDist, point MINMAXDIST bounded
+  // by MaxMinMaxDist.
+  const Metric metric = GetParam();
+  Rng rng(108);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Rect<3> a = RandomRect3(rng, 40.0);
+    const Rect<3> b = RandomRect3(rng, 40.0);
+    const double lo = MinDist(a, b, metric);
+    const double hi = MaxDist(a, b, metric);
+    ASSERT_LE(lo, hi + 1e-9);
+    ASSERT_LE(MinMaxDist(a, b, metric), hi + 1e-9);
+    ASSERT_GE(MinMaxDist(a, b, metric), lo - 1e-9);
+    ASSERT_LE(MaxMinDist(a, b, metric), hi + 1e-9);
+    const double mmm = MaxMinMaxDist(a, b, metric);
+    ASSERT_LE(mmm, hi + 1e-9);
+    for (int s = 0; s < 10; ++s) {
+      const Point<3> p = RandomPointIn3(rng, a);
+      const Point<3> q = RandomPointIn3(rng, b);
+      const double d = Dist(p, q, metric);
+      ASSERT_LE(lo, d + 1e-9);
+      ASSERT_GE(hi, d - 1e-9);
+      ASSERT_LE(MinDist(p, b, metric), MaxMinDist(a, b, metric) + 1e-9);
+      ASSERT_LE(MinMaxDist(p, b, metric), mmm + 1e-9);
+    }
+  }
+}
+
+TEST(Distance, HigherDimensions) {
+  // 4-D spot checks: the templates must not silently assume 2-D.
+  const Rect<4> a({0, 0, 0, 0}, {1, 1, 1, 1});
+  const Rect<4> b({3, 0, 0, 0}, {4, 1, 1, 1});
+  EXPECT_DOUBLE_EQ(MinDist(a, b), 2.0);
+  EXPECT_DOUBLE_EQ(MinDist(a, b, Metric::kManhattan), 2.0);
+  EXPECT_DOUBLE_EQ(MaxDist(a, b, Metric::kChessboard), 4.0);
+  const Point<4> p{0, 0, 0, 0};
+  EXPECT_DOUBLE_EQ(MinDist(p, b), 3.0);
+  EXPECT_LE(MinMaxDist(p, b), MaxDist(p, b));
+}
+
+}  // namespace
+}  // namespace sdj

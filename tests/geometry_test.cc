@@ -1,0 +1,107 @@
+#include "geometry/point.h"
+#include "geometry/rect.h"
+
+#include <gtest/gtest.h>
+
+namespace sdj {
+namespace {
+
+TEST(Point, DefaultIsOrigin) {
+  Point<3> p;
+  EXPECT_EQ(p[0], 0.0);
+  EXPECT_EQ(p[1], 0.0);
+  EXPECT_EQ(p[2], 0.0);
+}
+
+TEST(Point, InitializerListAndIndexing) {
+  Point<2> p = {1.5, -2.0};
+  EXPECT_EQ(p[0], 1.5);
+  EXPECT_EQ(p[1], -2.0);
+  p[1] = 4.0;
+  EXPECT_EQ(p[1], 4.0);
+}
+
+TEST(Point, Equality) {
+  EXPECT_EQ((Point<2>{1.0, 2.0}), (Point<2>{1.0, 2.0}));
+  EXPECT_FALSE((Point<2>{1.0, 2.0}) == (Point<2>{1.0, 2.5}));
+}
+
+TEST(Rect, FromPointIsDegenerate) {
+  const auto r = Rect<2>::FromPoint({3.0, 4.0});
+  EXPECT_TRUE(r.IsValid());
+  EXPECT_EQ(r.Area(), 0.0);
+  EXPECT_TRUE(r.Contains(Point<2>{3.0, 4.0}));
+  EXPECT_FALSE(r.Contains(Point<2>{3.0, 4.1}));
+}
+
+TEST(Rect, EmptyIsInvalidAndAbsorbedByExpand) {
+  auto r = Rect<2>::Empty();
+  EXPECT_FALSE(r.IsValid());
+  r.ExpandToInclude(Rect<2>({1.0, 1.0}, {2.0, 3.0}));
+  EXPECT_TRUE(r.IsValid());
+  EXPECT_EQ(r, Rect<2>({1.0, 1.0}, {2.0, 3.0}));
+}
+
+TEST(Rect, ContainsPointBoundaryInclusive) {
+  const Rect<2> r({0.0, 0.0}, {1.0, 1.0});
+  EXPECT_TRUE(r.Contains(Point<2>{0.0, 0.0}));
+  EXPECT_TRUE(r.Contains(Point<2>{1.0, 1.0}));
+  EXPECT_TRUE(r.Contains(Point<2>{0.5, 1.0}));
+  EXPECT_FALSE(r.Contains(Point<2>{1.0000001, 0.5}));
+}
+
+TEST(Rect, ContainsRect) {
+  const Rect<2> outer({0.0, 0.0}, {10.0, 10.0});
+  EXPECT_TRUE(outer.Contains(Rect<2>({1.0, 1.0}, {9.0, 9.0})));
+  EXPECT_TRUE(outer.Contains(outer));
+  EXPECT_FALSE(outer.Contains(Rect<2>({1.0, 1.0}, {10.5, 9.0})));
+}
+
+TEST(Rect, IntersectsIsSymmetricAndBoundaryInclusive) {
+  const Rect<2> a({0.0, 0.0}, {1.0, 1.0});
+  const Rect<2> touching({1.0, 0.0}, {2.0, 1.0});
+  const Rect<2> separate({1.1, 0.0}, {2.0, 1.0});
+  EXPECT_TRUE(a.Intersects(touching));
+  EXPECT_TRUE(touching.Intersects(a));
+  EXPECT_FALSE(a.Intersects(separate));
+  EXPECT_FALSE(separate.Intersects(a));
+}
+
+TEST(Rect, ExpandToIncludeGrowsMinimally) {
+  Rect<2> r({0.0, 0.0}, {1.0, 1.0});
+  r.ExpandToInclude(Rect<2>({2.0, -1.0}, {3.0, 0.5}));
+  EXPECT_EQ(r, Rect<2>({0.0, -1.0}, {3.0, 1.0}));
+  r.ExpandToInclude(Point<2>{-1.0, 5.0});
+  EXPECT_EQ(r, Rect<2>({-1.0, -1.0}, {3.0, 5.0}));
+}
+
+TEST(Rect, AreaAndMargin) {
+  const Rect<2> r({0.0, 0.0}, {2.0, 3.0});
+  EXPECT_DOUBLE_EQ(r.Area(), 6.0);
+  EXPECT_DOUBLE_EQ(r.Margin(), 5.0);
+  const Rect<3> cube({0.0, 0.0, 0.0}, {2.0, 2.0, 2.0});
+  EXPECT_DOUBLE_EQ(cube.Area(), 8.0);
+  EXPECT_DOUBLE_EQ(cube.Margin(), 6.0);
+}
+
+TEST(Rect, OverlapArea) {
+  const Rect<2> a({0.0, 0.0}, {2.0, 2.0});
+  EXPECT_DOUBLE_EQ(a.OverlapArea(Rect<2>({1.0, 1.0}, {3.0, 3.0})), 1.0);
+  EXPECT_DOUBLE_EQ(a.OverlapArea(Rect<2>({2.0, 0.0}, {3.0, 1.0})), 0.0);
+  EXPECT_DOUBLE_EQ(a.OverlapArea(Rect<2>({5.0, 5.0}, {6.0, 6.0})), 0.0);
+  EXPECT_DOUBLE_EQ(a.OverlapArea(a), 4.0);
+}
+
+TEST(Rect, AreaEnlargement) {
+  const Rect<2> a({0.0, 0.0}, {2.0, 2.0});
+  EXPECT_DOUBLE_EQ(a.AreaEnlargement(Rect<2>({1.0, 1.0}, {1.5, 1.5})), 0.0);
+  EXPECT_DOUBLE_EQ(a.AreaEnlargement(Rect<2>({0.0, 0.0}, {4.0, 2.0})), 4.0);
+}
+
+TEST(Rect, Center) {
+  const Rect<2> r({0.0, 2.0}, {4.0, 6.0});
+  EXPECT_EQ(r.Center(), (Point<2>{2.0, 4.0}));
+}
+
+}  // namespace
+}  // namespace sdj

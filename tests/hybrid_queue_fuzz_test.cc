@@ -1,0 +1,117 @@
+// Seeded fuzz sweep for the hybrid queue: random tier widths, page sizes,
+// and consistency-respecting push/pop interleavings, checked against a
+// reference heap. Guards the integer-bucket-frontier logic (a float-drift
+// tier bug was found here once; see CLAUDE.md).
+#include <algorithm>
+#include <queue>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/hybrid_queue.h"
+#include "core/pair_entry.h"
+#include "sdjoin.h"
+#include "util/rng.h"
+
+namespace sdj {
+namespace {
+
+PairEntry<2> Entry(double distance, uint64_t seq) {
+  PairEntry<2> e;
+  e.key = distance;
+  e.distance = distance;
+  e.seq = seq;
+  e.item1.kind = JoinItemKind::kObject;
+  e.item1.ref = seq;
+  FinalizePairMetadata(&e);
+  return e;
+}
+
+class HybridQueueFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, HybridQueueFuzz,
+                         ::testing::Range<uint64_t>(1, 9));
+
+TEST_P(HybridQueueFuzz, InterleavedOperationsMatchReferenceHeap) {
+  Rng rng(GetParam() * 104729);
+  HybridQueueOptions options;
+  // Random, often awkward tier widths (including irrational-ish fractions
+  // that stress the boundary arithmetic).
+  options.tier_width = rng.Uniform(0.001, 500.0);
+  options.page_size = 256u << rng.NextBounded(4);  // 256..2048
+  options.buffer_pages = 4 + static_cast<uint32_t>(rng.NextBounded(12));
+  HybridPairQueue<2> queue(PairEntryCompare<2>{}, options);
+
+  std::priority_queue<double, std::vector<double>, std::greater<>> reference;
+  double last_pop = 0.0;
+  uint64_t seq = 0;
+  const int rounds = 4000;
+  for (int round = 0; round < rounds; ++round) {
+    if (reference.empty() || rng.NextDouble() < 0.55) {
+      // The join's consistency property: pushes are >= the last popped
+      // distance (children never undercut their generating pair).
+      const double d = last_pop + rng.Uniform(0.0, 800.0);
+      queue.Push(Entry(d, seq++));
+      reference.push(d);
+    } else {
+      ASSERT_FALSE(queue.Empty());
+      ASSERT_DOUBLE_EQ(queue.Top().distance, reference.top());
+      const PairEntry<2> popped = queue.Pop();
+      ASSERT_DOUBLE_EQ(popped.distance, reference.top());
+      last_pop = popped.distance;
+      reference.pop();
+    }
+    ASSERT_EQ(queue.Size(), reference.size());
+  }
+  // Drain fully.
+  while (!reference.empty()) {
+    ASSERT_FALSE(queue.Empty());
+    ASSERT_DOUBLE_EQ(queue.Pop().distance, reference.top());
+    reference.pop();
+  }
+  EXPECT_TRUE(queue.Empty());
+}
+
+TEST_P(HybridQueueFuzz, BoundaryDistancesExactMultiplesOfTierWidth) {
+  // Distances landing exactly on bucket boundaries are the historical
+  // failure mode; push many of them interleaved with near-boundary values.
+  Rng rng(GetParam() * 7001);
+  HybridQueueOptions options;
+  options.tier_width = 3.7;
+  options.page_size = 512;
+  HybridPairQueue<2> queue(PairEntryCompare<2>{}, options);
+  std::vector<double> values;
+  uint64_t seq = 0;
+  for (int k = 0; k < 60; ++k) {
+    const double boundary = k * options.tier_width;
+    for (double delta : {0.0, 1e-12, -1e-12, 1e-6}) {
+      const double d = std::max(0.0, boundary + delta);
+      values.push_back(d);
+      queue.Push(Entry(d, seq++));
+    }
+    const double inside = boundary + rng.Uniform(0.0, options.tier_width);
+    values.push_back(inside);
+    queue.Push(Entry(inside, seq++));
+  }
+  std::sort(values.begin(), values.end());
+  for (double expected : values) {
+    ASSERT_FALSE(queue.Empty());
+    ASSERT_DOUBLE_EQ(queue.Pop().distance, expected);
+  }
+  EXPECT_TRUE(queue.Empty());
+}
+
+TEST(UmbrellaHeader, EverythingCompilesAndLinksTogether) {
+  // sdjoin.h pulls in the whole API; instantiate a little of everything.
+  RTree<2> tree;
+  tree.Insert(Rect<2>::FromPoint({1, 2}), 0);
+  EXPECT_EQ(KNearest(tree, Point<2>{0, 0}, 1).size(), 1u);
+  PointQuadtree<2> qt(Rect<2>({0, 0}, {10, 10}));
+  qt.Insert(Point<2>{5, 5}, 0);
+  EXPECT_EQ(qt.size(), 1u);
+  EXPECT_GT(Dist(Segment<2>{{0, 0}, {1, 0}}, Segment<2>{{0, 2}, {1, 2}}),
+            1.9);
+}
+
+}  // namespace
+}  // namespace sdj

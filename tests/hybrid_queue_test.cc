@@ -1,0 +1,182 @@
+#include "core/hybrid_queue.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/pair_entry.h"
+#include "core/pair_queue.h"
+#include "util/rng.h"
+
+namespace sdj {
+namespace {
+
+PairEntry<2> MakeEntry(double distance, uint64_t seq) {
+  PairEntry<2> e;
+  e.key = distance;
+  e.distance = distance;
+  e.seq = seq;
+  e.item1.kind = JoinItemKind::kObject;
+  e.item1.ref = seq;
+  e.item1.rect = Rect<2>::FromPoint({distance, 0.0});
+  e.item2.kind = JoinItemKind::kNode;
+  e.item2.ref = seq + 1;
+  e.item2.level = 3;
+  e.item2.rect = Rect<2>({0, 0}, {distance + 1, 2});
+  FinalizePairMetadata(&e);
+  return e;
+}
+
+HybridPairQueue<2> MakeQueue(double tier_width) {
+  HybridQueueOptions options;
+  options.tier_width = tier_width;
+  options.page_size = 512;
+  return HybridPairQueue<2>(PairEntryCompare<2>{}, options);
+}
+
+TEST(HybridPairQueue, EmptyInitially) {
+  auto q = MakeQueue(1.0);
+  EXPECT_TRUE(q.Empty());
+  EXPECT_EQ(q.Size(), 0u);
+}
+
+TEST(HybridPairQueue, SingleElementRoundTrip) {
+  auto q = MakeQueue(1.0);
+  q.Push(MakeEntry(0.5, 1));
+  EXPECT_FALSE(q.Empty());
+  EXPECT_EQ(q.Top().distance, 0.5);
+  EXPECT_EQ(q.Pop().seq, 1u);
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(HybridPairQueue, PopsInDistanceOrderAcrossAllTiers) {
+  auto q = MakeQueue(2.0);
+  // Distances spanning heap (<2), list (<4), and many disk buckets.
+  std::vector<double> distances;
+  Rng rng(7);
+  for (int i = 0; i < 3000; ++i) {
+    distances.push_back(rng.Uniform(0.0, 100.0));
+  }
+  for (size_t i = 0; i < distances.size(); ++i) {
+    q.Push(MakeEntry(distances[i], i));
+  }
+  std::sort(distances.begin(), distances.end());
+  for (double expected : distances) {
+    ASSERT_FALSE(q.Empty());
+    ASSERT_DOUBLE_EQ(q.Pop().distance, expected);
+  }
+  EXPECT_TRUE(q.Empty());
+}
+
+TEST(HybridPairQueue, InterleavedPushPop) {
+  // Pairs generated mid-run land in whatever tier their distance dictates;
+  // ordering must survive. Pushes after pops may only use distances >= the
+  // last popped value (the join's consistency property), which we honor.
+  auto q = MakeQueue(1.0);
+  Rng rng(13);
+  std::vector<double> pending;
+  double last_pop = 0.0;
+  uint64_t seq = 0;
+  for (int round = 0; round < 5000; ++round) {
+    if (pending.empty() || rng.NextDouble() < 0.55) {
+      const double d = last_pop + rng.Uniform(0.0, 20.0);
+      pending.push_back(d);
+      std::push_heap(pending.begin(), pending.end(), std::greater<>());
+      q.Push(MakeEntry(d, seq++));
+    } else {
+      std::pop_heap(pending.begin(), pending.end(), std::greater<>());
+      const double expected = pending.back();
+      pending.pop_back();
+      ASSERT_DOUBLE_EQ(q.Pop().distance, expected);
+      last_pop = expected;
+    }
+  }
+}
+
+TEST(HybridPairQueue, SerializationPreservesAllFields) {
+  auto q = MakeQueue(0.5);  // tiny tier: nearly everything goes to disk
+  PairEntry<2> original = MakeEntry(42.75, 77);
+  original.depth = 5;
+  q.Push(original);
+  q.Push(MakeEntry(0.1, 1));  // something for the heap
+  ASSERT_DOUBLE_EQ(q.Pop().distance, 0.1);
+  const PairEntry<2> back = q.Pop();
+  EXPECT_EQ(back.key, original.key);
+  EXPECT_EQ(back.distance, original.distance);
+  EXPECT_EQ(back.seq, original.seq);
+  EXPECT_EQ(back.category, original.category);
+  EXPECT_EQ(back.depth, original.depth);
+  EXPECT_EQ(back.item1.ref, original.item1.ref);
+  EXPECT_EQ(back.item1.kind, original.item1.kind);
+  EXPECT_EQ(back.item1.rect, original.item1.rect);
+  EXPECT_EQ(back.item2.ref, original.item2.ref);
+  EXPECT_EQ(back.item2.level, original.item2.level);
+  EXPECT_EQ(back.item2.rect, original.item2.rect);
+}
+
+TEST(HybridPairQueue, KeepsMostEntriesOutOfMemory) {
+  auto q = MakeQueue(1.0);
+  // All distances far beyond D2 = 2: everything lands on disk.
+  for (int i = 0; i < 10000; ++i) {
+    q.Push(MakeEntry(50.0 + (i % 100) * 0.3, i));
+  }
+  EXPECT_EQ(q.Size(), 10000u);
+  EXPECT_LT(q.MaxMemorySize(), 100u);
+  EXPECT_GT(q.disk_stats().physical_writes, 0u);
+  // Draining still works and stays ordered.
+  double last = 0.0;
+  while (!q.Empty()) {
+    const double d = q.Pop().distance;
+    ASSERT_GE(d, last);
+    last = d;
+  }
+}
+
+TEST(HybridPairQueue, ClearResetsState) {
+  auto q = MakeQueue(1.0);
+  for (int i = 0; i < 100; ++i) q.Push(MakeEntry(i * 0.9, i));
+  q.Clear();
+  EXPECT_TRUE(q.Empty());
+  EXPECT_EQ(q.Size(), 0u);
+  q.Push(MakeEntry(3.0, 1));
+  EXPECT_DOUBLE_EQ(q.Pop().distance, 3.0);
+}
+
+TEST(HybridPairQueue, FileBackedSpill) {
+  HybridQueueOptions options;
+  options.tier_width = 1.0;
+  options.page_size = 512;
+  options.spill_path = ::testing::TempDir() + "/sdj_hybrid_spill.bin";
+  HybridPairQueue<2> q(PairEntryCompare<2>{}, options);
+  std::vector<double> distances;
+  Rng rng(23);
+  for (int i = 0; i < 1000; ++i) {
+    distances.push_back(rng.Uniform(0.0, 50.0));
+    q.Push(MakeEntry(distances.back(), i));
+  }
+  std::sort(distances.begin(), distances.end());
+  for (double expected : distances) {
+    ASSERT_DOUBLE_EQ(q.Pop().distance, expected);
+  }
+}
+
+TEST(HybridPairQueue, TieBreakOrderMaintainedWithinHeap) {
+  // Equal distances: object pairs must surface before node pairs.
+  auto q = MakeQueue(10.0);
+  PairEntry<2> node_pair = MakeEntry(1.0, 1);
+  node_pair.item1.kind = JoinItemKind::kNode;
+  node_pair.item1.level = 2;
+  FinalizePairMetadata(&node_pair);
+  PairEntry<2> obj_pair = MakeEntry(1.0, 2);
+  obj_pair.item2.kind = JoinItemKind::kObject;
+  obj_pair.item2.level = -1;
+  FinalizePairMetadata(&obj_pair);
+  q.Push(node_pair);
+  q.Push(obj_pair);
+  EXPECT_EQ(q.Pop().seq, 2u);  // the object/object pair first
+  EXPECT_EQ(q.Pop().seq, 1u);
+}
+
+}  // namespace
+}  // namespace sdj

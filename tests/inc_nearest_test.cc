@@ -1,0 +1,137 @@
+#include "nn/inc_nearest.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "geometry/distance.h"
+#include "rtree/rtree.h"
+#include "util/rng.h"
+
+namespace sdj {
+namespace {
+
+RTree<2> BuildTree(const std::vector<Point<2>>& points) {
+  RTreeOptions options;
+  options.page_size = 512;
+  RTree<2> tree(options);
+  std::vector<RTree<2>::Entry> entries;
+  for (size_t i = 0; i < points.size(); ++i) {
+    entries.push_back({Rect<2>::FromPoint(points[i]), i});
+  }
+  tree.BulkLoad(std::move(entries));
+  return tree;
+}
+
+TEST(IncNearestNeighbor, EmptyTreeYieldsNothing) {
+  RTree<2> tree;
+  IncNearestNeighbor<2> nn(tree, {0, 0});
+  IncNearestNeighbor<2>::Result hit;
+  EXPECT_FALSE(nn.Next(&hit));
+}
+
+TEST(IncNearestNeighbor, SingleObject) {
+  RTree<2> tree;
+  tree.Insert(Rect<2>::FromPoint({3, 4}), 9);
+  IncNearestNeighbor<2> nn(tree, {0, 0});
+  IncNearestNeighbor<2>::Result hit;
+  ASSERT_TRUE(nn.Next(&hit));
+  EXPECT_EQ(hit.id, 9u);
+  EXPECT_DOUBLE_EQ(hit.distance, 5.0);
+  EXPECT_FALSE(nn.Next(&hit));
+}
+
+TEST(IncNearestNeighbor, ReportsInNonDecreasingDistanceOrder) {
+  const auto points =
+      data::GenerateUniform(800, Rect<2>({0, 0}, {100, 100}), 15);
+  RTree<2> tree = BuildTree(points);
+  IncNearestNeighbor<2> nn(tree, {50, 50});
+  IncNearestNeighbor<2>::Result hit;
+  double last = 0.0;
+  size_t count = 0;
+  while (nn.Next(&hit)) {
+    EXPECT_GE(hit.distance, last);
+    last = hit.distance;
+    ++count;
+  }
+  EXPECT_EQ(count, points.size());
+}
+
+TEST(IncNearestNeighbor, MatchesBruteForceRanking) {
+  const auto points =
+      data::GenerateUniform(500, Rect<2>({0, 0}, {100, 100}), 23);
+  RTree<2> tree = BuildTree(points);
+  Rng rng(99);
+  for (int q = 0; q < 20; ++q) {
+    const Point<2> query{rng.Uniform(0, 100), rng.Uniform(0, 100)};
+    std::vector<double> expected;
+    for (const auto& p : points) expected.push_back(Dist(query, p));
+    std::sort(expected.begin(), expected.end());
+
+    IncNearestNeighbor<2> nn(tree, query);
+    IncNearestNeighbor<2>::Result hit;
+    for (int k = 0; k < 25; ++k) {
+      ASSERT_TRUE(nn.Next(&hit));
+      ASSERT_NEAR(hit.distance, expected[k], 1e-9) << "q=" << q << " k=" << k;
+    }
+  }
+}
+
+TEST(IncNearestNeighbor, WorksWithManhattanMetric) {
+  const auto points =
+      data::GenerateUniform(300, Rect<2>({0, 0}, {100, 100}), 31);
+  RTree<2> tree = BuildTree(points);
+  const Point<2> query{25, 75};
+  std::vector<double> expected;
+  for (const auto& p : points) {
+    expected.push_back(Dist(query, p, Metric::kManhattan));
+  }
+  std::sort(expected.begin(), expected.end());
+  IncNearestNeighbor<2> nn(tree, query, Metric::kManhattan);
+  IncNearestNeighbor<2>::Result hit;
+  for (int k = 0; k < 10; ++k) {
+    ASSERT_TRUE(nn.Next(&hit));
+    ASSERT_NEAR(hit.distance, expected[k], 1e-9);
+  }
+}
+
+TEST(IncNearestNeighbor, IncrementalCostIsSublinear) {
+  // Fetching only the first neighbor must touch far fewer nodes than a full
+  // traversal ("fast first" behaviour).
+  const auto points =
+      data::GenerateUniform(5000, Rect<2>({0, 0}, {1000, 1000}), 47);
+  RTree<2> tree = BuildTree(points);
+  IncNearestNeighbor<2> nn(tree, {500, 500});
+  IncNearestNeighbor<2>::Result hit;
+  ASSERT_TRUE(nn.Next(&hit));
+  EXPECT_LT(nn.stats().nodes_expanded, tree.num_nodes() / 4);
+  EXPECT_EQ(nn.stats().neighbors_reported, 1u);
+}
+
+TEST(IncNearestNeighbor, ExtendedObjectsUseMinDist) {
+  RTree<2> tree;
+  tree.Insert(Rect<2>({10, 0}, {20, 10}), 0);  // closest face at x=10
+  tree.Insert(Rect<2>({5, 5}, {6, 6}), 1);
+  IncNearestNeighbor<2> nn(tree, {0, 0});
+  IncNearestNeighbor<2>::Result hit;
+  ASSERT_TRUE(nn.Next(&hit));
+  EXPECT_EQ(hit.id, 1u);
+  EXPECT_NEAR(hit.distance, Dist(Point<2>{0, 0}, Point<2>{5, 5}), 1e-12);
+  ASSERT_TRUE(nn.Next(&hit));
+  EXPECT_EQ(hit.id, 0u);
+  EXPECT_DOUBLE_EQ(hit.distance, 10.0);
+}
+
+TEST(IncNearestNeighbor, QueryInsideObjectHasZeroDistance) {
+  RTree<2> tree;
+  tree.Insert(Rect<2>({0, 0}, {10, 10}), 0);
+  IncNearestNeighbor<2> nn(tree, {5, 5});
+  IncNearestNeighbor<2>::Result hit;
+  ASSERT_TRUE(nn.Next(&hit));
+  EXPECT_DOUBLE_EQ(hit.distance, 0.0);
+}
+
+}  // namespace
+}  // namespace sdj

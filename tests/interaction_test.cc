@@ -1,0 +1,213 @@
+// Cross-feature interaction tests: combinations of queue implementation,
+// semi-join strategies, obr mode, estimation, filters, and index families
+// that individual suites do not exercise together.
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/distance_join.h"
+#include "core/semi_join.h"
+#include "data/generators.h"
+#include "join_test_util.h"
+#include "quadtree/quadtree.h"
+
+namespace sdj {
+namespace {
+
+using test::BruteForcePairs;
+using test::BruteForceSemiDistances;
+using test::BuildPointTree;
+
+std::vector<Point<2>> A(size_t n = 200, uint64_t seed = 771) {
+  return data::GenerateUniform(n, Rect<2>({0, 0}, {1000, 1000}), seed);
+}
+std::vector<Point<2>> B(size_t n = 250, uint64_t seed = 772) {
+  data::ClusterOptions options;
+  options.num_points = n;
+  options.extent = Rect<2>({0, 0}, {1000, 1000});
+  options.num_clusters = 5;
+  options.seed = seed;
+  return data::GenerateClustered(options);
+}
+
+TEST(Interaction, SemiJoinOverHybridQueue) {
+  const auto a = A();
+  const auto b = B();
+  RTree<2> ta = BuildPointTree(a);
+  RTree<2> tb = BuildPointTree(b);
+  const auto expected = BruteForceSemiDistances(a, b);
+
+  SemiJoinOptions options;
+  options.bound = SemiJoinBound::kGlobalAll;
+  options.join.use_hybrid_queue = true;
+  options.join.hybrid.tier_width = 8.0;
+  DistanceSemiJoin<2> semi(ta, tb, options);
+  JoinResult<2> pair;
+  std::vector<double> got;
+  while (semi.Next(&pair)) got.push_back(pair.distance);
+  ASSERT_EQ(got.size(), a.size());
+  for (size_t k = 0; k < got.size(); ++k) {
+    ASSERT_NEAR(got[k], expected[k], 1e-9) << k;
+  }
+}
+
+TEST(Interaction, ObrModeWithEstimation) {
+  const auto a = A(150, 773);
+  const auto b = B(180, 774);
+  RTree<2> ta = BuildPointTree(a);
+  RTree<2> tb = BuildPointTree(b);
+  const auto reference = BruteForcePairs(a, b);
+
+  DistanceJoinOptions options;
+  options.max_pairs = 60;
+  options.estimate_max_distance = true;
+  options.exact_object_distance = [&a, &b](ObjectId i, ObjectId j) {
+    return Dist(a[i], b[j]);
+  };
+  DistanceJoin<2> join(ta, tb, options);
+  JoinResult<2> pair;
+  for (size_t k = 0; k < 60; ++k) {
+    ASSERT_TRUE(join.Next(&pair)) << k;
+    ASSERT_NEAR(pair.distance, reference[k].distance, 1e-9) << k;
+  }
+  EXPECT_EQ(join.stats().restarts, 0u);
+}
+
+TEST(Interaction, ObrModeWithHybridQueueAndRange) {
+  const auto a = A(120, 775);
+  const auto b = B(150, 776);
+  RTree<2> ta = BuildPointTree(a);
+  RTree<2> tb = BuildPointTree(b);
+  const auto reference = BruteForcePairs(a, b);
+  const double lo = reference[300].distance;
+  const double hi = reference[4000].distance;
+
+  DistanceJoinOptions options;
+  options.min_distance = lo;
+  options.max_distance = hi;
+  options.use_hybrid_queue = true;
+  options.hybrid.tier_width = std::max(1.0, hi / 7);
+  options.exact_object_distance = [&a, &b](ObjectId i, ObjectId j) {
+    return Dist(a[i], b[j]);
+  };
+  DistanceJoin<2> join(ta, tb, options);
+  JoinResult<2> pair;
+  size_t count = 0;
+  double last = 0.0;
+  while (join.Next(&pair)) {
+    EXPECT_GE(pair.distance, lo - 1e-12);
+    EXPECT_LE(pair.distance, hi + 1e-12);
+    EXPECT_GE(pair.distance, last - 1e-12);
+    last = pair.distance;
+    ++count;
+  }
+  size_t expected = 0;
+  for (const auto& p : reference) {
+    if (p.distance >= lo && p.distance <= hi) ++expected;
+  }
+  EXPECT_EQ(count, expected);
+}
+
+TEST(Interaction, SemiJoinEstimationWithGlobalAllBound) {
+  // Figure 10 uses Local; GlobalAll + estimation must also stay exact.
+  const auto a = A(180, 777);
+  const auto b = B(220, 778);
+  RTree<2> ta = BuildPointTree(a);
+  RTree<2> tb = BuildPointTree(b);
+  const auto expected = BruteForceSemiDistances(a, b);
+
+  SemiJoinOptions options;
+  options.bound = SemiJoinBound::kGlobalAll;
+  options.join.max_pairs = 50;
+  options.join.estimate_max_distance = true;
+  DistanceSemiJoin<2> semi(ta, tb, options);
+  JoinResult<2> pair;
+  for (size_t k = 0; k < 50; ++k) {
+    ASSERT_TRUE(semi.Next(&pair)) << k;
+    ASSERT_NEAR(pair.distance, expected[k], 1e-9) << k;
+  }
+}
+
+TEST(Interaction, FiltersWithSimultaneousPolicy) {
+  const auto a = A(150, 779);
+  const auto b = B(150, 780);
+  RTree<2> ta = BuildPointTree(a);
+  RTree<2> tb = BuildPointTree(b);
+  const Rect<2> window({0, 0}, {600, 600});
+
+  JoinFilters<2> filters;
+  filters.window1 = window;
+  DistanceJoinOptions options;
+  options.node_policy = NodeProcessingPolicy::kSimultaneous;
+  options.max_distance = 150.0;
+  DistanceJoin<2> join(ta, tb, options, filters);
+  JoinResult<2> pair;
+  size_t count = 0;
+  while (join.Next(&pair)) {
+    EXPECT_TRUE(window.Contains(a[pair.id1]));
+    EXPECT_LE(pair.distance, 150.0);
+    ++count;
+  }
+  size_t expected = 0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (!window.Contains(a[i])) continue;
+    for (const auto& q : b) {
+      if (Dist(a[i], q) <= 150.0) ++expected;
+    }
+  }
+  EXPECT_EQ(count, expected);
+}
+
+TEST(Interaction, QuadtreeWithHybridQueue) {
+  const auto a = A(150, 781);
+  const auto b = B(180, 782);
+  const Rect<2> world({0, 0}, {1000, 1000});
+  PointQuadtree<2> ta(world);
+  PointQuadtree<2> tb(world);
+  for (size_t i = 0; i < a.size(); ++i) ta.Insert(a[i], i);
+  for (size_t i = 0; i < b.size(); ++i) tb.Insert(b[i], i);
+  const auto reference = BruteForcePairs(a, b);
+
+  DistanceJoinOptions options;
+  options.use_hybrid_queue = true;
+  options.hybrid.tier_width = 25.0;
+  DistanceJoin<2, PointQuadtree<2>> join(ta, tb, options);
+  JoinResult<2> pair;
+  for (size_t k = 0; k < 1000; ++k) {
+    ASSERT_TRUE(join.Next(&pair)) << k;
+    ASSERT_NEAR(pair.distance, reference[k].distance, 1e-9) << k;
+  }
+}
+
+TEST(Interaction, ReverseJoinWithFilters) {
+  const auto a = A(100, 783);
+  const auto b = B(120, 784);
+  RTree<2> ta = BuildPointTree(a);
+  RTree<2> tb = BuildPointTree(b);
+
+  JoinFilters<2> filters;
+  filters.object_filter2 = [](ObjectId id) { return id % 2 == 0; };
+  DistanceJoinOptions options;
+  options.reverse_order = true;
+  options.max_pairs = 20;
+  DistanceJoin<2> join(ta, tb, options, filters);
+
+  std::vector<double> reference;
+  for (const auto& p : a) {
+    for (size_t j = 0; j < b.size(); j += 2) {
+      reference.push_back(Dist(p, b[j]));
+    }
+  }
+  std::sort(reference.rbegin(), reference.rend());
+  JoinResult<2> pair;
+  for (size_t k = 0; k < 20; ++k) {
+    ASSERT_TRUE(join.Next(&pair)) << k;
+    ASSERT_NEAR(pair.distance, reference[k], 1e-9) << k;
+    EXPECT_EQ(pair.id2 % 2, 0u);
+  }
+}
+
+}  // namespace
+}  // namespace sdj

@@ -1,0 +1,249 @@
+// Property sweep for the join engine: randomized configurations (policy,
+// tie-break, metric, range, budget, queue, estimation) derived from a seed,
+// each validated pair-for-pair against brute force; plus structural edge
+// cases (wildly uneven tree sizes, single objects, non-dense ids, 3-D).
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/distance_join.h"
+#include "data/generators.h"
+#include "join_test_util.h"
+#include "rtree/rtree.h"
+#include "util/rng.h"
+
+namespace sdj {
+namespace {
+
+using test::BruteForcePairs;
+using test::BuildPointTree;
+using test::RefPair;
+
+class JoinConfigFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, JoinConfigFuzz,
+                         ::testing::Range<uint64_t>(1, 13));
+
+TEST_P(JoinConfigFuzz, RandomConfigMatchesBruteForce) {
+  Rng rng(GetParam() * 7919);
+  // Random datasets: size, skew.
+  const size_t na = 50 + rng.NextBounded(250);
+  const size_t nb = 50 + rng.NextBounded(250);
+  const Rect<2> extent({0, 0}, {1000, 1000});
+  std::vector<Point<2>> a;
+  std::vector<Point<2>> b;
+  if (rng.NextDouble() < 0.5) {
+    a = data::GenerateUniform(na, extent, rng.NextUint64());
+  } else {
+    data::ClusterOptions copts;
+    copts.num_points = na;
+    copts.extent = extent;
+    copts.num_clusters = 1 + static_cast<int>(rng.NextBounded(8));
+    copts.seed = rng.NextUint64();
+    a = data::GenerateClustered(copts);
+  }
+  b = data::GenerateUniform(nb, extent, rng.NextUint64());
+
+  // Random configuration.
+  DistanceJoinOptions options;
+  const Metric metrics[] = {Metric::kEuclidean, Metric::kManhattan,
+                            Metric::kChessboard};
+  options.metric = metrics[rng.NextBounded(3)];
+  const NodeProcessingPolicy policies[] = {NodeProcessingPolicy::kEven,
+                                           NodeProcessingPolicy::kBasic,
+                                           NodeProcessingPolicy::kSimultaneous};
+  options.node_policy = policies[rng.NextBounded(3)];
+  options.tie_break = rng.NextDouble() < 0.5 ? TieBreakPolicy::kDepthFirst
+                                             : TieBreakPolicy::kBreadthFirst;
+  auto reference = BruteForcePairs(a, b, options.metric);
+  if (rng.NextDouble() < 0.4) {
+    options.min_distance =
+        reference[rng.NextBounded(reference.size() / 2)].distance;
+  }
+  if (rng.NextDouble() < 0.4) {
+    options.max_distance =
+        reference[reference.size() / 2 +
+                  rng.NextBounded(reference.size() / 2)].distance;
+  }
+  if (options.min_distance > options.max_distance) {
+    std::swap(options.min_distance, options.max_distance);
+  }
+  const bool use_budget = rng.NextDouble() < 0.6;
+  if (use_budget) {
+    options.max_pairs = 1 + rng.NextBounded(500);
+    options.estimate_max_distance = rng.NextDouble() < 0.6;
+    options.aggressive_estimation =
+        options.estimate_max_distance && rng.NextDouble() < 0.4;
+  }
+  if (rng.NextDouble() < 0.3) {
+    options.use_hybrid_queue = true;
+    options.hybrid.tier_width =
+        std::max(1e-3, reference[reference.size() / 4].distance);
+  }
+
+  // Expected: the in-range prefix, capped by the budget.
+  std::vector<double> expected;
+  for (const RefPair& p : reference) {
+    if (p.distance >= options.min_distance &&
+        p.distance <= options.max_distance) {
+      expected.push_back(p.distance);
+    }
+  }
+  if (options.max_pairs > 0 && expected.size() > options.max_pairs) {
+    expected.resize(options.max_pairs);
+  }
+
+  RTree<2> ta = BuildPointTree(a, 512, rng.NextDouble() < 0.5);
+  RTree<2> tb = BuildPointTree(b, 512, rng.NextDouble() < 0.5);
+  DistanceJoin<2> join(ta, tb, options);
+  JoinResult<2> pair;
+  std::vector<double> got;
+  while (join.Next(&pair)) {
+    got.push_back(pair.distance);
+    // Reported distances are always the true distances.
+    ASSERT_NEAR(pair.distance,
+                Dist(a[pair.id1], b[pair.id2], options.metric), 1e-9);
+  }
+  ASSERT_EQ(got.size(), expected.size())
+      << "min=" << options.min_distance << " max=" << options.max_distance
+      << " k=" << options.max_pairs;
+  for (size_t i = 0; i < got.size(); ++i) {
+    ASSERT_NEAR(got[i], expected[i], 1e-9) << i;
+  }
+}
+
+TEST(JoinEdgeCases, WildlyUnevenTreeSizes) {
+  const auto a = data::GenerateUniform(5, Rect<2>({0, 0}, {1000, 1000}), 881);
+  const auto b =
+      data::GenerateUniform(8000, Rect<2>({0, 0}, {1000, 1000}), 882);
+  RTree<2> ta = BuildPointTree(a);
+  RTree<2> tb = BuildPointTree(b);
+  ASSERT_LT(ta.height(), tb.height());
+  const auto reference = BruteForcePairs(a, b);
+  DistanceJoinOptions options;
+  DistanceJoin<2> join(ta, tb, options);
+  JoinResult<2> pair;
+  for (size_t k = 0; k < 200; ++k) {
+    ASSERT_TRUE(join.Next(&pair)) << k;
+    ASSERT_NEAR(pair.distance, reference[k].distance, 1e-9) << k;
+  }
+  // And with the sides swapped (taller tree first).
+  DistanceJoin<2> swapped(tb, ta, options);
+  for (size_t k = 0; k < 200; ++k) {
+    ASSERT_TRUE(swapped.Next(&pair)) << k;
+    ASSERT_NEAR(pair.distance, reference[k].distance, 1e-9) << k;
+  }
+}
+
+TEST(JoinEdgeCases, SingleObjectPerTree) {
+  RTree<2> ta;
+  RTree<2> tb;
+  ta.Insert(Rect<2>::FromPoint({0, 0}), 11);
+  tb.Insert(Rect<2>::FromPoint({3, 4}), 22);
+  DistanceJoinOptions options;
+  DistanceJoin<2> join(ta, tb, options);
+  JoinResult<2> pair;
+  ASSERT_TRUE(join.Next(&pair));
+  EXPECT_EQ(pair.id1, 11u);
+  EXPECT_EQ(pair.id2, 22u);
+  EXPECT_DOUBLE_EQ(pair.distance, 5.0);
+  EXPECT_FALSE(join.Next(&pair));
+}
+
+TEST(JoinEdgeCases, NonDenseObjectIds) {
+  // Plain joins carry ids opaquely; nothing may assume density.
+  const auto a = data::GenerateUniform(80, Rect<2>({0, 0}, {100, 100}), 883);
+  const auto b = data::GenerateUniform(90, Rect<2>({0, 0}, {100, 100}), 884);
+  RTree<2> ta;
+  RTree<2> tb;
+  for (size_t i = 0; i < a.size(); ++i) {
+    ta.Insert(Rect<2>::FromPoint(a[i]), i * 7 + 13);
+  }
+  for (size_t i = 0; i < b.size(); ++i) {
+    tb.Insert(Rect<2>::FromPoint(b[i]), i * 1000 + 1);
+  }
+  const auto reference = BruteForcePairs(a, b);
+  DistanceJoinOptions options;
+  DistanceJoin<2> join(ta, tb, options);
+  JoinResult<2> pair;
+  for (size_t k = 0; k < 300; ++k) {
+    ASSERT_TRUE(join.Next(&pair)) << k;
+    ASSERT_NEAR(pair.distance, reference[k].distance, 1e-9) << k;
+    EXPECT_EQ((pair.id1 - 13) % 7, 0u);
+    EXPECT_EQ(pair.id2 % 1000, 1u);
+  }
+}
+
+TEST(JoinEdgeCases, ThreeDimensionalJoin) {
+  Rng rng(885);
+  std::vector<Point<3>> a;
+  std::vector<Point<3>> b;
+  RTreeOptions topts;
+  topts.page_size = 512;
+  RTree<3> ta(topts);
+  RTree<3> tb(topts);
+  for (int i = 0; i < 300; ++i) {
+    a.push_back({rng.Uniform(0, 100), rng.Uniform(0, 100),
+                 rng.Uniform(0, 100)});
+    ta.Insert(Rect<3>::FromPoint(a.back()), i);
+  }
+  for (int i = 0; i < 350; ++i) {
+    b.push_back({rng.Uniform(0, 100), rng.Uniform(0, 100),
+                 rng.Uniform(0, 100)});
+    tb.Insert(Rect<3>::FromPoint(b.back()), i);
+  }
+  std::vector<double> reference;
+  for (const auto& p : a) {
+    for (const auto& q : b) reference.push_back(Dist(p, q));
+  }
+  std::sort(reference.begin(), reference.end());
+
+  DistanceJoinOptions options;
+  DistanceJoin<3> join(ta, tb, options);
+  JoinResult<3> pair;
+  for (size_t k = 0; k < 500; ++k) {
+    ASSERT_TRUE(join.Next(&pair)) << k;
+    ASSERT_NEAR(pair.distance, reference[k], 1e-9) << k;
+  }
+}
+
+TEST(JoinEdgeCases, BoxObjectsWithOverlap) {
+  // Extended objects stored directly: overlapping boxes yield zero-distance
+  // pairs first, then positive gaps in order.
+  Rng rng(886);
+  std::vector<Rect<2>> a;
+  std::vector<Rect<2>> b;
+  RTreeOptions topts;
+  topts.page_size = 512;
+  RTree<2> ta(topts);
+  RTree<2> tb(topts);
+  for (int i = 0; i < 120; ++i) {
+    const double x = rng.Uniform(0, 950);
+    const double y = rng.Uniform(0, 950);
+    a.push_back({{x, y}, {x + rng.Uniform(1, 50), y + rng.Uniform(1, 50)}});
+    ta.Insert(a.back(), i);
+  }
+  for (int i = 0; i < 120; ++i) {
+    const double x = rng.Uniform(0, 950);
+    const double y = rng.Uniform(0, 950);
+    b.push_back({{x, y}, {x + rng.Uniform(1, 50), y + rng.Uniform(1, 50)}});
+    tb.Insert(b.back(), i);
+  }
+  std::vector<double> reference;
+  for (const auto& r : a) {
+    for (const auto& s : b) reference.push_back(MinDist(r, s));
+  }
+  std::sort(reference.begin(), reference.end());
+
+  DistanceJoinOptions options;
+  DistanceJoin<2> join(ta, tb, options);
+  JoinResult<2> pair;
+  for (size_t k = 0; k < 2000; ++k) {
+    ASSERT_TRUE(join.Next(&pair)) << k;
+    ASSERT_NEAR(pair.distance, reference[k], 1e-9) << k;
+  }
+}
+
+}  // namespace
+}  // namespace sdj

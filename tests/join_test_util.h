@@ -1,0 +1,94 @@
+// Shared helpers for the join/semi-join test suites: tree construction from
+// point sets and brute-force reference results.
+#ifndef SDJOIN_TESTS_JOIN_TEST_UTIL_H_
+#define SDJOIN_TESTS_JOIN_TEST_UTIL_H_
+
+#include <algorithm>
+#include <limits>
+#include <vector>
+
+#include "geometry/distance.h"
+#include "geometry/metrics.h"
+#include "geometry/point.h"
+#include "rtree/rtree.h"
+
+namespace sdj::test {
+
+// Builds a small-node R-tree over `points` with object ids = indices.
+inline RTree<2> BuildPointTree(const std::vector<Point<2>>& points,
+                               uint32_t page_size = 512,
+                               bool bulk = true) {
+  RTreeOptions options;
+  options.page_size = page_size;
+  RTree<2> tree(options);
+  if (bulk) {
+    std::vector<RTree<2>::Entry> entries;
+    entries.reserve(points.size());
+    for (size_t i = 0; i < points.size(); ++i) {
+      entries.push_back({Rect<2>::FromPoint(points[i]), i});
+    }
+    tree.BulkLoad(std::move(entries));
+  } else {
+    for (size_t i = 0; i < points.size(); ++i) {
+      tree.Insert(Rect<2>::FromPoint(points[i]), i);
+    }
+  }
+  return tree;
+}
+
+struct RefPair {
+  double distance;
+  size_t id1;
+  size_t id2;
+};
+
+// All |a| x |b| pairs sorted by distance (ascending).
+inline std::vector<RefPair> BruteForcePairs(const std::vector<Point<2>>& a,
+                                            const std::vector<Point<2>>& b,
+                                            Metric metric = Metric::kEuclidean) {
+  std::vector<RefPair> pairs;
+  pairs.reserve(a.size() * b.size());
+  for (size_t i = 0; i < a.size(); ++i) {
+    for (size_t j = 0; j < b.size(); ++j) {
+      pairs.push_back({Dist(a[i], b[j], metric), i, j});
+    }
+  }
+  std::sort(pairs.begin(), pairs.end(), [](const RefPair& x, const RefPair& y) {
+    return x.distance < y.distance;
+  });
+  return pairs;
+}
+
+// For each a[i], the distance to its nearest b (the semi-join reference),
+// sorted ascending.
+inline std::vector<double> BruteForceSemiDistances(
+    const std::vector<Point<2>>& a, const std::vector<Point<2>>& b,
+    Metric metric = Metric::kEuclidean) {
+  std::vector<double> nearest(a.size(),
+                              std::numeric_limits<double>::infinity());
+  for (size_t i = 0; i < a.size(); ++i) {
+    for (const auto& q : b) {
+      nearest[i] = std::min(nearest[i], Dist(a[i], q, metric));
+    }
+  }
+  std::sort(nearest.begin(), nearest.end());
+  return nearest;
+}
+
+// Per-object nearest distance (unsorted, indexed by a's ids).
+inline std::vector<double> BruteForceNearestByObject(
+    const std::vector<Point<2>>& a, const std::vector<Point<2>>& b,
+    Metric metric = Metric::kEuclidean) {
+  std::vector<double> nearest(a.size(),
+                              std::numeric_limits<double>::infinity());
+  for (size_t i = 0; i < a.size(); ++i) {
+    for (const auto& q : b) {
+      nearest[i] = std::min(nearest[i], Dist(a[i], q, metric));
+    }
+  }
+  return nearest;
+}
+
+}  // namespace sdj::test
+
+#endif  // SDJOIN_TESTS_JOIN_TEST_UTIL_H_

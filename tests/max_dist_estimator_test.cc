@@ -1,0 +1,148 @@
+#include "core/max_dist_estimator.h"
+
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace sdj {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+MaxDistEstimator::PairKey Key(uint64_t a, uint64_t b) {
+  return MaxDistEstimator::PairKey{a, b};
+}
+
+TEST(EncodeEstimatorItem, DistinguishesKindLevelRef) {
+  const uint64_t node = EncodeEstimatorItem(0, 3, 17);
+  const uint64_t object = EncodeEstimatorItem(2, -1, 17);
+  const uint64_t other_ref = EncodeEstimatorItem(0, 3, 18);
+  const uint64_t other_level = EncodeEstimatorItem(0, 2, 17);
+  EXPECT_NE(node, object);
+  EXPECT_NE(node, other_ref);
+  EXPECT_NE(node, other_level);
+}
+
+TEST(MaxDistEstimator, NoTighteningUntilBudgetCovered) {
+  MaxDistEstimator est(/*k=*/100, kInf, /*semi_join=*/false);
+  est.OnEnqueue(Key(1, 2), 0.0, 10.0, 50, 0.0);
+  EXPECT_EQ(est.max_distance(), kInf);
+  EXPECT_FALSE(est.ever_tightened());
+}
+
+TEST(MaxDistEstimator, TightensToLastRemovedDmax) {
+  MaxDistEstimator est(/*k=*/100, kInf, /*semi_join=*/false);
+  est.OnEnqueue(Key(1, 1), 0.0, 5.0, 80, 0.0);
+  EXPECT_EQ(est.max_distance(), kInf);  // 80 <= 100: nothing guaranteed yet
+  est.OnEnqueue(Key(2, 2), 0.0, 8.0, 40, 0.0);
+  // Sum = 120 > 100: all 120 results lie within d_max 8.0, so the 100th
+  // closest does too. The (8.0, 40) pair is dropped and D_max := 8.0.
+  EXPECT_DOUBLE_EQ(est.max_distance(), 8.0);
+  EXPECT_TRUE(est.ever_tightened());
+  est.OnEnqueue(Key(3, 3), 0.0, 3.0, 60, 0.0);
+  // Sum = 140 > 100: drop (5.0, 80), D_max := 5.0; remaining 60 <= 100.
+  EXPECT_DOUBLE_EQ(est.max_distance(), 5.0);
+  EXPECT_EQ(est.set_size(), 1u);
+}
+
+TEST(MaxDistEstimator, IneligiblePairsIgnored) {
+  MaxDistEstimator est(/*k=*/10, /*initial_max=*/5.0, /*semi_join=*/false);
+  // dmax above the current bound: not eligible.
+  est.OnEnqueue(Key(1, 1), 0.0, 7.0, 100, 0.0);
+  EXPECT_EQ(est.set_size(), 0u);
+  // d below the query minimum: not eligible.
+  est.OnEnqueue(Key(2, 2), 0.5, 3.0, 100, /*query_min=*/1.0);
+  EXPECT_EQ(est.set_size(), 0u);
+  // Eligible: 100 > 10 guaranteed results within 3.0 => D_max := 3.0 and the
+  // pair itself is trimmed away.
+  est.OnEnqueue(Key(3, 3), 1.5, 3.0, 100, /*query_min=*/1.0);
+  EXPECT_EQ(est.set_size(), 0u);
+  EXPECT_DOUBLE_EQ(est.max_distance(), 3.0);
+}
+
+TEST(MaxDistEstimator, DequeueRemovesFromSet) {
+  MaxDistEstimator est(/*k=*/100, kInf, /*semi_join=*/false);
+  est.OnEnqueue(Key(1, 1), 0.0, 5.0, 50, 0.0);
+  est.OnEnqueue(Key(2, 2), 0.0, 6.0, 30, 0.0);
+  EXPECT_EQ(est.set_size(), 2u);
+  est.OnDequeue(Key(1, 1));
+  EXPECT_EQ(est.set_size(), 1u);
+  est.OnDequeue(Key(9, 9));  // unknown pair: no-op
+  EXPECT_EQ(est.set_size(), 1u);
+}
+
+TEST(MaxDistEstimator, ReportShrinksBudgetAndRetightens) {
+  MaxDistEstimator est(/*k=*/3, kInf, /*semi_join=*/false);
+  est.OnEnqueue(Key(1, 1), 0.0, 2.0, 2, 0.0);
+  EXPECT_EQ(est.max_distance(), kInf);  // 2 <= 3
+  est.OnEnqueue(Key(2, 2), 0.0, 4.0, 2, 0.0);
+  // Sum=4 > 3 => drop (4.0, 2), D_max := 4.0, remaining sum 2 <= 3.
+  EXPECT_DOUBLE_EQ(est.max_distance(), 4.0);
+  est.OnReportJoin();  // budget 2; sum 2 <= 2: no further tightening
+  EXPECT_DOUBLE_EQ(est.max_distance(), 4.0);
+  est.OnReportJoin();  // budget 1; sum 2 > 1 => drop (2.0, 2), D_max := 2.0
+  EXPECT_DOUBLE_EQ(est.max_distance(), 2.0);
+}
+
+TEST(MaxDistEstimator, BudgetExhaustionClearsSet) {
+  MaxDistEstimator est(/*k=*/1, kInf, /*semi_join=*/false);
+  est.OnEnqueue(Key(1, 1), 0.0, 2.0, 5, 0.0);
+  EXPECT_DOUBLE_EQ(est.max_distance(), 2.0);
+  est.OnReportJoin();
+  EXPECT_EQ(est.set_size(), 0u);
+}
+
+TEST(MaxDistEstimator, SemiUniqueFirstKeepsSmallerDmax) {
+  MaxDistEstimator est(/*k=*/100, kInf, /*semi_join=*/true);
+  est.OnEnqueue(Key(7, 1), 0.0, 9.0, 20, 0.0);
+  EXPECT_EQ(est.set_size(), 1u);
+  // Same first item with larger dmax: ignored.
+  est.OnEnqueue(Key(7, 2), 0.0, 12.0, 20, 0.0);
+  EXPECT_EQ(est.set_size(), 1u);
+  // Same first item with smaller dmax: replaces.
+  est.OnEnqueue(Key(7, 3), 0.0, 4.0, 20, 0.0);
+  EXPECT_EQ(est.set_size(), 1u);
+  // Another first item is fine. Sum=110 > 100 => the larger-d_max pair
+  // (5.0, 90) is trimmed and D_max := 5.0.
+  est.OnEnqueue(Key(8, 3), 0.0, 5.0, 90, 0.0);
+  EXPECT_EQ(est.set_size(), 1u);
+  EXPECT_DOUBLE_EQ(est.max_distance(), 5.0);
+}
+
+TEST(MaxDistEstimator, SemiProcessedNodesAreRefused) {
+  MaxDistEstimator est(/*k=*/100, kInf, /*semi_join=*/true);
+  est.OnEnqueue(Key(7, 1), 0.0, 9.0, 20, 0.0);
+  est.MarkFirstItemProcessed(7);
+  EXPECT_EQ(est.set_size(), 0u);  // existing entry dropped
+  est.OnEnqueue(Key(7, 2), 0.0, 1.0, 20, 0.0);
+  EXPECT_EQ(est.set_size(), 0u);  // refused after processing
+  est.OnEnqueue(Key(8, 2), 0.0, 1.0, 20, 0.0);
+  EXPECT_EQ(est.set_size(), 1u);
+}
+
+TEST(MaxDistEstimator, SemiReportRemovesFirstItemEntry) {
+  MaxDistEstimator est(/*k=*/10, kInf, /*semi_join=*/true);
+  est.OnEnqueue(Key(7, 1), 0.0, 9.0, 4, 0.0);
+  est.OnEnqueue(Key(8, 1), 0.0, 3.0, 4, 0.0);
+  EXPECT_EQ(est.set_size(), 2u);
+  est.OnReportSemi(7);
+  EXPECT_EQ(est.set_size(), 1u);
+  est.OnReportSemi(99);  // unknown first item: budget still shrinks
+  EXPECT_EQ(est.set_size(), 1u);
+}
+
+TEST(MaxDistEstimator, SemiTightensWithUniqueFirsts) {
+  MaxDistEstimator est(/*k=*/5, kInf, /*semi_join=*/true);
+  est.OnEnqueue(Key(1, 1), 0.0, 1.0, 3, 0.0);
+  EXPECT_EQ(est.max_distance(), kInf);  // 3 <= 5
+  est.OnEnqueue(Key(2, 1), 0.0, 2.0, 3, 0.0);
+  // Sum=6 > 5 => drop (2.0, 3), D_max := 2.0.
+  EXPECT_DOUBLE_EQ(est.max_distance(), 2.0);
+  // A later pair whose d_max exceeds the new bound is ineligible.
+  est.OnEnqueue(Key(3, 1), 0.0, 3.0, 4, 0.0);
+  EXPECT_DOUBLE_EQ(est.max_distance(), 2.0);
+  EXPECT_EQ(est.set_size(), 1u);
+}
+
+}  // namespace
+}  // namespace sdj

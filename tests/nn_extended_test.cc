@@ -1,0 +1,152 @@
+// Extended nearest/farthest-neighbor tests: the KNearest convenience, the
+// iterators over quadtrees (index genericity), radius-bounded consumption,
+// and interleaved multi-iterator use over one shared tree.
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "join_test_util.h"
+#include "nn/inc_farthest.h"
+#include "nn/inc_nearest.h"
+#include "quadtree/quadtree.h"
+#include "rtree/rtree.h"
+#include "util/rng.h"
+
+namespace sdj {
+namespace {
+
+using test::BuildPointTree;
+
+std::vector<Point<2>> SomePoints(size_t n = 600, uint64_t seed = 910) {
+  return data::GenerateUniform(n, Rect<2>({0, 0}, {1000, 1000}), seed);
+}
+
+TEST(KNearest, ReturnsExactlyKClosest) {
+  const auto points = SomePoints();
+  RTree<2> tree = BuildPointTree(points);
+  const Point<2> query{321, 654};
+  const auto got = KNearest(tree, query, 12);
+  ASSERT_EQ(got.size(), 12u);
+  std::vector<double> expected;
+  for (const auto& p : points) expected.push_back(Dist(query, p));
+  std::sort(expected.begin(), expected.end());
+  for (size_t k = 0; k < got.size(); ++k) {
+    EXPECT_NEAR(got[k].distance, expected[k], 1e-9) << k;
+  }
+}
+
+TEST(KNearest, KLargerThanTree) {
+  const auto points = SomePoints(9, 911);
+  RTree<2> tree = BuildPointTree(points);
+  EXPECT_EQ(KNearest(tree, Point<2>{0, 0}, 100).size(), 9u);
+}
+
+TEST(KNearest, WorksOverQuadtree) {
+  const auto points = SomePoints(500, 912);
+  PointQuadtree<2> tree(Rect<2>({0, 0}, {1000, 1000}));
+  for (size_t i = 0; i < points.size(); ++i) tree.Insert(points[i], i);
+  const Point<2> query{777, 111};
+  const auto got = KNearest(tree, query, 10);
+  std::vector<double> expected;
+  for (const auto& p : points) expected.push_back(Dist(query, p));
+  std::sort(expected.begin(), expected.end());
+  ASSERT_EQ(got.size(), 10u);
+  for (size_t k = 0; k < got.size(); ++k) {
+    EXPECT_NEAR(got[k].distance, expected[k], 1e-9) << k;
+  }
+}
+
+TEST(IncNearestNeighbor, RadiusBoundedConsumption) {
+  // The incremental idiom for "all neighbors within r": consume until the
+  // distance exceeds the radius — no wasted traversal beyond it.
+  const auto points = SomePoints(3000, 913);
+  RTree<2> tree = BuildPointTree(points);
+  const Point<2> query{500, 500};
+  const double radius = 60.0;
+  IncNearestNeighbor<2> nn(tree, query);
+  IncNearestNeighbor<2>::Result hit;
+  size_t within = 0;
+  while (nn.Next(&hit) && hit.distance <= radius) ++within;
+  size_t expected = 0;
+  for (const auto& p : points) {
+    if (Dist(query, p) <= radius) ++expected;
+  }
+  EXPECT_EQ(within, expected);
+  // Far fewer nodes touched than a full scan would need.
+  EXPECT_LT(nn.stats().nodes_expanded, tree.num_nodes());
+}
+
+TEST(IncNearestNeighbor, ManyIteratorsShareOneTree) {
+  const auto points = SomePoints(800, 914);
+  RTree<2> tree = BuildPointTree(points);
+  Rng rng(915);
+  // Interleave three concurrent iterators; each must stay internally
+  // consistent (the tree and pool are shared read-only).
+  IncNearestNeighbor<2> nn1(tree, {100, 100});
+  IncNearestNeighbor<2> nn2(tree, {900, 900});
+  IncNearestNeighbor<2> nn3(tree, {500, 100});
+  double last1 = 0.0;
+  double last2 = 0.0;
+  double last3 = 0.0;
+  IncNearestNeighbor<2>::Result hit;
+  for (int round = 0; round < 300; ++round) {
+    switch (rng.NextBounded(3)) {
+      case 0:
+        ASSERT_TRUE(nn1.Next(&hit));
+        ASSERT_GE(hit.distance, last1);
+        last1 = hit.distance;
+        break;
+      case 1:
+        ASSERT_TRUE(nn2.Next(&hit));
+        ASSERT_GE(hit.distance, last2);
+        last2 = hit.distance;
+        break;
+      default:
+        ASSERT_TRUE(nn3.Next(&hit));
+        ASSERT_GE(hit.distance, last3);
+        last3 = hit.distance;
+        break;
+    }
+  }
+}
+
+TEST(IncFarthestNeighbor, WorksOverQuadtree) {
+  const auto points = SomePoints(400, 916);
+  PointQuadtree<2> tree(Rect<2>({0, 0}, {1000, 1000}));
+  for (size_t i = 0; i < points.size(); ++i) tree.Insert(points[i], i);
+  const Point<2> query{10, 10};
+  IncFarthestNeighbor<2, PointQuadtree<2>> fn(tree, query);
+  std::vector<double> expected;
+  for (const auto& p : points) expected.push_back(Dist(query, p));
+  std::sort(expected.rbegin(), expected.rend());
+  typename IncFarthestNeighbor<2, PointQuadtree<2>>::Result hit;
+  for (size_t k = 0; k < 50; ++k) {
+    ASSERT_TRUE(fn.Next(&hit));
+    ASSERT_NEAR(hit.distance, expected[k], 1e-9) << k;
+  }
+}
+
+TEST(IncNearestAndFarthest, MeetInTheMiddle) {
+  // Draining nearest-first and farthest-first must produce reversed
+  // sequences of the same multiset.
+  const auto points = SomePoints(300, 917);
+  RTree<2> tree = BuildPointTree(points);
+  const Point<2> query{444, 333};
+  std::vector<double> up;
+  std::vector<double> down;
+  IncNearestNeighbor<2> nn(tree, query);
+  IncFarthestNeighbor<2> fn(tree, query);
+  IncNearestNeighbor<2>::Result hit;
+  while (nn.Next(&hit)) up.push_back(hit.distance);
+  while (fn.Next(&hit)) down.push_back(hit.distance);
+  ASSERT_EQ(up.size(), down.size());
+  std::reverse(down.begin(), down.end());
+  for (size_t i = 0; i < up.size(); ++i) {
+    ASSERT_NEAR(up[i], down[i], 1e-9) << i;
+  }
+}
+
+}  // namespace
+}  // namespace sdj

@@ -1,0 +1,210 @@
+#include "util/pairing_heap.h"
+
+#include <algorithm>
+#include <functional>
+#include <queue>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace sdj {
+namespace {
+
+TEST(PairingHeap, EmptyOnConstruction) {
+  PairingHeap<int> heap;
+  EXPECT_TRUE(heap.Empty());
+  EXPECT_EQ(heap.Size(), 0u);
+}
+
+TEST(PairingHeap, PushPopSingle) {
+  PairingHeap<int> heap;
+  heap.Push(42);
+  EXPECT_FALSE(heap.Empty());
+  EXPECT_EQ(heap.Size(), 1u);
+  EXPECT_EQ(heap.Top(), 42);
+  EXPECT_EQ(heap.Pop(), 42);
+  EXPECT_TRUE(heap.Empty());
+}
+
+TEST(PairingHeap, PopsInSortedOrder) {
+  PairingHeap<int> heap;
+  const std::vector<int> values = {5, 3, 8, 1, 9, 2, 7, 4, 6, 0};
+  for (int v : values) heap.Push(v);
+  for (int expected = 0; expected < 10; ++expected) {
+    EXPECT_EQ(heap.Top(), expected);
+    EXPECT_EQ(heap.Pop(), expected);
+  }
+  EXPECT_TRUE(heap.Empty());
+}
+
+TEST(PairingHeap, HandlesDuplicates) {
+  PairingHeap<int> heap;
+  for (int i = 0; i < 5; ++i) heap.Push(7);
+  heap.Push(3);
+  EXPECT_EQ(heap.Pop(), 3);
+  for (int i = 0; i < 5; ++i) EXPECT_EQ(heap.Pop(), 7);
+}
+
+TEST(PairingHeap, CustomComparatorMaxHeap) {
+  PairingHeap<int, std::greater<int>> heap;
+  for (int v : {2, 9, 4, 1}) heap.Push(v);
+  EXPECT_EQ(heap.Pop(), 9);
+  EXPECT_EQ(heap.Pop(), 4);
+  EXPECT_EQ(heap.Pop(), 2);
+  EXPECT_EQ(heap.Pop(), 1);
+}
+
+TEST(PairingHeap, EraseRoot) {
+  PairingHeap<int> heap;
+  auto h1 = heap.Push(1);
+  heap.Push(2);
+  heap.Push(3);
+  EXPECT_EQ(heap.Erase(h1), 1);
+  EXPECT_EQ(heap.Size(), 2u);
+  EXPECT_EQ(heap.Pop(), 2);
+  EXPECT_EQ(heap.Pop(), 3);
+}
+
+TEST(PairingHeap, EraseInterior) {
+  PairingHeap<int> heap;
+  heap.Push(1);
+  auto h5 = heap.Push(5);
+  heap.Push(3);
+  heap.Push(7);
+  EXPECT_EQ(heap.Erase(h5), 5);
+  EXPECT_EQ(heap.Pop(), 1);
+  EXPECT_EQ(heap.Pop(), 3);
+  EXPECT_EQ(heap.Pop(), 7);
+  EXPECT_TRUE(heap.Empty());
+}
+
+TEST(PairingHeap, EraseAllElementsIndividually) {
+  PairingHeap<int> heap;
+  std::vector<PairingHeap<int>::Handle> handles;
+  for (int i = 0; i < 20; ++i) handles.push_back(heap.Push(i));
+  // Erase in an arbitrary order.
+  for (int i : {13, 0, 19, 7, 4, 1, 18, 2, 3, 5, 6, 8, 9, 10, 11, 12, 14, 15,
+                16, 17}) {
+    EXPECT_EQ(heap.Erase(handles[i]), i);
+  }
+  EXPECT_TRUE(heap.Empty());
+}
+
+TEST(PairingHeap, DecreaseKeyMovesElementUp) {
+  PairingHeap<int> heap;
+  heap.Push(10);
+  auto h = heap.Push(20);
+  heap.Push(30);
+  heap.DecreaseKey(h, 5);
+  EXPECT_EQ(heap.Pop(), 5);
+  EXPECT_EQ(heap.Pop(), 10);
+  EXPECT_EQ(heap.Pop(), 30);
+}
+
+TEST(PairingHeap, DecreaseKeyOnRoot) {
+  PairingHeap<int> heap;
+  auto h = heap.Push(10);
+  heap.Push(20);
+  heap.DecreaseKey(h, 1);
+  EXPECT_EQ(heap.Pop(), 1);
+  EXPECT_EQ(heap.Pop(), 20);
+}
+
+TEST(PairingHeap, ClearReleasesAll) {
+  PairingHeap<int> heap;
+  for (int i = 0; i < 100; ++i) heap.Push(i);
+  heap.Clear();
+  EXPECT_TRUE(heap.Empty());
+  EXPECT_EQ(heap.Size(), 0u);
+  heap.Push(1);
+  EXPECT_EQ(heap.Pop(), 1);
+}
+
+TEST(PairingHeap, MoveConstructionTransfersOwnership) {
+  PairingHeap<int> a;
+  a.Push(3);
+  a.Push(1);
+  PairingHeap<int> b(std::move(a));
+  EXPECT_EQ(b.Size(), 2u);
+  EXPECT_EQ(b.Pop(), 1);
+  EXPECT_EQ(b.Pop(), 3);
+}
+
+TEST(PairingHeap, MoveAssignmentReplacesContents) {
+  PairingHeap<int> a;
+  a.Push(5);
+  PairingHeap<int> b;
+  b.Push(9);
+  b.Push(8);
+  b = std::move(a);
+  EXPECT_EQ(b.Size(), 1u);
+  EXPECT_EQ(b.Pop(), 5);
+}
+
+TEST(PairingHeap, RandomizedAgainstStdPriorityQueue) {
+  Rng rng(12345);
+  PairingHeap<uint64_t> heap;
+  std::priority_queue<uint64_t, std::vector<uint64_t>, std::greater<>> ref;
+  for (int round = 0; round < 20000; ++round) {
+    const bool push = ref.empty() || rng.NextDouble() < 0.6;
+    if (push) {
+      const uint64_t v = rng.NextBounded(1000000);
+      heap.Push(v);
+      ref.push(v);
+    } else {
+      ASSERT_EQ(heap.Top(), ref.top());
+      ASSERT_EQ(heap.Pop(), ref.top());
+      ref.pop();
+    }
+    ASSERT_EQ(heap.Size(), ref.size());
+  }
+  while (!ref.empty()) {
+    ASSERT_EQ(heap.Pop(), ref.top());
+    ref.pop();
+  }
+  EXPECT_TRUE(heap.Empty());
+}
+
+TEST(PairingHeap, RandomizedEraseMaintainsHeapProperty) {
+  Rng rng(999);
+  PairingHeap<uint64_t> heap;
+  std::multiset<uint64_t> ref;
+  std::vector<std::pair<PairingHeap<uint64_t>::Handle, uint64_t>> live;
+  for (int round = 0; round < 5000; ++round) {
+    const double action = rng.NextDouble();
+    if (action < 0.5 || live.empty()) {
+      // Unique values so that handle bookkeeping below is unambiguous.
+      const uint64_t v =
+          rng.NextBounded(100000) * 8192 + static_cast<uint64_t>(round);
+      live.emplace_back(heap.Push(v), v);
+      ref.insert(v);
+    } else if (action < 0.75) {
+      // Erase a random live element.
+      const size_t i = rng.NextBounded(live.size());
+      const uint64_t v = heap.Erase(live[i].first);
+      ASSERT_EQ(v, live[i].second);
+      ref.erase(ref.find(v));
+      live[i] = live.back();
+      live.pop_back();
+    } else {
+      // Pop the minimum; remove the matching handle from `live`.
+      const uint64_t v = heap.Pop();
+      ASSERT_EQ(v, *ref.begin());
+      ref.erase(ref.begin());
+      for (size_t i = 0; i < live.size(); ++i) {
+        if (live[i].second == v) {
+          live[i] = live.back();
+          live.pop_back();
+          break;
+        }
+      }
+    }
+    ASSERT_EQ(heap.Size(), ref.size());
+  }
+}
+
+}  // namespace
+}  // namespace sdj

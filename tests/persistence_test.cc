@@ -1,0 +1,172 @@
+// Tests for R-tree persistence: Flush() + Open() round trips through the
+// file-backed page store.
+#include <memory>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/distance_join.h"
+#include "data/generators.h"
+#include "rtree/rtree.h"
+#include "storage/page_file.h"
+
+namespace sdj {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+RTreeOptions FileOptions(const std::string& path) {
+  RTreeOptions options;
+  options.page_size = 512;
+  options.file_path = path;
+  return options;
+}
+
+TEST(OpenFilePageFile, OpensExistingPages) {
+  const std::string path = TempPath("open_pagefile.bin");
+  {
+    auto file = storage::NewFilePageFile(path, 128);
+    ASSERT_NE(file, nullptr);
+    file->Allocate();
+    file->Allocate();
+    char buffer[128];
+    std::fill(buffer, buffer + 128, 0x3C);
+    ASSERT_TRUE(file->Write(1, buffer));
+  }
+  auto reopened = storage::OpenFilePageFile(path, 128);
+  ASSERT_NE(reopened, nullptr);
+  EXPECT_EQ(reopened->num_pages(), 2u);
+  char buffer[128] = {};
+  ASSERT_TRUE(reopened->Read(1, buffer));
+  for (char c : buffer) EXPECT_EQ(c, 0x3C);
+}
+
+TEST(OpenFilePageFile, RejectsMissingOrMisalignedFiles) {
+  EXPECT_EQ(storage::OpenFilePageFile(TempPath("nope.bin"), 128), nullptr);
+  const std::string path = TempPath("misaligned.bin");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    std::fputs("not a page multiple", f);
+    std::fclose(f);
+  }
+  EXPECT_EQ(storage::OpenFilePageFile(path, 128), nullptr);
+}
+
+TEST(RTreePersistence, FlushAndOpenRoundTrip) {
+  const std::string path = TempPath("rtree_roundtrip.pages");
+  const auto points =
+      data::GenerateUniform(800, Rect<2>({0, 0}, {500, 500}), 99);
+  {
+    RTree<2> tree(FileOptions(path));
+    for (size_t i = 0; i < points.size(); ++i) {
+      tree.Insert(Rect<2>::FromPoint(points[i]), i);
+    }
+    tree.Flush();
+  }
+  auto reopened = RTree<2>::Open(FileOptions(path));
+  ASSERT_NE(reopened, nullptr);
+  EXPECT_EQ(reopened->size(), points.size());
+  std::string error;
+  ASSERT_TRUE(reopened->Validate(&error)) << error;
+
+  // Queries against the reopened tree match brute force.
+  const Rect<2> window({100, 100}, {300, 250});
+  std::vector<RTree<2>::Entry> out;
+  reopened->RangeQuery(window, &out);
+  size_t expected = 0;
+  for (const auto& p : points) {
+    if (window.Contains(p)) ++expected;
+  }
+  EXPECT_EQ(out.size(), expected);
+}
+
+TEST(RTreePersistence, ReopenedTreeSupportsFurtherInserts) {
+  const std::string path = TempPath("rtree_growing.pages");
+  {
+    RTree<2> tree(FileOptions(path));
+    for (int i = 0; i < 200; ++i) {
+      tree.Insert(Rect<2>::FromPoint({i * 1.0, i * 2.0}), i);
+    }
+    tree.Flush();
+  }
+  auto reopened = RTree<2>::Open(FileOptions(path));
+  ASSERT_NE(reopened, nullptr);
+  for (int i = 200; i < 400; ++i) {
+    reopened->Insert(Rect<2>::FromPoint({i * 1.0, i * 2.0}), i);
+  }
+  EXPECT_EQ(reopened->size(), 400u);
+  std::string error;
+  ASSERT_TRUE(reopened->Validate(&error)) << error;
+  // Flush again and reopen once more.
+  reopened->Flush();
+  auto again = RTree<2>::Open(FileOptions(path));
+  ASSERT_NE(again, nullptr);
+  EXPECT_EQ(again->size(), 400u);
+  EXPECT_TRUE(again->Validate());
+}
+
+TEST(RTreePersistence, OpenRejectsParameterMismatch) {
+  const std::string path = TempPath("rtree_mismatch.pages");
+  {
+    RTree<2> tree(FileOptions(path));
+    tree.Insert(Rect<2>::FromPoint({1, 1}), 0);
+    tree.Flush();
+  }
+  // Wrong page size.
+  RTreeOptions wrong_page = FileOptions(path);
+  wrong_page.page_size = 1024;
+  EXPECT_EQ(RTree<2>::Open(wrong_page), nullptr);
+  // Wrong dimension.
+  RTreeOptions as_3d;
+  as_3d.page_size = 512;
+  as_3d.file_path = path;
+  EXPECT_EQ(RTree<3>::Open(as_3d), nullptr);
+}
+
+TEST(RTreePersistence, OpenRejectsUnflushedGarbage) {
+  const std::string path = TempPath("rtree_garbage.pages");
+  {
+    auto file = storage::NewFilePageFile(path, 512);
+    file->Allocate();  // a zeroed page: no magic
+  }
+  EXPECT_EQ(RTree<2>::Open(FileOptions(path)), nullptr);
+}
+
+TEST(RTreePersistence, JoinOverReopenedTrees) {
+  const std::string path_a = TempPath("rtree_join_a.pages");
+  const std::string path_b = TempPath("rtree_join_b.pages");
+  const auto a = data::GenerateUniform(300, Rect<2>({0, 0}, {100, 100}), 1);
+  const auto b = data::GenerateUniform(300, Rect<2>({0, 0}, {100, 100}), 2);
+  {
+    RTree<2> ta(FileOptions(path_a));
+    for (size_t i = 0; i < a.size(); ++i) {
+      ta.Insert(Rect<2>::FromPoint(a[i]), i);
+    }
+    ta.Flush();
+    RTree<2> tb(FileOptions(path_b));
+    for (size_t i = 0; i < b.size(); ++i) {
+      tb.Insert(Rect<2>::FromPoint(b[i]), i);
+    }
+    tb.Flush();
+  }
+  auto ta = RTree<2>::Open(FileOptions(path_a));
+  auto tb = RTree<2>::Open(FileOptions(path_b));
+  ASSERT_NE(ta, nullptr);
+  ASSERT_NE(tb, nullptr);
+  DistanceJoin<2> join(*ta, *tb, DistanceJoinOptions{});
+  JoinResult<2> pair;
+  ASSERT_TRUE(join.Next(&pair));
+  // The first pair is the globally closest one.
+  double best = std::numeric_limits<double>::infinity();
+  for (const auto& p : a) {
+    for (const auto& q : b) best = std::min(best, Dist(p, q));
+  }
+  EXPECT_NEAR(pair.distance, best, 1e-9);
+}
+
+}  // namespace
+}  // namespace sdj

@@ -1,0 +1,278 @@
+#include "quadtree/quadtree.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/distance_join.h"
+#include "core/semi_join.h"
+#include "data/generators.h"
+#include "join_test_util.h"
+#include "util/rng.h"
+
+namespace sdj {
+namespace {
+
+using test::BruteForcePairs;
+using test::BruteForceSemiDistances;
+
+const Rect<2> kWorld({0, 0}, {1024, 1024});
+
+PointQuadtree<2> BuildQuadtree(const std::vector<Point<2>>& points,
+                               uint32_t bucket_override = 0) {
+  QuadtreeOptions options;
+  options.page_size = 512;
+  options.bucket_capacity_override = bucket_override;
+  PointQuadtree<2> tree(kWorld, options);
+  for (size_t i = 0; i < points.size(); ++i) {
+    tree.Insert(points[i], i);
+  }
+  return tree;
+}
+
+TEST(PointQuadtree, EmptyTree) {
+  PointQuadtree<2> tree(kWorld);
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_TRUE(tree.Validate());
+  std::vector<PointQuadtree<2>::Entry> out;
+  tree.RangeQuery(kWorld, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(PointQuadtree, SingleInsertRootLeaf) {
+  PointQuadtree<2> tree(kWorld);
+  tree.Insert(Point<2>{100, 200}, 7);
+  EXPECT_EQ(tree.size(), 1u);
+  EXPECT_TRUE(tree.Validate());
+  auto root = tree.Pin(tree.root());
+  EXPECT_TRUE(root.is_leaf());
+  EXPECT_EQ(root.count(), 1u);
+  EXPECT_EQ(root.ref(0), 7u);
+}
+
+TEST(PointQuadtree, SplitsIntoQuadrants) {
+  // Force tiny buckets so splits happen early.
+  std::vector<Point<2>> points = {{100, 100}, {900, 100}, {100, 900},
+                                  {900, 900}, {200, 200}, {800, 800}};
+  PointQuadtree<2> tree = BuildQuadtree(points, /*bucket_override=*/4);
+  std::string error;
+  ASSERT_TRUE(tree.Validate(&error)) << error;
+  EXPECT_GT(tree.num_nodes(), 1u);
+  auto root = tree.Pin(tree.root());
+  EXPECT_FALSE(root.is_leaf());
+  // Children are genuine quadrants of the world.
+  for (uint32_t i = 0; i < root.count(); ++i) {
+    const Rect<2> q = root.rect(i);
+    EXPECT_DOUBLE_EQ(q.Area(), kWorld.Area() / 4.0);
+  }
+}
+
+TEST(PointQuadtree, ManyInsertsStayValidAndQueryable) {
+  const auto points = data::GenerateUniform(5000, kWorld, 41);
+  PointQuadtree<2> tree = BuildQuadtree(points);
+  std::string error;
+  ASSERT_TRUE(tree.Validate(&error)) << error;
+  EXPECT_EQ(tree.size(), points.size());
+
+  Rng rng(42);
+  for (int q = 0; q < 40; ++q) {
+    const double cx = rng.Uniform(0, 1024);
+    const double cy = rng.Uniform(0, 1024);
+    const double half = rng.Uniform(5, 150);
+    const Rect<2> window({cx - half, cy - half}, {cx + half, cy + half});
+    std::vector<PointQuadtree<2>::Entry> out;
+    tree.RangeQuery(window, &out);
+    std::set<ObjectId> got;
+    for (const auto& e : out) got.insert(e.id);
+    ASSERT_EQ(got.size(), out.size());
+    std::set<ObjectId> expected;
+    for (size_t i = 0; i < points.size(); ++i) {
+      if (window.Contains(points[i])) expected.insert(i);
+    }
+    ASSERT_EQ(got, expected) << "query " << q;
+  }
+}
+
+TEST(PointQuadtree, TightClustersSubdivideDeeply) {
+  data::ClusterOptions options;
+  options.num_points = 2000;
+  options.extent = kWorld;
+  options.num_clusters = 2;
+  options.spread_fraction = 0.002;  // extremely tight
+  options.seed = 43;
+  const auto points = data::GenerateClustered(options);
+  PointQuadtree<2> tree = BuildQuadtree(points, /*bucket_override=*/8);
+  std::string error;
+  ASSERT_TRUE(tree.Validate(&error)) << error;
+  EXPECT_EQ(tree.size(), points.size());
+}
+
+TEST(PointQuadtree, ForEachObjectVisitsAllOnce) {
+  const auto points = data::GenerateUniform(800, kWorld, 44);
+  PointQuadtree<2> tree = BuildQuadtree(points);
+  std::set<ObjectId> seen;
+  tree.ForEachObject([&seen](const Rect<2>& rect, ObjectId id) {
+    EXPECT_EQ(rect.lo, rect.hi);
+    EXPECT_TRUE(seen.insert(id).second);
+  });
+  EXPECT_EQ(seen.size(), points.size());
+}
+
+TEST(PointQuadtree, Octree3D) {
+  const Rect<3> world({0, 0, 0}, {512, 512, 512});
+  QuadtreeOptions options;
+  options.page_size = 1024;
+  PointQuadtree<3> tree(world, options);
+  Rng rng(45);
+  std::vector<Point<3>> points;
+  for (int i = 0; i < 2000; ++i) {
+    points.push_back(
+        {rng.Uniform(0, 512), rng.Uniform(0, 512), rng.Uniform(0, 512)});
+    tree.Insert(points.back(), i);
+  }
+  std::string error;
+  ASSERT_TRUE(tree.Validate(&error)) << error;
+  const Rect<3> window({100, 100, 100}, {300, 280, 260});
+  std::vector<PointQuadtree<3>::Entry> out;
+  tree.RangeQuery(window, &out);
+  size_t expected = 0;
+  for (const auto& p : points) {
+    if (window.Contains(p)) ++expected;
+  }
+  EXPECT_EQ(out.size(), expected);
+}
+
+// --- joins over quadtrees (index-genericity of the engine) ---
+
+TEST(QuadtreeJoin, MatchesBruteForcePrefix) {
+  const auto a = data::GenerateUniform(400, kWorld, 46);
+  const auto b = data::GenerateUniform(500, kWorld, 47);
+  PointQuadtree<2> ta = BuildQuadtree(a);
+  PointQuadtree<2> tb = BuildQuadtree(b);
+  const auto reference = BruteForcePairs(a, b);
+
+  DistanceJoinOptions options;
+  DistanceJoin<2, PointQuadtree<2>> join(ta, tb, options);
+  JoinResult<2> pair;
+  for (size_t k = 0; k < 600; ++k) {
+    ASSERT_TRUE(join.Next(&pair)) << k;
+    ASSERT_NEAR(pair.distance, reference[k].distance, 1e-9) << k;
+    ASSERT_NEAR(pair.distance, Dist(a[pair.id1], b[pair.id2]), 1e-9);
+  }
+}
+
+TEST(QuadtreeJoin, FullEnumerationExact) {
+  const auto a = data::GenerateUniform(40, kWorld, 48);
+  const auto b = data::GenerateUniform(45, kWorld, 49);
+  PointQuadtree<2> ta = BuildQuadtree(a, 4);
+  PointQuadtree<2> tb = BuildQuadtree(b, 4);
+  DistanceJoinOptions options;
+  DistanceJoin<2, PointQuadtree<2>> join(ta, tb, options);
+  JoinResult<2> pair;
+  std::set<std::pair<ObjectId, ObjectId>> seen;
+  double last = 0.0;
+  while (join.Next(&pair)) {
+    EXPECT_TRUE(seen.insert({pair.id1, pair.id2}).second);
+    EXPECT_GE(pair.distance, last - 1e-12);
+    last = pair.distance;
+  }
+  EXPECT_EQ(seen.size(), a.size() * b.size());
+}
+
+TEST(QuadtreeJoin, RangeAndMaxPairs) {
+  const auto a = data::GenerateUniform(200, kWorld, 50);
+  const auto b = data::GenerateUniform(200, kWorld, 51);
+  PointQuadtree<2> ta = BuildQuadtree(a);
+  PointQuadtree<2> tb = BuildQuadtree(b);
+  const auto reference = BruteForcePairs(a, b);
+  const double dmax = reference[3000].distance;
+
+  DistanceJoinOptions options;
+  options.max_distance = dmax;
+  DistanceJoin<2, PointQuadtree<2>> join(ta, tb, options);
+  JoinResult<2> pair;
+  size_t count = 0;
+  while (join.Next(&pair)) {
+    EXPECT_LE(pair.distance, dmax);
+    ++count;
+  }
+  size_t expected = 0;
+  for (const auto& p : reference) {
+    if (p.distance <= dmax) ++expected;
+  }
+  EXPECT_EQ(count, expected);
+}
+
+TEST(QuadtreeSemiJoin, MatchesBruteForce) {
+  const auto a = data::GenerateUniform(250, kWorld, 52);
+  const auto b = data::GenerateUniform(300, kWorld, 53);
+  PointQuadtree<2> ta = BuildQuadtree(a);
+  PointQuadtree<2> tb = BuildQuadtree(b);
+  const auto expected = BruteForceSemiDistances(a, b);
+
+  for (SemiJoinBound bound :
+       {SemiJoinBound::kNone, SemiJoinBound::kLocal, SemiJoinBound::kGlobalAll}) {
+    SemiJoinOptions options;
+    options.bound = bound;
+    DistanceSemiJoin<2, PointQuadtree<2>> semi(ta, tb, options);
+    JoinResult<2> pair;
+    std::vector<double> got;
+    std::set<ObjectId> firsts;
+    while (semi.Next(&pair)) {
+      got.push_back(pair.distance);
+      EXPECT_TRUE(firsts.insert(pair.id1).second);
+    }
+    ASSERT_EQ(got.size(), a.size());
+    for (size_t k = 0; k < got.size(); ++k) {
+      ASSERT_NEAR(got[k], expected[k], 1e-9)
+          << "bound=" << static_cast<int>(bound) << " k=" << k;
+    }
+  }
+}
+
+TEST(QuadtreeJoin, EstimationStaysCorrectDespiteWeakCounts) {
+  // Quadtrees guarantee only count >= 1 per subtree, so estimation tightens
+  // late but must never lose results.
+  const auto a = data::GenerateUniform(300, kWorld, 54);
+  const auto b = data::GenerateUniform(300, kWorld, 55);
+  PointQuadtree<2> ta = BuildQuadtree(a);
+  PointQuadtree<2> tb = BuildQuadtree(b);
+  const auto reference = BruteForcePairs(a, b);
+
+  DistanceJoinOptions options;
+  options.max_pairs = 50;
+  options.estimate_max_distance = true;
+  DistanceJoin<2, PointQuadtree<2>> join(ta, tb, options);
+  JoinResult<2> pair;
+  for (size_t k = 0; k < 50; ++k) {
+    ASSERT_TRUE(join.Next(&pair));
+    ASSERT_NEAR(pair.distance, reference[k].distance, 1e-9) << k;
+  }
+  EXPECT_EQ(join.stats().restarts, 0u);
+}
+
+TEST(QuadtreeJoin, MixedClusteredWorkload) {
+  data::ClusterOptions copts;
+  copts.num_points = 600;
+  copts.extent = kWorld;
+  copts.num_clusters = 6;
+  copts.seed = 56;
+  const auto a = data::GenerateClustered(copts);
+  const auto b = data::GenerateUniform(400, kWorld, 57);
+  PointQuadtree<2> ta = BuildQuadtree(a);
+  PointQuadtree<2> tb = BuildQuadtree(b);
+  const auto reference = BruteForcePairs(a, b);
+  DistanceJoinOptions options;
+  DistanceJoin<2, PointQuadtree<2>> join(ta, tb, options);
+  JoinResult<2> pair;
+  for (size_t k = 0; k < 500; ++k) {
+    ASSERT_TRUE(join.Next(&pair)) << k;
+    ASSERT_NEAR(pair.distance, reference[k].distance, 1e-9) << k;
+  }
+}
+
+}  // namespace
+}  // namespace sdj

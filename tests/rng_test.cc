@@ -1,0 +1,86 @@
+#include "util/rng.h"
+
+#include <cmath>
+#include <cstdint>
+
+#include <gtest/gtest.h>
+
+namespace sdj {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.NextUint64(), b.NextUint64());
+  }
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.NextUint64() == b.NextUint64()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, NextDoubleInUnitInterval) {
+  Rng rng(3);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(Rng, UniformRespectsBounds) {
+  Rng rng(11);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.Uniform(-5.0, 13.5);
+    EXPECT_GE(v, -5.0);
+    EXPECT_LT(v, 13.5);
+  }
+}
+
+TEST(Rng, NextBoundedRespectsBound) {
+  Rng rng(5);
+  for (int i = 0; i < 10000; ++i) {
+    EXPECT_LT(rng.NextBounded(17), 17u);
+  }
+  // Bound of 1 always yields 0.
+  EXPECT_EQ(rng.NextBounded(1), 0u);
+}
+
+TEST(Rng, NextBoundedIsRoughlyUniform) {
+  Rng rng(6);
+  const int buckets = 10;
+  int counts[10] = {};
+  const int draws = 100000;
+  for (int i = 0; i < draws; ++i) {
+    ++counts[rng.NextBounded(buckets)];
+  }
+  for (int b = 0; b < buckets; ++b) {
+    EXPECT_NEAR(counts[b], draws / buckets, draws / buckets / 5);
+  }
+}
+
+TEST(Rng, GaussianMomentsApproximatelyCorrect) {
+  Rng rng(8);
+  const int n = 200000;
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.Gaussian(10.0, 2.0);
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / n;
+  const double var = sum_sq / n - mean * mean;
+  EXPECT_NEAR(mean, 10.0, 0.05);
+  EXPECT_NEAR(std::sqrt(var), 2.0, 0.05);
+}
+
+}  // namespace
+}  // namespace sdj

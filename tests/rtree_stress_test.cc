@@ -1,0 +1,164 @@
+// Randomized stress tests for the R-tree: long interleaved
+// insert/delete/query workloads checked against a brute-force mirror, plus
+// degenerate-data torture cases.
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "rtree/rtree.h"
+#include "util/rng.h"
+
+namespace sdj {
+namespace {
+
+class RTreeStress : public ::testing::TestWithParam<RTreeOptions::Split> {
+ protected:
+  RTreeOptions Options() const {
+    RTreeOptions options;
+    options.page_size = 512;
+    options.split_policy = GetParam();
+    return options;
+  }
+};
+
+INSTANTIATE_TEST_SUITE_P(Splits, RTreeStress,
+                         ::testing::Values(RTreeOptions::Split::kRStar,
+                                           RTreeOptions::Split::kQuadratic),
+                         [](const auto& info) {
+                           return info.param == RTreeOptions::Split::kRStar
+                                      ? "RStar"
+                                      : "Quadratic";
+                         });
+
+TEST_P(RTreeStress, RandomInsertDeleteQueryAgainstMirror) {
+  RTree<2> tree(Options());
+  Rng rng(777);
+  std::map<ObjectId, Point<2>> mirror;
+  ObjectId next_id = 0;
+
+  for (int op = 0; op < 4000; ++op) {
+    const double action = rng.NextDouble();
+    if (action < 0.55 || mirror.empty()) {
+      const Point<2> p{rng.Uniform(0, 1000), rng.Uniform(0, 1000)};
+      tree.Insert(Rect<2>::FromPoint(p), next_id);
+      mirror[next_id] = p;
+      ++next_id;
+    } else if (action < 0.8) {
+      // Delete a random live object.
+      auto it = mirror.begin();
+      std::advance(it, rng.NextBounded(mirror.size()));
+      ASSERT_TRUE(tree.Delete(Rect<2>::FromPoint(it->second), it->first));
+      mirror.erase(it);
+    } else {
+      // Window query vs. the mirror.
+      const double cx = rng.Uniform(0, 1000);
+      const double cy = rng.Uniform(0, 1000);
+      const double half = rng.Uniform(1, 100);
+      const Rect<2> window({cx - half, cy - half}, {cx + half, cy + half});
+      std::vector<RTree<2>::Entry> out;
+      tree.RangeQuery(window, &out);
+      std::set<ObjectId> got;
+      for (const auto& e : out) got.insert(e.id);
+      ASSERT_EQ(got.size(), out.size());
+      std::set<ObjectId> expected;
+      for (const auto& [id, p] : mirror) {
+        if (window.Contains(p)) expected.insert(id);
+      }
+      ASSERT_EQ(got, expected) << "op " << op;
+    }
+    ASSERT_EQ(tree.size(), mirror.size());
+    if (op % 500 == 499) {
+      std::string error;
+      ASSERT_TRUE(tree.Validate(&error)) << "op " << op << ": " << error;
+    }
+  }
+  std::string error;
+  ASSERT_TRUE(tree.Validate(&error)) << error;
+}
+
+TEST_P(RTreeStress, TinyBufferPoolSurvivesThrashing) {
+  RTreeOptions options = Options();
+  options.buffer_pages = 8;
+  RTree<2> tree(options);
+  Rng rng(778);
+  std::vector<Point<2>> points;
+  for (int i = 0; i < 3000; ++i) {
+    points.push_back({rng.Uniform(0, 500), rng.Uniform(0, 500)});
+    tree.Insert(Rect<2>::FromPoint(points.back()), i);
+  }
+  std::string error;
+  ASSERT_TRUE(tree.Validate(&error)) << error;
+  std::vector<RTree<2>::Entry> out;
+  tree.RangeQuery(Rect<2>({0, 0}, {500, 500}), &out);
+  EXPECT_EQ(out.size(), points.size());
+  EXPECT_GT(tree.pool().stats().buffer_misses, 100u);  // real thrash
+}
+
+TEST_P(RTreeStress, IdenticalPoints) {
+  // Hundreds of coincident points: splits degenerate to zero-area choices
+  // but all invariants must hold and every id must remain addressable.
+  RTree<2> tree(Options());
+  const Point<2> p{42.0, 17.0};
+  for (int i = 0; i < 500; ++i) {
+    tree.Insert(Rect<2>::FromPoint(p), i);
+  }
+  std::string error;
+  ASSERT_TRUE(tree.Validate(&error)) << error;
+  std::vector<RTree<2>::Entry> out;
+  tree.RangeQuery(Rect<2>::FromPoint(p), &out);
+  EXPECT_EQ(out.size(), 500u);
+  // Delete specific ids out of the pile.
+  for (int i = 0; i < 500; i += 3) {
+    ASSERT_TRUE(tree.Delete(Rect<2>::FromPoint(p), i)) << i;
+  }
+  ASSERT_TRUE(tree.Validate(&error)) << error;
+  out.clear();
+  tree.RangeQuery(Rect<2>::FromPoint(p), &out);
+  EXPECT_EQ(out.size(), 500u - (500 + 2) / 3);
+}
+
+TEST_P(RTreeStress, CollinearPoints) {
+  RTree<2> tree(Options());
+  for (int i = 0; i < 2000; ++i) {
+    tree.Insert(Rect<2>::FromPoint({static_cast<double>(i), 5.0}), i);
+  }
+  std::string error;
+  ASSERT_TRUE(tree.Validate(&error)) << error;
+  std::vector<RTree<2>::Entry> out;
+  tree.RangeQuery(Rect<2>({500.0, 0.0}, {700.0, 10.0}), &out);
+  EXPECT_EQ(out.size(), 201u);
+}
+
+TEST_P(RTreeStress, AlternatingGrowShrinkCycles) {
+  RTree<2> tree(Options());
+  Rng rng(779);
+  std::vector<std::pair<ObjectId, Point<2>>> live;
+  ObjectId next_id = 0;
+  for (int cycle = 0; cycle < 4; ++cycle) {
+    // Grow.
+    for (int i = 0; i < 800; ++i) {
+      const Point<2> p{rng.Uniform(0, 100), rng.Uniform(0, 100)};
+      tree.Insert(Rect<2>::FromPoint(p), next_id);
+      live.push_back({next_id, p});
+      ++next_id;
+    }
+    std::string error;
+    ASSERT_TRUE(tree.Validate(&error)) << "grow " << cycle << ": " << error;
+    // Shrink to a quarter.
+    while (live.size() > 200) {
+      const size_t pick = rng.NextBounded(live.size());
+      ASSERT_TRUE(
+          tree.Delete(Rect<2>::FromPoint(live[pick].second), live[pick].first));
+      live[pick] = live.back();
+      live.pop_back();
+    }
+    ASSERT_TRUE(tree.Validate(&error)) << "shrink " << cycle << ": " << error;
+    ASSERT_EQ(tree.size(), live.size());
+  }
+}
+
+}  // namespace
+}  // namespace sdj

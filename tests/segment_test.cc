@@ -1,0 +1,212 @@
+// Tests for segment geometry and for line-data distance joins through the
+// object-bounding-rectangle mode (the paper's "future work" on lines).
+#include "geometry/segment.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/distance_join.h"
+#include "core/semi_join.h"
+#include "rtree/rtree.h"
+#include "util/rng.h"
+
+namespace sdj {
+namespace {
+
+TEST(Segment, MbrCoversBothEndpoints) {
+  const Segment<2> s{{3, 7}, {1, 2}};
+  EXPECT_EQ(s.Mbr(), Rect<2>({1, 2}, {3, 7}));
+}
+
+TEST(SegmentPointDistance, KnownCases) {
+  const Segment<2> s{{0, 0}, {10, 0}};
+  EXPECT_DOUBLE_EQ(Dist(Point<2>{5, 3}, s), 3.0);    // above the middle
+  EXPECT_DOUBLE_EQ(Dist(Point<2>{-4, 3}, s), 5.0);   // beyond endpoint a
+  EXPECT_DOUBLE_EQ(Dist(Point<2>{13, 4}, s), 5.0);   // beyond endpoint b
+  EXPECT_DOUBLE_EQ(Dist(Point<2>{7, 0}, s), 0.0);    // on the segment
+}
+
+TEST(SegmentPointDistance, DegenerateSegmentIsPoint) {
+  const Segment<2> s{{2, 2}, {2, 2}};
+  EXPECT_DOUBLE_EQ(Dist(Point<2>{5, 6}, s), 5.0);
+}
+
+TEST(SegmentSegmentDistance, CrossingSegmentsAreZero) {
+  const Segment<2> s1{{0, 0}, {10, 10}};
+  const Segment<2> s2{{0, 10}, {10, 0}};
+  EXPECT_NEAR(Dist(s1, s2), 0.0, 1e-12);
+}
+
+TEST(SegmentSegmentDistance, ParallelSegments) {
+  const Segment<2> s1{{0, 0}, {10, 0}};
+  const Segment<2> s2{{0, 4}, {10, 4}};
+  EXPECT_DOUBLE_EQ(Dist(s1, s2), 4.0);
+  // Offset parallel: closest between endpoints.
+  const Segment<2> s3{{20, 3}, {30, 3}};
+  EXPECT_DOUBLE_EQ(Dist(s1, s3), std::sqrt(100.0 + 9.0));
+}
+
+TEST(SegmentSegmentDistance, CollinearTouching) {
+  const Segment<2> s1{{0, 0}, {5, 0}};
+  const Segment<2> s2{{5, 0}, {9, 0}};
+  EXPECT_DOUBLE_EQ(Dist(s1, s2), 0.0);
+  const Segment<2> s3{{7, 0}, {9, 0}};
+  EXPECT_DOUBLE_EQ(Dist(s1, s3), 2.0);
+}
+
+TEST(SegmentSegmentDistance, Skew3D) {
+  // Classic skew lines: x-axis and a line along y at z=2 — distance 2.
+  const Segment<3> s1{{-5, 0, 0}, {5, 0, 0}};
+  const Segment<3> s2{{0, -5, 2}, {0, 5, 2}};
+  EXPECT_DOUBLE_EQ(Dist(s1, s2), 2.0);
+}
+
+TEST(SegmentSegmentDistance, DegenerateBothSides) {
+  const Segment<2> p1{{1, 1}, {1, 1}};
+  const Segment<2> p2{{4, 5}, {4, 5}};
+  EXPECT_DOUBLE_EQ(Dist(p1, p2), 5.0);
+  const Segment<2> s{{0, 0}, {10, 0}};
+  EXPECT_DOUBLE_EQ(Dist(p1, s), 1.0);
+  EXPECT_DOUBLE_EQ(Dist(s, p1), 1.0);
+}
+
+Segment<2> RandomSegment(Rng& rng, double span, double max_len) {
+  const double x = rng.Uniform(0, span);
+  const double y = rng.Uniform(0, span);
+  return {{x, y},
+          {x + rng.Uniform(-max_len, max_len),
+           y + rng.Uniform(-max_len, max_len)}};
+}
+
+double SampledSegmentDistance(const Segment<2>& s1, const Segment<2>& s2,
+                              int samples) {
+  double best = std::numeric_limits<double>::infinity();
+  for (int i = 0; i <= samples; ++i) {
+    const double t1 = static_cast<double>(i) / samples;
+    Point<2> p1{s1.a[0] + t1 * (s1.b[0] - s1.a[0]),
+                s1.a[1] + t1 * (s1.b[1] - s1.a[1])};
+    for (int j = 0; j <= samples; ++j) {
+      const double t2 = static_cast<double>(j) / samples;
+      Point<2> p2{s2.a[0] + t2 * (s2.b[0] - s2.a[0]),
+                  s2.a[1] + t2 * (s2.b[1] - s2.a[1])};
+      best = std::min(best, Dist(p1, p2));
+    }
+  }
+  return best;
+}
+
+TEST(SegmentSegmentDistance, PropertyAgainstDenseSampling) {
+  Rng rng(661);
+  for (int trial = 0; trial < 200; ++trial) {
+    const Segment<2> s1 = RandomSegment(rng, 100, 30);
+    const Segment<2> s2 = RandomSegment(rng, 100, 30);
+    const double exact = Dist(s1, s2);
+    const double sampled = SampledSegmentDistance(s1, s2, 60);
+    // The exact distance is a lower bound of any sampling and close to a
+    // dense one.
+    ASSERT_LE(exact, sampled + 1e-9) << trial;
+    ASSERT_GE(exact, sampled - 1.2) << trial;  // sampling granularity slack
+    // And it is bounded by the MBR-based MINDIST from below.
+    ASSERT_GE(exact, MinDist(s1.Mbr(), s2.Mbr()) - 1e-9) << trial;
+  }
+}
+
+// --- line-data distance join via obr mode ---
+
+std::vector<Segment<2>> RandomSegments(size_t n, uint64_t seed) {
+  Rng rng(seed);
+  std::vector<Segment<2>> segments;
+  for (size_t i = 0; i < n; ++i) {
+    segments.push_back(RandomSegment(rng, 1000, 60));
+  }
+  return segments;
+}
+
+RTree<2> IndexSegments(const std::vector<Segment<2>>& segments) {
+  RTreeOptions options;
+  options.page_size = 512;
+  RTree<2> tree(options);
+  std::vector<RTree<2>::Entry> entries;
+  for (size_t i = 0; i < segments.size(); ++i) {
+    entries.push_back({segments[i].Mbr(), i});
+  }
+  tree.BulkLoad(std::move(entries));
+  return tree;
+}
+
+TEST(SegmentJoin, ObrModeMatchesBruteForce) {
+  const auto roads = RandomSegments(150, 662);
+  const auto rivers = RandomSegments(150, 663);
+  RTree<2> tr = IndexSegments(roads);
+  RTree<2> tv = IndexSegments(rivers);
+
+  DistanceJoinOptions options;
+  options.exact_object_distance = [&roads, &rivers](ObjectId i, ObjectId j) {
+    return Dist(roads[i], rivers[j]);
+  };
+  DistanceJoin<2> join(tr, tv, options);
+
+  // Brute-force reference ordering of exact segment distances.
+  std::vector<double> reference;
+  for (const auto& r : roads) {
+    for (const auto& v : rivers) reference.push_back(Dist(r, v));
+  }
+  std::sort(reference.begin(), reference.end());
+
+  JoinResult<2> pair;
+  for (size_t k = 0; k < 400; ++k) {
+    ASSERT_TRUE(join.Next(&pair)) << k;
+    ASSERT_NEAR(pair.distance, reference[k], 1e-9) << k;
+    ASSERT_NEAR(pair.distance, Dist(roads[pair.id1], rivers[pair.id2]), 1e-9);
+  }
+}
+
+TEST(SegmentJoin, SemiJoinNearestRiverPerRoad) {
+  const auto roads = RandomSegments(100, 664);
+  const auto rivers = RandomSegments(120, 665);
+  RTree<2> tr = IndexSegments(roads);
+  RTree<2> tv = IndexSegments(rivers);
+
+  SemiJoinOptions options;
+  options.bound = SemiJoinBound::kGlobalAll;
+  options.join.exact_object_distance =
+      [&roads, &rivers](ObjectId i, ObjectId j) {
+        return Dist(roads[i], rivers[j]);
+      };
+  DistanceSemiJoin<2> semi(tr, tv, options);
+  JoinResult<2> pair;
+  size_t count = 0;
+  while (semi.Next(&pair)) {
+    double best = std::numeric_limits<double>::infinity();
+    for (const auto& v : rivers) {
+      best = std::min(best, Dist(roads[pair.id1], v));
+    }
+    ASSERT_NEAR(pair.distance, best, 1e-9) << pair.id1;
+    ++count;
+  }
+  EXPECT_EQ(count, roads.size());
+}
+
+TEST(SegmentJoin, IntersectingSegmentsSurfaceFirst) {
+  // Two deliberately crossing segments must appear as the first pair with
+  // distance 0.
+  std::vector<Segment<2>> a = {{{0, 0}, {100, 100}}, {{500, 0}, {600, 0}}};
+  std::vector<Segment<2>> b = {{{0, 100}, {100, 0}}, {{800, 800}, {900, 900}}};
+  RTree<2> ta = IndexSegments(a);
+  RTree<2> tb = IndexSegments(b);
+  DistanceJoinOptions options;
+  options.exact_object_distance = [&a, &b](ObjectId i, ObjectId j) {
+    return Dist(a[i], b[j]);
+  };
+  DistanceJoin<2> join(ta, tb, options);
+  JoinResult<2> pair;
+  ASSERT_TRUE(join.Next(&pair));
+  EXPECT_EQ(pair.id1, 0u);
+  EXPECT_EQ(pair.id2, 0u);
+  EXPECT_NEAR(pair.distance, 0.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace sdj

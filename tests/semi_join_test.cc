@@ -1,0 +1,306 @@
+#include "core/semi_join.h"
+
+#include <algorithm>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/generators.h"
+#include "join_test_util.h"
+#include "rtree/rtree.h"
+
+namespace sdj {
+namespace {
+
+using test::BruteForceNearestByObject;
+using test::BruteForceSemiDistances;
+using test::BuildPointTree;
+
+std::vector<Point<2>> Stores(size_t n = 250, uint64_t seed = 81) {
+  data::ClusterOptions options;
+  options.num_points = n;
+  options.extent = Rect<2>({0, 0}, {1000, 1000});
+  options.num_clusters = 8;
+  options.spread_fraction = 0.04;
+  options.seed = seed;
+  return data::GenerateClustered(options);
+}
+
+std::vector<Point<2>> Warehouses(size_t n = 400, uint64_t seed = 82) {
+  return data::GenerateUniform(n, Rect<2>({0, 0}, {1000, 1000}), seed);
+}
+
+std::vector<JoinResult<2>> Drain(DistanceSemiJoin<2>& semi, size_t limit) {
+  std::vector<JoinResult<2>> out;
+  JoinResult<2> pair;
+  while (out.size() < limit && semi.Next(&pair)) out.push_back(pair);
+  return out;
+}
+
+struct SemiParam {
+  SemiJoinFilter filter;
+  SemiJoinBound bound;
+};
+
+class SemiStrategySweep : public ::testing::TestWithParam<SemiParam> {};
+
+INSTANTIATE_TEST_SUITE_P(
+    Strategies, SemiStrategySweep,
+    ::testing::Values(SemiParam{SemiJoinFilter::kOutside, SemiJoinBound::kNone},
+                      SemiParam{SemiJoinFilter::kInside1, SemiJoinBound::kNone},
+                      SemiParam{SemiJoinFilter::kInside2, SemiJoinBound::kNone},
+                      SemiParam{SemiJoinFilter::kInside2,
+                                SemiJoinBound::kLocal},
+                      SemiParam{SemiJoinFilter::kInside2,
+                                SemiJoinBound::kGlobalNodes},
+                      SemiParam{SemiJoinFilter::kInside2,
+                                SemiJoinBound::kGlobalAll}),
+    [](const auto& info) {
+      std::string name;
+      switch (info.param.filter) {
+        case SemiJoinFilter::kOutside: name = "Outside"; break;
+        case SemiJoinFilter::kInside1: name = "Inside1"; break;
+        case SemiJoinFilter::kInside2: name = "Inside2"; break;
+        case SemiJoinFilter::kNone: name = "None"; break;
+      }
+      switch (info.param.bound) {
+        case SemiJoinBound::kNone: break;
+        case SemiJoinBound::kLocal: name += "Local"; break;
+        case SemiJoinBound::kGlobalNodes: name += "GlobalNodes"; break;
+        case SemiJoinBound::kGlobalAll: name += "GlobalAll"; break;
+      }
+      return name;
+    });
+
+TEST_P(SemiStrategySweep, FullSemiJoinMatchesBruteForce) {
+  const auto stores = Stores();
+  const auto warehouses = Warehouses();
+  RTree<2> ts = BuildPointTree(stores);
+  RTree<2> tw = BuildPointTree(warehouses);
+  const auto expected_sorted = BruteForceSemiDistances(stores, warehouses);
+  const auto expected_by_id = BruteForceNearestByObject(stores, warehouses);
+
+  SemiJoinOptions options;
+  options.filter = GetParam().filter;
+  options.bound = GetParam().bound;
+  DistanceSemiJoin<2> semi(ts, tw, options);
+  const auto got = Drain(semi, stores.size() + 10);
+
+  // Exactly one pair per store, in non-decreasing distance order, each with
+  // the true nearest-warehouse distance.
+  ASSERT_EQ(got.size(), stores.size());
+  std::set<ObjectId> firsts;
+  for (size_t k = 0; k < got.size(); ++k) {
+    EXPECT_TRUE(firsts.insert(got[k].id1).second) << "dup " << got[k].id1;
+    ASSERT_NEAR(got[k].distance, expected_by_id[got[k].id1], 1e-9)
+        << "store " << got[k].id1;
+    ASSERT_NEAR(got[k].distance, expected_sorted[k], 1e-9) << "k=" << k;
+    if (k > 0) {
+      ASSERT_GE(got[k].distance, got[k - 1].distance - 1e-12);
+    }
+  }
+}
+
+TEST_P(SemiStrategySweep, PrefixQueryMatches) {
+  const auto stores = Stores(150, 83);
+  const auto warehouses = Warehouses(200, 84);
+  RTree<2> ts = BuildPointTree(stores);
+  RTree<2> tw = BuildPointTree(warehouses);
+  const auto expected_sorted = BruteForceSemiDistances(stores, warehouses);
+
+  SemiJoinOptions options;
+  options.filter = GetParam().filter;
+  options.bound = GetParam().bound;
+  options.join.max_pairs = 40;
+  DistanceSemiJoin<2> semi(ts, tw, options);
+  const auto got = Drain(semi, 100);
+  ASSERT_EQ(got.size(), 40u);
+  for (size_t k = 0; k < got.size(); ++k) {
+    ASSERT_NEAR(got[k].distance, expected_sorted[k], 1e-9) << k;
+  }
+}
+
+TEST(DistanceSemiJoin, EstimationPreservesResults) {
+  const auto stores = Stores(200, 85);
+  const auto warehouses = Warehouses(300, 86);
+  RTree<2> ts = BuildPointTree(stores);
+  RTree<2> tw = BuildPointTree(warehouses);
+  const auto expected_sorted = BruteForceSemiDistances(stores, warehouses);
+
+  for (uint64_t k : {1u, 20u, 100u}) {
+    SemiJoinOptions options;
+    options.filter = SemiJoinFilter::kInside2;
+    options.bound = SemiJoinBound::kLocal;
+    options.join.max_pairs = k;
+    options.join.estimate_max_distance = true;
+    DistanceSemiJoin<2> semi(ts, tw, options);
+    const auto got = Drain(semi, k + 5);
+    ASSERT_EQ(got.size(), k) << "k=" << k;
+    for (size_t i = 0; i < k; ++i) {
+      ASSERT_NEAR(got[i].distance, expected_sorted[i], 1e-9)
+          << "k=" << k << " i=" << i;
+    }
+    EXPECT_EQ(semi.stats().restarts, 0u);
+  }
+}
+
+TEST(DistanceSemiJoin, EstimationShrinksQueue) {
+  const auto stores = Stores(400, 87);
+  const auto warehouses = Warehouses(600, 88);
+  RTree<2> ts = BuildPointTree(stores);
+  RTree<2> tw = BuildPointTree(warehouses);
+
+  SemiJoinOptions plain;
+  plain.bound = SemiJoinBound::kLocal;
+  plain.join.max_pairs = 25;
+  DistanceSemiJoin<2> semi_plain(ts, tw, plain);
+  Drain(semi_plain, 25);
+
+  SemiJoinOptions est = plain;
+  est.join.estimate_max_distance = true;
+  DistanceSemiJoin<2> semi_est(ts, tw, est);
+  Drain(semi_est, 25);
+
+  EXPECT_LT(semi_est.stats().queue_pushes, semi_plain.stats().queue_pushes);
+}
+
+TEST(DistanceSemiJoin, AggressiveEstimationCorrectWithPossibleRestart) {
+  const auto stores = Stores(150, 89);
+  const auto warehouses = Warehouses(200, 90);
+  RTree<2> ts = BuildPointTree(stores);
+  RTree<2> tw = BuildPointTree(warehouses);
+  const auto expected_sorted = BruteForceSemiDistances(stores, warehouses);
+
+  SemiJoinOptions options;
+  options.bound = SemiJoinBound::kLocal;
+  options.join.max_pairs = 60;
+  options.join.estimate_max_distance = true;
+  options.join.aggressive_estimation = true;
+  DistanceSemiJoin<2> semi(ts, tw, options);
+  const auto got = Drain(semi, 70);
+  ASSERT_EQ(got.size(), 60u);
+  for (size_t i = 0; i < got.size(); ++i) {
+    ASSERT_NEAR(got[i].distance, expected_sorted[i], 1e-9) << i;
+  }
+}
+
+TEST(DistanceSemiJoin, MaxDistanceLimitsOutput) {
+  const auto stores = Stores(200, 91);
+  const auto warehouses = Warehouses(150, 92);
+  RTree<2> ts = BuildPointTree(stores);
+  RTree<2> tw = BuildPointTree(warehouses);
+  const auto expected = BruteForceSemiDistances(stores, warehouses);
+  const double dmax = expected[expected.size() / 3];
+
+  SemiJoinOptions options;
+  options.bound = SemiJoinBound::kGlobalAll;
+  options.join.max_distance = dmax;
+  DistanceSemiJoin<2> semi(ts, tw, options);
+  const auto got = Drain(semi, stores.size());
+  size_t count = 0;
+  for (double d : expected) {
+    if (d <= dmax) ++count;
+  }
+  EXPECT_EQ(got.size(), count);
+}
+
+TEST(DistanceSemiJoin, IsAsymmetric) {
+  // distance semi-join(A, B) yields |A| pairs; (B, A) yields |B| pairs, and
+  // the distance multisets differ in general (Section 1).
+  const auto a = Stores(80, 93);
+  const auto b = Warehouses(120, 94);
+  RTree<2> ta = BuildPointTree(a);
+  RTree<2> tb = BuildPointTree(b);
+  SemiJoinOptions options;
+  DistanceSemiJoin<2> ab(ta, tb, options);
+  DistanceSemiJoin<2> ba(tb, ta, options);
+  EXPECT_EQ(Drain(ab, 1000).size(), a.size());
+  EXPECT_EQ(Drain(ba, 1000).size(), b.size());
+}
+
+TEST(DistanceSemiJoin, ClusteringAssignsNearestSite) {
+  // The discrete-Voronoi reading (Section 1): every store lands in the cell
+  // of its nearest warehouse.
+  const auto stores = Stores(100, 95);
+  const auto sites = data::GenerateUniform(7, Rect<2>({0, 0}, {1000, 1000}),
+                                           96);
+  RTree<2> ts = BuildPointTree(stores);
+  RTree<2> tw = BuildPointTree(sites);
+  SemiJoinOptions options;
+  options.bound = SemiJoinBound::kGlobalAll;
+  DistanceSemiJoin<2> semi(ts, tw, options);
+  JoinResult<2> pair;
+  size_t count = 0;
+  while (semi.Next(&pair)) {
+    // Verify the assigned site is the argmin by brute force.
+    double best = std::numeric_limits<double>::infinity();
+    size_t best_site = 0;
+    for (size_t s = 0; s < sites.size(); ++s) {
+      const double d = Dist(stores[pair.id1], sites[s]);
+      if (d < best) {
+        best = d;
+        best_site = s;
+      }
+    }
+    ASSERT_NEAR(pair.distance, best, 1e-9);
+    // Ties between sites are broken arbitrarily; distances must agree.
+    ASSERT_NEAR(Dist(stores[pair.id1], sites[pair.id2]), best, 1e-9);
+    (void)best_site;
+    ++count;
+  }
+  EXPECT_EQ(count, stores.size());
+}
+
+TEST(DistanceSemiJoin, OutsideFilterCountsDuplicates) {
+  const auto stores = Stores(100, 97);
+  const auto warehouses = Warehouses(100, 98);
+  RTree<2> ts = BuildPointTree(stores);
+  RTree<2> tw = BuildPointTree(warehouses);
+  SemiJoinOptions options;
+  options.filter = SemiJoinFilter::kOutside;
+  DistanceSemiJoin<2> semi(ts, tw, options);
+  Drain(semi, stores.size() + 10);
+  // Completing the semi-join through the raw join must have discarded many
+  // duplicate-first pairs.
+  EXPECT_GT(semi.stats().filtered_reported, 0u);
+}
+
+TEST(DistanceSemiJoin, BoundsActuallyPrune) {
+  const auto stores = Stores(300, 99);
+  const auto warehouses = Warehouses(500, 100);
+  RTree<2> ts = BuildPointTree(stores);
+  RTree<2> tw = BuildPointTree(warehouses);
+
+  SemiJoinOptions no_bound;
+  no_bound.filter = SemiJoinFilter::kInside2;
+  DistanceSemiJoin<2> plain(ts, tw, no_bound);
+  Drain(plain, stores.size());
+
+  SemiJoinOptions with_bound = no_bound;
+  with_bound.bound = SemiJoinBound::kGlobalAll;
+  DistanceSemiJoin<2> bounded(ts, tw, with_bound);
+  Drain(bounded, stores.size());
+
+  EXPECT_GT(bounded.stats().pruned_by_bound, 0u);
+  EXPECT_LT(bounded.stats().queue_pushes, plain.stats().queue_pushes);
+}
+
+TEST(DistanceSemiJoin, EmptyInputs) {
+  RTree<2> empty;
+  RTree<2> nonempty = BuildPointTree(Stores(20, 101));
+  SemiJoinOptions options;
+  {
+    DistanceSemiJoin<2> semi(empty, nonempty, options);
+    JoinResult<2> r;
+    EXPECT_FALSE(semi.Next(&r));
+  }
+  {
+    DistanceSemiJoin<2> semi(nonempty, empty, options);
+    JoinResult<2> r;
+    EXPECT_FALSE(semi.Next(&r));
+  }
+}
+
+}  // namespace
+}  // namespace sdj

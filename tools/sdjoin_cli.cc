@@ -1,0 +1,331 @@
+// Command-line front end for the sdjoin library.
+//
+//   sdjoin_cli gen      --out=pts.csv --n=10000 --kind=clustered [--seed=1]
+//   sdjoin_cli join     --a=a.csv --b=b.csv [--k=100] [--max-distance=D]
+//                       [--min-distance=D] [--metric=euclidean|manhattan|
+//                       chessboard] [--policy=even|basic|simultaneous]
+//                       [--reverse] [--estimate] [--print=10]
+//   sdjoin_cli semijoin --a=a.csv --b=b.csv [--k=...] [--bound=none|local|
+//                       globalnodes|globalall] [--filter=outside|inside1|
+//                       inside2] [--print=10]
+//   sdjoin_cli nn       --a=a.csv --x=X --y=Y [--k=5]
+//   sdjoin_cli stats    --a=a.csv
+//
+// Datasets are "x,y" CSV files (data/dataset_io.h); object ids are row
+// numbers. Every command prints a short cost report (distance calculations,
+// queue size, node I/O) alongside its results.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "core/distance_join.h"
+#include "core/semi_join.h"
+#include "data/dataset_io.h"
+#include "data/generators.h"
+#include "nn/inc_nearest.h"
+#include "rtree/rtree.h"
+
+namespace {
+
+using sdj::DistanceJoin;
+using sdj::DistanceJoinOptions;
+using sdj::DistanceSemiJoin;
+using sdj::JoinResult;
+using sdj::JoinStats;
+using sdj::Metric;
+using sdj::Point;
+using sdj::Rect;
+using sdj::RTree;
+
+// --key=value flag map; positional arguments are rejected.
+class Flags {
+ public:
+  Flags(int argc, char** argv, int first) {
+    for (int i = first; i < argc; ++i) {
+      const char* arg = argv[i];
+      if (std::strncmp(arg, "--", 2) != 0) {
+        std::fprintf(stderr, "unexpected argument: %s\n", arg);
+        ok_ = false;
+        continue;
+      }
+      const char* eq = std::strchr(arg, '=');
+      if (eq == nullptr) {
+        values_[std::string(arg + 2)] = "true";
+      } else {
+        values_[std::string(arg + 2, eq)] = std::string(eq + 1);
+      }
+    }
+  }
+
+  bool ok() const { return ok_; }
+
+  std::string Get(const std::string& key, const std::string& fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : it->second;
+  }
+  double GetDouble(const std::string& key, double fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atof(it->second.c_str());
+  }
+  long GetLong(const std::string& key, long fallback) const {
+    auto it = values_.find(key);
+    return it == values_.end() ? fallback : std::atol(it->second.c_str());
+  }
+  bool GetBool(const std::string& key) const {
+    return Get(key, "") == "true";
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  bool ok_ = true;
+};
+
+bool LoadRequired(const Flags& flags, const std::string& key,
+                  std::vector<Point<2>>* points) {
+  const std::string path = flags.Get(key, "");
+  if (path.empty()) {
+    std::fprintf(stderr, "missing required flag --%s=<csv>\n", key.c_str());
+    return false;
+  }
+  if (!sdj::data::LoadPointsCsv(path, points)) {
+    std::fprintf(stderr, "failed to load %s\n", path.c_str());
+    return false;
+  }
+  return true;
+}
+
+RTree<2> IndexPoints(const std::vector<Point<2>>& points) {
+  RTree<2> tree;
+  std::vector<RTree<2>::Entry> entries;
+  entries.reserve(points.size());
+  for (size_t i = 0; i < points.size(); ++i) {
+    entries.push_back({Rect<2>::FromPoint(points[i]), i});
+  }
+  tree.BulkLoad(std::move(entries));
+  return tree;
+}
+
+bool ParseMetric(const std::string& name, Metric* metric) {
+  if (name == "euclidean") {
+    *metric = Metric::kEuclidean;
+  } else if (name == "manhattan") {
+    *metric = Metric::kManhattan;
+  } else if (name == "chessboard") {
+    *metric = Metric::kChessboard;
+  } else {
+    std::fprintf(stderr, "unknown metric: %s\n", name.c_str());
+    return false;
+  }
+  return true;
+}
+
+void PrintCosts(const JoinStats& stats) {
+  std::printf(
+      "# cost: %llu pairs, %llu object dist calcs, %llu queue inserts, "
+      "max queue %llu, node I/O %llu\n",
+      static_cast<unsigned long long>(stats.pairs_reported),
+      static_cast<unsigned long long>(stats.object_distance_calcs),
+      static_cast<unsigned long long>(stats.queue_pushes),
+      static_cast<unsigned long long>(stats.max_queue_size),
+      static_cast<unsigned long long>(stats.node_io));
+}
+
+int CmdGen(const Flags& flags) {
+  const std::string out = flags.Get("out", "");
+  if (out.empty()) {
+    std::fprintf(stderr, "gen requires --out=<csv>\n");
+    return 1;
+  }
+  const size_t n = static_cast<size_t>(flags.GetLong("n", 10000));
+  const uint64_t seed = static_cast<uint64_t>(flags.GetLong("seed", 1));
+  const Rect<2> extent({flags.GetDouble("x0", 0.0), flags.GetDouble("y0", 0.0)},
+                       {flags.GetDouble("x1", 100000.0),
+                        flags.GetDouble("y1", 100000.0)});
+  const std::string kind = flags.Get("kind", "uniform");
+  std::vector<Point<2>> points;
+  if (kind == "uniform") {
+    points = sdj::data::GenerateUniform(n, extent, seed);
+  } else if (kind == "clustered") {
+    sdj::data::ClusterOptions options;
+    options.num_points = n;
+    options.extent = extent;
+    options.num_clusters = static_cast<int>(flags.GetLong("clusters", 32));
+    options.seed = seed;
+    points = sdj::data::GenerateClustered(options);
+  } else if (kind == "polyline") {
+    sdj::data::PolylineOptions options;
+    options.num_points = n;
+    options.extent = extent;
+    options.num_polylines = static_cast<int>(flags.GetLong("lines", 100));
+    options.seed = seed;
+    points = sdj::data::GeneratePolylines(options);
+  } else {
+    std::fprintf(stderr, "unknown kind: %s\n", kind.c_str());
+    return 1;
+  }
+  if (!sdj::data::SavePointsCsv(out, points)) {
+    std::fprintf(stderr, "failed to write %s\n", out.c_str());
+    return 1;
+  }
+  std::printf("wrote %zu %s points to %s\n", points.size(), kind.c_str(),
+              out.c_str());
+  return 0;
+}
+
+int CmdJoin(const Flags& flags) {
+  std::vector<Point<2>> a;
+  std::vector<Point<2>> b;
+  if (!LoadRequired(flags, "a", &a) || !LoadRequired(flags, "b", &b)) return 1;
+  RTree<2> ta = IndexPoints(a);
+  RTree<2> tb = IndexPoints(b);
+
+  DistanceJoinOptions options;
+  if (!ParseMetric(flags.Get("metric", "euclidean"), &options.metric)) {
+    return 1;
+  }
+  const std::string policy = flags.Get("policy", "even");
+  if (policy == "even") {
+    options.node_policy = sdj::NodeProcessingPolicy::kEven;
+  } else if (policy == "basic") {
+    options.node_policy = sdj::NodeProcessingPolicy::kBasic;
+  } else if (policy == "simultaneous") {
+    options.node_policy = sdj::NodeProcessingPolicy::kSimultaneous;
+  } else {
+    std::fprintf(stderr, "unknown policy: %s\n", policy.c_str());
+    return 1;
+  }
+  options.min_distance = flags.GetDouble("min-distance", 0.0);
+  options.max_distance = flags.GetDouble(
+      "max-distance", std::numeric_limits<double>::infinity());
+  options.max_pairs = static_cast<uint64_t>(flags.GetLong("k", 0));
+  options.reverse_order = flags.GetBool("reverse");
+  if (flags.GetBool("estimate")) {
+    if (options.max_pairs == 0) {
+      std::fprintf(stderr, "--estimate requires --k\n");
+      return 1;
+    }
+    options.estimate_max_distance = true;
+  }
+
+  DistanceJoin<2> join(ta, tb, options);
+  const long print = flags.GetLong("print", 10);
+  JoinResult<2> pair;
+  long produced = 0;
+  while (join.Next(&pair)) {
+    if (produced < print) {
+      std::printf("%llu,%llu,%.6f\n",
+                  static_cast<unsigned long long>(pair.id1),
+                  static_cast<unsigned long long>(pair.id2), pair.distance);
+    }
+    ++produced;
+  }
+  PrintCosts(join.stats());
+  return 0;
+}
+
+int CmdSemiJoin(const Flags& flags) {
+  std::vector<Point<2>> a;
+  std::vector<Point<2>> b;
+  if (!LoadRequired(flags, "a", &a) || !LoadRequired(flags, "b", &b)) return 1;
+  RTree<2> ta = IndexPoints(a);
+  RTree<2> tb = IndexPoints(b);
+
+  sdj::SemiJoinOptions options;
+  if (!ParseMetric(flags.Get("metric", "euclidean"), &options.join.metric)) {
+    return 1;
+  }
+  options.join.max_pairs = static_cast<uint64_t>(flags.GetLong("k", 0));
+  const std::string bound = flags.Get("bound", "globalall");
+  if (bound == "none") {
+    options.bound = sdj::SemiJoinBound::kNone;
+  } else if (bound == "local") {
+    options.bound = sdj::SemiJoinBound::kLocal;
+  } else if (bound == "globalnodes") {
+    options.bound = sdj::SemiJoinBound::kGlobalNodes;
+  } else if (bound == "globalall") {
+    options.bound = sdj::SemiJoinBound::kGlobalAll;
+  } else {
+    std::fprintf(stderr, "unknown bound: %s\n", bound.c_str());
+    return 1;
+  }
+  const std::string filter = flags.Get("filter", "inside2");
+  if (filter == "outside") {
+    options.filter = sdj::SemiJoinFilter::kOutside;
+  } else if (filter == "inside1") {
+    options.filter = sdj::SemiJoinFilter::kInside1;
+  } else if (filter == "inside2") {
+    options.filter = sdj::SemiJoinFilter::kInside2;
+  } else {
+    std::fprintf(stderr, "unknown filter: %s\n", filter.c_str());
+    return 1;
+  }
+
+  DistanceSemiJoin<2> semi(ta, tb, options);
+  const long print = flags.GetLong("print", 10);
+  JoinResult<2> pair;
+  long produced = 0;
+  while (semi.Next(&pair)) {
+    if (produced < print) {
+      std::printf("%llu,%llu,%.6f\n",
+                  static_cast<unsigned long long>(pair.id1),
+                  static_cast<unsigned long long>(pair.id2), pair.distance);
+    }
+    ++produced;
+  }
+  PrintCosts(semi.stats());
+  return 0;
+}
+
+int CmdNn(const Flags& flags) {
+  std::vector<Point<2>> a;
+  if (!LoadRequired(flags, "a", &a)) return 1;
+  RTree<2> tree = IndexPoints(a);
+  const Point<2> query{flags.GetDouble("x", 0.0), flags.GetDouble("y", 0.0)};
+  const size_t k = static_cast<size_t>(flags.GetLong("k", 5));
+  for (const auto& hit : sdj::KNearest(tree, query, k)) {
+    std::printf("%llu,%.6f\n", static_cast<unsigned long long>(hit.id),
+                hit.distance);
+  }
+  return 0;
+}
+
+int CmdStats(const Flags& flags) {
+  std::vector<Point<2>> a;
+  if (!LoadRequired(flags, "a", &a)) return 1;
+  RTree<2> tree = IndexPoints(a);
+  std::printf("objects: %zu\nheight: %d\nnodes: %zu (leaves %zu)\n",
+              tree.size(), tree.height(), tree.num_nodes(),
+              tree.num_leaves());
+  std::printf("fan-out: max %u, min %u\n", tree.max_entries(),
+              tree.min_entries());
+  const Rect<2> mbr = tree.RootMbr();
+  std::printf("extent: %s\n", mbr.ToString().c_str());
+  std::string error;
+  std::printf("valid: %s\n", tree.Validate(&error) ? "yes" : error.c_str());
+  return 0;
+}
+
+int PrintUsage() {
+  std::fprintf(stderr,
+               "usage: sdjoin_cli <gen|join|semijoin|nn|stats> [--flags]\n"
+               "see the header of tools/sdjoin_cli.cc for details\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return PrintUsage();
+  const std::string command = argv[1];
+  Flags flags(argc, argv, 2);
+  if (!flags.ok()) return 2;
+  if (command == "gen") return CmdGen(flags);
+  if (command == "join") return CmdJoin(flags);
+  if (command == "semijoin") return CmdSemiJoin(flags);
+  if (command == "nn") return CmdNn(flags);
+  if (command == "stats") return CmdStats(flags);
+  return PrintUsage();
+}
