@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_alt_nested_loop.dir/bench_alt_nested_loop.cc.o"
+  "CMakeFiles/bench_alt_nested_loop.dir/bench_alt_nested_loop.cc.o.d"
+  "bench_alt_nested_loop"
+  "bench_alt_nested_loop.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_alt_nested_loop.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_alt_nn_semijoin.dir/bench_alt_nn_semijoin.cc.o"
+  "CMakeFiles/bench_alt_nn_semijoin.dir/bench_alt_nn_semijoin.cc.o.d"
+  "bench_alt_nn_semijoin"
+  "bench_alt_nn_semijoin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_alt_nn_semijoin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

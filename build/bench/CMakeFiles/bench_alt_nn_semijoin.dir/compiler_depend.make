@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_alt_nn_semijoin.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_dimensions.dir/bench_dimensions.cc.o"
+  "CMakeFiles/bench_dimensions.dir/bench_dimensions.cc.o.d"
+  "bench_dimensions"
+  "bench_dimensions.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_dimensions.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

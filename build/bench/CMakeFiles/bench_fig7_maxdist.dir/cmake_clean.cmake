@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig7_maxdist.dir/bench_fig7_maxdist.cc.o"
+  "CMakeFiles/bench_fig7_maxdist.dir/bench_fig7_maxdist.cc.o.d"
+  "bench_fig7_maxdist"
+  "bench_fig7_maxdist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig7_maxdist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_semijoin.dir/bench_fig9_semijoin.cc.o"
+  "CMakeFiles/bench_fig9_semijoin.dir/bench_fig9_semijoin.cc.o.d"
+  "bench_fig9_semijoin"
+  "bench_fig9_semijoin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_semijoin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

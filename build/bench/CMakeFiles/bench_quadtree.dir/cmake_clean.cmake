@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_quadtree.dir/bench_quadtree.cc.o"
+  "CMakeFiles/bench_quadtree.dir/bench_quadtree.cc.o.d"
+  "bench_quadtree"
+  "bench_quadtree.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_quadtree.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

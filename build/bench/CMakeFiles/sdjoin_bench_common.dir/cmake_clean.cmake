@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdjoin_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/sdjoin_bench_common.dir/bench_common.cc.o.d"
+  "libsdjoin_bench_common.a"
+  "libsdjoin_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdjoin_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

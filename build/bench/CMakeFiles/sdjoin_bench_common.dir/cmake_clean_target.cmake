@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsdjoin_bench_common.a"
+)

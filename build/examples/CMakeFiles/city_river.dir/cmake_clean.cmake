@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/city_river.dir/city_river.cpp.o"
+  "CMakeFiles/city_river.dir/city_river.cpp.o.d"
+  "city_river"
+  "city_river.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/city_river.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for city_river.
+# This may be replaced when dependencies are built.

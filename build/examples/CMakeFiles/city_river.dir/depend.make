@@ -1,0 +1,2 @@
+# Empty dependencies file for city_river.
+# This may be replaced when dependencies are built.

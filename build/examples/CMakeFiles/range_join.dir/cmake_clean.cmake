@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/range_join.dir/range_join.cpp.o"
+  "CMakeFiles/range_join.dir/range_join.cpp.o.d"
+  "range_join"
+  "range_join.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/range_join.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/road_river_crossings.dir/road_river_crossings.cpp.o"
+  "CMakeFiles/road_river_crossings.dir/road_river_crossings.cpp.o.d"
+  "road_river_crossings"
+  "road_river_crossings.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/road_river_crossings.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for road_river_crossings.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for road_river_crossings.
+# This may be replaced when dependencies are built.

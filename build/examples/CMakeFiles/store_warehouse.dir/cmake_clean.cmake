@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/store_warehouse.dir/store_warehouse.cpp.o"
+  "CMakeFiles/store_warehouse.dir/store_warehouse.cpp.o.d"
+  "store_warehouse"
+  "store_warehouse.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/store_warehouse.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for store_warehouse.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/dataset_io.cc" "src/CMakeFiles/sdjoin.dir/data/dataset_io.cc.o" "gcc" "src/CMakeFiles/sdjoin.dir/data/dataset_io.cc.o.d"
+  "/root/repo/src/data/datasets.cc" "src/CMakeFiles/sdjoin.dir/data/datasets.cc.o" "gcc" "src/CMakeFiles/sdjoin.dir/data/datasets.cc.o.d"
+  "/root/repo/src/data/generators.cc" "src/CMakeFiles/sdjoin.dir/data/generators.cc.o" "gcc" "src/CMakeFiles/sdjoin.dir/data/generators.cc.o.d"
+  "/root/repo/src/storage/buffer_pool.cc" "src/CMakeFiles/sdjoin.dir/storage/buffer_pool.cc.o" "gcc" "src/CMakeFiles/sdjoin.dir/storage/buffer_pool.cc.o.d"
+  "/root/repo/src/storage/page_file.cc" "src/CMakeFiles/sdjoin.dir/storage/page_file.cc.o" "gcc" "src/CMakeFiles/sdjoin.dir/storage/page_file.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

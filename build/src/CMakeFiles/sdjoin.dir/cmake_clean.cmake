@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdjoin.dir/data/dataset_io.cc.o"
+  "CMakeFiles/sdjoin.dir/data/dataset_io.cc.o.d"
+  "CMakeFiles/sdjoin.dir/data/datasets.cc.o"
+  "CMakeFiles/sdjoin.dir/data/datasets.cc.o.d"
+  "CMakeFiles/sdjoin.dir/data/generators.cc.o"
+  "CMakeFiles/sdjoin.dir/data/generators.cc.o.d"
+  "CMakeFiles/sdjoin.dir/storage/buffer_pool.cc.o"
+  "CMakeFiles/sdjoin.dir/storage/buffer_pool.cc.o.d"
+  "CMakeFiles/sdjoin.dir/storage/page_file.cc.o"
+  "CMakeFiles/sdjoin.dir/storage/page_file.cc.o.d"
+  "libsdjoin.a"
+  "libsdjoin.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdjoin.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,46 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/baseline_test.cc" "tests/CMakeFiles/sdjoin_tests.dir/baseline_test.cc.o" "gcc" "tests/CMakeFiles/sdjoin_tests.dir/baseline_test.cc.o.d"
+  "/root/repo/tests/buffer_pool_test.cc" "tests/CMakeFiles/sdjoin_tests.dir/buffer_pool_test.cc.o" "gcc" "tests/CMakeFiles/sdjoin_tests.dir/buffer_pool_test.cc.o.d"
+  "/root/repo/tests/convenience_test.cc" "tests/CMakeFiles/sdjoin_tests.dir/convenience_test.cc.o" "gcc" "tests/CMakeFiles/sdjoin_tests.dir/convenience_test.cc.o.d"
+  "/root/repo/tests/cost_model_test.cc" "tests/CMakeFiles/sdjoin_tests.dir/cost_model_test.cc.o" "gcc" "tests/CMakeFiles/sdjoin_tests.dir/cost_model_test.cc.o.d"
+  "/root/repo/tests/dataset_io_test.cc" "tests/CMakeFiles/sdjoin_tests.dir/dataset_io_test.cc.o" "gcc" "tests/CMakeFiles/sdjoin_tests.dir/dataset_io_test.cc.o.d"
+  "/root/repo/tests/distance_join_test.cc" "tests/CMakeFiles/sdjoin_tests.dir/distance_join_test.cc.o" "gcc" "tests/CMakeFiles/sdjoin_tests.dir/distance_join_test.cc.o.d"
+  "/root/repo/tests/dynamic_bitset_test.cc" "tests/CMakeFiles/sdjoin_tests.dir/dynamic_bitset_test.cc.o" "gcc" "tests/CMakeFiles/sdjoin_tests.dir/dynamic_bitset_test.cc.o.d"
+  "/root/repo/tests/extensions_test.cc" "tests/CMakeFiles/sdjoin_tests.dir/extensions_test.cc.o" "gcc" "tests/CMakeFiles/sdjoin_tests.dir/extensions_test.cc.o.d"
+  "/root/repo/tests/generators_test.cc" "tests/CMakeFiles/sdjoin_tests.dir/generators_test.cc.o" "gcc" "tests/CMakeFiles/sdjoin_tests.dir/generators_test.cc.o.d"
+  "/root/repo/tests/geometry_distance_test.cc" "tests/CMakeFiles/sdjoin_tests.dir/geometry_distance_test.cc.o" "gcc" "tests/CMakeFiles/sdjoin_tests.dir/geometry_distance_test.cc.o.d"
+  "/root/repo/tests/geometry_test.cc" "tests/CMakeFiles/sdjoin_tests.dir/geometry_test.cc.o" "gcc" "tests/CMakeFiles/sdjoin_tests.dir/geometry_test.cc.o.d"
+  "/root/repo/tests/hybrid_queue_fuzz_test.cc" "tests/CMakeFiles/sdjoin_tests.dir/hybrid_queue_fuzz_test.cc.o" "gcc" "tests/CMakeFiles/sdjoin_tests.dir/hybrid_queue_fuzz_test.cc.o.d"
+  "/root/repo/tests/hybrid_queue_test.cc" "tests/CMakeFiles/sdjoin_tests.dir/hybrid_queue_test.cc.o" "gcc" "tests/CMakeFiles/sdjoin_tests.dir/hybrid_queue_test.cc.o.d"
+  "/root/repo/tests/inc_nearest_test.cc" "tests/CMakeFiles/sdjoin_tests.dir/inc_nearest_test.cc.o" "gcc" "tests/CMakeFiles/sdjoin_tests.dir/inc_nearest_test.cc.o.d"
+  "/root/repo/tests/interaction_test.cc" "tests/CMakeFiles/sdjoin_tests.dir/interaction_test.cc.o" "gcc" "tests/CMakeFiles/sdjoin_tests.dir/interaction_test.cc.o.d"
+  "/root/repo/tests/join_property_test.cc" "tests/CMakeFiles/sdjoin_tests.dir/join_property_test.cc.o" "gcc" "tests/CMakeFiles/sdjoin_tests.dir/join_property_test.cc.o.d"
+  "/root/repo/tests/max_dist_estimator_test.cc" "tests/CMakeFiles/sdjoin_tests.dir/max_dist_estimator_test.cc.o" "gcc" "tests/CMakeFiles/sdjoin_tests.dir/max_dist_estimator_test.cc.o.d"
+  "/root/repo/tests/nn_extended_test.cc" "tests/CMakeFiles/sdjoin_tests.dir/nn_extended_test.cc.o" "gcc" "tests/CMakeFiles/sdjoin_tests.dir/nn_extended_test.cc.o.d"
+  "/root/repo/tests/page_file_test.cc" "tests/CMakeFiles/sdjoin_tests.dir/page_file_test.cc.o" "gcc" "tests/CMakeFiles/sdjoin_tests.dir/page_file_test.cc.o.d"
+  "/root/repo/tests/pairing_heap_test.cc" "tests/CMakeFiles/sdjoin_tests.dir/pairing_heap_test.cc.o" "gcc" "tests/CMakeFiles/sdjoin_tests.dir/pairing_heap_test.cc.o.d"
+  "/root/repo/tests/persistence_test.cc" "tests/CMakeFiles/sdjoin_tests.dir/persistence_test.cc.o" "gcc" "tests/CMakeFiles/sdjoin_tests.dir/persistence_test.cc.o.d"
+  "/root/repo/tests/quadtree_test.cc" "tests/CMakeFiles/sdjoin_tests.dir/quadtree_test.cc.o" "gcc" "tests/CMakeFiles/sdjoin_tests.dir/quadtree_test.cc.o.d"
+  "/root/repo/tests/rng_test.cc" "tests/CMakeFiles/sdjoin_tests.dir/rng_test.cc.o" "gcc" "tests/CMakeFiles/sdjoin_tests.dir/rng_test.cc.o.d"
+  "/root/repo/tests/rtree_stress_test.cc" "tests/CMakeFiles/sdjoin_tests.dir/rtree_stress_test.cc.o" "gcc" "tests/CMakeFiles/sdjoin_tests.dir/rtree_stress_test.cc.o.d"
+  "/root/repo/tests/rtree_test.cc" "tests/CMakeFiles/sdjoin_tests.dir/rtree_test.cc.o" "gcc" "tests/CMakeFiles/sdjoin_tests.dir/rtree_test.cc.o.d"
+  "/root/repo/tests/segment_test.cc" "tests/CMakeFiles/sdjoin_tests.dir/segment_test.cc.o" "gcc" "tests/CMakeFiles/sdjoin_tests.dir/segment_test.cc.o.d"
+  "/root/repo/tests/semi_join_test.cc" "tests/CMakeFiles/sdjoin_tests.dir/semi_join_test.cc.o" "gcc" "tests/CMakeFiles/sdjoin_tests.dir/semi_join_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/sdjoin.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sdjoin_cli.dir/sdjoin_cli.cc.o"
+  "CMakeFiles/sdjoin_cli.dir/sdjoin_cli.cc.o.d"
+  "sdjoin_cli"
+  "sdjoin_cli.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sdjoin_cli.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
