@@ -136,16 +136,22 @@ void PrintTable(const std::string& title) {
   std::printf("\n=== %s (scale %.3g: |Water|=%zu, |Roads|=%zu) ===\n",
               title.c_str(), Scale(), WaterPoints().size(),
               RoadsPoints().size());
-  std::printf("%-34s %10s %9s %13s %13s %10s  %s\n", "series", "pairs",
-              "time(s)", "dist.calc", "queue size", "node I/O", "note");
+  std::printf("%-34s %10s %9s %13s %13s %10s %14s  %s\n", "series", "pairs",
+              "time(s)", "dist.calc", "queue size", "node I/O",
+              "rtry/cks/spill", "note");
   for (const Row& row : Rows()) {
-    std::printf("%-34s %10llu %9.3f %13llu %13llu %10llu  %s\n",
+    char resilience[64];
+    std::snprintf(resilience, sizeof(resilience), "%llu/%llu/%llu",
+                  static_cast<unsigned long long>(row.stats.io_retries),
+                  static_cast<unsigned long long>(row.stats.checksum_failures),
+                  static_cast<unsigned long long>(row.stats.spill_fallbacks));
+    std::printf("%-34s %10llu %9.3f %13llu %13llu %10llu %14s  %s\n",
                 row.series.c_str(),
                 static_cast<unsigned long long>(row.pairs), row.seconds,
                 static_cast<unsigned long long>(row.stats.object_distance_calcs),
                 static_cast<unsigned long long>(row.stats.max_queue_size),
                 static_cast<unsigned long long>(row.stats.node_io),
-                row.note.c_str());
+                resilience, row.note.c_str());
   }
   std::fflush(stdout);
 }

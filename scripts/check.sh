@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# Full pre-merge check: build + test the release config, then the
+# ASan+UBSan config (tests only; benchmarks are skipped under sanitizers).
+#
+#   scripts/check.sh            # both configs
+#   scripts/check.sh release    # release only
+#   scripts/check.sh asan       # sanitizers only
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+run_release() {
+  echo "=== release: configure + build + ctest ==="
+  cmake --preset release
+  cmake --build --preset release
+  ctest --preset release
+}
+
+run_asan() {
+  echo "=== asan-ubsan: configure + build + ctest ==="
+  cmake --preset asan-ubsan
+  cmake --build --preset asan-ubsan
+  ctest --preset asan-ubsan
+}
+
+case "${1:-all}" in
+  release) run_release ;;
+  asan) run_asan ;;
+  all)
+    run_release
+    run_asan
+    ;;
+  *)
+    echo "usage: scripts/check.sh [release|asan|all]" >&2
+    exit 2
+    ;;
+esac
+echo "all checks passed"

@@ -165,7 +165,9 @@ class DistanceJoin {
         semi_bound_(semi_bound),
         semi_estimation_(semi_estimation),
         base_node_misses_(PoolMisses()),
-        base_node_accesses_(PoolAccesses()) {
+        base_node_accesses_(PoolAccesses()),
+        base_io_retries_(PoolRetries()),
+        base_checksum_failures_(PoolChecksumFailures()) {
     SDJ_CHECK(options.min_distance >= 0.0);
     SDJ_CHECK(options.min_distance <= options.max_distance);
     if (options.estimate_max_distance) SDJ_CHECK(options.max_pairs > 0);
@@ -201,18 +203,34 @@ class DistanceJoin {
   }
 
   // Produces the next result pair; returns false once no further pair exists
-  // (range exhausted, STOP AFTER budget reached, or trees exhausted).
+  // (range exhausted, STOP AFTER budget reached, trees exhausted) or an
+  // unrecoverable I/O failure occurred — status() disambiguates. Pairs
+  // already returned are always a valid, correctly ordered result prefix.
   bool Next(JoinResult<Dim>* out) {
     SDJ_CHECK(out != nullptr);
+    if (status_ != JoinStatus::kOk) return false;
     if (options_.max_pairs > 0 && reported_count_ >= options_.max_pairs) {
+      status_ = JoinStatus::kExhausted;
       return false;
     }
     for (;;) {
       if (queue_->Empty()) {
+        if (queue_->io_error()) {
+          status_ = JoinStatus::kIoError;
+          return false;
+        }
         if (NeedRestart()) {
           Restart();
           continue;
         }
+        status_ = JoinStatus::kExhausted;
+        return false;
+      }
+      // The hybrid queue migrates pairs between tiers inside Empty/Pop; a
+      // disk-tier read failure there loses pairs, so the remaining stream is
+      // no longer guaranteed complete — stop with the partial prefix.
+      if (queue_->io_error()) {
+        status_ = JoinStatus::kIoError;
         return false;
       }
       PairEntry<Dim> e = queue_->Pop();
@@ -273,9 +291,13 @@ class DistanceJoin {
         }
         continue;
       }
-      Expand(e);
+      if (!Expand(e)) return false;  // status_ set to kIoError
     }
   }
+
+  // Why iteration stopped (kOk while Next() still returns pairs). After a
+  // kIoError the iterator stays stopped; pairs already produced remain valid.
+  JoinStatus status() const { return status_; }
 
   // Cumulative statistics (Table 1's measures among them). Node I/O is
   // derived from the trees' buffer pools, so it assumes the pools are not
@@ -285,6 +307,10 @@ class DistanceJoin {
         std::max<uint64_t>(stats_.max_queue_size, queue_->MaxSize());
     stats_.node_io = PoolMisses() - base_node_misses_;
     stats_.node_accesses = PoolAccesses() - base_node_accesses_;
+    stats_.io_retries = PoolRetries() - base_io_retries_;
+    stats_.checksum_failures =
+        PoolChecksumFailures() - base_checksum_failures_;
+    stats_.spill_fallbacks = queue_->spill_fallbacks();
     return stats_;
   }
 
@@ -355,6 +381,16 @@ class DistanceJoin {
   uint64_t PoolAccesses() const {
     return tree1_.pool().stats().logical_reads +
            tree2_.pool().stats().logical_reads;
+  }
+  uint64_t PoolRetries() const {
+    const storage::IoStats& s1 = tree1_.pool().stats();
+    const storage::IoStats& s2 = tree2_.pool().stats();
+    return s1.read_retries + s1.write_retries + s2.read_retries +
+           s2.write_retries;
+  }
+  uint64_t PoolChecksumFailures() const {
+    return tree1_.pool().stats().checksum_failures +
+           tree2_.pool().stats().checksum_failures;
   }
 
   double EffectiveMax() const {
@@ -588,65 +624,56 @@ class DistanceJoin {
 
   // ---- node expansion ----
 
-  void Expand(const Entry& e) {
+  // Records an unrecoverable node-page I/O failure. Returns false so callers
+  // can `return MarkIoError();` straight out of the expansion path.
+  bool MarkIoError() {
+    status_ = JoinStatus::kIoError;
+    return false;
+  }
+
+  // All expansion paths report page-read failures through their return value
+  // (never SDJ_CHECK): false means status_ is now kIoError and iteration
+  // must stop with the partial result produced so far.
+  bool Expand(const Entry& e) {
     const bool n1 = e.item1.is_node();
     const bool n2 = e.item2.is_node();
     SDJ_CHECK(n1 || n2);
     if (n1 && n2) {
       switch (options_.node_policy) {
         case NodeProcessingPolicy::kBasic:
-          ProcessNode1(e);
-          return;
+          return ProcessNode1(e);
         case NodeProcessingPolicy::kEven:
           // Expand the node at the shallower level; ties to item 1.
-          if (e.item2.level > e.item1.level) {
-            ProcessNode2(e);
-          } else {
-            ProcessNode1(e);
-          }
-          return;
+          return e.item2.level > e.item1.level ? ProcessNode2(e)
+                                               : ProcessNode1(e);
         case NodeProcessingPolicy::kSimultaneous:
-          if (e.item1.level == e.item2.level) {
-            ProcessBoth(e);
-          } else if (e.item2.level > e.item1.level) {
-            ProcessNode2(e);
-          } else {
-            ProcessNode1(e);
-          }
-          return;
+          if (e.item1.level == e.item2.level) return ProcessBoth(e);
+          return e.item2.level > e.item1.level ? ProcessNode2(e)
+                                               : ProcessNode1(e);
         case NodeProcessingPolicy::kDeferredLeaf: {
           bool leaf1;
           bool leaf2;
           {
             typename Index::PinnedNode node1 =
-                tree1_.Pin(static_cast<storage::PageId>(e.item1.ref));
+                tree1_.TryPin(static_cast<storage::PageId>(e.item1.ref));
+            if (!node1.ok()) return MarkIoError();
             leaf1 = node1.is_leaf();
           }
           {
             typename Index::PinnedNode node2 =
-                tree2_.Pin(static_cast<storage::PageId>(e.item2.ref));
+                tree2_.TryPin(static_cast<storage::PageId>(e.item2.ref));
+            if (!node2.ok()) return MarkIoError();
             leaf2 = node2.is_leaf();
           }
-          if (leaf1 && leaf2) {
-            ProcessBoth(e);
-          } else if (leaf1) {
-            ProcessNode2(e);
-          } else if (leaf2) {
-            ProcessNode1(e);
-          } else if (e.item2.level > e.item1.level) {
-            ProcessNode2(e);
-          } else {
-            ProcessNode1(e);
-          }
-          return;
+          if (leaf1 && leaf2) return ProcessBoth(e);
+          if (leaf1) return ProcessNode2(e);
+          if (leaf2) return ProcessNode1(e);
+          return e.item2.level > e.item1.level ? ProcessNode2(e)
+                                               : ProcessNode1(e);
         }
       }
     }
-    if (n1) {
-      ProcessNode1(e);
-    } else {
-      ProcessNode2(e);
-    }
+    return n1 ? ProcessNode1(e) : ProcessNode2(e);
   }
 
   // Turns entry `i` of `node` (in `tree`) into a queue item.
@@ -666,10 +693,11 @@ class DistanceJoin {
   }
 
   // PROCESSNODE1 (Figure 3): pair every entry of item 1's node with item 2.
-  void ProcessNode1(const Entry& e) {
-    ++stats_.nodes_expanded;
+  bool ProcessNode1(const Entry& e) {
     typename Index::PinnedNode node =
-        tree1_.Pin(static_cast<storage::PageId>(e.item1.ref));
+        tree1_.TryPin(static_cast<storage::PageId>(e.item1.ref));
+    if (!node.ok()) return MarkIoError();
+    ++stats_.nodes_expanded;
     if (estimator_.has_value() && semi_estimation_) {
       estimator_->MarkFirstItemProcessed(EncodeEstimatorItem(
           static_cast<uint8_t>(e.item1.kind), e.item1.level, e.item1.ref));
@@ -677,21 +705,23 @@ class DistanceJoin {
     for (uint32_t i = 0; i < node.count(); ++i) {
       TryEnqueue(ChildItem(node, i), e.item2);
     }
+    return true;
   }
 
   // PROCESSNODE2: same with the items exchanged. For the semi-join this is
   // where the Local bound applies: all new pairs share the first item, so the
   // smallest d_max across the node's entries prunes its siblings
   // (Section 4.2.1).
-  void ProcessNode2(const Entry& e) {
-    ++stats_.nodes_expanded;
+  bool ProcessNode2(const Entry& e) {
     typename Index::PinnedNode node =
-        tree2_.Pin(static_cast<storage::PageId>(e.item2.ref));
+        tree2_.TryPin(static_cast<storage::PageId>(e.item2.ref));
+    if (!node.ok()) return MarkIoError();
+    ++stats_.nodes_expanded;
     if (semi_bound_ == SemiJoinBound::kNone) {
       for (uint32_t i = 0; i < node.count(); ++i) {
         TryEnqueue(e.item1, ChildItem(node, i));
       }
-      return;
+      return true;
     }
     // First pass: compute each child's semi d_max and their minimum.
     std::vector<Item> children;
@@ -716,21 +746,24 @@ class DistanceJoin {
       }
       TryEnqueue(e.item1, children[i], dmax[i]);
     }
+    return true;
   }
 
   // Simultaneous processing of a node/node pair (Section 2.2.2): restrict
   // each node's entries to those within the distance window of the other
   // node's region, then pair them up with a plane sweep along axis 0
   // (Figure 4), extended by Dmax as the paper describes.
-  void ProcessBoth(const Entry& e) {
-    stats_.nodes_expanded += 2;
+  bool ProcessBoth(const Entry& e) {
     std::vector<Item> left;
     std::vector<Item> right;
     {
       typename Index::PinnedNode node1 =
-          tree1_.Pin(static_cast<storage::PageId>(e.item1.ref));
+          tree1_.TryPin(static_cast<storage::PageId>(e.item1.ref));
+      if (!node1.ok()) return MarkIoError();
       typename Index::PinnedNode node2 =
-          tree2_.Pin(static_cast<storage::PageId>(e.item2.ref));
+          tree2_.TryPin(static_cast<storage::PageId>(e.item2.ref));
+      if (!node2.ok()) return MarkIoError();
+      stats_.nodes_expanded += 2;
       if (estimator_.has_value() && semi_estimation_) {
         estimator_->MarkFirstItemProcessed(EncodeEstimatorItem(
             static_cast<uint8_t>(e.item1.kind), e.item1.level, e.item1.ref));
@@ -785,6 +818,7 @@ class DistanceJoin {
         ++j;
       }
     }
+    return true;
   }
 
   // ---- obr resolution (Figure 3, lines 7-14) ----
@@ -872,8 +906,11 @@ class DistanceJoin {
   uint64_t reported_count_ = 0;
   uint64_t replay_ = 0;       // results to swallow after a restart
   bool resolved_ready_ = false;
+  JoinStatus status_ = JoinStatus::kOk;
   uint64_t base_node_misses_ = 0;
   uint64_t base_node_accesses_ = 0;
+  uint64_t base_io_retries_ = 0;
+  uint64_t base_checksum_failures_ = 0;
   mutable JoinStats stats_;
 };
 

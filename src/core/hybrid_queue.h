@@ -26,6 +26,7 @@
 #include <cstring>
 #include <map>
 #include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -33,8 +34,10 @@
 #include "core/pair_entry.h"
 #include "core/pair_queue.h"
 #include "storage/buffer_pool.h"
+#include "storage/fault_injection.h"
 #include "storage/page.h"
 #include "storage/page_file.h"
+#include "storage/page_store.h"
 #include "util/check.h"
 #include "util/pairing_heap.h"
 
@@ -52,6 +55,10 @@ struct HybridQueueOptions {
   // If non-empty, the disk tier lives in this file; otherwise in memory
   // (still exercising the exact same page traffic and counters).
   std::string spill_path;
+  // If set, the disk tier injects faults from this schedule (testing).
+  std::optional<storage::FaultInjectionOptions> fault_injection;
+  // Bounded-retry policy for the disk tier's buffer pool.
+  storage::RetryPolicy retry;
 };
 
 // Three-tier pair queue. See file comment.
@@ -61,13 +68,12 @@ class HybridPairQueue final : public PairQueue<Dim> {
   HybridPairQueue(PairEntryCompare<Dim> cmp, const HybridQueueOptions& options)
       : options_(options), heap_(cmp) {
     SDJ_CHECK(options.tier_width > 0.0);
-    std::unique_ptr<storage::PageFile> file =
-        options.spill_path.empty()
-            ? storage::NewMemoryPageFile(options.page_size)
-            : storage::NewFilePageFile(options.spill_path, options.page_size);
+    std::unique_ptr<storage::PageFile> file = storage::CreatePageStore(
+        {options.page_size, options.spill_path, options.fault_injection},
+        &injector_);
     SDJ_CHECK(file != nullptr);
-    pool_ = std::make_unique<storage::BufferPool>(std::move(file),
-                                                  options.buffer_pages);
+    pool_ = std::make_unique<storage::BufferPool>(
+        std::move(file), options.buffer_pages, options.retry);
     records_per_page_ = (options.page_size - kPageHeader) / kRecordSize;
     SDJ_CHECK(records_per_page_ > 0);
   }
@@ -84,8 +90,8 @@ class HybridPairQueue final : public PairQueue<Dim> {
     }
     ++total_size_;
     max_size_ = std::max(max_size_, total_size_);
-    max_memory_size_ =
-        std::max(max_memory_size_, heap_.Size() + list_.size());
+    max_memory_size_ = std::max(
+        max_memory_size_, heap_.Size() + list_.size() + overflow_size_);
   }
 
   bool Empty() override {
@@ -108,16 +114,24 @@ class HybridPairQueue final : public PairQueue<Dim> {
     heap_.Clear();
     list_.clear();
     buckets_.clear();  // disk pages are abandoned (rebuilt queues start new)
+    overflow_.clear();
+    overflow_size_ = 0;
     total_size_ = 0;
     frontier_ = 1;
+    io_error_ = false;  // a rebuilt queue no longer depends on lost entries
   }
 
   size_t Size() const override { return total_size_; }
   size_t MaxSize() const override { return max_size_; }
   size_t MaxMemorySize() const override { return max_memory_size_; }
+  bool io_error() const override { return io_error_; }
+  uint64_t spill_fallbacks() const override { return spill_fallbacks_; }
 
   // Disk-tier traffic (page-file reads/writes behind the small buffer).
   const storage::IoStats& disk_stats() const { return pool_->stats(); }
+
+  // Fault-injection layer of the disk tier, when configured; null otherwise.
+  storage::FaultInjectingPageFile* injector() const { return injector_; }
 
  private:
   static constexpr uint32_t kPageHeader = 8;  // next page id + record count
@@ -191,28 +205,52 @@ class HybridPairQueue final : public PairQueue<Dim> {
 
   // -- disk tier --
 
+  // A push that cannot reach the disk tier degrades into the in-memory
+  // overflow mirror of the same bucket: ordering is preserved exactly (the
+  // entry would violate nearest-first if it entered the heap or list early),
+  // only the memory bound degrades. Counted, never fatal.
+  void SpillFallback(const PairEntry<Dim>& entry, uint64_t bucket_index) {
+    ++spill_fallbacks_;
+    overflow_[bucket_index].push_back(entry);
+    ++overflow_size_;
+  }
+
   void PushToDisk(const PairEntry<Dim>& entry, uint64_t bucket_index) {
     Bucket& bucket = buckets_[bucket_index];
     if (bucket.tail == storage::kInvalidPageId ||
         bucket.tail_count == records_per_page_) {
       storage::PageId page;
-      pool_->NewPage(&page);
+      char* fresh = pool_->TryNewPage(&page);
+      if (fresh == nullptr) {
+        SpillFallback(entry, bucket_index);
+        return;
+      }
+      // Initialize the header while the page is pinned at creation, so a
+      // page that gets linked but never filled is still safe to traverse.
+      const storage::PageId no_next = storage::kInvalidPageId;
+      std::memcpy(fresh, &no_next, sizeof(no_next));
+      const uint32_t no_records = 0;
+      std::memcpy(fresh + 4, &no_records, sizeof(no_records));
       pool_->Unpin(page, /*dirty=*/true);
       if (bucket.tail == storage::kInvalidPageId) {
         bucket.head = page;
       } else {
         // Link the old tail to the new page.
-        char* old_tail = pool_->Pin(bucket.tail);
+        char* old_tail = pool_->TryPin(bucket.tail);
+        if (old_tail == nullptr) {
+          SpillFallback(entry, bucket_index);  // the fresh page is abandoned
+          return;
+        }
         std::memcpy(old_tail, &page, sizeof(page));
         pool_->Unpin(bucket.tail, /*dirty=*/true);
       }
       bucket.tail = page;
       bucket.tail_count = 0;
     }
-    char* data = pool_->Pin(bucket.tail);
-    if (bucket.tail_count == 0) {
-      const storage::PageId no_next = storage::kInvalidPageId;
-      std::memcpy(data, &no_next, sizeof(no_next));
+    char* data = pool_->TryPin(bucket.tail);
+    if (data == nullptr) {
+      SpillFallback(entry, bucket_index);
+      return;
     }
     WriteRecord(data + kPageHeader + bucket.tail_count * kRecordSize, entry);
     ++bucket.tail_count;
@@ -223,21 +261,39 @@ class HybridPairQueue final : public PairQueue<Dim> {
 
   void LoadBucketIntoList(uint64_t index) {
     auto it = buckets_.find(index);
-    if (it == buckets_.end()) return;
-    storage::PageId page = it->second.head;
-    while (page != storage::kInvalidPageId) {
-      const char* data = pool_->Pin(page);
-      storage::PageId next;
-      uint32_t count;
-      std::memcpy(&next, data, 4);
-      std::memcpy(&count, data + 4, 4);
-      for (uint32_t i = 0; i < count; ++i) {
-        list_.push_back(ReadRecord(data + kPageHeader + i * kRecordSize));
+    if (it != buckets_.end()) {
+      uint64_t loaded = 0;
+      storage::PageId page = it->second.head;
+      while (page != storage::kInvalidPageId) {
+        const char* data = pool_->TryPin(page);
+        if (data == nullptr) {
+          // The rest of the chain is unreadable; its entries are lost. The
+          // join sees this through io_error() and reports kIoError instead
+          // of silently returning an incomplete result.
+          io_error_ = true;
+          SDJ_DCHECK(it->second.total >= loaded);
+          total_size_ -= it->second.total - loaded;
+          break;
+        }
+        storage::PageId next;
+        uint32_t count;
+        std::memcpy(&next, data, 4);
+        std::memcpy(&count, data + 4, 4);
+        for (uint32_t i = 0; i < count; ++i) {
+          list_.push_back(ReadRecord(data + kPageHeader + i * kRecordSize));
+        }
+        loaded += count;
+        pool_->Unpin(page, /*dirty=*/false);
+        page = next;
       }
-      pool_->Unpin(page, /*dirty=*/false);
-      page = next;
+      buckets_.erase(it);
     }
-    buckets_.erase(it);
+    auto overflow_it = overflow_.find(index);
+    if (overflow_it != overflow_.end()) {
+      for (const PairEntry<Dim>& e : overflow_it->second) list_.push_back(e);
+      overflow_size_ -= overflow_it->second.size();
+      overflow_.erase(overflow_it);
+    }
   }
 
   // Restores the invariant "the global minimum, if any, is in the heap" by
@@ -253,26 +309,38 @@ class HybridPairQueue final : public PairQueue<Dim> {
         LoadBucketIntoList(frontier_);
         continue;
       }
-      if (buckets_.empty()) return;  // genuinely empty
-      // Jump directly to the first non-empty bucket.
-      frontier_ = buckets_.begin()->first;
+      if (buckets_.empty() && overflow_.empty()) return;  // genuinely empty
+      // Jump directly to the first non-empty bucket (disk or overflow).
+      uint64_t next_bucket = ~0ULL;
+      if (!buckets_.empty()) next_bucket = buckets_.begin()->first;
+      if (!overflow_.empty()) {
+        next_bucket = std::min(next_bucket, overflow_.begin()->first);
+      }
+      frontier_ = next_bucket;
       LoadBucketIntoList(frontier_);
     }
-    max_memory_size_ =
-        std::max(max_memory_size_, heap_.Size() + list_.size());
+    max_memory_size_ = std::max(
+        max_memory_size_, heap_.Size() + list_.size() + overflow_size_);
   }
 
   HybridQueueOptions options_;
   PairingHeap<PairEntry<Dim>, PairEntryCompare<Dim>> heap_;
   std::vector<PairEntry<Dim>> list_;
   std::map<uint64_t, Bucket> buckets_;
+  // In-memory mirror of disk buckets for entries the disk tier rejected
+  // (same bucket indexing, so distance ordering is preserved exactly).
+  std::map<uint64_t, std::vector<PairEntry<Dim>>> overflow_;
+  size_t overflow_size_ = 0;
   std::unique_ptr<storage::BufferPool> pool_;
+  storage::FaultInjectingPageFile* injector_ = nullptr;
   uint32_t records_per_page_ = 0;
   // Heap < bucket frontier_ <= list; disk > frontier_. D1 = frontier_ * D_T.
   uint64_t frontier_ = 1;
   size_t total_size_ = 0;
   size_t max_size_ = 0;
   size_t max_memory_size_ = 0;
+  uint64_t spill_fallbacks_ = 0;
+  bool io_error_ = false;
 };
 
 }  // namespace sdj

@@ -2,10 +2,35 @@
 #ifndef SDJOIN_CORE_JOIN_RESULT_H_
 #define SDJOIN_CORE_JOIN_RESULT_H_
 
+#include <cstdint>
+
 #include "geometry/rect.h"
 #include "rtree/rtree.h"
 
 namespace sdj {
+
+// Terminal state of a join iterator. While Next() keeps returning pairs the
+// status is kOk; after Next() returns false, status() says why: kExhausted
+// means every qualifying pair was produced, kIoError means an unrecoverable
+// I/O failure stopped the join early (pairs already reported remain valid —
+// a partial, correctly ordered prefix of the full result).
+enum class JoinStatus : uint8_t {
+  kOk = 0,
+  kExhausted,
+  kIoError,
+};
+
+inline const char* JoinStatusName(JoinStatus status) {
+  switch (status) {
+    case JoinStatus::kOk:
+      return "ok";
+    case JoinStatus::kExhausted:
+      return "exhausted";
+    case JoinStatus::kIoError:
+      return "io-error";
+  }
+  return "unknown";
+}
 
 // One reported pair: the object ids, their geometry, and the ordering
 // distance (pair distance for the distance join / semi-join; anchor distance

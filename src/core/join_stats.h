@@ -39,6 +39,15 @@ struct JoinStats {
   uint64_t filtered_reported = 0;
   // Full restarts forced by over-aggressive maximum-distance estimation.
   uint64_t restarts = 0;
+  // Page reads/writes re-issued after transient or checksum faults, across
+  // both trees' pools (and recovered — retries that ran out surface as
+  // JoinStatus::kIoError instead).
+  uint64_t io_retries = 0;
+  // Page reads that failed checksum verification (each is also retried).
+  uint64_t checksum_failures = 0;
+  // Hybrid-queue pushes that fell back to the in-memory overflow tier
+  // because the disk tier could not accept them.
+  uint64_t spill_fallbacks = 0;
 };
 
 }  // namespace sdj

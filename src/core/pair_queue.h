@@ -34,6 +34,14 @@ class PairQueue {
   // High-water mark of entries held in memory (== MaxSize for the memory
   // queue; smaller for the hybrid queue).
   virtual size_t MaxMemorySize() const = 0;
+
+  // True if the queue lost entries to an unrecoverable I/O failure (hybrid
+  // disk tier); the join must surface JoinStatus::kIoError. A memory queue
+  // never fails.
+  virtual bool io_error() const { return false; }
+  // Pushes that fell back to the in-memory overflow tier because the disk
+  // tier could not accept them (degradation, not an error).
+  virtual uint64_t spill_fallbacks() const { return 0; }
 };
 
 // Fully in-memory pair queue backed by a pairing heap.

@@ -92,6 +92,17 @@ class DistanceSemiJoin {
     return engine_.max_memory_queue_size();
   }
 
+  // Why iteration stopped (kOk while Next() still returns pairs); kIoError
+  // means the engine stopped early with a valid partial prefix.
+  JoinStatus status() const {
+    // The wrapper's own max_pairs cap is normal exhaustion.
+    if (options_.join.max_pairs > 0 && reported_ >= options_.join.max_pairs &&
+        engine_.status() != JoinStatus::kIoError) {
+      return JoinStatus::kExhausted;
+    }
+    return engine_.status();
+  }
+
  private:
   // Applies the paper's coupling rules: bounds imply Inside2; estimation
   // requires an Inside filter (the engine must see distinct-first reports).

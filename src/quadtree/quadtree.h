@@ -21,6 +21,7 @@
 #include <algorithm>
 #include <cstdint>
 #include <memory>
+#include <optional>
 #include <string>
 #include <utility>
 #include <vector>
@@ -30,8 +31,10 @@
 #include "rtree/node_layout.h"
 #include "rtree/rtree.h"
 #include "storage/buffer_pool.h"
+#include "storage/fault_injection.h"
 #include "storage/page.h"
 #include "storage/page_file.h"
+#include "storage/page_store.h"
 #include "util/check.h"
 
 namespace sdj {
@@ -46,6 +49,10 @@ struct QuadtreeOptions {
   uint32_t bucket_capacity_override = 0;
   // If non-empty, pages live in this file instead of memory.
   std::string file_path;
+  // If set, the page store injects faults from this schedule (testing).
+  std::optional<storage::FaultInjectionOptions> fault_injection;
+  // Bounded-retry policy for the tree's buffer pool.
+  storage::RetryPolicy retry;
 };
 
 // Bucket PR quadtree over Point<Dim> objects within a fixed extent.
@@ -71,13 +78,12 @@ class PointQuadtree {
       : options_(options), extent_(extent) {
     SDJ_CHECK(extent.IsValid());
     SDJ_CHECK(options.max_depth >= 1 && options.max_depth < 0x4000);
-    std::unique_ptr<storage::PageFile> file =
-        options.file_path.empty()
-            ? storage::NewMemoryPageFile(options.page_size)
-            : storage::NewFilePageFile(options.file_path, options.page_size);
+    std::unique_ptr<storage::PageFile> file = storage::CreatePageStore(
+        {options.page_size, options.file_path, options.fault_injection},
+        &injector_);
     SDJ_CHECK(file != nullptr);
-    pool_ = std::make_unique<storage::BufferPool>(std::move(file),
-                                                  options.buffer_pages);
+    pool_ = std::make_unique<storage::BufferPool>(
+        std::move(file), options.buffer_pages, options.retry);
     bucket_capacity_ = Layout::Capacity(options.page_size);
     if (options.bucket_capacity_override != 0) {
       bucket_capacity_ =
@@ -97,6 +103,10 @@ class PointQuadtree {
    public:
     PinnedNode(storage::BufferPool* pool, storage::PageId page)
         : pool_(pool), page_(page), data_(pool->Pin(page)) {}
+    // Adopts an already-pinned buffer (null = failed pin, empty handle).
+    PinnedNode(storage::BufferPool* pool, storage::PageId page,
+               const char* data)
+        : pool_(data == nullptr ? nullptr : pool), page_(page), data_(data) {}
     ~PinnedNode() {
       if (pool_ != nullptr) pool_->Unpin(page_, /*dirty=*/false);
     }
@@ -107,6 +117,9 @@ class PointQuadtree {
       other.pool_ = nullptr;
     }
     PinnedNode& operator=(PinnedNode&&) = delete;
+
+    // False if the pin failed; the handle is inert (destructor is a no-op).
+    bool ok() const { return data_ != nullptr; }
 
     storage::PageId page() const { return page_; }
     int level() const { return Layout::GetLevel(data_) & ~kLeafBit; }
@@ -125,6 +138,13 @@ class PointQuadtree {
 
   PinnedNode Pin(storage::PageId page) const {
     return PinnedNode(pool_.get(), page);
+  }
+
+  // Failable pin; same contract as RTree::TryPin.
+  PinnedNode TryPin(storage::PageId page,
+                    storage::IoStatus* status = nullptr) const {
+    const char* data = pool_->TryPin(page, status);
+    return PinnedNode(pool_.get(), page, data);
   }
 
   bool empty() const { return root_ == storage::kInvalidPageId; }
@@ -152,6 +172,10 @@ class PointQuadtree {
   }
 
   storage::BufferPool& pool() const { return *pool_; }
+
+  // Fault-injection layer, when options.fault_injection was set; null
+  // otherwise. Borrowed from the pool-owned page-store stack.
+  storage::FaultInjectingPageFile* injector() const { return injector_; }
 
   // Inserts one point; must lie inside the extent.
   void Insert(const Point<Dim>& point, ObjectId id) {
@@ -368,6 +392,7 @@ class PointQuadtree {
   QuadtreeOptions options_;
   Rect<Dim> extent_;
   mutable std::unique_ptr<storage::BufferPool> pool_;
+  storage::FaultInjectingPageFile* injector_ = nullptr;
   uint32_t bucket_capacity_ = 0;
   storage::PageId root_ = storage::kInvalidPageId;
   size_t size_ = 0;

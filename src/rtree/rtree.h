@@ -18,6 +18,7 @@
 #include <cstring>
 #include <limits>
 #include <memory>
+#include <optional>
 #include <string>
 #include <tuple>
 #include <utility>
@@ -28,8 +29,10 @@
 #include "geometry/rect.h"
 #include "rtree/node_layout.h"
 #include "storage/buffer_pool.h"
+#include "storage/fault_injection.h"
 #include "storage/page.h"
 #include "storage/page_file.h"
+#include "storage/page_store.h"
 #include "util/check.h"
 
 namespace sdj {
@@ -60,6 +63,12 @@ struct RTreeOptions {
   double bulk_fill = 0.9;
   // If non-empty, pages are stored in this file instead of memory.
   std::string file_path;
+  // If set, the page store injects faults from this schedule (testing).
+  std::optional<storage::FaultInjectionOptions> fault_injection;
+  // For Open(): truncate a torn final page instead of refusing the file.
+  bool recover_truncated_tail = false;
+  // Bounded-retry policy for the tree's buffer pool.
+  storage::RetryPolicy retry;
 };
 
 // A height-balanced R-tree over Rect<Dim> keys (Section 2.1).
@@ -81,13 +90,12 @@ class RTree {
 
   explicit RTree(const RTreeOptions& options = RTreeOptions())
       : options_(options) {
-    std::unique_ptr<storage::PageFile> file =
-        options.file_path.empty()
-            ? storage::NewMemoryPageFile(options.page_size)
-            : storage::NewFilePageFile(options.file_path, options.page_size);
+    std::unique_ptr<storage::PageFile> file = storage::CreatePageStore(
+        {options.page_size, options.file_path, options.fault_injection},
+        &injector_);
     SDJ_CHECK(file != nullptr);
-    pool_ = std::make_unique<storage::BufferPool>(std::move(file),
-                                                  options.buffer_pages);
+    pool_ = std::make_unique<storage::BufferPool>(
+        std::move(file), options.buffer_pages, options.retry);
     max_entries_ = Layout::Capacity(options.page_size);
     if (options.max_entries_override != 0) {
       max_entries_ = std::min(max_entries_, options.max_entries_override);
@@ -109,21 +117,25 @@ class RTree {
   // sdjoin R-tree.
   static std::unique_ptr<RTree> Open(const RTreeOptions& options) {
     SDJ_CHECK(!options.file_path.empty());
-    std::unique_ptr<storage::PageFile> file =
-        storage::OpenFilePageFile(options.file_path, options.page_size);
+    storage::FaultInjectingPageFile* injector = nullptr;
+    std::unique_ptr<storage::PageFile> file = storage::OpenPageStore(
+        {options.page_size, options.file_path, options.fault_injection},
+        options.recover_truncated_tail, &injector);
     if (file == nullptr || file->num_pages() == 0) return nullptr;
-    auto pool = std::make_unique<storage::BufferPool>(std::move(file),
-                                                      options.buffer_pages);
+    auto pool = std::make_unique<storage::BufferPool>(
+        std::move(file), options.buffer_pages, options.retry);
     std::unique_ptr<RTree> tree(new RTree(options, std::move(pool)));
+    tree->injector_ = injector;
     if (!tree->LoadMeta()) return nullptr;
     return tree;
   }
 
   // Writes the tree metadata and flushes every dirty page to the backing
-  // store; a file-backed tree becomes reopenable via Open() afterwards.
-  void Flush() {
+  // store (fsync included); a file-backed tree becomes reopenable via Open()
+  // afterwards. Returns false if any page could not be written back.
+  bool Flush() {
     StoreMeta();
-    pool_->FlushAll();
+    return pool_->FlushAll();
   }
 
   // Move-only (owns the buffer pool).
@@ -135,10 +147,16 @@ class RTree {
   // --- Read access -------------------------------------------------------
 
   // RAII read handle on a node page; the page stays buffered while alive.
+  // A handle from TryPin may be empty (ok() == false) after an I/O failure;
+  // accessors must not be called on an empty handle.
   class PinnedNode {
    public:
     PinnedNode(storage::BufferPool* pool, storage::PageId page)
         : pool_(pool), page_(page), data_(pool->Pin(page)) {}
+    // Adopts an already-pinned buffer (null = failed pin, empty handle).
+    PinnedNode(storage::BufferPool* pool, storage::PageId page,
+               const char* data)
+        : pool_(data == nullptr ? nullptr : pool), page_(page), data_(data) {}
     ~PinnedNode() {
       if (pool_ != nullptr) pool_->Unpin(page_, /*dirty=*/false);
     }
@@ -149,6 +167,9 @@ class RTree {
       other.pool_ = nullptr;
     }
     PinnedNode& operator=(PinnedNode&&) = delete;
+
+    // False if the pin failed; the handle is inert (destructor is a no-op).
+    bool ok() const { return data_ != nullptr; }
 
     storage::PageId page() const { return page_; }
     int level() const { return Layout::GetLevel(data_); }
@@ -165,8 +186,18 @@ class RTree {
   };
 
   // Pins node `page` for reading. Valid page ids come from root() or ref().
+  // Aborts on I/O failure; algorithms with a recovery path use TryPin.
   PinnedNode Pin(storage::PageId page) const {
     return PinnedNode(pool_.get(), page);
+  }
+
+  // Pins node `page`, reporting I/O failure (after the pool's bounded
+  // retries) as an empty handle instead of aborting. `status`, when non-null,
+  // receives the failing IoStatus.
+  PinnedNode TryPin(storage::PageId page,
+                    storage::IoStatus* status = nullptr) const {
+    const char* data = pool_->TryPin(page, status);
+    return PinnedNode(pool_.get(), page, data);
   }
 
   bool empty() const { return root_ == storage::kInvalidPageId; }
@@ -300,6 +331,10 @@ class RTree {
   // for cold-cache experiment setup.
   storage::BufferPool& pool() const { return *pool_; }
 
+  // Fault-injection layer, when options.fault_injection was set; null
+  // otherwise. Borrowed from the pool-owned page-store stack.
+  storage::FaultInjectingPageFile* injector() const { return injector_; }
+
  private:
   static constexpr storage::PageId kMetaPage = 0;
   static constexpr uint32_t kMetaMagic = 0x534A5254;  // "SJRT"
@@ -351,7 +386,10 @@ class RTree {
   }
 
   bool LoadMeta() {
-    const char* data = pool_->Pin(kMetaPage);
+    // A corrupt or unreadable meta page makes Open() return null rather
+    // than aborting.
+    const char* data = pool_->TryPin(kMetaPage);
+    if (data == nullptr) return false;
     const char* p = data;
     const auto get32 = [&p]() {
       uint32_t v;
@@ -1099,6 +1137,7 @@ class RTree {
 
   RTreeOptions options_;
   mutable std::unique_ptr<storage::BufferPool> pool_;
+  storage::FaultInjectingPageFile* injector_ = nullptr;
   uint32_t max_entries_ = 0;
   uint32_t min_entries_ = 0;
   storage::PageId root_ = storage::kInvalidPageId;

@@ -1,5 +1,7 @@
 #include "storage/buffer_pool.h"
 
+#include <unistd.h>
+
 #include <cstring>
 #include <memory>
 #include <utility>
@@ -8,10 +10,12 @@
 
 namespace sdj::storage {
 
-BufferPool::BufferPool(std::unique_ptr<PageFile> file, uint32_t capacity_pages)
-    : file_(std::move(file)), capacity_(capacity_pages) {
+BufferPool::BufferPool(std::unique_ptr<PageFile> file, uint32_t capacity_pages,
+                       const RetryPolicy& retry)
+    : file_(std::move(file)), capacity_(capacity_pages), retry_(retry) {
   SDJ_CHECK(file_ != nullptr);
   SDJ_CHECK(capacity_ > 0);
+  SDJ_CHECK(retry_.max_attempts >= 1);
   frames_.resize(capacity_);
   free_frames_.reserve(capacity_);
   for (uint32_t i = 0; i < capacity_; ++i) {
@@ -22,10 +26,56 @@ BufferPool::BufferPool(std::unique_ptr<PageFile> file, uint32_t capacity_pages)
 
 BufferPool::~BufferPool() { FlushAll(); }
 
-char* BufferPool::NewPage(PageId* id) {
+IoStatus BufferPool::ReadWithRetry(PageId id, char* buffer) {
+  IoStatus status = IoStatus::kOk;
+  for (uint32_t attempt = 0; attempt < retry_.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      ++stats_.read_retries;
+      if (retry_.backoff_us > 0) {
+        ::usleep(retry_.backoff_us << (attempt - 1));
+      }
+    }
+    ++stats_.physical_reads;
+    status = file_->Read(id, buffer);
+    if (status == IoStatus::kOk) return status;
+    if (status == IoStatus::kCorrupt) ++stats_.checksum_failures;
+    if (status == IoStatus::kFailed) break;  // retrying cannot help
+  }
+  ++stats_.read_failures;
+  return status;
+}
+
+IoStatus BufferPool::WriteWithRetry(PageId id, const char* buffer) {
+  IoStatus status = IoStatus::kOk;
+  for (uint32_t attempt = 0; attempt < retry_.max_attempts; ++attempt) {
+    if (attempt > 0) {
+      ++stats_.write_retries;
+      if (retry_.backoff_us > 0) {
+        ::usleep(retry_.backoff_us << (attempt - 1));
+      }
+    }
+    ++stats_.physical_writes;
+    status = file_->Write(id, buffer);
+    if (status == IoStatus::kOk) return status;
+    if (status == IoStatus::kFailed) break;  // retrying cannot help
+  }
+  ++stats_.write_failures;
+  return status;
+}
+
+char* BufferPool::TryNewPage(PageId* id, IoStatus* status) {
   SDJ_CHECK(id != nullptr);
+  IoStatus local = IoStatus::kOk;
+  if (status == nullptr) status = &local;
+  *status = IoStatus::kOk;
   *id = file_->Allocate();
-  const uint32_t frame_index = GrabFrame();
+  if (*id == kInvalidPageId) {
+    ++stats_.write_failures;
+    *status = IoStatus::kFailed;
+    return nullptr;
+  }
+  const uint32_t frame_index = GrabFrame(status);
+  if (frame_index == kNoFrame) return nullptr;
   Frame& frame = frames_[frame_index];
   frame.page_id = *id;
   frame.pin_count = 1;
@@ -37,7 +87,10 @@ char* BufferPool::NewPage(PageId* id) {
   return frame.data.get();
 }
 
-char* BufferPool::Pin(PageId id) {
+char* BufferPool::TryPin(PageId id, IoStatus* status) {
+  IoStatus local = IoStatus::kOk;
+  if (status == nullptr) status = &local;
+  *status = IoStatus::kOk;
   ++stats_.logical_reads;
   auto it = page_table_.find(id);
   if (it != page_table_.end()) {
@@ -51,15 +104,33 @@ char* BufferPool::Pin(PageId id) {
     return frame.data.get();
   }
   ++stats_.buffer_misses;
-  const uint32_t frame_index = GrabFrame();
+  const uint32_t frame_index = GrabFrame(status);
+  if (frame_index == kNoFrame) return nullptr;
   Frame& frame = frames_[frame_index];
-  ++stats_.physical_reads;
-  SDJ_CHECK(file_->Read(id, frame.data.get()));
+  *status = ReadWithRetry(id, frame.data.get());
+  if (*status != IoStatus::kOk) {
+    free_frames_.push_back(frame_index);  // frame was never published
+    return nullptr;
+  }
   frame.page_id = id;
   frame.pin_count = 1;
   frame.dirty = false;
   page_table_[id] = frame_index;
   return frame.data.get();
+}
+
+char* BufferPool::NewPage(PageId* id) {
+  IoStatus status = IoStatus::kOk;
+  char* data = TryNewPage(id, &status);
+  SDJ_CHECK(data != nullptr);
+  return data;
+}
+
+char* BufferPool::Pin(PageId id) {
+  IoStatus status = IoStatus::kOk;
+  char* data = TryPin(id, &status);
+  SDJ_CHECK(data != nullptr);
+  return data;
 }
 
 void BufferPool::Unpin(PageId id, bool dirty) {
@@ -75,51 +146,70 @@ void BufferPool::Unpin(PageId id, bool dirty) {
   }
 }
 
-void BufferPool::FlushAll() {
+bool BufferPool::FlushAll() {
+  bool ok = true;
   for (auto& [page_id, frame_index] : page_table_) {
     Frame& frame = frames_[frame_index];
-    if (frame.dirty) {
-      ++stats_.physical_writes;
-      SDJ_CHECK(file_->Write(page_id, frame.data.get()));
+    if (!frame.dirty) continue;
+    if (WriteWithRetry(page_id, frame.data.get()) == IoStatus::kOk) {
       frame.dirty = false;
+    } else {
+      ok = false;  // stays dirty; a later flush may still succeed
     }
   }
+  if (file_->Sync() != IoStatus::kOk) ok = false;
+  return ok;
 }
 
 void BufferPool::Invalidate() {
-  while (!lru_.empty()) {
+  // A failed eviction re-queues its frame at the LRU tail still dirty, so
+  // bound the sweep to one pass over the current candidates.
+  size_t candidates = lru_.size();
+  while (candidates-- > 0 && !lru_.empty()) {
     EvictFrame(lru_.front());
   }
 }
 
-uint32_t BufferPool::GrabFrame() {
+uint32_t BufferPool::GrabFrame(IoStatus* status) {
   if (!free_frames_.empty()) {
     const uint32_t index = free_frames_.back();
     free_frames_.pop_back();
     return index;
   }
-  // Evict the least recently used unpinned page.
+  // Evict the least recently used unpinned page. Victims whose write-back
+  // fails are re-queued dirty at the tail; try each candidate once.
   SDJ_CHECK(!lru_.empty());  // every frame pinned => capacity exhausted
-  const uint32_t victim = lru_.front();
-  EvictFrame(victim);
-  const uint32_t index = free_frames_.back();
-  free_frames_.pop_back();
-  return index;
+  size_t candidates = lru_.size();
+  while (candidates-- > 0) {
+    if (EvictFrame(lru_.front())) {
+      const uint32_t index = free_frames_.back();
+      free_frames_.pop_back();
+      return index;
+    }
+  }
+  *status = IoStatus::kFailed;  // no evictable frame could be written back
+  return kNoFrame;
 }
 
-void BufferPool::EvictFrame(uint32_t frame_index) {
+bool BufferPool::EvictFrame(uint32_t frame_index) {
   Frame& frame = frames_[frame_index];
   SDJ_CHECK(frame.pin_count == 0 && frame.in_lru);
   lru_.erase(frame.lru_pos);
   frame.in_lru = false;
   if (frame.dirty) {
-    ++stats_.physical_writes;
-    SDJ_CHECK(file_->Write(frame.page_id, frame.data.get()));
+    if (WriteWithRetry(frame.page_id, frame.data.get()) != IoStatus::kOk) {
+      // Keep the only good copy of the page: stay resident, retry later.
+      lru_.push_back(frame_index);
+      frame.lru_pos = std::prev(lru_.end());
+      frame.in_lru = true;
+      return false;
+    }
     frame.dirty = false;
   }
   page_table_.erase(frame.page_id);
   frame.page_id = kInvalidPageId;
   free_frames_.push_back(frame_index);
+  return true;
 }
 
 }  // namespace sdj::storage

@@ -3,6 +3,11 @@
 // Reproduces the paper's experimental setup of a fixed buffer over fixed-size
 // R-tree nodes (Section 3.1: 1K nodes, 256K of buffer memory). The pool's
 // miss counter is the "Node I/O" performance measure of Table 1.
+//
+// The pool is also the retry layer of the failure model (DESIGN.md §9):
+// transient and checksum-corrupt page reads are re-issued with bounded
+// backoff, and only an unrecoverable fault surfaces to the caller — through
+// TryPin/TryNewPage, which report status instead of aborting.
 #ifndef SDJOIN_STORAGE_BUFFER_POOL_H_
 #define SDJOIN_STORAGE_BUFFER_POOL_H_
 
@@ -18,6 +23,16 @@
 
 namespace sdj::storage {
 
+// Bounded-retry policy for transient (and corrupt, since a re-read can heal a
+// fault that happened in transfer) page-file operations.
+struct RetryPolicy {
+  // Total attempts per operation, including the first (>= 1).
+  uint32_t max_attempts = 4;
+  // Sleep before retry k (1-based) is backoff_us << (k - 1) microseconds;
+  // 0 disables sleeping (retries are still attempted).
+  uint32_t backoff_us = 50;
+};
+
 // Fixed-capacity page cache with LRU replacement and pin counting.
 //
 // Usage:
@@ -27,11 +42,14 @@ namespace sdj::storage {
 //   pool.Unpin(id, /*dirty=*/true);   // release; written back on eviction
 //
 // Pinned pages are never evicted; pinning more pages than the capacity is a
-// programming error and aborts.
+// programming error and aborts. I/O faults are not: TryPin and TryNewPage
+// return null with a status after retries run out, and the aborting Pin /
+// NewPage wrappers exist only for callers that have no recovery path.
 class BufferPool {
  public:
   // Takes ownership of `file`. `capacity_pages` > 0.
-  BufferPool(std::unique_ptr<PageFile> file, uint32_t capacity_pages);
+  BufferPool(std::unique_ptr<PageFile> file, uint32_t capacity_pages,
+             const RetryPolicy& retry = RetryPolicy{});
   ~BufferPool();
 
   BufferPool(const BufferPool&) = delete;
@@ -40,29 +58,43 @@ class BufferPool {
   uint32_t page_size() const { return file_->page_size(); }
   uint32_t capacity() const { return capacity_; }
   PageId num_pages() const { return file_->num_pages(); }
+  const RetryPolicy& retry_policy() const { return retry_; }
 
-  // Allocates a fresh zeroed page, pins it, and returns its buffer.
+  // Allocates a fresh zeroed page, pins it, and returns its buffer; null if
+  // the store could not be extended or no frame could be freed (status, when
+  // non-null, receives the failing IoStatus).
+  char* TryNewPage(PageId* id, IoStatus* status = nullptr);
+
+  // Pins page `id` and returns its buffer, or null if the page could not be
+  // read (after retries) or no frame could be freed. On success the page
+  // stays resident until the matching Unpin (pins nest).
+  char* TryPin(PageId id, IoStatus* status = nullptr);
+
+  // Aborting wrappers over TryNewPage/TryPin for callers with no recovery
+  // path (tree construction, tests).
   char* NewPage(PageId* id);
-
-  // Pins page `id` and returns its buffer. The page stays resident until the
-  // matching Unpin (pins nest).
   char* Pin(PageId id);
 
   // Releases one pin of `id`. If `dirty`, the page is written back before
   // eviction (or at FlushAll).
   void Unpin(PageId id, bool dirty);
 
-  // Writes all dirty resident pages back to the file.
-  void FlushAll();
+  // Writes all dirty resident pages back to the file and syncs it. Returns
+  // false if any page could not be written (it stays dirty) or the sync
+  // failed.
+  bool FlushAll();
 
-  // Drops every unpinned page (writing dirty ones back). Makes cold-cache
-  // experiments reproducible.
+  // Drops every unpinned page (writing dirty ones back). Pages whose
+  // write-back fails stay resident and dirty. Makes cold-cache experiments
+  // reproducible.
   void Invalidate();
 
   const IoStats& stats() const { return stats_; }
   void ResetStats() { stats_ = IoStats{}; }
 
  private:
+  static constexpr uint32_t kNoFrame = ~0u;
+
   struct Frame {
     std::unique_ptr<char[]> data;
     PageId page_id = kInvalidPageId;
@@ -73,12 +105,22 @@ class BufferPool {
     bool in_lru = false;
   };
 
-  // Returns a frame to load into, evicting the LRU unpinned page if needed.
-  uint32_t GrabFrame();
-  void EvictFrame(uint32_t frame_index);
+  // Read/write one page with bounded retries per retry_; update counters.
+  IoStatus ReadWithRetry(PageId id, char* buffer);
+  IoStatus WriteWithRetry(PageId id, const char* buffer);
+
+  // Returns a frame to load into, evicting an LRU unpinned page if needed;
+  // kNoFrame (with *status set) if every eviction candidate failed to write
+  // back. Aborts if every frame is pinned — that is a capacity bug, not I/O.
+  uint32_t GrabFrame(IoStatus* status);
+
+  // Writes the frame back if dirty and frees it. On write failure the frame
+  // stays resident and dirty, re-queued at the LRU tail; returns false.
+  bool EvictFrame(uint32_t frame_index);
 
   std::unique_ptr<PageFile> file_;
   const uint32_t capacity_;
+  const RetryPolicy retry_;
   std::vector<Frame> frames_;
   std::vector<uint32_t> free_frames_;
   std::unordered_map<PageId, uint32_t> page_table_;

@@ -1,0 +1,32 @@
+// Page checksumming (FNV-1a) for silent-corruption detection.
+//
+// Every page store assembled by page_store.h carries an 8-byte trailer with
+// the FNV-1a hash of the page payload, written on every physical write and
+// verified on every physical read. A mismatch surfaces as IoStatus::kCorrupt
+// instead of poisoning the join's distance bounds with garbage geometry.
+#ifndef SDJOIN_STORAGE_CHECKSUM_H_
+#define SDJOIN_STORAGE_CHECKSUM_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace sdj::storage {
+
+// Bytes reserved at the end of each physical page for the checksum trailer.
+inline constexpr uint32_t kPageTrailerSize = 8;
+
+// 64-bit FNV-1a over `n` bytes. Deterministic across platforms; fast enough
+// that hashing a 2K page costs far less than the read it protects.
+inline uint64_t Fnv1a64(const void* data, size_t n) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  uint64_t hash = 0xcbf29ce484222325ULL;
+  for (size_t i = 0; i < n; ++i) {
+    hash ^= bytes[i];
+    hash *= 0x100000001b3ULL;
+  }
+  return hash;
+}
+
+}  // namespace sdj::storage
+
+#endif  // SDJOIN_STORAGE_CHECKSUM_H_

@@ -1,0 +1,91 @@
+#include "storage/fault_injection.h"
+
+#include <cstring>
+#include <memory>
+#include <utility>
+
+#include "util/check.h"
+
+namespace sdj::storage {
+
+FaultInjectingPageFile::FaultInjectingPageFile(
+    std::unique_ptr<PageFile> inner, const FaultInjectionOptions& options)
+    : PageFile(inner->page_size()),
+      inner_(std::move(inner)),
+      options_(options),
+      rng_(options.seed),
+      scratch_(page_size_, '\0') {
+  SDJ_CHECK(inner_ != nullptr);
+  SDJ_CHECK(options.transient_read_rate >= 0.0 &&
+            options.transient_read_rate < 1.0);
+  SDJ_CHECK(options.transient_write_rate >= 0.0 &&
+            options.transient_write_rate < 1.0);
+  SDJ_CHECK(options.bit_flip_read_rate >= 0.0 &&
+            options.bit_flip_read_rate <= 1.0);
+}
+
+IoStatus FaultInjectingPageFile::Read(PageId id, char* buffer) {
+  const uint64_t op = counters_.reads++;
+  if (op >= options_.hard_read_after) {
+    ++counters_.hard_read_faults;
+    return IoStatus::kFailed;
+  }
+  if (options_.transient_read_period != 0 &&
+      (op + 1) % options_.transient_read_period == 0) {
+    ++counters_.transient_read_faults;
+    return IoStatus::kTransient;
+  }
+  if (options_.transient_read_rate > 0.0 &&
+      rng_.NextDouble() < options_.transient_read_rate) {
+    ++counters_.transient_read_faults;
+    return IoStatus::kTransient;
+  }
+  const IoStatus status = inner_->Read(id, buffer);
+  if (status == IoStatus::kOk && options_.bit_flip_read_rate > 0.0 &&
+      rng_.NextDouble() < options_.bit_flip_read_rate) {
+    // Flip one random bit anywhere in the physical page (payload or
+    // checksum trailer — both are real corruption).
+    const uint64_t bit = rng_.NextBounded(8ULL * page_size_);
+    buffer[bit / 8] ^= static_cast<char>(1u << (bit % 8));
+    ++counters_.bit_flips;
+  }
+  return status;
+}
+
+IoStatus FaultInjectingPageFile::Write(PageId id, const char* buffer) {
+  const uint64_t op = counters_.writes++;
+  if (op >= options_.hard_write_after) {
+    ++counters_.hard_write_faults;
+    return IoStatus::kFailed;
+  }
+  if (op == options_.torn_write_at) {
+    // Persist only the first half of the page; the tail keeps whatever the
+    // page held before (zeros for a fresh page). The caller sees a failure,
+    // and the on-disk image no longer matches its checksum.
+    ++counters_.torn_writes;
+    if (inner_->Read(id, scratch_.data()) != IoStatus::kOk) {
+      std::memset(scratch_.data(), 0, page_size_);
+    }
+    std::memcpy(scratch_.data(), buffer, page_size_ / 2);
+    (void)inner_->Write(id, scratch_.data());
+    return IoStatus::kFailed;
+  }
+  if (options_.transient_write_period != 0 &&
+      (op + 1) % options_.transient_write_period == 0) {
+    ++counters_.transient_write_faults;
+    return IoStatus::kTransient;
+  }
+  if (options_.transient_write_rate > 0.0 &&
+      rng_.NextDouble() < options_.transient_write_rate) {
+    ++counters_.transient_write_faults;
+    return IoStatus::kTransient;
+  }
+  return inner_->Write(id, buffer);
+}
+
+std::unique_ptr<FaultInjectingPageFile> NewFaultInjectingPageFile(
+    std::unique_ptr<PageFile> inner, const FaultInjectionOptions& options) {
+  return std::make_unique<FaultInjectingPageFile>(std::move(inner), options);
+}
+
+}  // namespace sdj::storage

@@ -1,0 +1,100 @@
+// Deterministic fault injection for the storage layer.
+//
+// FaultInjectingPageFile decorates any PageFile and injects failures from a
+// seeded schedule: transient read/write faults (probabilistic or strictly
+// periodic), hard read/write faults after a set number of operations, a torn
+// write at a chosen write index, and silent bit-flip corruption of read
+// pages. Every injected fault is counted, so tests and the CLI can assert on
+// exactly what happened. The same seed and operation sequence reproduce the
+// same faults on every run.
+//
+// Layering matters: the injector sits between the raw backend and the
+// checksumming layer (see page_store.h), so injected bit flips and torn
+// writes are caught by checksum verification exactly like real media faults.
+#ifndef SDJOIN_STORAGE_FAULT_INJECTION_H_
+#define SDJOIN_STORAGE_FAULT_INJECTION_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "storage/page_file.h"
+#include "util/rng.h"
+
+namespace sdj::storage {
+
+// Fault schedule for one FaultInjectingPageFile. Defaults inject nothing.
+struct FaultInjectionOptions {
+  // "Never" for the operation-index schedules below.
+  static constexpr uint64_t kNever = ~0ULL;
+
+  // Seed for the probabilistic faults (bit-flip placement included).
+  uint64_t seed = 1;
+
+  // Probability that a read/write attempt fails with IoStatus::kTransient.
+  // A retry of the same operation re-rolls, so bounded retries recover.
+  double transient_read_rate = 0.0;
+  double transient_write_rate = 0.0;
+
+  // Strictly periodic transient faults: every Nth read/write attempt fails
+  // (0 = off). Deterministic regardless of the seed; useful for proving that
+  // retries make faults invisible.
+  uint32_t transient_read_period = 0;
+  uint32_t transient_write_period = 0;
+
+  // Probability that a successful read returns the page with one random bit
+  // flipped (silent corruption — the read still reports IoStatus::kOk).
+  double bit_flip_read_rate = 0.0;
+
+  // After this many read (write) attempts, every further read (write) fails
+  // with IoStatus::kFailed — a dead-disk schedule.
+  uint64_t hard_read_after = kNever;
+  uint64_t hard_write_after = kNever;
+
+  // This write attempt (0-based) persists only the first half of the page
+  // (the tail keeps its previous bytes) and reports IoStatus::kFailed — a
+  // torn page, detectable later by checksum verification.
+  uint64_t torn_write_at = kNever;
+};
+
+// Counters of injected faults (and total traffic seen by the injector).
+struct FaultCounters {
+  uint64_t reads = 0;   // read attempts observed
+  uint64_t writes = 0;  // write attempts observed
+  uint64_t transient_read_faults = 0;
+  uint64_t transient_write_faults = 0;
+  uint64_t hard_read_faults = 0;
+  uint64_t hard_write_faults = 0;
+  uint64_t bit_flips = 0;
+  uint64_t torn_writes = 0;
+};
+
+// Decorator injecting the faults described by FaultInjectionOptions.
+class FaultInjectingPageFile final : public PageFile {
+ public:
+  FaultInjectingPageFile(std::unique_ptr<PageFile> inner,
+                         const FaultInjectionOptions& options);
+
+  PageId num_pages() const override { return inner_->num_pages(); }
+  PageId Allocate() override { return inner_->Allocate(); }
+  IoStatus Read(PageId id, char* buffer) override;
+  IoStatus Write(PageId id, const char* buffer) override;
+  IoStatus Sync() override { return inner_->Sync(); }
+
+  const FaultCounters& counters() const { return counters_; }
+
+ private:
+  std::unique_ptr<PageFile> inner_;
+  const FaultInjectionOptions options_;
+  FaultCounters counters_;
+  Rng rng_;
+  std::vector<char> scratch_;  // previous page image for torn writes
+};
+
+// Convenience factory mirroring the other page-store constructors.
+std::unique_ptr<FaultInjectingPageFile> NewFaultInjectingPageFile(
+    std::unique_ptr<PageFile> inner, const FaultInjectionOptions& options);
+
+}  // namespace sdj::storage
+
+#endif  // SDJOIN_STORAGE_FAULT_INJECTION_H_

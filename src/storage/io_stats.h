@@ -15,12 +15,24 @@ struct IoStats {
   uint64_t physical_reads = 0;   // page-file reads
   uint64_t physical_writes = 0;  // page-file writes (evictions + flushes)
 
+  // Failure-handling counters (see DESIGN.md "Failure model").
+  uint64_t read_retries = 0;        // re-issued reads after transient/corrupt
+  uint64_t write_retries = 0;       // re-issued writes after transient faults
+  uint64_t checksum_failures = 0;   // reads that came back IoStatus::kCorrupt
+  uint64_t read_failures = 0;       // reads abandoned after retries ran out
+  uint64_t write_failures = 0;      // writes abandoned after retries ran out
+
   IoStats operator-(const IoStats& other) const {
     return IoStats{logical_reads - other.logical_reads,
                    buffer_hits - other.buffer_hits,
                    buffer_misses - other.buffer_misses,
                    physical_reads - other.physical_reads,
-                   physical_writes - other.physical_writes};
+                   physical_writes - other.physical_writes,
+                   read_retries - other.read_retries,
+                   write_retries - other.write_retries,
+                   checksum_failures - other.checksum_failures,
+                   read_failures - other.read_failures,
+                   write_failures - other.write_failures};
   }
 };
 

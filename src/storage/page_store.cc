@@ -1,0 +1,51 @@
+#include "storage/page_store.h"
+
+#include <memory>
+#include <utility>
+
+#include "storage/checksum.h"
+#include "util/check.h"
+
+namespace sdj::storage {
+
+namespace {
+
+std::unique_ptr<PageFile> Finish(std::unique_ptr<PageFile> backend,
+                                 const PageStoreOptions& options,
+                                 FaultInjectingPageFile** injector) {
+  if (backend == nullptr) return nullptr;
+  if (options.fault_injection.has_value()) {
+    auto injecting = NewFaultInjectingPageFile(std::move(backend),
+                                               *options.fault_injection);
+    if (injector != nullptr) *injector = injecting.get();
+    backend = std::move(injecting);
+  } else if (injector != nullptr) {
+    *injector = nullptr;
+  }
+  return NewChecksummingPageFile(std::move(backend));
+}
+
+}  // namespace
+
+std::unique_ptr<PageFile> CreatePageStore(const PageStoreOptions& options,
+                                          FaultInjectingPageFile** injector) {
+  SDJ_CHECK(options.page_size > 0);
+  const uint32_t physical = options.page_size + kPageTrailerSize;
+  std::unique_ptr<PageFile> backend =
+      options.path.empty() ? NewMemoryPageFile(physical)
+                           : NewFilePageFile(options.path, physical);
+  return Finish(std::move(backend), options, injector);
+}
+
+std::unique_ptr<PageFile> OpenPageStore(const PageStoreOptions& options,
+                                        bool recover_truncated_tail,
+                                        FaultInjectingPageFile** injector) {
+  SDJ_CHECK(options.page_size > 0);
+  SDJ_CHECK(!options.path.empty());
+  std::unique_ptr<PageFile> backend =
+      OpenFilePageFile(options.path, options.page_size + kPageTrailerSize,
+                       recover_truncated_tail);
+  return Finish(std::move(backend), options, injector);
+}
+
+}  // namespace sdj::storage

@@ -1,0 +1,49 @@
+// Assembles the standard page-store stack used by every paged structure
+// (R-tree, quadtree, hybrid-queue disk tier):
+//
+//   [Memory|Posix]PageFile  ->  FaultInjectingPageFile (optional)
+//                           ->  ChecksummingPageFile
+//
+// The returned store exposes logical pages of `page_size` bytes; the backend
+// holds page_size + kPageTrailerSize bytes per page so checksum verification
+// catches corruption injected (or suffered) below it.
+#ifndef SDJOIN_STORAGE_PAGE_STORE_H_
+#define SDJOIN_STORAGE_PAGE_STORE_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "storage/fault_injection.h"
+#include "storage/page_file.h"
+
+namespace sdj::storage {
+
+// Construction parameters for one page store.
+struct PageStoreOptions {
+  // Logical (payload) bytes per page, excluding the checksum trailer.
+  uint32_t page_size = kDefaultPageSize;
+  // If non-empty, pages live in this file; otherwise in memory.
+  std::string path;
+  // If set, faults are injected between the backend and the checksum layer.
+  std::optional<FaultInjectionOptions> fault_injection;
+};
+
+// Creates a fresh store (truncating `path` if file-backed). If `injector` is
+// non-null and fault injection is configured, *injector receives a borrowed
+// pointer to the injection layer (owned by the returned store) for counter
+// inspection. Returns null if the backing file cannot be created.
+std::unique_ptr<PageFile> CreatePageStore(
+    const PageStoreOptions& options,
+    FaultInjectingPageFile** injector = nullptr);
+
+// Opens an existing file-backed store previously written through
+// CreatePageStore (options.path must be non-empty). `recover_truncated_tail`
+// forwards to OpenFilePageFile. Returns null on open failure.
+std::unique_ptr<PageFile> OpenPageStore(
+    const PageStoreOptions& options, bool recover_truncated_tail = false,
+    FaultInjectingPageFile** injector = nullptr);
+
+}  // namespace sdj::storage
+
+#endif  // SDJOIN_STORAGE_PAGE_STORE_H_

@@ -125,7 +125,7 @@ TEST(BufferPool, FlushAllWritesDirtyPages) {
   pool.Unpin(id, true);
   pool.FlushAll();
   char buffer[64];
-  ASSERT_TRUE(raw->Read(id, buffer));
+  ASSERT_EQ(raw->Read(id, buffer), IoStatus::kOk);
   for (char ch : buffer) EXPECT_EQ(static_cast<unsigned char>(ch), 0x42);
 }
 

@@ -50,7 +50,7 @@ TEST_P(PageFileTest, FreshPagesAreZeroed) {
   const PageId id = file->Allocate();
   char buffer[64];
   std::memset(buffer, 0xAB, sizeof(buffer));
-  ASSERT_TRUE(file->Read(id, buffer));
+  ASSERT_EQ(file->Read(id, buffer), IoStatus::kOk);
   for (char c : buffer) EXPECT_EQ(c, 0);
 }
 
@@ -64,23 +64,23 @@ TEST_P(PageFileTest, WriteThenReadRoundTrips) {
     data_a[i] = static_cast<char>(i);
     data_b[i] = static_cast<char>(255 - i);
   }
-  ASSERT_TRUE(file->Write(a, data_a));
-  ASSERT_TRUE(file->Write(b, data_b));
+  ASSERT_EQ(file->Write(a, data_a), IoStatus::kOk);
+  ASSERT_EQ(file->Write(b, data_b), IoStatus::kOk);
   char readback[256];
-  ASSERT_TRUE(file->Read(a, readback));
+  ASSERT_EQ(file->Read(a, readback), IoStatus::kOk);
   EXPECT_EQ(std::memcmp(readback, data_a, 256), 0);
-  ASSERT_TRUE(file->Read(b, readback));
+  ASSERT_EQ(file->Read(b, readback), IoStatus::kOk);
   EXPECT_EQ(std::memcmp(readback, data_b, 256), 0);
 }
 
 TEST_P(PageFileTest, InvalidIdFails) {
   auto file = Make(64);
   char buffer[64] = {};
-  EXPECT_FALSE(file->Read(0, buffer));
-  EXPECT_FALSE(file->Write(5, buffer));
+  EXPECT_EQ(file->Read(0, buffer), IoStatus::kFailed);
+  EXPECT_EQ(file->Write(5, buffer), IoStatus::kFailed);
   file->Allocate();
-  EXPECT_TRUE(file->Read(0, buffer));
-  EXPECT_FALSE(file->Read(1, buffer));
+  EXPECT_EQ(file->Read(0, buffer), IoStatus::kOk);
+  EXPECT_EQ(file->Read(1, buffer), IoStatus::kFailed);
 }
 
 TEST_P(PageFileTest, CountsPhysicalIo) {
@@ -102,10 +102,10 @@ TEST_P(PageFileTest, ManyPagesRoundTrip) {
   char buffer[128];
   for (int i = 0; i < n; ++i) {
     std::memset(buffer, i & 0xFF, sizeof(buffer));
-    ASSERT_TRUE(file->Write(static_cast<PageId>(i), buffer));
+    ASSERT_EQ(file->Write(static_cast<PageId>(i), buffer), IoStatus::kOk);
   }
   for (int i = n - 1; i >= 0; --i) {
-    ASSERT_TRUE(file->Read(static_cast<PageId>(i), buffer));
+    ASSERT_EQ(file->Read(static_cast<PageId>(i), buffer), IoStatus::kOk);
     for (char c : buffer) ASSERT_EQ(static_cast<unsigned char>(c), i & 0xFF);
   }
 }

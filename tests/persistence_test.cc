@@ -10,6 +10,7 @@
 #include "core/distance_join.h"
 #include "data/generators.h"
 #include "rtree/rtree.h"
+#include "storage/checksum.h"
 #include "storage/page_file.h"
 
 namespace sdj {
@@ -35,13 +36,13 @@ TEST(OpenFilePageFile, OpensExistingPages) {
     file->Allocate();
     char buffer[128];
     std::fill(buffer, buffer + 128, 0x3C);
-    ASSERT_TRUE(file->Write(1, buffer));
+    ASSERT_EQ(file->Write(1, buffer), storage::IoStatus::kOk);
   }
   auto reopened = storage::OpenFilePageFile(path, 128);
   ASSERT_NE(reopened, nullptr);
   EXPECT_EQ(reopened->num_pages(), 2u);
   char buffer[128] = {};
-  ASSERT_TRUE(reopened->Read(1, buffer));
+  ASSERT_EQ(reopened->Read(1, buffer), storage::IoStatus::kOk);
   for (char c : buffer) EXPECT_EQ(c, 0x3C);
 }
 
@@ -134,6 +135,111 @@ TEST(RTreePersistence, OpenRejectsUnflushedGarbage) {
     file->Allocate();  // a zeroed page: no magic
   }
   EXPECT_EQ(RTree<2>::Open(FileOptions(path)), nullptr);
+}
+
+TEST(PageFileSync, MemoryAndPosixBackendsSyncOk) {
+  auto memory = storage::NewMemoryPageFile(128);
+  EXPECT_EQ(memory->Sync(), storage::IoStatus::kOk);
+  const std::string path = TempPath("sync.bin");
+  auto posix = storage::NewFilePageFile(path, 128);
+  ASSERT_NE(posix, nullptr);
+  posix->Allocate();
+  char buffer[128] = {};
+  ASSERT_EQ(posix->Write(0, buffer), storage::IoStatus::kOk);
+  EXPECT_EQ(posix->Sync(), storage::IoStatus::kOk);
+}
+
+TEST(OpenFilePageFile, RecoversTruncatedTrailingPage) {
+  const std::string path = TempPath("torn_tail.bin");
+  {
+    auto file = storage::NewFilePageFile(path, 128);
+    ASSERT_NE(file, nullptr);
+    file->Allocate();
+    file->Allocate();
+    char buffer[128];
+    std::fill(buffer, buffer + 128, 0x3C);
+    ASSERT_EQ(file->Write(0, buffer), storage::IoStatus::kOk);
+    ASSERT_EQ(file->Write(1, buffer), storage::IoStatus::kOk);
+  }
+  // Simulate a crash mid-append: half a page of garbage at the end.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    for (int i = 0; i < 64; ++i) std::fputc(0xEE, f);
+    std::fclose(f);
+  }
+  // Without recovery the misaligned file is refused; with recovery the torn
+  // tail is dropped and the whole pages stay intact.
+  EXPECT_EQ(storage::OpenFilePageFile(path, 128), nullptr);
+  auto recovered =
+      storage::OpenFilePageFile(path, 128, /*recover_truncated_tail=*/true);
+  ASSERT_NE(recovered, nullptr);
+  EXPECT_EQ(recovered->num_pages(), 2u);
+  char buffer[128] = {};
+  ASSERT_EQ(recovered->Read(1, buffer), storage::IoStatus::kOk);
+  for (char c : buffer) EXPECT_EQ(c, 0x3C);
+}
+
+TEST(RTreePersistence, CorruptedPageFailsChecksumNotGeometry) {
+  const std::string path = TempPath("rtree_corrupt.pages");
+  const auto a = data::GenerateUniform(800, Rect<2>({0, 0}, {500, 500}), 7);
+  {
+    RTree<2> tree(FileOptions(path));
+    for (size_t i = 0; i < a.size(); ++i) {
+      tree.Insert(Rect<2>::FromPoint(a[i]), i);
+    }
+    ASSERT_TRUE(tree.Flush());
+  }
+  // Flip one byte in the middle of a node page (well past the meta page).
+  {
+    std::FILE* f = std::fopen(path.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    const long physical = 512 + static_cast<long>(storage::kPageTrailerSize);
+    ASSERT_EQ(std::fseek(f, 3 * physical + 100, SEEK_SET), 0);
+    const int old_byte = std::fgetc(f);
+    ASSERT_NE(old_byte, EOF);
+    ASSERT_EQ(std::fseek(f, -1, SEEK_CUR), 0);
+    std::fputc(old_byte ^ 0x40, f);
+    std::fclose(f);
+  }
+  RTreeOptions options = FileOptions(path);
+  options.retry.backoff_us = 0;
+  auto reopened = RTree<2>::Open(options);
+  ASSERT_NE(reopened, nullptr);
+  // A self-join touches every page: it must stop with an I/O error (the
+  // corrupted page persistently fails verification) — never produce pairs
+  // from garbage geometry.
+  DistanceJoin<2> join(*reopened, *reopened, DistanceJoinOptions{});
+  JoinResult<2> pair;
+  while (join.Next(&pair)) {
+  }
+  EXPECT_EQ(join.status(), JoinStatus::kIoError);
+  EXPECT_GT(join.stats().checksum_failures, 0u);
+}
+
+TEST(RTreePersistence, OpenRecoversFromTornTrailingPage) {
+  const std::string path = TempPath("rtree_torn.pages");
+  {
+    RTree<2> tree(FileOptions(path));
+    for (int i = 0; i < 300; ++i) {
+      tree.Insert(Rect<2>::FromPoint({i * 1.0, i * 3.0}), i);
+    }
+    ASSERT_TRUE(tree.Flush());
+  }
+  {
+    std::FILE* f = std::fopen(path.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    for (int i = 0; i < 99; ++i) std::fputc(0xAB, f);
+    std::fclose(f);
+  }
+  EXPECT_EQ(RTree<2>::Open(FileOptions(path)), nullptr);
+  RTreeOptions options = FileOptions(path);
+  options.recover_truncated_tail = true;
+  auto recovered = RTree<2>::Open(options);
+  ASSERT_NE(recovered, nullptr);
+  EXPECT_EQ(recovered->size(), 300u);
+  std::string error;
+  EXPECT_TRUE(recovered->Validate(&error)) << error;
 }
 
 TEST(RTreePersistence, JoinOverReopenedTrees) {

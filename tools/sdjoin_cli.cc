@@ -5,6 +5,9 @@
 //                       [--min-distance=D] [--metric=euclidean|manhattan|
 //                       chessboard] [--policy=even|basic|simultaneous]
 //                       [--reverse] [--estimate] [--print=10]
+//                       [--inject-faults=<seed>] [--fault-read-rate=R]
+//                       [--fault-write-rate=R] [--fault-bit-flip-rate=R]
+//                       [--fault-hard-read-after=N]
 //   sdjoin_cli semijoin --a=a.csv --b=b.csv [--k=...] [--bound=none|local|
 //                       globalnodes|globalall] [--filter=outside|inside1|
 //                       inside2] [--print=10]
@@ -27,6 +30,7 @@
 #include "data/generators.h"
 #include "nn/inc_nearest.h"
 #include "rtree/rtree.h"
+#include "storage/fault_injection.h"
 
 namespace {
 
@@ -35,6 +39,7 @@ using sdj::DistanceJoinOptions;
 using sdj::DistanceSemiJoin;
 using sdj::JoinResult;
 using sdj::JoinStats;
+using sdj::JoinStatus;
 using sdj::Metric;
 using sdj::Point;
 using sdj::Rect;
@@ -97,8 +102,9 @@ bool LoadRequired(const Flags& flags, const std::string& key,
   return true;
 }
 
-RTree<2> IndexPoints(const std::vector<Point<2>>& points) {
-  RTree<2> tree;
+RTree<2> IndexPoints(const std::vector<Point<2>>& points,
+                     const sdj::RTreeOptions& options = sdj::RTreeOptions{}) {
+  RTree<2> tree(options);
   std::vector<RTree<2>::Entry> entries;
   entries.reserve(points.size());
   for (size_t i = 0; i < points.size(); ++i) {
@@ -106,6 +112,58 @@ RTree<2> IndexPoints(const std::vector<Point<2>>& points) {
   }
   tree.BulkLoad(std::move(entries));
   return tree;
+}
+
+// --inject-faults=<seed> turns on a deterministic fault schedule under both
+// trees' page stores: transient read/write faults (recovered by buffer-pool
+// retries) plus occasional bit flips (caught by page checksums and re-read).
+// The finer-grained --fault-* flags override the default rates; a hard-fault
+// schedule (--fault-hard-read-after=N) makes the join stop with io-error
+// after a valid partial prefix.
+bool ApplyFaultFlags(const Flags& flags, sdj::RTreeOptions* options) {
+  const std::string seed = flags.Get("inject-faults", "");
+  if (seed.empty()) return false;
+  sdj::storage::FaultInjectionOptions faults;
+  faults.seed = static_cast<uint64_t>(std::atoll(seed.c_str()));
+  faults.transient_read_rate = flags.GetDouble("fault-read-rate", 0.01);
+  faults.transient_write_rate = flags.GetDouble("fault-write-rate", 0.01);
+  faults.bit_flip_read_rate = flags.GetDouble("fault-bit-flip-rate", 0.002);
+  const long hard_read = flags.GetLong("fault-hard-read-after", -1);
+  if (hard_read >= 0) {
+    faults.hard_read_after = static_cast<uint64_t>(hard_read);
+  }
+  options->fault_injection = faults;
+  // Shrink the buffer pool so the join actually performs physical I/O;
+  // otherwise the whole tree stays cached and the injector never fires.
+  options->buffer_pages = static_cast<uint32_t>(flags.GetLong("buffer", 16));
+  return true;
+}
+
+void PrintFaultCounters(const char* label,
+                        const sdj::storage::FaultInjectingPageFile* injector) {
+  if (injector == nullptr) return;
+  const sdj::storage::FaultCounters& c = injector->counters();
+  std::printf(
+      "# faults[%s]: %llu reads, %llu writes, %llu transient-read, "
+      "%llu transient-write, %llu hard-read, %llu bit-flips\n",
+      label, static_cast<unsigned long long>(c.reads),
+      static_cast<unsigned long long>(c.writes),
+      static_cast<unsigned long long>(c.transient_read_faults),
+      static_cast<unsigned long long>(c.transient_write_faults),
+      static_cast<unsigned long long>(c.hard_read_faults),
+      static_cast<unsigned long long>(c.bit_flips));
+}
+
+// Reports the terminal status; io-error exits non-zero so scripts notice the
+// result is a partial (but still correctly ordered) prefix.
+int ReportStatus(JoinStatus status) {
+  if (status == JoinStatus::kIoError) {
+    std::fprintf(stderr,
+                 "io-error: join stopped early; reported pairs are a valid "
+                 "prefix of the full result\n");
+    return 3;
+  }
+  return 0;
 }
 
 bool ParseMetric(const std::string& name, Metric* metric) {
@@ -131,6 +189,15 @@ void PrintCosts(const JoinStats& stats) {
       static_cast<unsigned long long>(stats.queue_pushes),
       static_cast<unsigned long long>(stats.max_queue_size),
       static_cast<unsigned long long>(stats.node_io));
+  if (stats.io_retries > 0 || stats.checksum_failures > 0 ||
+      stats.spill_fallbacks > 0) {
+    std::printf(
+        "# resilience: %llu I/O retries, %llu checksum failures, "
+        "%llu spill fallbacks\n",
+        static_cast<unsigned long long>(stats.io_retries),
+        static_cast<unsigned long long>(stats.checksum_failures),
+        static_cast<unsigned long long>(stats.spill_fallbacks));
+  }
 }
 
 int CmdGen(const Flags& flags) {
@@ -179,8 +246,10 @@ int CmdJoin(const Flags& flags) {
   std::vector<Point<2>> a;
   std::vector<Point<2>> b;
   if (!LoadRequired(flags, "a", &a) || !LoadRequired(flags, "b", &b)) return 1;
-  RTree<2> ta = IndexPoints(a);
-  RTree<2> tb = IndexPoints(b);
+  sdj::RTreeOptions tree_options;
+  const bool faulty = ApplyFaultFlags(flags, &tree_options);
+  RTree<2> ta = IndexPoints(a, tree_options);
+  RTree<2> tb = IndexPoints(b, tree_options);
 
   DistanceJoinOptions options;
   if (!ParseMetric(flags.Get("metric", "euclidean"), &options.metric)) {
@@ -223,15 +292,21 @@ int CmdJoin(const Flags& flags) {
     ++produced;
   }
   PrintCosts(join.stats());
-  return 0;
+  if (faulty) {
+    PrintFaultCounters("a", ta.injector());
+    PrintFaultCounters("b", tb.injector());
+  }
+  return ReportStatus(join.status());
 }
 
 int CmdSemiJoin(const Flags& flags) {
   std::vector<Point<2>> a;
   std::vector<Point<2>> b;
   if (!LoadRequired(flags, "a", &a) || !LoadRequired(flags, "b", &b)) return 1;
-  RTree<2> ta = IndexPoints(a);
-  RTree<2> tb = IndexPoints(b);
+  sdj::RTreeOptions tree_options;
+  const bool faulty = ApplyFaultFlags(flags, &tree_options);
+  RTree<2> ta = IndexPoints(a, tree_options);
+  RTree<2> tb = IndexPoints(b, tree_options);
 
   sdj::SemiJoinOptions options;
   if (!ParseMetric(flags.Get("metric", "euclidean"), &options.join.metric)) {
@@ -276,7 +351,11 @@ int CmdSemiJoin(const Flags& flags) {
     ++produced;
   }
   PrintCosts(semi.stats());
-  return 0;
+  if (faulty) {
+    PrintFaultCounters("a", ta.injector());
+    PrintFaultCounters("b", tb.injector());
+  }
+  return ReportStatus(semi.status());
 }
 
 int CmdNn(const Flags& flags) {
