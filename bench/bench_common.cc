@@ -1,10 +1,13 @@
 #include "bench_common.h"
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "core/distance_join.h"
@@ -132,28 +135,133 @@ void ColdCaches() {
 
 void AddRow(const Row& row) { Rows().push_back(row); }
 
+namespace {
+
+// This binary's name with the "bench_" prefix dropped ("table1", ...).
+std::string BenchName() {
+  char buf[4096];
+  const ssize_t n = ::readlink("/proc/self/exe", buf, sizeof(buf) - 1);
+  std::string name = "unknown";
+  if (n > 0) {
+    buf[n] = '\0';
+    name = buf;
+    const size_t slash = name.find_last_of('/');
+    if (slash != std::string::npos) name = name.substr(slash + 1);
+  }
+  if (name.rfind("bench_", 0) == 0) name = name.substr(6);
+  return name;
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out += '\\';
+      out += c;
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char hex[8];
+      std::snprintf(hex, sizeof(hex), "\\u%04x", c);
+      out += hex;
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+void JsonStat(std::FILE* f, const char* key, uint64_t value, bool last) {
+  std::fprintf(f, "        \"%s\": %llu%s\n", key,
+               static_cast<unsigned long long>(value), last ? "" : ",");
+}
+
+// Writes every recorded row to BENCH_<name>.json so sweeps over bench
+// binaries stay parseable without scraping the stdout table.
+void WriteJson(const std::string& title) {
+  const std::string path = "BENCH_" + BenchName() + ".json";
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "warning: cannot write %s\n", path.c_str());
+    return;
+  }
+  std::fprintf(f, "{\n");
+  std::fprintf(f, "  \"bench\": \"%s\",\n", JsonEscape(BenchName()).c_str());
+  std::fprintf(f, "  \"title\": \"%s\",\n", JsonEscape(title).c_str());
+  std::fprintf(f, "  \"scale\": %.17g,\n", Scale());
+  std::fprintf(f, "  \"water_points\": %zu,\n", WaterPoints().size());
+  std::fprintf(f, "  \"roads_points\": %zu,\n", RoadsPoints().size());
+  std::fprintf(f, "  \"rows\": [\n");
+  const std::vector<Row>& rows = Rows();
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const Row& row = rows[i];
+    const JoinStats& s = row.stats;
+    std::fprintf(f, "    {\n");
+    std::fprintf(f, "      \"series\": \"%s\",\n",
+                 JsonEscape(row.series).c_str());
+    std::fprintf(f, "      \"note\": \"%s\",\n", JsonEscape(row.note).c_str());
+    std::fprintf(f, "      \"threads\": %d,\n", row.threads);
+    std::fprintf(f, "      \"pairs\": %llu,\n",
+                 static_cast<unsigned long long>(row.pairs));
+    std::fprintf(f, "      \"wall_ms\": %.6f,\n", row.seconds * 1e3);
+    std::fprintf(f, "      \"node_io\": %llu,\n",
+                 static_cast<unsigned long long>(s.node_io));
+    std::fprintf(f, "      \"stats\": {\n");
+    JsonStat(f, "pairs_reported", s.pairs_reported, false);
+    JsonStat(f, "object_distance_calcs", s.object_distance_calcs, false);
+    JsonStat(f, "total_distance_calcs", s.total_distance_calcs, false);
+    JsonStat(f, "queue_pushes", s.queue_pushes, false);
+    JsonStat(f, "queue_pops", s.queue_pops, false);
+    JsonStat(f, "max_queue_size", s.max_queue_size, false);
+    JsonStat(f, "node_io", s.node_io, false);
+    JsonStat(f, "node_accesses", s.node_accesses, false);
+    JsonStat(f, "nodes_expanded", s.nodes_expanded, false);
+    JsonStat(f, "pruned_by_range", s.pruned_by_range, false);
+    JsonStat(f, "pruned_by_estimate", s.pruned_by_estimate, false);
+    JsonStat(f, "pruned_by_bound", s.pruned_by_bound, false);
+    JsonStat(f, "pruned_by_filter", s.pruned_by_filter, false);
+    JsonStat(f, "filtered_reported", s.filtered_reported, false);
+    JsonStat(f, "restarts", s.restarts, false);
+    JsonStat(f, "io_retries", s.io_retries, false);
+    JsonStat(f, "checksum_failures", s.checksum_failures, false);
+    JsonStat(f, "spill_fallbacks", s.spill_fallbacks, false);
+    JsonStat(f, "batch_kernel_invocations", s.batch_kernel_invocations,
+             false);
+    JsonStat(f, "parallel_expansions", s.parallel_expansions, true);
+    std::fprintf(f, "      }\n");
+    std::fprintf(f, "    }%s\n", i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n");
+  std::fprintf(f, "}\n");
+  std::fclose(f);
+  std::printf("wrote %s (%zu rows)\n", path.c_str(), rows.size());
+}
+
+}  // namespace
+
 void PrintTable(const std::string& title) {
   std::printf("\n=== %s (scale %.3g: |Water|=%zu, |Roads|=%zu) ===\n",
               title.c_str(), Scale(), WaterPoints().size(),
               RoadsPoints().size());
-  std::printf("%-34s %10s %9s %13s %13s %10s %14s  %s\n", "series", "pairs",
-              "time(s)", "dist.calc", "queue size", "node I/O",
-              "rtry/cks/spill", "note");
+  std::printf("%-34s %10s %4s %9s %13s %13s %10s %14s  %s\n", "series",
+              "pairs", "thr", "time(s)", "dist.calc", "queue size",
+              "node I/O", "rtry/cks/spill", "note");
   for (const Row& row : Rows()) {
     char resilience[64];
     std::snprintf(resilience, sizeof(resilience), "%llu/%llu/%llu",
                   static_cast<unsigned long long>(row.stats.io_retries),
                   static_cast<unsigned long long>(row.stats.checksum_failures),
                   static_cast<unsigned long long>(row.stats.spill_fallbacks));
-    std::printf("%-34s %10llu %9.3f %13llu %13llu %10llu %14s  %s\n",
+    std::printf("%-34s %10llu %4d %9.3f %13llu %13llu %10llu %14s  %s\n",
                 row.series.c_str(),
-                static_cast<unsigned long long>(row.pairs), row.seconds,
+                static_cast<unsigned long long>(row.pairs), row.threads,
+                row.seconds,
                 static_cast<unsigned long long>(row.stats.object_distance_calcs),
                 static_cast<unsigned long long>(row.stats.max_queue_size),
                 static_cast<unsigned long long>(row.stats.node_io),
                 resilience, row.note.c_str());
   }
   std::fflush(stdout);
+  WriteJson(title);
 }
 
 WallTimer::WallTimer()

@@ -57,13 +57,17 @@ struct Row {
   double seconds = 0.0;
   JoinStats stats;
   std::string note;
+  int threads = 1;      // JoinConfig::num_threads used for the run
 };
 
 // Records one measurement row.
 void AddRow(const Row& row);
 
 // Prints all recorded rows as a Table-1-style table ("Time, Dist. Calc.,
-// Queue Size, Node I/O" columns) to stdout.
+// Queue Size, Node I/O" columns) to stdout, and writes the same rows —
+// wall-clock ms, node I/O, the full JoinStats, and SDJ_BENCH_SCALE — as
+// machine-readable JSON to BENCH_<name>.json in the working directory
+// (<name> = the binary name without its "bench_" prefix).
 void PrintTable(const std::string& title);
 
 // Wall-clock helper.

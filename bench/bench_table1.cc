@@ -14,11 +14,11 @@
 namespace sdj::bench {
 namespace {
 
-void RunJoin(benchmark::State& state, uint64_t pairs) {
+void RunJoin(benchmark::State& state, uint64_t pairs,
+             const DistanceJoinOptions& options, const std::string& series) {
   for (auto _ : state) {
     ColdCaches();
     WallTimer timer;
-    DistanceJoinOptions options;  // Even / DepthFirst defaults
     DistanceJoin<2> join(WaterTree(), RoadsTree(), options);
     JoinResult<2> result;
     uint64_t produced = 0;
@@ -29,7 +29,7 @@ void RunJoin(benchmark::State& state, uint64_t pairs) {
     state.counters["dist_calc"] = static_cast<double>(stats.object_distance_calcs);
     state.counters["queue_size"] = static_cast<double>(stats.max_queue_size);
     state.counters["node_io"] = static_cast<double>(stats.node_io);
-    AddRow({"Even/DepthFirst", produced, seconds, stats, ""});
+    AddRow({series, produced, seconds, stats, "", options.num_threads});
   }
 }
 
@@ -38,7 +38,29 @@ void RegisterAll() {
     const uint64_t pairs = ScaledPairs(k);
     benchmark::RegisterBenchmark(
         ("Table1/pairs:" + std::to_string(pairs)).c_str(),
-        [pairs](benchmark::State& state) { RunJoin(state, pairs); })
+        [pairs](benchmark::State& state) {
+          RunJoin(state, pairs, DistanceJoinOptions{},  // Even/DepthFirst
+                  "Even/DepthFirst");
+        })
+        ->Iterations(1)
+        ->UseManualTime()
+        ->Unit(benchmark::kMillisecond);
+  }
+  // Threads sweep on the Simultaneous policy, whose fan-out^2 expansions are
+  // where the sharded classify applies (DESIGN.md §10). The result columns
+  // and Node I/O must be identical across thread counts — only the wall
+  // clock may move.
+  const uint64_t pairs = ScaledPairs(100000ull);
+  for (const int threads : {1, 2, 4}) {
+    benchmark::RegisterBenchmark(
+        ("Table1/simultaneous_threads:" + std::to_string(threads)).c_str(),
+        [pairs, threads](benchmark::State& state) {
+          DistanceJoinOptions options;
+          options.node_policy = NodeProcessingPolicy::kSimultaneous;
+          options.num_threads = threads;
+          RunJoin(state, pairs, options,
+                  "Simultaneous/t=" + std::to_string(threads));
+        })
         ->Iterations(1)
         ->UseManualTime()
         ->Unit(benchmark::kMillisecond);

@@ -1,10 +1,14 @@
 #!/usr/bin/env bash
 # Full pre-merge check: build + test the release config, then the
-# ASan+UBSan config (tests only; benchmarks are skipped under sanitizers).
+# ASan+UBSan config, then the TSan config (tests only; benchmarks are
+# skipped under sanitizers). The TSan stage runs the concurrency-sensitive
+# tests: buffer-pool striping, the worker pool, and the parallel-join
+# determinism suite.
 #
-#   scripts/check.sh            # both configs
+#   scripts/check.sh            # all three configs
 #   scripts/check.sh release    # release only
-#   scripts/check.sh asan       # sanitizers only
+#   scripts/check.sh asan       # ASan+UBSan only
+#   scripts/check.sh tsan       # TSan only
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -22,15 +26,24 @@ run_asan() {
   ctest --preset asan-ubsan
 }
 
+run_tsan() {
+  echo "=== tsan: configure + build + concurrency tests ==="
+  cmake --preset tsan
+  cmake --build --preset tsan
+  ctest --preset tsan -R 'BufferPoolConcurrency|ThreadPool|ParallelJoin'
+}
+
 case "${1:-all}" in
   release) run_release ;;
   asan) run_asan ;;
+  tsan) run_tsan ;;
   all)
     run_release
     run_asan
+    run_tsan
     ;;
   *)
-    echo "usage: scripts/check.sh [release|asan|all]" >&2
+    echo "usage: scripts/check.sh [release|asan|tsan|all]" >&2
     exit 2
     ;;
 esac

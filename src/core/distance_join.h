@@ -41,9 +41,11 @@
 #include "core/pair_queue.h"
 #include "geometry/distance.h"
 #include "geometry/metrics.h"
+#include "geometry/rect_batch.h"
 #include "rtree/rtree.h"
 #include "util/check.h"
 #include "util/dynamic_bitset.h"
+#include "util/thread_pool.h"
 
 namespace sdj {
 
@@ -106,6 +108,15 @@ struct DistanceJoinOptions {
   bool use_hybrid_queue = false;
   HybridQueueOptions hybrid;
 
+  // Worker threads for the expansion step (1 = serial). Child-pair scoring
+  // is sharded across threads and merged in slot order, so the output pair
+  // stream — and every statistic — is identical to the serial engine's
+  // (DESIGN.md §10). Only expansions with enough candidates to amortize the
+  // handoff are sharded; configurations that consult shared mutable state
+  // per candidate (estimation, semi-join bounds, Inside2 filtering, object
+  // predicates) always score serially, though still through batch kernels.
+  int num_threads = 1;
+
   // If set, leaf entries are treated as object bounding rectangles and this
   // callback supplies the exact object distance (Figure 3, lines 7-14).
   // If unset, objects are stored directly in the leaves (the paper's
@@ -164,6 +175,7 @@ class DistanceJoin {
         semi_filter_(semi_filter),
         semi_bound_(semi_bound),
         semi_estimation_(semi_estimation),
+        workers_(options.num_threads),
         base_node_misses_(PoolMisses()),
         base_node_accesses_(PoolAccesses()),
         base_io_retries_(PoolRetries()),
@@ -383,8 +395,8 @@ class DistanceJoin {
            tree2_.pool().stats().logical_reads;
   }
   uint64_t PoolRetries() const {
-    const storage::IoStats& s1 = tree1_.pool().stats();
-    const storage::IoStats& s2 = tree2_.pool().stats();
+    const storage::IoStats s1 = tree1_.pool().stats();
+    const storage::IoStats s2 = tree2_.pool().stats();
     return s1.read_retries + s1.write_retries + s2.read_retries +
            s2.write_retries;
   }
@@ -524,6 +536,16 @@ class DistanceJoin {
   // non-negative, carries an already computed SemiPairMaxDist(a, b).
   void TryEnqueue(const Item& a, const Item& b,
                   double semi_dmax_hint = -1.0) {
+    TryEnqueueScored(a, b, /*pre_mindist=*/-1.0, semi_dmax_hint);
+  }
+
+  // TryEnqueue with `pre_mindist`, when non-negative, carrying
+  // PairMinDist(a, b) from a batch kernel (bit-identical to the scalar call
+  // by the rect_batch.h contract). Distance-calc counters are incremented at
+  // the same decision points either way, so statistics do not depend on who
+  // computed the value.
+  void TryEnqueueScored(const Item& a, const Item& b, double pre_mindist,
+                        double semi_dmax_hint) {
     // Selection criteria (Section 2.2.5): spatial windows prune nodes and
     // objects alike; attribute predicates apply to objects only.
     if (filters_.window1.has_value() &&
@@ -553,7 +575,8 @@ class DistanceJoin {
       return;
     }
 
-    const double d = PairMinDist(a, b, options_.metric);
+    const double d =
+        pre_mindist >= 0.0 ? pre_mindist : PairMinDist(a, b, options_.metric);
     ++stats_.total_distance_calcs;
     if (a.kind == JoinItemKind::kObject && b.kind == JoinItemKind::kObject) {
       ++stats_.object_distance_calcs;
@@ -676,34 +699,234 @@ class DistanceJoin {
     return n1 ? ProcessNode1(e) : ProcessNode2(e);
   }
 
-  // Turns entry `i` of `node` (in `tree`) into a queue item.
-  Item ChildItem(const typename Index::PinnedNode& node, uint32_t i)
-      const {
+  // ---- batched scoring and parallel expansion (DESIGN.md §10) ----
+
+  // Turns entry `i` of a decoded node batch into a queue item.
+  Item MakeItem(const RectBatch<Dim>& batch, const std::vector<uint64_t>& refs,
+                size_t i, bool leaf, int level) const {
     Item item;
-    item.rect = node.rect(i);
-    item.ref = node.ref(i);
-    if (node.is_leaf()) {
+    item.rect = batch.rect(i);
+    item.ref = refs[i];
+    if (leaf) {
       item.level = -1;
       item.kind = ObjectKind();
     } else {
-      item.level = static_cast<int16_t>(node.level() - 1);
+      item.level = static_cast<int16_t>(level - 1);
       item.kind = JoinItemKind::kNode;
     }
     return item;
   }
 
+  void BuildItems(const RectBatch<Dim>& batch,
+                  const std::vector<uint64_t>& refs, bool leaf, int level,
+                  std::vector<Item>* out) const {
+    out->clear();
+    out->reserve(batch.size());
+    for (size_t i = 0; i < batch.size(); ++i) {
+      out->push_back(MakeItem(batch, refs, i, leaf, level));
+    }
+  }
+
+  // SemiDmax over a whole batch of second-side children: the children of one
+  // node share a kind, so a single kernel covers the batch. Case analysis
+  // mirrors SemiPairMaxDist / SemiPairMaxDistLoose with `a` fixed and the
+  // batch on the second-argument side (batch_is_first = false for the
+  // asymmetric kernels); bit-identical per the rect_batch.h contract.
+  void SemiDmaxBatch(const Item& a, const RectBatch<Dim>& batch,
+                     JoinItemKind child_kind, double* out) {
+    ++stats_.batch_kernel_invocations;
+    if constexpr (Index::kMinimalBoundingRegions) {
+      if (a.is_node()) {
+        if (child_kind == JoinItemKind::kObject) {
+          MaxMinDistBatch(batch, a.rect, options_.metric,
+                          /*batch_is_first=*/false, out);
+        } else {
+          MaxMinMaxDistBatch(batch, a.rect, options_.metric,
+                             /*batch_is_first=*/false, out);
+        }
+        return;
+      }
+      if (a.kind == JoinItemKind::kObject &&
+          child_kind == JoinItemKind::kObject) {
+        MinDistBatch(batch, a.rect, options_.metric, out);
+        return;
+      }
+      MinMaxDistBatch(batch, a.rect, options_.metric, out);
+    } else {
+      if (child_kind == JoinItemKind::kNode) {
+        MaxDistBatch(batch, a.rect, options_.metric, out);
+        return;
+      }
+      if (a.kind == JoinItemKind::kObject &&
+          child_kind == JoinItemKind::kObject) {
+        MinDistBatch(batch, a.rect, options_.metric, out);
+        return;
+      }
+      if (child_kind == JoinItemKind::kObject && a.is_node()) {
+        MaxMinDistBatch(batch, a.rect, options_.metric,
+                        /*batch_is_first=*/false, out);
+        return;
+      }
+      MinMaxDistBatch(batch, a.rect, options_.metric, out);
+    }
+  }
+
+  // Candidate slot verdicts from the classify pass. The merge step derives
+  // the serial engine's exact counter increments from the verdict alone.
+  enum SlotState : uint8_t {
+    kSlotFilter = 0,    // window rejected (no distance computed)
+    kSlotRangeMax = 1,  // MINDIST above Dmax (one distance calc)
+    kSlotRangeMin = 2,  // join d_max below Dmin (two distance calcs)
+    kSlotAccept = 3,    // entry built (1 + need_join_dmax calcs)
+  };
+
+  // Candidate acceptance is a pure per-pair function exactly when nothing
+  // shared and mutable is consulted between candidates: no distance
+  // estimation, no semi-join d_max bounds or Inside2 bitmap, no user object
+  // predicates (which may be stateful). Spatial windows are pure and stay
+  // eligible. Only then may candidates be scored out of order (in parallel).
+  bool FastPathActive() const {
+    return !estimator_.has_value() && semi_bound_ == SemiJoinBound::kNone &&
+           semi_filter_ != SemiJoinFilter::kInside2 &&
+           filters_.object_filter1 == nullptr &&
+           filters_.object_filter2 == nullptr;
+  }
+
+  // TryEnqueue's need_join_dmax condition with no estimator present.
+  bool NeedJoinDmaxFast() const {
+    return options_.min_distance > 0.0 || options_.reverse_order;
+  }
+
+  // Classifies n candidate pairs through the fast-path acceptance ladder
+  // (identical to TryEnqueue's under FastPathActive) and enqueues survivors
+  // in slot order. get_a/get_b map a slot to its items; pre_mind, when
+  // non-null, holds PairMinDist per slot from a batch kernel; object_pair
+  // says both sides are exact objects (the Dist. Calc. counter).
+  //
+  // Determinism: shards are static index ranges (util/thread_pool.h), each
+  // slot's verdict and entry are pure functions of that slot, and the merge
+  // walks slots in order — accumulating counters, assigning seq to
+  // survivors, bulk-pushing them — so the output stream is bit-identical to
+  // the serial engine's for any thread count.
+  template <typename GetA, typename GetB>
+  void ClassifyAndEnqueue(size_t n, const double* pre_mind, bool object_pair,
+                          const GetA& get_a, const GetB& get_b) {
+    slot_entries_.resize(n);
+    slot_state_.resize(n);
+    const bool need_join_dmax = NeedJoinDmaxFast();
+    const std::function<void(size_t, size_t)> classify = [&](size_t begin,
+                                                             size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        const Item& a = get_a(i);
+        const Item& b = get_b(i);
+        if (filters_.window1.has_value() &&
+            !a.rect.Intersects(*filters_.window1)) {
+          slot_state_[i] = kSlotFilter;
+          continue;
+        }
+        if (filters_.window2.has_value() &&
+            !b.rect.Intersects(*filters_.window2)) {
+          slot_state_[i] = kSlotFilter;
+          continue;
+        }
+        const double d = pre_mind != nullptr
+                             ? pre_mind[i]
+                             : PairMinDist(a, b, options_.metric);
+        if (d > options_.max_distance) {
+          slot_state_[i] = kSlotRangeMax;
+          continue;
+        }
+        double join_dmax = kInf;
+        if (need_join_dmax) {
+          join_dmax = PairMaxDist(a, b, options_.metric);
+          if (join_dmax < options_.min_distance) {
+            slot_state_[i] = kSlotRangeMin;
+            continue;
+          }
+        }
+        Entry& entry = slot_entries_[i];
+        entry.distance = d;
+        entry.item1 = a;
+        entry.item2 = b;
+        entry.seq = 0;  // assigned in the in-order merge below
+        FinalizePairMetadata(&entry);
+        entry.key = options_.reverse_order ? -join_dmax : d;
+        slot_state_[i] = kSlotAccept;
+      }
+    };
+    if (workers_.num_threads() > 1 && n >= kParallelGrain) {
+      workers_.ParallelFor(n, classify);
+      ++stats_.parallel_expansions;
+    } else if (n > 0) {
+      classify(0, n);
+    }
+    accepted_.clear();
+    const uint64_t calcs_per_accept = need_join_dmax ? 2 : 1;
+    for (size_t i = 0; i < n; ++i) {
+      switch (slot_state_[i]) {
+        case kSlotFilter:
+          ++stats_.pruned_by_filter;
+          break;
+        case kSlotRangeMax:
+          ++stats_.total_distance_calcs;
+          if (object_pair) ++stats_.object_distance_calcs;
+          ++stats_.pruned_by_range;
+          break;
+        case kSlotRangeMin:
+          stats_.total_distance_calcs += 2;
+          if (object_pair) ++stats_.object_distance_calcs;
+          ++stats_.pruned_by_range;
+          break;
+        case kSlotAccept: {
+          stats_.total_distance_calcs += calcs_per_accept;
+          if (object_pair) ++stats_.object_distance_calcs;
+          Entry& entry = slot_entries_[i];
+          entry.seq = next_seq_++;
+          accepted_.push_back(entry);
+          break;
+        }
+      }
+    }
+    queue_->PushBulk(accepted_.data(), accepted_.size());
+    stats_.queue_pushes += accepted_.size();
+  }
+
   // PROCESSNODE1 (Figure 3): pair every entry of item 1's node with item 2.
+  // The node is decoded into a rectangle batch once, scored by MinDistBatch,
+  // and survivors enqueued in entry order (sharded when eligible and large).
   bool ProcessNode1(const Entry& e) {
-    typename Index::PinnedNode node =
-        tree1_.TryPin(static_cast<storage::PageId>(e.item1.ref));
-    if (!node.ok()) return MarkIoError();
+    bool leaf;
+    int level;
+    {
+      typename Index::PinnedNode node =
+          tree1_.TryPin(static_cast<storage::PageId>(e.item1.ref));
+      if (!node.ok()) return MarkIoError();
+      node.DecodeInto(&batch1_, &refs1_);
+      leaf = node.is_leaf();
+      level = node.level();
+    }
     ++stats_.nodes_expanded;
     if (estimator_.has_value() && semi_estimation_) {
       estimator_->MarkFirstItemProcessed(EncodeEstimatorItem(
           static_cast<uint8_t>(e.item1.kind), e.item1.level, e.item1.ref));
     }
-    for (uint32_t i = 0; i < node.count(); ++i) {
-      TryEnqueue(ChildItem(node, i), e.item2);
+    const size_t n = batch1_.size();
+    mind1_.resize(n);
+    MinDistBatch(batch1_, e.item2.rect, options_.metric, mind1_.data());
+    ++stats_.batch_kernel_invocations;
+    BuildItems(batch1_, refs1_, leaf, level, &left_);
+    if (FastPathActive()) {
+      const bool object_pair = leaf && ObjectKind() == JoinItemKind::kObject &&
+                               e.item2.kind == JoinItemKind::kObject;
+      ClassifyAndEnqueue(
+          n, mind1_.data(), object_pair,
+          [&](size_t i) -> const Item& { return left_[i]; },
+          [&](size_t) -> const Item& { return e.item2; });
+    } else {
+      for (size_t i = 0; i < n; ++i) {
+        TryEnqueueScored(left_[i], e.item2, mind1_[i],
+                         /*semi_dmax_hint=*/-1.0);
+      }
     }
     return true;
   }
@@ -713,38 +936,58 @@ class DistanceJoin {
   // smallest d_max across the node's entries prunes its siblings
   // (Section 4.2.1).
   bool ProcessNode2(const Entry& e) {
-    typename Index::PinnedNode node =
-        tree2_.TryPin(static_cast<storage::PageId>(e.item2.ref));
-    if (!node.ok()) return MarkIoError();
+    bool leaf;
+    int level;
+    {
+      typename Index::PinnedNode node =
+          tree2_.TryPin(static_cast<storage::PageId>(e.item2.ref));
+      if (!node.ok()) return MarkIoError();
+      node.DecodeInto(&batch2_, &refs2_);
+      leaf = node.is_leaf();
+      level = node.level();
+    }
     ++stats_.nodes_expanded;
+    const size_t n = batch2_.size();
+    mind2_.resize(n);
+    MinDistBatch(batch2_, e.item1.rect, options_.metric, mind2_.data());
+    ++stats_.batch_kernel_invocations;
+    BuildItems(batch2_, refs2_, leaf, level, &right_);
     if (semi_bound_ == SemiJoinBound::kNone) {
-      for (uint32_t i = 0; i < node.count(); ++i) {
-        TryEnqueue(e.item1, ChildItem(node, i));
+      if (FastPathActive()) {
+        const bool object_pair = leaf &&
+                                 ObjectKind() == JoinItemKind::kObject &&
+                                 e.item1.kind == JoinItemKind::kObject;
+        ClassifyAndEnqueue(
+            n, mind2_.data(), object_pair,
+            [&](size_t) -> const Item& { return e.item1; },
+            [&](size_t i) -> const Item& { return right_[i]; });
+      } else {
+        for (size_t i = 0; i < n; ++i) {
+          TryEnqueueScored(e.item1, right_[i], mind2_[i],
+                           /*semi_dmax_hint=*/-1.0);
+        }
       }
       return true;
     }
-    // First pass: compute each child's semi d_max and their minimum.
-    std::vector<Item> children;
-    std::vector<double> dmax;
-    children.reserve(node.count());
-    dmax.reserve(node.count());
+    // First pass: each child's semi d_max (one kernel — the children of a
+    // node share a kind) and their minimum.
+    semi_dmax_.resize(n);
+    const JoinItemKind child_kind = leaf ? ObjectKind() : JoinItemKind::kNode;
+    SemiDmaxBatch(e.item1, batch2_, child_kind, semi_dmax_.data());
     double best = BoundOf(e.item1);
-    for (uint32_t i = 0; i < node.count(); ++i) {
-      children.push_back(ChildItem(node, i));
-      dmax.push_back(SemiDmax(e.item1, children.back()));
+    for (size_t i = 0; i < n; ++i) {
       ++stats_.total_distance_calcs;
-      best = std::min(best, dmax.back());
+      best = std::min(best, semi_dmax_[i]);
     }
     UpdateBound(e.item1, best);
-    for (size_t i = 0; i < children.size(); ++i) {
-      const double d = MinDist(e.item1.rect, children[i].rect,
-                               options_.metric);
+    // Second pass: prune by the shared bound, then enqueue with both scores.
+    for (size_t i = 0; i < n; ++i) {
       ++stats_.total_distance_calcs;
-      if (d > best) {
+      if (mind2_[i] > best) {
         ++stats_.pruned_by_bound;
         continue;
       }
-      TryEnqueue(e.item1, children[i], dmax[i]);
+      TryEnqueueScored(e.item1, right_[i], mind2_[i], semi_dmax_[i]);
     }
     return true;
   }
@@ -752,10 +995,14 @@ class DistanceJoin {
   // Simultaneous processing of a node/node pair (Section 2.2.2): restrict
   // each node's entries to those within the distance window of the other
   // node's region, then pair them up with a plane sweep along axis 0
-  // (Figure 4), extended by Dmax as the paper describes.
+  // (Figure 4), extended by Dmax as the paper describes. This is the
+  // expansion with up to fan-out^2 candidates, where batch scoring and the
+  // sharded classify pay off most.
   bool ProcessBoth(const Entry& e) {
-    std::vector<Item> left;
-    std::vector<Item> right;
+    bool leaf1;
+    bool leaf2;
+    int level1;
+    int level2;
     {
       typename Index::PinnedNode node1 =
           tree1_.TryPin(static_cast<storage::PageId>(e.item1.ref));
@@ -768,57 +1015,86 @@ class DistanceJoin {
         estimator_->MarkFirstItemProcessed(EncodeEstimatorItem(
             static_cast<uint8_t>(e.item1.kind), e.item1.level, e.item1.ref));
       }
-      const double eff_max = EffectiveMax();
-      left.reserve(node1.count());
-      for (uint32_t i = 0; i < node1.count(); ++i) {
-        Item item = ChildItem(node1, i);
-        ++stats_.total_distance_calcs;
-        if (MinDist(item.rect, e.item2.rect, options_.metric) <= eff_max) {
-          left.push_back(item);
-        } else {
-          ++stats_.pruned_by_range;
-        }
-      }
-      right.reserve(node2.count());
-      for (uint32_t i = 0; i < node2.count(); ++i) {
-        Item item = ChildItem(node2, i);
-        ++stats_.total_distance_calcs;
-        if (MinDist(item.rect, e.item1.rect, options_.metric) <= eff_max) {
-          right.push_back(item);
-        } else {
-          ++stats_.pruned_by_range;
-        }
-      }
+      node1.DecodeInto(&batch1_, &refs1_);
+      leaf1 = node1.is_leaf();
+      level1 = node1.level();
+      node2.DecodeInto(&batch2_, &refs2_);
+      leaf2 = node2.is_leaf();
+      level2 = node2.level();
     }
+    const double eff_max = EffectiveMax();
+    mind1_.resize(batch1_.size());
+    MinDistBatch(batch1_, e.item2.rect, options_.metric, mind1_.data());
+    mind2_.resize(batch2_.size());
+    MinDistBatch(batch2_, e.item1.rect, options_.metric, mind2_.data());
+    stats_.batch_kernel_invocations += 2;
+    FilterSide(batch1_, refs1_, mind1_, leaf1, level1, eff_max, &left_);
+    FilterSide(batch2_, refs2_, mind2_, leaf2, level2, eff_max, &right_);
     const auto by_lo = [](const Item& a, const Item& b) {
       return a.rect.lo[0] < b.rect.lo[0];
     };
-    std::sort(left.begin(), left.end(), by_lo);
-    std::sort(right.begin(), right.end(), by_lo);
+    std::sort(left_.begin(), left_.end(), by_lo);
+    std::sort(right_.begin(), right_.end(), by_lo);
     // Sweep: for the rectangle with the smaller lower edge, pair it with the
     // other list's rectangles whose lower edge starts within Dmax of its
-    // upper edge (the paper's x2 + Dmax sweep extension).
-    const double eff_max = EffectiveMax();
+    // upper edge (the paper's x2 + Dmax sweep extension). Candidates are
+    // collected in emission order first so scoring can shard across threads.
+    sweep_pairs_.clear();
     size_t i = 0;
     size_t j = 0;
-    while (i < left.size() && j < right.size()) {
-      if (left[i].rect.lo[0] <= right[j].rect.lo[0]) {
-        const double limit = left[i].rect.hi[0] + eff_max;
-        for (size_t k = j; k < right.size() && right[k].rect.lo[0] <= limit;
+    while (i < left_.size() && j < right_.size()) {
+      if (left_[i].rect.lo[0] <= right_[j].rect.lo[0]) {
+        const double limit = left_[i].rect.hi[0] + eff_max;
+        for (size_t k = j; k < right_.size() && right_[k].rect.lo[0] <= limit;
              ++k) {
-          TryEnqueue(left[i], right[k]);
+          sweep_pairs_.emplace_back(static_cast<uint32_t>(i),
+                                    static_cast<uint32_t>(k));
         }
         ++i;
       } else {
-        const double limit = right[j].rect.hi[0] + eff_max;
-        for (size_t k = i; k < left.size() && left[k].rect.lo[0] <= limit;
+        const double limit = right_[j].rect.hi[0] + eff_max;
+        for (size_t k = i; k < left_.size() && left_[k].rect.lo[0] <= limit;
              ++k) {
-          TryEnqueue(left[k], right[j]);
+          sweep_pairs_.emplace_back(static_cast<uint32_t>(k),
+                                    static_cast<uint32_t>(j));
         }
         ++j;
       }
     }
+    if (FastPathActive()) {
+      const bool object_pair =
+          leaf1 && leaf2 && ObjectKind() == JoinItemKind::kObject;
+      ClassifyAndEnqueue(
+          sweep_pairs_.size(), /*pre_mind=*/nullptr, object_pair,
+          [&](size_t k) -> const Item& { return left_[sweep_pairs_[k].first]; },
+          [&](size_t k) -> const Item& {
+            return right_[sweep_pairs_[k].second];
+          });
+    } else {
+      for (const auto& [li, ri] : sweep_pairs_) {
+        TryEnqueue(left_[li], right_[ri]);
+      }
+    }
     return true;
+  }
+
+  // Keeps entries whose batch MINDIST against the partner region is within
+  // eff_max, materializing survivors as Items (the within-filter of
+  // Figure 4; counters exactly as in the per-child serial loop).
+  void FilterSide(const RectBatch<Dim>& batch,
+                  const std::vector<uint64_t>& refs,
+                  const std::vector<double>& mind, bool leaf, int level,
+                  double eff_max, std::vector<Item>* out) {
+    out->clear();
+    out->reserve(batch.size());
+    for (size_t i = 0; i < batch.size(); ++i) {
+      ++stats_.total_distance_calcs;
+      if (mind[i] <= eff_max) {
+        out->push_back(MakeItem(batch, refs, i, leaf, level));
+      } else {
+        ++stats_.pruned_by_range;
+      }
+    }
   }
 
   // ---- obr resolution (Figure 3, lines 7-14) ----
@@ -893,6 +1169,27 @@ class DistanceJoin {
   const SemiJoinFilter semi_filter_;
   const SemiJoinBound semi_bound_;
   const bool semi_estimation_;
+
+  // Candidate batches below this size are classified inline: the per-shard
+  // handoff costs more than scoring a few dozen rectangles.
+  static constexpr size_t kParallelGrain = 128;
+  util::ThreadPool workers_;
+
+  // Expansion scratch, reused across Next() calls to avoid re-allocation on
+  // the hot path. Only touched inside one Process* call at a time.
+  RectBatch<Dim> batch1_;
+  RectBatch<Dim> batch2_;
+  std::vector<uint64_t> refs1_;
+  std::vector<uint64_t> refs2_;
+  std::vector<double> mind1_;
+  std::vector<double> mind2_;
+  std::vector<double> semi_dmax_;
+  std::vector<Item> left_;
+  std::vector<Item> right_;
+  std::vector<std::pair<uint32_t, uint32_t>> sweep_pairs_;
+  std::vector<Entry> slot_entries_;
+  std::vector<Entry> accepted_;
+  std::vector<uint8_t> slot_state_;
 
   std::unique_ptr<PairQueue<Dim>> queue_;
   std::optional<MaxDistEstimator> estimator_;

@@ -128,7 +128,7 @@ class HybridPairQueue final : public PairQueue<Dim> {
   uint64_t spill_fallbacks() const override { return spill_fallbacks_; }
 
   // Disk-tier traffic (page-file reads/writes behind the small buffer).
-  const storage::IoStats& disk_stats() const { return pool_->stats(); }
+  storage::IoStats disk_stats() const { return pool_->stats(); }
 
   // Fault-injection layer of the disk tier, when configured; null otherwise.
   storage::FaultInjectingPageFile* injector() const { return injector_; }

@@ -48,6 +48,14 @@ struct JoinStats {
   // Hybrid-queue pushes that fell back to the in-memory overflow tier
   // because the disk tier could not accept them.
   uint64_t spill_fallbacks = 0;
+  // Batched distance-kernel calls (geometry/rect_batch.h). Distance-calc
+  // counters above keep their algorithmic meaning — they count the
+  // computations the scalar engine would perform, whether a kernel or a
+  // scalar call produced the value.
+  uint64_t batch_kernel_invocations = 0;
+  // Expansions whose child-pair scoring was sharded across worker threads
+  // (num_threads > 1 and enough candidates to amortize the handoff).
+  uint64_t parallel_expansions = 0;
 };
 
 }  // namespace sdj

@@ -21,6 +21,12 @@ class PairQueue {
   virtual ~PairQueue() = default;
 
   virtual void Push(const PairEntry<Dim>& entry) = 0;
+  // Pushes `n` entries in order. Equivalent to n Push calls (the comparator
+  // is a total order, so the pop stream is insertion-order independent up to
+  // that order anyway); implementations may amortize bookkeeping.
+  virtual void PushBulk(const PairEntry<Dim>* entries, size_t n) {
+    for (size_t i = 0; i < n; ++i) Push(entries[i]);
+  }
   virtual bool Empty() = 0;
   // Highest-priority entry; queue must be non-empty.
   virtual const PairEntry<Dim>& Top() = 0;
@@ -52,6 +58,11 @@ class MemoryPairQueue final : public PairQueue<Dim> {
 
   void Push(const PairEntry<Dim>& entry) override {
     heap_.Push(entry);
+    max_size_ = std::max(max_size_, heap_.Size());
+  }
+  void PushBulk(const PairEntry<Dim>* entries, size_t n) override {
+    for (size_t i = 0; i < n; ++i) heap_.Push(entries[i]);
+    // Size grows monotonically across the pushes, so one update suffices.
     max_size_ = std::max(max_size_, heap_.Size());
   }
   bool Empty() override { return heap_.Empty(); }

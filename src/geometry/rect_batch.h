@@ -1,0 +1,342 @@
+// Structure-of-arrays rectangle batches and batched distance kernels.
+//
+// The join's hot loop scores up to fan-out^2 child pairs per dequeued
+// node/node pair (Section 2.2.2). The scalar functions in geometry/distance.h
+// walk one Rect at a time through a runtime metric switch, which defeats
+// auto-vectorization. A RectBatch stores the lo/hi coordinates of many
+// rectangles as Dim contiguous arrays each, so the kernels below are tight
+// countable loops (metric resolved once per batch, per-dimension work
+// unrolled at compile time) that the compiler can vectorize.
+//
+// Contract: every kernel is BIT-IDENTICAL to its scalar counterpart — the
+// per-element arithmetic is the same sequence of IEEE operations, only
+// reordered across elements, never within one. The engine relies on this to
+// keep the parallel expansion's output stream equal to the serial engine's
+// (see DESIGN.md §10); tests/geometry_distance_test.cc enforces it with
+// exact (==) comparisons over random batches. When touching a kernel, change
+// the matching scalar function in lockstep or those tests will fail.
+#ifndef SDJOIN_GEOMETRY_RECT_BATCH_H_
+#define SDJOIN_GEOMETRY_RECT_BATCH_H_
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstddef>
+#include <type_traits>
+#include <vector>
+
+#include "geometry/metrics.h"
+#include "geometry/point.h"
+#include "geometry/rect.h"
+
+namespace sdj {
+
+// A batch of axis-aligned rectangles in structure-of-arrays form: for each
+// dimension d, lo(d) and hi(d) are contiguous arrays of length size().
+template <int Dim>
+class RectBatch {
+ public:
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void clear() { size_ = 0; }
+
+  void reserve(size_t n) {
+    for (int d = 0; d < Dim; ++d) {
+      lo_[d].reserve(n);
+      hi_[d].reserve(n);
+    }
+  }
+
+  // Grows or shrinks to n elements; grown slots are uninitialized-by-intent
+  // (callers fill them via set()).
+  void resize(size_t n) {
+    for (int d = 0; d < Dim; ++d) {
+      lo_[d].resize(n);
+      hi_[d].resize(n);
+    }
+    size_ = n;
+  }
+
+  void push_back(const Rect<Dim>& r) {
+    for (int d = 0; d < Dim; ++d) {
+      lo_[d].push_back(r.lo[d]);
+      hi_[d].push_back(r.hi[d]);
+    }
+    ++size_;
+  }
+
+  void set(size_t i, const Rect<Dim>& r) {
+    for (int d = 0; d < Dim; ++d) {
+      lo_[d][i] = r.lo[d];
+      hi_[d][i] = r.hi[d];
+    }
+  }
+
+  Rect<Dim> rect(size_t i) const {
+    Rect<Dim> r;
+    for (int d = 0; d < Dim; ++d) {
+      r.lo[d] = lo_[d][i];
+      r.hi[d] = hi_[d][i];
+    }
+    return r;
+  }
+
+  const double* lo(int d) const { return lo_[d].data(); }
+  const double* hi(int d) const { return hi_[d].data(); }
+
+ private:
+  std::array<std::vector<double>, Dim> lo_;
+  std::array<std::vector<double>, Dim> hi_;
+  size_t size_ = 0;
+};
+
+namespace batch_internal {
+
+// Compile-time mirrors of metric_internal::Accumulate/Finish. The
+// expressions must stay textually identical to the runtime versions in
+// geometry/metrics.h so both produce the same doubles.
+template <Metric M>
+inline double Acc(double acc, double delta) {
+  if constexpr (M == Metric::kEuclidean) {
+    return acc + delta * delta;
+  } else if constexpr (M == Metric::kManhattan) {
+    return acc + delta;
+  } else {
+    return std::max(acc, delta);
+  }
+}
+
+template <Metric M>
+inline double Fin(double acc) {
+  if constexpr (M == Metric::kEuclidean) return std::sqrt(acc);
+  return acc;
+}
+
+// Resolves the metric once per batch and invokes fn with it as a
+// compile-time constant, so kernel inner loops carry no switch.
+template <typename Fn>
+inline void Dispatch(Metric metric, Fn&& fn) {
+  switch (metric) {
+    case Metric::kEuclidean:
+      fn(std::integral_constant<Metric, Metric::kEuclidean>{});
+      return;
+    case Metric::kManhattan:
+      fn(std::integral_constant<Metric, Metric::kManhattan>{});
+      return;
+    case Metric::kChessboard:
+      fn(std::integral_constant<Metric, Metric::kChessboard>{});
+      return;
+  }
+}
+
+}  // namespace batch_internal
+
+// MINDIST(batch[i], q) for i in [begin, end). Matches MinDist(Rect, Rect):
+// the branchless per-dimension gap max(0, max(q.lo - hi_i, lo_i - q.hi))
+// equals the scalar if/else chain for all valid (lo <= hi) rectangles,
+// including the zero cases (a - a is +0.0 in round-to-nearest).
+template <int Dim>
+void MinDistBatch(const RectBatch<Dim>& batch, const Rect<Dim>& q,
+                  Metric metric, double* out, size_t begin = 0,
+                  size_t end = static_cast<size_t>(-1)) {
+  end = std::min(end, batch.size());
+  batch_internal::Dispatch(metric, [&](auto m) {
+    constexpr Metric M = decltype(m)::value;
+    for (size_t i = begin; i < end; ++i) {
+      double acc = 0.0;
+      for (int d = 0; d < Dim; ++d) {
+        const double delta = std::max(
+            0.0, std::max(q.lo[d] - batch.hi(d)[i], batch.lo(d)[i] - q.hi[d]));
+        acc = batch_internal::Acc<M>(acc, delta);
+      }
+      out[i] = batch_internal::Fin<M>(acc);
+    }
+  });
+}
+
+// MINDIST(batch[i], p) for a point query (the NN engines). Matches
+// MinDist(Point, Rect).
+template <int Dim>
+void MinDistBatch(const RectBatch<Dim>& batch, const Point<Dim>& p,
+                  Metric metric, double* out, size_t begin = 0,
+                  size_t end = static_cast<size_t>(-1)) {
+  end = std::min(end, batch.size());
+  batch_internal::Dispatch(metric, [&](auto m) {
+    constexpr Metric M = decltype(m)::value;
+    for (size_t i = begin; i < end; ++i) {
+      double acc = 0.0;
+      for (int d = 0; d < Dim; ++d) {
+        const double delta = std::max(
+            0.0, std::max(batch.lo(d)[i] - p[d], p[d] - batch.hi(d)[i]));
+        acc = batch_internal::Acc<M>(acc, delta);
+      }
+      out[i] = batch_internal::Fin<M>(acc);
+    }
+  });
+}
+
+// MAXDIST(batch[i], q). Matches MaxDist(Rect, Rect) (symmetric).
+template <int Dim>
+void MaxDistBatch(const RectBatch<Dim>& batch, const Rect<Dim>& q,
+                  Metric metric, double* out, size_t begin = 0,
+                  size_t end = static_cast<size_t>(-1)) {
+  end = std::min(end, batch.size());
+  batch_internal::Dispatch(metric, [&](auto m) {
+    constexpr Metric M = decltype(m)::value;
+    for (size_t i = begin; i < end; ++i) {
+      double acc = 0.0;
+      for (int d = 0; d < Dim; ++d) {
+        const double delta = std::max(std::abs(batch.hi(d)[i] - q.lo[d]),
+                                      std::abs(q.hi[d] - batch.lo(d)[i]));
+        acc = batch_internal::Acc<M>(acc, delta);
+      }
+      out[i] = batch_internal::Fin<M>(acc);
+    }
+  });
+}
+
+// MAXDIST(batch[i], p) for a point query. Matches MaxDist(Point, Rect),
+// whose per-dimension delta is FartherFaceDelta(p, lo, hi).
+template <int Dim>
+void MaxDistBatch(const RectBatch<Dim>& batch, const Point<Dim>& p,
+                  Metric metric, double* out, size_t begin = 0,
+                  size_t end = static_cast<size_t>(-1)) {
+  end = std::min(end, batch.size());
+  batch_internal::Dispatch(metric, [&](auto m) {
+    constexpr Metric M = decltype(m)::value;
+    for (size_t i = begin; i < end; ++i) {
+      double acc = 0.0;
+      for (int d = 0; d < Dim; ++d) {
+        const double delta = std::max(std::abs(p[d] - batch.lo(d)[i]),
+                                      std::abs(p[d] - batch.hi(d)[i]));
+        acc = batch_internal::Acc<M>(acc, delta);
+      }
+      out[i] = batch_internal::Fin<M>(acc);
+    }
+  });
+}
+
+// MINMAXDIST(batch[i], q). Matches MinMaxDist(Rect, Rect) (symmetric): the
+// same face_gap/max_delta construction and the same min-over-k fold,
+// including the best < 0 seeding, so candidate selection ties break alike.
+template <int Dim>
+void MinMaxDistBatch(const RectBatch<Dim>& batch, const Rect<Dim>& q,
+                     Metric metric, double* out, size_t begin = 0,
+                     size_t end = static_cast<size_t>(-1)) {
+  end = std::min(end, batch.size());
+  batch_internal::Dispatch(metric, [&](auto m) {
+    constexpr Metric M = decltype(m)::value;
+    for (size_t i = begin; i < end; ++i) {
+      double face_gap[Dim];
+      double max_delta[Dim];
+      for (int d = 0; d < Dim; ++d) {
+        const double alo = batch.lo(d)[i];
+        const double ahi = batch.hi(d)[i];
+        face_gap[d] = std::min(
+            std::min(std::abs(alo - q.lo[d]), std::abs(alo - q.hi[d])),
+            std::min(std::abs(ahi - q.lo[d]), std::abs(ahi - q.hi[d])));
+        max_delta[d] =
+            std::max(std::abs(ahi - q.lo[d]), std::abs(q.hi[d] - alo));
+      }
+      double best = -1.0;
+      for (int k = 0; k < Dim; ++k) {
+        double acc = 0.0;
+        for (int d = 0; d < Dim; ++d) {
+          acc = batch_internal::Acc<M>(acc,
+                                       d == k ? face_gap[d] : max_delta[d]);
+        }
+        const double candidate = batch_internal::Fin<M>(acc);
+        if (best < 0.0 || candidate < best) best = candidate;
+      }
+      out[i] = best;
+    }
+  });
+}
+
+// MAXMINDIST: asymmetric, so the caller states which side the batch is on.
+// batch_is_first: out[i] = MaxMinDist(batch[i], q); else MaxMinDist(q,
+// batch[i]). Matches MaxMinDist(Rect, Rect).
+template <int Dim>
+void MaxMinDistBatch(const RectBatch<Dim>& batch, const Rect<Dim>& q,
+                     Metric metric, bool batch_is_first, double* out,
+                     size_t begin = 0, size_t end = static_cast<size_t>(-1)) {
+  end = std::min(end, batch.size());
+  batch_internal::Dispatch(metric, [&](auto m) {
+    constexpr Metric M = decltype(m)::value;
+    if (batch_is_first) {
+      for (size_t i = begin; i < end; ++i) {
+        double acc = 0.0;
+        for (int d = 0; d < Dim; ++d) {
+          const double delta = std::max(
+              0.0,
+              std::max(q.lo[d] - batch.lo(d)[i], batch.hi(d)[i] - q.hi[d]));
+          acc = batch_internal::Acc<M>(acc, delta);
+        }
+        out[i] = batch_internal::Fin<M>(acc);
+      }
+    } else {
+      for (size_t i = begin; i < end; ++i) {
+        double acc = 0.0;
+        for (int d = 0; d < Dim; ++d) {
+          const double delta = std::max(
+              0.0,
+              std::max(batch.lo(d)[i] - q.lo[d], q.hi[d] - batch.hi(d)[i]));
+          acc = batch_internal::Acc<M>(acc, delta);
+        }
+        out[i] = batch_internal::Fin<M>(acc);
+      }
+    }
+  });
+}
+
+// MAXMINMAXDIST: asymmetric like MaxMinDistBatch. batch_is_first:
+// out[i] = MaxMinMaxDist(batch[i], q), i.e. the batch supplies the outer
+// ("for every point of a") rectangle; else q does. Matches
+// MaxMinMaxDist(Rect, Rect) exactly, including the midpoint-peak case.
+template <int Dim>
+void MaxMinMaxDistBatch(const RectBatch<Dim>& batch, const Rect<Dim>& q,
+                        Metric metric, bool batch_is_first, double* out,
+                        size_t begin = 0,
+                        size_t end = static_cast<size_t>(-1)) {
+  end = std::min(end, batch.size());
+  batch_internal::Dispatch(metric, [&](auto m) {
+    constexpr Metric M = decltype(m)::value;
+    for (size_t i = begin; i < end; ++i) {
+      double near_max[Dim];
+      double far_max[Dim];
+      for (int d = 0; d < Dim; ++d) {
+        // a ranges over the outer rectangle; b's interval supplies the faces.
+        const double a_lo = batch_is_first ? batch.lo(d)[i] : q.lo[d];
+        const double a_hi = batch_is_first ? batch.hi(d)[i] : q.hi[d];
+        const double lo = batch_is_first ? q.lo[d] : batch.lo(d)[i];
+        const double hi = batch_is_first ? q.hi[d] : batch.hi(d)[i];
+        const double mid = 0.5 * (lo + hi);
+        double nm =
+            std::max(std::min(std::abs(a_lo - lo), std::abs(a_lo - hi)),
+                     std::min(std::abs(a_hi - lo), std::abs(a_hi - hi)));
+        if (a_lo <= mid && mid <= a_hi) {
+          nm = std::max(nm, 0.5 * (hi - lo));
+        }
+        near_max[d] = nm;
+        far_max[d] = std::max(std::max(std::abs(a_lo - lo), std::abs(a_lo - hi)),
+                              std::max(std::abs(a_hi - lo), std::abs(a_hi - hi)));
+      }
+      double best = -1.0;
+      for (int k = 0; k < Dim; ++k) {
+        double acc = 0.0;
+        for (int d = 0; d < Dim; ++d) {
+          acc =
+              batch_internal::Acc<M>(acc, d == k ? near_max[d] : far_max[d]);
+        }
+        const double candidate = batch_internal::Fin<M>(acc);
+        if (best < 0.0 || candidate < best) best = candidate;
+      }
+      out[i] = best;
+    }
+  });
+}
+
+}  // namespace sdj
+
+#endif  // SDJOIN_GEOMETRY_RECT_BATCH_H_

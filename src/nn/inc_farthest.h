@@ -11,11 +11,13 @@
 
 #include <cstdint>
 #include <queue>
+#include <vector>
 
 #include "geometry/distance.h"
 #include "geometry/metrics.h"
 #include "geometry/point.h"
 #include "geometry/rect.h"
+#include "geometry/rect_batch.h"
 #include "nn/inc_nearest.h"
 #include "rtree/rtree.h"
 #include "util/check.h"
@@ -54,14 +56,21 @@ class IncFarthestNeighbor {
         return true;
       }
       ++stats_.nodes_expanded;
-      typename Index::PinnedNode node =
-          tree_.Pin(static_cast<storage::PageId>(item.ref));
-      const bool leaf = node.is_leaf();
-      for (uint32_t i = 0; i < node.count(); ++i) {
-        const Rect<Dim> rect = node.rect(i);
-        const double d = MaxDist(query_, rect, metric_);
-        ++stats_.distance_calcs;
-        Push(QueueItem{d, leaf, node.ref(i), leaf ? rect : Rect<Dim>()});
+      bool leaf;
+      {
+        typename Index::PinnedNode node =
+            tree_.Pin(static_cast<storage::PageId>(item.ref));
+        node.DecodeInto(&batch_, &refs_);
+        leaf = node.is_leaf();
+      }
+      // Batched MAXDIST against the query point (geometry/rect_batch.h).
+      const size_t n = batch_.size();
+      maxd_.resize(n);
+      MaxDistBatch(batch_, query_, metric_, maxd_.data());
+      stats_.distance_calcs += n;
+      for (size_t i = 0; i < n; ++i) {
+        Push(QueueItem{maxd_[i], leaf, refs_[i],
+                       leaf ? batch_.rect(i) : Rect<Dim>()});
       }
     }
     return false;
@@ -94,6 +103,10 @@ class IncFarthestNeighbor {
   const Point<Dim> query_;
   const Metric metric_;
   std::priority_queue<QueueItem> queue_;
+  // Node-decode scratch, reused across expansions.
+  RectBatch<Dim> batch_;
+  std::vector<uint64_t> refs_;
+  std::vector<double> maxd_;
   IncNearestStats stats_;
 };
 

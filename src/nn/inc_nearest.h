@@ -18,6 +18,7 @@
 #include "geometry/metrics.h"
 #include "geometry/point.h"
 #include "geometry/rect.h"
+#include "geometry/rect_batch.h"
 #include "rtree/rtree.h"
 #include "util/check.h"
 
@@ -70,14 +71,22 @@ class IncNearestNeighbor {
         return true;
       }
       ++stats_.nodes_expanded;
-      typename Index::PinnedNode node =
-          tree_.Pin(static_cast<storage::PageId>(item.ref));
-      const bool leaf = node.is_leaf();
-      for (uint32_t i = 0; i < node.count(); ++i) {
-        const Rect<Dim> rect = node.rect(i);
-        const double d = MinDist(query_, rect, metric_);
-        ++stats_.distance_calcs;
-        Push(QueueItem{d, leaf, node.ref(i), leaf ? rect : Rect<Dim>()});
+      bool leaf;
+      {
+        typename Index::PinnedNode node =
+            tree_.Pin(static_cast<storage::PageId>(item.ref));
+        node.DecodeInto(&batch_, &refs_);
+        leaf = node.is_leaf();
+      }
+      // Score the whole node against the query point in one batched kernel
+      // (bit-identical to the scalar loop; geometry/rect_batch.h).
+      const size_t n = batch_.size();
+      mind_.resize(n);
+      MinDistBatch(batch_, query_, metric_, mind_.data());
+      stats_.distance_calcs += n;
+      for (size_t i = 0; i < n; ++i) {
+        Push(QueueItem{mind_[i], leaf, refs_[i],
+                       leaf ? batch_.rect(i) : Rect<Dim>()});
       }
     }
     return false;
@@ -111,6 +120,10 @@ class IncNearestNeighbor {
   const Point<Dim> query_;
   const Metric metric_;
   std::priority_queue<QueueItem> queue_;
+  // Node-decode scratch, reused across expansions.
+  RectBatch<Dim> batch_;
+  std::vector<uint64_t> refs_;
+  std::vector<double> mind_;
   IncNearestStats stats_;
 };
 

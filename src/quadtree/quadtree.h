@@ -129,6 +129,11 @@ class PointQuadtree {
     Rect<Dim> rect(uint32_t i) const { return Layout::GetRect(data_, i); }
     // Child page id (interior) or object id (leaf).
     uint64_t ref(uint32_t i) const { return Layout::GetRef(data_, i); }
+    // Batch decode; same contract as RTree::PinnedNode::DecodeInto.
+    void DecodeInto(RectBatch<Dim>* rects, std::vector<uint64_t>* refs)
+        const {
+      Layout::DecodeEntries(data_, rects, refs);
+    }
 
    private:
     storage::BufferPool* pool_;

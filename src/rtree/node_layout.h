@@ -19,8 +19,10 @@
 
 #include <cstdint>
 #include <cstring>
+#include <vector>
 
 #include "geometry/rect.h"
+#include "geometry/rect_batch.h"
 #include "util/check.h"
 
 namespace sdj::rtree_internal {
@@ -67,6 +69,23 @@ struct NodeLayout {
     std::memcpy(base, r.lo.coords.data(), Dim * sizeof(double));
     std::memcpy(base + Dim * sizeof(double), r.hi.coords.data(),
                 Dim * sizeof(double));
+  }
+
+  // Decodes every entry of the page at once: the MBRs transposed into
+  // structure-of-arrays form for the batched distance kernels
+  // (geometry/rect_batch.h), the refs into a plain array. One pass over the
+  // page instead of per-entry GetRect/GetRef calls in the join's expansion
+  // loop. Prior contents of the outputs are replaced.
+  static void DecodeEntries(const char* page, RectBatch<Dim>* rects,
+                            std::vector<uint64_t>* refs) {
+    const uint32_t n = GetCount(page);
+    rects->resize(n);
+    refs->resize(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      const char* base = page + kHeaderSize + i * kEntrySize;
+      rects->set(i, GetRect(page, i));
+      std::memcpy(&(*refs)[i], base + kRectSize, sizeof(uint64_t));
+    }
   }
 
   static uint64_t GetRef(const char* page, uint32_t i) {

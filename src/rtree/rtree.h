@@ -178,6 +178,12 @@ class RTree {
     Rect<Dim> rect(uint32_t i) const { return Layout::GetRect(data_, i); }
     // Child page id (interior nodes) or object id (leaves).
     uint64_t ref(uint32_t i) const { return Layout::GetRef(data_, i); }
+    // Decodes all entries straight off the page into structure-of-arrays
+    // form for the batched distance kernels (one pass, replaces contents).
+    void DecodeInto(RectBatch<Dim>* rects, std::vector<uint64_t>* refs)
+        const {
+      Layout::DecodeEntries(data_, rects, refs);
+    }
 
    private:
     storage::BufferPool* pool_;

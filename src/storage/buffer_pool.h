@@ -1,4 +1,4 @@
-// LRU buffer pool over a PageFile.
+// LRU buffer pool over a PageFile, safe for concurrent readers.
 //
 // Reproduces the paper's experimental setup of a fixed buffer over fixed-size
 // R-tree nodes (Section 3.1: 1K nodes, 256K of buffer memory). The pool's
@@ -8,12 +8,31 @@
 // transient and checksum-corrupt page reads are re-issued with bounded
 // backoff, and only an unrecoverable fault surfaces to the caller — through
 // TryPin/TryNewPage, which report status instead of aborting.
+//
+// Concurrency (DESIGN.md §10): the page table is sharded, each shard with
+// its own mutex, so TryPin calls for different pages proceed in parallel;
+// buffer hits touch only their shard (plus a brief LRU-list update). Frames
+// being filled or written back are marked busy and waited on through the
+// shard's condition variable, so a page is never loaded twice concurrently.
+// Replacement stays a single global LRU (one mutex around the list + free
+// stack) so the eviction sequence — and therefore the Node I/O counters of
+// every single-threaded experiment — is exactly the serial pool's. Physical
+// PageFile operations are serialized behind one mutex: the backends'
+// decorator stack (checksums, fault injection) is stateful, and keeping
+// reads in issue order keeps seeded fault schedules deterministic. I/O
+// counters are atomics, so IoStats stays accurate under concurrency.
+// Concurrent callers must not mutate page contents without external
+// coordination (the join engines are pure readers).
 #ifndef SDJOIN_STORAGE_BUFFER_POOL_H_
 #define SDJOIN_STORAGE_BUFFER_POOL_H_
 
+#include <array>
+#include <atomic>
+#include <condition_variable>
 #include <cstdint>
 #include <list>
 #include <memory>
+#include <mutex>
 #include <unordered_map>
 #include <vector>
 
@@ -55,9 +74,9 @@ class BufferPool {
   BufferPool(const BufferPool&) = delete;
   BufferPool& operator=(const BufferPool&) = delete;
 
-  uint32_t page_size() const { return file_->page_size(); }
+  uint32_t page_size() const { return page_size_; }
   uint32_t capacity() const { return capacity_; }
-  PageId num_pages() const { return file_->num_pages(); }
+  PageId num_pages() const;
   const RetryPolicy& retry_policy() const { return retry_; }
 
   // Allocates a fresh zeroed page, pins it, and returns its buffer; null if
@@ -67,7 +86,8 @@ class BufferPool {
 
   // Pins page `id` and returns its buffer, or null if the page could not be
   // read (after retries) or no frame could be freed. On success the page
-  // stays resident until the matching Unpin (pins nest).
+  // stays resident until the matching Unpin (pins nest). Safe to call
+  // concurrently with other TryPin/Unpin calls.
   char* TryPin(PageId id, IoStatus* status = nullptr);
 
   // Aborting wrappers over TryNewPage/TryPin for callers with no recovery
@@ -81,7 +101,7 @@ class BufferPool {
 
   // Writes all dirty resident pages back to the file and syncs it. Returns
   // false if any page could not be written (it stays dirty) or the sync
-  // failed.
+  // failed. Not safe against concurrent writers of pinned pages.
   bool FlushAll();
 
   // Drops every unpinned page (writing dirty ones back). Pages whose
@@ -89,43 +109,99 @@ class BufferPool {
   // reproducible.
   void Invalidate();
 
-  const IoStats& stats() const { return stats_; }
-  void ResetStats() { stats_ = IoStats{}; }
+  // Snapshot of the I/O counters. (By value: counters are atomics that
+  // concurrent pins keep moving.)
+  IoStats stats() const;
+  void ResetStats();
 
  private:
   static constexpr uint32_t kNoFrame = ~0u;
+  static constexpr size_t kNumShards = 16;  // power of two
 
   struct Frame {
     std::unique_ptr<char[]> data;
+    // Stable while the frame is published in a shard table; changed only by
+    // the exclusive owner of an unpublished frame.
     PageId page_id = kInvalidPageId;
+    // Guarded by the owning shard's mutex.
     uint32_t pin_count = 0;
     bool dirty = false;
-    // Position in lru_ when the frame is resident and unpinned.
+    // True while an evictor writes the frame back; pinners wait on the
+    // shard cv. Guarded by the owning shard's mutex.
+    bool busy = false;
+    // Guarded by lru_mu_.
     std::list<uint32_t>::iterator lru_pos;
     bool in_lru = false;
   };
 
+  // One page-table shard. A table value of kNoFrame marks a load in
+  // progress (no frame published yet); waiters block on cv.
+  struct Shard {
+    std::mutex mu;
+    std::condition_variable cv;
+    std::unordered_map<PageId, uint32_t> table;
+  };
+
+  // Same fields as IoStats, as relaxed atomics.
+  struct AtomicIoStats {
+    std::atomic<uint64_t> logical_reads{0};
+    std::atomic<uint64_t> buffer_hits{0};
+    std::atomic<uint64_t> buffer_misses{0};
+    std::atomic<uint64_t> physical_reads{0};
+    std::atomic<uint64_t> physical_writes{0};
+    std::atomic<uint64_t> read_retries{0};
+    std::atomic<uint64_t> write_retries{0};
+    std::atomic<uint64_t> checksum_failures{0};
+    std::atomic<uint64_t> read_failures{0};
+    std::atomic<uint64_t> write_failures{0};
+  };
+
+  Shard& ShardOf(PageId id) { return shards_[id & (kNumShards - 1)]; }
+
   // Read/write one page with bounded retries per retry_; update counters.
+  // The physical operation itself runs under file_mu_.
   IoStatus ReadWithRetry(PageId id, char* buffer);
   IoStatus WriteWithRetry(PageId id, const char* buffer);
 
-  // Returns a frame to load into, evicting an LRU unpinned page if needed;
-  // kNoFrame (with *status set) if every eviction candidate failed to write
-  // back. Aborts if every frame is pinned — that is a capacity bug, not I/O.
+  // Returns an unpublished frame to load into, evicting the LRU unpinned
+  // page if needed; kNoFrame (with *status set) if every eviction candidate
+  // failed to write back. Aborts if every frame is pinned — that is a
+  // capacity bug, not I/O. Must be called without any shard lock held.
   uint32_t GrabFrame(IoStatus* status);
 
-  // Writes the frame back if dirty and frees it. On write failure the frame
-  // stays resident and dirty, re-queued at the LRU tail; returns false.
-  bool EvictFrame(uint32_t frame_index);
+  enum class EvictResult {
+    kEvicted,      // frame unpublished; it belongs to the caller now
+    kSkipped,      // a racing pinner took the frame; it is theirs
+    kWriteFailed,  // dirty write-back failed; re-queued dirty at LRU tail
+  };
+
+  // Evicts `victim`, which the caller popped from the LRU list while it held
+  // `expected_page` (the page id must be read under lru_mu_ at pop time).
+  // The pop is a claim, not ownership: EvictVictim re-verifies under the
+  // shard lock that the frame still holds `expected_page` unpinned and
+  // returns kSkipped if a racing pinner — or a full revive/re-evict cycle
+  // that gave the frame a new owner — got there first. On kEvicted the frame
+  // is unpublished and handed back (to_free_list pushes it onto the free
+  // stack instead).
+  EvictResult EvictVictim(uint32_t victim, PageId expected_page,
+                          bool to_free_list);
 
   std::unique_ptr<PageFile> file_;
   const uint32_t capacity_;
+  const uint32_t page_size_;
   const RetryPolicy retry_;
   std::vector<Frame> frames_;
+
+  mutable std::mutex file_mu_;  // serializes every PageFile operation
+  std::mutex lru_mu_;           // guards lru_, free_frames_, in_lru/lru_pos
   std::vector<uint32_t> free_frames_;
-  std::unordered_map<PageId, uint32_t> page_table_;
   std::list<uint32_t> lru_;  // front = least recently used
-  IoStats stats_;
+  // Frames between GrabFrame and publish/free; lets GrabFrame distinguish
+  // "all pinned" (abort) from "all in flight" (wait).
+  std::atomic<uint32_t> in_flight_frames_{0};
+
+  std::array<Shard, kNumShards> shards_;
+  mutable AtomicIoStats stats_;
 };
 
 }  // namespace sdj::storage

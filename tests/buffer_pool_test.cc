@@ -1,6 +1,10 @@
 #include "storage/buffer_pool.h"
 
+#include <atomic>
 #include <cstring>
+#include <mutex>
+#include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
@@ -163,6 +167,137 @@ TEST(BufferPool, ManyPagesThrashCorrectly) {
     }
     pool.Unpin(static_cast<PageId>(i), false);
   }
+}
+
+// ---- concurrency (lock-striped page table) ----
+//
+// These tests are the TSan surface for the pool: run under the tsan preset
+// (scripts/check.sh) they prove the striping has no data races; run normally
+// they prove the concurrent bookkeeping stays exact.
+
+TEST(BufferPoolConcurrency, ConcurrentPinsOfDisjointPagesStayExact) {
+  // Capacity exceeds the working set, so after the warm-up every TryPin is a
+  // hit and the hit/miss split is exactly predictable even under threads.
+  const int kPages = 64;
+  const int kThreads = 8;
+  const int kItersPerThread = 2000;
+  BufferPool pool(NewMemoryPageFile(64), kPages);
+  std::vector<PageId> ids(kPages);
+  for (int i = 0; i < kPages; ++i) {
+    char* data = pool.NewPage(&ids[i]);
+    std::memset(data, i, pool.page_size());
+    pool.Unpin(ids[i], true);
+  }
+  pool.ResetStats();
+  std::vector<std::thread> threads;
+  std::atomic<int> corrupt{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int k = 0; k < kItersPerThread; ++k) {
+        const int p = (t * 31 + k * 17) % kPages;
+        char* data = pool.Pin(ids[p]);
+        if (static_cast<unsigned char>(data[0]) != static_cast<unsigned>(p)) {
+          corrupt.fetch_add(1);
+        }
+        pool.Unpin(ids[p], false);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(corrupt.load(), 0);
+  const IoStats stats = pool.stats();
+  EXPECT_EQ(stats.logical_reads,
+            static_cast<uint64_t>(kThreads) * kItersPerThread);
+  EXPECT_EQ(stats.buffer_hits,
+            static_cast<uint64_t>(kThreads) * kItersPerThread);
+  EXPECT_EQ(stats.buffer_misses, 0u);
+}
+
+TEST(BufferPoolConcurrency, ConcurrentThrashingKeepsDataIntact) {
+  // Working set far above capacity: threads continuously force evictions and
+  // reloads of each other's pages, including dirty write-backs.
+  const int kPages = 96;
+  const uint32_t kCapacity = 8;
+  const int kThreads = 8;
+  const int kItersPerThread = 500;
+  BufferPool pool(NewMemoryPageFile(64), kCapacity);
+  std::vector<PageId> ids(kPages);
+  for (int i = 0; i < kPages; ++i) {
+    char* data = pool.NewPage(&ids[i]);
+    std::memset(data, i, pool.page_size());
+    pool.Unpin(ids[i], true);
+  }
+  std::vector<std::thread> threads;
+  std::atomic<int> corrupt{0};
+  // The pool's contract makes callers coordinate concurrent mutation of the
+  // same page's CONTENTS (join engines are pure readers); one mutex per page
+  // provides that, while pin/unpin/evict below it stay fully concurrent.
+  std::vector<std::mutex> page_mu(kPages);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int k = 0; k < kItersPerThread; ++k) {
+        const int p = (t * 13 + k * 7) % kPages;
+        std::lock_guard<std::mutex> page_lock(page_mu[p]);
+        char* data = pool.Pin(ids[p]);
+        // Every byte of the page must match what its owner last wrote: a
+        // torn eviction or racing reload would surface here.
+        bool ok = true;
+        for (uint32_t j = 0; j < pool.page_size(); ++j) {
+          ok = ok && static_cast<unsigned char>(data[j]) ==
+                         static_cast<unsigned char>(p);
+        }
+        if (!ok) corrupt.fetch_add(1);
+        // Rewrite the same contents dirty, exercising write-back.
+        std::memset(data, p, pool.page_size());
+        pool.Unpin(ids[p], true);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(corrupt.load(), 0);
+  const IoStats stats = pool.stats();
+  EXPECT_EQ(stats.logical_reads, stats.buffer_hits + stats.buffer_misses);
+  EXPECT_EQ(stats.read_failures, 0u);
+  EXPECT_EQ(stats.write_failures, 0u);
+  ASSERT_TRUE(pool.FlushAll());
+  for (int i = 0; i < kPages; ++i) {
+    char* data = pool.Pin(ids[i]);
+    for (uint32_t j = 0; j < pool.page_size(); ++j) {
+      ASSERT_EQ(static_cast<unsigned char>(data[j]),
+                static_cast<unsigned char>(i));
+    }
+    pool.Unpin(ids[i], false);
+  }
+}
+
+TEST(BufferPoolConcurrency, SamePageLoadedOnceUnderContention) {
+  // Many threads pinning ONE uncached page: the in-progress sentinel must
+  // collapse them onto a single physical load (one miss, the rest hits).
+  const int kThreads = 8;
+  BufferPool pool(NewMemoryPageFile(64), 4);
+  PageId id;
+  char* data = pool.NewPage(&id);
+  std::memset(data, 0x42, pool.page_size());
+  pool.Unpin(id, true);
+  ASSERT_TRUE(pool.FlushAll());
+  pool.Invalidate();
+  pool.ResetStats();
+  std::vector<std::thread> threads;
+  std::atomic<int> bad{0};
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&] {
+      char* page = pool.Pin(id);
+      if (static_cast<unsigned char>(page[5]) != 0x42) bad.fetch_add(1);
+      pool.Unpin(id, false);
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(bad.load(), 0);
+  const IoStats stats = pool.stats();
+  EXPECT_EQ(stats.logical_reads, static_cast<uint64_t>(kThreads));
+  EXPECT_EQ(stats.buffer_misses, 1u);
+  EXPECT_EQ(stats.buffer_hits, static_cast<uint64_t>(kThreads) - 1);
+  EXPECT_EQ(stats.physical_reads, 1u);
 }
 
 }  // namespace

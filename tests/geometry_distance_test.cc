@@ -13,6 +13,7 @@
 #include "geometry/metrics.h"
 #include "geometry/point.h"
 #include "geometry/rect.h"
+#include "geometry/rect_batch.h"
 #include "util/rng.h"
 
 namespace sdj {
@@ -347,6 +348,124 @@ TEST(Distance, HigherDimensions) {
   const Point<4> p{0, 0, 0, 0};
   EXPECT_DOUBLE_EQ(MinDist(p, b), 3.0);
   EXPECT_LE(MinMaxDist(p, b), MaxDist(p, b));
+}
+
+// ---- batched kernels (geometry/rect_batch.h) ----
+//
+// The contract is bit-identity with the scalar functions: every comparison
+// below is exact (EXPECT_EQ, not EXPECT_DOUBLE_EQ). The parallel expansion's
+// determinism guarantee (DESIGN.md §10) rests on this, so a ULP of drift
+// here is a real bug, not test flakiness.
+
+template <int Dim>
+Rect<Dim> RandomRectN(Rng& rng, double span, bool degenerate) {
+  Rect<Dim> r;
+  for (int d = 0; d < Dim; ++d) {
+    const double a = rng.Uniform(-span, span);
+    const double b = degenerate ? a : rng.Uniform(-span, span);
+    r.lo[d] = std::min(a, b);
+    r.hi[d] = std::max(a, b);
+  }
+  return r;
+}
+
+template <int Dim>
+void CheckBatchKernelsMatchScalar(Metric metric, uint64_t seed) {
+  Rng rng(seed);
+  RectBatch<Dim> batch;
+  std::vector<Rect<Dim>> rects;
+  // 131 rectangles: not a multiple of any natural vector width, with every
+  // 7th degenerate (a point) to hit the zero-gap cases.
+  for (int i = 0; i < 131; ++i) {
+    rects.push_back(RandomRectN<Dim>(rng, 50.0, /*degenerate=*/i % 7 == 0));
+    batch.push_back(rects.back());
+  }
+  const Rect<Dim> q = RandomRectN<Dim>(rng, 50.0, /*degenerate=*/false);
+  Point<Dim> p;
+  for (int d = 0; d < Dim; ++d) p[d] = rng.Uniform(-50.0, 50.0);
+  const size_t n = rects.size();
+  std::vector<double> out(n);
+
+  MinDistBatch(batch, q, metric, out.data());
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(out[i], MinDist(rects[i], q, metric)) << i;
+    // MINDIST is symmetric bit-for-bit (at most one interval gap per
+    // dimension is positive), which the engine relies on to batch either
+    // side of a pair.
+    ASSERT_EQ(out[i], MinDist(q, rects[i], metric)) << i;
+  }
+  MinDistBatch(batch, p, metric, out.data());
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(out[i], MinDist(p, rects[i], metric)) << i;
+  }
+  MaxDistBatch(batch, q, metric, out.data());
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(out[i], MaxDist(rects[i], q, metric)) << i;
+    ASSERT_EQ(out[i], MaxDist(q, rects[i], metric)) << i;
+  }
+  MaxDistBatch(batch, p, metric, out.data());
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(out[i], MaxDist(p, rects[i], metric)) << i;
+  }
+  MinMaxDistBatch(batch, q, metric, out.data());
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(out[i], MinMaxDist(rects[i], q, metric)) << i;
+  }
+  MaxMinDistBatch(batch, q, metric, /*batch_is_first=*/true, out.data());
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(out[i], MaxMinDist(rects[i], q, metric)) << i;
+  }
+  MaxMinDistBatch(batch, q, metric, /*batch_is_first=*/false, out.data());
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(out[i], MaxMinDist(q, rects[i], metric)) << i;
+  }
+  MaxMinMaxDistBatch(batch, q, metric, /*batch_is_first=*/true, out.data());
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(out[i], MaxMinMaxDist(rects[i], q, metric)) << i;
+  }
+  MaxMinMaxDistBatch(batch, q, metric, /*batch_is_first=*/false, out.data());
+  for (size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(out[i], MaxMinMaxDist(q, rects[i], metric)) << i;
+  }
+
+  // Sub-range invocation (the sharded classify path) writes only [begin,
+  // end) and produces the same values as the full-batch call.
+  std::vector<double> full(n);
+  MinDistBatch(batch, q, metric, full.data());
+  std::vector<double> sharded(n, -1.0);
+  const size_t mid = n / 3;
+  MinDistBatch(batch, q, metric, sharded.data(), 0, mid);
+  MinDistBatch(batch, q, metric, sharded.data(), mid, n);
+  for (size_t i = 0; i < n; ++i) ASSERT_EQ(sharded[i], full[i]) << i;
+}
+
+TEST_P(MetricSweep, BatchKernelsBitIdenticalToScalar2D) {
+  CheckBatchKernelsMatchScalar<2>(GetParam(), 2024);
+}
+
+TEST_P(MetricSweep, BatchKernelsBitIdenticalToScalar3D) {
+  CheckBatchKernelsMatchScalar<3>(GetParam(), 2025);
+}
+
+TEST_P(MetricSweep, BatchKernelsBitIdenticalToScalar4D) {
+  CheckBatchKernelsMatchScalar<4>(GetParam(), 2026);
+}
+
+TEST(RectBatchTest, RoundTripAndResize) {
+  RectBatch<2> batch;
+  EXPECT_TRUE(batch.empty());
+  const Rect<2> a({0, 1}, {2, 3});
+  const Rect<2> b({-5, -4}, {-3, -2});
+  batch.push_back(a);
+  batch.push_back(b);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch.rect(0), a);
+  EXPECT_EQ(batch.rect(1), b);
+  batch.resize(3);
+  batch.set(2, a);
+  EXPECT_EQ(batch.rect(2), a);
+  batch.clear();
+  EXPECT_TRUE(batch.empty());
 }
 
 }  // namespace

@@ -3,6 +3,8 @@
 // each validated pair-for-pair against brute force; plus structural edge
 // cases (wildly uneven tree sizes, single objects, non-dense ids, 3-D).
 #include <algorithm>
+#include <optional>
+#include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -205,6 +207,202 @@ TEST(JoinEdgeCases, ThreeDimensionalJoin) {
   for (size_t k = 0; k < 500; ++k) {
     ASSERT_TRUE(join.Next(&pair)) << k;
     ASSERT_NEAR(pair.distance, reference[k], 1e-9) << k;
+  }
+}
+
+// ---- parallel expansion determinism (DESIGN.md §10) ----
+//
+// The acceptance gate for num_threads > 1 is bit-identity with the serial
+// engine: the same pair sequence (ids AND exact distance doubles), the same
+// counters, the same terminal status. Every comparison below is exact.
+
+struct JoinTrace {
+  std::vector<JoinResult<2>> pairs;
+  JoinStatus status = JoinStatus::kOk;
+  JoinStats stats;
+};
+
+template <typename JoinT>
+JoinTrace DrainJoin(JoinT& join) {
+  JoinTrace trace;
+  JoinResult<2> pair;
+  while (join.Next(&pair)) trace.pairs.push_back(pair);
+  trace.status = join.status();
+  trace.stats = join.stats();
+  return trace;
+}
+
+// Asserts two traces are identical. `parallel_expansions` is the one counter
+// allowed to differ (it reports how the work was done, not what was done).
+void ExpectTracesIdentical(const JoinTrace& serial, const JoinTrace& other,
+                           int threads) {
+  ASSERT_EQ(serial.pairs.size(), other.pairs.size()) << threads << " threads";
+  for (size_t i = 0; i < serial.pairs.size(); ++i) {
+    ASSERT_EQ(serial.pairs[i].id1, other.pairs[i].id1) << i;
+    ASSERT_EQ(serial.pairs[i].id2, other.pairs[i].id2) << i;
+    ASSERT_EQ(serial.pairs[i].distance, other.pairs[i].distance) << i;
+    ASSERT_EQ(serial.pairs[i].rect1, other.pairs[i].rect1) << i;
+    ASSERT_EQ(serial.pairs[i].rect2, other.pairs[i].rect2) << i;
+  }
+  EXPECT_EQ(serial.status, other.status) << threads << " threads";
+  const JoinStats& s = serial.stats;
+  const JoinStats& o = other.stats;
+  EXPECT_EQ(s.pairs_reported, o.pairs_reported);
+  EXPECT_EQ(s.object_distance_calcs, o.object_distance_calcs);
+  EXPECT_EQ(s.total_distance_calcs, o.total_distance_calcs);
+  EXPECT_EQ(s.queue_pushes, o.queue_pushes);
+  EXPECT_EQ(s.queue_pops, o.queue_pops);
+  EXPECT_EQ(s.max_queue_size, o.max_queue_size);
+  EXPECT_EQ(s.node_io, o.node_io);
+  EXPECT_EQ(s.node_accesses, o.node_accesses);
+  EXPECT_EQ(s.nodes_expanded, o.nodes_expanded);
+  EXPECT_EQ(s.pruned_by_range, o.pruned_by_range);
+  EXPECT_EQ(s.pruned_by_estimate, o.pruned_by_estimate);
+  EXPECT_EQ(s.pruned_by_bound, o.pruned_by_bound);
+  EXPECT_EQ(s.pruned_by_filter, o.pruned_by_filter);
+  EXPECT_EQ(s.filtered_reported, o.filtered_reported);
+  EXPECT_EQ(s.restarts, o.restarts);
+  EXPECT_EQ(s.io_retries, o.io_retries);
+  EXPECT_EQ(s.checksum_failures, o.checksum_failures);
+  EXPECT_EQ(s.batch_kernel_invocations, o.batch_kernel_invocations);
+}
+
+class ParallelJoinFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParallelJoinFuzz,
+                         ::testing::Range<uint64_t>(1, 9));
+
+TEST_P(ParallelJoinFuzz, ThreadCountNeverChangesTheOutputStream) {
+  Rng rng(GetParam() * 6151);
+  const size_t na = 200 + rng.NextBounded(600);
+  const size_t nb = 200 + rng.NextBounded(600);
+  const Rect<2> extent({0, 0}, {1000, 1000});
+  const auto a = data::GenerateUniform(na, extent, rng.NextUint64());
+  const auto b = data::GenerateUniform(nb, extent, rng.NextUint64());
+
+  DistanceJoinOptions options;
+  const Metric metrics[] = {Metric::kEuclidean, Metric::kManhattan,
+                            Metric::kChessboard};
+  options.metric = metrics[rng.NextBounded(3)];
+  const NodeProcessingPolicy policies[] = {NodeProcessingPolicy::kEven,
+                                           NodeProcessingPolicy::kBasic,
+                                           NodeProcessingPolicy::kSimultaneous};
+  options.node_policy = policies[rng.NextBounded(3)];
+  options.tie_break = rng.NextDouble() < 0.5 ? TieBreakPolicy::kDepthFirst
+                                             : TieBreakPolicy::kBreadthFirst;
+  if (rng.NextDouble() < 0.3) options.max_distance = rng.Uniform(50, 400);
+  if (rng.NextDouble() < 0.2) options.min_distance = rng.Uniform(0, 40);
+  options.max_pairs = 1 + rng.NextBounded(4000);
+  JoinFilters<2> filters;
+  if (rng.NextDouble() < 0.3) {
+    // Windows are pure per-item predicates, so they stay on the fast path.
+    filters.window1 = Rect<2>({0, 0}, {rng.Uniform(300, 1000), 1000});
+  }
+  const bool bulk = rng.NextDouble() < 0.5;
+
+  std::optional<JoinTrace> serial;
+  for (const int threads : {1, 2, 4, 7}) {
+    // Fresh trees per run so buffer-pool state (node_io) starts cold.
+    RTree<2> ta = BuildPointTree(a, 512, bulk);
+    RTree<2> tb = BuildPointTree(b, 512, bulk);
+    options.num_threads = threads;
+    DistanceJoin<2> join(ta, tb, options, filters);
+    JoinTrace trace = DrainJoin(join);
+    if (!serial.has_value()) {
+      serial = std::move(trace);
+      continue;
+    }
+    ExpectTracesIdentical(*serial, trace, threads);
+  }
+}
+
+TEST(ParallelJoin, GeneralPathConfigsAreUnaffectedByThreadCount) {
+  // Estimation engages the non-parallel general path; the option must still
+  // be accepted and produce the serial stream.
+  Rng rng(4099);
+  const Rect<2> extent({0, 0}, {1000, 1000});
+  const auto a = data::GenerateUniform(400, extent, 11);
+  const auto b = data::GenerateUniform(500, extent, 12);
+  DistanceJoinOptions options;
+  options.max_pairs = 300;
+  options.estimate_max_distance = true;
+  std::optional<JoinTrace> serial;
+  for (const int threads : {1, 4}) {
+    RTree<2> ta = BuildPointTree(a);
+    RTree<2> tb = BuildPointTree(b);
+    options.num_threads = threads;
+    DistanceJoin<2> join(ta, tb, options);
+    JoinTrace trace = DrainJoin(join);
+    if (threads > 1) {
+      EXPECT_EQ(trace.stats.parallel_expansions, 0u);
+    }
+    if (!serial.has_value()) {
+      serial = std::move(trace);
+      continue;
+    }
+    ExpectTracesIdentical(*serial, trace, threads);
+  }
+}
+
+TEST(ParallelJoin, IoErrorPrefixesMatchAcrossThreadCounts) {
+  // Under a dead-disk fault schedule the join degrades to a correct prefix
+  // and stops with kIoError. Worker threads never touch the buffer pool, so
+  // the page-read order — and therefore the surviving prefix — must be
+  // identical for every thread count.
+  const Rect<2> extent({0, 0}, {1000, 1000});
+  const auto a = data::GenerateUniform(600, extent, 21);
+  const auto b = data::GenerateUniform(700, extent, 22);
+  const std::string path_a = ::testing::TempDir() + "/par_fault_a.pages";
+  const std::string path_b = ::testing::TempDir() + "/par_fault_b.pages";
+  const auto file_options = [](const std::string& path) {
+    RTreeOptions topts;
+    topts.page_size = 512;
+    topts.file_path = path;
+    return topts;
+  };
+  // Build both trees to disk healthy, then reopen each run under a fault
+  // schedule so the dead-disk point falls inside the join, never inside
+  // construction.
+  {
+    RTree<2> ta(file_options(path_a));
+    for (size_t i = 0; i < a.size(); ++i) {
+      ta.Insert(Rect<2>::FromPoint(a[i]), i);
+    }
+    ASSERT_TRUE(ta.Flush());
+    RTree<2> tb(file_options(path_b));
+    for (size_t i = 0; i < b.size(); ++i) {
+      tb.Insert(Rect<2>::FromPoint(b[i]), i);
+    }
+    ASSERT_TRUE(tb.Flush());
+  }
+  std::optional<JoinTrace> serial;
+  for (const int threads : {1, 2, 4, 7}) {
+    storage::FaultInjectionOptions faults;
+    faults.seed = 33;
+    faults.hard_read_after = 150;
+    RTreeOptions topts_a = file_options(path_a);
+    topts_a.buffer_pages = 8;  // small pool: the join keeps re-reading
+    topts_a.retry.max_attempts = 2;
+    topts_a.retry.backoff_us = 0;
+    topts_a.fault_injection = faults;
+    RTreeOptions topts_b = topts_a;
+    topts_b.file_path = path_b;
+    auto ta = RTree<2>::Open(topts_a);
+    auto tb = RTree<2>::Open(topts_b);
+    ASSERT_NE(ta, nullptr);
+    ASSERT_NE(tb, nullptr);
+    DistanceJoinOptions options;
+    options.node_policy = NodeProcessingPolicy::kSimultaneous;
+    options.num_threads = threads;
+    DistanceJoin<2> join(*ta, *tb, options);
+    JoinTrace trace = DrainJoin(join);
+    if (!serial.has_value()) {
+      EXPECT_EQ(trace.status, JoinStatus::kIoError);
+      EXPECT_GT(trace.pairs.size(), 0u);
+      serial = std::move(trace);
+      continue;
+    }
+    ExpectTracesIdentical(*serial, trace, threads);
   }
 }
 

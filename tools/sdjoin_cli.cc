@@ -4,7 +4,7 @@
 //   sdjoin_cli join     --a=a.csv --b=b.csv [--k=100] [--max-distance=D]
 //                       [--min-distance=D] [--metric=euclidean|manhattan|
 //                       chessboard] [--policy=even|basic|simultaneous]
-//                       [--reverse] [--estimate] [--print=10]
+//                       [--reverse] [--estimate] [--threads=N] [--print=10]
 //                       [--inject-faults=<seed>] [--fault-read-rate=R]
 //                       [--fault-write-rate=R] [--fault-bit-flip-rate=R]
 //                       [--fault-hard-read-after=N]
@@ -278,6 +278,12 @@ int CmdJoin(const Flags& flags) {
     }
     options.estimate_max_distance = true;
   }
+  const long threads = flags.GetLong("threads", 1);
+  if (threads < 1) {
+    std::fprintf(stderr, "--threads must be >= 1\n");
+    return 1;
+  }
+  options.num_threads = static_cast<int>(threads);
 
   DistanceJoin<2> join(ta, tb, options);
   const long print = flags.GetLong("print", 10);
