@@ -8,12 +8,17 @@
 #include <cstdlib>
 #include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/distance_join.h"
 #include "core/semi_join.h"
 #include "data/datasets.h"
 #include "util/check.h"
+
+#ifndef SDJ_GIT_SHA
+#define SDJ_GIT_SHA "unknown"
+#endif
 
 namespace sdj::bench {
 
@@ -188,6 +193,12 @@ void WriteJson(const std::string& title) {
   std::fprintf(f, "  \"bench\": \"%s\",\n", JsonEscape(BenchName()).c_str());
   std::fprintf(f, "  \"title\": \"%s\",\n", JsonEscape(title).c_str());
   std::fprintf(f, "  \"scale\": %.17g,\n", Scale());
+  // Provenance stamp: the revision the binary was built from (configure-time
+  // `git rev-parse`, bench/CMakeLists.txt) and the machine's thread budget,
+  // so archived JSON rows stay comparable across machines and commits.
+  std::fprintf(f, "  \"git_sha\": \"%s\",\n", JsonEscape(SDJ_GIT_SHA).c_str());
+  std::fprintf(f, "  \"hardware_threads\": %u,\n",
+               std::thread::hardware_concurrency());
   std::fprintf(f, "  \"water_points\": %zu,\n", WaterPoints().size());
   std::fprintf(f, "  \"roads_points\": %zu,\n", RoadsPoints().size());
   std::fprintf(f, "  \"rows\": [\n");

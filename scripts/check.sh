@@ -17,6 +17,12 @@ run_release() {
   cmake --preset release
   cmake --build --preset release
   ctest --preset release
+  echo "=== release: bench smoke (SDJ_BENCH_SCALE=0.05) ==="
+  # Quick-scale sanity run of the main table benchmark and the durable-cursor
+  # sweep: catches bench-only build or runtime breakage without the ~5 min
+  # full-scale cost. Results at 5% scale are not meaningful numbers.
+  (cd build && SDJ_BENCH_SCALE=0.05 bench/bench_table1 >/dev/null)
+  (cd build && SDJ_BENCH_SCALE=0.05 bench/bench_checkpoint >/dev/null)
 }
 
 run_asan() {

@@ -39,12 +39,14 @@
 #include "core/max_dist_estimator.h"
 #include "core/pair_entry.h"
 #include "core/pair_queue.h"
+#include "core/snapshot.h"
 #include "geometry/distance.h"
 #include "geometry/metrics.h"
 #include "geometry/rect_batch.h"
 #include "rtree/rtree.h"
 #include "util/check.h"
 #include "util/dynamic_bitset.h"
+#include "util/stop_token.h"
 #include "util/thread_pool.h"
 
 namespace sdj {
@@ -122,6 +124,14 @@ struct DistanceJoinOptions {
   // If unset, objects are stored directly in the leaves (the paper's
   // experimental configuration) and entry MBRs are exact geometry.
   std::function<double(ObjectId, ObjectId)> exact_object_distance;
+
+  // Cooperative suspension (DESIGN.md §11): once the token requests a stop
+  // (cancellation or deadline), Next() halts at the next safe point — the
+  // top of its pop/expand loop — with status() == kSuspended. The engine's
+  // state is then self-consistent and serializable (SaveState), and the join
+  // continues after ResumeSuspended(). Checked only in the serial loop, so
+  // parallel mode stays output-identical to serial.
+  util::StopToken stop_token;
 };
 
 // Optional selection criteria on the joined relations (Section 2.2.5's first
@@ -197,6 +207,14 @@ class DistanceJoin {
                filters_.object_filter2 == nullptr));
     const bool inside_semi = semi_filter == SemiJoinFilter::kInside1 ||
                              semi_filter == SemiJoinFilter::kInside2;
+    // Dense-object-id precondition (CLAUDE.md): the semi-join bit string
+    // S_o and the bound tables index by object id, so ids must lie in
+    // [0, size). Query configuration is user input — report it through
+    // status() instead of aborting downstream.
+    if ((inside_semi || semi_bound_ != SemiJoinBound::kNone) &&
+        tree1.size() > 0 && tree1.max_object_id() >= tree1.size()) {
+      status_ = JoinStatus::kInvalidArgument;
+    }
     if (inside_semi || semi_bound_ != SemiJoinBound::kNone) {
       reported_.Resize(tree1.size());
     }
@@ -211,7 +229,7 @@ class DistanceJoin {
     }
     ResetEstimator();
     queue_ = MakeQueue();
-    Seed();
+    if (status_ == JoinStatus::kOk) Seed();
   }
 
   // Produces the next result pair; returns false once no further pair exists
@@ -226,6 +244,13 @@ class DistanceJoin {
       return false;
     }
     for (;;) {
+      // Safe point (DESIGN.md §11): no pair is popped-but-unprocessed here,
+      // so the queue, estimator, bit string, and counters are mutually
+      // consistent and SaveState captures a resumable cursor.
+      if (options_.stop_token.stop_requested()) {
+        status_ = JoinStatus::kSuspended;
+        return false;
+      }
       if (queue_->Empty()) {
         if (queue_->io_error()) {
           status_ = JoinStatus::kIoError;
@@ -311,6 +336,12 @@ class DistanceJoin {
   // kIoError the iterator stays stopped; pairs already produced remain valid.
   JoinStatus status() const { return status_; }
 
+  // Clears a kSuspended status so iteration can continue (after the caller
+  // re-arms or replaces the StopSource). No-op in any other state.
+  void ResumeSuspended() {
+    if (status_ == JoinStatus::kSuspended) status_ = JoinStatus::kOk;
+  }
+
   // Cumulative statistics (Table 1's measures among them). Node I/O is
   // derived from the trees' buffer pools, so it assumes the pools are not
   // shared with concurrent work.
@@ -322,7 +353,8 @@ class DistanceJoin {
     stats_.io_retries = PoolRetries() - base_io_retries_;
     stats_.checksum_failures =
         PoolChecksumFailures() - base_checksum_failures_;
-    stats_.spill_fallbacks = queue_->spill_fallbacks();
+    stats_.spill_fallbacks =
+        base_spill_fallbacks_ + queue_->spill_fallbacks();
     return stats_;
   }
 
@@ -342,11 +374,217 @@ class DistanceJoin {
     }
   }
 
+  // ---- snapshot support (DESIGN.md §11) ----
+
+  // Serializes the complete engine state — queue entries and tier frontier,
+  // estimator, S_o bit string, bound tables, statistics, and sequence
+  // counters — into `out`. Must be called at a safe point: before the first
+  // Next(), between Next() calls, or after Next() returned false (notably
+  // with status kSuspended). Returns false if the state cannot be captured
+  // completely (an unreadable hybrid-queue disk page, or an engine already
+  // failed with kIoError); `out` must then be discarded.
+  bool SaveState(snapshot::Blob* out) {
+    if (status_ == JoinStatus::kIoError ||
+        status_ == JoinStatus::kInvalidArgument || queue_->io_error()) {
+      return false;
+    }
+    stats();  // fold pool- and queue-derived counters into stats_
+    // Fingerprint: the resuming engine must be constructed over the same
+    // trees with the same query configuration.
+    out->PutU32(kStateMagic);
+    out->PutU32(kStateVersion);
+    out->PutU32(static_cast<uint32_t>(Dim));
+    out->PutU8(static_cast<uint8_t>(options_.metric));
+    out->PutU8(static_cast<uint8_t>(options_.node_policy));
+    out->PutU8(static_cast<uint8_t>(options_.tie_break));
+    out->PutBool(options_.reverse_order);
+    out->PutDouble(options_.min_distance);
+    out->PutDouble(options_.max_distance);
+    out->PutU64(options_.max_pairs);
+    out->PutBool(options_.estimate_max_distance);
+    out->PutBool(options_.aggressive_estimation);
+    out->PutBool(options_.use_hybrid_queue);
+    out->PutDouble(options_.hybrid.tier_width);
+    out->PutU8(static_cast<uint8_t>(semi_filter_));
+    out->PutU8(static_cast<uint8_t>(semi_bound_));
+    out->PutBool(semi_estimation_);
+    out->PutBool(options_.exact_object_distance != nullptr);
+    out->PutBool(filters_.Empty());
+    out->PutBool(Index::kMinimalBoundingRegions);
+    out->PutU64(tree1_.size());
+    out->PutU64(tree2_.size());
+    // Cursor scalars.
+    out->PutU64(next_seq_);
+    out->PutU64(reported_count_);
+    out->PutU64(replay_);
+    out->PutBool(estimation_disabled_);
+    out->PutU8(static_cast<uint8_t>(status_));
+    WriteStats(out, stats_);
+    // Queue: frontier first, so restore classifies pushes into the same
+    // tiers, then every live entry (order-free — the comparator is total).
+    out->PutU64(queue_->TierFrontier());
+    out->PutU64(queue_->Size());
+    const bool complete = queue_->ForEach(
+        [out](const Entry& e) { snapshot::WriteEntry(out, e); });
+    if (!complete) return false;
+    out->PutBool(estimator_.has_value());
+    if (estimator_.has_value()) estimator_->SaveTo(out);
+    out->PutU64(reported_.size());
+    out->PutU64(reported_.WordCount());
+    for (size_t i = 0; i < reported_.WordCount(); ++i) {
+      out->PutU64(reported_.Word(i));
+    }
+    out->PutU64(node_bounds_.size());
+    for (const double b : node_bounds_) out->PutDouble(b);
+    out->PutU64(object_bounds_.size());
+    for (const double b : object_bounds_) out->PutDouble(b);
+    return true;
+  }
+
+  // Rebuilds the engine state from SaveState's output. The engine must have
+  // been constructed over the same trees with the same options (verified
+  // against the fingerprint — mismatch returns false with the engine
+  // untouched). A malformed blob past the fingerprint also returns false;
+  // the engine is then unusable and must be reconstructed. On success the
+  // rebuilt queue pops the exact sequence the saved one would have (the
+  // entry comparator is a total order), so the resumed pair stream is
+  // bit-identical to an uninterrupted run's remainder.
+  bool RestoreState(snapshot::BlobReader* in) {
+    if (in->GetU32() != kStateMagic) return false;
+    if (in->GetU32() != kStateVersion) return false;
+    if (in->GetU32() != static_cast<uint32_t>(Dim)) return false;
+    if (in->GetU8() != static_cast<uint8_t>(options_.metric)) return false;
+    if (in->GetU8() != static_cast<uint8_t>(options_.node_policy)) {
+      return false;
+    }
+    if (in->GetU8() != static_cast<uint8_t>(options_.tie_break)) return false;
+    if (in->GetBool() != options_.reverse_order) return false;
+    if (in->GetDouble() != options_.min_distance) return false;
+    if (in->GetDouble() != options_.max_distance) return false;
+    if (in->GetU64() != options_.max_pairs) return false;
+    if (in->GetBool() != options_.estimate_max_distance) return false;
+    if (in->GetBool() != options_.aggressive_estimation) return false;
+    if (in->GetBool() != options_.use_hybrid_queue) return false;
+    if (in->GetDouble() != options_.hybrid.tier_width) return false;
+    if (in->GetU8() != static_cast<uint8_t>(semi_filter_)) return false;
+    if (in->GetU8() != static_cast<uint8_t>(semi_bound_)) return false;
+    if (in->GetBool() != semi_estimation_) return false;
+    if (in->GetBool() != (options_.exact_object_distance != nullptr)) {
+      return false;
+    }
+    if (in->GetBool() != filters_.Empty()) return false;
+    if (in->GetBool() != Index::kMinimalBoundingRegions) return false;
+    if (in->GetU64() != tree1_.size()) return false;
+    if (in->GetU64() != tree2_.size()) return false;
+    if (!in->ok()) return false;
+
+    next_seq_ = in->GetU64();
+    reported_count_ = in->GetU64();
+    replay_ = in->GetU64();
+    estimation_disabled_ = in->GetBool();
+    const uint8_t saved_status = in->GetU8();
+    if (saved_status > static_cast<uint8_t>(JoinStatus::kInvalidArgument)) {
+      return false;
+    }
+    JoinStats saved_stats;
+    ReadStats(in, &saved_stats);
+    const uint64_t frontier = in->GetU64();
+    const uint64_t count = in->GetCount(snapshot::EntryWireSize<Dim>());
+    if (!in->ok()) return false;
+    // Release the old queue BEFORE building its replacement: a file-backed
+    // hybrid spill must be closed before the new store truncates the path.
+    queue_.reset();
+    queue_ = MakeQueue();
+    if (frontier > 0) queue_->RestoreTierFrontier(frontier);
+    for (uint64_t i = 0; i < count; ++i) {
+      Entry e;
+      if (!snapshot::ReadEntry(in, &e)) return false;
+      queue_->Push(e);
+    }
+    ResetEstimator();  // honors the restored estimation_disabled_
+    const bool saved_estimator = in->GetBool();
+    if (saved_estimator != estimator_.has_value()) return false;
+    if (saved_estimator && !estimator_->RestoreFrom(in)) return false;
+    if (in->GetU64() != reported_.size()) return false;
+    if (in->GetCount(8) != reported_.WordCount()) return false;
+    for (size_t i = 0; i < reported_.WordCount(); ++i) {
+      reported_.SetWord(i, in->GetU64());
+    }
+    if (in->GetCount(8) != node_bounds_.size()) return false;
+    for (double& b : node_bounds_) b = in->GetDouble();
+    if (in->GetCount(8) != object_bounds_.size()) return false;
+    for (double& b : object_bounds_) b = in->GetDouble();
+    if (!in->ok()) return false;
+
+    // Commit: statistics rebase against the *current* pool counters so that
+    // stats() keeps reporting totals across the suspend/resume boundary
+    // (modular uint64 arithmetic keeps the deltas exact even when the new
+    // process's pools start cold).
+    stats_ = saved_stats;
+    base_node_misses_ = PoolMisses() - saved_stats.node_io;
+    base_node_accesses_ = PoolAccesses() - saved_stats.node_accesses;
+    base_io_retries_ = PoolRetries() - saved_stats.io_retries;
+    base_checksum_failures_ =
+        PoolChecksumFailures() - saved_stats.checksum_failures;
+    base_spill_fallbacks_ = saved_stats.spill_fallbacks;
+    resolved_ready_ = false;
+    status_ = static_cast<JoinStatus>(saved_status);
+    return true;
+  }
+
  private:
   using Item = JoinItem<Dim>;
   using Entry = PairEntry<Dim>;
 
   static constexpr double kInf = std::numeric_limits<double>::infinity();
+  static constexpr uint32_t kStateMagic = 0x534A4A43;  // "SJJC"
+  static constexpr uint32_t kStateVersion = 1;
+
+  static void WriteStats(snapshot::Blob* out, const JoinStats& s) {
+    out->PutU64(s.pairs_reported);
+    out->PutU64(s.object_distance_calcs);
+    out->PutU64(s.total_distance_calcs);
+    out->PutU64(s.queue_pushes);
+    out->PutU64(s.queue_pops);
+    out->PutU64(s.max_queue_size);
+    out->PutU64(s.node_io);
+    out->PutU64(s.node_accesses);
+    out->PutU64(s.nodes_expanded);
+    out->PutU64(s.pruned_by_range);
+    out->PutU64(s.pruned_by_estimate);
+    out->PutU64(s.pruned_by_bound);
+    out->PutU64(s.pruned_by_filter);
+    out->PutU64(s.filtered_reported);
+    out->PutU64(s.restarts);
+    out->PutU64(s.io_retries);
+    out->PutU64(s.checksum_failures);
+    out->PutU64(s.spill_fallbacks);
+    out->PutU64(s.batch_kernel_invocations);
+    out->PutU64(s.parallel_expansions);
+  }
+
+  static void ReadStats(snapshot::BlobReader* in, JoinStats* s) {
+    s->pairs_reported = in->GetU64();
+    s->object_distance_calcs = in->GetU64();
+    s->total_distance_calcs = in->GetU64();
+    s->queue_pushes = in->GetU64();
+    s->queue_pops = in->GetU64();
+    s->max_queue_size = in->GetU64();
+    s->node_io = in->GetU64();
+    s->node_accesses = in->GetU64();
+    s->nodes_expanded = in->GetU64();
+    s->pruned_by_range = in->GetU64();
+    s->pruned_by_estimate = in->GetU64();
+    s->pruned_by_bound = in->GetU64();
+    s->pruned_by_filter = in->GetU64();
+    s->filtered_reported = in->GetU64();
+    s->restarts = in->GetU64();
+    s->io_retries = in->GetU64();
+    s->checksum_failures = in->GetU64();
+    s->spill_fallbacks = in->GetU64();
+    s->batch_kernel_invocations = in->GetU64();
+    s->parallel_expansions = in->GetU64();
+  }
 
   // ---- construction helpers ----
 
@@ -1208,6 +1446,9 @@ class DistanceJoin {
   uint64_t base_node_accesses_ = 0;
   uint64_t base_io_retries_ = 0;
   uint64_t base_checksum_failures_ = 0;
+  // Spill fallbacks accumulated before the last RestoreState (the restored
+  // queue's own counter restarts at zero).
+  uint64_t base_spill_fallbacks_ = 0;
   mutable JoinStats stats_;
 };
 

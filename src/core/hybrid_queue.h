@@ -127,6 +127,46 @@ class HybridPairQueue final : public PairQueue<Dim> {
   bool io_error() const override { return io_error_; }
   uint64_t spill_fallbacks() const override { return spill_fallbacks_; }
 
+  // Visits every live entry across all three tiers plus the overflow
+  // mirror. Returns false — without visiting further entries — if a disk
+  // page cannot be read; the caller must then abandon the snapshot (the
+  // queue itself is unharmed: nothing is consumed).
+  bool ForEach(
+      const std::function<void(const PairEntry<Dim>&)>& fn) override {
+    heap_.ForEach(fn);
+    for (const PairEntry<Dim>& e : list_) fn(e);
+    for (const auto& [index, entries] : overflow_) {
+      for (const PairEntry<Dim>& e : entries) fn(e);
+    }
+    for (const auto& [index, bucket] : buckets_) {
+      storage::PageId page = bucket.head;
+      while (page != storage::kInvalidPageId) {
+        const char* data = pool_->TryPin(page);
+        if (data == nullptr) return false;
+        storage::PageId next;
+        uint32_t count;
+        std::memcpy(&next, data, 4);
+        std::memcpy(&count, data + 4, 4);
+        for (uint32_t i = 0; i < count; ++i) {
+          fn(ReadRecord(data + kPageHeader + i * kRecordSize));
+        }
+        pool_->Unpin(page, /*dirty=*/false);
+        page = next;
+      }
+    }
+    return true;
+  }
+
+  uint64_t TierFrontier() const override { return frontier_; }
+
+  // Restores a snapshot's frontier before the saved entries are re-pushed,
+  // so each push lands in the tier the saved invariant places it in (heap
+  // below, list at, disk above the frontier). Only valid on an empty queue.
+  void RestoreTierFrontier(uint64_t frontier) override {
+    SDJ_CHECK(total_size_ == 0);
+    frontier_ = frontier;
+  }
+
   // Disk-tier traffic (page-file reads/writes behind the small buffer).
   storage::IoStats disk_stats() const { return pool_->stats(); }
 

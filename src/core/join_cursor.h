@@ -1,0 +1,156 @@
+// Durable join cursors (DESIGN.md §11): checkpointing, suspend/resume, and
+// crash recovery for the incremental join iterators.
+//
+// A JoinCursor wraps an engine — DistanceJoin or DistanceSemiJoin — and a
+// SnapshotStore. It forwards Next(), writing a checkpoint snapshot every
+// `checkpoint_every` reported pairs and a final snapshot when the engine
+// suspends on its StopToken. A later process (or the same one) constructs
+// the identical engine over the same trees and calls ResumeLatest(), which
+// loads the newest valid snapshot — falling back past torn or corrupted
+// slots — and continues the join. Because the pair comparator is a total
+// order, the resumed cursor emits exactly the remaining pair stream an
+// uninterrupted run would have produced.
+//
+// Checkpoint failures degrade, they never abort: a snapshot that cannot be
+// written is counted and the previous snapshot stays committed, mirroring
+// the hybrid queue's spill-fallback philosophy (CLAUDE.md).
+//
+//   DistanceJoin<2> join(water, roads, options);        // options.stop_token set
+//   JoinCursor<2, DistanceJoin<2>> cursor(&join, {.snapshot_path = "j.snap",
+//                                                 .checkpoint_every = 1000});
+//   if (resuming) cursor.ResumeLatest();
+//   while (cursor.Next(&pair)) Use(pair);
+//   // join.status() == kSuspended -> a snapshot is on disk; run again later.
+#ifndef SDJOIN_CORE_JOIN_CURSOR_H_
+#define SDJOIN_CORE_JOIN_CURSOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "core/join_result.h"
+#include "core/snapshot.h"
+#include "storage/buffer_pool.h"
+#include "storage/fault_injection.h"
+#include "util/check.h"
+
+namespace sdj {
+
+// Construction parameters for one JoinCursor.
+struct CursorOptions {
+  // Snapshot file; empty keeps snapshots in memory (in-process suspend and
+  // tests — no crash recovery).
+  std::string snapshot_path;
+  // Logical page size of the snapshot store.
+  uint32_t page_size = 4096;
+  // Write a checkpoint after every N reported pairs (0 = only when the
+  // engine suspends).
+  uint64_t checkpoint_every = 0;
+  // If set, the snapshot store injects faults from this schedule (testing).
+  std::optional<storage::FaultInjectionOptions> fault_injection;
+  // Bounded-retry policy for transient snapshot-page faults.
+  storage::RetryPolicy retry;
+};
+
+// Cursor-side counters, kept apart from JoinStats so that resumed-run
+// statistics stay comparable to an uninterrupted run's.
+struct CursorStats {
+  uint64_t checkpoints_written = 0;
+  // Snapshots that could not be written; the previous one stays committed.
+  uint64_t checkpoint_failures = 0;
+  // Invalid (torn/corrupt) snapshot slots skipped while resuming.
+  uint64_t snapshot_fallbacks = 0;
+  uint64_t resumes = 0;
+};
+
+// See file comment. `Engine` is DistanceJoin<Dim, Index> or
+// DistanceSemiJoin<Dim, Index>; the cursor borrows it (the engine and its
+// trees must outlive the cursor).
+template <int Dim, typename Engine>
+class JoinCursor {
+ public:
+  JoinCursor(Engine* engine, const CursorOptions& options)
+      : engine_(engine), options_(options) {
+    SDJ_CHECK(engine != nullptr);
+    // An unopenable snapshot path is user input, not an invariant: the
+    // cursor degrades to checkpoint-less forwarding (every Checkpoint
+    // counts as failed) instead of aborting.
+    store_ = snapshot::SnapshotStore::Open(
+        {options.snapshot_path, options.page_size, options.fault_injection,
+         options.retry});
+  }
+
+  // False if the snapshot store could not be opened/created; the cursor
+  // still iterates, but cannot checkpoint or resume.
+  bool ok() const { return store_ != nullptr; }
+
+  // Forwards Engine::Next, checkpointing every `checkpoint_every` pairs and
+  // once more when the engine suspends (so the stop-point state is always
+  // the newest snapshot). Returns false when the engine does; status()
+  // disambiguates suspension from exhaustion and I/O failure.
+  bool Next(JoinResult<Dim>* out) {
+    if (engine_->Next(out)) {
+      if (options_.checkpoint_every > 0 &&
+          ++since_checkpoint_ >= options_.checkpoint_every) {
+        Checkpoint();
+      }
+      return true;
+    }
+    if (engine_->status() == JoinStatus::kSuspended) Checkpoint();
+    return false;
+  }
+
+  // Writes a snapshot of the engine's current state. Failures are counted,
+  // not fatal — the join continues, protected by the previous snapshot.
+  // Returns whether the snapshot committed.
+  bool Checkpoint() {
+    since_checkpoint_ = 0;
+    snapshot::Blob blob;
+    if (store_ == nullptr || !engine_->SaveState(&blob) ||
+        !store_->WriteSnapshot(blob)) {
+      ++cursor_stats_.checkpoint_failures;
+      return false;
+    }
+    ++cursor_stats_.checkpoints_written;
+    return true;
+  }
+
+  // Restores the engine from the newest valid snapshot and clears its
+  // suspended status, so the next Next() continues where the snapshot
+  // stopped. Torn or corrupted slots are skipped (counted in
+  // snapshot_fallbacks). Returns false — engine untouched, iteration starts
+  // from scratch — if no valid snapshot exists or the payload does not
+  // match this engine's configuration.
+  bool ResumeLatest() {
+    if (store_ == nullptr) return false;
+    std::string payload;
+    if (!store_->ReadLatest(&payload)) {
+      cursor_stats_.snapshot_fallbacks = store_->stats().invalid_slots_seen;
+      return false;
+    }
+    cursor_stats_.snapshot_fallbacks = store_->stats().invalid_slots_seen;
+    snapshot::BlobReader reader(payload);
+    if (!engine_->RestoreState(&reader)) return false;
+    engine_->ResumeSuspended();
+    ++cursor_stats_.resumes;
+    return true;
+  }
+
+  JoinStatus status() const { return engine_->status(); }
+  Engine* engine() const { return engine_; }
+  const CursorStats& cursor_stats() const { return cursor_stats_; }
+  snapshot::SnapshotStore* store() const { return store_.get(); }
+
+ private:
+  Engine* engine_;
+  const CursorOptions options_;
+  std::unique_ptr<snapshot::SnapshotStore> store_;
+  uint64_t since_checkpoint_ = 0;
+  CursorStats cursor_stats_;
+};
+
+}  // namespace sdj
+
+#endif  // SDJOIN_CORE_JOIN_CURSOR_H_

@@ -13,11 +13,16 @@ namespace sdj {
 // status is kOk; after Next() returns false, status() says why: kExhausted
 // means every qualifying pair was produced, kIoError means an unrecoverable
 // I/O failure stopped the join early (pairs already reported remain valid —
-// a partial, correctly ordered prefix of the full result).
+// a partial, correctly ordered prefix of the full result), kSuspended means
+// a StopToken halted the join at a safe point (resumable — DESIGN.md §11),
+// and kInvalidArgument means the query configuration violated a documented
+// precondition (detected at construction; no pair is ever produced).
 enum class JoinStatus : uint8_t {
   kOk = 0,
   kExhausted,
   kIoError,
+  kSuspended,
+  kInvalidArgument,
 };
 
 inline const char* JoinStatusName(JoinStatus status) {
@@ -28,6 +33,10 @@ inline const char* JoinStatusName(JoinStatus status) {
       return "exhausted";
     case JoinStatus::kIoError:
       return "io-error";
+    case JoinStatus::kSuspended:
+      return "suspended";
+    case JoinStatus::kInvalidArgument:
+      return "invalid-argument";
   }
   return "unknown";
 }

@@ -25,6 +25,7 @@
 #include <unordered_set>
 #include <utility>
 
+#include "core/snapshot.h"
 #include "util/check.h"
 #include "util/pairing_heap.h"
 
@@ -127,6 +128,61 @@ class MaxDistEstimator {
 
   size_t set_size() const { return by_pair_.size(); }
   uint64_t updates() const { return updates_; }
+
+  // ---- snapshot support (DESIGN.md §11) ----
+
+  // Serializes the complete estimator state. `by_first_` and `sum_` are
+  // derived from the M entries on restore, so only the entries themselves,
+  // the scalar state, and the processed-first set are written.
+  void SaveTo(snapshot::Blob* out) const {
+    out->PutU64(remaining_);
+    out->PutDouble(max_distance_);
+    out->PutBool(ever_tightened_);
+    out->PutU64(updates_);
+    out->PutU64(by_pair_.size());
+    qm_.ForEach([out](const HeapEntry& e) {
+      out->PutDouble(e.dmax);
+      out->PutU64(e.key.first);
+      out->PutU64(e.key.second);
+      out->PutU64(e.count);
+    });
+    out->PutU64(processed_first_.size());
+    for (const uint64_t first : processed_first_) out->PutU64(first);
+  }
+
+  // Rebuilds the estimator from SaveTo's output (the semi-join flag is a
+  // construction parameter and must already match). Returns false on a
+  // malformed blob; the estimator is then in an unspecified state and must
+  // be discarded.
+  bool RestoreFrom(snapshot::BlobReader* in) {
+    qm_.Clear();
+    by_pair_.clear();
+    by_first_.clear();
+    processed_first_.clear();
+    sum_ = 0;
+    remaining_ = in->GetU64();
+    max_distance_ = in->GetDouble();
+    ever_tightened_ = in->GetBool();
+    updates_ = in->GetU64();
+    const uint64_t entries = in->GetCount(32);
+    for (uint64_t i = 0; i < entries; ++i) {
+      HeapEntry e;
+      e.dmax = in->GetDouble();
+      e.key.first = in->GetU64();
+      e.key.second = in->GetU64();
+      e.count = in->GetU64();
+      if (!in->ok()) return false;
+      Heap::Handle handle = qm_.Push(e);
+      by_pair_.emplace(e.key, handle);
+      if (semi_join_) by_first_.emplace(e.key.first, e.key);
+      sum_ += e.count;
+    }
+    const uint64_t processed = in->GetCount(8);
+    for (uint64_t i = 0; i < processed; ++i) {
+      processed_first_.insert(in->GetU64());
+    }
+    return in->ok();
+  }
 
  private:
   struct HeapEntry {

@@ -6,6 +6,7 @@
 
 #include <algorithm>
 #include <cstddef>
+#include <functional>
 
 #include "core/pair_entry.h"
 #include "util/pairing_heap.h"
@@ -48,6 +49,18 @@ class PairQueue {
   // Pushes that fell back to the in-memory overflow tier because the disk
   // tier could not accept them (degradation, not an error).
   virtual uint64_t spill_fallbacks() const { return 0; }
+
+  // Snapshot support (DESIGN.md §11). ForEach visits every live entry in
+  // unspecified order; returns false if entries could not all be read (an
+  // unreadable hybrid disk page), in which case the snapshot must be
+  // abandoned. Non-const because the hybrid implementation pins pages.
+  virtual bool ForEach(
+      const std::function<void(const PairEntry<Dim>&)>& fn) = 0;
+  // The hybrid queue's integer bucket frontier, 0 for memory queues.
+  virtual uint64_t TierFrontier() const { return 0; }
+  // Restores a saved frontier on an EMPTY queue, so that subsequent pushes
+  // classify into the same tiers the saved queue used.
+  virtual void RestoreTierFrontier(uint64_t frontier) { (void)frontier; }
 };
 
 // Fully in-memory pair queue backed by a pairing heap.
@@ -72,6 +85,11 @@ class MemoryPairQueue final : public PairQueue<Dim> {
   size_t Size() const override { return heap_.Size(); }
   size_t MaxSize() const override { return max_size_; }
   size_t MaxMemorySize() const override { return max_size_; }
+  bool ForEach(
+      const std::function<void(const PairEntry<Dim>&)>& fn) override {
+    heap_.ForEach(fn);
+    return true;
+  }
 
  private:
   PairingHeap<PairEntry<Dim>, PairEntryCompare<Dim>> heap_;

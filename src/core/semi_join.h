@@ -16,6 +16,7 @@
 
 #include "core/distance_join.h"
 #include "core/join_stats.h"
+#include "core/snapshot.h"
 #include "rtree/rtree.h"
 #include "util/check.h"
 #include "util/dynamic_bitset.h"
@@ -47,6 +48,11 @@ class DistanceSemiJoin {
                    const SemiJoinOptions& options,
                    JoinFilters<Dim> filters = JoinFilters<Dim>{})
       : options_(Normalize(options)),
+        // Dense-object-id precondition for the wrapper's own S_o (the
+        // engine validates its Inside bit string the same way). User input
+        // must not abort — surface through status() instead.
+        invalid_(options_.filter == SemiJoinFilter::kOutside &&
+                 tree1.size() > 0 && tree1.max_object_id() >= tree1.size()),
         outside_(options_.filter == SemiJoinFilter::kOutside ? tree1.size()
                                                              : 0),
         engine_(tree1, tree2, EngineJoinOptions(options_), std::move(filters),
@@ -55,6 +61,7 @@ class DistanceSemiJoin {
 
   // Produces the next (o1, nearest o2) pair by non-decreasing distance.
   bool Next(JoinResult<Dim>* out) {
+    if (invalid_) return false;
     if (options_.join.max_pairs > 0 &&
         reported_ >= options_.join.max_pairs) {
       return false;
@@ -93,14 +100,57 @@ class DistanceSemiJoin {
   }
 
   // Why iteration stopped (kOk while Next() still returns pairs); kIoError
-  // means the engine stopped early with a valid partial prefix.
+  // means the engine stopped early with a valid partial prefix, kSuspended
+  // that a StopToken halted it at a resumable safe point.
   JoinStatus status() const {
+    if (invalid_) return JoinStatus::kInvalidArgument;
     // The wrapper's own max_pairs cap is normal exhaustion.
     if (options_.join.max_pairs > 0 && reported_ >= options_.join.max_pairs &&
         engine_.status() != JoinStatus::kIoError) {
       return JoinStatus::kExhausted;
     }
     return engine_.status();
+  }
+
+  // Clears a kSuspended engine status so iteration can continue.
+  void ResumeSuspended() { engine_.ResumeSuspended(); }
+
+  // ---- snapshot support (DESIGN.md §11) ----
+
+  // Serializes the wrapper state (Outside-filter S_o and counters) followed
+  // by the full engine state. Same safe-point contract as the engine's
+  // SaveState.
+  bool SaveState(snapshot::Blob* out) {
+    if (invalid_) return false;
+    out->PutU8(static_cast<uint8_t>(options_.filter));
+    out->PutU8(static_cast<uint8_t>(options_.bound));
+    out->PutU64(reported_);
+    out->PutU64(outside_filtered_);
+    out->PutU64(outside_.size());
+    out->PutU64(outside_.WordCount());
+    for (size_t i = 0; i < outside_.WordCount(); ++i) {
+      out->PutU64(outside_.Word(i));
+    }
+    return engine_.SaveState(out);
+  }
+
+  // Counterpart of SaveState; the wrapper must have been constructed with
+  // the same options over the same trees (fingerprint-checked).
+  bool RestoreState(snapshot::BlobReader* in) {
+    if (invalid_) return false;
+    if (in->GetU8() != static_cast<uint8_t>(options_.filter)) return false;
+    if (in->GetU8() != static_cast<uint8_t>(options_.bound)) return false;
+    const uint64_t reported = in->GetU64();
+    const uint64_t outside_filtered = in->GetU64();
+    if (in->GetU64() != outside_.size()) return false;
+    if (in->GetCount(8) != outside_.WordCount()) return false;
+    for (size_t i = 0; i < outside_.WordCount(); ++i) {
+      outside_.SetWord(i, in->GetU64());
+    }
+    if (!in->ok() || !engine_.RestoreState(in)) return false;
+    reported_ = reported;
+    outside_filtered_ = outside_filtered;
+    return true;
   }
 
  private:
@@ -134,6 +184,7 @@ class DistanceSemiJoin {
   }
 
   const SemiJoinOptions options_;
+  const bool invalid_;     // dense-id precondition failed at construction
   DynamicBitset outside_;  // S_o for the Outside strategy
   DistanceJoin<Dim, Index> engine_;
   uint64_t reported_ = 0;

@@ -1,0 +1,458 @@
+// Durable snapshots for the incremental join iterators (DESIGN.md §11).
+//
+// Two pieces:
+//
+//   * Blob / BlobReader — a flat, little-endian, fail-soft serialization
+//     buffer. Readers never abort on malformed input (a snapshot file is
+//     external data): every Get* past the end returns zero and latches
+//     ok() == false, so restore paths check one flag at the end.
+//
+//   * SnapshotStore — shadow-paged snapshot persistence through the PR 1
+//     page-store stack (checksummed pages, optional fault injection).
+//     Layout: pages 0 and 1 are two header slots that ping-pong by epoch
+//     parity; the payload of epoch e lives on pages 2 + 2*i + (e & 1), so
+//     consecutive snapshots interleave and the file stops growing once the
+//     payload size stabilizes. A snapshot commits by (1) writing + syncing
+//     the payload pages and (2) writing + syncing the slot header, which
+//     carries the payload's length and FNV-1a checksum. A torn write or bit
+//     flip anywhere — caught by the per-page checksum trailer or by the
+//     payload checksum — invalidates only that slot; ReadLatest then falls
+//     back to the other (previous) snapshot instead of failing.
+#ifndef SDJOIN_CORE_SNAPSHOT_H_
+#define SDJOIN_CORE_SNAPSHOT_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <memory>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/pair_entry.h"
+#include "storage/buffer_pool.h"
+#include "storage/checksum.h"
+#include "storage/fault_injection.h"
+#include "storage/page.h"
+#include "storage/page_file.h"
+#include "storage/page_store.h"
+#include "util/check.h"
+
+namespace sdj::snapshot {
+
+// Append-only little-endian serialization buffer.
+class Blob {
+ public:
+  void PutU8(uint8_t v) { PutBytes(&v, 1); }
+  void PutU16(uint16_t v) { PutBytes(&v, 2); }
+  void PutU32(uint32_t v) { PutBytes(&v, 4); }
+  void PutU64(uint64_t v) { PutBytes(&v, 8); }
+  void PutI16(int16_t v) { PutBytes(&v, 2); }
+  void PutDouble(double v) { PutBytes(&v, 8); }
+  void PutBool(bool v) { PutU8(v ? 1 : 0); }
+  void PutBytes(const void* src, size_t n) {
+    const char* p = static_cast<const char*>(src);
+    data_.insert(data_.end(), p, p + n);
+  }
+
+  const char* data() const { return data_.data(); }
+  size_t size() const { return data_.size(); }
+
+ private:
+  std::vector<char> data_;
+};
+
+// Fail-soft reader over a serialized blob. Reads past the end return zero
+// and latch ok() == false; callers validate once, at the end.
+class BlobReader {
+ public:
+  BlobReader(const char* data, size_t size) : data_(data), size_(size) {}
+  explicit BlobReader(const std::string& s) : BlobReader(s.data(), s.size()) {}
+
+  uint8_t GetU8() { return Get<uint8_t>(); }
+  uint16_t GetU16() { return Get<uint16_t>(); }
+  uint32_t GetU32() { return Get<uint32_t>(); }
+  uint64_t GetU64() { return Get<uint64_t>(); }
+  int16_t GetI16() { return Get<int16_t>(); }
+  double GetDouble() { return Get<double>(); }
+  bool GetBool() { return GetU8() != 0; }
+
+  bool GetBytes(void* dst, size_t n) {
+    if (!ok_ || size_ - pos_ < n) {
+      ok_ = false;
+      std::memset(dst, 0, n);
+      return false;
+    }
+    std::memcpy(dst, data_ + pos_, n);
+    pos_ += n;
+    return true;
+  }
+
+  // A length prefix about to drive an allocation must be plausible: it can
+  // never exceed the bytes remaining in the blob divided by the per-element
+  // size. Latches ok() == false and returns 0 when it does.
+  uint64_t GetCount(size_t element_size) {
+    const uint64_t n = GetU64();
+    SDJ_DCHECK(element_size > 0);
+    if (!ok_ || n > (size_ - pos_) / element_size) {
+      ok_ = false;
+      return 0;
+    }
+    return n;
+  }
+
+  bool ok() const { return ok_; }
+  size_t remaining() const { return ok_ ? size_ - pos_ : 0; }
+
+ private:
+  template <typename T>
+  T Get() {
+    T v{};
+    GetBytes(&v, sizeof(T));
+    return v;
+  }
+
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+  bool ok_ = true;
+};
+
+// ---- PairEntry serialization (the queue's wire format) ----
+
+template <int Dim>
+void WriteItem(Blob* out, const JoinItem<Dim>& item) {
+  out->PutBytes(item.rect.lo.coords.data(), 8 * Dim);
+  out->PutBytes(item.rect.hi.coords.data(), 8 * Dim);
+  out->PutU64(item.ref);
+  out->PutI16(item.level);
+  out->PutU8(static_cast<uint8_t>(item.kind));
+}
+
+template <int Dim>
+bool ReadItem(BlobReader* in, JoinItem<Dim>* item) {
+  in->GetBytes(item->rect.lo.coords.data(), 8 * Dim);
+  in->GetBytes(item->rect.hi.coords.data(), 8 * Dim);
+  item->ref = in->GetU64();
+  item->level = in->GetI16();
+  const uint8_t kind = in->GetU8();
+  if (kind > static_cast<uint8_t>(JoinItemKind::kObject)) return false;
+  item->kind = static_cast<JoinItemKind>(kind);
+  return in->ok();
+}
+
+template <int Dim>
+void WriteEntry(Blob* out, const PairEntry<Dim>& e) {
+  out->PutDouble(e.key);
+  out->PutDouble(e.distance);
+  WriteItem(out, e.item1);
+  WriteItem(out, e.item2);
+  out->PutU64(e.seq);
+  out->PutU8(e.category);
+  out->PutI16(e.depth);
+}
+
+template <int Dim>
+bool ReadEntry(BlobReader* in, PairEntry<Dim>* e) {
+  e->key = in->GetDouble();
+  e->distance = in->GetDouble();
+  if (!ReadItem(in, &e->item1)) return false;
+  if (!ReadItem(in, &e->item2)) return false;
+  e->seq = in->GetU64();
+  e->category = in->GetU8();
+  e->depth = in->GetI16();
+  return in->ok();
+}
+
+// Serialized size of one PairEntry (for GetCount plausibility checks).
+template <int Dim>
+constexpr size_t EntryWireSize() {
+  return 2 * 8 + 2 * (16 * Dim + 8 + 2 + 1) + 8 + 1 + 2;
+}
+
+// ---- SnapshotStore ----
+
+struct SnapshotStoreOptions {
+  // If non-empty, snapshots live in this file (and survive the process);
+  // otherwise in memory (in-process suspend/resume and tests).
+  std::string path;
+  // Logical page size of the snapshot file.
+  uint32_t page_size = 4096;
+  // If set, faults are injected under the checksum layer (testing).
+  std::optional<storage::FaultInjectionOptions> fault_injection;
+  // Bounded-retry policy for transient page faults.
+  storage::RetryPolicy retry;
+};
+
+// Read-side counters of one SnapshotStore.
+struct SnapshotStoreStats {
+  uint64_t snapshots_written = 0;
+  // WriteSnapshot calls that failed; the previous snapshot stays committed.
+  uint64_t write_failures = 0;
+  // Header slots that existed but failed validation during ReadLatest —
+  // each one is a snapshot that was skipped in favor of an older (or no)
+  // snapshot.
+  uint64_t invalid_slots_seen = 0;
+};
+
+// Shadow-paged snapshot file. See file comment for the layout and commit
+// protocol. Not thread-safe (one cursor owns one store).
+class SnapshotStore {
+ public:
+  // Creates the store (or opens an existing snapshot file, recovering a
+  // truncated tail from a crashed writer). Returns null only if the backing
+  // file can neither be opened nor created.
+  static std::unique_ptr<SnapshotStore> Open(
+      const SnapshotStoreOptions& options) {
+    storage::FaultInjectingPageFile* injector = nullptr;
+    std::unique_ptr<storage::PageFile> file;
+    const storage::PageStoreOptions store_options{
+        options.page_size, options.path, options.fault_injection};
+    if (!options.path.empty()) {
+      file = storage::OpenPageStore(store_options,
+                                    /*recover_truncated_tail=*/true,
+                                    &injector);
+    }
+    if (file == nullptr) {
+      file = storage::CreatePageStore(store_options, &injector);
+    }
+    if (file == nullptr) return nullptr;
+    auto store = std::unique_ptr<SnapshotStore>(
+        new SnapshotStore(options, std::move(file), injector));
+    store->InitHeaders();
+    return store;
+  }
+
+  // Commits `payload` as the next snapshot epoch. On any unrecoverable
+  // write failure the slot under construction is abandoned and the previous
+  // snapshot remains the committed one; returns false.
+  bool WriteSnapshot(const Blob& payload) {
+    const uint64_t epoch = last_epoch_ + 1;
+    const uint32_t slot = static_cast<uint32_t>(epoch & 1);
+    const uint64_t length = payload.size();
+    const uint64_t npages = (length + page_size_ - 1) / page_size_;
+    if (!EnsurePages(kFirstPayloadPage + 2 * npages)) {
+      ++stats_.write_failures;
+      return false;
+    }
+    std::vector<char> buffer(page_size_);
+    for (uint64_t i = 0; i < npages; ++i) {
+      const size_t offset = i * page_size_;
+      const size_t chunk =
+          std::min<size_t>(page_size_, length - offset);
+      std::memcpy(buffer.data(), payload.data() + offset, chunk);
+      std::memset(buffer.data() + chunk, 0, page_size_ - chunk);
+      if (!WriteWithRetry(PayloadPage(i, slot), buffer.data())) {
+        ++stats_.write_failures;
+        return false;
+      }
+    }
+    if (file_->Sync() != storage::IoStatus::kOk) {
+      ++stats_.write_failures;
+      return false;
+    }
+    // Commit point: the slot header names the payload.
+    std::memset(buffer.data(), 0, page_size_);
+    PackHeader(buffer.data(), epoch, length,
+               storage::Fnv1a64(payload.data(), payload.size()));
+    if (!WriteWithRetry(slot, buffer.data()) ||
+        file_->Sync() != storage::IoStatus::kOk) {
+      ++stats_.write_failures;
+      return false;
+    }
+    last_epoch_ = epoch;
+    ++stats_.snapshots_written;
+    return true;
+  }
+
+  // Loads the newest valid snapshot into *payload (and its epoch into
+  // *epoch, when non-null). A slot whose header or payload fails validation
+  // is skipped — counted in invalid_slots_seen — and the other slot is used
+  // instead. Returns false if no valid snapshot exists.
+  bool ReadLatest(std::string* payload, uint64_t* epoch = nullptr) {
+    std::string best_payload;
+    uint64_t best_epoch = 0;
+    bool found = false;
+    for (uint32_t slot = 0; slot < 2; ++slot) {
+      std::string slot_payload;
+      uint64_t slot_epoch = 0;
+      switch (ReadSlot(slot, &slot_payload, &slot_epoch)) {
+        case SlotState::kEmpty:
+          break;
+        case SlotState::kInvalid:
+          ++stats_.invalid_slots_seen;
+          break;
+        case SlotState::kValid:
+          if (!found || slot_epoch > best_epoch) {
+            best_epoch = slot_epoch;
+            best_payload = std::move(slot_payload);
+          }
+          found = true;
+          break;
+      }
+    }
+    if (!found) return false;
+    // Future snapshots must overwrite the *other* slot, never the one we
+    // are about to resume from — even when the other slot claims a newer
+    // epoch whose payload failed validation (its epoch is forgotten here,
+    // so the next write reuses its slot).
+    last_epoch_ = best_epoch;
+    *payload = std::move(best_payload);
+    if (epoch != nullptr) *epoch = best_epoch;
+    return true;
+  }
+
+  const SnapshotStoreStats& stats() const { return stats_; }
+  uint64_t last_epoch() const { return last_epoch_; }
+
+  // Fault-injection layer, when configured; null otherwise.
+  storage::FaultInjectingPageFile* injector() const { return injector_; }
+
+ private:
+  static constexpr uint64_t kMagic = 0x53444A534E415031ULL;  // "SDJSNAP1"
+  static constexpr uint32_t kVersion = 1;
+  static constexpr storage::PageId kFirstPayloadPage = 2;
+  static constexpr size_t kHeaderBytes = 40;
+
+  enum class SlotState { kEmpty, kValid, kInvalid };
+
+  SnapshotStore(const SnapshotStoreOptions& options,
+                std::unique_ptr<storage::PageFile> file,
+                storage::FaultInjectingPageFile* injector)
+      : page_size_(options.page_size),
+        retry_(options.retry),
+        file_(std::move(file)),
+        injector_(injector) {
+    SDJ_CHECK(page_size_ >= kHeaderBytes);
+  }
+
+  storage::PageId PayloadPage(uint64_t index, uint32_t slot) const {
+    return static_cast<storage::PageId>(kFirstPayloadPage + 2 * index + slot);
+  }
+
+  static void PackHeader(char* dst, uint64_t epoch, uint64_t length,
+                         uint64_t checksum) {
+    std::memcpy(dst, &kMagic, 8);
+    const uint32_t version = kVersion;
+    std::memcpy(dst + 8, &version, 4);
+    const uint32_t reserved = 0;
+    std::memcpy(dst + 12, &reserved, 4);
+    std::memcpy(dst + 16, &epoch, 8);
+    std::memcpy(dst + 24, &length, 8);
+    std::memcpy(dst + 32, &checksum, 8);
+  }
+
+  // Makes the file span at least `count` pages. New pages are written as
+  // zeroes so they carry a valid checksum trailer.
+  bool EnsurePages(uint64_t count) {
+    std::vector<char> zero(page_size_, 0);
+    while (file_->num_pages() < count) {
+      const storage::PageId id = file_->Allocate();
+      if (!WriteWithRetry(id, zero.data())) return false;
+    }
+    return true;
+  }
+
+  // Fresh stores get two readable all-zero header slots, so "empty" and
+  // "corrupt" stay distinguishable. An existing slot that cannot even be
+  // read (e.g., a torn header commit from a crashed writer) is remembered
+  // as corrupt-at-open, then healed to empty so the slot is reusable.
+  void InitHeaders() {
+    if (file_->num_pages() >= 2) {
+      // Existing file: probe both headers; heal unreadable ones.
+      std::vector<char> buffer(page_size_);
+      std::vector<char> zero(page_size_, 0);
+      for (uint32_t slot = 0; slot < 2; ++slot) {
+        if (!ReadWithRetry(slot, buffer.data())) {
+          corrupt_at_open_[slot] = true;
+          WriteWithRetry(slot, zero.data());  // best effort
+          continue;
+        }
+        // Track the newest committed epoch so the next WriteSnapshot never
+        // targets the slot holding it, even if ReadLatest is never called.
+        uint64_t magic;
+        uint32_t version;
+        uint64_t epoch;
+        std::memcpy(&magic, buffer.data(), 8);
+        std::memcpy(&version, buffer.data() + 8, 4);
+        std::memcpy(&epoch, buffer.data() + 16, 8);
+        if (magic == kMagic && version == kVersion) {
+          last_epoch_ = std::max(last_epoch_, epoch);
+        }
+      }
+      return;
+    }
+    EnsurePages(2);
+  }
+
+  SlotState ReadSlot(uint32_t slot, std::string* payload, uint64_t* epoch) {
+    if (corrupt_at_open_[slot]) {
+      corrupt_at_open_[slot] = false;  // report it once
+      return SlotState::kInvalid;
+    }
+    if (file_->num_pages() < 2) return SlotState::kEmpty;
+    std::vector<char> buffer(page_size_);
+    if (!ReadWithRetry(slot, buffer.data())) return SlotState::kInvalid;
+    uint64_t magic;
+    std::memcpy(&magic, buffer.data(), 8);
+    if (magic == 0) return SlotState::kEmpty;
+    if (magic != kMagic) return SlotState::kInvalid;
+    uint32_t version;
+    std::memcpy(&version, buffer.data() + 8, 4);
+    if (version != kVersion) return SlotState::kInvalid;
+    uint64_t length;
+    uint64_t checksum;
+    std::memcpy(epoch, buffer.data() + 16, 8);
+    std::memcpy(&length, buffer.data() + 24, 8);
+    std::memcpy(&checksum, buffer.data() + 32, 8);
+    const uint64_t npages = (length + page_size_ - 1) / page_size_;
+    if (npages > 0 &&
+        PayloadPage(npages - 1, slot) >= file_->num_pages()) {
+      return SlotState::kInvalid;  // header names pages the file lacks
+    }
+    payload->resize(length);
+    for (uint64_t i = 0; i < npages; ++i) {
+      if (!ReadWithRetry(PayloadPage(i, slot), buffer.data())) {
+        return SlotState::kInvalid;
+      }
+      const size_t offset = i * page_size_;
+      const size_t chunk = std::min<size_t>(page_size_, length - offset);
+      std::memcpy(payload->data() + offset, buffer.data(), chunk);
+    }
+    if (storage::Fnv1a64(payload->data(), payload->size()) != checksum) {
+      return SlotState::kInvalid;
+    }
+    return SlotState::kValid;
+  }
+
+  bool ReadWithRetry(storage::PageId id, char* buffer) {
+    for (uint32_t attempt = 0; attempt < retry_.max_attempts; ++attempt) {
+      const storage::IoStatus status = file_->Read(id, buffer);
+      if (status == storage::IoStatus::kOk) return true;
+      if (status == storage::IoStatus::kFailed) return false;
+    }
+    return false;
+  }
+
+  bool WriteWithRetry(storage::PageId id, const char* buffer) {
+    for (uint32_t attempt = 0; attempt < retry_.max_attempts; ++attempt) {
+      const storage::IoStatus status = file_->Write(id, buffer);
+      if (status == storage::IoStatus::kOk) return true;
+      if (status == storage::IoStatus::kFailed) return false;
+    }
+    return false;
+  }
+
+  const uint32_t page_size_;
+  const storage::RetryPolicy retry_;
+  std::unique_ptr<storage::PageFile> file_;
+  storage::FaultInjectingPageFile* injector_ = nullptr;
+  uint64_t last_epoch_ = 0;
+  bool corrupt_at_open_[2] = {false, false};
+  SnapshotStoreStats stats_;
+};
+
+}  // namespace sdj::snapshot
+
+#endif  // SDJOIN_CORE_SNAPSHOT_H_

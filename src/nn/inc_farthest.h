@@ -21,6 +21,7 @@
 #include "nn/inc_nearest.h"
 #include "rtree/rtree.h"
 #include "util/check.h"
+#include "util/stop_token.h"
 
 namespace sdj {
 
@@ -40,12 +41,22 @@ class IncFarthestNeighbor {
     }
   }
 
-  // Yields the next farthest object; returns false when exhausted. For
-  // extended objects, the reported distance is the maximal distance from the
-  // query to the object's rectangle (consistent with the node bound).
+  // Cooperative suspension, mirroring IncNearestNeighbor (DESIGN.md §11).
+  void set_stop_token(util::StopToken token) { stop_token_ = token; }
+  bool suspended() const { return suspended_; }
+
+  // Yields the next farthest object; returns false when exhausted or the
+  // stop token fired (suspended() disambiguates). For extended objects, the
+  // reported distance is the maximal distance from the query to the
+  // object's rectangle (consistent with the node bound).
   bool Next(Result* out) {
     SDJ_CHECK(out != nullptr);
+    suspended_ = false;
     while (!queue_.empty()) {
+      if (stop_token_.stop_requested()) {
+        suspended_ = true;
+        return false;
+      }
       const QueueItem item = queue_.top();
       queue_.pop();
       if (item.is_object) {
@@ -102,6 +113,8 @@ class IncFarthestNeighbor {
   const Index& tree_;
   const Point<Dim> query_;
   const Metric metric_;
+  util::StopToken stop_token_;
+  bool suspended_ = false;
   std::priority_queue<QueueItem> queue_;
   // Node-decode scratch, reused across expansions.
   RectBatch<Dim> batch_;

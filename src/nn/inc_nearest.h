@@ -21,6 +21,7 @@
 #include "geometry/rect_batch.h"
 #include "rtree/rtree.h"
 #include "util/check.h"
+#include "util/stop_token.h"
 
 namespace sdj {
 
@@ -57,10 +58,23 @@ class IncNearestNeighbor {
     }
   }
 
-  // Yields the next nearest object; returns false when the tree is exhausted.
+  // Cooperative suspension (DESIGN.md §11): once the token requests a stop,
+  // Next() returns false at the next safe point with suspended() == true;
+  // the traversal state stays intact, so calling Next() again (after
+  // re-arming the source) continues where it stopped.
+  void set_stop_token(util::StopToken token) { stop_token_ = token; }
+  bool suspended() const { return suspended_; }
+
+  // Yields the next nearest object; returns false when the tree is exhausted
+  // or the stop token fired (suspended() disambiguates).
   bool Next(Result* out) {
     SDJ_CHECK(out != nullptr);
+    suspended_ = false;
     while (!queue_.empty()) {
+      if (stop_token_.stop_requested()) {
+        suspended_ = true;
+        return false;
+      }
       const QueueItem item = queue_.top();
       queue_.pop();
       if (item.is_object) {
@@ -119,6 +133,8 @@ class IncNearestNeighbor {
   const Index& tree_;
   const Point<Dim> query_;
   const Metric metric_;
+  util::StopToken stop_token_;
+  bool suspended_ = false;
   std::priority_queue<QueueItem> queue_;
   // Node-decode scratch, reused across expansions.
   RectBatch<Dim> batch_;

@@ -154,6 +154,9 @@ class PointQuadtree {
 
   bool empty() const { return root_ == storage::kInvalidPageId; }
   size_t size() const { return size_; }
+  // Largest ObjectId ever inserted (0 for an empty tree); see
+  // RTree::max_object_id.
+  ObjectId max_object_id() const { return max_object_id_; }
   storage::PageId root() const { return root_; }
   // Engine-facing level of the root; leaves sit at max_depth - depth.
   int root_level() const { return options_.max_depth; }
@@ -190,6 +193,7 @@ class PointQuadtree {
     }
     InsertAt(root_, extent_, 0, point, id);
     ++size_;
+    max_object_id_ = std::max(max_object_id_, id);
   }
 
   // RTree-compatible overload for degenerate rects.
@@ -403,6 +407,7 @@ class PointQuadtree {
   size_t size_ = 0;
   size_t num_nodes_ = 0;
   size_t num_leaves_ = 0;
+  ObjectId max_object_id_ = 0;
 };
 
 }  // namespace sdj

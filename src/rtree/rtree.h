@@ -209,6 +209,10 @@ class RTree {
   bool empty() const { return root_ == storage::kInvalidPageId; }
   // Number of objects.
   size_t size() const { return size_; }
+  // Largest ObjectId ever inserted (0 for an empty tree). The join engines
+  // validate the dense-id precondition (ids in [0, size)) against this at
+  // construction; Delete never shrinks it, so the check is conservative.
+  ObjectId max_object_id() const { return max_object_id_; }
   // Number of levels; 0 for an empty tree, 1 for a root-leaf tree.
   int height() const { return empty() ? 0 : root_level_ + 1; }
   storage::PageId root() const { return root_; }
@@ -255,6 +259,7 @@ class RTree {
     std::vector<bool> reinserted;  // one flag per level, lazily sized
     InsertAtLevel(0, rect, id, &reinserted);
     ++size_;
+    max_object_id_ = std::max(max_object_id_, id);
   }
 
   // Removes the object with exactly this (rect, id) entry. Returns false if
@@ -285,7 +290,10 @@ class RTree {
     // Pack the leaf level.
     std::vector<std::pair<Rect<Dim>, uint64_t>> items;
     items.reserve(entries.size());
-    for (const Entry& e : entries) items.push_back({e.rect, e.id});
+    for (const Entry& e : entries) {
+      items.push_back({e.rect, e.id});
+      max_object_id_ = std::max(max_object_id_, e.id);
+    }
     size_ = entries.size();
     int level = 0;
     for (;;) {
@@ -344,7 +352,8 @@ class RTree {
  private:
   static constexpr storage::PageId kMetaPage = 0;
   static constexpr uint32_t kMetaMagic = 0x534A5254;  // "SJRT"
-  static constexpr uint32_t kMetaVersion = 1;
+  // v2 appends max_object_id (dense-id precondition survives reopen).
+  static constexpr uint32_t kMetaVersion = 2;
 
   struct PathStep {
     storage::PageId page;
@@ -386,6 +395,7 @@ class RTree {
     put64(size_);
     put64(num_nodes_);
     put64(num_leaves_);
+    put64(max_object_id_);
     put32(static_cast<uint32_t>(nodes_per_level_.size()));
     for (size_t n : nodes_per_level_) put64(n);
     pool_->Unpin(kMetaPage, /*dirty=*/true);
@@ -419,6 +429,7 @@ class RTree {
       size_ = get64();
       num_nodes_ = get64();
       num_leaves_ = get64();
+      max_object_id_ = get64();
       nodes_per_level_.assign(get32(), 0);
       for (size_t& n : nodes_per_level_) n = get64();
     }
@@ -1151,6 +1162,7 @@ class RTree {
   size_t size_ = 0;
   size_t num_nodes_ = 0;
   size_t num_leaves_ = 0;
+  ObjectId max_object_id_ = 0;
   std::vector<size_t> nodes_per_level_;  // [level] -> live node count
 };
 

@@ -75,6 +75,18 @@ class DynamicBitset {
   // Approximate heap footprint in bytes (the paper quotes 122K for 1M bits).
   size_t MemoryBytes() const { return words_.size() * sizeof(uint64_t); }
 
+  // Word-level access for serialization (DESIGN.md §11). Words are 64-bit
+  // little-endian chunks of the bit string; word i holds bits [64i, 64i+64).
+  size_t WordCount() const { return words_.size(); }
+  uint64_t Word(size_t i) const {
+    SDJ_DCHECK(i < words_.size());
+    return words_[i];
+  }
+  void SetWord(size_t i, uint64_t word) {
+    SDJ_DCHECK(i < words_.size());
+    words_[i] = word;
+  }
+
  private:
   size_t size_ = 0;
   std::vector<uint64_t> words_;

@@ -133,6 +133,22 @@ class PairingHeap {
     size_ = 0;
   }
 
+  // Visits every element in unspecified order (iterative, so degenerate
+  // shapes cannot overflow the stack). The heap must not be mutated while
+  // iterating. Used by snapshot serialization (DESIGN.md §11).
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    std::vector<const Node*> stack;
+    if (root_ != nullptr) stack.push_back(root_);
+    while (!stack.empty()) {
+      const Node* n = stack.back();
+      stack.pop_back();
+      fn(n->value);
+      if (n->child != nullptr) stack.push_back(n->child);
+      if (n->sibling != nullptr) stack.push_back(n->sibling);
+    }
+  }
+
  private:
   // The join pushes millions of entries per query; carving nodes out of
   // fixed-size blocks and recycling popped ones through a free list keeps

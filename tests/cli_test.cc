@@ -1,0 +1,262 @@
+// Integration tests for sdjoin_cli's durable-cursor flag matrix (see the
+// header comment in tools/sdjoin_cli.cc): exit codes, suspend/resume stream
+// equality across thread counts, checkpoint fallback after on-disk snapshot
+// corruption, and fault-injected runs. The binary under test is passed as
+// the first command-line argument (wired up in tests/CMakeLists.txt).
+#include <sys/wait.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "storage/checksum.h"
+
+std::string g_cli_path;
+
+namespace sdj {
+namespace {
+
+struct RunResult {
+  int exit_code = -1;
+  std::string output;  // stdout and stderr, interleaved
+};
+
+RunResult RunCli(const std::string& args) {
+  const std::string command = g_cli_path + " " + args + " 2>&1";
+  RunResult result;
+  std::FILE* pipe = ::popen(command.c_str(), "r");
+  if (pipe == nullptr) return result;
+  char buffer[4096];
+  size_t n;
+  while ((n = std::fread(buffer, 1, sizeof(buffer), pipe)) > 0) {
+    result.output.append(buffer, n);
+  }
+  const int status = ::pclose(pipe);
+  result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
+  return result;
+}
+
+std::vector<std::string> SplitLines(const std::string& text) {
+  std::vector<std::string> lines;
+  size_t pos = 0;
+  while (pos < text.size()) {
+    size_t end = text.find('\n', pos);
+    if (end == std::string::npos) end = text.size();
+    lines.push_back(text.substr(pos, end - pos));
+    pos = end + 1;
+  }
+  return lines;
+}
+
+// The "id1,id2,distance" result lines, with comments and warnings dropped.
+std::vector<std::string> PairLines(const std::string& output) {
+  std::vector<std::string> pairs;
+  for (const std::string& line : SplitLines(output)) {
+    if (!line.empty() && line[0] >= '0' && line[0] <= '9' &&
+        line.find(',') != std::string::npos) {
+      pairs.push_back(line);
+    }
+  }
+  return pairs;
+}
+
+// The "# cost: ..." summary line (empty if absent).
+std::string CostLine(const std::string& output) {
+  for (const std::string& line : SplitLines(output)) {
+    if (line.rfind("# cost:", 0) == 0) return line;
+  }
+  return "";
+}
+
+// Flips one byte of a physical snapshot page so the page checksum fails;
+// mirrors CorruptPage in join_cursor_test.cc.
+void CorruptSnapshotPage(const std::string& path, uint32_t page) {
+  const uint64_t physical = 4096 + storage::kPageTrailerSize;
+  std::FILE* f = std::fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr);
+  const long offset = static_cast<long>(page * physical + 16);
+  ASSERT_EQ(std::fseek(f, offset, SEEK_SET), 0);
+  const int byte = std::fgetc(f);
+  ASSERT_NE(byte, EOF);
+  ASSERT_EQ(std::fseek(f, offset, SEEK_SET), 0);
+  ASSERT_NE(std::fputc(byte ^ 0xFF, f), EOF);
+  std::fclose(f);
+}
+
+class CliTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    a_csv_ = ::testing::TempDir() + "/cli_a.csv";
+    b_csv_ = ::testing::TempDir() + "/cli_b.csv";
+    ASSERT_EQ(RunCli("gen --out=" + a_csv_ + " --n=400 --seed=11").exit_code,
+              0);
+    ASSERT_EQ(RunCli("gen --out=" + b_csv_ + " --n=400 --seed=12").exit_code,
+              0);
+  }
+
+  static std::string JoinArgs(const std::string& extra) {
+    return "join --a=" + a_csv_ + " --b=" + b_csv_ +
+           " --k=300 --print=1000 " + extra;
+  }
+  static std::string SemiArgs(const std::string& extra) {
+    return "semijoin --a=" + a_csv_ + " --b=" + b_csv_ +
+           " --k=150 --print=1000 " + extra;
+  }
+
+  static std::string a_csv_;
+  static std::string b_csv_;
+};
+
+std::string CliTest::a_csv_;
+std::string CliTest::b_csv_;
+
+TEST_F(CliTest, UsageAndInputExitCodes) {
+  EXPECT_EQ(RunCli("frobnicate").exit_code, 2);  // unknown command
+  EXPECT_EQ(RunCli("join --b=" + b_csv_).exit_code, 1);  // missing --a
+  // --resume without --snapshot is a usage error, not a silent fresh start.
+  const RunResult r = RunCli(JoinArgs("--resume"));
+  EXPECT_EQ(r.exit_code, 2);
+  EXPECT_NE(r.output.find("--resume requires --snapshot"), std::string::npos);
+}
+
+TEST_F(CliTest, SuspendThenResumeReproducesTheUninterruptedStream) {
+  const RunResult reference = RunCli(JoinArgs(""));
+  ASSERT_EQ(reference.exit_code, 0);
+  const std::vector<std::string> expected = PairLines(reference.output);
+  ASSERT_EQ(expected.size(), 300u);
+
+  const std::string snap = ::testing::TempDir() + "/cli_join.snap";
+  std::remove(snap.c_str());
+  const RunResult suspended =
+      RunCli(JoinArgs("--suspend-after=120 --snapshot=" + snap));
+  EXPECT_EQ(suspended.exit_code, 4);
+  EXPECT_NE(suspended.output.find("suspended: state checkpointed"),
+            std::string::npos);
+  std::vector<std::string> combined = PairLines(suspended.output);
+  ASSERT_EQ(combined.size(), 120u);
+
+  // Resume with a different thread count: the thread count is not part of
+  // the snapshot fingerprint and the stream is output-identical.
+  const RunResult resumed =
+      RunCli(JoinArgs("--resume --threads=4 --snapshot=" + snap));
+  EXPECT_EQ(resumed.exit_code, 0);
+  for (const std::string& line : PairLines(resumed.output)) {
+    combined.push_back(line);
+  }
+  EXPECT_EQ(combined, expected);
+  // Final statistics match the uninterrupted run's as well.
+  EXPECT_EQ(CostLine(resumed.output), CostLine(reference.output));
+}
+
+TEST_F(CliTest, CorruptNewestSnapshotFallsBackToPreviousCheckpoint) {
+  const RunResult reference = RunCli(JoinArgs(""));
+  ASSERT_EQ(reference.exit_code, 0);
+  const std::vector<std::string> expected = PairLines(reference.output);
+
+  const std::string snap = ::testing::TempDir() + "/cli_fallback.snap";
+  std::remove(snap.c_str());
+  // Checkpoints at pairs 50 (epoch 1) and 100 (epoch 2); the suspension
+  // snapshot at pair 120 is epoch 3, stored in header slot 3 & 1 == 1.
+  const RunResult suspended = RunCli(JoinArgs(
+      "--checkpoint-every=50 --suspend-after=120 --snapshot=" + snap));
+  ASSERT_EQ(suspended.exit_code, 4);
+  CorruptSnapshotPage(snap, /*page=*/1);
+
+  // Resume falls back to epoch 2 (pair 100) and replays from there.
+  const RunResult resumed = RunCli(JoinArgs("--resume --snapshot=" + snap));
+  EXPECT_EQ(resumed.exit_code, 0);
+  EXPECT_NE(resumed.output.find("snapshot fallbacks"), std::string::npos);
+  std::vector<std::string> combined(PairLines(suspended.output));
+  ASSERT_GE(combined.size(), 100u);
+  combined.resize(100);
+  for (const std::string& line : PairLines(resumed.output)) {
+    combined.push_back(line);
+  }
+  EXPECT_EQ(combined, expected);
+}
+
+TEST_F(CliTest, ResumeOnEmptySnapshotStoreWarnsAndStartsFromScratch) {
+  const std::string snap = ::testing::TempDir() + "/cli_empty.snap";
+  std::remove(snap.c_str());
+  const RunResult r = RunCli(JoinArgs("--resume --snapshot=" + snap));
+  EXPECT_EQ(r.exit_code, 0);
+  EXPECT_NE(r.output.find("no usable snapshot"), std::string::npos);
+  EXPECT_EQ(PairLines(r.output).size(), 300u);
+}
+
+TEST_F(CliTest, TransientFaultsWithCheckpointsStillResumeCleanly) {
+  const RunResult reference = RunCli(JoinArgs(""));
+  ASSERT_EQ(reference.exit_code, 0);
+
+  const std::string snap = ::testing::TempDir() + "/cli_faults.snap";
+  std::remove(snap.c_str());
+  // Transient faults cover the trees AND the snapshot store; bounded
+  // retries recover both, so the stream still matches the clean run.
+  const std::string faults = "--inject-faults=5 ";
+  const RunResult suspended = RunCli(JoinArgs(
+      faults + "--checkpoint-every=40 --suspend-after=150 --snapshot=" +
+      snap));
+  ASSERT_EQ(suspended.exit_code, 4);
+  const RunResult resumed =
+      RunCli(JoinArgs(faults + "--resume --snapshot=" + snap));
+  EXPECT_EQ(resumed.exit_code, 0);
+  std::vector<std::string> combined = PairLines(suspended.output);
+  ASSERT_EQ(combined.size(), 150u);
+  for (const std::string& line : PairLines(resumed.output)) {
+    combined.push_back(line);
+  }
+  EXPECT_EQ(combined, PairLines(reference.output));
+}
+
+TEST_F(CliTest, HardFaultExitsThreeWithIdenticalPrefixAcrossThreads) {
+  // --buffer=2 forces physical reads (a fully cached tree never reaches the
+  // injector); after 10 of them every further read fails hard.
+  const std::string faults =
+      "--inject-faults=3 --fault-read-rate=0 --fault-write-rate=0 "
+      "--fault-bit-flip-rate=0 --fault-hard-read-after=10 --buffer=2 ";
+  const RunResult serial = RunCli(JoinArgs(faults + "--threads=1"));
+  const RunResult parallel = RunCli(JoinArgs(faults + "--threads=4"));
+  EXPECT_EQ(serial.exit_code, 3);
+  EXPECT_NE(serial.output.find("io-error"), std::string::npos);
+  // The parallel engine reports the identical error-point prefix.
+  EXPECT_EQ(parallel.exit_code, 3);
+  EXPECT_EQ(PairLines(parallel.output), PairLines(serial.output));
+}
+
+TEST_F(CliTest, SemiJoinSuspendResumeMatrix) {
+  const RunResult reference = RunCli(SemiArgs(""));
+  ASSERT_EQ(reference.exit_code, 0);
+  const std::vector<std::string> expected = PairLines(reference.output);
+  ASSERT_EQ(expected.size(), 150u);
+
+  const std::string snap = ::testing::TempDir() + "/cli_semi.snap";
+  std::remove(snap.c_str());
+  const RunResult suspended = RunCli(
+      SemiArgs("--suspend-after=60 --checkpoint-every=25 --snapshot=" + snap));
+  EXPECT_EQ(suspended.exit_code, 4);
+  std::vector<std::string> combined = PairLines(suspended.output);
+  ASSERT_EQ(combined.size(), 60u);
+
+  const RunResult resumed = RunCli(SemiArgs("--resume --snapshot=" + snap));
+  EXPECT_EQ(resumed.exit_code, 0);
+  for (const std::string& line : PairLines(resumed.output)) {
+    combined.push_back(line);
+  }
+  EXPECT_EQ(combined, expected);
+  EXPECT_EQ(CostLine(resumed.output), CostLine(reference.output));
+}
+
+}  // namespace
+}  // namespace sdj
+
+int main(int argc, char** argv) {
+  ::testing::InitGoogleTest(&argc, argv);
+  if (argc > 1) g_cli_path = argv[1];
+  if (g_cli_path.empty()) {
+    std::fprintf(stderr, "usage: cli_test <path-to-sdjoin_cli>\n");
+    return 1;
+  }
+  return RUN_ALL_TESTS();
+}

@@ -14,23 +14,56 @@
 //   sdjoin_cli nn       --a=a.csv --x=X --y=Y [--k=5]
 //   sdjoin_cli stats    --a=a.csv
 //
+// join and semijoin also accept durable-cursor flags (DESIGN.md §11):
+//   --snapshot=<file>      snapshot store for checkpoints and resume
+//   --checkpoint-every=N   checkpoint every N reported pairs (0 = only on
+//                          suspension)
+//   --suspend-after=N      suspend deterministically after N reported pairs
+//   --max-seconds=S        suspend when the wall-clock deadline passes
+//   --resume               load the newest valid snapshot before iterating
+//
+// Flag interaction matrix (tested in tests/cli_test.cc):
+//   --threads x --resume        the pair stream is output-identical for every
+//                               thread count and the thread count is not part
+//                               of the snapshot fingerprint, so a run
+//                               suspended with --threads=1 may resume with
+//                               --threads=4 and vice versa.
+//   --inject-faults x --resume  fault injection covers the snapshot store as
+//                               well as the trees: checkpoints that fail to
+//                               commit are counted and the join continues
+//                               under the previous snapshot; torn or corrupt
+//                               slots are skipped on resume (fallback), and if
+//                               no valid snapshot remains the join restarts
+//                               from scratch with a warning.
+//   --inject-faults x --threads parallel workers see the same retry/checksum
+//                               recovery as the serial engine; a hard fault
+//                               ends the run with an identical error-point
+//                               prefix for any thread count.
+// Exit codes: 0 = result exhausted, 1 = bad input, 2 = usage error,
+// 3 = io-error (reported pairs are a valid prefix), 4 = suspended (snapshot
+// committed; rerun with --resume to continue).
+//
 // Datasets are "x,y" CSV files (data/dataset_io.h); object ids are row
 // numbers. Every command prints a short cost report (distance calculations,
 // queue size, node I/O) alongside its results.
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "core/distance_join.h"
+#include "core/join_cursor.h"
 #include "core/semi_join.h"
 #include "data/dataset_io.h"
 #include "data/generators.h"
 #include "nn/inc_nearest.h"
 #include "rtree/rtree.h"
 #include "storage/fault_injection.h"
+#include "util/stop_token.h"
 
 namespace {
 
@@ -154,16 +187,98 @@ void PrintFaultCounters(const char* label,
       static_cast<unsigned long long>(c.bit_flips));
 }
 
-// Reports the terminal status; io-error exits non-zero so scripts notice the
-// result is a partial (but still correctly ordered) prefix.
-int ReportStatus(JoinStatus status) {
+// Reports the terminal status; non-ok statuses exit non-zero so scripts can
+// distinguish a complete result (0) from a valid partial prefix (3) and a
+// resumable suspension (4).
+int ReportStatus(JoinStatus status, const std::string& snapshot_path) {
   if (status == JoinStatus::kIoError) {
     std::fprintf(stderr,
                  "io-error: join stopped early; reported pairs are a valid "
                  "prefix of the full result\n");
     return 3;
   }
+  if (status == JoinStatus::kSuspended) {
+    std::fprintf(stderr,
+                 "suspended: state checkpointed%s%s; rerun with --resume to "
+                 "continue\n",
+                 snapshot_path.empty() ? "" : " to ",
+                 snapshot_path.c_str());
+    return 4;
+  }
+  if (status == JoinStatus::kInvalidArgument) {
+    std::fprintf(stderr, "invalid-argument: object ids are not dense\n");
+    return 2;
+  }
   return 0;
+}
+
+void PrintCosts(const JoinStats& stats);
+
+// Shared join/semijoin driver: iterates `engine` through a JoinCursor,
+// honoring the durable-cursor flags (see file header). `stop_source` must be
+// the source behind the engine's stop token. Prints pairs and cursor
+// bookkeeping; the caller prints costs and fault counters afterwards.
+template <typename Engine>
+int DriveJoin(Engine* engine, const Flags& flags,
+              sdj::util::StopSource* stop_source,
+              const std::optional<sdj::storage::FaultInjectionOptions>&
+                  fault_injection) {
+  sdj::CursorOptions cursor_options;
+  cursor_options.snapshot_path = flags.Get("snapshot", "");
+  cursor_options.checkpoint_every =
+      static_cast<uint64_t>(flags.GetLong("checkpoint-every", 0));
+  cursor_options.fault_injection = fault_injection;
+  sdj::JoinCursor<2, Engine> cursor(engine, cursor_options);
+  if (!cursor_options.snapshot_path.empty() && !cursor.ok()) {
+    std::fprintf(stderr, "cannot open snapshot store %s\n",
+                 cursor_options.snapshot_path.c_str());
+    return 1;
+  }
+  if (flags.GetBool("resume")) {
+    if (cursor_options.snapshot_path.empty()) {
+      std::fprintf(stderr, "--resume requires --snapshot=<file>\n");
+      return 2;
+    }
+    if (!cursor.ResumeLatest()) {
+      std::fprintf(stderr,
+                   "no usable snapshot in %s; starting from scratch\n",
+                   cursor_options.snapshot_path.c_str());
+    }
+  }
+  const double max_seconds = flags.GetDouble("max-seconds", 0.0);
+  if (max_seconds > 0.0) {
+    stop_source->SetDeadlineAfter(
+        std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+            std::chrono::duration<double>(max_seconds)));
+  }
+  const long suspend_after = flags.GetLong("suspend-after", 0);
+  const long print = flags.GetLong("print", 10);
+  JoinResult<2> pair;
+  long produced = 0;
+  while (cursor.Next(&pair)) {
+    if (produced < print) {
+      std::printf("%llu,%llu,%.6f\n",
+                  static_cast<unsigned long long>(pair.id1),
+                  static_cast<unsigned long long>(pair.id2), pair.distance);
+    }
+    ++produced;
+    if (suspend_after > 0 && produced >= suspend_after) {
+      stop_source->RequestStop();
+    }
+  }
+  PrintCosts(engine->stats());
+  const sdj::CursorStats& cs = cursor.cursor_stats();
+  if (cs.checkpoints_written > 0 || cs.checkpoint_failures > 0 ||
+      cs.snapshot_fallbacks > 0 || cs.resumes > 0) {
+    std::printf(
+        "# cursor: %llu checkpoints, %llu checkpoint failures, "
+        "%llu snapshot fallbacks, %llu resumes\n",
+        static_cast<unsigned long long>(cs.checkpoints_written),
+        static_cast<unsigned long long>(cs.checkpoint_failures),
+        static_cast<unsigned long long>(cs.snapshot_fallbacks),
+        static_cast<unsigned long long>(cs.resumes));
+  }
+  return ReportStatus(cursor.status(), cursor_options.snapshot_path);
 }
 
 bool ParseMetric(const std::string& name, Metric* metric) {
@@ -284,25 +399,17 @@ int CmdJoin(const Flags& flags) {
     return 1;
   }
   options.num_threads = static_cast<int>(threads);
+  sdj::util::StopSource stop_source;
+  options.stop_token = stop_source.token();
 
   DistanceJoin<2> join(ta, tb, options);
-  const long print = flags.GetLong("print", 10);
-  JoinResult<2> pair;
-  long produced = 0;
-  while (join.Next(&pair)) {
-    if (produced < print) {
-      std::printf("%llu,%llu,%.6f\n",
-                  static_cast<unsigned long long>(pair.id1),
-                  static_cast<unsigned long long>(pair.id2), pair.distance);
-    }
-    ++produced;
-  }
-  PrintCosts(join.stats());
+  const int rc =
+      DriveJoin(&join, flags, &stop_source, tree_options.fault_injection);
   if (faulty) {
     PrintFaultCounters("a", ta.injector());
     PrintFaultCounters("b", tb.injector());
   }
-  return ReportStatus(join.status());
+  return rc;
 }
 
 int CmdSemiJoin(const Flags& flags) {
@@ -344,24 +451,17 @@ int CmdSemiJoin(const Flags& flags) {
     return 1;
   }
 
+  sdj::util::StopSource stop_source;
+  options.join.stop_token = stop_source.token();
+
   DistanceSemiJoin<2> semi(ta, tb, options);
-  const long print = flags.GetLong("print", 10);
-  JoinResult<2> pair;
-  long produced = 0;
-  while (semi.Next(&pair)) {
-    if (produced < print) {
-      std::printf("%llu,%llu,%.6f\n",
-                  static_cast<unsigned long long>(pair.id1),
-                  static_cast<unsigned long long>(pair.id2), pair.distance);
-    }
-    ++produced;
-  }
-  PrintCosts(semi.stats());
+  const int rc =
+      DriveJoin(&semi, flags, &stop_source, tree_options.fault_injection);
   if (faulty) {
     PrintFaultCounters("a", ta.injector());
     PrintFaultCounters("b", tb.injector());
   }
-  return ReportStatus(semi.status());
+  return rc;
 }
 
 int CmdNn(const Flags& flags) {
@@ -396,6 +496,13 @@ int CmdStats(const Flags& flags) {
 int PrintUsage() {
   std::fprintf(stderr,
                "usage: sdjoin_cli <gen|join|semijoin|nn|stats> [--flags]\n"
+               "durable cursors (join/semijoin): --snapshot=<file>\n"
+               "  --checkpoint-every=N --suspend-after=N --max-seconds=S\n"
+               "  --resume; combine freely with --threads=N (resume may\n"
+               "  change the thread count) and --inject-faults=<seed>\n"
+               "  (covers the snapshot store; torn snapshots fall back)\n"
+               "exit codes: 0 exhausted, 1 bad input, 2 usage error,\n"
+               "  3 io-error (valid prefix), 4 suspended (resumable)\n"
                "see the header of tools/sdjoin_cli.cc for details\n");
   return 2;
 }
