@@ -138,6 +138,14 @@ void ColdCaches() {
   RoadsTree().pool().Invalidate();
 }
 
+bool MetricsEnabled() {
+  static const bool enabled = [] {
+    const char* env = std::getenv("SDJ_BENCH_METRICS");
+    return env == nullptr || std::string(env) != "0";
+  }();
+  return enabled;
+}
+
 void AddRow(const Row& row) { Rows().push_back(row); }
 
 namespace {
@@ -178,6 +186,29 @@ std::string JsonEscape(const std::string& s) {
 void JsonStat(std::FILE* f, const char* key, uint64_t value, bool last) {
   std::fprintf(f, "        \"%s\": %llu%s\n", key,
                static_cast<unsigned long long>(value), last ? "" : ",");
+}
+
+// One per-phase latency object: {"count": N, "total_ms": ..., "p50_us": ...,
+// "p95_us": ..., "p99_us": ..., "max_us": ...}. Every Op is emitted (zeros
+// when unused) so the schema is fixed for scripts/compare_bench.py.
+void JsonMetrics(std::FILE* f, const obs::MetricsSummary& metrics) {
+  std::fprintf(f, "      \"metrics\": {\n");
+  for (int i = 0; i < obs::kNumOps; ++i) {
+    const obs::Op op = static_cast<obs::Op>(i);
+    const obs::HistogramSummary& h = metrics.of(op);
+    std::fprintf(f,
+                 "        \"%s\": {\"count\": %llu, \"total_ms\": %.6f, "
+                 "\"p50_us\": %.3f, \"p95_us\": %.3f, \"p99_us\": %.3f, "
+                 "\"max_us\": %.3f}%s\n",
+                 obs::OpName(op), static_cast<unsigned long long>(h.count),
+                 static_cast<double>(h.total_ns) * 1e-6,
+                 static_cast<double>(h.p50_ns) * 1e-3,
+                 static_cast<double>(h.p95_ns) * 1e-3,
+                 static_cast<double>(h.p99_ns) * 1e-3,
+                 static_cast<double>(h.max_ns) * 1e-3,
+                 i + 1 < obs::kNumOps ? "," : "");
+  }
+  std::fprintf(f, "      }\n");
 }
 
 // Writes every recorded row to BENCH_<name>.json so sweeps over bench
@@ -238,7 +269,8 @@ void WriteJson(const std::string& title) {
     JsonStat(f, "batch_kernel_invocations", s.batch_kernel_invocations,
              false);
     JsonStat(f, "parallel_expansions", s.parallel_expansions, true);
-    std::fprintf(f, "      }\n");
+    std::fprintf(f, "      },\n");
+    JsonMetrics(f, row.metrics);
     std::fprintf(f, "    }%s\n", i + 1 < rows.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n");

@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "core/join_stats.h"
+#include "obs/metrics.h"
 #include "rtree/rtree.h"
 
 namespace sdj::bench {
@@ -58,7 +59,14 @@ struct Row {
   JoinStats stats;
   std::string note;
   int threads = 1;      // JoinConfig::num_threads used for the run
+  // Per-phase latency summaries (DESIGN.md §12); all-zero when the bench did
+  // not attach a Metrics sink (SDJ_BENCH_METRICS=0 or an unwired binary).
+  obs::MetricsSummary metrics{};
 };
+
+// Whether benches should attach a Metrics sink to instrumented runs.
+// Default on; SDJ_BENCH_METRICS=0 disables (for overhead measurements).
+bool MetricsEnabled();
 
 // Records one measurement row.
 void AddRow(const Row& row);

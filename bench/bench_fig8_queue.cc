@@ -23,19 +23,33 @@ void RunConfig(benchmark::State& state, const std::string& series,
                const DistanceJoinOptions& options, uint64_t pairs) {
   for (auto _ : state) {
     ColdCaches();
+    // Per-iteration sink (see bench_table1.cc); the hybrid-queue rows are
+    // where the refill and spill phases show up.
+    obs::Metrics metrics;
+    DistanceJoinOptions run_options = options;
+    if (MetricsEnabled()) {
+      run_options.metrics = &metrics;
+      WaterTree().pool().SetMetrics(&metrics);
+      RoadsTree().pool().SetMetrics(&metrics);
+    }
     WallTimer timer;
-    DistanceJoin<2> join(WaterTree(), RoadsTree(), options);
+    DistanceJoin<2> join(WaterTree(), RoadsTree(), run_options);
     JoinResult<2> result;
     uint64_t produced = 0;
     while (produced < pairs && join.Next(&result)) ++produced;
     const double seconds = timer.Seconds();
+    if (MetricsEnabled()) {
+      WaterTree().pool().SetMetrics(nullptr);
+      RoadsTree().pool().SetMetrics(nullptr);
+    }
     state.SetIterationTime(seconds);
     state.counters["queue_size"] =
         static_cast<double>(join.stats().max_queue_size);
     state.counters["mem_queue"] =
         static_cast<double>(join.max_memory_queue_size());
     AddRow({series, produced, seconds, join.stats(),
-            "mem_queue=" + std::to_string(join.max_memory_queue_size())});
+            "mem_queue=" + std::to_string(join.max_memory_queue_size()), 1,
+            metrics.Summary()});
   }
 }
 

@@ -18,18 +18,33 @@ void RunJoin(benchmark::State& state, uint64_t pairs,
              const DistanceJoinOptions& options, const std::string& series) {
   for (auto _ : state) {
     ColdCaches();
+    // Fresh per-iteration sink; detached from the shared pools before it
+    // goes out of scope. SDJ_BENCH_METRICS=0 reverts to the uninstrumented
+    // run (for overhead measurements).
+    obs::Metrics metrics;
+    DistanceJoinOptions run_options = options;
+    if (MetricsEnabled()) {
+      run_options.metrics = &metrics;
+      WaterTree().pool().SetMetrics(&metrics);
+      RoadsTree().pool().SetMetrics(&metrics);
+    }
     WallTimer timer;
-    DistanceJoin<2> join(WaterTree(), RoadsTree(), options);
+    DistanceJoin<2> join(WaterTree(), RoadsTree(), run_options);
     JoinResult<2> result;
     uint64_t produced = 0;
     while (produced < pairs && join.Next(&result)) ++produced;
     const double seconds = timer.Seconds();
+    if (MetricsEnabled()) {
+      WaterTree().pool().SetMetrics(nullptr);
+      RoadsTree().pool().SetMetrics(nullptr);
+    }
     state.SetIterationTime(seconds);
     const JoinStats& stats = join.stats();
     state.counters["dist_calc"] = static_cast<double>(stats.object_distance_calcs);
     state.counters["queue_size"] = static_cast<double>(stats.max_queue_size);
     state.counters["node_io"] = static_cast<double>(stats.node_io);
-    AddRow({series, produced, seconds, stats, "", options.num_threads});
+    AddRow({series, produced, seconds, stats, "", run_options.num_threads,
+            metrics.Summary()});
   }
 }
 

@@ -23,6 +23,20 @@ run_release() {
   # full-scale cost. Results at 5% scale are not meaningful numbers.
   (cd build && SDJ_BENCH_SCALE=0.05 bench/bench_table1 >/dev/null)
   (cd build && SDJ_BENCH_SCALE=0.05 bench/bench_checkpoint >/dev/null)
+  echo "=== release: bench compare vs bench/baselines ==="
+  # Gate the smoke run against the committed baseline (DESIGN.md §12) and
+  # print the per-phase latency breakdown. node_io is deterministic at a
+  # fixed scale, so its tolerance is tight; wall clock at 5% scale is noisy,
+  # so the pairs/sec tolerance is loose by default. Override via env, e.g.
+  # SDJ_BENCH_TIME_TOLERANCE=0.10 for a quiet benchmarking machine. After an
+  # intentional perf change, refresh the baseline:
+  #   (cd build && SDJ_BENCH_SCALE=0.05 bench/bench_table1 >/dev/null &&
+  #    cp BENCH_table1.json ../bench/baselines/)
+  python3 scripts/compare_bench.py \
+    bench/baselines/BENCH_table1.json build/BENCH_table1.json \
+    --time-tolerance="${SDJ_BENCH_TIME_TOLERANCE:-0.60}" \
+    --io-tolerance="${SDJ_BENCH_IO_TOLERANCE:-0.10}" \
+    --show-phases
 }
 
 run_asan() {

@@ -1,0 +1,145 @@
+#!/usr/bin/env python3
+"""Compare a BENCH_*.json run against a committed baseline and gate
+regressions.
+
+Usage:
+  scripts/compare_bench.py BASELINE.json CURRENT.json
+      [--time-tolerance=0.10] [--io-tolerance=0.10] [--show-phases]
+
+Rows are matched by (series, threads, pairs). Two gates per matched row:
+
+  * pairs/sec  — pairs / (wall_ms / 1000); a drop of more than
+                 --time-tolerance fails. Wall clock is noisy at small
+                 SDJ_BENCH_SCALE, so callers pick the tolerance (check.sh
+                 uses a loose one for its 5%-scale smoke run).
+  * node_io    — deterministic for a given scale, so any growth beyond
+                 --io-tolerance fails.
+
+The two files must have been produced at the same SDJ_BENCH_SCALE; comparing
+across scales is a usage error. --show-phases prints the current run's
+per-phase latency block (DESIGN.md §12) for every matched row.
+
+Exit codes: 0 ok, 1 regression detected, 2 usage/schema error.
+"""
+
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, ValueError) as e:
+        print(f"compare_bench: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def row_key(row):
+    return (row["series"], row.get("threads", 1), row["pairs"])
+
+
+def pairs_per_sec(row):
+    wall_s = row["wall_ms"] / 1000.0
+    if wall_s <= 0.0:
+        return float("inf")
+    return row["pairs"] / wall_s
+
+
+def show_phases(row):
+    metrics = row.get("metrics")
+    if not metrics:
+        print("    (no metrics block)")
+        return
+    for op, h in metrics.items():
+        if h["count"] == 0:
+            continue
+        print(
+            f"    {op:<15} count={h['count']:<8} "
+            f"total_ms={h['total_ms']:<10.3f} p50_us={h['p50_us']:<8.1f} "
+            f"p95_us={h['p95_us']:<8.1f} p99_us={h['p99_us']:<8.1f} "
+            f"max_us={h['max_us']:.1f}"
+        )
+
+
+def main(argv):
+    time_tolerance = 0.10
+    io_tolerance = 0.10
+    phases = False
+    paths = []
+    for arg in argv[1:]:
+        if arg.startswith("--time-tolerance="):
+            time_tolerance = float(arg.split("=", 1)[1])
+        elif arg.startswith("--io-tolerance="):
+            io_tolerance = float(arg.split("=", 1)[1])
+        elif arg == "--show-phases":
+            phases = True
+        elif arg.startswith("--"):
+            print(f"compare_bench: unknown flag {arg}", file=sys.stderr)
+            return 2
+        else:
+            paths.append(arg)
+    if len(paths) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+
+    baseline, current = load(paths[0]), load(paths[1])
+    if baseline.get("scale") != current.get("scale"):
+        print(
+            f"compare_bench: scale mismatch — baseline "
+            f"{baseline.get('scale')} vs current {current.get('scale')}; "
+            f"rerun at the baseline's SDJ_BENCH_SCALE",
+            file=sys.stderr,
+        )
+        return 2
+
+    base_rows = {row_key(r): r for r in baseline.get("rows", [])}
+    cur_rows = {row_key(r): r for r in current.get("rows", [])}
+    if not base_rows or not cur_rows:
+        print("compare_bench: no rows to compare", file=sys.stderr)
+        return 2
+
+    regressions = 0
+    matched = 0
+    for key, base in sorted(base_rows.items()):
+        cur = cur_rows.get(key)
+        if cur is None:
+            print(f"MISSING  {key}: row absent from current run")
+            regressions += 1
+            continue
+        matched += 1
+        series, threads, pairs = key
+        label = f"{series} t={threads} pairs={pairs}"
+
+        base_pps, cur_pps = pairs_per_sec(base), pairs_per_sec(cur)
+        pps_drop = (base_pps - cur_pps) / base_pps if base_pps > 0 else 0.0
+        base_io, cur_io = base["node_io"], cur["node_io"]
+        io_growth = (cur_io - base_io) / base_io if base_io > 0 else 0.0
+
+        verdict = "ok"
+        if pps_drop > time_tolerance:
+            verdict = f"REGRESSION pairs/sec -{pps_drop:.1%}"
+            regressions += 1
+        elif io_growth > io_tolerance:
+            verdict = f"REGRESSION node_io +{io_growth:.1%}"
+            regressions += 1
+        print(
+            f"{verdict:<28} {label:<44} "
+            f"pairs/sec {base_pps:>12.0f} -> {cur_pps:>12.0f}  "
+            f"node_io {base_io} -> {cur_io}"
+        )
+        if phases:
+            show_phases(cur)
+
+    if matched == 0:
+        print("compare_bench: no matching rows", file=sys.stderr)
+        return 2
+    if regressions:
+        print(f"compare_bench: {regressions} regression(s)", file=sys.stderr)
+        return 1
+    print(f"compare_bench: {matched} row(s) within tolerance")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

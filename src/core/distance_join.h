@@ -43,6 +43,7 @@
 #include "geometry/distance.h"
 #include "geometry/metrics.h"
 #include "geometry/rect_batch.h"
+#include "obs/metrics.h"
 #include "rtree/rtree.h"
 #include "util/check.h"
 #include "util/dynamic_bitset.h"
@@ -132,6 +133,16 @@ struct DistanceJoinOptions {
   // continues after ResumeSuspended(). Checked only in the serial loop, so
   // parallel mode stays output-identical to serial.
   util::StopToken stop_token;
+
+  // Optional observability sink (DESIGN.md §12). When set, the engine
+  // records expansion-phase latency, the hybrid queue (if used) adds refill
+  // stalls, spill latency, and its page I/O, and trace events flow to the
+  // sink's TraceSink if one is attached. Null disables everything; every
+  // instrumentation point then costs one pointer test. Like num_threads,
+  // the pointer is not part of the snapshot fingerprint — durations are
+  // observations, never engine state, so metrics on/off cannot change the
+  // pair stream or JoinStats.
+  obs::Metrics* metrics = nullptr;
 };
 
 // Optional selection criteria on the joined relations (Section 2.2.5's first
@@ -270,7 +281,14 @@ class DistanceJoin {
         status_ = JoinStatus::kIoError;
         return false;
       }
+      // Pop cost is heap restructuring; Empty() above already refilled, so
+      // the kRefill phase never nests inside this one. Sampled 1-in-16
+      // (obs::PopSample) keyed on queue_pops, which SaveState persists, so
+      // a resumed cursor samples the same pops an uninterrupted run would.
+      obs::PhaseTimer pop_timer(
+          obs::PopSample(options_.metrics, stats_.queue_pops), obs::Op::kPop);
       PairEntry<Dim> e = queue_->Pop();
+      pop_timer.Stop();
       ++stats_.queue_pops;
       if (estimator_.has_value()) {
         estimator_->OnDequeue(KeyOf(e));
@@ -328,6 +346,7 @@ class DistanceJoin {
         }
         continue;
       }
+      obs::PhaseTimer expand_timer(options_.metrics, obs::Op::kExpansion);
       if (!Expand(e)) return false;  // status_ set to kIoError
     }
   }
@@ -591,7 +610,11 @@ class DistanceJoin {
   std::unique_ptr<PairQueue<Dim>> MakeQueue() const {
     PairEntryCompare<Dim> cmp{options_.tie_break};
     if (options_.use_hybrid_queue) {
-      return std::make_unique<HybridPairQueue<Dim>>(cmp, options_.hybrid);
+      // The queue shares the engine's sink (refill/spill phases, spill-file
+      // page I/O) unless the caller wired its own.
+      HybridQueueOptions hybrid = options_.hybrid;
+      if (hybrid.metrics == nullptr) hybrid.metrics = options_.metrics;
+      return std::make_unique<HybridPairQueue<Dim>>(cmp, hybrid);
     }
     return std::make_unique<MemoryPairQueue<Dim>>(cmp);
   }

@@ -33,6 +33,7 @@
 
 #include "core/pair_entry.h"
 #include "core/pair_queue.h"
+#include "obs/metrics.h"
 #include "storage/buffer_pool.h"
 #include "storage/fault_injection.h"
 #include "storage/page.h"
@@ -59,6 +60,22 @@ struct HybridQueueOptions {
   std::optional<storage::FaultInjectionOptions> fault_injection;
   // Bounded-retry policy for the disk tier's buffer pool.
   storage::RetryPolicy retry;
+  // Optional observability sink (DESIGN.md §12): records refill stalls,
+  // per-entry spill latency, and the disk tier's page I/O. Null = disabled.
+  obs::Metrics* metrics = nullptr;
+};
+
+// Page accounting of the spill file. Every page ever allocated is in
+// exactly one of three states — live in a bucket chain, parked on the
+// free list for reuse, or abandoned after an unrecoverable I/O error — so
+// allocated == live + free + abandoned always holds (fault-injection tests
+// assert it: no page is ever silently leaked).
+struct SpillPageStats {
+  uint64_t allocated = 0;  // pages ever created in the spill file
+  uint64_t live = 0;       // pages currently holding bucket-chain records
+  uint64_t free = 0;       // consumed pages awaiting reuse
+  uint64_t abandoned = 0;  // unreachable after an I/O error (counted, lost)
+  uint64_t reused = 0;     // page acquisitions served from the free list
 };
 
 // Three-tier pair queue. See file comment.
@@ -74,12 +91,17 @@ class HybridPairQueue final : public PairQueue<Dim> {
     SDJ_CHECK(file != nullptr);
     pool_ = std::make_unique<storage::BufferPool>(
         std::move(file), options.buffer_pages, options.retry);
+    pool_->SetMetrics(options.metrics);
     records_per_page_ = (options.page_size - kPageHeader) / kRecordSize;
     SDJ_CHECK(records_per_page_ > 0);
   }
 
   void Push(const PairEntry<Dim>& entry) override {
     SDJ_CHECK(entry.key == entry.distance);  // reverse mode is unsupported
+    // Distances entering the queue are MINDIST values: finite-or-+inf and
+    // never negative. (NaN cannot reach here — the key==distance check above
+    // already rejects it — but BucketIndex saturates anyway.)
+    SDJ_DCHECK(entry.distance >= 0.0 && !std::isnan(entry.distance));
     const uint64_t bucket = BucketIndex(entry.distance, options_.tier_width);
     if (bucket < frontier_) {
       heap_.Push(entry);
@@ -113,7 +135,14 @@ class HybridPairQueue final : public PairQueue<Dim> {
   void Clear() override {
     heap_.Clear();
     list_.clear();
-    buckets_.clear();  // disk pages are abandoned (rebuilt queues start new)
+    // Consumed chains go back on the free list — the chain page ids are
+    // tracked in memory, so no I/O is needed — and a rebuilt queue reuses
+    // the spill file's pages instead of growing it.
+    for (auto& [index, bucket] : buckets_) {
+      free_pages_.insert(free_pages_.end(), bucket.pages.begin(),
+                         bucket.pages.end());
+    }
+    buckets_.clear();
     overflow_.clear();
     overflow_size_ = 0;
     total_size_ = 0;
@@ -139,19 +168,15 @@ class HybridPairQueue final : public PairQueue<Dim> {
       for (const PairEntry<Dim>& e : entries) fn(e);
     }
     for (const auto& [index, bucket] : buckets_) {
-      storage::PageId page = bucket.head;
-      while (page != storage::kInvalidPageId) {
+      for (const storage::PageId page : bucket.pages) {
         const char* data = pool_->TryPin(page);
         if (data == nullptr) return false;
-        storage::PageId next;
         uint32_t count;
-        std::memcpy(&next, data, 4);
         std::memcpy(&count, data + 4, 4);
         for (uint32_t i = 0; i < count; ++i) {
           fn(ReadRecord(data + kPageHeader + i * kRecordSize));
         }
         pool_->Unpin(page, /*dirty=*/false);
-        page = next;
       }
     }
     return true;
@@ -170,8 +195,35 @@ class HybridPairQueue final : public PairQueue<Dim> {
   // Disk-tier traffic (page-file reads/writes behind the small buffer).
   storage::IoStats disk_stats() const { return pool_->stats(); }
 
+  // Spill-file page accounting (see SpillPageStats). `allocated` is the
+  // page-file size in pages; with reuse it is bounded by the peak *live*
+  // spilled volume, not the lifetime spilled volume.
+  SpillPageStats spill_pages() const {
+    SpillPageStats s;
+    s.allocated = pool_->num_pages();
+    for (const auto& [index, bucket] : buckets_) {
+      s.live += bucket.pages.size();
+    }
+    s.free = free_pages_.size();
+    s.abandoned = pages_abandoned_;
+    s.reused = pages_reused_;
+    return s;
+  }
+
   // Fault-injection layer of the disk tier, when configured; null otherwise.
   storage::FaultInjectingPageFile* injector() const { return injector_; }
+
+  // Maps a distance to its integer bucket. Total for every double (public
+  // so the property tests can feed it adversarial inputs directly): a NaN
+  // or negative quotient saturates to bucket 0 and an over-range quotient
+  // to the top bucket, instead of the undefined float-to-uint64 cast the
+  // raw floor(dist / D_T) would hit under UBSan.
+  static uint64_t BucketIndex(double distance, double dt) {
+    const double idx = std::floor(distance / dt);
+    if (!(idx > 0.0)) return 0;  // NaN, negative, or the first bucket
+    return idx >= 9.0e15 ? static_cast<uint64_t>(9.0e15)
+                         : static_cast<uint64_t>(idx);
+  }
 
  private:
   static constexpr uint32_t kPageHeader = 8;  // next page id + record count
@@ -183,13 +235,10 @@ class HybridPairQueue final : public PairQueue<Dim> {
     storage::PageId tail = storage::kInvalidPageId;
     uint32_t tail_count = 0;
     uint64_t total = 0;
+    // The chain's page ids in order, mirrored in memory so consumed and
+    // cleared chains can be recycled without reading their next links.
+    std::vector<storage::PageId> pages;
   };
-
-  static uint64_t BucketIndex(double distance, double dt) {
-    const double idx = std::floor(distance / dt);
-    return idx >= 9.0e15 ? static_cast<uint64_t>(9.0e15)
-                         : static_cast<uint64_t>(idx);
-  }
 
   // -- record serialization (fixed-size, memcpy-based) --
 
@@ -255,12 +304,41 @@ class HybridPairQueue final : public PairQueue<Dim> {
     ++overflow_size_;
   }
 
+  // Returns a pinned, reusable-or-fresh spill page. Consumed chain pages on
+  // the free list are preferred over extending the file — that reuse is what
+  // bounds the spill file by *live* spilled volume. A free page that cannot
+  // be pinned is dropped from the list and counted abandoned (it stays
+  // allocated but untracked would violate the SpillPageStats invariant).
+  char* AcquireSpillPage(storage::PageId* page) {
+    while (!free_pages_.empty()) {
+      const storage::PageId id = free_pages_.back();
+      free_pages_.pop_back();
+      char* data = pool_->TryPin(id);
+      if (data != nullptr) {
+        ++pages_reused_;
+        *page = id;
+        return data;
+      }
+      ++pages_abandoned_;
+    }
+    *page = storage::kInvalidPageId;
+    char* data = pool_->TryNewPage(page);
+    if (data == nullptr && *page != storage::kInvalidPageId) {
+      // The file grew but no frame could hold the page (the eviction
+      // victim's write-back failed). Park the orphan for later reuse so
+      // allocated == live + free + abandoned survives even this path.
+      free_pages_.push_back(*page);
+    }
+    return data;
+  }
+
   void PushToDisk(const PairEntry<Dim>& entry, uint64_t bucket_index) {
+    obs::PhaseTimer timer(options_.metrics, obs::Op::kSpill);
     Bucket& bucket = buckets_[bucket_index];
     if (bucket.tail == storage::kInvalidPageId ||
         bucket.tail_count == records_per_page_) {
       storage::PageId page;
-      char* fresh = pool_->TryNewPage(&page);
+      char* fresh = AcquireSpillPage(&page);
       if (fresh == nullptr) {
         SpillFallback(entry, bucket_index);
         return;
@@ -278,7 +356,10 @@ class HybridPairQueue final : public PairQueue<Dim> {
         // Link the old tail to the new page.
         char* old_tail = pool_->TryPin(bucket.tail);
         if (old_tail == nullptr) {
-          SpillFallback(entry, bucket_index);  // the fresh page is abandoned
+          // The fresh page never joined the chain; it is a valid empty page,
+          // so it parks on the free list instead of leaking.
+          free_pages_.push_back(page);
+          SpillFallback(entry, bucket_index);
           return;
         }
         std::memcpy(old_tail, &page, sizeof(page));
@@ -286,6 +367,7 @@ class HybridPairQueue final : public PairQueue<Dim> {
       }
       bucket.tail = page;
       bucket.tail_count = 0;
+      bucket.pages.push_back(page);
     }
     char* data = pool_->TryPin(bucket.tail);
     if (data == nullptr) {
@@ -302,29 +384,33 @@ class HybridPairQueue final : public PairQueue<Dim> {
   void LoadBucketIntoList(uint64_t index) {
     auto it = buckets_.find(index);
     if (it != buckets_.end()) {
+      const Bucket& bucket = it->second;
       uint64_t loaded = 0;
-      storage::PageId page = it->second.head;
-      while (page != storage::kInvalidPageId) {
+      for (size_t i = 0; i < bucket.pages.size(); ++i) {
+        const storage::PageId page = bucket.pages[i];
         const char* data = pool_->TryPin(page);
         if (data == nullptr) {
           // The rest of the chain is unreadable; its entries are lost. The
           // join sees this through io_error() and reports kIoError instead
-          // of silently returning an incomplete result.
+          // of silently returning an incomplete result. This is the one
+          // path that still abandons pages — the unreadable page and its
+          // tail — and it is counted, never silent.
           io_error_ = true;
-          SDJ_DCHECK(it->second.total >= loaded);
-          total_size_ -= it->second.total - loaded;
+          SDJ_DCHECK(bucket.total >= loaded);
+          total_size_ -= bucket.total - loaded;
+          pages_abandoned_ += bucket.pages.size() - i;
           break;
         }
-        storage::PageId next;
         uint32_t count;
-        std::memcpy(&next, data, 4);
         std::memcpy(&count, data + 4, 4);
-        for (uint32_t i = 0; i < count; ++i) {
-          list_.push_back(ReadRecord(data + kPageHeader + i * kRecordSize));
+        for (uint32_t r = 0; r < count; ++r) {
+          list_.push_back(ReadRecord(data + kPageHeader + r * kRecordSize));
         }
         loaded += count;
         pool_->Unpin(page, /*dirty=*/false);
-        page = next;
+        // Consumed: every record is now in the list, so the page is free
+        // for the next PushToDisk to reuse.
+        free_pages_.push_back(page);
       }
       buckets_.erase(it);
     }
@@ -341,6 +427,11 @@ class HybridPairQueue final : public PairQueue<Dim> {
   // Invariant: heap holds buckets < frontier_, list holds bucket frontier_,
   // disk holds buckets > frontier_.
   void Refill() {
+    if (!heap_.Empty()) return;
+    if (list_.empty() && buckets_.empty() && overflow_.empty()) return;
+    // A refill stall: the heap ran dry and pairs must migrate up the tiers
+    // before the next Top()/Pop() can answer.
+    obs::PhaseTimer timer(options_.metrics, obs::Op::kRefill);
     while (heap_.Empty()) {
       if (!list_.empty()) {
         for (const PairEntry<Dim>& e : list_) heap_.Push(e);
@@ -372,6 +463,10 @@ class HybridPairQueue final : public PairQueue<Dim> {
   std::map<uint64_t, std::vector<PairEntry<Dim>>> overflow_;
   size_t overflow_size_ = 0;
   std::unique_ptr<storage::BufferPool> pool_;
+  // Consumed chain pages awaiting reuse by PushToDisk (LIFO).
+  std::vector<storage::PageId> free_pages_;
+  uint64_t pages_reused_ = 0;
+  uint64_t pages_abandoned_ = 0;
   storage::FaultInjectingPageFile* injector_ = nullptr;
   uint32_t records_per_page_ = 0;
   // Heap < bucket frontier_ <= list; disk > frontier_. D1 = frontier_ * D_T.

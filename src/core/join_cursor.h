@@ -32,6 +32,7 @@
 
 #include "core/join_result.h"
 #include "core/snapshot.h"
+#include "obs/metrics.h"
 #include "storage/buffer_pool.h"
 #include "storage/fault_injection.h"
 #include "util/check.h"
@@ -52,6 +53,10 @@ struct CursorOptions {
   std::optional<storage::FaultInjectionOptions> fault_injection;
   // Bounded-retry policy for transient snapshot-page faults.
   storage::RetryPolicy retry;
+  // Optional observability sink (DESIGN.md §12): the cursor records whole
+  // checkpoint (SaveState + commit) and restore latencies, and the snapshot
+  // store underneath adds per-commit latency. Null = disabled.
+  obs::Metrics* metrics = nullptr;
 };
 
 // Cursor-side counters, kept apart from JoinStats so that resumed-run
@@ -79,7 +84,7 @@ class JoinCursor {
     // counts as failed) instead of aborting.
     store_ = snapshot::SnapshotStore::Open(
         {options.snapshot_path, options.page_size, options.fault_injection,
-         options.retry});
+         options.retry, options.metrics});
   }
 
   // False if the snapshot store could not be opened/created; the cursor
@@ -106,6 +111,7 @@ class JoinCursor {
   // not fatal — the join continues, protected by the previous snapshot.
   // Returns whether the snapshot committed.
   bool Checkpoint() {
+    obs::PhaseTimer timer(options_.metrics, obs::Op::kCheckpoint);
     since_checkpoint_ = 0;
     snapshot::Blob blob;
     if (store_ == nullptr || !engine_->SaveState(&blob) ||
@@ -125,6 +131,7 @@ class JoinCursor {
   // match this engine's configuration.
   bool ResumeLatest() {
     if (store_ == nullptr) return false;
+    obs::PhaseTimer timer(options_.metrics, obs::Op::kRestore);
     std::string payload;
     if (!store_->ReadLatest(&payload)) {
       cursor_stats_.snapshot_fallbacks = store_->stats().invalid_slots_seen;

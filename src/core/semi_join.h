@@ -28,6 +28,9 @@ struct SemiJoinOptions {
   // Shared knobs (metric, traversal, range, STOP AFTER, queue, estimation).
   // max_pairs counts distinct first objects. Maximum-distance estimation uses
   // the semi-join variant of Section 2.3 and requires an Inside filter.
+  // join.metrics (DESIGN.md §12) instruments the semi-join too: the wrapped
+  // engine owns every timed phase (expansion, refill, spill), so one sink
+  // covers both.
   DistanceJoinOptions join;
   // Where duplicate first objects are filtered out (Figure 9).
   SemiJoinFilter filter = SemiJoinFilter::kInside2;

@@ -31,6 +31,7 @@
 #include <vector>
 
 #include "core/pair_entry.h"
+#include "obs/metrics.h"
 #include "storage/buffer_pool.h"
 #include "storage/checksum.h"
 #include "storage/fault_injection.h"
@@ -183,6 +184,9 @@ struct SnapshotStoreOptions {
   std::optional<storage::FaultInjectionOptions> fault_injection;
   // Bounded-retry policy for transient page faults.
   storage::RetryPolicy retry;
+  // Optional observability sink (DESIGN.md §12): records the latency of
+  // each shadow-paged snapshot commit. Null = disabled.
+  obs::Metrics* metrics = nullptr;
 };
 
 // Read-side counters of one SnapshotStore.
@@ -228,6 +232,8 @@ class SnapshotStore {
   // write failure the slot under construction is abandoned and the previous
   // snapshot remains the committed one; returns false.
   bool WriteSnapshot(const Blob& payload) {
+    // Whole-commit latency: payload pages + sync + header + sync.
+    obs::PhaseTimer timer(metrics_, obs::Op::kSnapshotCommit);
     const uint64_t epoch = last_epoch_ + 1;
     const uint32_t slot = static_cast<uint32_t>(epoch & 1);
     const uint64_t length = payload.size();
@@ -322,6 +328,7 @@ class SnapshotStore {
                 storage::FaultInjectingPageFile* injector)
       : page_size_(options.page_size),
         retry_(options.retry),
+        metrics_(options.metrics),
         file_(std::move(file)),
         injector_(injector) {
     SDJ_CHECK(page_size_ >= kHeaderBytes);
@@ -446,6 +453,7 @@ class SnapshotStore {
 
   const uint32_t page_size_;
   const storage::RetryPolicy retry_;
+  obs::Metrics* const metrics_;
   std::unique_ptr<storage::PageFile> file_;
   storage::FaultInjectingPageFile* injector_ = nullptr;
   uint64_t last_epoch_ = 0;

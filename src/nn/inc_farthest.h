@@ -45,6 +45,9 @@ class IncFarthestNeighbor {
   void set_stop_token(util::StopToken token) { stop_token_ = token; }
   bool suspended() const { return suspended_; }
 
+  // Optional observability sink, mirroring IncNearestNeighbor.
+  void set_metrics(obs::Metrics* metrics) { metrics_ = metrics; }
+
   // Yields the next farthest object; returns false when exhausted or the
   // stop token fired (suspended() disambiguates). For extended objects, the
   // reported distance is the maximal distance from the query to the
@@ -57,8 +60,11 @@ class IncFarthestNeighbor {
         suspended_ = true;
         return false;
       }
+      obs::PhaseTimer pop_timer(obs::PopSample(metrics_, pop_seq_++),
+                                obs::Op::kPop);
       const QueueItem item = queue_.top();
       queue_.pop();
+      pop_timer.Stop();
       if (item.is_object) {
         out->id = static_cast<ObjectId>(item.ref);
         out->rect = item.rect;
@@ -66,6 +72,7 @@ class IncFarthestNeighbor {
         ++stats_.neighbors_reported;
         return true;
       }
+      obs::PhaseTimer expand_timer(metrics_, obs::Op::kExpansion);
       ++stats_.nodes_expanded;
       bool leaf;
       {
@@ -114,6 +121,8 @@ class IncFarthestNeighbor {
   const Point<Dim> query_;
   const Metric metric_;
   util::StopToken stop_token_;
+  obs::Metrics* metrics_ = nullptr;
+  uint64_t pop_seq_ = 0;  // drives obs::PopSample
   bool suspended_ = false;
   std::priority_queue<QueueItem> queue_;
   // Node-decode scratch, reused across expansions.

@@ -19,6 +19,7 @@
 #include "geometry/point.h"
 #include "geometry/rect.h"
 #include "geometry/rect_batch.h"
+#include "obs/metrics.h"
 #include "rtree/rtree.h"
 #include "util/check.h"
 #include "util/stop_token.h"
@@ -65,6 +66,10 @@ class IncNearestNeighbor {
   void set_stop_token(util::StopToken token) { stop_token_ = token; }
   bool suspended() const { return suspended_; }
 
+  // Optional observability sink (DESIGN.md §12): records node-expansion
+  // latency. Null = disabled (one pointer test per expansion).
+  void set_metrics(obs::Metrics* metrics) { metrics_ = metrics; }
+
   // Yields the next nearest object; returns false when the tree is exhausted
   // or the stop token fired (suspended() disambiguates).
   bool Next(Result* out) {
@@ -75,8 +80,11 @@ class IncNearestNeighbor {
         suspended_ = true;
         return false;
       }
+      obs::PhaseTimer pop_timer(obs::PopSample(metrics_, pop_seq_++),
+                                obs::Op::kPop);
       const QueueItem item = queue_.top();
       queue_.pop();
+      pop_timer.Stop();
       if (item.is_object) {
         out->id = static_cast<ObjectId>(item.ref);
         out->rect = item.rect;
@@ -84,6 +92,7 @@ class IncNearestNeighbor {
         ++stats_.neighbors_reported;
         return true;
       }
+      obs::PhaseTimer expand_timer(metrics_, obs::Op::kExpansion);
       ++stats_.nodes_expanded;
       bool leaf;
       {
@@ -134,6 +143,8 @@ class IncNearestNeighbor {
   const Point<Dim> query_;
   const Metric metric_;
   util::StopToken stop_token_;
+  obs::Metrics* metrics_ = nullptr;
+  uint64_t pop_seq_ = 0;  // drives obs::PopSample
   bool suspended_ = false;
   std::priority_queue<QueueItem> queue_;
   // Node-decode scratch, reused across expansions.

@@ -25,6 +25,8 @@
 #include "geometry/segment.h"
 #include "nn/inc_farthest.h"
 #include "nn/inc_nearest.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "quadtree/quadtree.h"
 #include "rtree/rtree.h"
 

@@ -46,6 +46,7 @@ PageId BufferPool::num_pages() const {
 }
 
 IoStatus BufferPool::ReadWithRetry(PageId id, char* buffer) {
+  obs::PhaseTimer timer(metrics(), obs::Op::kPageRead);
   IoStatus status = IoStatus::kOk;
   for (uint32_t attempt = 0; attempt < retry_.max_attempts; ++attempt) {
     if (attempt > 0) {
@@ -68,6 +69,7 @@ IoStatus BufferPool::ReadWithRetry(PageId id, char* buffer) {
 }
 
 IoStatus BufferPool::WriteWithRetry(PageId id, const char* buffer) {
+  obs::PhaseTimer timer(metrics(), obs::Op::kPageWrite);
   IoStatus status = IoStatus::kOk;
   for (uint32_t attempt = 0; attempt < retry_.max_attempts; ++attempt) {
     if (attempt > 0) {
@@ -233,6 +235,7 @@ bool BufferPool::FlushAll() {
       }
     }
   }
+  obs::PhaseTimer timer(metrics(), obs::Op::kPageSync);
   std::lock_guard<std::mutex> file_lock(file_mu_);
   if (file_->Sync() != IoStatus::kOk) ok = false;
   return ok;

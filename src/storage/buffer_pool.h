@@ -36,6 +36,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "obs/metrics.h"
 #include "storage/io_stats.h"
 #include "storage/page.h"
 #include "storage/page_file.h"
@@ -113,6 +114,18 @@ class BufferPool {
   // concurrent pins keep moving.)
   IoStats stats() const;
   void ResetStats();
+
+  // Attaches (or detaches, with null) an observability sink (DESIGN.md
+  // §12): physical read/write latency — whole-operation, retries included —
+  // and FlushAll sync latency are recorded into it. The pointer is atomic
+  // so attach/detach between runs is safe, but the Metrics object must
+  // outlive any concurrent pin once attached.
+  void SetMetrics(obs::Metrics* metrics) {
+    metrics_.store(metrics, std::memory_order_release);
+  }
+  obs::Metrics* metrics() const {
+    return metrics_.load(std::memory_order_acquire);
+  }
 
  private:
   static constexpr uint32_t kNoFrame = ~0u;
@@ -202,6 +215,7 @@ class BufferPool {
 
   std::array<Shard, kNumShards> shards_;
   mutable AtomicIoStats stats_;
+  std::atomic<obs::Metrics*> metrics_{nullptr};
 };
 
 }  // namespace sdj::storage

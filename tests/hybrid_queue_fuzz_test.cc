@@ -62,6 +62,11 @@ TEST_P(HybridQueueFuzz, InterleavedOperationsMatchReferenceHeap) {
       reference.pop();
     }
     ASSERT_EQ(queue.Size(), reference.size());
+    if (round % 256 == 0) {
+      // Spill-page accounting: no page is ever untracked.
+      const SpillPageStats s = queue.spill_pages();
+      ASSERT_EQ(s.allocated, s.live + s.free + s.abandoned);
+    }
   }
   // Drain fully.
   while (!reference.empty()) {

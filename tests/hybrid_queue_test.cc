@@ -1,6 +1,8 @@
 #include "core/hybrid_queue.h"
 
 #include <algorithm>
+#include <cmath>
+#include <limits>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -159,6 +161,172 @@ TEST(HybridPairQueue, FileBackedSpill) {
   for (double expected : distances) {
     ASSERT_DOUBLE_EQ(q.Pop().distance, expected);
   }
+}
+
+// Asserts the spill-page accounting invariant: every page the spill file
+// ever allocated is live in a chain, parked on the free list, or counted
+// abandoned — never untracked.
+void ExpectPageInvariant(const HybridPairQueue<2>& q) {
+  const SpillPageStats s = q.spill_pages();
+  ASSERT_EQ(s.allocated, s.live + s.free + s.abandoned);
+}
+
+TEST(HybridPairQueue, SpillPagesBoundedAcrossFillDrainCycles) {
+  auto q = MakeQueue(1.0);
+  uint64_t allocated_after_first = 0;
+  uint64_t seq = 0;
+  double base = 10.0;
+  for (int round = 1; round <= 10; ++round) {
+    // Same draws every round (shifted by an integer base), so each round
+    // demands exactly the same pages; all distances sit above the frontier
+    // the previous drain advanced to, so everything spills.
+    Rng rng(100);
+    std::vector<double> distances;
+    for (int i = 0; i < 1000; ++i) {
+      distances.push_back(base + rng.Uniform(0.0, 50.0));
+    }
+    for (double d : distances) q.Push(MakeEntry(d, seq++));
+    ExpectPageInvariant(q);
+    std::sort(distances.begin(), distances.end());
+    for (double expected : distances) {
+      ASSERT_DOUBLE_EQ(q.Pop().distance, expected);
+    }
+    ASSERT_TRUE(q.Empty());
+    const SpillPageStats s = q.spill_pages();
+    ASSERT_EQ(s.allocated, s.live + s.free + s.abandoned);
+    EXPECT_EQ(s.abandoned, 0u);
+    if (round == 1) {
+      allocated_after_first = s.allocated;
+      ASSERT_GT(allocated_after_first, 0u);
+    } else {
+      // The file never grows past the first cycle's footprint: every later
+      // cycle is served from the free list.
+      EXPECT_EQ(s.allocated, allocated_after_first) << "round " << round;
+      EXPECT_GT(s.reused, 0u);
+    }
+    base += 100.0;
+  }
+}
+
+TEST(HybridPairQueue, ClearRecyclesDiskPages) {
+  auto q = MakeQueue(1.0);
+  for (int i = 0; i < 500; ++i) q.Push(MakeEntry(20.0 + (i % 40) * 0.5, i));
+  const SpillPageStats before = q.spill_pages();
+  ASSERT_GT(before.live, 0u);
+  q.Clear();
+  const SpillPageStats cleared = q.spill_pages();
+  EXPECT_EQ(cleared.live, 0u);
+  EXPECT_EQ(cleared.free, before.live + before.free);
+  EXPECT_EQ(cleared.allocated, before.allocated);
+  // The same volume again reuses the recycled chains; the file stays put.
+  for (int i = 0; i < 500; ++i) q.Push(MakeEntry(20.0 + (i % 40) * 0.5, i));
+  const SpillPageStats after = q.spill_pages();
+  EXPECT_EQ(after.allocated, before.allocated);
+  EXPECT_GT(after.reused, 0u);
+  ExpectPageInvariant(q);
+}
+
+TEST(HybridPairQueue, BucketIndexAdversarialDistances) {
+  using Q = HybridPairQueue<2>;
+  const double inf = std::numeric_limits<double>::infinity();
+  // Garbage quotients saturate to bucket 0 instead of hitting the undefined
+  // negative/NaN float-to-uint64 cast.
+  EXPECT_EQ(Q::BucketIndex(std::nan(""), 1.0), 0u);
+  EXPECT_EQ(Q::BucketIndex(-1.0, 1.0), 0u);
+  EXPECT_EQ(Q::BucketIndex(-inf, 1.0), 0u);
+  EXPECT_EQ(Q::BucketIndex(0.0, 1.0), 0u);
+  EXPECT_EQ(Q::BucketIndex(std::numeric_limits<double>::denorm_min(), 1.0),
+            0u);
+  EXPECT_EQ(Q::BucketIndex(1.0, std::nan("")), 0u);
+  // Over-range quotients saturate to the top bucket (also out of the UB
+  // cast's way).
+  const uint64_t top = Q::BucketIndex(inf, 1.0);
+  EXPECT_EQ(top, static_cast<uint64_t>(9.0e15));
+  EXPECT_EQ(Q::BucketIndex(1e300, 1.0), top);
+  EXPECT_EQ(Q::BucketIndex(1.0, 5e-324), top);
+  // Ordinary values still index their [k*dt, (k+1)*dt) bucket.
+  EXPECT_EQ(Q::BucketIndex(1.5, 1.0), 1u);
+  EXPECT_EQ(Q::BucketIndex(2.0, 0.5), 4u);
+  // Property: monotone non-decreasing in distance for any tier width.
+  Rng rng(99);
+  for (int i = 0; i < 10000; ++i) {
+    const double dt = rng.Uniform(1e-6, 10.0);
+    const double a = rng.Uniform(-1e9, 1e9);
+    const double b = a + rng.Uniform(0.0, 1e9);
+    ASSERT_LE(Q::BucketIndex(a, dt), Q::BucketIndex(b, dt))
+        << "a=" << a << " b=" << b << " dt=" << dt;
+  }
+}
+
+TEST(HybridPairQueue, SpillPageAccountingSurvivesRecoveredFaults) {
+  HybridQueueOptions options;
+  options.tier_width = 1.0;
+  options.page_size = 512;
+  options.retry.backoff_us = 0;  // keep retries fast in tests
+  storage::FaultInjectionOptions faults;
+  faults.seed = 7;
+  faults.transient_read_rate = 0.05;
+  faults.transient_write_rate = 0.05;
+  options.fault_injection = faults;
+  HybridPairQueue<2> q(PairEntryCompare<2>{}, options);
+  uint64_t seq = 0;
+  double base = 10.0;
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 800; ++i) {
+      q.Push(MakeEntry(base + (i % 60) * 0.7, seq++));
+      if (i % 97 == 0) ExpectPageInvariant(q);
+    }
+    double last = 0.0;
+    while (!q.Empty()) {
+      const double d = q.Pop().distance;
+      ASSERT_GE(d, last);
+      last = d;
+    }
+    ExpectPageInvariant(q);
+    EXPECT_FALSE(q.io_error());  // bounded retries absorb transient faults
+    base += 100.0;
+  }
+}
+
+TEST(HybridPairQueue, SpillPageAccountingSurvivesUnrecoveredFaults) {
+  // No retries: transient faults become real pin/new-page failures, driving
+  // the overflow fallback, the failed-tail-link free-list path, and page
+  // abandonment. Whatever happens, no page may go untracked.
+  HybridQueueOptions options;
+  options.tier_width = 1.0;
+  options.page_size = 512;
+  options.retry.max_attempts = 1;
+  options.retry.backoff_us = 0;
+  storage::FaultInjectionOptions faults;
+  faults.seed = 11;
+  faults.transient_read_rate = 0.10;
+  faults.transient_write_rate = 0.10;
+  options.fault_injection = faults;
+  HybridPairQueue<2> q(PairEntryCompare<2>{}, options);
+  uint64_t seq = 0;
+  double base = 10.0;
+  for (int round = 0; round < 5; ++round) {
+    for (int i = 0; i < 800; ++i) {
+      q.Push(MakeEntry(base + (i % 60) * 0.7, seq++));
+      if (i % 97 == 0) ExpectPageInvariant(q);
+    }
+    // Entries may be lost to read faults (reported via io_error), but the
+    // surviving stream stays ordered and the accounting stays exact.
+    double last = 0.0;
+    while (!q.Empty()) {
+      const double d = q.Pop().distance;
+      ASSERT_GE(d, last);
+      last = d;
+    }
+    ExpectPageInvariant(q);
+    base += 100.0;
+  }
+  const SpillPageStats s = q.spill_pages();
+  const storage::IoStats io = q.disk_stats();
+  // The schedule above must actually have exercised a failure path.
+  EXPECT_GT(q.spill_fallbacks() + s.abandoned + io.read_failures +
+                io.write_failures,
+            0u);
 }
 
 TEST(HybridPairQueue, TieBreakOrderMaintainedWithinHeap) {

@@ -22,6 +22,13 @@
 //   --max-seconds=S        suspend when the wall-clock deadline passes
 //   --resume               load the newest valid snapshot before iterating
 //
+// and observability flags (DESIGN.md §12):
+//   --metrics              print a per-phase latency table (expansion,
+//                          refill, spill, checkpoint, page I/O) after the run
+//   --trace=<file>         additionally write Chrome-trace JSON (load into
+//                          chrome://tracing or https://ui.perfetto.dev);
+//                          implies --metrics
+//
 // Flag interaction matrix (tested in tests/cli_test.cc):
 //   --threads x --resume        the pair stream is output-identical for every
 //                               thread count and the thread count is not part
@@ -61,6 +68,8 @@
 #include "data/dataset_io.h"
 #include "data/generators.h"
 #include "nn/inc_nearest.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "rtree/rtree.h"
 #include "storage/fault_injection.h"
 #include "util/stop_token.h"
@@ -187,6 +196,58 @@ void PrintFaultCounters(const char* label,
       static_cast<unsigned long long>(c.bit_flips));
 }
 
+// --metrics / --trace=FILE plumbing (DESIGN.md §12). One Metrics sink covers
+// the engine, both trees' buffer pools, the hybrid queue, and the snapshot
+// store; --trace additionally records each timed phase as a Chrome-trace
+// complete event.
+struct ObsSetup {
+  bool enabled = false;
+  std::string trace_path;
+  sdj::obs::TraceSink sink;
+  sdj::obs::Metrics metrics;
+
+  void Init(const Flags& flags) {
+    trace_path = flags.Get("trace", "");
+    enabled = flags.GetBool("metrics") || !trace_path.empty();
+    if (!trace_path.empty()) metrics.set_trace(&sink);
+  }
+
+  // Null when disabled, so instrumented code pays only a pointer test.
+  sdj::obs::Metrics* get() { return enabled ? &metrics : nullptr; }
+
+  // Prints the per-phase latency table and writes the trace file. Returns
+  // false if the trace file could not be written.
+  bool Finish() {
+    if (!enabled) return true;
+    const sdj::obs::MetricsSummary summary = metrics.Summary();
+    std::printf(
+        "# phase            count   total_ms    p50_us    p95_us    p99_us"
+        "    max_us\n");
+    for (int i = 0; i < sdj::obs::kNumOps; ++i) {
+      const sdj::obs::Op op = static_cast<sdj::obs::Op>(i);
+      const sdj::obs::HistogramSummary& h = summary.of(op);
+      if (h.count == 0) continue;
+      std::printf("# %-15s %7llu %10.3f %9.1f %9.1f %9.1f %9.1f\n",
+                  sdj::obs::OpName(op),
+                  static_cast<unsigned long long>(h.count),
+                  static_cast<double>(h.total_ns) * 1e-6,
+                  static_cast<double>(h.p50_ns) * 1e-3,
+                  static_cast<double>(h.p95_ns) * 1e-3,
+                  static_cast<double>(h.p99_ns) * 1e-3,
+                  static_cast<double>(h.max_ns) * 1e-3);
+    }
+    if (trace_path.empty()) return true;
+    if (!sink.WriteJson(trace_path)) {
+      std::fprintf(stderr, "failed to write trace %s\n", trace_path.c_str());
+      return false;
+    }
+    std::printf("# trace: %zu events written to %s (%llu dropped)\n",
+                sink.size(), trace_path.c_str(),
+                static_cast<unsigned long long>(sink.dropped()));
+    return true;
+  }
+};
+
 // Reports the terminal status; non-ok statuses exit non-zero so scripts can
 // distinguish a complete result (0) from a valid partial prefix (3) and a
 // resumable suspension (4).
@@ -222,12 +283,14 @@ template <typename Engine>
 int DriveJoin(Engine* engine, const Flags& flags,
               sdj::util::StopSource* stop_source,
               const std::optional<sdj::storage::FaultInjectionOptions>&
-                  fault_injection) {
+                  fault_injection,
+              sdj::obs::Metrics* metrics) {
   sdj::CursorOptions cursor_options;
   cursor_options.snapshot_path = flags.Get("snapshot", "");
   cursor_options.checkpoint_every =
       static_cast<uint64_t>(flags.GetLong("checkpoint-every", 0));
   cursor_options.fault_injection = fault_injection;
+  cursor_options.metrics = metrics;
   sdj::JoinCursor<2, Engine> cursor(engine, cursor_options);
   if (!cursor_options.snapshot_path.empty() && !cursor.ok()) {
     std::fprintf(stderr, "cannot open snapshot store %s\n",
@@ -363,6 +426,11 @@ int CmdJoin(const Flags& flags) {
   if (!LoadRequired(flags, "a", &a) || !LoadRequired(flags, "b", &b)) return 1;
   sdj::RTreeOptions tree_options;
   const bool faulty = ApplyFaultFlags(flags, &tree_options);
+  // Declared before the trees: their pools hold the Metrics pointer until
+  // destruction (final flushes record page writes), so the sink must outlive
+  // them.
+  ObsSetup obs;
+  obs.Init(flags);
   RTree<2> ta = IndexPoints(a, tree_options);
   RTree<2> tb = IndexPoints(b, tree_options);
 
@@ -402,13 +470,18 @@ int CmdJoin(const Flags& flags) {
   sdj::util::StopSource stop_source;
   options.stop_token = stop_source.token();
 
+  options.metrics = obs.get();
+  ta.pool().SetMetrics(obs.get());
+  tb.pool().SetMetrics(obs.get());
+
   DistanceJoin<2> join(ta, tb, options);
-  const int rc =
-      DriveJoin(&join, flags, &stop_source, tree_options.fault_injection);
+  int rc = DriveJoin(&join, flags, &stop_source, tree_options.fault_injection,
+                     obs.get());
   if (faulty) {
     PrintFaultCounters("a", ta.injector());
     PrintFaultCounters("b", tb.injector());
   }
+  if (!obs.Finish() && rc == 0) rc = 1;
   return rc;
 }
 
@@ -418,6 +491,8 @@ int CmdSemiJoin(const Flags& flags) {
   if (!LoadRequired(flags, "a", &a) || !LoadRequired(flags, "b", &b)) return 1;
   sdj::RTreeOptions tree_options;
   const bool faulty = ApplyFaultFlags(flags, &tree_options);
+  ObsSetup obs;  // before the trees — see CmdJoin
+  obs.Init(flags);
   RTree<2> ta = IndexPoints(a, tree_options);
   RTree<2> tb = IndexPoints(b, tree_options);
 
@@ -454,13 +529,18 @@ int CmdSemiJoin(const Flags& flags) {
   sdj::util::StopSource stop_source;
   options.join.stop_token = stop_source.token();
 
+  options.join.metrics = obs.get();
+  ta.pool().SetMetrics(obs.get());
+  tb.pool().SetMetrics(obs.get());
+
   DistanceSemiJoin<2> semi(ta, tb, options);
-  const int rc =
-      DriveJoin(&semi, flags, &stop_source, tree_options.fault_injection);
+  int rc = DriveJoin(&semi, flags, &stop_source, tree_options.fault_injection,
+                     obs.get());
   if (faulty) {
     PrintFaultCounters("a", ta.injector());
     PrintFaultCounters("b", tb.injector());
   }
+  if (!obs.Finish() && rc == 0) rc = 1;
   return rc;
 }
 
@@ -501,6 +581,8 @@ int PrintUsage() {
                "  --resume; combine freely with --threads=N (resume may\n"
                "  change the thread count) and --inject-faults=<seed>\n"
                "  (covers the snapshot store; torn snapshots fall back)\n"
+               "observability (join/semijoin): --metrics prints a per-phase\n"
+               "  latency table; --trace=<file> writes Chrome-trace JSON\n"
                "exit codes: 0 exhausted, 1 bad input, 2 usage error,\n"
                "  3 io-error (valid prefix), 4 suspended (resumable)\n"
                "see the header of tools/sdjoin_cli.cc for details\n");
