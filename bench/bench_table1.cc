@@ -10,6 +10,7 @@
 
 #include "bench_common.h"
 #include "core/distance_join.h"
+#include "core/within_join.h"
 
 namespace sdj::bench {
 namespace {
@@ -48,6 +49,41 @@ void RunJoin(benchmark::State& state, uint64_t pairs,
   }
 }
 
+// Within-distance series: drain IncWithinJoin at eps = the distance of join
+// pair #k, so the result count (and the work) tracks the Table 1 rows it sits
+// next to. Exercises the shared best-first core through its newest policy.
+void RunWithin(benchmark::State& state, uint64_t k, const std::string& series) {
+  const double eps = JoinDistanceAt(k);
+  for (auto _ : state) {
+    ColdCaches();
+    obs::Metrics metrics;
+    WithinJoinOptions options;
+    options.epsilon = eps;
+    if (MetricsEnabled()) {
+      options.metrics = &metrics;
+      WaterTree().pool().SetMetrics(&metrics);
+      RoadsTree().pool().SetMetrics(&metrics);
+    }
+    WallTimer timer;
+    IncWithinJoin<2> join(WaterTree(), RoadsTree(), options);
+    JoinResult<2> result;
+    uint64_t produced = 0;
+    while (join.Next(&result)) ++produced;
+    const double seconds = timer.Seconds();
+    if (MetricsEnabled()) {
+      WaterTree().pool().SetMetrics(nullptr);
+      RoadsTree().pool().SetMetrics(nullptr);
+    }
+    state.SetIterationTime(seconds);
+    const JoinStats& stats = join.stats();
+    state.counters["dist_calc"] = static_cast<double>(stats.object_distance_calcs);
+    state.counters["queue_size"] = static_cast<double>(stats.max_queue_size);
+    state.counters["node_io"] = static_cast<double>(stats.node_io);
+    AddRow({series, produced, seconds, stats, "", options.num_threads,
+            metrics.Summary()});
+  }
+}
+
 void RegisterAll() {
   for (uint64_t k : {1ull, 10ull, 100ull, 1000ull, 10000ull, 100000ull}) {
     const uint64_t pairs = ScaledPairs(k);
@@ -75,6 +111,18 @@ void RegisterAll() {
           options.num_threads = threads;
           RunJoin(state, pairs, options,
                   "Simultaneous/t=" + std::to_string(threads));
+        })
+        ->Iterations(1)
+        ->UseManualTime()
+        ->Unit(benchmark::kMillisecond);
+  }
+  // Within-distance join at the 1k- and 100k-pair distance cutoffs.
+  for (uint64_t k : {1000ull, 100000ull}) {
+    const uint64_t scaled = ScaledPairs(k);
+    benchmark::RegisterBenchmark(
+        ("Table1/within:" + std::to_string(scaled)).c_str(),
+        [scaled, k](benchmark::State& state) {
+          RunWithin(state, scaled, "Within/eps@" + std::to_string(k));
         })
         ->Iterations(1)
         ->UseManualTime()

@@ -1,0 +1,114 @@
+#!/usr/bin/env python3
+"""Self-test for compare_bench.py, run under ctest.
+
+Exercises the three exit-code contracts the check.sh gate relies on:
+0 (within tolerance), 1 (regression detected), 2 (usage/schema error) —
+plus the scale-mismatch and missing-row paths. Fixture JSONs are written
+to a temp dir; compare_bench.py is run as a subprocess exactly the way
+check.sh invokes it.
+
+Usage: compare_bench_selftest.py /path/to/compare_bench.py
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+
+
+def make_rows(pps_scale=1.0, node_io=100):
+    # 1000 pairs at wall_ms=100 -> 10000 pairs/sec at pps_scale=1.
+    return [
+        {
+            "series": "Even/DepthFirst",
+            "threads": 1,
+            "pairs": 1000,
+            "wall_ms": 100.0 / pps_scale,
+            "node_io": node_io,
+        }
+    ]
+
+
+def write(path, doc):
+    with open(path, "w") as f:
+        json.dump(doc, f)
+
+
+def run(tool, *args):
+    return subprocess.run(
+        [sys.executable, tool, *args], capture_output=True, text=True
+    ).returncode
+
+
+def main():
+    if len(sys.argv) != 2:
+        print(__doc__, file=sys.stderr)
+        return 2
+    tool = sys.argv[1]
+    failures = []
+
+    def check(name, got, want):
+        if got != want:
+            failures.append(f"{name}: exit {got}, want {want}")
+
+    with tempfile.TemporaryDirectory() as tmp:
+        base = os.path.join(tmp, "base.json")
+        cur = os.path.join(tmp, "cur.json")
+        write(base, {"scale": 1.0, "rows": make_rows()})
+
+        # Identical run: within tolerance.
+        write(cur, {"scale": 1.0, "rows": make_rows()})
+        check("identical", run(tool, base, cur), 0)
+
+        # 5% slower passes the default 10% time tolerance.
+        write(cur, {"scale": 1.0, "rows": make_rows(pps_scale=0.95)})
+        check("small-slowdown", run(tool, base, cur), 0)
+
+        # 30% slower fails it...
+        write(cur, {"scale": 1.0, "rows": make_rows(pps_scale=0.70)})
+        check("time-regression", run(tool, base, cur), 1)
+
+        # ...unless the caller loosens the gate, as check.sh does.
+        check(
+            "loose-tolerance",
+            run(tool, base, cur, "--time-tolerance=0.60"),
+            0,
+        )
+
+        # node_io growth beyond tolerance is a regression regardless of time.
+        write(cur, {"scale": 1.0, "rows": make_rows(node_io=150)})
+        check("io-regression", run(tool, base, cur), 1)
+
+        # A baseline row absent from the current run is a regression (as
+        # long as something still matches; an empty run is a schema error).
+        write(cur, {"scale": 1.0, "rows": []})
+        check("empty-rows", run(tool, base, cur), 2)
+        two = make_rows() + make_rows()
+        two[1] = dict(two[1], series="Within")
+        write(base, {"scale": 1.0, "rows": two})
+        write(cur, {"scale": 1.0, "rows": make_rows()})
+        check("missing-row", run(tool, base, cur), 1)
+        write(base, {"scale": 1.0, "rows": make_rows()})
+
+        # Usage/schema errors: malformed JSON, scale mismatch, bad flags.
+        with open(cur, "w") as f:
+            f.write("{not json")
+        check("malformed-json", run(tool, base, cur), 2)
+        write(cur, {"scale": 0.5, "rows": make_rows()})
+        check("scale-mismatch", run(tool, base, cur), 2)
+        write(cur, {"scale": 1.0, "rows": make_rows()})
+        check("unknown-flag", run(tool, base, cur, "--bogus"), 2)
+        check("missing-file", run(tool, base, os.path.join(tmp, "nope")), 2)
+        check("no-args", run(tool), 2)
+
+    if failures:
+        for f in failures:
+            print(f"FAIL {f}", file=sys.stderr)
+        return 1
+    print("compare_bench_selftest: all exit-code contracts hold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,580 @@
+// The shared best-first engine core (DESIGN.md §13).
+//
+// Every traversal in this repository — the incremental distance join and
+// semi-join (Section 2.2/2.3), incremental nearest- and farthest-neighbor
+// search (the paper's reference [18] and Section 2.2.5), and the incremental
+// within-distance join — is the same algorithm: a priority queue of index
+// entries popped in key order, where popping an object(-pair) reports it and
+// popping a node(-pair) expands it. This class owns everything those engines
+// would otherwise duplicate:
+//
+//   * queue management: the in-memory pairing heap or the hybrid tiered
+//     memory/disk queue (Section 3.2) behind one PairQueue interface;
+//   * the serial pop loop with its safe points: StopToken polling,
+//     hybrid-queue I/O-error propagation, obs PopSample / expansion
+//     PhaseTimers (DESIGN.md §11/§12);
+//   * TryPin + JoinStatus::kIoError propagation on every node-read path
+//     (DESIGN.md §9) — PinDecode/MarkIoError, never an aborting Pin;
+//   * SaveCore/RestoreCore: serialization of the queue (entries + tier
+//     frontier), sequence counter, status, and statistics, with pool-counter
+//     rebasing across the suspend/resume boundary;
+//   * RectBatch decode-and-score scratch, and the parallel classify /
+//     slot-ordered serial merge that keeps multi-threaded expansion
+//     bit-identical to serial (DESIGN.md §10).
+//
+// A concrete engine derives from this class (CRTP — `Derived` is the policy;
+// no virtual dispatch on the hot path) and supplies only what differs:
+//
+//   PopAction OnPopped(const Entry&, Result*)  classify a popped entry:
+//                                              report / skip / expand
+//   bool Expand(const Entry&)                  create+enqueue child entries;
+//                                              false => MarkIoError() fired
+//   void PrepareNext()                         optional: runs first in Next()
+//                                              (NN auto-resume clears
+//                                              kSuspended here)
+//   bool BeforeIteration()                     optional: pre-loop cap checks;
+//                                              false stops with status_ set
+//   bool OnQueueDrained()                      optional: true re-enters the
+//                                              loop (estimation restart)
+//
+// The policy also owns its public options, result filling, and — because the
+// config fingerprint is engine-specific — the SaveState/RestoreState framing
+// around SaveCore/RestoreCore. See DESIGN.md §13 for the author's checklist.
+#ifndef SDJOIN_CORE_BEST_FIRST_H_
+#define SDJOIN_CORE_BEST_FIRST_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <utility>
+#include <vector>
+
+#include "core/hybrid_queue.h"
+#include "core/join_result.h"
+#include "core/join_stats.h"
+#include "core/pair_entry.h"
+#include "core/pair_queue.h"
+#include "core/snapshot.h"
+#include "geometry/rect_batch.h"
+#include "obs/metrics.h"
+#include "storage/buffer_pool.h"
+#include "util/check.h"
+#include "util/stop_token.h"
+#include "util/thread_pool.h"
+
+namespace sdj {
+
+// The cross-cutting knobs every best-first engine shares; each engine copies
+// them out of its own options struct at construction.
+struct BestFirstConfig {
+  TieBreakPolicy tie_break = TieBreakPolicy::kDepthFirst;
+  bool use_hybrid_queue = false;
+  HybridQueueOptions hybrid;
+  int num_threads = 1;
+  util::StopToken stop_token;
+  obs::Metrics* metrics = nullptr;
+};
+
+// Verdict of Derived::OnPopped on one dequeued entry.
+enum class PopAction : uint8_t {
+  kReported,  // `out` filled; Next() returns true
+  kSkip,      // entry consumed (pruned/filtered); continue popping
+  kExpand,    // node entry; core times and runs Derived::Expand
+};
+
+// See file comment. `ResultT` is what Next() fills (JoinResult<Dim> for the
+// pair engines, a neighbor record for the single-tree engines); it is
+// exported as `Result` so JoinCursor can forward any engine generically.
+template <int Dim, typename Derived, typename Index, typename ResultT>
+class BestFirstEngine {
+ public:
+  using Result = ResultT;
+
+  // Produces the next result; returns false once no further result exists,
+  // the stop token fired, or an unrecoverable I/O failure occurred —
+  // status() disambiguates. Results already returned are always a valid,
+  // correctly ordered prefix.
+  bool Next(ResultT* out) {
+    SDJ_CHECK(out != nullptr);
+    derived().PrepareNext();
+    if (status_ != JoinStatus::kOk) return false;
+    if (!derived().BeforeIteration()) return false;
+    for (;;) {
+      // Safe point (DESIGN.md §11): no entry is popped-but-unprocessed here,
+      // so the queue and every policy structure are mutually consistent and
+      // SaveState captures a resumable cursor.
+      if (config_.stop_token.stop_requested()) {
+        status_ = JoinStatus::kSuspended;
+        return false;
+      }
+      if (queue_->Empty()) {
+        if (queue_->io_error()) {
+          status_ = JoinStatus::kIoError;
+          return false;
+        }
+        if (derived().OnQueueDrained()) continue;
+        status_ = JoinStatus::kExhausted;
+        return false;
+      }
+      // The hybrid queue migrates entries between tiers inside Empty/Pop; a
+      // disk-tier read failure there loses entries, so the remaining stream
+      // is no longer guaranteed complete — stop with the partial prefix.
+      if (queue_->io_error()) {
+        status_ = JoinStatus::kIoError;
+        return false;
+      }
+      // Pop cost is heap restructuring; Empty() above already refilled, so
+      // the kRefill phase never nests inside this one. Sampled 1-in-16
+      // (obs::PopSample) keyed on queue_pops, which SaveCore persists, so a
+      // resumed cursor samples the same pops an uninterrupted run would.
+      obs::PhaseTimer pop_timer(
+          obs::PopSample(config_.metrics, stats_.queue_pops), obs::Op::kPop);
+      PairEntry<Dim> e = queue_->Pop();
+      pop_timer.Stop();
+      ++stats_.queue_pops;
+      const PopAction action = derived().OnPopped(e, out);
+      if (action == PopAction::kReported) return true;
+      if (action == PopAction::kSkip) continue;
+      obs::PhaseTimer expand_timer(config_.metrics, obs::Op::kExpansion);
+      if (!derived().Expand(e)) return false;  // status_ set to kIoError
+    }
+  }
+
+  // Why iteration stopped (kOk while Next() still returns results). After a
+  // kIoError the iterator stays stopped; results already produced remain
+  // valid.
+  JoinStatus status() const { return status_; }
+
+  // Clears a kSuspended status so iteration can continue (after the caller
+  // re-arms or replaces the StopSource). No-op in any other state.
+  void ResumeSuspended() {
+    if (status_ == JoinStatus::kSuspended) status_ = JoinStatus::kOk;
+  }
+
+  // Cumulative statistics (Table 1's measures among them). Node I/O is
+  // derived from the indexes' buffer pools, so it assumes the pools are not
+  // shared with concurrent work.
+  const JoinStats& stats() const {
+    stats_.max_queue_size =
+        std::max<uint64_t>(stats_.max_queue_size, queue_->MaxSize());
+    stats_.node_io = PoolMisses() - base_node_misses_;
+    stats_.node_accesses = PoolAccesses() - base_node_accesses_;
+    stats_.io_retries = PoolRetries() - base_io_retries_;
+    stats_.checksum_failures =
+        PoolChecksumFailures() - base_checksum_failures_;
+    stats_.spill_fallbacks =
+        base_spill_fallbacks_ + queue_->spill_fallbacks();
+    return stats_;
+  }
+
+  // Peak number of queue entries resident in memory (differs from
+  // stats().max_queue_size only for the hybrid queue).
+  size_t max_memory_queue_size() const { return queue_->MaxMemorySize(); }
+
+ protected:
+  using Item = JoinItem<Dim>;
+  using Entry = PairEntry<Dim>;
+
+  static constexpr double kInf = std::numeric_limits<double>::infinity();
+  // Candidate batches below this size are classified inline: the per-shard
+  // handoff costs more than scoring a few dozen rectangles.
+  static constexpr size_t kParallelGrain = 128;
+
+  // `pools` are the buffer pools of every index the engine reads (one per
+  // distinct index), folded into the node_io / node_accesses / io_retries /
+  // checksum_failures statistics.
+  BestFirstEngine(std::vector<const storage::BufferPool*> pools,
+                  const BestFirstConfig& config)
+      : config_(config),
+        pools_(std::move(pools)),
+        workers_(config.num_threads),
+        base_node_misses_(PoolMisses()),
+        base_node_accesses_(PoolAccesses()),
+        base_io_retries_(PoolRetries()),
+        base_checksum_failures_(PoolChecksumFailures()) {
+    queue_ = MakeQueue();
+  }
+
+  // Non-virtual: engines are used through their concrete type.
+  ~BestFirstEngine() = default;
+
+  Derived& derived() { return static_cast<Derived&>(*this); }
+
+  // ---- default policy hooks (a Derived overrides by shadowing) ----
+
+  void PrepareNext() {}
+  bool BeforeIteration() { return true; }
+  bool OnQueueDrained() { return false; }
+
+  // ---- queue construction ----
+
+  std::unique_ptr<PairQueue<Dim>> MakeQueue() const {
+    PairEntryCompare<Dim> cmp{config_.tie_break};
+    if (config_.use_hybrid_queue) {
+      // The queue shares the engine's sink (refill/spill phases, spill-file
+      // page I/O) unless the caller wired its own.
+      HybridQueueOptions hybrid = config_.hybrid;
+      if (hybrid.metrics == nullptr) hybrid.metrics = config_.metrics;
+      return std::make_unique<HybridPairQueue<Dim>>(cmp, hybrid);
+    }
+    return std::make_unique<MemoryPairQueue<Dim>>(cmp);
+  }
+
+  // ---- node reads (DESIGN.md §9) ----
+
+  // Records an unrecoverable node-page I/O failure. Returns false so callers
+  // can `return MarkIoError();` straight out of the expansion path.
+  bool MarkIoError() {
+    status_ = JoinStatus::kIoError;
+    return false;
+  }
+
+  // Pins one node page and decodes it into the given batch/ref scratch.
+  // Returns false on an unreadable page WITHOUT touching status_ — callers
+  // propagate with `return MarkIoError();` (never SDJ_CHECK). The pin spans
+  // only the decode; expansions that must hold two pins simultaneously
+  // (ProcessBoth) pin manually with the same TryPin contract.
+  bool PinDecode(const Index& tree, uint64_t ref, RectBatch<Dim>* batch,
+                 std::vector<uint64_t>* refs, bool* leaf, int* level) {
+    typename Index::PinnedNode node =
+        tree.TryPin(static_cast<storage::PageId>(ref));
+    if (!node.ok()) return false;
+    node.DecodeInto(batch, refs);
+    *leaf = node.is_leaf();
+    *level = node.level();
+    return true;
+  }
+
+  // ---- child-item materialization ----
+
+  // Turns entry `i` of a decoded node batch into a queue item. `object_kind`
+  // is what leaf entries become (kObject, or kObjectRect in obr mode).
+  Item MakeChildItem(const RectBatch<Dim>& batch,
+                     const std::vector<uint64_t>& refs, size_t i, bool leaf,
+                     int level, JoinItemKind object_kind) const {
+    Item item;
+    item.rect = batch.rect(i);
+    item.ref = refs[i];
+    if (leaf) {
+      item.level = -1;
+      item.kind = object_kind;
+    } else {
+      item.level = static_cast<int16_t>(level - 1);
+      item.kind = JoinItemKind::kNode;
+    }
+    return item;
+  }
+
+  void BuildChildItems(const RectBatch<Dim>& batch,
+                       const std::vector<uint64_t>& refs, bool leaf, int level,
+                       JoinItemKind object_kind, std::vector<Item>* out) const {
+    out->clear();
+    out->reserve(batch.size());
+    for (size_t i = 0; i < batch.size(); ++i) {
+      out->push_back(MakeChildItem(batch, refs, i, leaf, level, object_kind));
+    }
+  }
+
+  // ---- batched classify + slot-ordered merge (DESIGN.md §10) ----
+
+  // The pure per-candidate acceptance ladder ClassifyAndEnqueue applies —
+  // everything it consults must be immutable across one expansion.
+  struct ClassifySpec {
+    const Rect<Dim>* window1 = nullptr;  // null = no window filter
+    const Rect<Dim>* window2 = nullptr;
+    double min_distance = 0.0;
+    double max_distance = std::numeric_limits<double>::infinity();
+    bool reverse_order = false;
+    // Whether accepted entries need the PairMaxDist upper bound (Dmin
+    // pruning and reverse keys); mirrors the serial ladder's condition.
+    bool need_join_dmax = false;
+    Metric metric = Metric::kEuclidean;
+  };
+
+  // Candidate slot verdicts from the classify pass. The merge step derives
+  // the serial engine's exact counter increments from the verdict alone.
+  enum SlotState : uint8_t {
+    kSlotFilter = 0,    // window rejected (no distance computed)
+    kSlotRangeMax = 1,  // MINDIST above Dmax (one distance calc)
+    kSlotRangeMin = 2,  // join d_max below Dmin (two distance calcs)
+    kSlotAccept = 3,    // entry built (1 + need_join_dmax calcs)
+  };
+
+  // Classifies n candidate pairs through the acceptance ladder and enqueues
+  // survivors in slot order. get_a/get_b map a slot to its items; pre_mind,
+  // when non-null, holds PairMinDist per slot from a batch kernel;
+  // object_pair says both sides are exact objects (the Dist. Calc. counter).
+  //
+  // Determinism: shards are static index ranges (util/thread_pool.h), each
+  // slot's verdict and entry are pure functions of that slot, and the merge
+  // walks slots in order — accumulating counters, assigning seq to
+  // survivors, bulk-pushing them — so the output stream is bit-identical to
+  // the serial engine's for any thread count.
+  template <typename GetA, typename GetB>
+  void ClassifyAndEnqueue(const ClassifySpec& spec, size_t n,
+                          const double* pre_mind, bool object_pair,
+                          const GetA& get_a, const GetB& get_b) {
+    slot_entries_.resize(n);
+    slot_state_.resize(n);
+    const std::function<void(size_t, size_t)> classify = [&](size_t begin,
+                                                             size_t end) {
+      for (size_t i = begin; i < end; ++i) {
+        const Item& a = get_a(i);
+        const Item& b = get_b(i);
+        if (spec.window1 != nullptr && !a.rect.Intersects(*spec.window1)) {
+          slot_state_[i] = kSlotFilter;
+          continue;
+        }
+        if (spec.window2 != nullptr && !b.rect.Intersects(*spec.window2)) {
+          slot_state_[i] = kSlotFilter;
+          continue;
+        }
+        const double d =
+            pre_mind != nullptr ? pre_mind[i] : PairMinDist(a, b, spec.metric);
+        if (d > spec.max_distance) {
+          slot_state_[i] = kSlotRangeMax;
+          continue;
+        }
+        double join_dmax = kInf;
+        if (spec.need_join_dmax) {
+          join_dmax = PairMaxDist(a, b, spec.metric);
+          if (join_dmax < spec.min_distance) {
+            slot_state_[i] = kSlotRangeMin;
+            continue;
+          }
+        }
+        Entry& entry = slot_entries_[i];
+        entry.distance = d;
+        entry.item1 = a;
+        entry.item2 = b;
+        entry.seq = 0;  // assigned in the in-order merge below
+        FinalizePairMetadata(&entry);
+        entry.key = spec.reverse_order ? -join_dmax : d;
+        slot_state_[i] = kSlotAccept;
+      }
+    };
+    if (workers_.num_threads() > 1 && n >= kParallelGrain) {
+      workers_.ParallelFor(n, classify);
+      ++stats_.parallel_expansions;
+    } else if (n > 0) {
+      classify(0, n);
+    }
+    accepted_.clear();
+    const uint64_t calcs_per_accept = spec.need_join_dmax ? 2 : 1;
+    for (size_t i = 0; i < n; ++i) {
+      switch (slot_state_[i]) {
+        case kSlotFilter:
+          ++stats_.pruned_by_filter;
+          break;
+        case kSlotRangeMax:
+          ++stats_.total_distance_calcs;
+          if (object_pair) ++stats_.object_distance_calcs;
+          ++stats_.pruned_by_range;
+          break;
+        case kSlotRangeMin:
+          stats_.total_distance_calcs += 2;
+          if (object_pair) ++stats_.object_distance_calcs;
+          ++stats_.pruned_by_range;
+          break;
+        case kSlotAccept: {
+          stats_.total_distance_calcs += calcs_per_accept;
+          if (object_pair) ++stats_.object_distance_calcs;
+          Entry& entry = slot_entries_[i];
+          entry.seq = next_seq_++;
+          accepted_.push_back(entry);
+          break;
+        }
+      }
+    }
+    queue_->PushBulk(accepted_.data(), accepted_.size());
+    stats_.queue_pushes += accepted_.size();
+  }
+
+  // ---- serialization (DESIGN.md §11) ----
+
+  // Whether the current state is capturable at all: an engine that already
+  // failed (kIoError, kInvalidArgument) or whose queue lost entries cannot
+  // produce a resumable snapshot. Engines check this before writing their
+  // fingerprint.
+  bool SaveAllowed() const {
+    return status_ != JoinStatus::kIoError &&
+           status_ != JoinStatus::kInvalidArgument && !queue_->io_error();
+  }
+
+  static void WriteStats(snapshot::Blob* out, const JoinStats& s) {
+    out->PutU64(s.pairs_reported);
+    out->PutU64(s.object_distance_calcs);
+    out->PutU64(s.total_distance_calcs);
+    out->PutU64(s.queue_pushes);
+    out->PutU64(s.queue_pops);
+    out->PutU64(s.max_queue_size);
+    out->PutU64(s.node_io);
+    out->PutU64(s.node_accesses);
+    out->PutU64(s.nodes_expanded);
+    out->PutU64(s.pruned_by_range);
+    out->PutU64(s.pruned_by_estimate);
+    out->PutU64(s.pruned_by_bound);
+    out->PutU64(s.pruned_by_filter);
+    out->PutU64(s.filtered_reported);
+    out->PutU64(s.restarts);
+    out->PutU64(s.io_retries);
+    out->PutU64(s.checksum_failures);
+    out->PutU64(s.spill_fallbacks);
+    out->PutU64(s.batch_kernel_invocations);
+    out->PutU64(s.parallel_expansions);
+  }
+
+  static void ReadStats(snapshot::BlobReader* in, JoinStats* s) {
+    s->pairs_reported = in->GetU64();
+    s->object_distance_calcs = in->GetU64();
+    s->total_distance_calcs = in->GetU64();
+    s->queue_pushes = in->GetU64();
+    s->queue_pops = in->GetU64();
+    s->max_queue_size = in->GetU64();
+    s->node_io = in->GetU64();
+    s->node_accesses = in->GetU64();
+    s->nodes_expanded = in->GetU64();
+    s->pruned_by_range = in->GetU64();
+    s->pruned_by_estimate = in->GetU64();
+    s->pruned_by_bound = in->GetU64();
+    s->pruned_by_filter = in->GetU64();
+    s->filtered_reported = in->GetU64();
+    s->restarts = in->GetU64();
+    s->io_retries = in->GetU64();
+    s->checksum_failures = in->GetU64();
+    s->spill_fallbacks = in->GetU64();
+    s->batch_kernel_invocations = in->GetU64();
+    s->parallel_expansions = in->GetU64();
+  }
+
+  // Serializes the core state — sequence counter, status, statistics, queue
+  // tier frontier and every live entry. The engine writes its config
+  // fingerprint and policy scalars around this. Returns false if the queue
+  // entries cannot all be read (an unreadable hybrid disk page); `out` must
+  // then be discarded.
+  bool SaveCore(snapshot::Blob* out) {
+    stats();  // fold pool- and queue-derived counters into stats_
+    out->PutU64(next_seq_);
+    out->PutU8(static_cast<uint8_t>(status_));
+    WriteStats(out, stats_);
+    // Queue: frontier first, so restore classifies pushes into the same
+    // tiers, then every live entry (order-free — the comparator is total).
+    out->PutU64(queue_->TierFrontier());
+    out->PutU64(queue_->Size());
+    return queue_->ForEach(
+        [out](const Entry& e) { snapshot::WriteEntry(out, e); });
+  }
+
+  // Counterpart of SaveCore; the caller has already verified its
+  // fingerprint. On success the rebuilt queue pops the exact sequence the
+  // saved one would have (the entry comparator is a total order), and the
+  // statistics are rebased against the *current* pool counters so stats()
+  // keeps reporting totals across the suspend/resume boundary (modular
+  // uint64 arithmetic keeps the deltas exact even when the new process's
+  // pools start cold). On failure the engine is unusable and must be
+  // reconstructed.
+  bool RestoreCore(snapshot::BlobReader* in) {
+    const uint64_t next_seq = in->GetU64();
+    const uint8_t saved_status = in->GetU8();
+    if (saved_status > static_cast<uint8_t>(JoinStatus::kInvalidArgument)) {
+      return false;
+    }
+    JoinStats saved_stats;
+    ReadStats(in, &saved_stats);
+    const uint64_t frontier = in->GetU64();
+    const uint64_t count = in->GetCount(snapshot::EntryWireSize<Dim>());
+    if (!in->ok()) return false;
+    // Release the old queue BEFORE building its replacement: a file-backed
+    // hybrid spill must be closed before the new store truncates the path.
+    queue_.reset();
+    queue_ = MakeQueue();
+    if (frontier > 0) queue_->RestoreTierFrontier(frontier);
+    for (uint64_t i = 0; i < count; ++i) {
+      Entry e;
+      if (!snapshot::ReadEntry(in, &e)) return false;
+      queue_->Push(e);
+    }
+    next_seq_ = next_seq;
+    stats_ = saved_stats;
+    base_node_misses_ = PoolMisses() - saved_stats.node_io;
+    base_node_accesses_ = PoolAccesses() - saved_stats.node_accesses;
+    base_io_retries_ = PoolRetries() - saved_stats.io_retries;
+    base_checksum_failures_ =
+        PoolChecksumFailures() - saved_stats.checksum_failures;
+    base_spill_fallbacks_ = saved_stats.spill_fallbacks;
+    status_ = static_cast<JoinStatus>(saved_status);
+    return true;
+  }
+
+  // ---- pool-derived counters ----
+
+  uint64_t PoolMisses() const {
+    uint64_t total = 0;
+    for (const storage::BufferPool* pool : pools_) {
+      total += pool->stats().buffer_misses;
+    }
+    return total;
+  }
+  uint64_t PoolAccesses() const {
+    uint64_t total = 0;
+    for (const storage::BufferPool* pool : pools_) {
+      total += pool->stats().logical_reads;
+    }
+    return total;
+  }
+  uint64_t PoolRetries() const {
+    uint64_t total = 0;
+    for (const storage::BufferPool* pool : pools_) {
+      const storage::IoStats s = pool->stats();
+      total += s.read_retries + s.write_retries;
+    }
+    return total;
+  }
+  uint64_t PoolChecksumFailures() const {
+    uint64_t total = 0;
+    for (const storage::BufferPool* pool : pools_) {
+      total += pool->stats().checksum_failures;
+    }
+    return total;
+  }
+
+  // ---- shared state ----
+
+  // Mutable so NN-style engines can re-arm the stop token / metrics sink
+  // after construction; the queue itself is built once in the constructor.
+  BestFirstConfig config_;
+  std::vector<const storage::BufferPool*> pools_;
+  util::ThreadPool workers_;
+  std::unique_ptr<PairQueue<Dim>> queue_;
+
+  // Expansion scratch, reused across Next() calls to avoid re-allocation on
+  // the hot path. Only touched inside one Expand call at a time.
+  RectBatch<Dim> batch1_;
+  RectBatch<Dim> batch2_;
+  std::vector<uint64_t> refs1_;
+  std::vector<uint64_t> refs2_;
+  std::vector<double> mind1_;
+  std::vector<double> mind2_;
+  std::vector<Item> left_;
+  std::vector<Item> right_;
+  std::vector<Entry> slot_entries_;
+  std::vector<Entry> accepted_;
+  std::vector<uint8_t> slot_state_;
+
+  uint64_t next_seq_ = 0;
+  JoinStatus status_ = JoinStatus::kOk;
+  uint64_t base_node_misses_ = 0;
+  uint64_t base_node_accesses_ = 0;
+  uint64_t base_io_retries_ = 0;
+  uint64_t base_checksum_failures_ = 0;
+  // Spill fallbacks accumulated before the last RestoreCore (the restored
+  // queue's own counter restarts at zero).
+  uint64_t base_spill_fallbacks_ = 0;
+  mutable JoinStats stats_;
+};
+
+}  // namespace sdj
+
+#endif  // SDJOIN_CORE_BEST_FIRST_H_

@@ -21,6 +21,12 @@
 // The iterator is pipelined: each Next() call reports the next pair by
 // non-decreasing distance, and the entire state lives in the priority queue,
 // so a caller may stop at any time ("fast first", Section 1).
+//
+// Structurally, DistanceJoin is a policy over the shared best-first core
+// (core/best_first.h, DESIGN.md §13): the core owns the pop loop, queue,
+// safe points, I/O-status propagation, serialization plumbing, and the
+// parallel classify; this class supplies pair classification, the node-
+// processing policies, estimation, and the semi-join machinery.
 #ifndef SDJOIN_CORE_DISTANCE_JOIN_H_
 #define SDJOIN_CORE_DISTANCE_JOIN_H_
 
@@ -33,6 +39,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/best_first.h"
 #include "core/hybrid_queue.h"
 #include "core/join_result.h"
 #include "core/join_stats.h"
@@ -180,8 +187,18 @@ struct JoinFilters {
 // spatial data structures"). Indexes whose node regions do not minimally
 // bound their contents (Index::kMinimalBoundingRegions == false, e.g., the
 // PointQuadtree) automatically get the containment-only d_max bounds.
+//
+// Next(), status(), ResumeSuspended(), stats(), and
+// max_memory_queue_size() are inherited from the best-first core.
 template <int Dim, typename Index = RTree<Dim>>
-class DistanceJoin {
+class DistanceJoin
+    : public BestFirstEngine<Dim, DistanceJoin<Dim, Index>, Index,
+                             JoinResult<Dim>> {
+  using Base =
+      BestFirstEngine<Dim, DistanceJoin<Dim, Index>, Index, JoinResult<Dim>>;
+  // The core invokes the policy hooks below, which stay private.
+  friend Base;
+
  public:
   DistanceJoin(const Index& tree1, const Index& tree2,
                const DistanceJoinOptions& options,
@@ -189,18 +206,14 @@ class DistanceJoin {
                SemiJoinFilter semi_filter = SemiJoinFilter::kNone,
                SemiJoinBound semi_bound = SemiJoinBound::kNone,
                bool semi_estimation = false)
-      : tree1_(tree1),
+      : Base({&tree1.pool(), &tree2.pool()}, MakeConfig(options)),
+        tree1_(tree1),
         tree2_(tree2),
         options_(options),
         filters_(std::move(filters)),
         semi_filter_(semi_filter),
         semi_bound_(semi_bound),
-        semi_estimation_(semi_estimation),
-        workers_(options.num_threads),
-        base_node_misses_(PoolMisses()),
-        base_node_accesses_(PoolAccesses()),
-        base_io_retries_(PoolRetries()),
-        base_checksum_failures_(PoolChecksumFailures()) {
+        semi_estimation_(semi_estimation) {
     SDJ_CHECK(options.min_distance >= 0.0);
     SDJ_CHECK(options.min_distance <= options.max_distance);
     if (options.estimate_max_distance) SDJ_CHECK(options.max_pairs > 0);
@@ -239,147 +252,8 @@ class DistanceJoin {
                             std::numeric_limits<double>::infinity());
     }
     ResetEstimator();
-    queue_ = MakeQueue();
     if (status_ == JoinStatus::kOk) Seed();
   }
-
-  // Produces the next result pair; returns false once no further pair exists
-  // (range exhausted, STOP AFTER budget reached, trees exhausted) or an
-  // unrecoverable I/O failure occurred — status() disambiguates. Pairs
-  // already returned are always a valid, correctly ordered result prefix.
-  bool Next(JoinResult<Dim>* out) {
-    SDJ_CHECK(out != nullptr);
-    if (status_ != JoinStatus::kOk) return false;
-    if (options_.max_pairs > 0 && reported_count_ >= options_.max_pairs) {
-      status_ = JoinStatus::kExhausted;
-      return false;
-    }
-    for (;;) {
-      // Safe point (DESIGN.md §11): no pair is popped-but-unprocessed here,
-      // so the queue, estimator, bit string, and counters are mutually
-      // consistent and SaveState captures a resumable cursor.
-      if (options_.stop_token.stop_requested()) {
-        status_ = JoinStatus::kSuspended;
-        return false;
-      }
-      if (queue_->Empty()) {
-        if (queue_->io_error()) {
-          status_ = JoinStatus::kIoError;
-          return false;
-        }
-        if (NeedRestart()) {
-          Restart();
-          continue;
-        }
-        status_ = JoinStatus::kExhausted;
-        return false;
-      }
-      // The hybrid queue migrates pairs between tiers inside Empty/Pop; a
-      // disk-tier read failure there loses pairs, so the remaining stream is
-      // no longer guaranteed complete — stop with the partial prefix.
-      if (queue_->io_error()) {
-        status_ = JoinStatus::kIoError;
-        return false;
-      }
-      // Pop cost is heap restructuring; Empty() above already refilled, so
-      // the kRefill phase never nests inside this one. Sampled 1-in-16
-      // (obs::PopSample) keyed on queue_pops, which SaveState persists, so
-      // a resumed cursor samples the same pops an uninterrupted run would.
-      obs::PhaseTimer pop_timer(
-          obs::PopSample(options_.metrics, stats_.queue_pops), obs::Op::kPop);
-      PairEntry<Dim> e = queue_->Pop();
-      pop_timer.Stop();
-      ++stats_.queue_pops;
-      if (estimator_.has_value()) {
-        estimator_->OnDequeue(KeyOf(e));
-      }
-      // Global cut-offs: with ascending keys, once the head violates the
-      // distance window nothing behind it can produce results.
-      if (!options_.reverse_order) {
-        if (e.distance > EffectiveMax()) {
-          stats_.pruned_by_estimate += 1 + queue_->Size();
-          queue_->Clear();
-          continue;
-        }
-      } else {
-        // Reverse mode keys are negated upper bounds.
-        if (-e.key < EffectiveMin()) {
-          stats_.pruned_by_range += 1 + queue_->Size();
-          queue_->Clear();
-          continue;
-        }
-      }
-      // Semi-join Inside1/Inside2: drop pairs whose first object was already
-      // paired (Section 2.3).
-      if (semi_filter_ == SemiJoinFilter::kInside1 ||
-          semi_filter_ == SemiJoinFilter::kInside2) {
-        if (e.item1.is_object_like() && IsReported(e.item1.ref)) {
-          ++stats_.filtered_reported;
-          continue;
-        }
-      }
-      // Semi-join global bounds: a pair whose MINDIST exceeds the best known
-      // d_max for its first item can never contain a first pair.
-      if (IsPrunedByBound(e.item1, e.distance)) {
-        ++stats_.pruned_by_bound;
-        continue;
-      }
-
-      if (e.IsObjectPair()) {
-        if (!ReportableDistance(e.distance)) continue;
-        if (!AcceptSemiReport(e.item1.ref)) continue;
-        if (estimator_.has_value()) NotifyReport(e.item1.ref);
-        if (replay_ > 0) {
-          --replay_;
-          continue;
-        }
-        Fill(e, out);
-        ++reported_count_;
-        ++stats_.pairs_reported;
-        return true;
-      }
-      if (e.IsObrPair()) {
-        ResolveObrPair(e, out);
-        if (resolved_ready_) {
-          resolved_ready_ = false;
-          return true;
-        }
-        continue;
-      }
-      obs::PhaseTimer expand_timer(options_.metrics, obs::Op::kExpansion);
-      if (!Expand(e)) return false;  // status_ set to kIoError
-    }
-  }
-
-  // Why iteration stopped (kOk while Next() still returns pairs). After a
-  // kIoError the iterator stays stopped; pairs already produced remain valid.
-  JoinStatus status() const { return status_; }
-
-  // Clears a kSuspended status so iteration can continue (after the caller
-  // re-arms or replaces the StopSource). No-op in any other state.
-  void ResumeSuspended() {
-    if (status_ == JoinStatus::kSuspended) status_ = JoinStatus::kOk;
-  }
-
-  // Cumulative statistics (Table 1's measures among them). Node I/O is
-  // derived from the trees' buffer pools, so it assumes the pools are not
-  // shared with concurrent work.
-  const JoinStats& stats() const {
-    stats_.max_queue_size =
-        std::max<uint64_t>(stats_.max_queue_size, queue_->MaxSize());
-    stats_.node_io = PoolMisses() - base_node_misses_;
-    stats_.node_accesses = PoolAccesses() - base_node_accesses_;
-    stats_.io_retries = PoolRetries() - base_io_retries_;
-    stats_.checksum_failures =
-        PoolChecksumFailures() - base_checksum_failures_;
-    stats_.spill_fallbacks =
-        base_spill_fallbacks_ + queue_->spill_fallbacks();
-    return stats_;
-  }
-
-  // Peak number of queue pairs resident in memory (differs from
-  // stats().max_queue_size only for the hybrid queue).
-  size_t max_memory_queue_size() const { return queue_->MaxMemorySize(); }
 
   // The currently effective maximum distance (query bound or estimate).
   double effective_max_distance() const { return EffectiveMax(); }
@@ -403,11 +277,7 @@ class DistanceJoin {
   // completely (an unreadable hybrid-queue disk page, or an engine already
   // failed with kIoError); `out` must then be discarded.
   bool SaveState(snapshot::Blob* out) {
-    if (status_ == JoinStatus::kIoError ||
-        status_ == JoinStatus::kInvalidArgument || queue_->io_error()) {
-      return false;
-    }
-    stats();  // fold pool- and queue-derived counters into stats_
+    if (!this->SaveAllowed()) return false;
     // Fingerprint: the resuming engine must be constructed over the same
     // trees with the same query configuration.
     out->PutU32(kStateMagic);
@@ -432,20 +302,12 @@ class DistanceJoin {
     out->PutBool(Index::kMinimalBoundingRegions);
     out->PutU64(tree1_.size());
     out->PutU64(tree2_.size());
-    // Cursor scalars.
-    out->PutU64(next_seq_);
+    // Policy cursor scalars, then the core section (seq counter, status,
+    // statistics, queue frontier + entries).
     out->PutU64(reported_count_);
     out->PutU64(replay_);
     out->PutBool(estimation_disabled_);
-    out->PutU8(static_cast<uint8_t>(status_));
-    WriteStats(out, stats_);
-    // Queue: frontier first, so restore classifies pushes into the same
-    // tiers, then every live entry (order-free — the comparator is total).
-    out->PutU64(queue_->TierFrontier());
-    out->PutU64(queue_->Size());
-    const bool complete = queue_->ForEach(
-        [out](const Entry& e) { snapshot::WriteEntry(out, e); });
-    if (!complete) return false;
+    if (!this->SaveCore(out)) return false;
     out->PutBool(estimator_.has_value());
     if (estimator_.has_value()) estimator_->SaveTo(out);
     out->PutU64(reported_.size());
@@ -497,29 +359,11 @@ class DistanceJoin {
     if (in->GetU64() != tree2_.size()) return false;
     if (!in->ok()) return false;
 
-    next_seq_ = in->GetU64();
     reported_count_ = in->GetU64();
     replay_ = in->GetU64();
     estimation_disabled_ = in->GetBool();
-    const uint8_t saved_status = in->GetU8();
-    if (saved_status > static_cast<uint8_t>(JoinStatus::kInvalidArgument)) {
-      return false;
-    }
-    JoinStats saved_stats;
-    ReadStats(in, &saved_stats);
-    const uint64_t frontier = in->GetU64();
-    const uint64_t count = in->GetCount(snapshot::EntryWireSize<Dim>());
     if (!in->ok()) return false;
-    // Release the old queue BEFORE building its replacement: a file-backed
-    // hybrid spill must be closed before the new store truncates the path.
-    queue_.reset();
-    queue_ = MakeQueue();
-    if (frontier > 0) queue_->RestoreTierFrontier(frontier);
-    for (uint64_t i = 0; i < count; ++i) {
-      Entry e;
-      if (!snapshot::ReadEntry(in, &e)) return false;
-      queue_->Push(e);
-    }
+    if (!this->RestoreCore(in)) return false;
     ResetEstimator();  // honors the restored estimation_disabled_
     const bool saved_estimator = in->GetBool();
     if (saved_estimator != estimator_.has_value()) return false;
@@ -534,90 +378,127 @@ class DistanceJoin {
     if (in->GetCount(8) != object_bounds_.size()) return false;
     for (double& b : object_bounds_) b = in->GetDouble();
     if (!in->ok()) return false;
-
-    // Commit: statistics rebase against the *current* pool counters so that
-    // stats() keeps reporting totals across the suspend/resume boundary
-    // (modular uint64 arithmetic keeps the deltas exact even when the new
-    // process's pools start cold).
-    stats_ = saved_stats;
-    base_node_misses_ = PoolMisses() - saved_stats.node_io;
-    base_node_accesses_ = PoolAccesses() - saved_stats.node_accesses;
-    base_io_retries_ = PoolRetries() - saved_stats.io_retries;
-    base_checksum_failures_ =
-        PoolChecksumFailures() - saved_stats.checksum_failures;
-    base_spill_fallbacks_ = saved_stats.spill_fallbacks;
     resolved_ready_ = false;
-    status_ = static_cast<JoinStatus>(saved_status);
     return true;
   }
 
  private:
-  using Item = JoinItem<Dim>;
-  using Entry = PairEntry<Dim>;
+  using Item = typename Base::Item;
+  using Entry = typename Base::Entry;
+  using Base::kInf;
 
-  static constexpr double kInf = std::numeric_limits<double>::infinity();
+  // Shared core state and helpers (CRTP base members are dependent names).
+  using Base::accepted_;
+  using Base::batch1_;
+  using Base::batch2_;
+  using Base::left_;
+  using Base::mind1_;
+  using Base::mind2_;
+  using Base::next_seq_;
+  using Base::queue_;
+  using Base::refs1_;
+  using Base::refs2_;
+  using Base::right_;
+  using Base::stats_;
+  using Base::status_;
+  using Base::MarkIoError;
+  using Base::PinDecode;
+
   static constexpr uint32_t kStateMagic = 0x534A4A43;  // "SJJC"
-  static constexpr uint32_t kStateVersion = 1;
+  // Version 2: the cursor scalars moved around the shared core section
+  // (core/best_first.h SaveCore).
+  static constexpr uint32_t kStateVersion = 2;
 
-  static void WriteStats(snapshot::Blob* out, const JoinStats& s) {
-    out->PutU64(s.pairs_reported);
-    out->PutU64(s.object_distance_calcs);
-    out->PutU64(s.total_distance_calcs);
-    out->PutU64(s.queue_pushes);
-    out->PutU64(s.queue_pops);
-    out->PutU64(s.max_queue_size);
-    out->PutU64(s.node_io);
-    out->PutU64(s.node_accesses);
-    out->PutU64(s.nodes_expanded);
-    out->PutU64(s.pruned_by_range);
-    out->PutU64(s.pruned_by_estimate);
-    out->PutU64(s.pruned_by_bound);
-    out->PutU64(s.pruned_by_filter);
-    out->PutU64(s.filtered_reported);
-    out->PutU64(s.restarts);
-    out->PutU64(s.io_retries);
-    out->PutU64(s.checksum_failures);
-    out->PutU64(s.spill_fallbacks);
-    out->PutU64(s.batch_kernel_invocations);
-    out->PutU64(s.parallel_expansions);
+  static BestFirstConfig MakeConfig(const DistanceJoinOptions& options) {
+    BestFirstConfig config;
+    config.tie_break = options.tie_break;
+    config.use_hybrid_queue = options.use_hybrid_queue;
+    config.hybrid = options.hybrid;
+    config.num_threads = options.num_threads;
+    config.stop_token = options.stop_token;
+    config.metrics = options.metrics;
+    return config;
   }
 
-  static void ReadStats(snapshot::BlobReader* in, JoinStats* s) {
-    s->pairs_reported = in->GetU64();
-    s->object_distance_calcs = in->GetU64();
-    s->total_distance_calcs = in->GetU64();
-    s->queue_pushes = in->GetU64();
-    s->queue_pops = in->GetU64();
-    s->max_queue_size = in->GetU64();
-    s->node_io = in->GetU64();
-    s->node_accesses = in->GetU64();
-    s->nodes_expanded = in->GetU64();
-    s->pruned_by_range = in->GetU64();
-    s->pruned_by_estimate = in->GetU64();
-    s->pruned_by_bound = in->GetU64();
-    s->pruned_by_filter = in->GetU64();
-    s->filtered_reported = in->GetU64();
-    s->restarts = in->GetU64();
-    s->io_retries = in->GetU64();
-    s->checksum_failures = in->GetU64();
-    s->spill_fallbacks = in->GetU64();
-    s->batch_kernel_invocations = in->GetU64();
-    s->parallel_expansions = in->GetU64();
+  // ---- policy hooks (invoked by the core's Next loop) ----
+
+  bool BeforeIteration() {
+    if (options_.max_pairs > 0 && reported_count_ >= options_.max_pairs) {
+      status_ = JoinStatus::kExhausted;
+      return false;
+    }
+    return true;
+  }
+
+  bool OnQueueDrained() {
+    if (NeedRestart()) {
+      Restart();
+      return true;
+    }
+    return false;
+  }
+
+  PopAction OnPopped(const Entry& e, JoinResult<Dim>* out) {
+    if (estimator_.has_value()) {
+      estimator_->OnDequeue(KeyOf(e));
+    }
+    // Global cut-offs: with ascending keys, once the head violates the
+    // distance window nothing behind it can produce results.
+    if (!options_.reverse_order) {
+      if (e.distance > EffectiveMax()) {
+        stats_.pruned_by_estimate += 1 + queue_->Size();
+        queue_->Clear();
+        return PopAction::kSkip;
+      }
+    } else {
+      // Reverse mode keys are negated upper bounds.
+      if (-e.key < EffectiveMin()) {
+        stats_.pruned_by_range += 1 + queue_->Size();
+        queue_->Clear();
+        return PopAction::kSkip;
+      }
+    }
+    // Semi-join Inside1/Inside2: drop pairs whose first object was already
+    // paired (Section 2.3).
+    if (semi_filter_ == SemiJoinFilter::kInside1 ||
+        semi_filter_ == SemiJoinFilter::kInside2) {
+      if (e.item1.is_object_like() && IsReported(e.item1.ref)) {
+        ++stats_.filtered_reported;
+        return PopAction::kSkip;
+      }
+    }
+    // Semi-join global bounds: a pair whose MINDIST exceeds the best known
+    // d_max for its first item can never contain a first pair.
+    if (IsPrunedByBound(e.item1, e.distance)) {
+      ++stats_.pruned_by_bound;
+      return PopAction::kSkip;
+    }
+
+    if (e.IsObjectPair()) {
+      if (!ReportableDistance(e.distance)) return PopAction::kSkip;
+      if (!AcceptSemiReport(e.item1.ref)) return PopAction::kSkip;
+      if (estimator_.has_value()) NotifyReport(e.item1.ref);
+      if (replay_ > 0) {
+        --replay_;
+        return PopAction::kSkip;
+      }
+      Fill(e, out);
+      ++reported_count_;
+      ++stats_.pairs_reported;
+      return PopAction::kReported;
+    }
+    if (e.IsObrPair()) {
+      ResolveObrPair(e, out);
+      if (resolved_ready_) {
+        resolved_ready_ = false;
+        return PopAction::kReported;
+      }
+      return PopAction::kSkip;
+    }
+    return PopAction::kExpand;
   }
 
   // ---- construction helpers ----
-
-  std::unique_ptr<PairQueue<Dim>> MakeQueue() const {
-    PairEntryCompare<Dim> cmp{options_.tie_break};
-    if (options_.use_hybrid_queue) {
-      // The queue shares the engine's sink (refill/spill phases, spill-file
-      // page I/O) unless the caller wired its own.
-      HybridQueueOptions hybrid = options_.hybrid;
-      if (hybrid.metrics == nullptr) hybrid.metrics = options_.metrics;
-      return std::make_unique<HybridPairQueue<Dim>>(cmp, hybrid);
-    }
-    return std::make_unique<MemoryPairQueue<Dim>>(cmp);
-  }
 
   void ResetEstimator() {
     if (options_.estimate_max_distance && !estimation_disabled_) {
@@ -645,25 +526,6 @@ class DistanceJoin {
   JoinItemKind ObjectKind() const {
     return options_.exact_object_distance ? JoinItemKind::kObjectRect
                                           : JoinItemKind::kObject;
-  }
-
-  uint64_t PoolMisses() const {
-    return tree1_.pool().stats().buffer_misses +
-           tree2_.pool().stats().buffer_misses;
-  }
-  uint64_t PoolAccesses() const {
-    return tree1_.pool().stats().logical_reads +
-           tree2_.pool().stats().logical_reads;
-  }
-  uint64_t PoolRetries() const {
-    const storage::IoStats s1 = tree1_.pool().stats();
-    const storage::IoStats s2 = tree2_.pool().stats();
-    return s1.read_retries + s1.write_retries + s2.read_retries +
-           s2.write_retries;
-  }
-  uint64_t PoolChecksumFailures() const {
-    return tree1_.pool().stats().checksum_failures +
-           tree2_.pool().stats().checksum_failures;
   }
 
   double EffectiveMax() const {
@@ -908,13 +770,6 @@ class DistanceJoin {
 
   // ---- node expansion ----
 
-  // Records an unrecoverable node-page I/O failure. Returns false so callers
-  // can `return MarkIoError();` straight out of the expansion path.
-  bool MarkIoError() {
-    status_ = JoinStatus::kIoError;
-    return false;
-  }
-
   // All expansion paths report page-read failures through their return value
   // (never SDJ_CHECK): false means status_ is now kIoError and iteration
   // must stop with the partial result produced so far.
@@ -962,32 +817,6 @@ class DistanceJoin {
 
   // ---- batched scoring and parallel expansion (DESIGN.md §10) ----
 
-  // Turns entry `i` of a decoded node batch into a queue item.
-  Item MakeItem(const RectBatch<Dim>& batch, const std::vector<uint64_t>& refs,
-                size_t i, bool leaf, int level) const {
-    Item item;
-    item.rect = batch.rect(i);
-    item.ref = refs[i];
-    if (leaf) {
-      item.level = -1;
-      item.kind = ObjectKind();
-    } else {
-      item.level = static_cast<int16_t>(level - 1);
-      item.kind = JoinItemKind::kNode;
-    }
-    return item;
-  }
-
-  void BuildItems(const RectBatch<Dim>& batch,
-                  const std::vector<uint64_t>& refs, bool leaf, int level,
-                  std::vector<Item>* out) const {
-    out->clear();
-    out->reserve(batch.size());
-    for (size_t i = 0; i < batch.size(); ++i) {
-      out->push_back(MakeItem(batch, refs, i, leaf, level));
-    }
-  }
-
   // SemiDmax over a whole batch of second-side children: the children of one
   // node share a kind, so a single kernel covers the batch. Case analysis
   // mirrors SemiPairMaxDist / SemiPairMaxDistLoose with `a` fixed and the
@@ -1032,15 +861,6 @@ class DistanceJoin {
     }
   }
 
-  // Candidate slot verdicts from the classify pass. The merge step derives
-  // the serial engine's exact counter increments from the verdict alone.
-  enum SlotState : uint8_t {
-    kSlotFilter = 0,    // window rejected (no distance computed)
-    kSlotRangeMax = 1,  // MINDIST above Dmax (one distance calc)
-    kSlotRangeMin = 2,  // join d_max below Dmin (two distance calcs)
-    kSlotAccept = 3,    // entry built (1 + need_join_dmax calcs)
-  };
-
   // Candidate acceptance is a pure per-pair function exactly when nothing
   // shared and mutable is consulted between candidates: no distance
   // estimation, no semi-join d_max bounds or Inside2 bitmap, no user object
@@ -1058,98 +878,20 @@ class DistanceJoin {
     return options_.min_distance > 0.0 || options_.reverse_order;
   }
 
-  // Classifies n candidate pairs through the fast-path acceptance ladder
-  // (identical to TryEnqueue's under FastPathActive) and enqueues survivors
-  // in slot order. get_a/get_b map a slot to its items; pre_mind, when
-  // non-null, holds PairMinDist per slot from a batch kernel; object_pair
-  // says both sides are exact objects (the Dist. Calc. counter).
-  //
-  // Determinism: shards are static index ranges (util/thread_pool.h), each
-  // slot's verdict and entry are pure functions of that slot, and the merge
-  // walks slots in order — accumulating counters, assigning seq to
-  // survivors, bulk-pushing them — so the output stream is bit-identical to
-  // the serial engine's for any thread count.
-  template <typename GetA, typename GetB>
-  void ClassifyAndEnqueue(size_t n, const double* pre_mind, bool object_pair,
-                          const GetA& get_a, const GetB& get_b) {
-    slot_entries_.resize(n);
-    slot_state_.resize(n);
-    const bool need_join_dmax = NeedJoinDmaxFast();
-    const std::function<void(size_t, size_t)> classify = [&](size_t begin,
-                                                             size_t end) {
-      for (size_t i = begin; i < end; ++i) {
-        const Item& a = get_a(i);
-        const Item& b = get_b(i);
-        if (filters_.window1.has_value() &&
-            !a.rect.Intersects(*filters_.window1)) {
-          slot_state_[i] = kSlotFilter;
-          continue;
-        }
-        if (filters_.window2.has_value() &&
-            !b.rect.Intersects(*filters_.window2)) {
-          slot_state_[i] = kSlotFilter;
-          continue;
-        }
-        const double d = pre_mind != nullptr
-                             ? pre_mind[i]
-                             : PairMinDist(a, b, options_.metric);
-        if (d > options_.max_distance) {
-          slot_state_[i] = kSlotRangeMax;
-          continue;
-        }
-        double join_dmax = kInf;
-        if (need_join_dmax) {
-          join_dmax = PairMaxDist(a, b, options_.metric);
-          if (join_dmax < options_.min_distance) {
-            slot_state_[i] = kSlotRangeMin;
-            continue;
-          }
-        }
-        Entry& entry = slot_entries_[i];
-        entry.distance = d;
-        entry.item1 = a;
-        entry.item2 = b;
-        entry.seq = 0;  // assigned in the in-order merge below
-        FinalizePairMetadata(&entry);
-        entry.key = options_.reverse_order ? -join_dmax : d;
-        slot_state_[i] = kSlotAccept;
-      }
-    };
-    if (workers_.num_threads() > 1 && n >= kParallelGrain) {
-      workers_.ParallelFor(n, classify);
-      ++stats_.parallel_expansions;
-    } else if (n > 0) {
-      classify(0, n);
-    }
-    accepted_.clear();
-    const uint64_t calcs_per_accept = need_join_dmax ? 2 : 1;
-    for (size_t i = 0; i < n; ++i) {
-      switch (slot_state_[i]) {
-        case kSlotFilter:
-          ++stats_.pruned_by_filter;
-          break;
-        case kSlotRangeMax:
-          ++stats_.total_distance_calcs;
-          if (object_pair) ++stats_.object_distance_calcs;
-          ++stats_.pruned_by_range;
-          break;
-        case kSlotRangeMin:
-          stats_.total_distance_calcs += 2;
-          if (object_pair) ++stats_.object_distance_calcs;
-          ++stats_.pruned_by_range;
-          break;
-        case kSlotAccept: {
-          stats_.total_distance_calcs += calcs_per_accept;
-          if (object_pair) ++stats_.object_distance_calcs;
-          Entry& entry = slot_entries_[i];
-          entry.seq = next_seq_++;
-          accepted_.push_back(entry);
-          break;
-        }
-      }
-    }
-    queue_->PushBulk(accepted_.data(), accepted_.size());
-    stats_.queue_pushes += accepted_.size();
+  // The core ClassifyAndEnqueue's spec under FastPathActive: the immutable
+  // subset of the join's acceptance ladder.
+  typename Base::ClassifySpec FastSpec() const {
+    typename Base::ClassifySpec spec;
+    spec.window1 =
+        filters_.window1.has_value() ? &*filters_.window1 : nullptr;
+    spec.window2 =
+        filters_.window2.has_value() ? &*filters_.window2 : nullptr;
+    spec.min_distance = options_.min_distance;
+    spec.max_distance = options_.max_distance;
+    spec.reverse_order = options_.reverse_order;
+    spec.need_join_dmax = NeedJoinDmaxFast();
+    spec.metric = options_.metric;
+    return spec;
   }
 
   // PROCESSNODE1 (Figure 3): pair every entry of item 1's node with item 2.
@@ -1158,13 +900,8 @@ class DistanceJoin {
   bool ProcessNode1(const Entry& e) {
     bool leaf;
     int level;
-    {
-      typename Index::PinnedNode node =
-          tree1_.TryPin(static_cast<storage::PageId>(e.item1.ref));
-      if (!node.ok()) return MarkIoError();
-      node.DecodeInto(&batch1_, &refs1_);
-      leaf = node.is_leaf();
-      level = node.level();
+    if (!PinDecode(tree1_, e.item1.ref, &batch1_, &refs1_, &leaf, &level)) {
+      return MarkIoError();
     }
     ++stats_.nodes_expanded;
     if (estimator_.has_value() && semi_estimation_) {
@@ -1175,12 +912,12 @@ class DistanceJoin {
     mind1_.resize(n);
     MinDistBatch(batch1_, e.item2.rect, options_.metric, mind1_.data());
     ++stats_.batch_kernel_invocations;
-    BuildItems(batch1_, refs1_, leaf, level, &left_);
+    this->BuildChildItems(batch1_, refs1_, leaf, level, ObjectKind(), &left_);
     if (FastPathActive()) {
       const bool object_pair = leaf && ObjectKind() == JoinItemKind::kObject &&
                                e.item2.kind == JoinItemKind::kObject;
-      ClassifyAndEnqueue(
-          n, mind1_.data(), object_pair,
+      this->ClassifyAndEnqueue(
+          FastSpec(), n, mind1_.data(), object_pair,
           [&](size_t i) -> const Item& { return left_[i]; },
           [&](size_t) -> const Item& { return e.item2; });
     } else {
@@ -1199,27 +936,22 @@ class DistanceJoin {
   bool ProcessNode2(const Entry& e) {
     bool leaf;
     int level;
-    {
-      typename Index::PinnedNode node =
-          tree2_.TryPin(static_cast<storage::PageId>(e.item2.ref));
-      if (!node.ok()) return MarkIoError();
-      node.DecodeInto(&batch2_, &refs2_);
-      leaf = node.is_leaf();
-      level = node.level();
+    if (!PinDecode(tree2_, e.item2.ref, &batch2_, &refs2_, &leaf, &level)) {
+      return MarkIoError();
     }
     ++stats_.nodes_expanded;
     const size_t n = batch2_.size();
     mind2_.resize(n);
     MinDistBatch(batch2_, e.item1.rect, options_.metric, mind2_.data());
     ++stats_.batch_kernel_invocations;
-    BuildItems(batch2_, refs2_, leaf, level, &right_);
+    this->BuildChildItems(batch2_, refs2_, leaf, level, ObjectKind(), &right_);
     if (semi_bound_ == SemiJoinBound::kNone) {
       if (FastPathActive()) {
         const bool object_pair = leaf &&
                                  ObjectKind() == JoinItemKind::kObject &&
                                  e.item1.kind == JoinItemKind::kObject;
-        ClassifyAndEnqueue(
-            n, mind2_.data(), object_pair,
+        this->ClassifyAndEnqueue(
+            FastSpec(), n, mind2_.data(), object_pair,
             [&](size_t) -> const Item& { return e.item1; },
             [&](size_t i) -> const Item& { return right_[i]; });
       } else {
@@ -1325,8 +1057,8 @@ class DistanceJoin {
     if (FastPathActive()) {
       const bool object_pair =
           leaf1 && leaf2 && ObjectKind() == JoinItemKind::kObject;
-      ClassifyAndEnqueue(
-          sweep_pairs_.size(), /*pre_mind=*/nullptr, object_pair,
+      this->ClassifyAndEnqueue(
+          FastSpec(), sweep_pairs_.size(), /*pre_mind=*/nullptr, object_pair,
           [&](size_t k) -> const Item& { return left_[sweep_pairs_[k].first]; },
           [&](size_t k) -> const Item& {
             return right_[sweep_pairs_[k].second];
@@ -1351,7 +1083,8 @@ class DistanceJoin {
     for (size_t i = 0; i < batch.size(); ++i) {
       ++stats_.total_distance_calcs;
       if (mind[i] <= eff_max) {
-        out->push_back(MakeItem(batch, refs, i, leaf, level));
+        out->push_back(
+            this->MakeChildItem(batch, refs, i, leaf, level, ObjectKind()));
       } else {
         ++stats_.pruned_by_range;
       }
@@ -1431,28 +1164,10 @@ class DistanceJoin {
   const SemiJoinBound semi_bound_;
   const bool semi_estimation_;
 
-  // Candidate batches below this size are classified inline: the per-shard
-  // handoff costs more than scoring a few dozen rectangles.
-  static constexpr size_t kParallelGrain = 128;
-  util::ThreadPool workers_;
-
-  // Expansion scratch, reused across Next() calls to avoid re-allocation on
-  // the hot path. Only touched inside one Process* call at a time.
-  RectBatch<Dim> batch1_;
-  RectBatch<Dim> batch2_;
-  std::vector<uint64_t> refs1_;
-  std::vector<uint64_t> refs2_;
-  std::vector<double> mind1_;
-  std::vector<double> mind2_;
+  // Join-specific expansion scratch (shared scratch lives in the core).
   std::vector<double> semi_dmax_;
-  std::vector<Item> left_;
-  std::vector<Item> right_;
   std::vector<std::pair<uint32_t, uint32_t>> sweep_pairs_;
-  std::vector<Entry> slot_entries_;
-  std::vector<Entry> accepted_;
-  std::vector<uint8_t> slot_state_;
 
-  std::unique_ptr<PairQueue<Dim>> queue_;
   std::optional<MaxDistEstimator> estimator_;
   bool estimation_disabled_ = false;
 
@@ -1460,19 +1175,9 @@ class DistanceJoin {
   std::vector<double> node_bounds_;    // smallest d_max per R1 node page
   std::vector<double> object_bounds_;  // smallest d_max per R1 object
 
-  uint64_t next_seq_ = 0;
   uint64_t reported_count_ = 0;
   uint64_t replay_ = 0;       // results to swallow after a restart
   bool resolved_ready_ = false;
-  JoinStatus status_ = JoinStatus::kOk;
-  uint64_t base_node_misses_ = 0;
-  uint64_t base_node_accesses_ = 0;
-  uint64_t base_io_retries_ = 0;
-  uint64_t base_checksum_failures_ = 0;
-  // Spill fallbacks accumulated before the last RestoreState (the restored
-  // queue's own counter restarts at zero).
-  uint64_t base_spill_fallbacks_ = 0;
-  mutable JoinStats stats_;
 };
 
 }  // namespace sdj

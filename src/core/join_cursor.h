@@ -70,9 +70,10 @@ struct CursorStats {
   uint64_t resumes = 0;
 };
 
-// See file comment. `Engine` is DistanceJoin<Dim, Index> or
-// DistanceSemiJoin<Dim, Index>; the cursor borrows it (the engine and its
-// trees must outlive the cursor).
+// See file comment. `Engine` is any best-first engine policy with
+// SaveState/RestoreState — DistanceJoin, DistanceSemiJoin, IncWithinJoin,
+// IncNearestNeighbor, IncFarthestNeighbor; the cursor borrows it (the
+// engine and its trees must outlive the cursor).
 template <int Dim, typename Engine>
 class JoinCursor {
  public:
@@ -91,11 +92,11 @@ class JoinCursor {
   // still iterates, but cannot checkpoint or resume.
   bool ok() const { return store_ != nullptr; }
 
-  // Forwards Engine::Next, checkpointing every `checkpoint_every` pairs and
-  // once more when the engine suspends (so the stop-point state is always
-  // the newest snapshot). Returns false when the engine does; status()
-  // disambiguates suspension from exhaustion and I/O failure.
-  bool Next(JoinResult<Dim>* out) {
+  // Forwards Engine::Next, checkpointing every `checkpoint_every` results
+  // and once more when the engine suspends (so the stop-point state is
+  // always the newest snapshot). Returns false when the engine does;
+  // status() disambiguates suspension from exhaustion and I/O failure.
+  bool Next(typename Engine::Result* out) {
     if (engine_->Next(out)) {
       if (options_.checkpoint_every > 0 &&
           ++since_checkpoint_ >= options_.checkpoint_every) {

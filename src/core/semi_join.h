@@ -47,6 +47,8 @@ struct SemiJoinOptions {
 template <int Dim, typename Index = RTree<Dim>>
 class DistanceSemiJoin {
  public:
+  using Result = JoinResult<Dim>;
+
   DistanceSemiJoin(const Index& tree1, const Index& tree2,
                    const SemiJoinOptions& options,
                    JoinFilters<Dim> filters = JoinFilters<Dim>{})

@@ -5,131 +5,51 @@
 // Nodes are keyed by MAXDIST(query, node MBR) — an upper bound on the
 // distance of any object beneath, monotone under containment — and objects
 // by their exact distance; popping the maximum key therefore yields the
-// farthest remaining object as soon as it surfaces.
+// farthest remaining object as soon as it surfaces. Like the join's reverse
+// mode, the queue key is the negated bound, so the hybrid tiered queue is
+// unavailable (it buckets by ascending key == distance).
+//
+// Implemented as a policy over the shared best-first core (nn/neighbor_core.h
+// + core/best_first.h, DESIGN.md §13); see IncNearestNeighbor for the
+// cross-cutting behavior (status(), suspension, snapshots).
 #ifndef SDJOIN_NN_INC_FARTHEST_H_
 #define SDJOIN_NN_INC_FARTHEST_H_
 
-#include <cstdint>
-#include <queue>
-#include <vector>
-
-#include "geometry/distance.h"
 #include "geometry/metrics.h"
 #include "geometry/point.h"
-#include "geometry/rect.h"
-#include "geometry/rect_batch.h"
 #include "nn/inc_nearest.h"
+#include "nn/neighbor_core.h"
 #include "rtree/rtree.h"
-#include "util/check.h"
-#include "util/stop_token.h"
 
 namespace sdj {
 
-// Pull-based farthest-neighbor iterator; mirrors IncNearestNeighbor.
+// Pull-based farthest-neighbor iterator; mirrors IncNearestNeighbor. For
+// extended objects, the reported distance is the maximal distance from the
+// query to the object's rectangle (consistent with the node bound).
 template <int Dim, typename Index = RTree<Dim>>
-class IncFarthestNeighbor {
+class IncFarthestNeighbor
+    : public NeighborEngine<Dim, IncFarthestNeighbor<Dim, Index>, Index,
+                            /*kFarthest=*/true> {
+  using Engine = NeighborEngine<Dim, IncFarthestNeighbor<Dim, Index>, Index,
+                                /*kFarthest=*/true>;
+
  public:
-  using Result = typename IncNearestNeighbor<Dim, Index>::Result;
+  using Result = typename Engine::Result;
 
   IncFarthestNeighbor(const Index& tree, const Point<Dim>& query,
                       Metric metric = Metric::kEuclidean)
-      : tree_(tree), query_(query), metric_(metric) {
-    if (!tree.empty()) {
-      const Rect<Dim> mbr = tree.RootMbr();
-      Push(QueueItem{MaxDist(query, mbr, metric), /*is_object=*/false,
-                     tree.root(), Rect<Dim>()});
-    }
-  }
+      : Engine(tree, query, WithMetric(metric)) {}
 
-  // Cooperative suspension, mirroring IncNearestNeighbor (DESIGN.md §11).
-  void set_stop_token(util::StopToken token) { stop_token_ = token; }
-  bool suspended() const { return suspended_; }
-
-  // Optional observability sink, mirroring IncNearestNeighbor.
-  void set_metrics(obs::Metrics* metrics) { metrics_ = metrics; }
-
-  // Yields the next farthest object; returns false when exhausted or the
-  // stop token fired (suspended() disambiguates). For extended objects, the
-  // reported distance is the maximal distance from the query to the
-  // object's rectangle (consistent with the node bound).
-  bool Next(Result* out) {
-    SDJ_CHECK(out != nullptr);
-    suspended_ = false;
-    while (!queue_.empty()) {
-      if (stop_token_.stop_requested()) {
-        suspended_ = true;
-        return false;
-      }
-      obs::PhaseTimer pop_timer(obs::PopSample(metrics_, pop_seq_++),
-                                obs::Op::kPop);
-      const QueueItem item = queue_.top();
-      queue_.pop();
-      pop_timer.Stop();
-      if (item.is_object) {
-        out->id = static_cast<ObjectId>(item.ref);
-        out->rect = item.rect;
-        out->distance = item.distance;
-        ++stats_.neighbors_reported;
-        return true;
-      }
-      obs::PhaseTimer expand_timer(metrics_, obs::Op::kExpansion);
-      ++stats_.nodes_expanded;
-      bool leaf;
-      {
-        typename Index::PinnedNode node =
-            tree_.Pin(static_cast<storage::PageId>(item.ref));
-        node.DecodeInto(&batch_, &refs_);
-        leaf = node.is_leaf();
-      }
-      // Batched MAXDIST against the query point (geometry/rect_batch.h).
-      const size_t n = batch_.size();
-      maxd_.resize(n);
-      MaxDistBatch(batch_, query_, metric_, maxd_.data());
-      stats_.distance_calcs += n;
-      for (size_t i = 0; i < n; ++i) {
-        Push(QueueItem{maxd_[i], leaf, refs_[i],
-                       leaf ? batch_.rect(i) : Rect<Dim>()});
-      }
-    }
-    return false;
-  }
-
-  const IncNearestStats& stats() const { return stats_; }
+  IncFarthestNeighbor(const Index& tree, const Point<Dim>& query,
+                      const IncNeighborOptions& options)
+      : Engine(tree, query, options) {}
 
  private:
-  struct QueueItem {
-    double distance;
-    bool is_object;
-    uint64_t ref;
-    Rect<Dim> rect;
-
-    // Max-heap on distance; objects before nodes at equal distance.
-    bool operator<(const QueueItem& other) const {
-      if (distance != other.distance) return distance < other.distance;
-      return is_object < other.is_object;
-    }
-  };
-
-  void Push(const QueueItem& item) {
-    queue_.push(item);
-    ++stats_.queue_pushes;
-    stats_.max_queue_size =
-        std::max<uint64_t>(stats_.max_queue_size, queue_.size());
+  static IncNeighborOptions WithMetric(Metric metric) {
+    IncNeighborOptions options;
+    options.metric = metric;
+    return options;
   }
-
-  const Index& tree_;
-  const Point<Dim> query_;
-  const Metric metric_;
-  util::StopToken stop_token_;
-  obs::Metrics* metrics_ = nullptr;
-  uint64_t pop_seq_ = 0;  // drives obs::PopSample
-  bool suspended_ = false;
-  std::priority_queue<QueueItem> queue_;
-  // Node-decode scratch, reused across expansions.
-  RectBatch<Dim> batch_;
-  std::vector<uint64_t> refs_;
-  std::vector<double> maxd_;
-  IncNearestStats stats_;
 };
 
 }  // namespace sdj

@@ -7,33 +7,24 @@
 // as the inner loop of the paper's distance-join (conceptually "two of these
 // run simultaneously", Section 2.2), and as the non-incremental semi-join
 // baseline of Section 4.2.3.
+//
+// Implemented as a policy over the shared best-first core (nn/neighbor_core.h
+// + core/best_first.h, DESIGN.md §13), which supplies kIoError propagation on
+// node reads, the optional hybrid queue, StopToken suspension, and
+// SaveState/RestoreState (JoinCursor-compatible).
 #ifndef SDJOIN_NN_INC_NEAREST_H_
 #define SDJOIN_NN_INC_NEAREST_H_
 
 #include <cstdint>
-#include <queue>
 #include <vector>
 
-#include "geometry/distance.h"
+#include "core/join_result.h"
 #include "geometry/metrics.h"
 #include "geometry/point.h"
-#include "geometry/rect.h"
-#include "geometry/rect_batch.h"
-#include "obs/metrics.h"
+#include "nn/neighbor_core.h"
 #include "rtree/rtree.h"
-#include "util/check.h"
-#include "util/stop_token.h"
 
 namespace sdj {
-
-// Counters describing one incremental-NN traversal.
-struct IncNearestStats {
-  uint64_t distance_calcs = 0;
-  uint64_t queue_pushes = 0;
-  uint64_t max_queue_size = 0;
-  uint64_t nodes_expanded = 0;
-  uint64_t neighbors_reported = 0;
-};
 
 // Pull-based nearest-neighbor iterator: each Next() yields the next closest
 // object, in non-decreasing distance. The referenced tree must outlive the
@@ -42,120 +33,39 @@ struct IncNearestStats {
 //   IncNearestNeighbor<2> nn(tree, {3.0, 4.0});
 //   IncNearestNeighbor<2>::Result hit;
 //   while (nn.Next(&hit) && hit.distance <= radius) Use(hit);
+//
+// Next() returns false when the tree is exhausted, the stop token fired, or
+// a node page was unreadable — status() (and suspended()) disambiguate.
 template <int Dim, typename Index = RTree<Dim>>
-class IncNearestNeighbor {
+class IncNearestNeighbor
+    : public NeighborEngine<Dim, IncNearestNeighbor<Dim, Index>, Index,
+                            /*kFarthest=*/false> {
+  using Engine = NeighborEngine<Dim, IncNearestNeighbor<Dim, Index>, Index,
+                                /*kFarthest=*/false>;
+
  public:
-  struct Result {
-    ObjectId id = 0;
-    Rect<Dim> rect;
-    double distance = 0.0;
-  };
+  using Result = typename Engine::Result;
 
   IncNearestNeighbor(const Index& tree, const Point<Dim>& query,
                      Metric metric = Metric::kEuclidean)
-      : tree_(tree), query_(query), metric_(metric) {
-    if (!tree.empty()) {
-      Push(QueueItem{0.0, /*is_object=*/false, tree.root(), Rect<Dim>()});
-    }
-  }
+      : Engine(tree, query, WithMetric(metric)) {}
 
-  // Cooperative suspension (DESIGN.md §11): once the token requests a stop,
-  // Next() returns false at the next safe point with suspended() == true;
-  // the traversal state stays intact, so calling Next() again (after
-  // re-arming the source) continues where it stopped.
-  void set_stop_token(util::StopToken token) { stop_token_ = token; }
-  bool suspended() const { return suspended_; }
-
-  // Optional observability sink (DESIGN.md §12): records node-expansion
-  // latency. Null = disabled (one pointer test per expansion).
-  void set_metrics(obs::Metrics* metrics) { metrics_ = metrics; }
-
-  // Yields the next nearest object; returns false when the tree is exhausted
-  // or the stop token fired (suspended() disambiguates).
-  bool Next(Result* out) {
-    SDJ_CHECK(out != nullptr);
-    suspended_ = false;
-    while (!queue_.empty()) {
-      if (stop_token_.stop_requested()) {
-        suspended_ = true;
-        return false;
-      }
-      obs::PhaseTimer pop_timer(obs::PopSample(metrics_, pop_seq_++),
-                                obs::Op::kPop);
-      const QueueItem item = queue_.top();
-      queue_.pop();
-      pop_timer.Stop();
-      if (item.is_object) {
-        out->id = static_cast<ObjectId>(item.ref);
-        out->rect = item.rect;
-        out->distance = item.distance;
-        ++stats_.neighbors_reported;
-        return true;
-      }
-      obs::PhaseTimer expand_timer(metrics_, obs::Op::kExpansion);
-      ++stats_.nodes_expanded;
-      bool leaf;
-      {
-        typename Index::PinnedNode node =
-            tree_.Pin(static_cast<storage::PageId>(item.ref));
-        node.DecodeInto(&batch_, &refs_);
-        leaf = node.is_leaf();
-      }
-      // Score the whole node against the query point in one batched kernel
-      // (bit-identical to the scalar loop; geometry/rect_batch.h).
-      const size_t n = batch_.size();
-      mind_.resize(n);
-      MinDistBatch(batch_, query_, metric_, mind_.data());
-      stats_.distance_calcs += n;
-      for (size_t i = 0; i < n; ++i) {
-        Push(QueueItem{mind_[i], leaf, refs_[i],
-                       leaf ? batch_.rect(i) : Rect<Dim>()});
-      }
-    }
-    return false;
-  }
-
-  const IncNearestStats& stats() const { return stats_; }
+  IncNearestNeighbor(const Index& tree, const Point<Dim>& query,
+                     const IncNeighborOptions& options)
+      : Engine(tree, query, options) {}
 
  private:
-  struct QueueItem {
-    double distance;
-    bool is_object;
-    uint64_t ref;  // object id or node page
-    Rect<Dim> rect;
-
-    // std::priority_queue is a max-heap; order so the smallest distance is on
-    // top, with objects before nodes at equal distance (report ASAP).
-    bool operator<(const QueueItem& other) const {
-      if (distance != other.distance) return distance > other.distance;
-      return is_object < other.is_object;
-    }
-  };
-
-  void Push(const QueueItem& item) {
-    queue_.push(item);
-    ++stats_.queue_pushes;
-    stats_.max_queue_size =
-        std::max<uint64_t>(stats_.max_queue_size, queue_.size());
+  static IncNeighborOptions WithMetric(Metric metric) {
+    IncNeighborOptions options;
+    options.metric = metric;
+    return options;
   }
-
-  const Index& tree_;
-  const Point<Dim> query_;
-  const Metric metric_;
-  util::StopToken stop_token_;
-  obs::Metrics* metrics_ = nullptr;
-  uint64_t pop_seq_ = 0;  // drives obs::PopSample
-  bool suspended_ = false;
-  std::priority_queue<QueueItem> queue_;
-  // Node-decode scratch, reused across expansions.
-  RectBatch<Dim> batch_;
-  std::vector<uint64_t> refs_;
-  std::vector<double> mind_;
-  IncNearestStats stats_;
 };
 
 // Convenience: the k nearest objects to `query`, closest first (fewer if the
-// tree holds fewer than k objects).
+// tree holds fewer than k objects). Swallows the traversal status — use the
+// status-returning overload below when stop tokens, metrics, or I/O failures
+// matter.
 template <int Dim, typename Index = RTree<Dim>>
 std::vector<typename IncNearestNeighbor<Dim, Index>::Result> KNearest(
     const Index& tree, const Point<Dim>& query, size_t k,
@@ -165,6 +75,24 @@ std::vector<typename IncNearestNeighbor<Dim, Index>::Result> KNearest(
   typename IncNearestNeighbor<Dim, Index>::Result hit;
   while (results.size() < k && nn.Next(&hit)) results.push_back(hit);
   return results;
+}
+
+// Status-returning KNearest: honors every IncNeighborOptions knob and
+// reports how the traversal ended. Returns kOk when k neighbors were found,
+// kExhausted when the tree ran out first (*out then holds all objects),
+// kSuspended when the stop token fired, and kIoError on an unreadable node
+// page — in the latter two cases *out holds the valid prefix found so far.
+template <int Dim, typename Index = RTree<Dim>>
+JoinStatus KNearest(
+    const Index& tree, const Point<Dim>& query, size_t k,
+    const IncNeighborOptions& options,
+    std::vector<typename IncNearestNeighbor<Dim, Index>::Result>* out) {
+  out->clear();
+  IncNearestNeighbor<Dim, Index> nn(tree, query, options);
+  typename IncNearestNeighbor<Dim, Index>::Result hit;
+  while (out->size() < k && nn.Next(&hit)) out->push_back(hit);
+  if (out->size() == k) return JoinStatus::kOk;
+  return nn.status();
 }
 
 }  // namespace sdj

@@ -1,0 +1,278 @@
+// Shared single-tree neighbor engine: incremental nearest- and farthest-
+// neighbor search as policies over the best-first core (core/best_first.h,
+// DESIGN.md §13).
+//
+// This is the Hjaltason–Samet incremental NN algorithm the paper builds on
+// (its reference [18]): one priority queue holds both nodes (keyed by
+// MINDIST — or MAXDIST for farthest-first — to the query point) and objects
+// (keyed by their distance); whenever an object surfaces at the head of the
+// queue it is the next neighbor. Queue elements are PairEntry with item2
+// left as a default (non-node) item, so the shared comparator reports
+// objects before nodes at equal key, exactly like the dedicated NN
+// comparators did.
+//
+// Riding on the core gives both engines what the join engines already had:
+// TryPin + kIoError propagation on node reads (DESIGN.md §9), the optional
+// hybrid memory/disk queue (nearest only — farthest keys are negated upper
+// bounds, which the tiered queue cannot bucket), StopToken suspension, and
+// SaveState/RestoreState, which makes them JoinCursor-compatible.
+#ifndef SDJOIN_NN_NEIGHBOR_CORE_H_
+#define SDJOIN_NN_NEIGHBOR_CORE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/best_first.h"
+#include "core/hybrid_queue.h"
+#include "core/join_result.h"
+#include "core/pair_entry.h"
+#include "geometry/distance.h"
+#include "geometry/metrics.h"
+#include "geometry/point.h"
+#include "geometry/rect.h"
+#include "geometry/rect_batch.h"
+#include "obs/metrics.h"
+#include "rtree/rtree.h"
+#include "util/check.h"
+#include "util/stop_token.h"
+
+namespace sdj {
+
+// Counters describing one incremental-NN traversal (synthesized from the
+// core's JoinStats; engine_stats() exposes the full set).
+struct IncNearestStats {
+  uint64_t distance_calcs = 0;
+  uint64_t queue_pushes = 0;
+  uint64_t max_queue_size = 0;
+  uint64_t nodes_expanded = 0;
+  uint64_t neighbors_reported = 0;
+};
+
+// One reported neighbor.
+template <int Dim>
+struct NeighborResult {
+  ObjectId id = 0;
+  Rect<Dim> rect;
+  double distance = 0.0;
+};
+
+// Full options for the NN engines; the (tree, query, metric) constructors
+// remain as shorthand for default options.
+struct IncNeighborOptions {
+  Metric metric = Metric::kEuclidean;
+  TieBreakPolicy tie_break = TieBreakPolicy::kDepthFirst;
+  // Hybrid memory/disk priority queue (Section 3.2). Nearest-only: the
+  // farthest engine CHECKs this stays false.
+  bool use_hybrid_queue = false;
+  HybridQueueOptions hybrid;
+  // Cooperative suspension (DESIGN.md §11); also settable later through
+  // set_stop_token.
+  util::StopToken stop_token;
+  // Observability sink (DESIGN.md §12); also settable through set_metrics.
+  obs::Metrics* metrics = nullptr;
+};
+
+// The shared engine; `Derived` is the concrete iterator class
+// (IncNearestNeighbor / IncFarthestNeighbor) and `kFarthest` selects the
+// traversal direction: MAXDIST scoring with negated keys instead of MINDIST.
+template <int Dim, typename Derived, typename Index, bool kFarthest>
+class NeighborEngine
+    : public BestFirstEngine<Dim, Derived, Index, NeighborResult<Dim>> {
+  using Base = BestFirstEngine<Dim, Derived, Index, NeighborResult<Dim>>;
+  friend Base;
+
+ public:
+  using Result = NeighborResult<Dim>;
+
+  // Cooperative suspension (DESIGN.md §11): once the token requests a stop,
+  // Next() returns false at the next safe point with suspended() == true;
+  // the traversal state stays intact, so calling Next() again (after
+  // re-arming the source) continues where it stopped.
+  void set_stop_token(util::StopToken token) {
+    config_.stop_token = token;
+  }
+  bool suspended() const { return status_ == JoinStatus::kSuspended; }
+
+  // Optional observability sink (DESIGN.md §12): records pop and
+  // node-expansion latency. Null = disabled. (A hybrid queue keeps the sink
+  // it was constructed with.)
+  void set_metrics(obs::Metrics* metrics) { config_.metrics = metrics; }
+
+  // Traversal counters in the historical NN shape.
+  const IncNearestStats& stats() const {
+    const JoinStats& s = Base::stats();
+    nn_stats_.distance_calcs = s.total_distance_calcs;
+    nn_stats_.queue_pushes = s.queue_pushes;
+    nn_stats_.max_queue_size = s.max_queue_size;
+    nn_stats_.nodes_expanded = s.nodes_expanded;
+    nn_stats_.neighbors_reported = s.pairs_reported;
+    return nn_stats_;
+  }
+
+  // The core's full counter set (I/O retries, checksum failures, batch
+  // kernel invocations, ... — everything stats() does not surface).
+  const JoinStats& engine_stats() const { return Base::stats(); }
+
+  // ---- snapshot support (DESIGN.md §11) ----
+
+  // Same contract as DistanceJoin::SaveState: call at a safe point; returns
+  // false if the state cannot be captured completely.
+  bool SaveState(snapshot::Blob* out) {
+    if (!this->SaveAllowed()) return false;
+    out->PutU32(kStateMagic);
+    out->PutU32(kStateVersion);
+    out->PutU32(static_cast<uint32_t>(Dim));
+    out->PutU8(static_cast<uint8_t>(options_.metric));
+    out->PutBool(kFarthest);
+    out->PutU8(static_cast<uint8_t>(options_.tie_break));
+    out->PutBool(options_.use_hybrid_queue);
+    out->PutDouble(options_.hybrid.tier_width);
+    for (int d = 0; d < Dim; ++d) out->PutDouble(query_[d]);
+    out->PutBool(Index::kMinimalBoundingRegions);
+    out->PutU64(tree_.size());
+    return this->SaveCore(out);
+  }
+
+  // Same contract as DistanceJoin::RestoreState: fingerprint mismatch
+  // returns false with the engine untouched; a malformed blob past the
+  // fingerprint leaves it unusable.
+  bool RestoreState(snapshot::BlobReader* in) {
+    if (in->GetU32() != kStateMagic) return false;
+    if (in->GetU32() != kStateVersion) return false;
+    if (in->GetU32() != static_cast<uint32_t>(Dim)) return false;
+    if (in->GetU8() != static_cast<uint8_t>(options_.metric)) return false;
+    if (in->GetBool() != kFarthest) return false;
+    if (in->GetU8() != static_cast<uint8_t>(options_.tie_break)) return false;
+    if (in->GetBool() != options_.use_hybrid_queue) return false;
+    if (in->GetDouble() != options_.hybrid.tier_width) return false;
+    for (int d = 0; d < Dim; ++d) {
+      if (in->GetDouble() != query_[d]) return false;
+    }
+    if (in->GetBool() != Index::kMinimalBoundingRegions) return false;
+    if (in->GetU64() != tree_.size()) return false;
+    if (!in->ok()) return false;
+    return this->RestoreCore(in);
+  }
+
+ protected:
+  using Item = typename Base::Item;
+  using Entry = typename Base::Entry;
+  using Base::batch1_;
+  using Base::config_;
+  using Base::mind1_;
+  using Base::next_seq_;
+  using Base::queue_;
+  using Base::refs1_;
+  using Base::stats_;
+  using Base::status_;
+  using Base::MarkIoError;
+  using Base::PinDecode;
+
+  NeighborEngine(const Index& tree, const Point<Dim>& query,
+                 const IncNeighborOptions& options)
+      : Base({&tree.pool()}, MakeConfig(options)),
+        tree_(tree),
+        query_(query),
+        options_(options) {
+    // The hybrid queue buckets by key and CHECKs key == distance; farthest
+    // keys are negated, so the tiered queue is nearest-only (mirroring the
+    // join's hybrid-excludes-reverse restriction).
+    if (kFarthest) SDJ_CHECK(!options.use_hybrid_queue);
+    Seed();
+  }
+
+  // ---- policy hooks ----
+
+  // Historical NN semantics: Next() after a suspension simply continues, so
+  // a still-suspended status self-clears at the next call.
+  void PrepareNext() {
+    if (status_ == JoinStatus::kSuspended) status_ = JoinStatus::kOk;
+  }
+
+  PopAction OnPopped(const Entry& e, Result* out) {
+    if (e.item1.is_node()) return PopAction::kExpand;
+    out->id = static_cast<ObjectId>(e.item1.ref);
+    out->rect = e.item1.rect;
+    out->distance = e.distance;
+    ++stats_.pairs_reported;
+    return PopAction::kReported;
+  }
+
+  bool Expand(const Entry& e) {
+    bool leaf;
+    int level;
+    if (!PinDecode(tree_, e.item1.ref, &batch1_, &refs1_, &leaf, &level)) {
+      return MarkIoError();
+    }
+    ++stats_.nodes_expanded;
+    // Score the whole node against the query point in one batched kernel
+    // (bit-identical to the scalar loop; geometry/rect_batch.h).
+    const size_t n = batch1_.size();
+    mind1_.resize(n);
+    if constexpr (kFarthest) {
+      MaxDistBatch(batch1_, query_, options_.metric, mind1_.data());
+    } else {
+      MinDistBatch(batch1_, query_, options_.metric, mind1_.data());
+    }
+    stats_.total_distance_calcs += n;
+    ++stats_.batch_kernel_invocations;
+    for (size_t i = 0; i < n; ++i) {
+      Entry child;
+      child.distance = mind1_[i];
+      child.item1 = this->MakeChildItem(batch1_, refs1_, i, leaf, level,
+                                        JoinItemKind::kObject);
+      // item2 stays the default non-node item: the pair comparator then
+      // orders by (key, has-node, depth, seq), i.e. objects before nodes at
+      // equal key — the dedicated NN comparators' order.
+      child.seq = next_seq_++;
+      FinalizePairMetadata(&child);
+      child.key = kFarthest ? -mind1_[i] : mind1_[i];
+      queue_->Push(child);
+      ++stats_.queue_pushes;
+    }
+    return true;
+  }
+
+ private:
+  static constexpr uint32_t kStateMagic = 0x534A4E4E;  // "SJNN"
+  static constexpr uint32_t kStateVersion = 1;
+
+  static BestFirstConfig MakeConfig(const IncNeighborOptions& options) {
+    BestFirstConfig config;
+    config.tie_break = options.tie_break;
+    config.use_hybrid_queue = options.use_hybrid_queue;
+    config.hybrid = options.hybrid;
+    config.num_threads = 1;  // NN expansions are fan-out-sized; no sharding
+    config.stop_token = options.stop_token;
+    config.metrics = options.metrics;
+    return config;
+  }
+
+  void Seed() {
+    if (tree_.empty()) return;
+    const Rect<Dim> mbr = tree_.RootMbr();
+    Entry root;
+    // The root is the only entry when popped, so its key never competes;
+    // still use the real bound (uncounted, like the historical constant
+    // seed) so the hybrid queue's key == distance invariant holds.
+    root.distance = kFarthest ? MaxDist(query_, mbr, options_.metric)
+                              : MinDist(query_, mbr, options_.metric);
+    root.item1 = Item{mbr, tree_.root(),
+                      static_cast<int16_t>(tree_.root_level()),
+                      JoinItemKind::kNode};
+    root.seq = next_seq_++;
+    FinalizePairMetadata(&root);
+    root.key = kFarthest ? -root.distance : root.distance;
+    queue_->Push(root);
+    ++stats_.queue_pushes;
+  }
+
+  const Index& tree_;
+  const Point<Dim> query_;
+  const IncNeighborOptions options_;
+  mutable IncNearestStats nn_stats_;
+};
+
+}  // namespace sdj
+
+#endif  // SDJOIN_NN_NEIGHBOR_CORE_H_

@@ -18,7 +18,9 @@
 #include "core/cost_model.h"
 #include "core/distance_join.h"
 #include "core/intersection_join.h"
+#include "core/join_cursor.h"
 #include "core/semi_join.h"
+#include "core/within_join.h"
 #include "data/dataset_io.h"
 #include "data/generators.h"
 #include "geometry/distance.h"

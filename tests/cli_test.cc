@@ -6,6 +6,7 @@
 #include <sys/wait.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -103,6 +104,10 @@ class CliTest : public ::testing::Test {
   static std::string SemiArgs(const std::string& extra) {
     return "semijoin --a=" + a_csv_ + " --b=" + b_csv_ +
            " --k=150 --print=1000 " + extra;
+  }
+  static std::string WithinArgs(const std::string& extra) {
+    return "join --a=" + a_csv_ + " --b=" + b_csv_ +
+           " --within=3000 --print=100000 " + extra;
   }
 
   static std::string a_csv_;
@@ -223,6 +228,60 @@ TEST_F(CliTest, HardFaultExitsThreeWithIdenticalPrefixAcrossThreads) {
   // The parallel engine reports the identical error-point prefix.
   EXPECT_EQ(parallel.exit_code, 3);
   EXPECT_EQ(PairLines(parallel.output), PairLines(serial.output));
+}
+
+TEST_F(CliTest, WithinJoinMatchesMaxDistanceRestrictedJoin) {
+  const RunResult within = RunCli(WithinArgs(""));
+  ASSERT_EQ(within.exit_code, 0);
+  const std::vector<std::string> pairs = PairLines(within.output);
+  ASSERT_GT(pairs.size(), 0u);
+  // The stream ascends and respects eps (inclusive).
+  double prev = 0.0;
+  for (const std::string& line : pairs) {
+    const double d = std::atof(line.substr(line.rfind(',') + 1).c_str());
+    EXPECT_GE(d, prev);
+    EXPECT_LE(d, 3000.0);
+    prev = d;
+  }
+  // Same stream as a DistanceJoin clamped to the same range.
+  const RunResult clamped = RunCli("join --a=" + a_csv_ + " --b=" + b_csv_ +
+                                   " --max-distance=3000 --print=100000");
+  ASSERT_EQ(clamped.exit_code, 0);
+  EXPECT_EQ(pairs, PairLines(clamped.output));
+}
+
+TEST_F(CliTest, WithinJoinSuspendResumeAcrossThreadCounts) {
+  const RunResult reference = RunCli(WithinArgs(""));
+  ASSERT_EQ(reference.exit_code, 0);
+  const std::vector<std::string> expected = PairLines(reference.output);
+  ASSERT_GT(expected.size(), 60u);
+
+  const std::string snap = ::testing::TempDir() + "/cli_within.snap";
+  std::remove(snap.c_str());
+  const RunResult suspended =
+      RunCli(WithinArgs("--suspend-after=40 --snapshot=" + snap));
+  EXPECT_EQ(suspended.exit_code, 4);
+  std::vector<std::string> combined = PairLines(suspended.output);
+  ASSERT_EQ(combined.size(), 40u);
+
+  const RunResult resumed =
+      RunCli(WithinArgs("--resume --threads=4 --snapshot=" + snap));
+  EXPECT_EQ(resumed.exit_code, 0);
+  for (const std::string& line : PairLines(resumed.output)) {
+    combined.push_back(line);
+  }
+  EXPECT_EQ(combined, expected);
+  EXPECT_EQ(CostLine(resumed.output), CostLine(reference.output));
+}
+
+TEST_F(CliTest, WithinJoinRejectsIncompatibleShapingFlags) {
+  const RunResult r = RunCli(WithinArgs("--k=10"));
+  EXPECT_EQ(r.exit_code, 1);
+  EXPECT_NE(r.output.find("--within is incompatible with --k"),
+            std::string::npos);
+  EXPECT_EQ(RunCli(WithinArgs("--estimate")).exit_code, 1);
+  EXPECT_EQ(RunCli(WithinArgs("--reverse")).exit_code, 1);
+  EXPECT_EQ(RunCli(WithinArgs("--max-distance=5")).exit_code, 1);
 }
 
 TEST_F(CliTest, SemiJoinSuspendResumeMatrix) {

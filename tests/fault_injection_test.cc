@@ -12,7 +12,10 @@
 #include "core/distance_join.h"
 #include "core/hybrid_queue.h"
 #include "core/semi_join.h"
+#include "core/within_join.h"
 #include "data/generators.h"
+#include "nn/inc_farthest.h"
+#include "nn/inc_nearest.h"
 #include "rtree/rtree.h"
 #include "storage/buffer_pool.h"
 #include "storage/fault_injection.h"
@@ -465,6 +468,134 @@ TEST_F(FaultyJoinTest, SemiJoinReportsIoErrorToo) {
   while (semi.Next(&pair)) ++produced;
   EXPECT_EQ(semi.status(), JoinStatus::kIoError);
   EXPECT_LT(produced, points_a_.size());
+}
+
+// --- single-tree traversals over faulty storage ------------------------------
+
+// The NN engines ride the same best-first core as the joins, so an
+// unreadable node page must surface as kIoError after a valid ordered
+// prefix — never an abort (DESIGN.md §9).
+template <typename Engine>
+std::vector<typename Engine::Result> DrainNeighbors(Engine* nn) {
+  std::vector<typename Engine::Result> out;
+  typename Engine::Result hit;
+  while (nn->Next(&hit)) out.push_back(hit);
+  return out;
+}
+
+TEST_F(FaultyJoinTest, NearestNeighborYieldsIoErrorWithValidPrefix) {
+  const Point<2> query{413.0, 287.0};
+  auto clean_tree = OpenFaulty(path_a_, std::nullopt);
+  ASSERT_NE(clean_tree, nullptr);
+  IncNearestNeighbor<2> clean(*clean_tree, query);
+  const auto reference = DrainNeighbors(&clean);
+  ASSERT_EQ(clean.status(), JoinStatus::kExhausted);
+  ASSERT_EQ(reference.size(), points_a_.size());
+
+  FaultInjectionOptions faults;
+  faults.hard_read_after = 30;  // survives Open, dies mid-traversal
+  auto tree = OpenFaulty(path_a_, faults);
+  ASSERT_NE(tree, nullptr);
+  IncNearestNeighbor<2> nn(*tree, query);
+  const auto partial = DrainNeighbors(&nn);
+
+  EXPECT_EQ(nn.status(), JoinStatus::kIoError);
+  ASSERT_LT(partial.size(), reference.size());
+  for (size_t i = 0; i < partial.size(); ++i) {
+    EXPECT_EQ(partial[i].id, reference[i].id) << i;
+    EXPECT_DOUBLE_EQ(partial[i].distance, reference[i].distance) << i;
+  }
+  EXPECT_GT(tree->injector()->counters().hard_read_faults, 0u);
+}
+
+TEST_F(FaultyJoinTest, FarthestNeighborYieldsIoErrorWithValidPrefix) {
+  const Point<2> query{413.0, 287.0};
+  auto clean_tree = OpenFaulty(path_a_, std::nullopt);
+  ASSERT_NE(clean_tree, nullptr);
+  IncFarthestNeighbor<2> clean(*clean_tree, query);
+  const auto reference = DrainNeighbors(&clean);
+  ASSERT_EQ(clean.status(), JoinStatus::kExhausted);
+  ASSERT_EQ(reference.size(), points_a_.size());
+
+  FaultInjectionOptions faults;
+  faults.hard_read_after = 30;
+  auto tree = OpenFaulty(path_a_, faults);
+  ASSERT_NE(tree, nullptr);
+  IncFarthestNeighbor<2> nn(*tree, query);
+  const auto partial = DrainNeighbors(&nn);
+
+  EXPECT_EQ(nn.status(), JoinStatus::kIoError);
+  ASSERT_LT(partial.size(), reference.size());
+  for (size_t i = 0; i < partial.size(); ++i) {
+    EXPECT_EQ(partial[i].id, reference[i].id) << i;
+    EXPECT_DOUBLE_EQ(partial[i].distance, reference[i].distance) << i;
+  }
+  EXPECT_GT(tree->injector()->counters().hard_read_faults, 0u);
+}
+
+TEST_F(FaultyJoinTest, WithinJoinYieldsIoErrorWithValidPrefix) {
+  WithinJoinOptions options;
+  options.epsilon = 30.0;
+  auto ca = OpenFaulty(path_a_, std::nullopt);
+  auto cb = OpenFaulty(path_b_, std::nullopt);
+  ASSERT_NE(ca, nullptr);
+  ASSERT_NE(cb, nullptr);
+  IncWithinJoin<2> clean(*ca, *cb, options);
+  std::vector<JoinResult<2>> reference;
+  JoinResult<2> pair;
+  while (clean.Next(&pair)) reference.push_back(pair);
+  ASSERT_EQ(clean.status(), JoinStatus::kExhausted);
+  ASSERT_GT(reference.size(), 0u);
+
+  FaultInjectionOptions faults;
+  faults.hard_read_after = 60;
+  auto ta = OpenFaulty(path_a_, faults);
+  auto tb = OpenFaulty(path_b_, std::nullopt);
+  ASSERT_NE(ta, nullptr);
+  ASSERT_NE(tb, nullptr);
+  IncWithinJoin<2> join(*ta, *tb, options);
+  std::vector<JoinResult<2>> partial;
+  while (join.Next(&pair)) partial.push_back(pair);
+
+  EXPECT_EQ(join.status(), JoinStatus::kIoError);
+  ASSERT_LT(partial.size(), reference.size());
+  ExpectSameResults(
+      std::vector<JoinResult<2>>(reference.begin(),
+                                 reference.begin() + partial.size()),
+      partial);
+  EXPECT_GT(ta->injector()->counters().hard_read_faults, 0u);
+}
+
+TEST_F(FaultyJoinTest, KNearestStatusOverloadPropagatesErrors) {
+  const Point<2> query{413.0, 287.0};
+  IncNeighborOptions options;
+
+  // Success path: k neighbors found on healthy storage.
+  auto clean_tree = OpenFaulty(path_a_, std::nullopt);
+  ASSERT_NE(clean_tree, nullptr);
+  std::vector<IncNearestNeighbor<2>::Result> hits;
+  EXPECT_EQ(KNearest<2>(*clean_tree, query, 5, options, &hits),
+            JoinStatus::kOk);
+  EXPECT_EQ(hits.size(), 5u);
+
+  // Dead disk: a valid prefix plus kIoError, not an abort.
+  FaultInjectionOptions faults;
+  faults.hard_read_after = 30;
+  auto tree = OpenFaulty(path_a_, faults);
+  ASSERT_NE(tree, nullptr);
+  EXPECT_EQ(KNearest<2>(*tree, query, points_a_.size(), options, &hits),
+            JoinStatus::kIoError);
+  EXPECT_LT(hits.size(), points_a_.size());
+  EXPECT_GT(tree->injector()->counters().hard_read_faults, 0u);
+
+  // Pre-fired stop token: suspended before the first neighbor.
+  util::StopSource source;
+  source.RequestStop();
+  IncNeighborOptions stoppable;
+  stoppable.stop_token = source.token();
+  EXPECT_EQ(KNearest<2>(*clean_tree, query, 5, stoppable, &hits),
+            JoinStatus::kSuspended);
+  EXPECT_TRUE(hits.empty());
 }
 
 // --- hybrid-queue degradation -----------------------------------------------

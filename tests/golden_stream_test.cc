@@ -1,0 +1,298 @@
+// Golden-stream fixtures: the exact pair/neighbor streams and final
+// statistics of every traversal engine, recorded from the pre-refactor
+// implementations and committed under tests/golden/. Any engine change that
+// alters a stream or a statistic fails here with a diff — the contract the
+// best-first core refactor (DESIGN.md §13) is held to.
+//
+// Regenerate (after an INTENTIONAL stream/stat change only):
+//   SDJ_UPDATE_GOLDEN=1 build/tests/sdjoin_tests --gtest_filter=GoldenStream*
+#include <cstdarg>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/distance_join.h"
+#include "core/semi_join.h"
+#include "data/generators.h"
+#include "geometry/distance.h"
+#include "join_test_util.h"
+#include "nn/inc_farthest.h"
+#include "nn/inc_nearest.h"
+#include "rtree/rtree.h"
+
+namespace sdj {
+namespace {
+
+// Streams are capped so fixtures stay small; stats are taken after the cap
+// (or exhaustion, whichever comes first).
+constexpr uint64_t kPairCap = 300;
+constexpr uint64_t kNeighborCap = 250;
+
+bool UpdateMode() { return std::getenv("SDJ_UPDATE_GOLDEN") != nullptr; }
+
+std::string GoldenPath(const std::string& name) {
+  return std::string(SDJ_GOLDEN_DIR) + "/" + name + ".golden";
+}
+
+void AppendLine(std::string* out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  out->append(buf);
+  out->push_back('\n');
+}
+
+void AppendStats(std::string* out, const JoinStats& s) {
+  AppendLine(out, "stat pairs_reported %llu",
+             static_cast<unsigned long long>(s.pairs_reported));
+  AppendLine(out, "stat object_distance_calcs %llu",
+             static_cast<unsigned long long>(s.object_distance_calcs));
+  AppendLine(out, "stat total_distance_calcs %llu",
+             static_cast<unsigned long long>(s.total_distance_calcs));
+  AppendLine(out, "stat queue_pushes %llu",
+             static_cast<unsigned long long>(s.queue_pushes));
+  AppendLine(out, "stat queue_pops %llu",
+             static_cast<unsigned long long>(s.queue_pops));
+  AppendLine(out, "stat max_queue_size %llu",
+             static_cast<unsigned long long>(s.max_queue_size));
+  AppendLine(out, "stat node_io %llu",
+             static_cast<unsigned long long>(s.node_io));
+  AppendLine(out, "stat node_accesses %llu",
+             static_cast<unsigned long long>(s.node_accesses));
+  AppendLine(out, "stat nodes_expanded %llu",
+             static_cast<unsigned long long>(s.nodes_expanded));
+  AppendLine(out, "stat pruned_by_range %llu",
+             static_cast<unsigned long long>(s.pruned_by_range));
+  AppendLine(out, "stat pruned_by_estimate %llu",
+             static_cast<unsigned long long>(s.pruned_by_estimate));
+  AppendLine(out, "stat pruned_by_bound %llu",
+             static_cast<unsigned long long>(s.pruned_by_bound));
+  AppendLine(out, "stat pruned_by_filter %llu",
+             static_cast<unsigned long long>(s.pruned_by_filter));
+  AppendLine(out, "stat filtered_reported %llu",
+             static_cast<unsigned long long>(s.filtered_reported));
+  AppendLine(out, "stat restarts %llu",
+             static_cast<unsigned long long>(s.restarts));
+  AppendLine(out, "stat spill_fallbacks %llu",
+             static_cast<unsigned long long>(s.spill_fallbacks));
+  AppendLine(out, "stat batch_kernel_invocations %llu",
+             static_cast<unsigned long long>(s.batch_kernel_invocations));
+  AppendLine(out, "stat parallel_expansions %llu",
+             static_cast<unsigned long long>(s.parallel_expansions));
+}
+
+// Compares `actual` against the committed fixture (or rewrites it in update
+// mode). On mismatch, reports the first differing line.
+void CheckGolden(const std::string& name, const std::string& actual) {
+  const std::string path = GoldenPath(name);
+  if (UpdateMode()) {
+    std::ofstream out(path, std::ios::trunc);
+    ASSERT_TRUE(out.good()) << "cannot write " << path;
+    out << actual;
+    return;
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good()) << "missing fixture " << path
+                         << " (run with SDJ_UPDATE_GOLDEN=1 to record)";
+  std::stringstream buf;
+  buf << in.rdbuf();
+  const std::string expected = buf.str();
+  if (expected == actual) return;
+  std::istringstream e(expected);
+  std::istringstream a(actual);
+  std::string el;
+  std::string al;
+  int line = 0;
+  while (true) {
+    ++line;
+    const bool eok = static_cast<bool>(std::getline(e, el));
+    const bool aok = static_cast<bool>(std::getline(a, al));
+    if (!eok && !aok) break;
+    if (el != al || eok != aok) {
+      FAIL() << name << " diverges at line " << line << "\n  golden: "
+             << (eok ? el : "<eof>") << "\n  actual: " << (aok ? al : "<eof>");
+    }
+    if (!eok || !aok) break;
+  }
+  FAIL() << name << ": content differs (lengths " << expected.size() << " vs "
+         << actual.size() << ")";
+}
+
+const std::vector<Point<2>>& SetA() {
+  static const auto* points = new std::vector<Point<2>>(
+      data::GenerateUniform(600, Rect<2>({0, 0}, {100, 100}), 7001));
+  return *points;
+}
+
+const std::vector<Point<2>>& SetB() {
+  static const auto* points = new std::vector<Point<2>>(
+      data::GenerateUniform(600, Rect<2>({0, 0}, {100, 100}), 7002));
+  return *points;
+}
+
+const char* MetricName(Metric m) {
+  switch (m) {
+    case Metric::kEuclidean:
+      return "l2";
+    case Metric::kManhattan:
+      return "l1";
+    case Metric::kChessboard:
+      return "linf";
+  }
+  return "?";
+}
+
+template <typename Engine>
+std::string DrainJoin(Engine* join, uint64_t cap) {
+  std::string out;
+  JoinResult<2> pair;
+  uint64_t produced = 0;
+  while (produced < cap && join->Next(&pair)) {
+    AppendLine(&out, "pair %llu %llu %.17g",
+               static_cast<unsigned long long>(pair.id1),
+               static_cast<unsigned long long>(pair.id2), pair.distance);
+    ++produced;
+  }
+  AppendLine(&out, "status %s", JoinStatusName(join->status()));
+  AppendStats(&out, join->stats());
+  return out;
+}
+
+void RunJoinConfig(const std::string& name, const DistanceJoinOptions& options) {
+  RTree<2> tree1 = test::BuildPointTree(SetA());
+  RTree<2> tree2 = test::BuildPointTree(SetB());
+  DistanceJoin<2> join(tree1, tree2, options);
+  CheckGolden(name, DrainJoin(&join, kPairCap));
+}
+
+TEST(GoldenStream, DistanceJoinMatrix) {
+  // Metrics x queue types x thread counts on the Simultaneous policy (the
+  // one with the sharded classify), plus each remaining node policy and the
+  // reverse ordering once.
+  for (const Metric metric :
+       {Metric::kEuclidean, Metric::kManhattan, Metric::kChessboard}) {
+    for (const bool hybrid : {false, true}) {
+      for (const int threads : {1, 4}) {
+        DistanceJoinOptions options;
+        options.metric = metric;
+        options.node_policy = NodeProcessingPolicy::kSimultaneous;
+        options.use_hybrid_queue = hybrid;
+        options.num_threads = threads;
+        RunJoinConfig(std::string("join_") + MetricName(metric) + "_" +
+                          (hybrid ? "hybrid" : "mem") + "_t" +
+                          std::to_string(threads),
+                      options);
+      }
+    }
+  }
+  for (const NodeProcessingPolicy policy :
+       {NodeProcessingPolicy::kBasic, NodeProcessingPolicy::kEven,
+        NodeProcessingPolicy::kDeferredLeaf}) {
+    DistanceJoinOptions options;
+    options.node_policy = policy;
+    RunJoinConfig("join_policy" +
+                      std::to_string(static_cast<int>(policy)) + "_mem_t1",
+                  options);
+  }
+  {
+    DistanceJoinOptions options;
+    options.reverse_order = true;
+    RunJoinConfig("join_reverse_mem_t1", options);
+  }
+}
+
+TEST(GoldenStream, DistanceJoinObjectRects) {
+  // Object-bounding-rectangle mode: exact distances via callback.
+  DistanceJoinOptions options;
+  options.exact_object_distance = [](ObjectId a, ObjectId b) {
+    return Dist(SetA()[a], SetB()[b], Metric::kEuclidean);
+  };
+  RunJoinConfig("join_obr_mem_t1", options);
+}
+
+TEST(GoldenStream, SemiJoinMatrix) {
+  struct Config {
+    const char* name;
+    SemiJoinFilter filter;
+    SemiJoinBound bound;
+    bool hybrid;
+  };
+  const Config configs[] = {
+      {"semi_outside_mem", SemiJoinFilter::kOutside, SemiJoinBound::kNone,
+       false},
+      {"semi_inside1_mem", SemiJoinFilter::kInside1, SemiJoinBound::kNone,
+       false},
+      {"semi_inside2_globalall_mem", SemiJoinFilter::kInside2,
+       SemiJoinBound::kGlobalAll, false},
+      {"semi_inside2_globalall_hybrid", SemiJoinFilter::kInside2,
+       SemiJoinBound::kGlobalAll, true},
+  };
+  for (const Config& config : configs) {
+    RTree<2> tree1 = test::BuildPointTree(SetA());
+    RTree<2> tree2 = test::BuildPointTree(SetB());
+    SemiJoinOptions options;
+    options.filter = config.filter;
+    options.bound = config.bound;
+    options.join.use_hybrid_queue = config.hybrid;
+    DistanceSemiJoin<2> semi(tree1, tree2, options);
+    CheckGolden(config.name, DrainJoin(&semi, kPairCap));
+  }
+}
+
+void AppendNnStats(std::string* out, const IncNearestStats& s) {
+  AppendLine(out, "stat distance_calcs %llu",
+             static_cast<unsigned long long>(s.distance_calcs));
+  AppendLine(out, "stat queue_pushes %llu",
+             static_cast<unsigned long long>(s.queue_pushes));
+  AppendLine(out, "stat max_queue_size %llu",
+             static_cast<unsigned long long>(s.max_queue_size));
+  AppendLine(out, "stat nodes_expanded %llu",
+             static_cast<unsigned long long>(s.nodes_expanded));
+  AppendLine(out, "stat neighbors_reported %llu",
+             static_cast<unsigned long long>(s.neighbors_reported));
+}
+
+template <typename Engine>
+std::string DrainNeighbors(Engine* nn, uint64_t cap) {
+  std::string out;
+  typename Engine::Result hit;
+  uint64_t produced = 0;
+  while (produced < cap && nn->Next(&hit)) {
+    AppendLine(&out, "hit %llu %.17g", static_cast<unsigned long long>(hit.id),
+               hit.distance);
+    ++produced;
+  }
+  AppendNnStats(&out, nn->stats());
+  return out;
+}
+
+TEST(GoldenStream, IncNearest) {
+  for (const Metric metric :
+       {Metric::kEuclidean, Metric::kManhattan, Metric::kChessboard}) {
+    RTree<2> tree = test::BuildPointTree(SetA());
+    IncNearestNeighbor<2> nn(tree, {37.0, 61.0}, metric);
+    CheckGolden(std::string("nn_nearest_") + MetricName(metric),
+                DrainNeighbors(&nn, kNeighborCap));
+  }
+}
+
+TEST(GoldenStream, IncFarthest) {
+  for (const Metric metric :
+       {Metric::kEuclidean, Metric::kManhattan, Metric::kChessboard}) {
+    RTree<2> tree = test::BuildPointTree(SetA());
+    IncFarthestNeighbor<2> nn(tree, {37.0, 61.0}, metric);
+    CheckGolden(std::string("nn_farthest_") + MetricName(metric),
+                DrainNeighbors(&nn, kNeighborCap));
+  }
+}
+
+}  // namespace
+}  // namespace sdj

@@ -19,6 +19,7 @@
 #include "core/join_cursor.h"
 #include "core/semi_join.h"
 #include "core/snapshot.h"
+#include "core/within_join.h"
 #include "data/generators.h"
 #include "join_test_util.h"
 #include "nn/inc_farthest.h"
@@ -1015,6 +1016,178 @@ TEST(IncFarthestSuspend, StopTokenSuspendsAndContinues) {
   source.Clear();
   while (fn.Next(&hit)) got.push_back({hit.id, hit.distance});
   EXPECT_EQ(got, expected);
+}
+
+// --- NN snapshot resume ------------------------------------------------------
+
+// NN analogue of CheckJoinResumeEquivalence: snapshot after `prefix` pops,
+// restore into a freshly built engine, and check the combined stream and
+// final engine stats against an uninterrupted run.
+template <typename Engine>
+void CheckNeighborResumeEquivalence(const IncNeighborOptions& options,
+                                    size_t prefix,
+                                    const std::vector<Point<2>>& pts,
+                                    const Point<2>& query) {
+  SCOPED_TRACE(::testing::Message() << "hybrid=" << options.use_hybrid_queue
+                                    << " prefix=" << prefix);
+  using Hit = std::pair<ObjectId, double>;
+  RTree<2> ref_tree = BuildPointTree(pts);
+  Engine reference(ref_tree, query, options);
+  std::vector<Hit> expected;
+  typename Engine::Result hit;
+  while (reference.Next(&hit)) expected.push_back({hit.id, hit.distance});
+  ASSERT_GT(expected.size(), prefix);
+
+  snapshot::Blob blob;
+  std::vector<Hit> combined;
+  {
+    RTree<2> tree = BuildPointTree(pts);
+    Engine nn(tree, query, options);
+    for (size_t i = 0; i < prefix; ++i) {
+      ASSERT_TRUE(nn.Next(&hit));
+      combined.push_back({hit.id, hit.distance});
+    }
+    ASSERT_TRUE(nn.SaveState(&blob));
+  }
+
+  RTree<2> tree = BuildPointTree(pts);
+  Engine resumed(tree, query, options);
+  snapshot::BlobReader reader(blob.data(), blob.size());
+  ASSERT_TRUE(resumed.RestoreState(&reader));
+  while (resumed.Next(&hit)) combined.push_back({hit.id, hit.distance});
+  EXPECT_EQ(combined, expected);
+  ExpectStatsEqual(resumed.engine_stats(), reference.engine_stats());
+}
+
+TEST(IncNearestResume, MemoryQueue) {
+  const auto pts = MakePoints(200, 63);
+  CheckNeighborResumeEquivalence<IncNearestNeighbor<2>>(
+      {}, 73, pts, Point<2>{500.0, 500.0});
+}
+
+TEST(IncNearestResume, HybridQueue) {
+  const auto pts = MakePoints(200, 64);
+  IncNeighborOptions options;
+  options.use_hybrid_queue = true;
+  options.hybrid.tier_width = 25.0;  // small tiers: disk buckets populated
+  CheckNeighborResumeEquivalence<IncNearestNeighbor<2>>(
+      options, 121, pts, Point<2>{500.0, 500.0});
+}
+
+TEST(IncFarthestResume, MemoryQueue) {
+  const auto pts = MakePoints(200, 65);
+  CheckNeighborResumeEquivalence<IncFarthestNeighbor<2>>(
+      {}, 73, pts, Point<2>{500.0, 500.0});
+}
+
+TEST(IncNearestResume, FuzzRandomSuspensionPoints) {
+  std::mt19937_64 rng(20260806);
+  const auto pts = MakePoints(150, 66);
+  const Point<2> query{250.0, 750.0};
+  for (const bool hybrid : {false, true}) {
+    IncNeighborOptions options;
+    options.use_hybrid_queue = hybrid;
+    options.hybrid.tier_width = 25.0;
+    for (int round = 0; round < 3; ++round) {
+      const size_t prefix = rng() % 140;
+      CheckNeighborResumeEquivalence<IncNearestNeighbor<2>>(options, prefix,
+                                                            pts, query);
+    }
+  }
+}
+
+TEST(IncNearestResume, FingerprintMismatchIsRejected) {
+  const auto pts = MakePoints(80, 67);
+  RTree<2> tree = BuildPointTree(pts);
+  IncNearestNeighbor<2> nn(tree, Point<2>{10.0, 20.0});
+  IncNearestNeighbor<2>::Result hit;
+  ASSERT_TRUE(nn.Next(&hit));
+  snapshot::Blob blob;
+  ASSERT_TRUE(nn.SaveState(&blob));
+
+  // Different query point: restore must refuse.
+  IncNearestNeighbor<2> other(tree, Point<2>{11.0, 20.0});
+  snapshot::BlobReader reader(blob.data(), blob.size());
+  EXPECT_FALSE(other.RestoreState(&reader));
+}
+
+TEST(JoinCursor, WorksWithNearestNeighborEngine) {
+  const auto pts = MakePoints(150, 68);
+  const Point<2> query{333.0, 444.0};
+  using Hit = std::pair<ObjectId, double>;
+  RTree<2> ref_tree = BuildPointTree(pts);
+  IncNearestNeighbor<2> reference(ref_tree, query);
+  std::vector<Hit> expected;
+  IncNearestNeighbor<2>::Result hit;
+  while (reference.Next(&hit)) expected.push_back({hit.id, hit.distance});
+
+  const std::string path = TempPath("cursor_nn.snap");
+  std::remove(path.c_str());
+  std::vector<Hit> combined;
+  {
+    RTree<2> tree = BuildPointTree(pts);
+    util::StopSource source;
+    IncNeighborOptions options;
+    options.stop_token = source.token();
+    IncNearestNeighbor<2> nn(tree, query, options);
+    JoinCursor<2, IncNearestNeighbor<2>> cursor(&nn, MakeCursorOptions(path));
+    for (int i = 0; i < 47; ++i) {
+      ASSERT_TRUE(cursor.Next(&hit));
+      combined.push_back({hit.id, hit.distance});
+    }
+    source.RequestStop();
+    EXPECT_FALSE(cursor.Next(&hit));
+    EXPECT_EQ(cursor.status(), JoinStatus::kSuspended);
+  }
+  RTree<2> tree = BuildPointTree(pts);
+  IncNearestNeighbor<2> nn(tree, query);
+  JoinCursor<2, IncNearestNeighbor<2>> cursor(&nn, MakeCursorOptions(path));
+  ASSERT_TRUE(cursor.ResumeLatest());
+  while (cursor.Next(&hit)) combined.push_back({hit.id, hit.distance});
+  EXPECT_EQ(combined, expected);
+  ExpectStatsEqual(nn.engine_stats(), reference.engine_stats());
+}
+
+TEST(JoinCursor, WorksWithWithinJoinEngine) {
+  const auto a = MakePoints(120, 69);
+  const auto b = MakePoints(120, 70);
+  WithinJoinOptions options;
+  options.epsilon = 80.0;
+  RTree<2> ref_ta = BuildPointTree(a);
+  RTree<2> ref_tb = BuildPointTree(b);
+  IncWithinJoin<2> reference(ref_ta, ref_tb, options);
+  const std::vector<Pair> expected = Drain(&reference);
+  ASSERT_GT(expected.size(), 40u);
+
+  const std::string path = TempPath("cursor_within.snap");
+  std::remove(path.c_str());
+  std::vector<Pair> combined;
+  {
+    RTree<2> ta = BuildPointTree(a);
+    RTree<2> tb = BuildPointTree(b);
+    util::StopSource source;
+    WithinJoinOptions stoppable = options;
+    stoppable.stop_token = source.token();
+    IncWithinJoin<2> join(ta, tb, stoppable);
+    JoinCursor<2, IncWithinJoin<2>> cursor(&join, MakeCursorOptions(path));
+    JoinResult<2> r;
+    for (int i = 0; i < 25; ++i) {
+      ASSERT_TRUE(cursor.Next(&r));
+      combined.push_back(AsTuple(r));
+    }
+    source.RequestStop();
+    EXPECT_FALSE(cursor.Next(&r));
+    EXPECT_EQ(cursor.status(), JoinStatus::kSuspended);
+  }
+  RTree<2> ta = BuildPointTree(a);
+  RTree<2> tb = BuildPointTree(b);
+  IncWithinJoin<2> join(ta, tb, options);
+  JoinCursor<2, IncWithinJoin<2>> cursor(&join, MakeCursorOptions(path));
+  ASSERT_TRUE(cursor.ResumeLatest());
+  JoinResult<2> r;
+  while (cursor.Next(&r)) combined.push_back(AsTuple(r));
+  EXPECT_EQ(combined, expected);
+  ExpectStatsEqual(join.stats(), reference.stats());
 }
 
 }  // namespace

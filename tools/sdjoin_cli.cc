@@ -5,6 +5,9 @@
 //                       [--min-distance=D] [--metric=euclidean|manhattan|
 //                       chessboard] [--policy=even|basic|simultaneous]
 //                       [--reverse] [--estimate] [--threads=N] [--print=10]
+//                       [--within=EPS: incremental within-distance join —
+//                       every pair with distance <= EPS, ascending; replaces
+//                       the DistanceJoin shaping flags above]
 //                       [--inject-faults=<seed>] [--fault-read-rate=R]
 //                       [--fault-write-rate=R] [--fault-bit-flip-rate=R]
 //                       [--fault-hard-read-after=N]
@@ -65,6 +68,7 @@
 #include "core/distance_join.h"
 #include "core/join_cursor.h"
 #include "core/semi_join.h"
+#include "core/within_join.h"
 #include "data/dataset_io.h"
 #include "data/generators.h"
 #include "nn/inc_nearest.h"
@@ -123,6 +127,9 @@ class Flags {
   }
   bool GetBool(const std::string& key) const {
     return Get(key, "") == "true";
+  }
+  bool Has(const std::string& key) const {
+    return values_.find(key) != values_.end();
   }
 
  private:
@@ -434,6 +441,50 @@ int CmdJoin(const Flags& flags) {
   RTree<2> ta = IndexPoints(a, tree_options);
   RTree<2> tb = IndexPoints(b, tree_options);
 
+  // --within=EPS switches to the incremental within-distance join: all
+  // pairs with distance <= EPS, still streamed by ascending distance. The
+  // DistanceJoin-only shaping flags make no sense there and are rejected.
+  if (flags.Has("within")) {
+    for (const char* incompatible : {"policy", "estimate", "reverse",
+                                     "min-distance", "max-distance", "k"}) {
+      if (flags.Has(incompatible)) {
+        std::fprintf(stderr, "--within is incompatible with --%s\n",
+                     incompatible);
+        return 1;
+      }
+    }
+    sdj::WithinJoinOptions options;
+    options.epsilon = flags.GetDouble("within", 0.0);
+    if (options.epsilon < 0.0) {
+      std::fprintf(stderr, "--within must be >= 0\n");
+      return 1;
+    }
+    if (!ParseMetric(flags.Get("metric", "euclidean"), &options.metric)) {
+      return 1;
+    }
+    const long threads = flags.GetLong("threads", 1);
+    if (threads < 1) {
+      std::fprintf(stderr, "--threads must be >= 1\n");
+      return 1;
+    }
+    options.num_threads = static_cast<int>(threads);
+    sdj::util::StopSource stop_source;
+    options.stop_token = stop_source.token();
+    options.metrics = obs.get();
+    ta.pool().SetMetrics(obs.get());
+    tb.pool().SetMetrics(obs.get());
+
+    sdj::IncWithinJoin<2> join(ta, tb, options);
+    int rc = DriveJoin(&join, flags, &stop_source,
+                       tree_options.fault_injection, obs.get());
+    if (faulty) {
+      PrintFaultCounters("a", ta.injector());
+      PrintFaultCounters("b", tb.injector());
+    }
+    if (!obs.Finish() && rc == 0) rc = 1;
+    return rc;
+  }
+
   DistanceJoinOptions options;
   if (!ParseMetric(flags.Get("metric", "euclidean"), &options.metric)) {
     return 1;
@@ -576,6 +627,8 @@ int CmdStats(const Flags& flags) {
 int PrintUsage() {
   std::fprintf(stderr,
                "usage: sdjoin_cli <gen|join|semijoin|nn|stats> [--flags]\n"
+               "within-distance join: join --within=EPS (all pairs with\n"
+               "  distance <= EPS, streamed ascending)\n"
                "durable cursors (join/semijoin): --snapshot=<file>\n"
                "  --checkpoint-every=N --suspend-after=N --max-seconds=S\n"
                "  --resume; combine freely with --threads=N (resume may\n"
