@@ -1,0 +1,257 @@
+// Multi-session serving benchmark (DESIGN.md §14): one SessionManager
+// multiplexes four concurrent incremental traversals — two distance joins
+// (Euclidean + Manhattan), a semi-join, and a within-distance join — over
+// the shared Water/Roads trees, driven round-robin in fixed result batches.
+//
+// Four scenarios bracket the serving cost space:
+//   NoPressure    — budget never binds: pure multiplexing overhead.
+//   Sliced        — 100us deadline slices; yields are part of the request
+//                   latency distribution, the pair streams are unchanged.
+//   EvictPressure — a budget far below the working set forces a
+//                   checkpoint-evict of every cold session each turn and a
+//                   rehydrate (engine rebuild + snapshot restore) whenever
+//                   the rotation returns.
+//   EvictFaults   — the same churn with deterministic transient faults on
+//                   every snapshot store; page-level retries and the
+//                   cursor's bounded commit retry absorb them.
+//
+// Each Next() is timed as one serve_slice sample, so the JSON row's metrics
+// block carries the request-latency distribution (p50/p99) that
+// scripts/compare_bench.py gates with --p99-op=serve_slice.
+#include <benchmark/benchmark.h>
+#include <sys/stat.h>
+#include <sys/types.h>
+
+#include <algorithm>
+#include <cstdint>
+#include <cstdio>
+#include <limits>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "core/distance_join.h"
+#include "core/semi_join.h"
+#include "core/within_join.h"
+#include "obs/metrics.h"
+#include "serve/erased_engine.h"
+#include "serve/session_manager.h"
+#include "util/stop_token.h"
+
+namespace sdj::bench {
+namespace {
+
+constexpr char kStateDir[] = "bench_serving.state";
+
+void ResetStateDir() {
+  ::mkdir(kStateDir, 0755);  // may already exist
+  std::remove((std::string(kStateDir) + "/sessions.tbl").c_str());
+  for (int i = 1; i <= 8; ++i) {
+    std::remove((std::string(kStateDir) + "/session_" + std::to_string(i) +
+                 ".snap")
+                    .c_str());
+  }
+}
+
+serve::SessionManager<2>::EngineFactory JoinFactory(Metric metric) {
+  return [metric](util::StopToken token)
+             -> std::unique_ptr<serve::ErasedEngine<2>> {
+    DistanceJoinOptions options;
+    options.metric = metric;
+    options.stop_token = std::move(token);
+    return serve::Erase<2>(std::make_unique<DistanceJoin<2>>(
+        WaterTree(), RoadsTree(), options));
+  };
+}
+
+serve::SessionManager<2>::EngineFactory SemiFactory() {
+  return [](util::StopToken token)
+             -> std::unique_ptr<serve::ErasedEngine<2>> {
+    SemiJoinOptions options;
+    options.join.stop_token = std::move(token);
+    return serve::Erase<2>(std::make_unique<DistanceSemiJoin<2>>(
+        WaterTree(), RoadsTree(), options));
+  };
+}
+
+serve::SessionManager<2>::EngineFactory WithinFactory(double epsilon) {
+  return [epsilon](util::StopToken token)
+             -> std::unique_ptr<serve::ErasedEngine<2>> {
+    WithinJoinOptions options;
+    options.epsilon = epsilon;
+    options.stop_token = std::move(token);
+    return serve::Erase<2>(std::make_unique<IncWithinJoin<2>>(
+        WaterTree(), RoadsTree(), options));
+  };
+}
+
+void AddStats(JoinStats* total, const JoinStats& s) {
+  total->pairs_reported += s.pairs_reported;
+  total->object_distance_calcs += s.object_distance_calcs;
+  total->total_distance_calcs += s.total_distance_calcs;
+  total->queue_pushes += s.queue_pushes;
+  total->queue_pops += s.queue_pops;
+  total->max_queue_size += s.max_queue_size;
+  total->node_io += s.node_io;
+  total->node_accesses += s.node_accesses;
+  total->nodes_expanded += s.nodes_expanded;
+  total->pruned_by_range += s.pruned_by_range;
+  total->pruned_by_estimate += s.pruned_by_estimate;
+  total->pruned_by_bound += s.pruned_by_bound;
+  total->pruned_by_filter += s.pruned_by_filter;
+  total->filtered_reported += s.filtered_reported;
+  total->restarts += s.restarts;
+  total->io_retries += s.io_retries;
+  total->checksum_failures += s.checksum_failures;
+  total->spill_fallbacks += s.spill_fallbacks;
+  total->batch_kernel_invocations += s.batch_kernel_invocations;
+  total->parallel_expansions += s.parallel_expansions;
+}
+
+struct Scenario {
+  std::string series;
+  uint64_t budget = std::numeric_limits<uint64_t>::max();
+  std::chrono::microseconds slice{0};
+  bool faults = false;
+};
+
+// Admits the four-session mix and drives it round-robin to each session's
+// pull cap (the "client hangs up" point) or exhaustion, whichever is first.
+void RunServing(benchmark::State& state, const Scenario& scenario) {
+  // Caps are clamped (unlike the pure-join benches) because the pressure
+  // scenarios pay a queue-sized checkpoint+restore per rotation; the turn
+  // size tracks the cap so the rotation count — and hence the evict/
+  // rehydrate cycle count — stays ~constant across SDJ_BENCH_SCALE.
+  const uint64_t join_cap = std::min<uint64_t>(ScaledPairs(20000), 1000);
+  const uint64_t semi_cap = std::min<uint64_t>(ScaledSemiPairs(1500), 1000);
+  const uint64_t turn = std::max<uint64_t>(8, join_cap / 8);
+  const double epsilon = JoinDistanceAt(join_cap);
+  for (auto _ : state) {
+    ColdCaches();
+    ResetStateDir();
+    obs::Metrics metrics;  // outlives the manager (see ServeOptions::metrics)
+    serve::ServeOptions options;
+    options.state_dir = kStateDir;
+    options.memory_budget_entries = scenario.budget;
+    options.slice = scenario.slice;
+    if (scenario.faults) {
+      storage::FaultInjectionOptions faults;
+      faults.seed = 20260808;
+      faults.transient_write_period = 5;
+      faults.transient_read_period = 7;
+      options.fault_injection = faults;
+    }
+    options.metrics = MetricsEnabled() ? &metrics : nullptr;
+    serve::SessionManager<2> manager(options);
+
+    struct Client {
+      serve::SessionManager<2>::SessionId id = 0;
+      uint64_t cap = 0;
+      uint64_t produced = 0;
+      bool done = false;
+    };
+    std::vector<Client> clients;
+    const std::pair<std::string, serve::SessionManager<2>::EngineFactory>
+        mix[] = {{"join-euclid", JoinFactory(Metric::kEuclidean)},
+                 {"join-manhattan", JoinFactory(Metric::kManhattan)},
+                 {"semi", SemiFactory()},
+                 {"within", WithinFactory(epsilon)}};
+    WallTimer timer;
+    for (const auto& [tag, factory] : mix) {
+      const auto admit = manager.Admit(tag, factory);
+      SDJ_CHECK(admit.status == serve::ServeStatus::kOk);
+      clients.push_back({admit.id, tag == "semi" ? semi_cap : join_cap});
+    }
+    uint64_t io_errors = 0;
+    bool active = true;
+    while (active) {
+      active = false;
+      for (Client& client : clients) {
+        if (client.done) continue;
+        active = true;
+        for (uint64_t i = 0; i < turn && !client.done; ++i) {
+          JoinResult<2> result;
+          switch (manager.Next(client.id, &result)) {
+            case serve::ServeStatus::kOk:
+              if (++client.produced >= client.cap) {
+                manager.Close(client.id);
+                client.done = true;
+              }
+              break;
+            case serve::ServeStatus::kYield:
+              i = turn;  // slice expired: rotate to the next session
+              break;
+            case serve::ServeStatus::kExhausted:
+              client.done = true;
+              break;
+            default:
+              ++io_errors;
+              client.done = true;
+              break;
+          }
+        }
+      }
+    }
+    const double seconds = timer.Seconds();
+    state.SetIterationTime(seconds);
+
+    uint64_t pairs = 0;
+    JoinStats total;
+    for (const Client& client : clients) {
+      pairs += client.produced;
+      AddStats(&total, manager.session_stats(client.id));
+    }
+    total.pairs_reported = pairs;  // session caps, not engine counters
+    const serve::ServeStats& ss = manager.stats();
+    state.counters["evictions"] = static_cast<double>(ss.evictions);
+    state.counters["rehydrations"] = static_cast<double>(ss.rehydrations);
+    state.counters["io_errors"] = static_cast<double>(io_errors);
+    const obs::HistogramSummary slice_latency =
+        metrics.Summary().of(obs::Op::kServeSlice);
+    char note[160];
+    std::snprintf(note, sizeof(note),
+                  "evict=%llu rehyd=%llu pinned=%llu p99=%.0fus",
+                  static_cast<unsigned long long>(ss.evictions),
+                  static_cast<unsigned long long>(ss.rehydrations),
+                  static_cast<unsigned long long>(ss.pinned_sessions),
+                  static_cast<double>(slice_latency.p99_ns) * 1e-3);
+    Row row{scenario.series, pairs, seconds, total, note, 1};
+    row.metrics = metrics.Summary();
+    AddRow(row);
+  }
+  ResetStateDir();
+}
+
+void RegisterAll() {
+  const std::vector<Scenario> scenarios = {
+      {"NoPressure"},
+      {"Sliced", std::numeric_limits<uint64_t>::max(),
+       std::chrono::microseconds(100)},
+      // Far below any session's working queue: every rotation rehydrates
+      // the incoming session and checkpoint-evicts the rest.
+      {"EvictPressure", 512},
+      {"EvictFaults", 512, std::chrono::microseconds(0), true},
+  };
+  for (const Scenario& scenario : scenarios) {
+    benchmark::RegisterBenchmark(
+        ("Serving/" + scenario.series).c_str(),
+        [scenario](benchmark::State& state) { RunServing(state, scenario); })
+        ->Iterations(1)
+        ->UseManualTime()
+        ->Unit(benchmark::kMillisecond);
+  }
+}
+
+}  // namespace
+}  // namespace sdj::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  sdj::bench::RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  sdj::bench::PrintTable(
+      "Multi-session serving: admission, slicing, evict-resume, Water x Roads");
+  return 0;
+}

@@ -23,6 +23,10 @@ run_release() {
   # full-scale cost. Results at 5% scale are not meaningful numbers.
   (cd build && SDJ_BENCH_SCALE=0.05 bench/bench_table1 >/dev/null)
   (cd build && SDJ_BENCH_SCALE=0.05 bench/bench_checkpoint >/dev/null)
+  # Serving smoke (DESIGN.md §14): four concurrent sessions under memory
+  # pressure and snapshot-store fault injection — evict/rehydrate churn and
+  # bounded commit retries must hold up outside the unit tests too.
+  (cd build && SDJ_BENCH_SCALE=0.05 bench/bench_serving >/dev/null)
   echo "=== release: bench compare vs bench/baselines ==="
   # Gate the smoke run against the committed baseline (DESIGN.md §12) and
   # print the per-phase latency breakdown. node_io is deterministic at a
@@ -37,6 +41,16 @@ run_release() {
     --time-tolerance="${SDJ_BENCH_TIME_TOLERANCE:-0.60}" \
     --io-tolerance="${SDJ_BENCH_IO_TOLERANCE:-0.10}" \
     --show-phases
+  # Serving tail-latency gate: request p99 (serve_slice) may drift one
+  # log-bucket (2x) but not more. node_io is looser than the join benches'
+  # gate because the Sliced scenario's rotation points — and therefore the
+  # shared buffer pool's eviction pattern — depend on wall-clock timing.
+  python3 scripts/compare_bench.py \
+    bench/baselines/BENCH_serving.json build/BENCH_serving.json \
+    --time-tolerance="${SDJ_BENCH_TIME_TOLERANCE:-0.60}" \
+    --io-tolerance="${SDJ_BENCH_SERVE_IO_TOLERANCE:-1.00}" \
+    --p99-op=serve_slice \
+    --p99-tolerance="${SDJ_BENCH_P99_TOLERANCE:-1.00}"
 }
 
 run_asan() {

@@ -5,6 +5,7 @@ regressions.
 Usage:
   scripts/compare_bench.py BASELINE.json CURRENT.json
       [--time-tolerance=0.10] [--io-tolerance=0.10] [--show-phases]
+      [--p99-op=OPNAME] [--p99-tolerance=1.0]
 
 Rows are matched by (series, threads, pairs). Two gates per matched row:
 
@@ -14,6 +15,13 @@ Rows are matched by (series, threads, pairs). Two gates per matched row:
                  uses a loose one for its 5%-scale smoke run).
   * node_io    — deterministic for a given scale, so any growth beyond
                  --io-tolerance fails.
+
+A third, opt-in gate targets tail latency: --p99-op=serve_slice compares the
+named phase's p99_us between the runs' metrics blocks and fails when the
+current p99 exceeds the baseline by more than --p99-tolerance (a ratio;
+the default 1.0 allows up to a 2x growth — the phase histograms are
+log-bucketed, so one bucket of drift stays within that). Rows where either
+side lacks the metrics block or has a zero baseline p99 are skipped.
 
 The two files must have been produced at the same SDJ_BENCH_SCALE; comparing
 across scales is a usage error. --show-phases prints the current run's
@@ -62,9 +70,18 @@ def show_phases(row):
         )
 
 
+def p99_us(row, op):
+    metrics = row.get("metrics")
+    if not metrics or op not in metrics:
+        return None
+    return metrics[op].get("p99_us")
+
+
 def main(argv):
     time_tolerance = 0.10
     io_tolerance = 0.10
+    p99_op = None
+    p99_tolerance = 1.0
     phases = False
     paths = []
     for arg in argv[1:]:
@@ -72,6 +89,10 @@ def main(argv):
             time_tolerance = float(arg.split("=", 1)[1])
         elif arg.startswith("--io-tolerance="):
             io_tolerance = float(arg.split("=", 1)[1])
+        elif arg.startswith("--p99-op="):
+            p99_op = arg.split("=", 1)[1]
+        elif arg.startswith("--p99-tolerance="):
+            p99_tolerance = float(arg.split("=", 1)[1])
         elif arg == "--show-phases":
             phases = True
         elif arg.startswith("--"):
@@ -116,6 +137,14 @@ def main(argv):
         base_io, cur_io = base["node_io"], cur["node_io"]
         io_growth = (cur_io - base_io) / base_io if base_io > 0 else 0.0
 
+        p99_note = ""
+        p99_growth = None
+        if p99_op is not None:
+            base_p99, cur_p99 = p99_us(base, p99_op), p99_us(cur, p99_op)
+            if base_p99 and cur_p99 is not None:
+                p99_growth = (cur_p99 - base_p99) / base_p99
+                p99_note = f"  {p99_op} p99_us {base_p99:.0f} -> {cur_p99:.0f}"
+
         verdict = "ok"
         if pps_drop > time_tolerance:
             verdict = f"REGRESSION pairs/sec -{pps_drop:.1%}"
@@ -123,10 +152,13 @@ def main(argv):
         elif io_growth > io_tolerance:
             verdict = f"REGRESSION node_io +{io_growth:.1%}"
             regressions += 1
+        elif p99_growth is not None and p99_growth > p99_tolerance:
+            verdict = f"REGRESSION {p99_op} p99 +{p99_growth:.1%}"
+            regressions += 1
         print(
             f"{verdict:<28} {label:<44} "
             f"pairs/sec {base_pps:>12.0f} -> {cur_pps:>12.0f}  "
-            f"node_io {base_io} -> {cur_io}"
+            f"node_io {base_io} -> {cur_io}{p99_note}"
         )
         if phases:
             show_phases(cur)

@@ -17,17 +17,18 @@ import sys
 import tempfile
 
 
-def make_rows(pps_scale=1.0, node_io=100):
+def make_rows(pps_scale=1.0, node_io=100, p99_us=None):
     # 1000 pairs at wall_ms=100 -> 10000 pairs/sec at pps_scale=1.
-    return [
-        {
-            "series": "Even/DepthFirst",
-            "threads": 1,
-            "pairs": 1000,
-            "wall_ms": 100.0 / pps_scale,
-            "node_io": node_io,
-        }
-    ]
+    row = {
+        "series": "Even/DepthFirst",
+        "threads": 1,
+        "pairs": 1000,
+        "wall_ms": 100.0 / pps_scale,
+        "node_io": node_io,
+    }
+    if p99_us is not None:
+        row["metrics"] = {"serve_slice": {"count": 1000, "p99_us": p99_us}}
+    return [row]
 
 
 def write(path, doc):
@@ -79,6 +80,25 @@ def main():
         # node_io growth beyond tolerance is a regression regardless of time.
         write(cur, {"scale": 1.0, "rows": make_rows(node_io=150)})
         check("io-regression", run(tool, base, cur), 1)
+
+        # The opt-in p99 gate (check.sh serving stage): within the default
+        # 2x allowance passes, beyond it fails, and rows without a usable
+        # baseline p99 are skipped rather than failed.
+        write(base, {"scale": 1.0, "rows": make_rows(p99_us=100.0)})
+        write(cur, {"scale": 1.0, "rows": make_rows(p99_us=200.0)})
+        check("p99-one-bucket", run(tool, base, cur, "--p99-op=serve_slice"), 0)
+        write(cur, {"scale": 1.0, "rows": make_rows(p99_us=450.0)})
+        check("p99-regression", run(tool, base, cur, "--p99-op=serve_slice"), 1)
+        check(
+            "p99-loose-tolerance",
+            run(tool, base, cur, "--p99-op=serve_slice", "--p99-tolerance=4"),
+            0,
+        )
+        check("p99-not-gated", run(tool, base, cur), 0)
+        write(base, {"scale": 1.0, "rows": make_rows(p99_us=0.0)})
+        check("p99-zero-base", run(tool, base, cur, "--p99-op=serve_slice"), 0)
+        write(base, {"scale": 1.0, "rows": make_rows()})
+        check("p99-no-metrics", run(tool, base, cur, "--p99-op=serve_slice"), 0)
 
         # A baseline row absent from the current run is a regression (as
         # long as something still matches; an empty run is a schema error).

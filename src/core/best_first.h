@@ -173,6 +173,11 @@ class BestFirstEngine {
   // stats().max_queue_size only for the hybrid queue).
   size_t max_memory_queue_size() const { return queue_->MaxMemorySize(); }
 
+  // Entries currently live in the pair queue (all tiers). The serving layer
+  // (DESIGN.md §14) uses this as a session's memory-cost proxy when deciding
+  // which sessions to checkpoint and evict under pressure.
+  size_t queue_size() const { return queue_->Size(); }
+
  protected:
   using Item = JoinItem<Dim>;
   using Entry = PairEntry<Dim>;

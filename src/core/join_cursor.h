@@ -24,6 +24,8 @@
 #ifndef SDJOIN_CORE_JOIN_CURSOR_H_
 #define SDJOIN_CORE_JOIN_CURSOR_H_
 
+#include <unistd.h>
+
 #include <cstdint>
 #include <memory>
 #include <optional>
@@ -53,6 +55,17 @@ struct CursorOptions {
   std::optional<storage::FaultInjectionOptions> fault_injection;
   // Bounded-retry policy for transient snapshot-page faults.
   storage::RetryPolicy retry;
+  // Bounded retry with exponential backoff for whole checkpoint *commits*:
+  // when WriteSnapshot fails (e.g., a torn header under fault injection),
+  // the commit is re-attempted — with a fresh shadow-paged write — up to
+  // max_attempts times, sleeping backoff_us << (k - 1) before retry k. The
+  // default (1 attempt, no sleep) preserves the historical fail-once
+  // behavior; the serving layer (DESIGN.md §14) raises it before degrading
+  // an unevictable session to pinned-resident.
+  storage::RetryPolicy commit_retry{.max_attempts = 1, .backoff_us = 0};
+  // Header/payload slots of the snapshot store (>= 2); S slots survive up
+  // to S-1 consecutive torn or corrupt commits on resume.
+  uint32_t snapshot_slots = 2;
   // Optional observability sink (DESIGN.md §12): the cursor records whole
   // checkpoint (SaveState + commit) and restore latencies, and the snapshot
   // store underneath adds per-commit latency. Null = disabled.
@@ -63,8 +76,12 @@ struct CursorOptions {
 // statistics stay comparable to an uninterrupted run's.
 struct CursorStats {
   uint64_t checkpoints_written = 0;
-  // Snapshots that could not be written; the previous one stays committed.
+  // Snapshots that could not be written even after commit_retry attempts;
+  // the previous one stays committed.
   uint64_t checkpoint_failures = 0;
+  // Commit re-attempts taken after a failed WriteSnapshot (a checkpoint that
+  // succeeds on attempt k adds k-1 here and 0 to checkpoint_failures).
+  uint64_t checkpoint_retries = 0;
   // Invalid (torn/corrupt) snapshot slots skipped while resuming.
   uint64_t snapshot_fallbacks = 0;
   uint64_t resumes = 0;
@@ -85,7 +102,16 @@ class JoinCursor {
     // counts as failed) instead of aborting.
     store_ = snapshot::SnapshotStore::Open(
         {options.snapshot_path, options.page_size, options.fault_injection,
-         options.retry, options.metrics});
+         options.retry, options.metrics, options.snapshot_slots});
+  }
+
+  // Points the cursor at a replacement engine over the same trees and
+  // configuration (the serving layer rebuilds an evicted session's engine,
+  // then restores it through this cursor — DESIGN.md §14). The snapshot
+  // store and cursor statistics carry over.
+  void set_engine(Engine* engine) {
+    SDJ_CHECK(engine != nullptr);
+    engine_ = engine;
   }
 
   // False if the snapshot store could not be opened/created; the cursor
@@ -108,20 +134,31 @@ class JoinCursor {
     return false;
   }
 
-  // Writes a snapshot of the engine's current state. Failures are counted,
-  // not fatal — the join continues, protected by the previous snapshot.
-  // Returns whether the snapshot committed.
+  // Writes a snapshot of the engine's current state, re-attempting failed
+  // commits per options_.commit_retry. Persistent failures are counted, not
+  // fatal — the join continues, protected by the previous snapshot. Returns
+  // whether the snapshot committed.
   bool Checkpoint() {
     obs::PhaseTimer timer(options_.metrics, obs::Op::kCheckpoint);
     since_checkpoint_ = 0;
     snapshot::Blob blob;
-    if (store_ == nullptr || !engine_->SaveState(&blob) ||
-        !store_->WriteSnapshot(blob)) {
+    if (store_ == nullptr || !engine_->SaveState(&blob)) {
       ++cursor_stats_.checkpoint_failures;
       return false;
     }
-    ++cursor_stats_.checkpoints_written;
-    return true;
+    for (uint32_t attempt = 1;; ++attempt) {
+      if (store_->WriteSnapshot(blob)) {
+        ++cursor_stats_.checkpoints_written;
+        return true;
+      }
+      if (attempt >= options_.commit_retry.max_attempts) break;
+      ++cursor_stats_.checkpoint_retries;
+      if (options_.commit_retry.backoff_us > 0) {
+        ::usleep(options_.commit_retry.backoff_us << (attempt - 1));
+      }
+    }
+    ++cursor_stats_.checkpoint_failures;
+    return false;
   }
 
   // Restores the engine from the newest valid snapshot and clears its

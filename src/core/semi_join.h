@@ -103,6 +103,9 @@ class DistanceSemiJoin {
   size_t max_memory_queue_size() const {
     return engine_.max_memory_queue_size();
   }
+  // Live pair-queue entries — the serving layer's memory-cost proxy
+  // (DESIGN.md §14).
+  size_t queue_size() const { return engine_.queue_size(); }
 
   // Why iteration stopped (kOk while Next() still returns pairs); kIoError
   // means the engine stopped early with a valid partial prefix, kSuspended

@@ -9,15 +9,17 @@
 //
 //   * SnapshotStore — shadow-paged snapshot persistence through the PR 1
 //     page-store stack (checksummed pages, optional fault injection).
-//     Layout: pages 0 and 1 are two header slots that ping-pong by epoch
-//     parity; the payload of epoch e lives on pages 2 + 2*i + (e & 1), so
-//     consecutive snapshots interleave and the file stops growing once the
-//     payload size stabilizes. A snapshot commits by (1) writing + syncing
-//     the payload pages and (2) writing + syncing the slot header, which
-//     carries the payload's length and FNV-1a checksum. A torn write or bit
-//     flip anywhere — caught by the per-page checksum trailer or by the
-//     payload checksum — invalidates only that slot; ReadLatest then falls
-//     back to the other (previous) snapshot instead of failing.
+//     Layout: the first S pages (S = num_slots, default 2) are header slots
+//     that rotate by epoch modulo S; the payload of epoch e lives on pages
+//     S + S*i + (e % S), so consecutive snapshots interleave and the file
+//     stops growing once the payload size stabilizes. A snapshot commits by
+//     (1) writing + syncing the payload pages and (2) writing + syncing the
+//     slot header, which carries the payload's length and FNV-1a checksum.
+//     A torn write or bit flip anywhere — caught by the per-page checksum
+//     trailer or by the payload checksum — invalidates only that slot;
+//     ReadLatest then falls back past every invalid slot to the newest
+//     surviving snapshot (with S slots, up to S-1 consecutive torn or
+//     corrupt epochs) instead of failing.
 #ifndef SDJOIN_CORE_SNAPSHOT_H_
 #define SDJOIN_CORE_SNAPSHOT_H_
 
@@ -187,6 +189,11 @@ struct SnapshotStoreOptions {
   // Optional observability sink (DESIGN.md §12): records the latency of
   // each shadow-paged snapshot commit. Null = disabled.
   obs::Metrics* metrics = nullptr;
+  // Header/payload slots (>= 2). S slots keep the S newest epochs on disk,
+  // so resume survives up to S-1 consecutive torn or corrupt commits. Like
+  // page_size, this is part of the file layout: reopen an existing snapshot
+  // file with the slot count it was created with.
+  uint32_t num_slots = 2;
 };
 
 // Read-side counters of one SnapshotStore.
@@ -235,10 +242,10 @@ class SnapshotStore {
     // Whole-commit latency: payload pages + sync + header + sync.
     obs::PhaseTimer timer(metrics_, obs::Op::kSnapshotCommit);
     const uint64_t epoch = last_epoch_ + 1;
-    const uint32_t slot = static_cast<uint32_t>(epoch & 1);
+    const uint32_t slot = static_cast<uint32_t>(epoch % num_slots_);
     const uint64_t length = payload.size();
     const uint64_t npages = (length + page_size_ - 1) / page_size_;
-    if (!EnsurePages(kFirstPayloadPage + 2 * npages)) {
+    if (!EnsurePages(num_slots_ + num_slots_ * npages)) {
       ++stats_.write_failures;
       return false;
     }
@@ -274,13 +281,13 @@ class SnapshotStore {
 
   // Loads the newest valid snapshot into *payload (and its epoch into
   // *epoch, when non-null). A slot whose header or payload fails validation
-  // is skipped — counted in invalid_slots_seen — and the other slot is used
-  // instead. Returns false if no valid snapshot exists.
+  // is skipped — counted in invalid_slots_seen — and the newest surviving
+  // slot is used instead. Returns false if no valid snapshot exists.
   bool ReadLatest(std::string* payload, uint64_t* epoch = nullptr) {
     std::string best_payload;
     uint64_t best_epoch = 0;
     bool found = false;
-    for (uint32_t slot = 0; slot < 2; ++slot) {
+    for (uint32_t slot = 0; slot < num_slots_; ++slot) {
       std::string slot_payload;
       uint64_t slot_epoch = 0;
       switch (ReadSlot(slot, &slot_payload, &slot_epoch)) {
@@ -299,10 +306,10 @@ class SnapshotStore {
       }
     }
     if (!found) return false;
-    // Future snapshots must overwrite the *other* slot, never the one we
-    // are about to resume from — even when the other slot claims a newer
-    // epoch whose payload failed validation (its epoch is forgotten here,
-    // so the next write reuses its slot).
+    // Future snapshots must never overwrite the slot we are about to resume
+    // from — even when another slot claims a newer epoch whose payload
+    // failed validation (its epoch is forgotten here, so subsequent writes
+    // rotate through the invalid slots first).
     last_epoch_ = best_epoch;
     *payload = std::move(best_payload);
     if (epoch != nullptr) *epoch = best_epoch;
@@ -318,7 +325,6 @@ class SnapshotStore {
  private:
   static constexpr uint64_t kMagic = 0x53444A534E415031ULL;  // "SDJSNAP1"
   static constexpr uint32_t kVersion = 1;
-  static constexpr storage::PageId kFirstPayloadPage = 2;
   static constexpr size_t kHeaderBytes = 40;
 
   enum class SlotState { kEmpty, kValid, kInvalid };
@@ -327,15 +333,19 @@ class SnapshotStore {
                 std::unique_ptr<storage::PageFile> file,
                 storage::FaultInjectingPageFile* injector)
       : page_size_(options.page_size),
+        num_slots_(options.num_slots),
         retry_(options.retry),
         metrics_(options.metrics),
         file_(std::move(file)),
-        injector_(injector) {
+        injector_(injector),
+        corrupt_at_open_(num_slots_, false) {
     SDJ_CHECK(page_size_ >= kHeaderBytes);
+    SDJ_CHECK(num_slots_ >= 2);
   }
 
   storage::PageId PayloadPage(uint64_t index, uint32_t slot) const {
-    return static_cast<storage::PageId>(kFirstPayloadPage + 2 * index + slot);
+    return static_cast<storage::PageId>(num_slots_ + num_slots_ * index +
+                                        slot);
   }
 
   static void PackHeader(char* dst, uint64_t epoch, uint64_t length,
@@ -361,16 +371,16 @@ class SnapshotStore {
     return true;
   }
 
-  // Fresh stores get two readable all-zero header slots, so "empty" and
+  // Fresh stores get readable all-zero header slots, so "empty" and
   // "corrupt" stay distinguishable. An existing slot that cannot even be
   // read (e.g., a torn header commit from a crashed writer) is remembered
   // as corrupt-at-open, then healed to empty so the slot is reusable.
   void InitHeaders() {
-    if (file_->num_pages() >= 2) {
-      // Existing file: probe both headers; heal unreadable ones.
+    if (file_->num_pages() >= num_slots_) {
+      // Existing file: probe every header; heal unreadable ones.
       std::vector<char> buffer(page_size_);
       std::vector<char> zero(page_size_, 0);
-      for (uint32_t slot = 0; slot < 2; ++slot) {
+      for (uint32_t slot = 0; slot < num_slots_; ++slot) {
         if (!ReadWithRetry(slot, buffer.data())) {
           corrupt_at_open_[slot] = true;
           WriteWithRetry(slot, zero.data());  // best effort
@@ -390,7 +400,7 @@ class SnapshotStore {
       }
       return;
     }
-    EnsurePages(2);
+    EnsurePages(num_slots_);
   }
 
   SlotState ReadSlot(uint32_t slot, std::string* payload, uint64_t* epoch) {
@@ -398,7 +408,7 @@ class SnapshotStore {
       corrupt_at_open_[slot] = false;  // report it once
       return SlotState::kInvalid;
     }
-    if (file_->num_pages() < 2) return SlotState::kEmpty;
+    if (file_->num_pages() < num_slots_) return SlotState::kEmpty;
     std::vector<char> buffer(page_size_);
     if (!ReadWithRetry(slot, buffer.data())) return SlotState::kInvalid;
     uint64_t magic;
@@ -452,12 +462,13 @@ class SnapshotStore {
   }
 
   const uint32_t page_size_;
+  const uint32_t num_slots_;
   const storage::RetryPolicy retry_;
   obs::Metrics* const metrics_;
   std::unique_ptr<storage::PageFile> file_;
   storage::FaultInjectingPageFile* injector_ = nullptr;
   uint64_t last_epoch_ = 0;
-  bool corrupt_at_open_[2] = {false, false};
+  std::vector<char> corrupt_at_open_;
   SnapshotStoreStats stats_;
 };
 

@@ -26,7 +26,9 @@
 namespace sdj::obs {
 
 // Instrumented operations. The first group are engine phases (scoped
-// PhaseTimers around whole steps); the second are storage-layer operations.
+// PhaseTimers around whole steps); the second are storage-layer operations;
+// the third are serving-layer phases (DESIGN.md §14), recorded into both the
+// manager-wide sink and the owning session's sink.
 enum class Op : uint8_t {
   kExpansion = 0,   // engine: expand one queue entry into child pairs
   kPop,             // engine: pop the next entry off the priority queue
@@ -38,8 +40,11 @@ enum class Op : uint8_t {
   kPageRead,        // buffer pool: physical page read (incl. retries)
   kPageWrite,       // buffer pool: physical page write (incl. retries)
   kPageSync,        // buffer pool / snapshot store: file sync
+  kServeSlice,      // session manager: one Next() slice of one session
+  kSessionEvict,    // session manager: checkpoint + drop a session's engine
+  kSessionRehydrate,  // session manager: rebuild + restore an evicted session
 };
-inline constexpr int kNumOps = 10;
+inline constexpr int kNumOps = 13;
 
 inline const char* OpName(Op op) {
   switch (op) {
@@ -53,6 +58,9 @@ inline const char* OpName(Op op) {
     case Op::kPageRead:       return "page_read";
     case Op::kPageWrite:      return "page_write";
     case Op::kPageSync:       return "page_sync";
+    case Op::kServeSlice:     return "serve_slice";
+    case Op::kSessionEvict:   return "session_evict";
+    case Op::kSessionRehydrate: return "session_rehydrate";
   }
   return "unknown";
 }

@@ -1,0 +1,111 @@
+// Crash-recoverable session table (DESIGN.md §14).
+//
+// The serving layer's durable record of admitted sessions, committed
+// through the same shadow-paged SnapshotStore protocol as engine snapshots:
+// every table update writes the full session set as the next epoch, a torn
+// or failed commit leaves the previous epoch in place, and a corrupt slot is
+// skipped on load in favor of the newest surviving epoch. A restarted server
+// therefore always recovers a consistent — at worst slightly stale —
+// session set, never a half-written one.
+//
+// Records carry a caller-chosen `tag`, the recovery key: the table cannot
+// serialize engine code, so SessionManager::Recover() hands each record to a
+// resolver that maps the tag back to an engine factory.
+#ifndef SDJOIN_SERVE_SESSION_TABLE_H_
+#define SDJOIN_SERVE_SESSION_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/snapshot.h"
+
+namespace sdj::serve {
+
+// One admitted session, as persisted.
+struct SessionRecord {
+  uint64_t id = 0;
+  // Caller-chosen recovery key (query kind, parameters, dataset name, ...).
+  std::string tag;
+  // Whether a checkpoint has committed for this session. Recovery resumes a
+  // snapshotted session from its newest valid snapshot; a session without
+  // one restarts from scratch (it had no committed progress to lose).
+  bool has_snapshot = false;
+};
+
+// See file comment. Not thread-safe (one SessionManager owns one table).
+class SessionTable {
+ public:
+  // Null only if the backing file can neither be opened nor created.
+  static std::unique_ptr<SessionTable> Open(
+      const snapshot::SnapshotStoreOptions& options) {
+    auto store = snapshot::SnapshotStore::Open(options);
+    if (store == nullptr) return nullptr;
+    return std::unique_ptr<SessionTable>(new SessionTable(std::move(store)));
+  }
+
+  // Loads the newest valid table epoch. False — outputs untouched — when no
+  // valid epoch exists: a fresh table, or every slot torn/corrupt (counted
+  // in stats().invalid_slots_seen).
+  bool Load(std::vector<SessionRecord>* records, uint64_t* next_id) {
+    std::string payload;
+    if (!store_->ReadLatest(&payload)) return false;
+    snapshot::BlobReader in(payload);
+    if (in.GetU64() != kMagic || in.GetU32() != kVersion) return false;
+    const uint64_t next = in.GetU64();
+    const uint64_t count = in.GetCount(kMinRecordBytes);
+    std::vector<SessionRecord> parsed;
+    parsed.reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      SessionRecord r;
+      r.id = in.GetU64();
+      r.has_snapshot = in.GetBool();
+      const uint64_t len = in.GetCount(1);
+      r.tag.resize(len);
+      if (len > 0 && !in.GetBytes(r.tag.data(), len)) return false;
+      parsed.push_back(std::move(r));
+    }
+    if (!in.ok()) return false;
+    *records = std::move(parsed);
+    if (next_id != nullptr) *next_id = next;
+    return true;
+  }
+
+  // Commits the full session set (plus the id allocator's high-water mark)
+  // as the next table epoch. A failed commit is counted by the store and
+  // leaves the previous epoch committed.
+  bool Commit(const std::vector<SessionRecord>& records, uint64_t next_id) {
+    snapshot::Blob out;
+    out.PutU64(kMagic);
+    out.PutU32(kVersion);
+    out.PutU64(next_id);
+    out.PutU64(records.size());
+    for (const SessionRecord& r : records) {
+      out.PutU64(r.id);
+      out.PutBool(r.has_snapshot);
+      out.PutU64(r.tag.size());
+      out.PutBytes(r.tag.data(), r.tag.size());
+    }
+    return store_->WriteSnapshot(out);
+  }
+
+  const snapshot::SnapshotStoreStats& stats() const { return store_->stats(); }
+
+ private:
+  static constexpr uint64_t kMagic = 0x53444A5354424C31ULL;  // "SDJSTBL1"
+  static constexpr uint32_t kVersion = 1;
+  // id + has_snapshot + tag length prefix: the least bytes one record can
+  // occupy, for the GetCount plausibility check.
+  static constexpr size_t kMinRecordBytes = 8 + 1 + 8;
+
+  explicit SessionTable(std::unique_ptr<snapshot::SnapshotStore> store)
+      : store_(std::move(store)) {}
+
+  std::unique_ptr<snapshot::SnapshotStore> store_;
+};
+
+}  // namespace sdj::serve
+
+#endif  // SDJOIN_SERVE_SESSION_TABLE_H_

@@ -3,6 +3,7 @@
 // equality across thread counts, checkpoint fallback after on-disk snapshot
 // corruption, and fault-injected runs. The binary under test is passed as
 // the first command-line argument (wired up in tests/CMakeLists.txt).
+#include <sys/stat.h>
 #include <sys/wait.h>
 
 #include <cstdio>
@@ -305,6 +306,83 @@ TEST_F(CliTest, SemiJoinSuspendResumeMatrix) {
   }
   EXPECT_EQ(combined, expected);
   EXPECT_EQ(CostLine(resumed.output), CostLine(reference.output));
+}
+
+// ---- serve command (DESIGN.md §14) ----
+
+// Drops the serve line's leading "<session-id>," so the remainder is
+// comparable to a join command's "id1,id2,distance" line.
+std::string StripSessionId(const std::string& line) {
+  const size_t comma = line.find(',');
+  return comma == std::string::npos ? line : line.substr(comma + 1);
+}
+
+// One served join session emits exactly the solo join command's stream.
+TEST_F(CliTest, ServeSingleSessionMatchesSoloJoin) {
+  const RunResult reference = RunCli(JoinArgs(""));
+  ASSERT_EQ(reference.exit_code, 0);
+  const std::vector<std::string> expected = PairLines(reference.output);
+  ASSERT_EQ(expected.size(), 300u);
+
+  const RunResult served =
+      RunCli("serve --a=" + a_csv_ + " --b=" + b_csv_ +
+             " --sessions=1 --max-results=300 --print=1000");
+  EXPECT_EQ(served.exit_code, 0);
+  std::vector<std::string> pairs;
+  for (const std::string& line : PairLines(served.output)) {
+    EXPECT_EQ(line.substr(0, 2), "1,");
+    pairs.push_back(StripSessionId(line));
+  }
+  EXPECT_EQ(pairs, expected);
+  EXPECT_NE(served.output.find("state=closed"), std::string::npos);
+}
+
+// Memory pressure plus snapshot-store faults: sessions evict, rehydrate,
+// and complete with zero failures (bounded retries absorb the faults).
+TEST_F(CliTest, ServeUnderPressureAndFaultsCompletesAllSessions) {
+  const RunResult served =
+      RunCli("serve --a=" + a_csv_ + " --b=" + b_csv_ +
+             " --sessions=3 --max-results=120 --budget-entries=128 "
+             "--inject-faults=5 --print=0");
+  EXPECT_EQ(served.exit_code, 0);
+  EXPECT_NE(served.output.find(" 0 pinned, 0 failed"), std::string::npos);
+  EXPECT_EQ(served.output.find(" 0 evictions,"), std::string::npos)
+      << served.output;
+}
+
+// --suspend-after-rounds checkpoints every live session (exit 4); a later
+// --resume recovers the table and each stream continues exactly where it
+// stopped — the continuation matches the solo run's suffix.
+TEST_F(CliTest, ServeSuspendResumeContinuesEveryStream) {
+  const std::string state_dir = ::testing::TempDir() + "/cli_serve_state";
+  ::mkdir(state_dir.c_str(), 0755);
+  std::remove((state_dir + "/sessions.tbl").c_str());
+  for (int i = 1; i <= 4; ++i) {
+    std::remove((state_dir + "/session_" + std::to_string(i) + ".snap")
+                    .c_str());
+  }
+  const std::string common = "serve --a=" + a_csv_ + " --b=" + b_csv_ +
+                             " --state-dir=" + state_dir + " ";
+  const RunResult suspended = RunCli(
+      common + "--sessions=3 --batch=40 --suspend-after-rounds=1 --print=0");
+  EXPECT_EQ(suspended.exit_code, 4);
+  EXPECT_NE(suspended.output.find("rerun with --resume"), std::string::npos);
+
+  const RunResult resumed =
+      RunCli(common + "--resume --max-results=60 --print=1000");
+  EXPECT_EQ(resumed.exit_code, 0);
+  EXPECT_NE(resumed.output.find("recovered 3 session(s)"), std::string::npos);
+  std::vector<std::string> continuation;  // session 1 = the Euclidean join
+  for (const std::string& line : PairLines(resumed.output)) {
+    if (line.substr(0, 2) == "1,") continuation.push_back(StripSessionId(line));
+  }
+  ASSERT_EQ(continuation.size(), 60u);
+
+  const RunResult reference = RunCli(JoinArgs(""));
+  const std::vector<std::string> solo = PairLines(reference.output);
+  ASSERT_GE(solo.size(), 100u);
+  const std::vector<std::string> suffix(solo.begin() + 40, solo.begin() + 100);
+  EXPECT_EQ(continuation, suffix);
 }
 
 }  // namespace

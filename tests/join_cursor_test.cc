@@ -329,6 +329,43 @@ TEST(SnapshotStore, BothSlotsCorruptMeansNoSnapshot) {
   EXPECT_EQ(store->stats().invalid_slots_seen, 2u);
 }
 
+// With S slots, resume must fall back past up to S-1 *consecutive* torn or
+// corrupt epochs — the serving layer provisions S > 2 so one bad burst
+// cannot strand a session (DESIGN.md §14).
+TEST(SnapshotStore, FourSlotsSurviveThreeConsecutiveCorruptEpochs) {
+  const std::string path = TempPath("snap_multi_torn.bin");
+  std::remove(path.c_str());
+  snapshot::SnapshotStoreOptions options = StoreOptions(path);
+  options.num_slots = 4;
+  {
+    auto store = snapshot::SnapshotStore::Open(options);
+    ASSERT_NE(store, nullptr);
+    for (int e = 1; e <= 5; ++e) {
+      ASSERT_TRUE(store->WriteSnapshot(PayloadOf("epoch" + std::to_string(e))));
+    }
+  }
+  // Headers live on pages 0..3 (slot = epoch % 4); epoch e's payload starts
+  // on page 4 + (e % 4). Corrupt the three newest epochs — 5 and 3 in their
+  // headers, 4 in its payload.
+  CorruptPage(path, 4096, 5 % 4);      // epoch 5 header
+  CorruptPage(path, 4096, 4 + 4 % 4);  // epoch 4 payload
+  CorruptPage(path, 4096, 3 % 4);      // epoch 3 header
+  auto store = snapshot::SnapshotStore::Open(options);
+  ASSERT_NE(store, nullptr);
+  std::string payload;
+  uint64_t epoch = 0;
+  ASSERT_TRUE(store->ReadLatest(&payload, &epoch));
+  EXPECT_EQ(payload, "epoch2");
+  EXPECT_EQ(epoch, 2u);
+  EXPECT_EQ(store->stats().invalid_slots_seen, 3u);
+  // The next commit must rotate into the corrupt slots, never over the
+  // survivor we just resumed from.
+  ASSERT_TRUE(store->WriteSnapshot(PayloadOf("epoch3-redo")));
+  ASSERT_TRUE(store->ReadLatest(&payload, &epoch));
+  EXPECT_EQ(payload, "epoch3-redo");
+  EXPECT_EQ(epoch, 3u);
+}
+
 TEST(SnapshotStore, DeadDiskWriteFailsButPreviousSnapshotSurvives) {
   const std::string path = TempPath("snap_dead_disk.bin");
   std::remove(path.c_str());
@@ -907,6 +944,123 @@ TEST(JoinCursor, CheckpointFailureDegradesGracefully) {
   EXPECT_EQ(cursor.status(), JoinStatus::kExhausted);
   EXPECT_EQ(cursor.cursor_stats().checkpoints_written, 0u);
   EXPECT_GE(cursor.cursor_stats().checkpoint_failures, 4u);
+}
+
+// A torn commit under commit_retry: the first WriteSnapshot fails, the
+// bounded retry re-runs the shadow-paged commit, and the checkpoint lands —
+// counted as a retry, not a failure. Write indices on a fresh store are
+// deterministic: 0-1 initialize the header slots, 2-3 extend the file for
+// the first one-page payload, 4 is the payload itself, 5 the header.
+TEST(JoinCursor, CommitRetryRecoversTornCheckpoint) {
+  const auto a = MakePoints(60, 71);
+  const auto b = MakePoints(60, 72);
+  RTree<2> ta = BuildPointTree(a);
+  RTree<2> tb = BuildPointTree(b);
+  DistanceJoinOptions options;
+  options.max_pairs = 40;
+  DistanceJoin<2> join(ta, tb, options);
+
+  storage::FaultInjectionOptions faults;
+  faults.torn_write_at = 4;  // tears the first commit's payload write
+  CursorOptions retry_options = MakeCursorOptions();
+  retry_options.fault_injection = faults;
+  retry_options.retry.backoff_us = 0;
+  retry_options.commit_retry = {.max_attempts = 3, .backoff_us = 0};
+  JoinCursor<2, DistanceJoin<2>> cursor(&join, retry_options);
+  ASSERT_TRUE(cursor.ok());
+  EXPECT_TRUE(cursor.Checkpoint());
+  EXPECT_EQ(cursor.cursor_stats().checkpoint_retries, 1u);
+  EXPECT_EQ(cursor.cursor_stats().checkpoint_failures, 0u);
+  EXPECT_EQ(cursor.cursor_stats().checkpoints_written, 1u);
+  EXPECT_EQ(cursor.store()->stats().write_failures, 1u);
+  std::string payload;
+  EXPECT_TRUE(cursor.store()->ReadLatest(&payload));
+}
+
+// The default commit policy (one attempt) preserves the historical
+// fail-once behavior: the torn commit is a counted failure, and only the
+// *next* checkpoint lands.
+TEST(JoinCursor, DefaultCommitPolicyFailsOnceWithoutRetrying) {
+  const auto a = MakePoints(60, 73);
+  const auto b = MakePoints(60, 74);
+  RTree<2> ta = BuildPointTree(a);
+  RTree<2> tb = BuildPointTree(b);
+  DistanceJoinOptions options;
+  options.max_pairs = 40;
+  DistanceJoin<2> join(ta, tb, options);
+
+  storage::FaultInjectionOptions faults;
+  faults.torn_write_at = 4;
+  CursorOptions torn_options = MakeCursorOptions();
+  torn_options.fault_injection = faults;
+  torn_options.retry.backoff_us = 0;
+  JoinCursor<2, DistanceJoin<2>> cursor(&join, torn_options);
+  ASSERT_TRUE(cursor.ok());
+  EXPECT_FALSE(cursor.Checkpoint());
+  EXPECT_EQ(cursor.cursor_stats().checkpoint_retries, 0u);
+  EXPECT_EQ(cursor.cursor_stats().checkpoint_failures, 1u);
+  EXPECT_TRUE(cursor.Checkpoint());  // the torn fault was one-shot
+  EXPECT_EQ(cursor.cursor_stats().checkpoints_written, 1u);
+}
+
+// Cursor-level S-slot fallback: with snapshot_slots = 4 and the two newest
+// checkpoint epochs corrupted on disk ("crash during a bad burst"), resume
+// lands on the third-newest checkpoint and the combined stream still
+// matches the uninterrupted reference.
+TEST(JoinCursor, MultiSlotResumeFallsBackPastConsecutiveCorruptEpochs) {
+  const std::string path = TempPath("cursor_multislot.snap");
+  std::remove(path.c_str());
+  const auto a = MakePoints(80, 75);
+  const auto b = MakePoints(80, 76);
+  DistanceJoinOptions options;
+  options.max_pairs = 100;
+
+  std::vector<Pair> expected;
+  {
+    RTree<2> ta = BuildPointTree(a);
+    RTree<2> tb = BuildPointTree(b);
+    DistanceJoin<2> reference(ta, tb, options);
+    expected = Drain(&reference);
+  }
+
+  // Phase 1: checkpoint every 5 pairs for 25 pairs -> epochs 1..5, epoch e
+  // taken at pair 5*e; then crash.
+  std::vector<Pair> prefix;
+  {
+    RTree<2> ta = BuildPointTree(a);
+    RTree<2> tb = BuildPointTree(b);
+    DistanceJoin<2> join(ta, tb, options);
+    CursorOptions slot_options = MakeCursorOptions(path, 5);
+    slot_options.snapshot_slots = 4;
+    JoinCursor<2, DistanceJoin<2>> cursor(&join, slot_options);
+    ASSERT_TRUE(cursor.ok());
+    JoinResult<2> r;
+    for (int i = 0; i < 25; ++i) {
+      ASSERT_TRUE(cursor.Next(&r));
+      prefix.push_back(AsTuple(r));
+    }
+    ASSERT_EQ(cursor.cursor_stats().checkpoints_written, 5u);
+    ASSERT_EQ(cursor.store()->last_epoch(), 5u);
+  }
+  // Corrupt the headers of epochs 5 and 4 (slots 5%4 = 1 and 4%4 = 0).
+  CorruptPage(path, 4096, 1);
+  CorruptPage(path, 4096, 0);
+
+  // Phase 2: resume must fall back to epoch 3 (pair 15).
+  RTree<2> ta = BuildPointTree(a);
+  RTree<2> tb = BuildPointTree(b);
+  DistanceJoin<2> join(ta, tb, options);
+  CursorOptions slot_options = MakeCursorOptions(path);
+  slot_options.snapshot_slots = 4;
+  JoinCursor<2, DistanceJoin<2>> cursor(&join, slot_options);
+  ASSERT_TRUE(cursor.ok());
+  ASSERT_TRUE(cursor.ResumeLatest());
+  EXPECT_EQ(cursor.store()->last_epoch(), 3u);
+  EXPECT_EQ(cursor.cursor_stats().snapshot_fallbacks, 2u);
+  std::vector<Pair> combined(prefix.begin(), prefix.begin() + 15);
+  JoinResult<2> r;
+  while (cursor.Next(&r)) combined.push_back(AsTuple(r));
+  EXPECT_EQ(combined, expected);
 }
 
 TEST(JoinCursor, ResumeLatestOnEmptyStoreStartsFromScratch) {

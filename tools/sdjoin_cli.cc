@@ -16,6 +16,26 @@
 //                       inside2] [--print=10]
 //   sdjoin_cli nn       --a=a.csv --x=X --y=Y [--k=5]
 //   sdjoin_cli stats    --a=a.csv
+//   sdjoin_cli serve    --a=a.csv --b=b.csv [--sessions=4] [--batch=32]
+//                       [--max-results=0] [--slice-us=0] [--budget-entries=N]
+//                       [--state-dir=DIR] [--resume] [--checkpoint-every=N]
+//                       [--suspend-after-rounds=N] [--snapshot-slots=2]
+//                       [--inject-faults=<seed>] [--print=3]
+//
+// serve multiplexes --sessions concurrent incremental traversals (rotating
+// join / semi-join / Manhattan-join kinds) through one SessionManager
+// (DESIGN.md §14), round-robin in --batch-result turns. --slice-us arms a
+// deadline per Next(): a session that overruns yields (its stream is
+// unchanged) and the driver rotates. --budget-entries caps resident
+// pair-queue entries; exceeding it checkpoint-evicts the coldest sessions,
+// which rehydrate transparently when the rotation returns. With
+// --state-dir, sessions are crash-recoverable: --suspend-after-rounds
+// checkpoints everything and exits 4, and a later run with --resume
+// recovers the table and continues every session where it left off.
+// --inject-faults here targets the snapshot stores and the session table
+// (not the trees): transient faults are absorbed by bounded retries, and a
+// session whose checkpoint cannot commit degrades to pinned-resident
+// instead of failing. A failed session (exit 3) never disturbs the others.
 //
 // join and semijoin also accept durable-cursor flags (DESIGN.md §11):
 //   --snapshot=<file>      snapshot store for checkpoints and resume
@@ -56,6 +76,7 @@
 // Datasets are "x,y" CSV files (data/dataset_io.h); object ids are row
 // numbers. Every command prints a short cost report (distance calculations,
 // queue size, node I/O) alongside its results.
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -75,6 +96,8 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "rtree/rtree.h"
+#include "serve/erased_engine.h"
+#include "serve/session_manager.h"
 #include "storage/fault_injection.h"
 #include "util/stop_token.h"
 
@@ -624,9 +647,221 @@ int CmdStats(const Flags& flags) {
   return 0;
 }
 
+// The serve command's session-kind rotation: index i gets kinds[i % 3].
+// The kind is encoded in the crash-recovery tag ("<kind>:<i>") so --resume
+// can rebuild the identical engine configuration (the snapshot fingerprint
+// rejects anything else).
+sdj::serve::SessionManager<2>::EngineFactory MakeServeFactory(
+    const std::string& kind, const RTree<2>& ta, const RTree<2>& tb) {
+  if (kind == "join" || kind == "manhattan") {
+    const Metric metric =
+        kind == "join" ? Metric::kEuclidean : Metric::kManhattan;
+    return [&ta, &tb, metric](sdj::util::StopToken token)
+               -> std::unique_ptr<sdj::serve::ErasedEngine<2>> {
+      DistanceJoinOptions options;
+      options.metric = metric;
+      options.stop_token = std::move(token);
+      return sdj::serve::Erase<2>(
+          std::make_unique<DistanceJoin<2>>(ta, tb, options));
+    };
+  }
+  if (kind == "semi") {
+    return [&ta, &tb](sdj::util::StopToken token)
+               -> std::unique_ptr<sdj::serve::ErasedEngine<2>> {
+      sdj::SemiJoinOptions options;
+      options.join.stop_token = std::move(token);
+      return sdj::serve::Erase<2>(
+          std::make_unique<DistanceSemiJoin<2>>(ta, tb, options));
+    };
+  }
+  return nullptr;
+}
+
+int CmdServe(const Flags& flags) {
+  std::vector<Point<2>> a;
+  std::vector<Point<2>> b;
+  if (!LoadRequired(flags, "a", &a) || !LoadRequired(flags, "b", &b)) return 1;
+  ObsSetup obs;  // before the trees — see CmdJoin
+  obs.Init(flags);
+  RTree<2> ta = IndexPoints(a);
+  RTree<2> tb = IndexPoints(b);
+  ta.pool().SetMetrics(obs.get());
+  tb.pool().SetMetrics(obs.get());
+
+  sdj::serve::ServeOptions options;
+  options.state_dir = flags.Get("state-dir", "");
+  options.memory_budget_entries = static_cast<uint64_t>(
+      flags.GetLong("budget-entries", 1L << 20));
+  options.slice = std::chrono::microseconds(flags.GetLong("slice-us", 0));
+  options.checkpoint_every =
+      static_cast<uint64_t>(flags.GetLong("checkpoint-every", 0));
+  options.snapshot_slots =
+      static_cast<uint32_t>(flags.GetLong("snapshot-slots", 2));
+  options.metrics = obs.get();
+  const std::string fault_seed = flags.Get("inject-faults", "");
+  if (!fault_seed.empty()) {
+    // Targets the durable serving state (snapshot stores + session table);
+    // the trees stay clean — per-tree faults are the join command's domain.
+    sdj::storage::FaultInjectionOptions faults;
+    faults.seed = static_cast<uint64_t>(std::atoll(fault_seed.c_str()));
+    faults.transient_read_rate = flags.GetDouble("fault-read-rate", 0.01);
+    faults.transient_write_rate = flags.GetDouble("fault-write-rate", 0.01);
+    options.fault_injection = faults;
+  }
+  sdj::serve::SessionManager<2> manager(options);
+
+  const bool resume = flags.GetBool("resume");
+  if (resume && options.state_dir.empty()) {
+    std::fprintf(stderr, "--resume requires --state-dir=<dir>\n");
+    return 2;
+  }
+  const char* kinds[] = {"join", "semi", "manhattan"};
+  if (resume) {
+    const size_t recovered = manager.Recover(
+        [&ta, &tb](const sdj::serve::SessionRecord& record) {
+          const std::string kind =
+              record.tag.substr(0, record.tag.find(':'));
+          return MakeServeFactory(kind, ta, tb);
+        });
+    std::printf("# recovered %zu session(s)\n", recovered);
+  } else {
+    const long sessions = flags.GetLong("sessions", 4);
+    if (sessions < 1) {
+      std::fprintf(stderr, "--sessions must be >= 1\n");
+      return 2;
+    }
+    for (long i = 0; i < sessions; ++i) {
+      const std::string kind = kinds[i % 3];
+      std::string tag = kind;
+      tag += ':';
+      tag += std::to_string(i);
+      const auto admit =
+          manager.Admit(tag, MakeServeFactory(kind, ta, tb));
+      if (admit.status != sdj::serve::ServeStatus::kOk) {
+        std::fprintf(stderr, "# session %s rejected: %s\n", tag.c_str(),
+                     ServeStatusName(admit.status));
+      }
+    }
+  }
+
+  const long batch = std::max(1L, flags.GetLong("batch", 32));
+  const uint64_t max_results =
+      static_cast<uint64_t>(flags.GetLong("max-results", 0));
+  const long suspend_rounds = flags.GetLong("suspend-after-rounds", 0);
+  const long print = flags.GetLong("print", 3);
+
+  struct Client {
+    sdj::serve::SessionManager<2>::SessionId id;
+    uint64_t produced = 0;
+    bool done = false;
+    bool failed = false;
+  };
+  std::vector<Client> clients;
+  for (const auto id : manager.SessionIds()) clients.push_back({id});
+  if (clients.empty()) {
+    std::fprintf(stderr, "no sessions to serve\n");
+    return 1;
+  }
+
+  bool suspended = false;
+  long rounds = 0;
+  bool active = true;
+  while (active && !suspended) {
+    active = false;
+    for (Client& client : clients) {
+      if (client.done) continue;
+      active = true;
+      for (long i = 0; i < batch && !client.done; ++i) {
+        JoinResult<2> result;
+        const sdj::serve::ServeStatus status =
+            manager.Next(client.id, &result);
+        switch (status) {
+          case sdj::serve::ServeStatus::kOk:
+            if (client.produced < static_cast<uint64_t>(print)) {
+              std::printf("%llu,%llu,%llu,%.6f\n",
+                          static_cast<unsigned long long>(client.id),
+                          static_cast<unsigned long long>(result.id1),
+                          static_cast<unsigned long long>(result.id2),
+                          result.distance);
+            }
+            ++client.produced;
+            if (max_results > 0 && client.produced >= max_results) {
+              manager.Close(client.id);
+              client.done = true;
+            }
+            break;
+          case sdj::serve::ServeStatus::kYield:
+            i = batch;  // slice expired: rotate to the next session
+            break;
+          case sdj::serve::ServeStatus::kExhausted:
+            client.done = true;
+            break;
+          default:
+            std::fprintf(stderr, "# session %llu: %s\n",
+                         static_cast<unsigned long long>(client.id),
+                         ServeStatusName(status));
+            client.done = true;
+            client.failed = true;
+            break;
+        }
+      }
+    }
+    if (suspend_rounds > 0 && ++rounds >= suspend_rounds && active) {
+      for (Client& client : clients) {
+        if (!client.done) manager.Checkpoint(client.id);
+      }
+      suspended = true;
+    }
+  }
+
+  bool any_failed = false;
+  for (const Client& client : clients) {
+    any_failed = any_failed || client.failed;
+    const auto counters = manager.counters(client.id);
+    std::printf(
+        "# session %llu tag=%s state=%s results=%llu yields=%llu "
+        "evictions=%llu rehydrations=%llu%s\n",
+        static_cast<unsigned long long>(client.id),
+        manager.tag(client.id).c_str(),
+        SessionStateName(manager.state(client.id)),
+        static_cast<unsigned long long>(counters.results),
+        static_cast<unsigned long long>(counters.yields),
+        static_cast<unsigned long long>(counters.evictions),
+        static_cast<unsigned long long>(counters.rehydrations),
+        counters.pinned_resident ? " pinned-resident" : "");
+  }
+  const sdj::serve::ServeStats& stats = manager.stats();
+  std::printf(
+      "# serve: %llu admitted, %llu recovered, %llu rejected, "
+      "%llu evictions, %llu rehydrations, %llu pinned, %llu failed\n",
+      static_cast<unsigned long long>(stats.admitted),
+      static_cast<unsigned long long>(stats.recovered_sessions),
+      static_cast<unsigned long long>(stats.rejected_overload),
+      static_cast<unsigned long long>(stats.evictions),
+      static_cast<unsigned long long>(stats.rehydrations),
+      static_cast<unsigned long long>(stats.pinned_sessions),
+      static_cast<unsigned long long>(stats.failed_sessions));
+  int rc = 0;
+  if (any_failed) rc = 3;
+  if (suspended) {
+    std::fprintf(stderr,
+                 "suspended: %ld round(s) served, sessions checkpointed to "
+                 "%s; rerun with --resume to continue\n",
+                 rounds, options.state_dir.c_str());
+    rc = 4;
+  }
+  if (!obs.Finish() && rc == 0) rc = 1;
+  return rc;
+}
+
 int PrintUsage() {
   std::fprintf(stderr,
-               "usage: sdjoin_cli <gen|join|semijoin|nn|stats> [--flags]\n"
+               "usage: sdjoin_cli <gen|join|semijoin|nn|stats|serve>"
+               " [--flags]\n"
+               "serving: serve --a= --b= [--sessions=4] [--batch=32]\n"
+               "  [--slice-us=N] [--budget-entries=N] [--state-dir=DIR]\n"
+               "  [--suspend-after-rounds=N] [--resume]\n"
+               "  [--inject-faults=<seed>: snapshot-store faults]\n"
                "within-distance join: join --within=EPS (all pairs with\n"
                "  distance <= EPS, streamed ascending)\n"
                "durable cursors (join/semijoin): --snapshot=<file>\n"
@@ -654,5 +889,6 @@ int main(int argc, char** argv) {
   if (command == "semijoin") return CmdSemiJoin(flags);
   if (command == "nn") return CmdNn(flags);
   if (command == "stats") return CmdStats(flags);
+  if (command == "serve") return CmdServe(flags);
   return PrintUsage();
 }
