@@ -14,6 +14,7 @@
 #include "core/distance_join.h"
 #include "core/semi_join.h"
 #include "data/datasets.h"
+#include "geometry/simd.h"
 #include "util/check.h"
 
 #ifndef SDJ_GIT_SHA
@@ -228,6 +229,14 @@ void WriteJson(const std::string& title) {
   // `git rev-parse`, bench/CMakeLists.txt) and the machine's thread budget,
   // so archived JSON rows stay comparable across machines and commits.
   std::fprintf(f, "  \"git_sha\": \"%s\",\n", JsonEscape(SDJ_GIT_SHA).c_str());
+  // Kernel-ISA stamp: which SIMD tier the host supports and which one the
+  // kAuto dispatch actually picked (DESIGN.md §15). compare_bench.py refuses
+  // to gate wall-clock across different dispatch choices — the numbers are
+  // not comparable.
+  std::fprintf(f, "  \"kernel_isa_detected\": \"%s\",\n",
+               simd::IsaName(simd::DetectIsa()));
+  std::fprintf(f, "  \"kernel_isa\": \"%s\",\n",
+               simd::IsaName(simd::Resolve(simd::Isa::kAuto)));
   std::fprintf(f, "  \"hardware_threads\": %u,\n",
                std::thread::hardware_concurrency());
   std::fprintf(f, "  \"water_points\": %zu,\n", WaterPoints().size());

@@ -1,0 +1,187 @@
+// Microbenchmark for the batched distance kernels (geometry/rect_batch.h)
+// across every SIMD dispatch path the host supports (DESIGN.md §15).
+//
+// One row per kernel x ISA, series "MinDist/avx2" etc. The workload is a
+// fixed structure-of-arrays batch of 4096 rectangles swept against one
+// query rectangle, repeated; `pairs` counts lanes evaluated (reps x lanes),
+// so the compare_bench.py row key is deterministic for a given
+// SDJ_BENCH_SCALE. Kernels do no I/O, so node_io is 0 and only the
+// pairs/sec gate applies. The per-ISA rows only exist for ISAs the host
+// supports; the kernel_isa stamp in BENCH_kernels.json makes
+// compare_bench.py refuse cross-host comparisons that would mix dispatch
+// tiers.
+//
+// After the table, a summary prints each kernel's best-ISA speedup over the
+// scalar path — the headline number for the SIMD tentpole (the acceptance
+// bar is >= 1.5x on MinDist with an AVX2-or-wider path available).
+#include <benchmark/benchmark.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "geometry/rect_batch.h"
+#include "geometry/simd.h"
+
+namespace sdj::bench {
+namespace {
+
+constexpr size_t kLanes = 4096;
+constexpr uint64_t kFullReps = 20000;  // scaled by SDJ_BENCH_SCALE
+
+// Deterministic rects: splitmix64 so the workload is identical across
+// machines and runs (no std::mt19937 distribution variance).
+uint64_t SplitMix(uint64_t* s) {
+  uint64_t z = (*s += 0x9e3779b97f4a7c15ull);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+  return z ^ (z >> 31);
+}
+
+double UnitDouble(uint64_t* s) {
+  return static_cast<double>(SplitMix(s) >> 11) * 0x1.0p-53;
+}
+
+const RectBatch<2>& Batch() {
+  static const RectBatch<2>* batch = [] {
+    auto* b = new RectBatch<2>;
+    b->reserve(kLanes);
+    uint64_t seed = 42;
+    for (size_t i = 0; i < kLanes; ++i) {
+      Rect<2> r;
+      for (int d = 0; d < 2; ++d) {
+        const double lo = UnitDouble(&seed) * 1000.0;
+        r.lo[d] = lo;
+        r.hi[d] = lo + UnitDouble(&seed) * 10.0;
+      }
+      b->push_back(r);
+    }
+    return b;
+  }();
+  return *batch;
+}
+
+uint64_t Reps() {
+  const auto reps = static_cast<uint64_t>(static_cast<double>(kFullReps) *
+                                          Scale());
+  return reps > 0 ? reps : 1;
+}
+
+// seconds per (kernel, isa) series, for the post-table speedup summary.
+std::map<std::string, std::map<simd::Isa, double>>& Timings() {
+  static auto* t = new std::map<std::string, std::map<simd::Isa, double>>;
+  return *t;
+}
+
+template <typename Kernel>
+void RunKernel(benchmark::State& state, const std::string& name,
+               simd::Isa isa, Kernel kernel) {
+  const RectBatch<2>& batch = Batch();
+  const Rect<2> query{{450.0, 450.0}, {520.0, 560.0}};
+  std::vector<double> out(batch.size());
+  const uint64_t reps = Reps();
+  kernel(batch, query, out.data(), isa);  // warm up: page in, clear dispatch
+  for (auto _ : state) {
+    WallTimer timer;
+    for (uint64_t r = 0; r < reps; ++r) {
+      kernel(batch, query, out.data(), isa);
+      benchmark::DoNotOptimize(out.data());
+      benchmark::ClobberMemory();
+    }
+    const double seconds = timer.Seconds();
+    state.SetIterationTime(seconds);
+    const uint64_t lanes = reps * batch.size();
+    char note[96];
+    std::snprintf(note, sizeof(note), "%.3g lanes/sec",
+                  seconds > 0.0 ? static_cast<double>(lanes) / seconds : 0.0);
+    Timings()[name][isa] = seconds;
+    AddRow({name + "/" + simd::IsaName(isa), lanes, seconds, JoinStats{},
+            note});
+  }
+}
+
+void RegisterAll() {
+  struct NamedKernel {
+    const char* name;
+    void (*fn)(const RectBatch<2>&, const Rect<2>&, double*, simd::Isa);
+  };
+  // All five rect-vs-rect kernels the join engines call; the asymmetric
+  // bound kernels run with batch_is_first=false, matching SemiDmaxBatch.
+  static constexpr NamedKernel kKernels[] = {
+      {"MinDist",
+       [](const RectBatch<2>& b, const Rect<2>& q, double* out,
+          simd::Isa isa) {
+         MinDistBatch(b, q, Metric::kEuclidean, out, 0, b.size(), isa);
+       }},
+      {"MaxDist",
+       [](const RectBatch<2>& b, const Rect<2>& q, double* out,
+          simd::Isa isa) {
+         MaxDistBatch(b, q, Metric::kEuclidean, out, 0, b.size(), isa);
+       }},
+      {"MinMaxDist",
+       [](const RectBatch<2>& b, const Rect<2>& q, double* out,
+          simd::Isa isa) {
+         MinMaxDistBatch(b, q, Metric::kEuclidean, out, 0, b.size(), isa);
+       }},
+      {"MaxMinDist",
+       [](const RectBatch<2>& b, const Rect<2>& q, double* out,
+          simd::Isa isa) {
+         MaxMinDistBatch(b, q, Metric::kEuclidean, /*batch_is_first=*/false,
+                         out, 0, b.size(), isa);
+       }},
+      {"MaxMinMaxDist",
+       [](const RectBatch<2>& b, const Rect<2>& q, double* out,
+          simd::Isa isa) {
+         MaxMinMaxDistBatch(b, q, Metric::kEuclidean,
+                            /*batch_is_first=*/false, out, 0, b.size(), isa);
+       }},
+  };
+  for (const NamedKernel& k : kKernels) {
+    for (simd::Isa isa : simd::SupportedIsas()) {
+      benchmark::RegisterBenchmark(
+          (std::string("Kernels/") + k.name + "/" + simd::IsaName(isa))
+              .c_str(),
+          [&k, isa](benchmark::State& state) {
+            RunKernel(state, k.name, isa, k.fn);
+          })
+          ->Iterations(1)
+          ->UseManualTime()
+          ->Unit(benchmark::kMillisecond);
+    }
+  }
+}
+
+void PrintSpeedups() {
+  std::printf("\nSIMD speedup vs scalar (same workload, bit-identical "
+              "output):\n");
+  for (const auto& [name, by_isa] : Timings()) {
+    const auto scalar = by_isa.find(simd::Isa::kScalar);
+    if (scalar == by_isa.end() || scalar->second <= 0.0) continue;
+    simd::Isa best = simd::Isa::kScalar;
+    double best_s = scalar->second;
+    for (const auto& [isa, seconds] : by_isa) {
+      if (seconds > 0.0 && seconds < best_s) {
+        best = isa;
+        best_s = seconds;
+      }
+    }
+    std::printf("  %-14s best %s: %.2fx over scalar\n", name.c_str(),
+                simd::IsaName(best), scalar->second / best_s);
+  }
+}
+
+}  // namespace
+}  // namespace sdj::bench
+
+int main(int argc, char** argv) {
+  benchmark::Initialize(&argc, argv);
+  sdj::bench::RegisterAll();
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  sdj::bench::PrintTable("Batched distance kernels by SIMD dispatch path");
+  sdj::bench::PrintSpeedups();
+  return 0;
+}

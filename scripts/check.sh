@@ -17,12 +17,23 @@ run_release() {
   cmake --preset release
   cmake --build --preset release
   ctest --preset release
+  echo "=== release: ctest again with SDJ_KERNEL=scalar ==="
+  # Same binaries, forced onto the scalar kernel path (DESIGN.md §15): the
+  # per-ISA lockstep tests iterate every supported tier regardless, but this
+  # pass proves the whole suite — engines, golden streams, cursors — is
+  # bit-identical when runtime dispatch is disabled, so a wide-vector bug
+  # can never hide behind "the tests only ran the fast path".
+  SDJ_KERNEL=scalar ctest --preset release
   echo "=== release: bench smoke (SDJ_BENCH_SCALE=0.05) ==="
   # Quick-scale sanity run of the main table benchmark and the durable-cursor
   # sweep: catches bench-only build or runtime breakage without the ~5 min
   # full-scale cost. Results at 5% scale are not meaningful numbers.
   (cd build && SDJ_BENCH_SCALE=0.05 bench/bench_table1 >/dev/null)
   (cd build && SDJ_BENCH_SCALE=0.05 bench/bench_checkpoint >/dev/null)
+  # Kernel microbench (DESIGN.md §15): one row per distance kernel per
+  # supported SIMD tier, gated below so a dispatch or codegen regression in
+  # rect_batch.h shows up as a pairs/sec drop.
+  (cd build && SDJ_BENCH_SCALE=0.05 bench/bench_kernels >/dev/null)
   # Serving smoke (DESIGN.md §14): four concurrent sessions under memory
   # pressure and snapshot-store fault injection — evict/rehydrate churn and
   # bounded commit retries must hold up outside the unit tests too.
@@ -41,6 +52,14 @@ run_release() {
     --time-tolerance="${SDJ_BENCH_TIME_TOLERANCE:-0.60}" \
     --io-tolerance="${SDJ_BENCH_IO_TOLERANCE:-0.10}" \
     --show-phases
+  # Kernel-throughput gate. Pure CPU work, so node_io is always 0 and only
+  # pairs/sec gates; the tolerance stays loose because microbench wall clock
+  # shares the machine with the build. compare_bench.py refuses the
+  # comparison outright (exit 2) if this host's kAuto dispatch differs from
+  # the baseline's kernel_isa stamp — regenerate the baseline on such hosts.
+  python3 scripts/compare_bench.py \
+    bench/baselines/BENCH_kernels.json build/BENCH_kernels.json \
+    --time-tolerance="${SDJ_BENCH_TIME_TOLERANCE:-0.60}"
   # Serving tail-latency gate: request p99 (serve_slice) may drift one
   # log-bucket (2x) but not more. node_io is looser than the join benches'
   # gate because the Sliced scenario's rotation points — and therefore the

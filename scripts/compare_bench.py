@@ -24,7 +24,11 @@ log-bucketed, so one bucket of drift stays within that). Rows where either
 side lacks the metrics block or has a zero baseline p99 are skipped.
 
 The two files must have been produced at the same SDJ_BENCH_SCALE; comparing
-across scales is a usage error. --show-phases prints the current run's
+across scales is a usage error. Likewise, when both files carry a
+"kernel_isa" stamp (the SIMD dispatch tier the run resolved, DESIGN.md §15)
+the stamps must match — wall-clock across different kernel paths is not a
+regression signal. Files written before the stamp existed lack the field
+and are compared without the check. --show-phases prints the current run's
 per-phase latency block (DESIGN.md §12) for every matched row.
 
 Exit codes: 0 ok, 1 regression detected, 2 usage/schema error.
@@ -110,6 +114,17 @@ def main(argv):
             f"compare_bench: scale mismatch — baseline "
             f"{baseline.get('scale')} vs current {current.get('scale')}; "
             f"rerun at the baseline's SDJ_BENCH_SCALE",
+            file=sys.stderr,
+        )
+        return 2
+    base_isa = baseline.get("kernel_isa")
+    cur_isa = current.get("kernel_isa")
+    if base_isa is not None and cur_isa is not None and base_isa != cur_isa:
+        print(
+            f"compare_bench: kernel_isa mismatch — baseline ran the "
+            f"{base_isa} dispatch path, current ran {cur_isa}; rerun with "
+            f"SDJ_KERNEL={base_isa} (or regenerate the baseline) before "
+            f"comparing wall-clock",
             file=sys.stderr,
         )
         return 2

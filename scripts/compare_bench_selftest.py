@@ -117,6 +117,20 @@ def main():
         check("malformed-json", run(tool, base, cur), 2)
         write(cur, {"scale": 0.5, "rows": make_rows()})
         check("scale-mismatch", run(tool, base, cur), 2)
+        # kernel_isa stamps (DESIGN.md §15): matching stamps compare fine,
+        # differing stamps are refused like a scale mismatch, and files
+        # predating the stamp (field absent on either side) are tolerated.
+        write(base, {"scale": 1.0, "kernel_isa": "avx2", "rows": make_rows()})
+        write(cur, {"scale": 1.0, "kernel_isa": "avx2", "rows": make_rows()})
+        check("isa-match", run(tool, base, cur), 0)
+        write(cur, {"scale": 1.0, "kernel_isa": "scalar", "rows": make_rows()})
+        check("isa-mismatch", run(tool, base, cur), 2)
+        write(cur, {"scale": 1.0, "rows": make_rows()})
+        check("isa-missing-current", run(tool, base, cur), 0)
+        write(base, {"scale": 1.0, "rows": make_rows()})
+        write(cur, {"scale": 1.0, "kernel_isa": "avx512", "rows": make_rows()})
+        check("isa-missing-baseline", run(tool, base, cur), 0)
+
         write(cur, {"scale": 1.0, "rows": make_rows()})
         check("unknown-flag", run(tool, base, cur, "--bogus"), 2)
         check("missing-file", run(tool, base, os.path.join(tmp, "nope")), 2)

@@ -150,6 +150,14 @@ struct DistanceJoinOptions {
   // observations, never engine state, so metrics on/off cannot change the
   // pair stream or JoinStats.
   obs::Metrics* metrics = nullptr;
+
+  // Which SIMD path the batched distance kernels take (DESIGN.md §15).
+  // kAuto detects the best supported ISA once per process; explicit requests
+  // degrade to the nearest supported path, never upgrade. Every path is
+  // bit-identical to scalar, so — like num_threads — the choice cannot
+  // change the pair stream, any statistic, or the snapshot fingerprint.
+  // Overridable per process with SDJ_KERNEL and per CLI run with --kernel=.
+  simd::Isa kernel_isa = simd::Isa::kAuto;
 };
 
 // Optional selection criteria on the joined relations (Section 2.2.5's first
@@ -185,8 +193,9 @@ struct JoinFilters {
 // `Index` is the spatial index type; any hierarchical structure exposing the
 // RTree<Dim> read interface works (the paper's "large class of hierarchical
 // spatial data structures"). Indexes whose node regions do not minimally
-// bound their contents (Index::kMinimalBoundingRegions == false, e.g., the
-// PointQuadtree) automatically get the containment-only d_max bounds.
+// bound their contents (minimal_bounding_regions() == false, e.g., the
+// PointQuadtree or a quantized R-tree) automatically get the
+// containment-only d_max bounds.
 //
 // Next(), status(), ResumeSuspended(), stats(), and
 // max_memory_queue_size() are inherited from the best-first core.
@@ -213,7 +222,10 @@ class DistanceJoin
         filters_(std::move(filters)),
         semi_filter_(semi_filter),
         semi_bound_(semi_bound),
-        semi_estimation_(semi_estimation) {
+        semi_estimation_(semi_estimation),
+        minimal_regions_(tree1.minimal_bounding_regions() &&
+                         tree2.minimal_bounding_regions()),
+        isa_(simd::Resolve(options.kernel_isa)) {
     SDJ_CHECK(options.min_distance >= 0.0);
     SDJ_CHECK(options.min_distance <= options.max_distance);
     if (options.estimate_max_distance) SDJ_CHECK(options.max_pairs > 0);
@@ -299,7 +311,7 @@ class DistanceJoin
     out->PutBool(semi_estimation_);
     out->PutBool(options_.exact_object_distance != nullptr);
     out->PutBool(filters_.Empty());
-    out->PutBool(Index::kMinimalBoundingRegions);
+    out->PutBool(minimal_regions_);
     out->PutU64(tree1_.size());
     out->PutU64(tree2_.size());
     // Policy cursor scalars, then the core section (seq counter, status,
@@ -354,7 +366,7 @@ class DistanceJoin
       return false;
     }
     if (in->GetBool() != filters_.Empty()) return false;
-    if (in->GetBool() != Index::kMinimalBoundingRegions) return false;
+    if (in->GetBool() != minimal_regions_) return false;
     if (in->GetU64() != tree1_.size()) return false;
     if (in->GetU64() != tree2_.size()) return false;
     if (!in->ok()) return false;
@@ -598,13 +610,15 @@ class DistanceJoin
 
   // ---- semi-join d_max bounds ----
 
-  // Selects the minimality-aware or containment-only semi-join bound.
+  // Selects the minimality-aware or containment-only semi-join bound. A
+  // runtime choice because minimality can depend on construction options,
+  // not just the index type: a quantized R-tree's outward-rounded MBRs are
+  // not minimal even though RTree::kMinimalBoundingRegions is true.
   double SemiDmax(const Item& a, const Item& b) const {
-    if constexpr (Index::kMinimalBoundingRegions) {
+    if (minimal_regions_) {
       return SemiPairMaxDist(a, b, options_.metric);
-    } else {
-      return SemiPairMaxDistLoose(a, b, options_.metric);
     }
+    return SemiPairMaxDistLoose(a, b, options_.metric);
   }
 
   double BoundOf(const Item& item) const {
@@ -825,39 +839,40 @@ class DistanceJoin
   void SemiDmaxBatch(const Item& a, const RectBatch<Dim>& batch,
                      JoinItemKind child_kind, double* out) {
     ++stats_.batch_kernel_invocations;
-    if constexpr (Index::kMinimalBoundingRegions) {
+    const size_t n = batch.size();
+    if (minimal_regions_) {
       if (a.is_node()) {
         if (child_kind == JoinItemKind::kObject) {
           MaxMinDistBatch(batch, a.rect, options_.metric,
-                          /*batch_is_first=*/false, out);
+                          /*batch_is_first=*/false, out, 0, n, isa_);
         } else {
           MaxMinMaxDistBatch(batch, a.rect, options_.metric,
-                             /*batch_is_first=*/false, out);
+                             /*batch_is_first=*/false, out, 0, n, isa_);
         }
         return;
       }
       if (a.kind == JoinItemKind::kObject &&
           child_kind == JoinItemKind::kObject) {
-        MinDistBatch(batch, a.rect, options_.metric, out);
+        MinDistBatch(batch, a.rect, options_.metric, out, 0, n, isa_);
         return;
       }
-      MinMaxDistBatch(batch, a.rect, options_.metric, out);
+      MinMaxDistBatch(batch, a.rect, options_.metric, out, 0, n, isa_);
     } else {
       if (child_kind == JoinItemKind::kNode) {
-        MaxDistBatch(batch, a.rect, options_.metric, out);
+        MaxDistBatch(batch, a.rect, options_.metric, out, 0, n, isa_);
         return;
       }
       if (a.kind == JoinItemKind::kObject &&
           child_kind == JoinItemKind::kObject) {
-        MinDistBatch(batch, a.rect, options_.metric, out);
+        MinDistBatch(batch, a.rect, options_.metric, out, 0, n, isa_);
         return;
       }
       if (child_kind == JoinItemKind::kObject && a.is_node()) {
         MaxMinDistBatch(batch, a.rect, options_.metric,
-                        /*batch_is_first=*/false, out);
+                        /*batch_is_first=*/false, out, 0, n, isa_);
         return;
       }
-      MinMaxDistBatch(batch, a.rect, options_.metric, out);
+      MinMaxDistBatch(batch, a.rect, options_.metric, out, 0, n, isa_);
     }
   }
 
@@ -910,7 +925,8 @@ class DistanceJoin
     }
     const size_t n = batch1_.size();
     mind1_.resize(n);
-    MinDistBatch(batch1_, e.item2.rect, options_.metric, mind1_.data());
+    MinDistBatch(batch1_, e.item2.rect, options_.metric, mind1_.data(), 0, n,
+                 isa_);
     ++stats_.batch_kernel_invocations;
     this->BuildChildItems(batch1_, refs1_, leaf, level, ObjectKind(), &left_);
     if (FastPathActive()) {
@@ -942,7 +958,8 @@ class DistanceJoin
     ++stats_.nodes_expanded;
     const size_t n = batch2_.size();
     mind2_.resize(n);
-    MinDistBatch(batch2_, e.item1.rect, options_.metric, mind2_.data());
+    MinDistBatch(batch2_, e.item1.rect, options_.metric, mind2_.data(), 0, n,
+                 isa_);
     ++stats_.batch_kernel_invocations;
     this->BuildChildItems(batch2_, refs2_, leaf, level, ObjectKind(), &right_);
     if (semi_bound_ == SemiJoinBound::kNone) {
@@ -1017,9 +1034,11 @@ class DistanceJoin
     }
     const double eff_max = EffectiveMax();
     mind1_.resize(batch1_.size());
-    MinDistBatch(batch1_, e.item2.rect, options_.metric, mind1_.data());
+    MinDistBatch(batch1_, e.item2.rect, options_.metric, mind1_.data(), 0,
+                 batch1_.size(), isa_);
     mind2_.resize(batch2_.size());
-    MinDistBatch(batch2_, e.item1.rect, options_.metric, mind2_.data());
+    MinDistBatch(batch2_, e.item1.rect, options_.metric, mind2_.data(), 0,
+                 batch2_.size(), isa_);
     stats_.batch_kernel_invocations += 2;
     FilterSide(batch1_, refs1_, mind1_, leaf1, level1, eff_max, &left_);
     FilterSide(batch2_, refs2_, mind2_, leaf2, level2, eff_max, &right_);
@@ -1163,6 +1182,11 @@ class DistanceJoin
   const SemiJoinFilter semi_filter_;
   const SemiJoinBound semi_bound_;
   const bool semi_estimation_;
+  // True only when BOTH trees' node regions minimally bound their contents
+  // at runtime (quantized R-tree nodes are outward-rounded, hence loose).
+  const bool minimal_regions_;
+  // SIMD path for the batched kernels, resolved once at construction.
+  const simd::Isa isa_;
 
   // Join-specific expansion scratch (shared scratch lives in the core).
   std::vector<double> semi_dmax_;

@@ -35,6 +35,9 @@ struct WithinJoinOptions {
   int num_threads = 1;  // sharded classify, output-identical to serial
   util::StopToken stop_token;    // cooperative suspension (DESIGN.md §11)
   obs::Metrics* metrics = nullptr;  // observability sink (DESIGN.md §12)
+  // SIMD path for the batched kernels (DESIGN.md §15); bit-identical to
+  // scalar on every path, so it can never change the pair stream.
+  simd::Isa kernel_isa = simd::Isa::kAuto;
 };
 
 // Usage mirrors DistanceJoin:
@@ -56,7 +59,8 @@ class IncWithinJoin
       : Base({&tree1.pool(), &tree2.pool()}, MakeConfig(options)),
         tree1_(tree1),
         tree2_(tree2),
-        options_(options) {
+        options_(options),
+        isa_(simd::Resolve(options.kernel_isa)) {
     SDJ_CHECK(options.epsilon >= 0.0);
     spec_.max_distance = options.epsilon;
     spec_.metric = options.metric;
@@ -151,7 +155,8 @@ class IncWithinJoin
     }
     ++stats_.nodes_expanded;
     mind.resize(batch.size());
-    MinDistBatch(batch, fixed.rect, options_.metric, mind.data());
+    MinDistBatch(batch, fixed.rect, options_.metric, mind.data(), 0,
+                 batch.size(), isa_);
     ++stats_.batch_kernel_invocations;
     this->BuildChildItems(batch, refs, leaf, level, JoinItemKind::kObject,
                           &items);
@@ -166,6 +171,7 @@ class IncWithinJoin
   const Index& tree1_;
   const Index& tree2_;
   const WithinJoinOptions options_;
+  const simd::Isa isa_;  // kernel path, resolved once at construction
   typename Base::ClassifySpec spec_;
 };
 

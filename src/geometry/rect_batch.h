@@ -6,15 +6,22 @@
 // auto-vectorization. A RectBatch stores the lo/hi coordinates of many
 // rectangles as Dim contiguous arrays each, so the kernels below are tight
 // countable loops (metric resolved once per batch, per-dimension work
-// unrolled at compile time) that the compiler can vectorize.
+// unrolled at compile time) — now explicitly vectorized through the lane
+// wrappers in geometry/simd.h, with the ISA chosen at run time (DESIGN.md
+// §15): scalar, SSE2, AVX2, or AVX-512, detected once and overridable via
+// DistanceJoinOptions::kernel_isa / SDJ_KERNEL / --kernel=.
 //
-// Contract: every kernel is BIT-IDENTICAL to its scalar counterpart — the
-// per-element arithmetic is the same sequence of IEEE operations, only
-// reordered across elements, never within one. The engine relies on this to
-// keep the parallel expansion's output stream equal to the serial engine's
-// (see DESIGN.md §10); tests/geometry_distance_test.cc enforces it with
-// exact (==) comparisons over random batches. When touching a kernel, change
-// the matching scalar function in lockstep or those tests will fail.
+// Contract: every kernel is BIT-IDENTICAL to its scalar counterpart ON EVERY
+// DISPATCH PATH — the per-element arithmetic is the same sequence of IEEE
+// operations, only reordered across elements, never within one. The scalar
+// path (simd::ScalarOps, the tail loops in rect_batch_kernels.inc) is the
+// oracle for every ISA variant. The engine relies on this to keep the
+// parallel expansion's output stream equal to the serial engine's (DESIGN.md
+// §10) and to keep kernel_isa out of the snapshot fingerprint;
+// tests/geometry_distance_test.cc enforces it with exact (==, bitwise for
+// NaN) comparisons over random and special-value batches, per ISA. When
+// touching a kernel, change the matching scalar function, the scalar tail,
+// and the vector body in lockstep or those tests will fail.
 #ifndef SDJOIN_GEOMETRY_RECT_BATCH_H_
 #define SDJOIN_GEOMETRY_RECT_BATCH_H_
 
@@ -28,6 +35,7 @@
 #include "geometry/metrics.h"
 #include "geometry/point.h"
 #include "geometry/rect.h"
+#include "geometry/simd.h"
 
 namespace sdj {
 
@@ -130,6 +138,58 @@ inline void Dispatch(Metric metric, Fn&& fn) {
   }
 }
 
+// One kernel set per ISA, stamped from the shared bodies. The scalar set's
+// loops are exactly the pre-SIMD kernels (its vector block compiles away).
+#define SDJ_KERNEL_STRUCT KernelsScalar
+#define SDJ_KERNEL_OPS simd::ScalarOps
+#define SDJ_KERNEL_ATTR
+#include "geometry/rect_batch_kernels.inc"
+
+#if SDJ_SIMD_X86
+#define SDJ_KERNEL_STRUCT KernelsSse2
+#define SDJ_KERNEL_OPS simd::Sse2Ops
+#define SDJ_KERNEL_ATTR
+#include "geometry/rect_batch_kernels.inc"
+#endif
+
+#if SDJ_SIMD_WIDE
+#define SDJ_KERNEL_STRUCT KernelsAvx2
+#define SDJ_KERNEL_OPS simd::Avx2Ops
+#define SDJ_KERNEL_ATTR SDJ_TARGET_AVX2
+#include "geometry/rect_batch_kernels.inc"
+
+#define SDJ_KERNEL_STRUCT KernelsAvx512
+#define SDJ_KERNEL_OPS simd::Avx512Ops
+#define SDJ_KERNEL_ATTR SDJ_TARGET_AVX512
+#include "geometry/rect_batch_kernels.inc"
+#endif
+
+// Resolves the requested ISA once per batch and invokes fn with the matching
+// kernel set as a template argument (mirroring the metric Dispatch above).
+// ISAs not compiled into this binary can never be resolved to, but the
+// switch must still not name their absent kernel structs.
+template <typename Fn>
+inline void IsaDispatch(simd::Isa isa, Fn&& fn) {
+  switch (simd::Resolve(isa)) {
+#if SDJ_SIMD_X86
+    case simd::Isa::kSse2:
+      fn(static_cast<KernelsSse2*>(nullptr));
+      return;
+#if SDJ_SIMD_WIDE
+    case simd::Isa::kAvx2:
+      fn(static_cast<KernelsAvx2*>(nullptr));
+      return;
+    case simd::Isa::kAvx512:
+      fn(static_cast<KernelsAvx512*>(nullptr));
+      return;
+#endif
+#endif
+    default:
+      fn(static_cast<KernelsScalar*>(nullptr));
+      return;
+  }
+}
+
 }  // namespace batch_internal
 
 // MINDIST(batch[i], q) for i in [begin, end). Matches MinDist(Rect, Rect):
@@ -139,19 +199,14 @@ inline void Dispatch(Metric metric, Fn&& fn) {
 template <int Dim>
 void MinDistBatch(const RectBatch<Dim>& batch, const Rect<Dim>& q,
                   Metric metric, double* out, size_t begin = 0,
-                  size_t end = static_cast<size_t>(-1)) {
+                  size_t end = static_cast<size_t>(-1),
+                  simd::Isa isa = simd::Isa::kAuto) {
   end = std::min(end, batch.size());
   batch_internal::Dispatch(metric, [&](auto m) {
     constexpr Metric M = decltype(m)::value;
-    for (size_t i = begin; i < end; ++i) {
-      double acc = 0.0;
-      for (int d = 0; d < Dim; ++d) {
-        const double delta = std::max(
-            0.0, std::max(q.lo[d] - batch.hi(d)[i], batch.lo(d)[i] - q.hi[d]));
-        acc = batch_internal::Acc<M>(acc, delta);
-      }
-      out[i] = batch_internal::Fin<M>(acc);
-    }
+    batch_internal::IsaDispatch(isa, [&]<typename K>(K*) {
+      K::template MinDistRect<Dim, M>(batch, q, out, begin, end);
+    });
   });
 }
 
@@ -160,19 +215,14 @@ void MinDistBatch(const RectBatch<Dim>& batch, const Rect<Dim>& q,
 template <int Dim>
 void MinDistBatch(const RectBatch<Dim>& batch, const Point<Dim>& p,
                   Metric metric, double* out, size_t begin = 0,
-                  size_t end = static_cast<size_t>(-1)) {
+                  size_t end = static_cast<size_t>(-1),
+                  simd::Isa isa = simd::Isa::kAuto) {
   end = std::min(end, batch.size());
   batch_internal::Dispatch(metric, [&](auto m) {
     constexpr Metric M = decltype(m)::value;
-    for (size_t i = begin; i < end; ++i) {
-      double acc = 0.0;
-      for (int d = 0; d < Dim; ++d) {
-        const double delta = std::max(
-            0.0, std::max(batch.lo(d)[i] - p[d], p[d] - batch.hi(d)[i]));
-        acc = batch_internal::Acc<M>(acc, delta);
-      }
-      out[i] = batch_internal::Fin<M>(acc);
-    }
+    batch_internal::IsaDispatch(isa, [&]<typename K>(K*) {
+      K::template MinDistPoint<Dim, M>(batch, p, out, begin, end);
+    });
   });
 }
 
@@ -180,19 +230,14 @@ void MinDistBatch(const RectBatch<Dim>& batch, const Point<Dim>& p,
 template <int Dim>
 void MaxDistBatch(const RectBatch<Dim>& batch, const Rect<Dim>& q,
                   Metric metric, double* out, size_t begin = 0,
-                  size_t end = static_cast<size_t>(-1)) {
+                  size_t end = static_cast<size_t>(-1),
+                  simd::Isa isa = simd::Isa::kAuto) {
   end = std::min(end, batch.size());
   batch_internal::Dispatch(metric, [&](auto m) {
     constexpr Metric M = decltype(m)::value;
-    for (size_t i = begin; i < end; ++i) {
-      double acc = 0.0;
-      for (int d = 0; d < Dim; ++d) {
-        const double delta = std::max(std::abs(batch.hi(d)[i] - q.lo[d]),
-                                      std::abs(q.hi[d] - batch.lo(d)[i]));
-        acc = batch_internal::Acc<M>(acc, delta);
-      }
-      out[i] = batch_internal::Fin<M>(acc);
-    }
+    batch_internal::IsaDispatch(isa, [&]<typename K>(K*) {
+      K::template MaxDistRect<Dim, M>(batch, q, out, begin, end);
+    });
   });
 }
 
@@ -201,19 +246,14 @@ void MaxDistBatch(const RectBatch<Dim>& batch, const Rect<Dim>& q,
 template <int Dim>
 void MaxDistBatch(const RectBatch<Dim>& batch, const Point<Dim>& p,
                   Metric metric, double* out, size_t begin = 0,
-                  size_t end = static_cast<size_t>(-1)) {
+                  size_t end = static_cast<size_t>(-1),
+                  simd::Isa isa = simd::Isa::kAuto) {
   end = std::min(end, batch.size());
   batch_internal::Dispatch(metric, [&](auto m) {
     constexpr Metric M = decltype(m)::value;
-    for (size_t i = begin; i < end; ++i) {
-      double acc = 0.0;
-      for (int d = 0; d < Dim; ++d) {
-        const double delta = std::max(std::abs(p[d] - batch.lo(d)[i]),
-                                      std::abs(p[d] - batch.hi(d)[i]));
-        acc = batch_internal::Acc<M>(acc, delta);
-      }
-      out[i] = batch_internal::Fin<M>(acc);
-    }
+    batch_internal::IsaDispatch(isa, [&]<typename K>(K*) {
+      K::template MaxDistPoint<Dim, M>(batch, p, out, begin, end);
+    });
   });
 }
 
@@ -223,34 +263,14 @@ void MaxDistBatch(const RectBatch<Dim>& batch, const Point<Dim>& p,
 template <int Dim>
 void MinMaxDistBatch(const RectBatch<Dim>& batch, const Rect<Dim>& q,
                      Metric metric, double* out, size_t begin = 0,
-                     size_t end = static_cast<size_t>(-1)) {
+                     size_t end = static_cast<size_t>(-1),
+                     simd::Isa isa = simd::Isa::kAuto) {
   end = std::min(end, batch.size());
   batch_internal::Dispatch(metric, [&](auto m) {
     constexpr Metric M = decltype(m)::value;
-    for (size_t i = begin; i < end; ++i) {
-      double face_gap[Dim];
-      double max_delta[Dim];
-      for (int d = 0; d < Dim; ++d) {
-        const double alo = batch.lo(d)[i];
-        const double ahi = batch.hi(d)[i];
-        face_gap[d] = std::min(
-            std::min(std::abs(alo - q.lo[d]), std::abs(alo - q.hi[d])),
-            std::min(std::abs(ahi - q.lo[d]), std::abs(ahi - q.hi[d])));
-        max_delta[d] =
-            std::max(std::abs(ahi - q.lo[d]), std::abs(q.hi[d] - alo));
-      }
-      double best = -1.0;
-      for (int k = 0; k < Dim; ++k) {
-        double acc = 0.0;
-        for (int d = 0; d < Dim; ++d) {
-          acc = batch_internal::Acc<M>(acc,
-                                       d == k ? face_gap[d] : max_delta[d]);
-        }
-        const double candidate = batch_internal::Fin<M>(acc);
-        if (best < 0.0 || candidate < best) best = candidate;
-      }
-      out[i] = best;
-    }
+    batch_internal::IsaDispatch(isa, [&]<typename K>(K*) {
+      K::template MinMaxDist<Dim, M>(batch, q, out, begin, end);
+    });
   });
 }
 
@@ -260,33 +280,18 @@ void MinMaxDistBatch(const RectBatch<Dim>& batch, const Rect<Dim>& q,
 template <int Dim>
 void MaxMinDistBatch(const RectBatch<Dim>& batch, const Rect<Dim>& q,
                      Metric metric, bool batch_is_first, double* out,
-                     size_t begin = 0, size_t end = static_cast<size_t>(-1)) {
+                     size_t begin = 0, size_t end = static_cast<size_t>(-1),
+                     simd::Isa isa = simd::Isa::kAuto) {
   end = std::min(end, batch.size());
   batch_internal::Dispatch(metric, [&](auto m) {
     constexpr Metric M = decltype(m)::value;
-    if (batch_is_first) {
-      for (size_t i = begin; i < end; ++i) {
-        double acc = 0.0;
-        for (int d = 0; d < Dim; ++d) {
-          const double delta = std::max(
-              0.0,
-              std::max(q.lo[d] - batch.lo(d)[i], batch.hi(d)[i] - q.hi[d]));
-          acc = batch_internal::Acc<M>(acc, delta);
-        }
-        out[i] = batch_internal::Fin<M>(acc);
+    batch_internal::IsaDispatch(isa, [&]<typename K>(K*) {
+      if (batch_is_first) {
+        K::template MaxMinDist<Dim, M, true>(batch, q, out, begin, end);
+      } else {
+        K::template MaxMinDist<Dim, M, false>(batch, q, out, begin, end);
       }
-    } else {
-      for (size_t i = begin; i < end; ++i) {
-        double acc = 0.0;
-        for (int d = 0; d < Dim; ++d) {
-          const double delta = std::max(
-              0.0,
-              std::max(batch.lo(d)[i] - q.lo[d], q.hi[d] - batch.hi(d)[i]));
-          acc = batch_internal::Acc<M>(acc, delta);
-        }
-        out[i] = batch_internal::Fin<M>(acc);
-      }
-    }
+    });
   });
 }
 
@@ -298,42 +303,18 @@ template <int Dim>
 void MaxMinMaxDistBatch(const RectBatch<Dim>& batch, const Rect<Dim>& q,
                         Metric metric, bool batch_is_first, double* out,
                         size_t begin = 0,
-                        size_t end = static_cast<size_t>(-1)) {
+                        size_t end = static_cast<size_t>(-1),
+                        simd::Isa isa = simd::Isa::kAuto) {
   end = std::min(end, batch.size());
   batch_internal::Dispatch(metric, [&](auto m) {
     constexpr Metric M = decltype(m)::value;
-    for (size_t i = begin; i < end; ++i) {
-      double near_max[Dim];
-      double far_max[Dim];
-      for (int d = 0; d < Dim; ++d) {
-        // a ranges over the outer rectangle; b's interval supplies the faces.
-        const double a_lo = batch_is_first ? batch.lo(d)[i] : q.lo[d];
-        const double a_hi = batch_is_first ? batch.hi(d)[i] : q.hi[d];
-        const double lo = batch_is_first ? q.lo[d] : batch.lo(d)[i];
-        const double hi = batch_is_first ? q.hi[d] : batch.hi(d)[i];
-        const double mid = 0.5 * (lo + hi);
-        double nm =
-            std::max(std::min(std::abs(a_lo - lo), std::abs(a_lo - hi)),
-                     std::min(std::abs(a_hi - lo), std::abs(a_hi - hi)));
-        if (a_lo <= mid && mid <= a_hi) {
-          nm = std::max(nm, 0.5 * (hi - lo));
-        }
-        near_max[d] = nm;
-        far_max[d] = std::max(std::max(std::abs(a_lo - lo), std::abs(a_lo - hi)),
-                              std::max(std::abs(a_hi - lo), std::abs(a_hi - hi)));
+    batch_internal::IsaDispatch(isa, [&]<typename K>(K*) {
+      if (batch_is_first) {
+        K::template MaxMinMaxDist<Dim, M, true>(batch, q, out, begin, end);
+      } else {
+        K::template MaxMinMaxDist<Dim, M, false>(batch, q, out, begin, end);
       }
-      double best = -1.0;
-      for (int k = 0; k < Dim; ++k) {
-        double acc = 0.0;
-        for (int d = 0; d < Dim; ++d) {
-          acc =
-              batch_internal::Acc<M>(acc, d == k ? near_max[d] : far_max[d]);
-        }
-        const double candidate = batch_internal::Fin<M>(acc);
-        if (best < 0.0 || candidate < best) best = candidate;
-      }
-      out[i] = best;
-    }
+    });
   });
 }
 

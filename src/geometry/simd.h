@@ -1,0 +1,379 @@
+// Portable SIMD lane wrappers and runtime CPU-feature dispatch for the
+// batched distance kernels (geometry/rect_batch.h).
+//
+// Four lane types share one interface: ScalarOps (1 lane, plain double —
+// the always-available fallback and the oracle), Sse2Ops (2 lanes, baseline
+// x86-64), Avx2Ops (4 lanes), Avx512Ops (8 lanes). The wide types are
+// compiled with per-function target attributes, so one translation unit
+// carries every path and the choice is made at run time (DetectIsa), once,
+// overridable per engine (DistanceJoinOptions::kernel_isa), per process
+// (SDJ_KERNEL=scalar|sse2|avx2|avx512), or per CLI run (--kernel=).
+//
+// BIT-EXACTNESS CONTRACT. Every op must produce, lane for lane, the exact
+// bits of the scalar expression it replaces — including NaN propagation,
+// signed zeros, infinities, and denormals — because the engine's scalar/batch
+// bit-identity contract (rect_batch.h) now extends across ISAs. The
+// non-obvious mappings, relied on throughout:
+//
+//   * std::max(a, b) is (a < b) ? b : a — it returns its FIRST argument on
+//     ties (±0.0) and whenever the comparison is false because of a NaN.
+//     x86 maxpd/vmaxpd return their SECOND source operand in exactly those
+//     cases, so Max(a, b) lowers to maxpd(b, a) — operands swapped.
+//   * std::min(a, b) is (b < a) ? b : a — same first-argument rule, so
+//     Min(a, b) lowers to minpd(b, a).
+//   * std::abs(double) clears the sign bit and nothing else (NaN payloads
+//     survive); Abs is an andnot with the sign mask, not a compare.
+//   * sqrtpd/vsqrtpd are correctly rounded, as std::sqrt is on x86-64; both
+//     quiet an input NaN without changing its payload.
+//   * Comparisons use ordered, non-signaling predicates (LT_OQ/LE_OQ):
+//     false on NaN, matching the scalar < and <=. Blend requires an
+//     all-ones/all-zeros mask and selects whole lanes, never computing.
+//
+// Scalar doubles on x86-64 already run through SSE2 under the same MXCSR
+// (rounding mode, denormal handling), so there is no x87 excess-precision
+// hazard. FMA contraction would break bit-identity (the baseline build has
+// no FMA, so the scalar oracle has none); the wide paths use explicit
+// mul/add intrinsics and their target attributes do not enable FMA.
+#ifndef SDJOIN_GEOMETRY_SIMD_H_
+#define SDJOIN_GEOMETRY_SIMD_H_
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#if defined(__x86_64__) || defined(_M_X64)
+#define SDJ_SIMD_X86 1
+#include <immintrin.h>
+#else
+#define SDJ_SIMD_X86 0
+#endif
+
+// The 256/512-bit paths need per-function target attributes so a baseline
+// build can still carry them; GCC and Clang both support the attribute on
+// (member) function templates.
+#if SDJ_SIMD_X86 && defined(__GNUC__)
+#define SDJ_SIMD_WIDE 1
+#define SDJ_TARGET_AVX2 __attribute__((target("avx2")))
+#define SDJ_TARGET_AVX512 __attribute__((target("avx512f")))
+#else
+#define SDJ_SIMD_WIDE 0
+#define SDJ_TARGET_AVX2
+#define SDJ_TARGET_AVX512
+#endif
+
+#if defined(__GNUC__)
+#define SDJ_SIMD_INLINE inline __attribute__((always_inline))
+#else
+#define SDJ_SIMD_INLINE inline
+#endif
+
+namespace sdj::simd {
+
+// Which kernel implementation to run. kAuto defers to DefaultIsa() — the
+// best ISA the CPU supports, unless the SDJ_KERNEL environment variable
+// pins something else. Explicit requests degrade to the nearest supported
+// path at or below the request (never silently upgrade).
+enum class Isa : uint8_t {
+  kAuto = 0,
+  kScalar = 1,
+  kSse2 = 2,
+  kAvx2 = 3,
+  kAvx512 = 4,
+};
+
+inline const char* IsaName(Isa isa) {
+  switch (isa) {
+    case Isa::kAuto:
+      return "auto";
+    case Isa::kScalar:
+      return "scalar";
+    case Isa::kSse2:
+      return "sse2";
+    case Isa::kAvx2:
+      return "avx2";
+    case Isa::kAvx512:
+      return "avx512";
+  }
+  return "unknown";
+}
+
+// Parses "auto", "scalar", "sse2", "avx2", "avx512". Returns false (leaving
+// *out untouched) on anything else.
+inline bool ParseIsa(const char* s, Isa* out) {
+  if (s == nullptr) return false;
+  for (Isa isa : {Isa::kAuto, Isa::kScalar, Isa::kSse2, Isa::kAvx2,
+                  Isa::kAvx512}) {
+    if (std::strcmp(s, IsaName(isa)) == 0) {
+      *out = isa;
+      return true;
+    }
+  }
+  return false;
+}
+
+// Whether this binary contains a code path for `isa` at all.
+inline bool Compiled(Isa isa) {
+  switch (isa) {
+    case Isa::kAuto:
+    case Isa::kScalar:
+      return true;
+    case Isa::kSse2:
+      return SDJ_SIMD_X86 != 0;
+    case Isa::kAvx2:
+    case Isa::kAvx512:
+      return SDJ_SIMD_WIDE != 0;
+  }
+  return false;
+}
+
+// Whether the running CPU (and OS, via xsave state) can execute `isa`.
+inline bool RuntimeSupported(Isa isa) {
+  switch (isa) {
+    case Isa::kAuto:
+    case Isa::kScalar:
+      return true;
+    case Isa::kSse2:
+      return SDJ_SIMD_X86 != 0;  // baseline x86-64
+    case Isa::kAvx2:
+#if SDJ_SIMD_X86 && defined(__GNUC__)
+      return __builtin_cpu_supports("avx2") != 0;
+#else
+      return false;
+#endif
+    case Isa::kAvx512:
+#if SDJ_SIMD_X86 && defined(__GNUC__)
+      return __builtin_cpu_supports("avx512f") != 0;
+#else
+      return false;
+#endif
+  }
+  return false;
+}
+
+inline bool Supported(Isa isa) {
+  return Compiled(isa) && RuntimeSupported(isa);
+}
+
+// Degrades an explicit request to the nearest supported ISA at or below it.
+inline Isa Clamp(Isa isa) {
+  static constexpr Isa kOrder[] = {Isa::kAvx512, Isa::kAvx2, Isa::kSse2,
+                                   Isa::kScalar};
+  bool at_or_below = false;
+  for (Isa candidate : kOrder) {
+    if (candidate == isa) at_or_below = true;
+    if (at_or_below && Supported(candidate)) return candidate;
+  }
+  return Isa::kScalar;
+}
+
+// Best ISA the hardware supports (no environment override).
+inline Isa DetectIsa() { return Clamp(Isa::kAvx512); }
+
+// Process-wide dispatch choice: DetectIsa(), unless SDJ_KERNEL names a
+// parseable ISA (then that, clamped to what is supported). Detected once.
+inline Isa DefaultIsa() {
+  static const Isa isa = [] {
+    Isa requested = Isa::kAuto;
+    if (ParseIsa(std::getenv("SDJ_KERNEL"), &requested) &&
+        requested != Isa::kAuto) {
+      return Clamp(requested);
+    }
+    return DetectIsa();
+  }();
+  return isa;
+}
+
+// Maps a per-engine request to the path that will actually run.
+inline Isa Resolve(Isa isa) {
+  if (isa == Isa::kAuto) return DefaultIsa();
+  return Clamp(isa);
+}
+
+// Every ISA this binary can run here and now, scalar first. Tests iterate
+// this to lockstep-check each compiled path against the scalar oracle.
+inline std::vector<Isa> SupportedIsas() {
+  std::vector<Isa> isas;
+  for (Isa isa : {Isa::kScalar, Isa::kSse2, Isa::kAvx2, Isa::kAvx512}) {
+    if (Supported(isa)) isas.push_back(isa);
+  }
+  return isas;
+}
+
+// ---- lane types ----
+
+// 1-lane reference implementation. The generic kernels instantiated with
+// ScalarOps are the oracle: they must compute exactly what the pre-SIMD
+// scalar loops computed.
+struct ScalarOps {
+  static constexpr int kLanes = 1;
+  using V = double;
+  using M = bool;
+  static SDJ_SIMD_INLINE V Load(const double* p) { return *p; }
+  static SDJ_SIMD_INLINE void Store(double* p, V v) { *p = v; }
+  static SDJ_SIMD_INLINE V Set(double x) { return x; }
+  static SDJ_SIMD_INLINE V Zero() { return 0.0; }
+  static SDJ_SIMD_INLINE V Add(V a, V b) { return a + b; }
+  static SDJ_SIMD_INLINE V Sub(V a, V b) { return a - b; }
+  static SDJ_SIMD_INLINE V Mul(V a, V b) { return a * b; }
+  static SDJ_SIMD_INLINE V Min(V a, V b) { return std::min(a, b); }
+  static SDJ_SIMD_INLINE V Max(V a, V b) { return std::max(a, b); }
+  static SDJ_SIMD_INLINE V Abs(V a) { return std::abs(a); }
+  static SDJ_SIMD_INLINE V Sqrt(V a) { return std::sqrt(a); }
+  static SDJ_SIMD_INLINE M CmpLt(V a, V b) { return a < b; }
+  static SDJ_SIMD_INLINE M CmpLe(V a, V b) { return a <= b; }
+  static SDJ_SIMD_INLINE M MaskAnd(M a, M b) { return a && b; }
+  static SDJ_SIMD_INLINE V Blend(M m, V a, V b) { return m ? a : b; }
+};
+
+#if SDJ_SIMD_X86
+
+// 2 x f64 over SSE2 — part of the x86-64 baseline, so no target attribute.
+struct Sse2Ops {
+  static constexpr int kLanes = 2;
+  using V = __m128d;
+  using M = __m128d;  // all-ones / all-zeros per lane
+  static SDJ_SIMD_INLINE V Load(const double* p) { return _mm_loadu_pd(p); }
+  static SDJ_SIMD_INLINE void Store(double* p, V v) { _mm_storeu_pd(p, v); }
+  static SDJ_SIMD_INLINE V Set(double x) { return _mm_set1_pd(x); }
+  static SDJ_SIMD_INLINE V Zero() { return _mm_setzero_pd(); }
+  static SDJ_SIMD_INLINE V Add(V a, V b) { return _mm_add_pd(a, b); }
+  static SDJ_SIMD_INLINE V Sub(V a, V b) { return _mm_sub_pd(a, b); }
+  static SDJ_SIMD_INLINE V Mul(V a, V b) { return _mm_mul_pd(a, b); }
+  // Operand swap: minpd/maxpd return src2 on NaN and on ties, std::min/max
+  // return their first argument there (see file header).
+  static SDJ_SIMD_INLINE V Min(V a, V b) { return _mm_min_pd(b, a); }
+  static SDJ_SIMD_INLINE V Max(V a, V b) { return _mm_max_pd(b, a); }
+  static SDJ_SIMD_INLINE V Abs(V a) {
+    return _mm_andnot_pd(_mm_set1_pd(-0.0), a);
+  }
+  static SDJ_SIMD_INLINE V Sqrt(V a) { return _mm_sqrt_pd(a); }
+  static SDJ_SIMD_INLINE M CmpLt(V a, V b) { return _mm_cmplt_pd(a, b); }
+  static SDJ_SIMD_INLINE M CmpLe(V a, V b) { return _mm_cmple_pd(a, b); }
+  static SDJ_SIMD_INLINE M MaskAnd(M a, M b) { return _mm_and_pd(a, b); }
+  // SSE2 has no blendv; and/andnot/or is exact for full-lane masks.
+  static SDJ_SIMD_INLINE V Blend(M m, V a, V b) {
+    return _mm_or_pd(_mm_and_pd(m, a), _mm_andnot_pd(m, b));
+  }
+};
+
+#if SDJ_SIMD_WIDE
+
+// 4 x f64 over AVX2 (compiled via target attribute; vmaxpd/vminpd keep the
+// SSE2 src2-on-NaN/tie semantics, so the same operand swap applies).
+struct Avx2Ops {
+  static constexpr int kLanes = 4;
+  using V = __m256d;
+  using M = __m256d;
+  static SDJ_SIMD_INLINE SDJ_TARGET_AVX2 V Load(const double* p) {
+    return _mm256_loadu_pd(p);
+  }
+  static SDJ_SIMD_INLINE SDJ_TARGET_AVX2 void Store(double* p, V v) {
+    _mm256_storeu_pd(p, v);
+  }
+  static SDJ_SIMD_INLINE SDJ_TARGET_AVX2 V Set(double x) {
+    return _mm256_set1_pd(x);
+  }
+  static SDJ_SIMD_INLINE SDJ_TARGET_AVX2 V Zero() {
+    return _mm256_setzero_pd();
+  }
+  static SDJ_SIMD_INLINE SDJ_TARGET_AVX2 V Add(V a, V b) {
+    return _mm256_add_pd(a, b);
+  }
+  static SDJ_SIMD_INLINE SDJ_TARGET_AVX2 V Sub(V a, V b) {
+    return _mm256_sub_pd(a, b);
+  }
+  static SDJ_SIMD_INLINE SDJ_TARGET_AVX2 V Mul(V a, V b) {
+    return _mm256_mul_pd(a, b);
+  }
+  static SDJ_SIMD_INLINE SDJ_TARGET_AVX2 V Min(V a, V b) {
+    return _mm256_min_pd(b, a);
+  }
+  static SDJ_SIMD_INLINE SDJ_TARGET_AVX2 V Max(V a, V b) {
+    return _mm256_max_pd(b, a);
+  }
+  static SDJ_SIMD_INLINE SDJ_TARGET_AVX2 V Abs(V a) {
+    return _mm256_andnot_pd(_mm256_set1_pd(-0.0), a);
+  }
+  static SDJ_SIMD_INLINE SDJ_TARGET_AVX2 V Sqrt(V a) {
+    return _mm256_sqrt_pd(a);
+  }
+  static SDJ_SIMD_INLINE SDJ_TARGET_AVX2 M CmpLt(V a, V b) {
+    return _mm256_cmp_pd(a, b, _CMP_LT_OQ);
+  }
+  static SDJ_SIMD_INLINE SDJ_TARGET_AVX2 M CmpLe(V a, V b) {
+    return _mm256_cmp_pd(a, b, _CMP_LE_OQ);
+  }
+  static SDJ_SIMD_INLINE SDJ_TARGET_AVX2 M MaskAnd(M a, M b) {
+    return _mm256_and_pd(a, b);
+  }
+  static SDJ_SIMD_INLINE SDJ_TARGET_AVX2 V Blend(M m, V a, V b) {
+    // blendv(b, a, m) selects a where m's lane sign bit is set.
+    return _mm256_blendv_pd(b, a, m);
+  }
+};
+
+// 8 x f64 over AVX-512F with predicate masks.
+struct Avx512Ops {
+  static constexpr int kLanes = 8;
+  using V = __m512d;
+  using M = __mmask8;
+  static SDJ_SIMD_INLINE SDJ_TARGET_AVX512 V Load(const double* p) {
+    return _mm512_loadu_pd(p);
+  }
+  static SDJ_SIMD_INLINE SDJ_TARGET_AVX512 void Store(double* p, V v) {
+    _mm512_storeu_pd(p, v);
+  }
+  static SDJ_SIMD_INLINE SDJ_TARGET_AVX512 V Set(double x) {
+    return _mm512_set1_pd(x);
+  }
+  static SDJ_SIMD_INLINE SDJ_TARGET_AVX512 V Zero() {
+    return _mm512_setzero_pd();
+  }
+  static SDJ_SIMD_INLINE SDJ_TARGET_AVX512 V Add(V a, V b) {
+    return _mm512_add_pd(a, b);
+  }
+  static SDJ_SIMD_INLINE SDJ_TARGET_AVX512 V Sub(V a, V b) {
+    return _mm512_sub_pd(a, b);
+  }
+  static SDJ_SIMD_INLINE SDJ_TARGET_AVX512 V Mul(V a, V b) {
+    return _mm512_mul_pd(a, b);
+  }
+  // The full-mask merge forms (merge source never read with mask 0xff) are
+  // identical to the plain intrinsics; GCC 12's unmasked _mm512_{min,max,
+  // sqrt}_pd expand through _mm512_undefined_pd(), which trips
+  // -Wmaybe-uninitialized under -Werror when inlined into user code.
+  static SDJ_SIMD_INLINE SDJ_TARGET_AVX512 V Min(V a, V b) {
+    return _mm512_mask_min_pd(a, 0xff, b, a);  // minpd(b, a)
+  }
+  static SDJ_SIMD_INLINE SDJ_TARGET_AVX512 V Max(V a, V b) {
+    return _mm512_mask_max_pd(a, 0xff, b, a);  // maxpd(b, a)
+  }
+  static SDJ_SIMD_INLINE SDJ_TARGET_AVX512 V Abs(V a) {
+    return _mm512_abs_pd(a);  // AVX512F; clears the sign bit only
+  }
+  static SDJ_SIMD_INLINE SDJ_TARGET_AVX512 V Sqrt(V a) {
+    return _mm512_mask_sqrt_pd(a, 0xff, a);
+  }
+  static SDJ_SIMD_INLINE SDJ_TARGET_AVX512 M CmpLt(V a, V b) {
+    return _mm512_cmp_pd_mask(a, b, _CMP_LT_OQ);
+  }
+  static SDJ_SIMD_INLINE SDJ_TARGET_AVX512 M CmpLe(V a, V b) {
+    return _mm512_cmp_pd_mask(a, b, _CMP_LE_OQ);
+  }
+  static SDJ_SIMD_INLINE SDJ_TARGET_AVX512 M MaskAnd(M a, M b) {
+    return static_cast<M>(a & b);
+  }
+  static SDJ_SIMD_INLINE SDJ_TARGET_AVX512 V Blend(M m, V a, V b) {
+    return _mm512_mask_blend_pd(m, b, a);  // selects a where mask bit set
+  }
+};
+
+#endif  // SDJ_SIMD_WIDE
+#endif  // SDJ_SIMD_X86
+
+}  // namespace sdj::simd
+
+#endif  // SDJOIN_GEOMETRY_SIMD_H_

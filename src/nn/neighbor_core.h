@@ -70,6 +70,9 @@ struct IncNeighborOptions {
   util::StopToken stop_token;
   // Observability sink (DESIGN.md §12); also settable through set_metrics.
   obs::Metrics* metrics = nullptr;
+  // SIMD path for the batched kernels (DESIGN.md §15); bit-identical to
+  // scalar on every path, so it can never change the neighbor stream.
+  simd::Isa kernel_isa = simd::Isa::kAuto;
 };
 
 // The shared engine; `Derived` is the concrete iterator class
@@ -128,7 +131,7 @@ class NeighborEngine
     out->PutBool(options_.use_hybrid_queue);
     out->PutDouble(options_.hybrid.tier_width);
     for (int d = 0; d < Dim; ++d) out->PutDouble(query_[d]);
-    out->PutBool(Index::kMinimalBoundingRegions);
+    out->PutBool(minimal_regions_);
     out->PutU64(tree_.size());
     return this->SaveCore(out);
   }
@@ -148,7 +151,7 @@ class NeighborEngine
     for (int d = 0; d < Dim; ++d) {
       if (in->GetDouble() != query_[d]) return false;
     }
-    if (in->GetBool() != Index::kMinimalBoundingRegions) return false;
+    if (in->GetBool() != minimal_regions_) return false;
     if (in->GetU64() != tree_.size()) return false;
     if (!in->ok()) return false;
     return this->RestoreCore(in);
@@ -173,7 +176,9 @@ class NeighborEngine
       : Base({&tree.pool()}, MakeConfig(options)),
         tree_(tree),
         query_(query),
-        options_(options) {
+        options_(options),
+        minimal_regions_(tree.minimal_bounding_regions()),
+        isa_(simd::Resolve(options.kernel_isa)) {
     // The hybrid queue buckets by key and CHECKs key == distance; farthest
     // keys are negated, so the tiered queue is nearest-only (mirroring the
     // join's hybrid-excludes-reverse restriction).
@@ -210,9 +215,11 @@ class NeighborEngine
     const size_t n = batch1_.size();
     mind1_.resize(n);
     if constexpr (kFarthest) {
-      MaxDistBatch(batch1_, query_, options_.metric, mind1_.data());
+      MaxDistBatch(batch1_, query_, options_.metric, mind1_.data(), 0, n,
+                   isa_);
     } else {
-      MinDistBatch(batch1_, query_, options_.metric, mind1_.data());
+      MinDistBatch(batch1_, query_, options_.metric, mind1_.data(), 0, n,
+                   isa_);
     }
     stats_.total_distance_calcs += n;
     ++stats_.batch_kernel_invocations;
@@ -270,6 +277,10 @@ class NeighborEngine
   const Index& tree_;
   const Point<Dim> query_;
   const IncNeighborOptions options_;
+  // Runtime minimality of the tree's node regions (snapshot fingerprint) and
+  // the kernel path, both resolved once at construction.
+  const bool minimal_regions_;
+  const simd::Isa isa_;
   mutable IncNearestStats nn_stats_;
 };
 

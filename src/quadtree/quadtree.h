@@ -67,6 +67,11 @@ class PointQuadtree {
   static constexpr bool kMinimalBoundingRegions = false;
   static constexpr int kDim = Dim;
 
+  // Runtime mirror of kMinimalBoundingRegions (always false here): engines
+  // consult this so indexes whose minimality depends on construction options
+  // (the quantized R-tree) share one code path with the quadtree.
+  bool minimal_bounding_regions() const { return false; }
+
   struct Entry {
     Rect<Dim> rect;  // degenerate (a point)
     ObjectId id = 0;

@@ -1,8 +1,10 @@
-// On-page layout of R-tree nodes.
+// On-page layouts of R-tree nodes.
 //
 // A node occupies exactly one page (Section 2.1: "the node capacity is
-// usually chosen so that a node fills up one disk page"):
+// usually chosen so that a node fills up one disk page"). Two encodings
+// share the same 8-byte header (DESIGN.md §15):
 //
+// Raw (NodeLayout — full doubles, the default):
 //   offset 0: uint16 level   (0 = leaf)
 //   offset 2: uint16 count   (number of live entries)
 //   offset 4: 4 bytes padding (keeps entries 8-byte aligned)
@@ -11,19 +13,51 @@
 //             uint64         (child page id for interior nodes,
 //                             object id for leaves)
 //
+// Quantized (QuantizedNodeLayout — per-node fixed-point MBRs, ~4x fewer
+// rect bytes, so ~2.5x the fan-out in 2-D):
+//   offset 0/2/4: header as above
+//   offset 8: per-node grid: Dim doubles base, then Dim doubles scale
+//   then:     count entries, each
+//             2*Dim uint16   (quantized MBR: lo codes then hi codes)
+//             uint64         (child page id / object id)
+//
+// A quantized coordinate q decodes to base[d] + q * scale[d] (exact double
+// arithmetic, so decode is deterministic). Encoding rounds OUTWARD — lo
+// codes decode <= the true lo, hi codes decode >= the true hi — so a decoded
+// entry MBR always CONTAINS the rect that was stored. That keeps MINDIST
+// lower bounds valid and preserves the Section 2.2 distance-bound
+// consistency invariant; the cost is that quantized MBRs are no longer
+// minimal bounding regions, so MINMAXDIST-based d_max bounds are off
+// (RTree::minimal_bounding_regions() == false, engines fall back to the
+// containment-only SemiPairMaxDistLoose bounds, exactly as for the
+// quadtree). The tree only ever reasons about DECODED rects — parent MBRs,
+// splits, and validation all run over what a reader will see, never the
+// pre-quantization inputs — so every downstream consumer is self-consistent.
+//
 // All access goes through memcpy-based accessors so that the raw page buffer
 // never needs to satisfy strict-aliasing requirements; compilers lower these
 // to single loads/stores.
 #ifndef SDJOIN_RTREE_NODE_LAYOUT_H_
 #define SDJOIN_RTREE_NODE_LAYOUT_H_
 
+#include <cmath>
 #include <cstdint>
 #include <cstring>
+#include <limits>
+#include <utility>
 #include <vector>
 
 #include "geometry/rect.h"
 #include "geometry/rect_batch.h"
 #include "util/check.h"
+
+namespace sdj {
+
+// How node pages encode entry MBRs. Raw stores full doubles; quantized
+// stores per-node fixed-point u16 codes (outward-rounded, see above).
+enum class NodeEncoding : uint8_t { kRaw = 0, kQuantized = 1 };
+
+}  // namespace sdj
 
 namespace sdj::rtree_internal {
 
@@ -98,6 +132,361 @@ struct NodeLayout {
     std::memcpy(page + kHeaderSize + i * kEntrySize + kRectSize, &ref,
                 sizeof(ref));
   }
+};
+
+// Fixed-point per-node MBR encoding (layout at the top of this file). The
+// level/count header is byte-compatible with NodeLayout, so the shared
+// accessors in NodeCodec work on either page kind.
+template <int Dim>
+struct QuantizedNodeLayout {
+  static constexpr uint32_t kHeaderSize = 8;
+  static constexpr uint32_t kGridSize = 2 * Dim * sizeof(double);
+  static constexpr uint32_t kCodesSize = 2 * Dim * sizeof(uint16_t);
+  static constexpr uint32_t kEntrySize = kCodesSize + sizeof(uint64_t);
+  static constexpr uint16_t kMaxCode = 65535;
+
+  static constexpr uint32_t Capacity(uint32_t page_size) {
+    return (page_size - kHeaderSize - kGridSize) / kEntrySize;
+  }
+
+  // The per-node quantization grid: decoded coord = base[d] + code * scale[d].
+  struct Grid {
+    double base[Dim];
+    double scale[Dim];
+  };
+
+  static Grid GetGrid(const char* page) {
+    Grid g;
+    std::memcpy(g.base, page + kHeaderSize, Dim * sizeof(double));
+    std::memcpy(g.scale, page + kHeaderSize + Dim * sizeof(double),
+                Dim * sizeof(double));
+    return g;
+  }
+  static void SetGrid(char* page, const Grid& g) {
+    std::memcpy(page + kHeaderSize, g.base, Dim * sizeof(double));
+    std::memcpy(page + kHeaderSize + Dim * sizeof(double), g.scale,
+                Dim * sizeof(double));
+  }
+
+  static double Decode(const Grid& g, int d, uint16_t code) {
+    return g.base[d] + code * g.scale[d];
+  }
+
+  // True iff `r` can be encoded under `g` with outward rounding, i.e. the
+  // grid's span [base, Decode(kMaxCode)] covers it in every dimension.
+  static bool Fits(const Grid& g, const sdj::Rect<Dim>& r) {
+    for (int d = 0; d < Dim; ++d) {
+      if (r.lo[d] < g.base[d]) return false;
+      if (r.hi[d] > Decode(g, d, kMaxCode)) return false;
+    }
+    return true;
+  }
+
+  // Largest code whose decode is <= x (outward for a lo coordinate).
+  // Precondition: x >= base[d] (Fits). The float estimate can be off by an
+  // ulp in either direction; the fixup loops walk to the exact boundary.
+  static uint16_t EncodeLo(const Grid& g, int d, double x) {
+    if (g.scale[d] <= 0.0) return 0;
+    double est = (x - g.base[d]) / g.scale[d];
+    if (!(est >= 0.0)) est = 0.0;
+    if (est > kMaxCode) est = kMaxCode;
+    uint32_t q = static_cast<uint32_t>(est);
+    while (q > 0 && Decode(g, d, static_cast<uint16_t>(q)) > x) --q;
+    while (q < kMaxCode && Decode(g, d, static_cast<uint16_t>(q + 1)) <= x) {
+      ++q;
+    }
+    SDJ_DCHECK(Decode(g, d, static_cast<uint16_t>(q)) <= x);
+    return static_cast<uint16_t>(q);
+  }
+
+  // Smallest code whose decode is >= x (outward for a hi coordinate).
+  // Precondition: x <= Decode(kMaxCode) (Fits).
+  static uint16_t EncodeHi(const Grid& g, int d, double x) {
+    if (g.scale[d] <= 0.0) return 0;
+    double est = (x - g.base[d]) / g.scale[d];
+    if (!(est >= 0.0)) est = 0.0;
+    if (est > kMaxCode) est = kMaxCode;
+    uint32_t q = static_cast<uint32_t>(est);
+    while (q < kMaxCode && Decode(g, d, static_cast<uint16_t>(q)) < x) ++q;
+    while (q > 0 && Decode(g, d, static_cast<uint16_t>(q - 1)) >= x) --q;
+    SDJ_DCHECK(Decode(g, d, static_cast<uint16_t>(q)) >= x);
+    return static_cast<uint16_t>(q);
+  }
+
+  // Builds the tightest grid covering [min_lo, max_hi] per dimension such
+  // that code kMaxCode decodes to >= max_hi. Coordinates must be finite
+  // (quantized trees reject inf/NaN keys at Insert via Rect::IsValid plus
+  // the check here).
+  static Grid MakeGrid(const double* min_lo, const double* max_hi) {
+    Grid g;
+    for (int d = 0; d < Dim; ++d) {
+      SDJ_CHECK(std::isfinite(min_lo[d]) && std::isfinite(max_hi[d]));
+      SDJ_CHECK(min_lo[d] <= max_hi[d]);
+      g.base[d] = min_lo[d];
+      // max_hi - min_lo can overflow to inf for extreme spans; the halved
+      // form cannot, and only needs to be an over-estimate (fixed below).
+      double scale = max_hi[d] / 2.0 / (kMaxCode / 2.0) -
+                     min_lo[d] / 2.0 / (kMaxCode / 2.0);
+      if (scale < 0.0 || !std::isfinite(scale)) scale = 0.0;
+      // Bump until the top code really covers max_hi (division may round
+      // down), then tighten back while the next-smaller scale still covers.
+      while (Decode({{g.base[d]}, {scale}}, 0, kMaxCode) < max_hi[d]) {
+        scale = std::nextafter(scale,
+                               std::numeric_limits<double>::infinity());
+      }
+      // The walk is capped: the estimate is within a few ulps of minimal
+      // whenever kMaxCode * scale is finite, but once the product overflows
+      // to inf (spans near the double range) every smaller-but-still-
+      // overflowing scale also "covers", and walking ulp-by-ulp down to the
+      // first finite product would take ~1e16 steps. An over-wide scale
+      // only costs tightness, never containment.
+      for (int step = 0; step < 4 && scale > 0.0; ++step) {
+        const double smaller = std::nextafter(scale, 0.0);
+        if (Decode({{g.base[d]}, {smaller}}, 0, kMaxCode) < max_hi[d]) break;
+        scale = smaller;
+      }
+      g.scale[d] = scale;
+    }
+    return g;
+  }
+
+  static sdj::Rect<Dim> GetRect(const char* page, uint32_t i) {
+    return GetRectWithGrid(page, GetGrid(page), i);
+  }
+
+  static sdj::Rect<Dim> GetRectWithGrid(const char* page, const Grid& g,
+                                        uint32_t i) {
+    uint16_t codes[2 * Dim];
+    std::memcpy(codes, page + kHeaderSize + kGridSize + i * kEntrySize,
+                sizeof(codes));
+    sdj::Rect<Dim> r;
+    for (int d = 0; d < Dim; ++d) {
+      r.lo[d] = Decode(g, d, codes[d]);
+      r.hi[d] = Decode(g, d, codes[Dim + d]);
+    }
+    return r;
+  }
+
+  // Encodes `r` in place under the page's current grid. Precondition:
+  // Fits(grid, r); callers re-grid the node (RewriteAll) otherwise.
+  static void SetRect(char* page, uint32_t i, const sdj::Rect<Dim>& r) {
+    const Grid g = GetGrid(page);
+    SDJ_DCHECK(Fits(g, r));
+    uint16_t codes[2 * Dim];
+    for (int d = 0; d < Dim; ++d) {
+      codes[d] = EncodeLo(g, d, r.lo[d]);
+      codes[Dim + d] = EncodeHi(g, d, r.hi[d]);
+    }
+    std::memcpy(page + kHeaderSize + kGridSize + i * kEntrySize, codes,
+                sizeof(codes));
+  }
+
+  static uint64_t GetRef(const char* page, uint32_t i) {
+    uint64_t v;
+    std::memcpy(&v, page + kHeaderSize + kGridSize + i * kEntrySize +
+                        kCodesSize,
+                sizeof(v));
+    return v;
+  }
+  static void SetRef(char* page, uint32_t i, uint64_t ref) {
+    std::memcpy(page + kHeaderSize + kGridSize + i * kEntrySize + kCodesSize,
+                &ref, sizeof(ref));
+  }
+
+  static void MoveEntry(char* page, uint32_t dst, uint32_t src) {
+    char* base = page + kHeaderSize + kGridSize;
+    std::memmove(base + dst * kEntrySize, base + src * kEntrySize,
+                 kEntrySize);
+  }
+
+  // Re-encodes the whole node over a fresh tight grid for exactly
+  // `entries`: the canonical write path (splits, reinserts, bulk load) and
+  // the widening path when an appended rect does not fit the current grid.
+  // Level and anything else in the header are left untouched.
+  static void RewriteAll(
+      char* page,
+      const std::vector<std::pair<sdj::Rect<Dim>, uint64_t>>& entries) {
+    double min_lo[Dim];
+    double max_hi[Dim];
+    for (int d = 0; d < Dim; ++d) {
+      min_lo[d] = std::numeric_limits<double>::infinity();
+      max_hi[d] = -std::numeric_limits<double>::infinity();
+    }
+    for (const auto& [r, ref] : entries) {
+      for (int d = 0; d < Dim; ++d) {
+        min_lo[d] = std::min(min_lo[d], r.lo[d]);
+        max_hi[d] = std::max(max_hi[d], r.hi[d]);
+      }
+    }
+    if (entries.empty()) {
+      for (int d = 0; d < Dim; ++d) min_lo[d] = max_hi[d] = 0.0;
+    }
+    const Grid g = MakeGrid(min_lo, max_hi);
+    SetGrid(page, g);
+    NodeLayout<Dim>::SetCount(page,
+                              static_cast<uint16_t>(entries.size()));
+    for (uint32_t i = 0; i < entries.size(); ++i) {
+      SetRect(page, i, entries[i].first);
+      SetRef(page, i, entries[i].second);
+    }
+  }
+
+  static void DecodeEntries(const char* page, RectBatch<Dim>* rects,
+                            std::vector<uint64_t>* refs) {
+    const uint32_t n = NodeLayout<Dim>::GetCount(page);
+    const Grid g = GetGrid(page);
+    rects->resize(n);
+    refs->resize(n);
+    for (uint32_t i = 0; i < n; ++i) {
+      rects->set(i, GetRectWithGrid(page, g, i));
+      (*refs)[i] = GetRef(page, i);
+    }
+  }
+};
+
+// Runtime switch between the two page encodings. One instance per tree
+// (constructed from RTreeOptions::encoding); every page access inside RTree
+// and its PinnedNode goes through this, so a tree's pages are uniformly one
+// encoding and the branch predicts perfectly.
+template <int Dim>
+class NodeCodec {
+  using Raw = NodeLayout<Dim>;
+  using Quant = QuantizedNodeLayout<Dim>;
+
+ public:
+  NodeCodec() = default;
+  explicit NodeCodec(NodeEncoding encoding) : encoding_(encoding) {}
+
+  NodeEncoding encoding() const { return encoding_; }
+  bool quantized() const { return encoding_ == NodeEncoding::kQuantized; }
+
+  uint32_t Capacity(uint32_t page_size) const {
+    return quantized() ? Quant::Capacity(page_size)
+                       : Raw::Capacity(page_size);
+  }
+
+  // Level and count live at the same offsets in both layouts.
+  uint16_t GetLevel(const char* page) const { return Raw::GetLevel(page); }
+  uint16_t GetCount(const char* page) const { return Raw::GetCount(page); }
+
+  // Fresh node: level, zero count, and (quantized) a zeroed grid.
+  void Init(char* page, uint16_t level) const {
+    Raw::SetLevel(page, level);
+    Raw::SetCount(page, 0);
+    if (quantized()) {
+      typename Quant::Grid g{};
+      Quant::SetGrid(page, g);
+    }
+  }
+
+  sdj::Rect<Dim> GetRect(const char* page, uint32_t i) const {
+    return quantized() ? Quant::GetRect(page, i) : Raw::GetRect(page, i);
+  }
+  uint64_t GetRef(const char* page, uint32_t i) const {
+    return quantized() ? Quant::GetRef(page, i) : Raw::GetRef(page, i);
+  }
+  void DecodeEntries(const char* page, RectBatch<Dim>* rects,
+                     std::vector<uint64_t>* refs) const {
+    if (quantized()) {
+      Quant::DecodeEntries(page, rects, refs);
+    } else {
+      Raw::DecodeEntries(page, rects, refs);
+    }
+  }
+
+  // Appends one entry; count must be below capacity. Under the quantized
+  // encoding, a rect outside the node's current grid forces a whole-node
+  // re-encode over a widened grid (monotone: every previously decoded rect
+  // stays contained in its re-encoded form).
+  void Append(char* page, const sdj::Rect<Dim>& rect, uint64_t ref) const {
+    const uint16_t count = Raw::GetCount(page);
+    if (!quantized()) {
+      Raw::SetRect(page, count, rect);
+      Raw::SetRef(page, count, ref);
+      Raw::SetCount(page, count + 1);
+      return;
+    }
+    if (count == 0 || !Quant::Fits(Quant::GetGrid(page), rect)) {
+      std::vector<std::pair<sdj::Rect<Dim>, uint64_t>> all =
+          CollectEntries(page);
+      all.push_back({rect, ref});
+      Quant::RewriteAll(page, all);
+      return;
+    }
+    Quant::SetRect(page, count, rect);
+    Quant::SetRef(page, count, ref);
+    Raw::SetCount(page, count + 1);
+  }
+
+  // Replaces entry i's rect (parent-MBR maintenance), re-gridding the node
+  // if the new rect doesn't fit.
+  void SetEntryRect(char* page, uint32_t i, const sdj::Rect<Dim>& rect) const {
+    if (!quantized()) {
+      Raw::SetRect(page, i, rect);
+      return;
+    }
+    if (Quant::Fits(Quant::GetGrid(page), rect)) {
+      Quant::SetRect(page, i, rect);
+      return;
+    }
+    std::vector<std::pair<sdj::Rect<Dim>, uint64_t>> all =
+        CollectEntries(page);
+    all[i].first = rect;
+    Quant::RewriteAll(page, all);
+  }
+
+  // Swap-last removal, as RTree::RemoveEntry has always done.
+  void Remove(char* page, uint32_t i) const {
+    const uint16_t count = Raw::GetCount(page);
+    SDJ_CHECK(i < count);
+    if (!quantized()) {
+      if (i + 1 < count) {
+        Raw::SetRect(page, i, Raw::GetRect(page, count - 1));
+        Raw::SetRef(page, i, Raw::GetRef(page, count - 1));
+      }
+      Raw::SetCount(page, count - 1);
+      return;
+    }
+    if (i + 1 < count) Quant::MoveEntry(page, i, count - 1);
+    Raw::SetCount(page, count - 1);
+  }
+
+  // Replaces the node's entries with entries[begin, end): the split /
+  // reinsert / bulk-load write path. Quantized nodes get a fresh tight grid
+  // over exactly those entries.
+  void WriteAll(char* page,
+                const std::vector<std::pair<sdj::Rect<Dim>, uint64_t>>&
+                    entries,
+                size_t begin, size_t end) const {
+    if (!quantized()) {
+      for (size_t i = begin; i < end; ++i) {
+        Raw::SetRect(page, static_cast<uint32_t>(i - begin),
+                     entries[i].first);
+        Raw::SetRef(page, static_cast<uint32_t>(i - begin),
+                    entries[i].second);
+      }
+      Raw::SetCount(page, static_cast<uint16_t>(end - begin));
+      return;
+    }
+    std::vector<std::pair<sdj::Rect<Dim>, uint64_t>> slice(
+        entries.begin() + static_cast<long>(begin),
+        entries.begin() + static_cast<long>(end));
+    Quant::RewriteAll(page, slice);
+  }
+
+ private:
+  std::vector<std::pair<sdj::Rect<Dim>, uint64_t>> CollectEntries(
+      const char* page) const {
+    const uint16_t count = Raw::GetCount(page);
+    std::vector<std::pair<sdj::Rect<Dim>, uint64_t>> all;
+    all.reserve(count + 1);
+    for (uint32_t i = 0; i < count; ++i) {
+      all.push_back({Quant::GetRect(page, i), Quant::GetRef(page, i)});
+    }
+    return all;
+  }
+
+  NodeEncoding encoding_ = NodeEncoding::kRaw;
 };
 
 }  // namespace sdj::rtree_internal

@@ -69,18 +69,33 @@ struct RTreeOptions {
   bool recover_truncated_tail = false;
   // Bounded-retry policy for the tree's buffer pool.
   storage::RetryPolicy retry;
+  // How node pages store entry MBRs (rtree/node_layout.h). kQuantized packs
+  // each MBR into per-node fixed-point u16 codes, roughly 2.5x the fan-out
+  // per page in 2-D; codes round outward, so decoded MBRs conservatively
+  // contain the stored rects but are no longer minimal bounding regions
+  // (minimal_bounding_regions() returns false and the join engines fall back
+  // to containment-only d_max bounds, as for the quadtree).
+  NodeEncoding encoding = NodeEncoding::kRaw;
 };
 
 // A height-balanced R-tree over Rect<Dim> keys (Section 2.1).
 template <int Dim>
 class RTree {
-  using Layout = rtree_internal::NodeLayout<Dim>;
-
  public:
   // Node MBRs minimally bound the data beneath them (every face touched),
-  // enabling the MINMAXDIST-based d_max bounds of Section 2.2.3.
+  // enabling the MINMAXDIST-based d_max bounds of Section 2.2.3. This is the
+  // compile-time upper bound; quantized trees lose minimality to outward
+  // rounding, so engines must consult minimal_bounding_regions() at runtime.
   static constexpr bool kMinimalBoundingRegions = true;
   static constexpr int kDim = Dim;
+
+  // Whether this tree's node MBRs are minimal bounding regions. False under
+  // NodeEncoding::kQuantized: outward rounding keeps MINDIST lower bounds
+  // valid but breaks the "every face touched" premise of MINMAXDIST, so the
+  // engines must use containment-only d_max bounds (SemiPairMaxDistLoose).
+  bool minimal_bounding_regions() const {
+    return options_.encoding == NodeEncoding::kRaw;
+  }
 
   // One leaf-level (object) entry.
   struct Entry {
@@ -89,14 +104,14 @@ class RTree {
   };
 
   explicit RTree(const RTreeOptions& options = RTreeOptions())
-      : options_(options) {
+      : options_(options), codec_(options.encoding) {
     std::unique_ptr<storage::PageFile> file = storage::CreatePageStore(
         {options.page_size, options.file_path, options.fault_injection},
         &injector_);
     SDJ_CHECK(file != nullptr);
     pool_ = std::make_unique<storage::BufferPool>(
         std::move(file), options.buffer_pages, options.retry);
-    max_entries_ = Layout::Capacity(options.page_size);
+    max_entries_ = codec_.Capacity(options.page_size);
     if (options.max_entries_override != 0) {
       max_entries_ = std::min(max_entries_, options.max_entries_override);
     }
@@ -151,19 +166,26 @@ class RTree {
   // accessors must not be called on an empty handle.
   class PinnedNode {
    public:
-    PinnedNode(storage::BufferPool* pool, storage::PageId page)
-        : pool_(pool), page_(page), data_(pool->Pin(page)) {}
+    PinnedNode(storage::BufferPool* pool, storage::PageId page,
+               rtree_internal::NodeCodec<Dim> codec)
+        : pool_(pool), page_(page), data_(pool->Pin(page)), codec_(codec) {}
     // Adopts an already-pinned buffer (null = failed pin, empty handle).
     PinnedNode(storage::BufferPool* pool, storage::PageId page,
-               const char* data)
-        : pool_(data == nullptr ? nullptr : pool), page_(page), data_(data) {}
+               const char* data, rtree_internal::NodeCodec<Dim> codec)
+        : pool_(data == nullptr ? nullptr : pool),
+          page_(page),
+          data_(data),
+          codec_(codec) {}
     ~PinnedNode() {
       if (pool_ != nullptr) pool_->Unpin(page_, /*dirty=*/false);
     }
     PinnedNode(const PinnedNode&) = delete;
     PinnedNode& operator=(const PinnedNode&) = delete;
     PinnedNode(PinnedNode&& other) noexcept
-        : pool_(other.pool_), page_(other.page_), data_(other.data_) {
+        : pool_(other.pool_),
+          page_(other.page_),
+          data_(other.data_),
+          codec_(other.codec_) {
       other.pool_ = nullptr;
     }
     PinnedNode& operator=(PinnedNode&&) = delete;
@@ -172,29 +194,30 @@ class RTree {
     bool ok() const { return data_ != nullptr; }
 
     storage::PageId page() const { return page_; }
-    int level() const { return Layout::GetLevel(data_); }
+    int level() const { return codec_.GetLevel(data_); }
     bool is_leaf() const { return level() == 0; }
-    uint32_t count() const { return Layout::GetCount(data_); }
-    Rect<Dim> rect(uint32_t i) const { return Layout::GetRect(data_, i); }
+    uint32_t count() const { return codec_.GetCount(data_); }
+    Rect<Dim> rect(uint32_t i) const { return codec_.GetRect(data_, i); }
     // Child page id (interior nodes) or object id (leaves).
-    uint64_t ref(uint32_t i) const { return Layout::GetRef(data_, i); }
+    uint64_t ref(uint32_t i) const { return codec_.GetRef(data_, i); }
     // Decodes all entries straight off the page into structure-of-arrays
     // form for the batched distance kernels (one pass, replaces contents).
     void DecodeInto(RectBatch<Dim>* rects, std::vector<uint64_t>* refs)
         const {
-      Layout::DecodeEntries(data_, rects, refs);
+      codec_.DecodeEntries(data_, rects, refs);
     }
 
    private:
     storage::BufferPool* pool_;
     storage::PageId page_;
     const char* data_;
+    rtree_internal::NodeCodec<Dim> codec_;
   };
 
   // Pins node `page` for reading. Valid page ids come from root() or ref().
   // Aborts on I/O failure; algorithms with a recovery path use TryPin.
   PinnedNode Pin(storage::PageId page) const {
-    return PinnedNode(pool_.get(), page);
+    return PinnedNode(pool_.get(), page, codec_);
   }
 
   // Pins node `page`, reporting I/O failure (after the pool's bounded
@@ -203,7 +226,7 @@ class RTree {
   PinnedNode TryPin(storage::PageId page,
                     storage::IoStatus* status = nullptr) const {
     const char* data = pool_->TryPin(page, status);
-    return PinnedNode(pool_.get(), page, data);
+    return PinnedNode(pool_.get(), page, data, codec_);
   }
 
   bool empty() const { return root_ == storage::kInvalidPageId; }
@@ -353,7 +376,9 @@ class RTree {
   static constexpr storage::PageId kMetaPage = 0;
   static constexpr uint32_t kMetaMagic = 0x534A5254;  // "SJRT"
   // v2 appends max_object_id (dense-id precondition survives reopen).
-  static constexpr uint32_t kMetaVersion = 2;
+  // v3 appends the node encoding; Open() refuses a file whose encoding does
+  // not match options.encoding (pages would be misread otherwise).
+  static constexpr uint32_t kMetaVersion = 3;
 
   struct PathStep {
     storage::PageId page;
@@ -364,8 +389,8 @@ class RTree {
   // meta page.
   RTree(const RTreeOptions& options,
         std::unique_ptr<storage::BufferPool> pool)
-      : options_(options), pool_(std::move(pool)) {
-    max_entries_ = Layout::Capacity(options.page_size);
+      : options_(options), codec_(options.encoding), pool_(std::move(pool)) {
+    max_entries_ = codec_.Capacity(options.page_size);
     if (options.max_entries_override != 0) {
       max_entries_ = std::min(max_entries_, options.max_entries_override);
     }
@@ -390,6 +415,7 @@ class RTree {
     put32(options_.page_size);
     put32(max_entries_);
     put32(min_entries_);
+    put32(static_cast<uint32_t>(options_.encoding));
     put32(root_);
     put32(static_cast<uint32_t>(root_level_));
     put64(size_);
@@ -422,7 +448,8 @@ class RTree {
     bool ok = get32() == kMetaMagic && get32() == kMetaVersion &&
               get32() == static_cast<uint32_t>(Dim) &&
               get32() == options_.page_size && get32() == max_entries_ &&
-              get32() == min_entries_;
+              get32() == min_entries_ &&
+              get32() == static_cast<uint32_t>(options_.encoding);
     if (ok) {
       root_ = get32();
       root_level_ = static_cast<int>(get32());
@@ -442,8 +469,7 @@ class RTree {
   storage::PageId AllocateNode(int level) {
     storage::PageId id;
     char* data = pool_->NewPage(&id);
-    Layout::SetLevel(data, static_cast<uint16_t>(level));
-    Layout::SetCount(data, 0);
+    codec_.Init(data, static_cast<uint16_t>(level));
     pool_->Unpin(id, /*dirty=*/true);
     ++num_nodes_;
     if (level == 0) ++num_leaves_;
@@ -476,23 +502,14 @@ class RTree {
 
   void AppendEntry(storage::PageId page, const Rect<Dim>& rect, uint64_t ref) {
     char* data = pool_->Pin(page);
-    const uint16_t count = Layout::GetCount(data);
-    SDJ_CHECK(count < max_entries_);
-    Layout::SetRect(data, count, rect);
-    Layout::SetRef(data, count, ref);
-    Layout::SetCount(data, count + 1);
+    SDJ_CHECK(codec_.GetCount(data) < max_entries_);
+    codec_.Append(data, rect, ref);
     pool_->Unpin(page, /*dirty=*/true);
   }
 
   void RemoveEntry(storage::PageId page, uint32_t index) {
     char* data = pool_->Pin(page);
-    const uint16_t count = Layout::GetCount(data);
-    SDJ_CHECK(index < count);
-    if (index + 1 < count) {  // move last entry into the hole
-      Layout::SetRect(data, index, Layout::GetRect(data, count - 1));
-      Layout::SetRef(data, index, Layout::GetRef(data, count - 1));
-    }
-    Layout::SetCount(data, count - 1);
+    codec_.Remove(data, index);
     pool_->Unpin(page, /*dirty=*/true);
   }
 
@@ -501,13 +518,7 @@ class RTree {
                     size_t begin, size_t end) {
     char* data = pool_->Pin(page);
     SDJ_CHECK(end - begin <= max_entries_);
-    for (size_t i = begin; i < end; ++i) {
-      Layout::SetRect(data, static_cast<uint32_t>(i - begin),
-                      entries[i].first);
-      Layout::SetRef(data, static_cast<uint32_t>(i - begin),
-                     entries[i].second);
-    }
-    Layout::SetCount(data, static_cast<uint16_t>(end - begin));
+    codec_.WriteAll(data, entries, begin, end);
     pool_->Unpin(page, /*dirty=*/true);
   }
 
@@ -544,22 +555,23 @@ class RTree {
     uint64_t pending_ref = ref;
     for (;;) {
       char* data = pool_->Pin(node);
-      const uint16_t count = Layout::GetCount(data);
-      const int node_level = Layout::GetLevel(data);
+      const uint16_t count = codec_.GetCount(data);
+      const int node_level = codec_.GetLevel(data);
       if (count < max_entries_) {
-        Layout::SetRect(data, count, pending_rect);
-        Layout::SetRef(data, count, pending_ref);
-        Layout::SetCount(data, count + 1);
+        codec_.Append(data, pending_rect, pending_ref);
         pool_->Unpin(node, /*dirty=*/true);
         PropagateMbrUp(path, node);
         return;
       }
 
-      // Overflow: collect the M+1 entries in memory.
+      // Overflow: collect the M+1 entries in memory. Under the quantized
+      // encoding these are the DECODED rects — the tree only ever reasons
+      // about what a reader will see, so splits and parent MBRs stay
+      // consistent with the stored (outward-rounded) entries.
       std::vector<std::pair<Rect<Dim>, uint64_t>> all;
       all.reserve(count + 1);
       for (uint32_t i = 0; i < count; ++i) {
-        all.push_back({Layout::GetRect(data, i), Layout::GetRef(data, i)});
+        all.push_back({codec_.GetRect(data, i), codec_.GetRef(data, i)});
       }
       pool_->Unpin(node, /*dirty=*/false);
       all.push_back({pending_rect, pending_ref});
@@ -610,6 +622,14 @@ class RTree {
       for (size_t i = split_point; i < all.size(); ++i) {
         mbr_right.ExpandToInclude(all[i].first);
       }
+      if (codec_.quantized()) {
+        // WriteEntries re-gridded both pages, so the stored entries may be
+        // wider than `all`; parent MBRs must cover the decoded entries.
+        // (Raw trees skip this: the extra pins would change buffer-pool
+        // residency and thus the node-I/O accounting the goldens pin.)
+        mbr_left = ComputeNodeMbr(node);
+        mbr_right = ComputeNodeMbr(right);
+      }
 
       if (is_root) {
         SDJ_CHECK(path.empty());
@@ -627,7 +647,7 @@ class RTree {
       path.pop_back();
       {
         char* parent = pool_->Pin(step.page);
-        Layout::SetRect(parent, step.child_index, mbr_left);
+        codec_.SetEntryRect(parent, step.child_index, mbr_left);
         pool_->Unpin(step.page, /*dirty=*/true);
       }
       pending_rect = mbr_right;
@@ -647,7 +667,7 @@ class RTree {
           (i + 1 < path.size()) ? path[i + 1].page : bottom;
       const Rect<Dim> mbr = ComputeNodeMbr(child);
       char* parent = pool_->Pin(path[i].page);
-      Layout::SetRect(parent, path[i].child_index, mbr);
+      codec_.SetEntryRect(parent, path[i].child_index, mbr);
       pool_->Unpin(path[i].page, /*dirty=*/true);
     }
   }
@@ -885,7 +905,12 @@ class RTree {
     PinnedNode node = Pin(page);
     if (level == 0) {
       for (uint32_t i = 0; i < node.count(); ++i) {
-        if (node.ref(i) == id && node.rect(i) == rect) {
+        // Quantized leaves store the outward-rounded rect, so an exact match
+        // against the caller's original rect is impossible; id plus
+        // containment identifies the entry instead.
+        if (node.ref(i) == id &&
+            (codec_.quantized() ? node.rect(i).Contains(rect)
+                                : node.rect(i) == rect)) {
           *leaf = page;
           *leaf_index = i;
           return true;
@@ -938,7 +963,7 @@ class RTree {
           (void)discard;
         }
         char* parent = pool_->Pin(step.page);
-        Layout::SetRect(parent, step.child_index, mbr);
+        codec_.SetEntryRect(parent, step.child_index, mbr);
         pool_->Unpin(step.page, /*dirty=*/true);
       }
       node = step.page;
@@ -1016,8 +1041,14 @@ class RTree {
       const storage::PageId page = AllocateNode(level);
       WriteEntries(page, *items, begin, end);
       Rect<Dim> mbr = Rect<Dim>::Empty();
-      for (size_t i = begin; i < end; ++i) {
-        mbr.ExpandToInclude((*items)[i].first);
+      if (codec_.quantized()) {
+        // Parent MBRs must cover the quantized (outward-rounded) entries a
+        // reader will decode, not the pre-quantization inputs.
+        mbr = ComputeNodeMbr(page);
+      } else {
+        for (size_t i = begin; i < end; ++i) {
+          mbr.ExpandToInclude((*items)[i].first);
+        }
       }
       parents->push_back({mbr, page});
     }
@@ -1133,9 +1164,15 @@ class RTree {
       return Fail(error, "interior root with < 2 entries");
     }
     const Rect<Dim> mbr = MbrOfNode(node);
-    if (parent_rect != nullptr && !(mbr == *parent_rect)) {
-      return Fail(error,
-                  "parent MBR not tight at page " + std::to_string(page));
+    if (parent_rect != nullptr) {
+      // A quantized parent entry is itself outward-rounded, so it can only
+      // be required to CONTAIN the child's decoded MBR; raw trees keep the
+      // exact-tightness invariant.
+      if (codec_.quantized() ? !parent_rect->Contains(mbr)
+                             : !(mbr == *parent_rect)) {
+        return Fail(error,
+                    "parent MBR not tight at page " + std::to_string(page));
+      }
     }
     if (node.is_leaf()) {
       *objects += count;
@@ -1153,6 +1190,7 @@ class RTree {
   }
 
   RTreeOptions options_;
+  rtree_internal::NodeCodec<Dim> codec_;
   mutable std::unique_ptr<storage::BufferPool> pool_;
   storage::FaultInjectingPageFile* injector_ = nullptr;
   uint32_t max_entries_ = 0;

@@ -5,6 +5,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
 #include <vector>
 
@@ -14,6 +15,7 @@
 #include "geometry/point.h"
 #include "geometry/rect.h"
 #include "geometry/rect_batch.h"
+#include "geometry/simd.h"
 #include "util/rng.h"
 
 namespace sdj {
@@ -352,10 +354,12 @@ TEST(Distance, HigherDimensions) {
 
 // ---- batched kernels (geometry/rect_batch.h) ----
 //
-// The contract is bit-identity with the scalar functions: every comparison
-// below is exact (EXPECT_EQ, not EXPECT_DOUBLE_EQ). The parallel expansion's
-// determinism guarantee (DESIGN.md §10) rests on this, so a ULP of drift
-// here is a real bug, not test flakiness.
+// The contract is bit-identity with the scalar functions — on EVERY
+// dispatchable ISA path (DESIGN.md §15), so each check below runs once per
+// entry of simd::SupportedIsas(). Every comparison is exact (EXPECT_EQ, not
+// EXPECT_DOUBLE_EQ). The parallel expansion's determinism guarantee
+// (DESIGN.md §10) rests on this, so a ULP of drift here is a real bug, not
+// test flakiness.
 
 template <int Dim>
 Rect<Dim> RandomRectN(Rng& rng, double span, bool degenerate) {
@@ -370,7 +374,9 @@ Rect<Dim> RandomRectN(Rng& rng, double span, bool degenerate) {
 }
 
 template <int Dim>
-void CheckBatchKernelsMatchScalar(Metric metric, uint64_t seed) {
+void CheckBatchKernelsMatchScalar(Metric metric, uint64_t seed,
+                                  simd::Isa isa) {
+  SCOPED_TRACE(simd::IsaName(isa));
   Rng rng(seed);
   RectBatch<Dim> batch;
   std::vector<Rect<Dim>> rects;
@@ -386,7 +392,7 @@ void CheckBatchKernelsMatchScalar(Metric metric, uint64_t seed) {
   const size_t n = rects.size();
   std::vector<double> out(n);
 
-  MinDistBatch(batch, q, metric, out.data());
+  MinDistBatch(batch, q, metric, out.data(), 0, n, isa);
   for (size_t i = 0; i < n; ++i) {
     ASSERT_EQ(out[i], MinDist(rects[i], q, metric)) << i;
     // MINDIST is symmetric bit-for-bit (at most one interval gap per
@@ -394,61 +400,207 @@ void CheckBatchKernelsMatchScalar(Metric metric, uint64_t seed) {
     // side of a pair.
     ASSERT_EQ(out[i], MinDist(q, rects[i], metric)) << i;
   }
-  MinDistBatch(batch, p, metric, out.data());
+  MinDistBatch(batch, p, metric, out.data(), 0, n, isa);
   for (size_t i = 0; i < n; ++i) {
     ASSERT_EQ(out[i], MinDist(p, rects[i], metric)) << i;
   }
-  MaxDistBatch(batch, q, metric, out.data());
+  MaxDistBatch(batch, q, metric, out.data(), 0, n, isa);
   for (size_t i = 0; i < n; ++i) {
     ASSERT_EQ(out[i], MaxDist(rects[i], q, metric)) << i;
     ASSERT_EQ(out[i], MaxDist(q, rects[i], metric)) << i;
   }
-  MaxDistBatch(batch, p, metric, out.data());
+  MaxDistBatch(batch, p, metric, out.data(), 0, n, isa);
   for (size_t i = 0; i < n; ++i) {
     ASSERT_EQ(out[i], MaxDist(p, rects[i], metric)) << i;
   }
-  MinMaxDistBatch(batch, q, metric, out.data());
+  MinMaxDistBatch(batch, q, metric, out.data(), 0, n, isa);
   for (size_t i = 0; i < n; ++i) {
     ASSERT_EQ(out[i], MinMaxDist(rects[i], q, metric)) << i;
   }
-  MaxMinDistBatch(batch, q, metric, /*batch_is_first=*/true, out.data());
+  MaxMinDistBatch(batch, q, metric, /*batch_is_first=*/true, out.data(), 0, n,
+                  isa);
   for (size_t i = 0; i < n; ++i) {
     ASSERT_EQ(out[i], MaxMinDist(rects[i], q, metric)) << i;
   }
-  MaxMinDistBatch(batch, q, metric, /*batch_is_first=*/false, out.data());
+  MaxMinDistBatch(batch, q, metric, /*batch_is_first=*/false, out.data(), 0,
+                  n, isa);
   for (size_t i = 0; i < n; ++i) {
     ASSERT_EQ(out[i], MaxMinDist(q, rects[i], metric)) << i;
   }
-  MaxMinMaxDistBatch(batch, q, metric, /*batch_is_first=*/true, out.data());
+  MaxMinMaxDistBatch(batch, q, metric, /*batch_is_first=*/true, out.data(), 0,
+                     n, isa);
   for (size_t i = 0; i < n; ++i) {
     ASSERT_EQ(out[i], MaxMinMaxDist(rects[i], q, metric)) << i;
   }
-  MaxMinMaxDistBatch(batch, q, metric, /*batch_is_first=*/false, out.data());
+  MaxMinMaxDistBatch(batch, q, metric, /*batch_is_first=*/false, out.data(),
+                     0, n, isa);
   for (size_t i = 0; i < n; ++i) {
     ASSERT_EQ(out[i], MaxMinMaxDist(q, rects[i], metric)) << i;
   }
 
   // Sub-range invocation (the sharded classify path) writes only [begin,
-  // end) and produces the same values as the full-batch call.
+  // end) and produces the same values as the full-batch call, even when the
+  // shard boundary falls mid-vector.
   std::vector<double> full(n);
-  MinDistBatch(batch, q, metric, full.data());
+  MinDistBatch(batch, q, metric, full.data(), 0, n, isa);
   std::vector<double> sharded(n, -1.0);
   const size_t mid = n / 3;
-  MinDistBatch(batch, q, metric, sharded.data(), 0, mid);
-  MinDistBatch(batch, q, metric, sharded.data(), mid, n);
+  MinDistBatch(batch, q, metric, sharded.data(), 0, mid, isa);
+  MinDistBatch(batch, q, metric, sharded.data(), mid, n, isa);
   for (size_t i = 0; i < n; ++i) ASSERT_EQ(sharded[i], full[i]) << i;
 }
 
 TEST_P(MetricSweep, BatchKernelsBitIdenticalToScalar2D) {
-  CheckBatchKernelsMatchScalar<2>(GetParam(), 2024);
+  for (simd::Isa isa : simd::SupportedIsas()) {
+    CheckBatchKernelsMatchScalar<2>(GetParam(), 2024, isa);
+  }
 }
 
 TEST_P(MetricSweep, BatchKernelsBitIdenticalToScalar3D) {
-  CheckBatchKernelsMatchScalar<3>(GetParam(), 2025);
+  for (simd::Isa isa : simd::SupportedIsas()) {
+    CheckBatchKernelsMatchScalar<3>(GetParam(), 2025, isa);
+  }
 }
 
 TEST_P(MetricSweep, BatchKernelsBitIdenticalToScalar4D) {
-  CheckBatchKernelsMatchScalar<4>(GetParam(), 2026);
+  for (simd::Isa isa : simd::SupportedIsas()) {
+    CheckBatchKernelsMatchScalar<4>(GetParam(), 2026, isa);
+  }
+}
+
+// Non-finite and boundary values must also match bit-for-bit on every ISA:
+// infinities, denormals, signed zeros, and extreme magnitudes all take the
+// same min/max/blend decisions in the vector lanes as in the scalar oracle.
+// Outputs are compared by bit pattern (EXPECT_EQ would reject NaN == NaN).
+//
+// Two contracts, matching rect_batch.h's documentation:
+//  * on VALID rects (lo <= hi) built from special values, every dispatch
+//    path — including the batch-scalar one — equals the scalar oracle;
+//  * on arbitrary bits (unordered intervals, NaN coordinates — inputs no
+//    engine produces, but which must not become an ISA-dependent wildcard)
+//    every vector path equals the batch-scalar path: the branchless form
+//    may diverge from the scalar if/else chain off-domain, but it must
+//    diverge IDENTICALLY on every tier, per the operand-order min/max/NaN
+//    semantics pinned in geometry/simd.h.
+TEST_P(MetricSweep, BatchKernelsBitIdenticalOnSpecialValues) {
+  const Metric metric = GetParam();
+  constexpr double kInf = std::numeric_limits<double>::infinity();
+  constexpr double kNan = std::numeric_limits<double>::quiet_NaN();
+  constexpr double kDen = std::numeric_limits<double>::denorm_min();
+  constexpr double kMin = std::numeric_limits<double>::min();
+  constexpr double kMax = std::numeric_limits<double>::max();
+  const double specials[] = {0.0,  -0.0, 1.0,   -1.0, kDen, -kDen, kMin,
+                             kMax, kInf, -kInf, kNan, 1e-300, 1e300};
+  const auto same_bits = [](double a, double b) {
+    return std::memcmp(&a, &b, sizeof(double)) == 0;
+  };
+
+  // Valid rects: every ordered pair of non-NaN specials, both dimensions.
+  RectBatch<2> valid;
+  std::vector<Rect<2>> valid_rects;
+  for (double a : specials) {
+    for (double b : specials) {
+      if (std::isnan(a) || std::isnan(b)) continue;
+      Rect<2> r;
+      r.lo[0] = std::min(a, b);
+      r.hi[0] = std::max(a, b);
+      r.lo[1] = std::min(-a, -b);
+      r.hi[1] = std::max(-a, -b);
+      valid_rects.push_back(r);
+      valid.push_back(r);
+    }
+  }
+  const size_t n = valid_rects.size();
+  const Rect<2> q({-0.5, kDen}, {0.5, kMax});
+  std::vector<double> out(n);
+  for (simd::Isa isa : simd::SupportedIsas()) {
+    SCOPED_TRACE(simd::IsaName(isa));
+    MinDistBatch(valid, q, metric, out.data(), 0, n, isa);
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_TRUE(same_bits(out[i], MinDist(valid_rects[i], q, metric))) << i;
+    }
+    MaxDistBatch(valid, q, metric, out.data(), 0, n, isa);
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_TRUE(same_bits(out[i], MaxDist(valid_rects[i], q, metric))) << i;
+    }
+    MinMaxDistBatch(valid, q, metric, out.data(), 0, n, isa);
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_TRUE(same_bits(out[i], MinMaxDist(valid_rects[i], q, metric)))
+          << i;
+    }
+    MaxMinDistBatch(valid, q, metric, /*batch_is_first=*/true, out.data(), 0,
+                    n, isa);
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_TRUE(same_bits(out[i], MaxMinDist(valid_rects[i], q, metric)))
+          << i;
+    }
+    MaxMinMaxDistBatch(valid, q, metric, /*batch_is_first=*/false, out.data(),
+                       0, n, isa);
+    for (size_t i = 0; i < n; ++i) {
+      ASSERT_TRUE(same_bits(out[i], MaxMinMaxDist(q, valid_rects[i], metric)))
+          << i;
+    }
+  }
+
+  // Hostile bits: unordered intervals and NaN coordinates. Reference is the
+  // batch kernel forced onto the scalar path; every other tier must agree
+  // exactly.
+  RectBatch<2> hostile;
+  for (double a : specials) {
+    for (double b : specials) {
+      Rect<2> r;
+      r.lo[0] = a;
+      r.hi[0] = b;
+      r.lo[1] = -b;
+      r.hi[1] = a;
+      hostile.push_back(r);
+    }
+  }
+  const size_t m = hostile.size();
+  std::vector<double> ref(m), got(m);
+  const auto check_against_scalar_path = [&](auto run) {
+    run(ref.data(), simd::Isa::kScalar);
+    for (simd::Isa isa : simd::SupportedIsas()) {
+      if (isa == simd::Isa::kScalar) continue;
+      SCOPED_TRACE(simd::IsaName(isa));
+      run(got.data(), isa);
+      for (size_t i = 0; i < m; ++i) {
+        ASSERT_TRUE(same_bits(got[i], ref[i])) << i;
+      }
+    }
+  };
+  check_against_scalar_path([&](double* o, simd::Isa isa) {
+    MinDistBatch(hostile, q, metric, o, 0, m, isa);
+  });
+  check_against_scalar_path([&](double* o, simd::Isa isa) {
+    MaxDistBatch(hostile, q, metric, o, 0, m, isa);
+  });
+  check_against_scalar_path([&](double* o, simd::Isa isa) {
+    MinMaxDistBatch(hostile, q, metric, o, 0, m, isa);
+  });
+  check_against_scalar_path([&](double* o, simd::Isa isa) {
+    MaxMinDistBatch(hostile, q, metric, /*batch_is_first=*/true, o, 0, m,
+                    isa);
+  });
+  check_against_scalar_path([&](double* o, simd::Isa isa) {
+    MaxMinMaxDistBatch(hostile, q, metric, /*batch_is_first=*/false, o, 0, m,
+                       isa);
+  });
+}
+
+// Dispatch policy: explicit requests degrade to the nearest supported path
+// and never upgrade; kAuto resolves to a concrete supported ISA.
+TEST(SimdDispatch, ResolveClampsAndNeverUpgrades) {
+  const simd::Isa resolved = simd::Resolve(simd::Isa::kAuto);
+  EXPECT_NE(resolved, simd::Isa::kAuto);
+  EXPECT_TRUE(simd::Supported(resolved));
+  EXPECT_EQ(simd::Resolve(simd::Isa::kScalar), simd::Isa::kScalar);
+  for (simd::Isa isa : {simd::Isa::kScalar, simd::Isa::kSse2,
+                        simd::Isa::kAvx2, simd::Isa::kAvx512}) {
+    const simd::Isa got = simd::Resolve(isa);
+    EXPECT_TRUE(simd::Supported(got)) << simd::IsaName(isa);
+    EXPECT_LE(static_cast<int>(got), static_cast<int>(isa));
+  }
 }
 
 TEST(RectBatchTest, RoundTripAndResize) {

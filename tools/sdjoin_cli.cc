@@ -5,6 +5,10 @@
 //                       [--min-distance=D] [--metric=euclidean|manhattan|
 //                       chessboard] [--policy=even|basic|simultaneous]
 //                       [--reverse] [--estimate] [--threads=N] [--print=10]
+//                       [--kernel=auto|scalar|sse2|avx2|avx512: SIMD path
+//                       for the distance kernels (DESIGN.md §15); every
+//                       path is bit-identical, unsupported requests
+//                       degrade — also on semijoin]
 //                       [--within=EPS: incremental within-distance join —
 //                       every pair with distance <= EPS, ascending; replaces
 //                       the DistanceJoin shaping flags above]
@@ -92,6 +96,7 @@
 #include "core/within_join.h"
 #include "data/dataset_io.h"
 #include "data/generators.h"
+#include "geometry/simd.h"
 #include "nn/inc_nearest.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
@@ -374,6 +379,19 @@ int DriveJoin(Engine* engine, const Flags& flags,
   return ReportStatus(cursor.status(), cursor_options.snapshot_path);
 }
 
+// --kernel=auto|scalar|sse2|avx2|avx512 selects the SIMD distance-kernel
+// path (DESIGN.md §15). Unsupported requests degrade to the nearest
+// supported path; every path is bit-identical, so output never changes.
+bool ParseKernel(const Flags& flags, sdj::simd::Isa* isa) {
+  const std::string name = flags.Get("kernel", "auto");
+  if (!sdj::simd::ParseIsa(name.c_str(), isa)) {
+    std::fprintf(stderr, "unknown kernel: %s (auto|scalar|sse2|avx2|avx512)\n",
+                 name.c_str());
+    return false;
+  }
+  return true;
+}
+
 bool ParseMetric(const std::string& name, Metric* metric) {
   if (name == "euclidean") {
     *metric = Metric::kEuclidean;
@@ -485,6 +503,7 @@ int CmdJoin(const Flags& flags) {
     if (!ParseMetric(flags.Get("metric", "euclidean"), &options.metric)) {
       return 1;
     }
+    if (!ParseKernel(flags, &options.kernel_isa)) return 1;
     const long threads = flags.GetLong("threads", 1);
     if (threads < 1) {
       std::fprintf(stderr, "--threads must be >= 1\n");
@@ -512,6 +531,7 @@ int CmdJoin(const Flags& flags) {
   if (!ParseMetric(flags.Get("metric", "euclidean"), &options.metric)) {
     return 1;
   }
+  if (!ParseKernel(flags, &options.kernel_isa)) return 1;
   const std::string policy = flags.Get("policy", "even");
   if (policy == "even") {
     options.node_policy = sdj::NodeProcessingPolicy::kEven;
@@ -574,6 +594,7 @@ int CmdSemiJoin(const Flags& flags) {
   if (!ParseMetric(flags.Get("metric", "euclidean"), &options.join.metric)) {
     return 1;
   }
+  if (!ParseKernel(flags, &options.join.kernel_isa)) return 1;
   options.join.max_pairs = static_cast<uint64_t>(flags.GetLong("k", 0));
   const std::string bound = flags.Get("bound", "globalall");
   if (bound == "none") {
@@ -871,6 +892,9 @@ int PrintUsage() {
                "  (covers the snapshot store; torn snapshots fall back)\n"
                "observability (join/semijoin): --metrics prints a per-phase\n"
                "  latency table; --trace=<file> writes Chrome-trace JSON\n"
+               "kernels (join/semijoin): --kernel=auto|scalar|sse2|avx2|\n"
+               "  avx512 picks the SIMD distance-kernel path (bit-identical\n"
+               "  output on every path; unsupported requests degrade)\n"
                "exit codes: 0 exhausted, 1 bad input, 2 usage error,\n"
                "  3 io-error (valid prefix), 4 suspended (resumable)\n"
                "see the header of tools/sdjoin_cli.cc for details\n");
