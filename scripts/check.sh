@@ -24,6 +24,15 @@ run_release() {
   # bit-identical when runtime dispatch is disabled, so a wide-vector bug
   # can never hide behind "the tests only ran the fast path".
   SDJ_KERNEL=scalar ctest --preset release
+  echo "=== release: full crash-point sweep (SDJ_CRASH_SPILL_STRIDE=1) ==="
+  # Deterministic power-loss enumeration (DESIGN.md §16). The snapshot and
+  # session-table sweeps already enumerate every write/sync op in the normal
+  # ctest pass; the hybrid-queue spill sweep samples its (much longer) op
+  # sequence by default. This stage re-runs the crash tests with sampling off
+  # so the release gate covers 100% of spill crash points; the sanitizer
+  # stages keep the sampled stride (full enumeration under ASan is slow and
+  # adds no coverage the release sweep lacks).
+  SDJ_CRASH_SPILL_STRIDE=1 ctest --preset release -R 'CrashPoint'
   echo "=== release: bench smoke (SDJ_BENCH_SCALE=0.05) ==="
   # Quick-scale sanity run of the main table benchmark and the durable-cursor
   # sweep: catches bench-only build or runtime breakage without the ~5 min

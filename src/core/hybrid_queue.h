@@ -58,6 +58,11 @@ struct HybridQueueOptions {
   std::string spill_path;
   // If set, the disk tier injects faults from this schedule (testing).
   std::optional<storage::FaultInjectionOptions> fault_injection;
+  // If set, the disk tier simulates power loss at one exact write/sync op
+  // (testing — see storage::CrashPointPageFile). Spills after the crash
+  // point degrade to the in-memory overflow tier; the pair stream is
+  // unaffected (crash_point_test.cc enumerates this).
+  std::optional<storage::CrashPointOptions> crash_point;
   // Bounded-retry policy for the disk tier's buffer pool.
   storage::RetryPolicy retry;
   // Optional observability sink (DESIGN.md §12): records refill stalls,
@@ -86,8 +91,9 @@ class HybridPairQueue final : public PairQueue<Dim> {
       : options_(options), heap_(cmp) {
     SDJ_CHECK(options.tier_width > 0.0);
     std::unique_ptr<storage::PageFile> file = storage::CreatePageStore(
-        {options.page_size, options.spill_path, options.fault_injection},
-        &injector_);
+        {options.page_size, options.spill_path, options.fault_injection,
+         options.crash_point},
+        &injector_, &crash_);
     SDJ_CHECK(file != nullptr);
     pool_ = std::make_unique<storage::BufferPool>(
         std::move(file), options.buffer_pages, options.retry);
@@ -205,13 +211,38 @@ class HybridPairQueue final : public PairQueue<Dim> {
       s.live += bucket.pages.size();
     }
     s.free = free_pages_.size();
-    s.abandoned = pages_abandoned_;
+    s.abandoned = abandoned_pages_.size();
     s.reused = pages_reused_;
     return s;
   }
 
   // Fault-injection layer of the disk tier, when configured; null otherwise.
   storage::FaultInjectingPageFile* injector() const { return injector_; }
+  // Crash-point layer of the disk tier, when configured; null otherwise.
+  storage::CrashPointPageFile* crash_point() const { return crash_; }
+
+  // Scrub repair hook (DESIGN.md §16): re-parks abandoned spill pages whose
+  // faults have healed — the page pins cleanly again — on the free list for
+  // reuse. Pages that remain unreadable stay abandoned (their records are
+  // gone; the accounting keeps saying so). The allocated == live + free +
+  // abandoned invariant holds before and after. Returns the number
+  // recycled.
+  uint64_t RecycleAbandonedPages() {
+    uint64_t recycled = 0;
+    std::vector<storage::PageId> still_abandoned;
+    for (const storage::PageId id : abandoned_pages_) {
+      char* data = pool_->TryPin(id);
+      if (data == nullptr) {
+        still_abandoned.push_back(id);
+        continue;
+      }
+      pool_->Unpin(id, /*dirty=*/false);
+      free_pages_.push_back(id);
+      ++recycled;
+    }
+    abandoned_pages_ = std::move(still_abandoned);
+    return recycled;
+  }
 
   // Maps a distance to its integer bucket. Total for every double (public
   // so the property tests can feed it adversarial inputs directly): a NaN
@@ -319,7 +350,7 @@ class HybridPairQueue final : public PairQueue<Dim> {
         *page = id;
         return data;
       }
-      ++pages_abandoned_;
+      abandoned_pages_.push_back(id);
     }
     *page = storage::kInvalidPageId;
     char* data = pool_->TryNewPage(page);
@@ -398,7 +429,9 @@ class HybridPairQueue final : public PairQueue<Dim> {
           io_error_ = true;
           SDJ_DCHECK(bucket.total >= loaded);
           total_size_ -= bucket.total - loaded;
-          pages_abandoned_ += bucket.pages.size() - i;
+          abandoned_pages_.insert(abandoned_pages_.end(),
+                                  bucket.pages.begin() + i,
+                                  bucket.pages.end());
           break;
         }
         uint32_t count;
@@ -465,9 +498,12 @@ class HybridPairQueue final : public PairQueue<Dim> {
   std::unique_ptr<storage::BufferPool> pool_;
   // Consumed chain pages awaiting reuse by PushToDisk (LIFO).
   std::vector<storage::PageId> free_pages_;
+  // Pages lost to unrecoverable I/O errors, by id, so a later
+  // RecycleAbandonedPages can re-park the ones whose faults healed.
+  std::vector<storage::PageId> abandoned_pages_;
   uint64_t pages_reused_ = 0;
-  uint64_t pages_abandoned_ = 0;
   storage::FaultInjectingPageFile* injector_ = nullptr;
+  storage::CrashPointPageFile* crash_ = nullptr;
   uint32_t records_per_page_ = 0;
   // Heap < bucket frontier_ <= list; disk > frontier_. D1 = frontier_ * D_T.
   uint64_t frontier_ = 1;

@@ -53,6 +53,9 @@ struct CursorOptions {
   uint64_t checkpoint_every = 0;
   // If set, the snapshot store injects faults from this schedule (testing).
   std::optional<storage::FaultInjectionOptions> fault_injection;
+  // If set, the snapshot store simulates power loss at one exact write/sync
+  // op (testing — see storage::CrashPointPageFile).
+  std::optional<storage::CrashPointOptions> crash_point;
   // Bounded-retry policy for transient snapshot-page faults.
   storage::RetryPolicy retry;
   // Bounded retry with exponential backoff for whole checkpoint *commits*:
@@ -102,7 +105,8 @@ class JoinCursor {
     // counts as failed) instead of aborting.
     store_ = snapshot::SnapshotStore::Open(
         {options.snapshot_path, options.page_size, options.fault_injection,
-         options.retry, options.metrics, options.snapshot_slots});
+         options.crash_point, options.retry, options.metrics,
+         options.snapshot_slots});
   }
 
   // Points the cursor at a replacement engine over the same trees and
@@ -180,6 +184,27 @@ class JoinCursor {
     if (!engine_->RestoreState(&reader)) return false;
     engine_->ResumeSuspended();
     ++cursor_stats_.resumes;
+    return true;
+  }
+
+  // Restores the engine from one specific snapshot slot — the serving
+  // layer's self-healing fallback past an unrestorable newest snapshot
+  // (DESIGN.md §16). On success the slot's epoch is adopted as the store's
+  // resume point, so subsequent checkpoints continue from it. Returns false
+  // if the slot does not hold a fully-verified snapshot or its payload does
+  // not match this engine's configuration; the caller should rebuild the
+  // engine before trying another slot (a restore that fails mid-payload may
+  // leave partial state behind).
+  bool ResumeFromSlot(uint32_t slot) {
+    if (store_ == nullptr) return false;
+    obs::PhaseTimer timer(options_.metrics, obs::Op::kRestore);
+    std::string payload;
+    if (!store_->ReadSlotPayload(slot, &payload)) return false;
+    snapshot::BlobReader reader(payload);
+    if (!engine_->RestoreState(&reader)) return false;
+    engine_->ResumeSuspended();
+    ++cursor_stats_.resumes;
+    ++cursor_stats_.snapshot_fallbacks;
     return true;
   }
 

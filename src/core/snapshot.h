@@ -184,6 +184,9 @@ struct SnapshotStoreOptions {
   uint32_t page_size = 4096;
   // If set, faults are injected under the checksum layer (testing).
   std::optional<storage::FaultInjectionOptions> fault_injection;
+  // If set, the store simulates power loss at one exact write/sync op
+  // (testing — see storage::CrashPointPageFile).
+  std::optional<storage::CrashPointOptions> crash_point;
   // Bounded-retry policy for transient page faults.
   storage::RetryPolicy retry;
   // Optional observability sink (DESIGN.md §12): records the latency of
@@ -207,30 +210,67 @@ struct SnapshotStoreStats {
   uint64_t invalid_slots_seen = 0;
 };
 
+// Classification of one snapshot header slot (ClassifySlots). The scrub
+// layer (storage/scrub.h, tools/sdjoin_scrub) reports these; the serving
+// layer's rehydration self-heal routes around torn/corrupt slots.
+enum class SlotStatus : uint8_t {
+  kEmpty = 0,  // all-zero header: nothing was ever committed here
+  kCommitted,  // fully verified, newest epoch — the resume point
+  kStale,      // fully verified, but older than the committed slot
+  kTorn,       // header or payload pages unreadable (failed checksum / I/O)
+  kCorrupt,    // readable but inconsistent: bad magic/version, payload
+               // checksum mismatch, or header naming pages the file lacks
+};
+
+inline const char* SlotStatusName(SlotStatus status) {
+  switch (status) {
+    case SlotStatus::kEmpty:     return "empty";
+    case SlotStatus::kCommitted: return "committed";
+    case SlotStatus::kStale:     return "stale";
+    case SlotStatus::kTorn:      return "torn";
+    case SlotStatus::kCorrupt:   return "corrupt";
+  }
+  return "unknown";
+}
+
 // Shadow-paged snapshot file. See file comment for the layout and commit
 // protocol. Not thread-safe (one cursor owns one store).
 class SnapshotStore {
  public:
+  // One header slot's scrub verdict (see SlotStatus). epoch/length/
+  // payload_pages are meaningful only when the header itself was readable
+  // (kCommitted, kStale, kCorrupt-with-readable-header).
+  struct SlotReport {
+    uint32_t slot = 0;
+    SlotStatus status = SlotStatus::kEmpty;
+    uint64_t epoch = 0;
+    uint64_t length = 0;
+    uint64_t payload_pages = 0;
+  };
+
   // Creates the store (or opens an existing snapshot file, recovering a
   // truncated tail from a crashed writer). Returns null only if the backing
   // file can neither be opened nor created.
   static std::unique_ptr<SnapshotStore> Open(
       const SnapshotStoreOptions& options) {
     storage::FaultInjectingPageFile* injector = nullptr;
+    storage::CrashPointPageFile* crash = nullptr;
     std::unique_ptr<storage::PageFile> file;
     const storage::PageStoreOptions store_options{
-        options.page_size, options.path, options.fault_injection};
+        options.page_size, options.path, options.fault_injection,
+        options.crash_point};
     if (!options.path.empty()) {
       file = storage::OpenPageStore(store_options,
                                     /*recover_truncated_tail=*/true,
-                                    &injector);
+                                    &injector, &crash);
     }
     if (file == nullptr) {
-      file = storage::CreatePageStore(store_options, &injector);
+      file = storage::CreatePageStore(store_options, &injector, &crash);
     }
     if (file == nullptr) return nullptr;
     auto store = std::unique_ptr<SnapshotStore>(
         new SnapshotStore(options, std::move(file), injector));
+    store->crash_ = crash;
     store->InitHeaders();
     return store;
   }
@@ -289,16 +329,18 @@ class SnapshotStore {
     bool found = false;
     for (uint32_t slot = 0; slot < num_slots_; ++slot) {
       std::string slot_payload;
-      uint64_t slot_epoch = 0;
-      switch (ReadSlot(slot, &slot_payload, &slot_epoch)) {
+      SlotReport report;
+      switch (ProbeSlot(slot, &slot_payload, &report,
+                        /*consume_corrupt_at_open=*/true)) {
         case SlotState::kEmpty:
           break;
-        case SlotState::kInvalid:
+        case SlotState::kTorn:
+        case SlotState::kCorrupt:
           ++stats_.invalid_slots_seen;
           break;
         case SlotState::kValid:
-          if (!found || slot_epoch > best_epoch) {
-            best_epoch = slot_epoch;
+          if (!found || report.epoch > best_epoch) {
+            best_epoch = report.epoch;
             best_payload = std::move(slot_payload);
           }
           found = true;
@@ -316,18 +358,123 @@ class SnapshotStore {
     return true;
   }
 
+  // Classifies every header slot (scrub view — DESIGN.md §16). Read-only:
+  // no healing, no stats_ changes, no effect on which slot a later
+  // ReadLatest picks. Of the fully-verified slots, the newest epoch is
+  // kCommitted and the rest kStale.
+  std::vector<SlotReport> ClassifySlots() {
+    std::vector<SlotReport> reports(num_slots_);
+    uint32_t best_slot = num_slots_;
+    uint64_t best_epoch = 0;
+    for (uint32_t slot = 0; slot < num_slots_; ++slot) {
+      std::string payload;
+      reports[slot].slot = slot;
+      switch (ProbeSlot(slot, &payload, &reports[slot],
+                        /*consume_corrupt_at_open=*/false)) {
+        case SlotState::kEmpty:
+          reports[slot].status = SlotStatus::kEmpty;
+          break;
+        case SlotState::kTorn:
+          reports[slot].status = SlotStatus::kTorn;
+          break;
+        case SlotState::kCorrupt:
+          reports[slot].status = SlotStatus::kCorrupt;
+          break;
+        case SlotState::kValid:
+          reports[slot].status = SlotStatus::kStale;
+          if (best_slot == num_slots_ || reports[slot].epoch > best_epoch) {
+            best_slot = slot;
+            best_epoch = reports[slot].epoch;
+          }
+          break;
+      }
+    }
+    if (best_slot != num_slots_) {
+      reports[best_slot].status = SlotStatus::kCommitted;
+    }
+    return reports;
+  }
+
+  // Scrub-and-repair: classifies every slot, then quarantines torn and
+  // corrupt headers by zeroing them — the slot becomes cleanly empty, so
+  // future commits rotate through it instead of tripping over garbage.
+  // Committed and stale slots are never touched. `healed`, when non-null,
+  // receives the number of slots quarantined. Returns the (pre-repair)
+  // classification.
+  std::vector<SlotReport> ScrubSlots(uint64_t* healed = nullptr) {
+    std::vector<SlotReport> reports = ClassifySlots();
+    uint64_t fixed = 0;
+    std::vector<char> zero(page_size_, 0);
+    for (const SlotReport& report : reports) {
+      if (report.status != SlotStatus::kTorn &&
+          report.status != SlotStatus::kCorrupt) {
+        continue;
+      }
+      if (WriteWithRetry(report.slot, zero.data())) {
+        corrupt_at_open_[report.slot] = false;
+        ++fixed;
+      }
+    }
+    if (healed != nullptr) *healed = fixed;
+    return reports;
+  }
+
+  // Reads one specific slot, verifying it fully. On success the slot is
+  // adopted as the resume point: last_epoch_ becomes its epoch, so the next
+  // WriteSnapshot continues from it (overwriting any newer — necessarily
+  // rejected — epochs as their slots rotate around). This is the serving
+  // layer's fall-back-past-the-newest-snapshot path; ReadLatest remains the
+  // default. False if the slot is empty, torn, or corrupt (not counted in
+  // invalid_slots_seen — the caller is inspecting, not resuming blind).
+  bool ReadSlotPayload(uint32_t slot, std::string* payload,
+                       uint64_t* epoch = nullptr) {
+    if (slot >= num_slots_) return false;
+    SlotReport report;
+    if (ProbeSlot(slot, payload, &report,
+                  /*consume_corrupt_at_open=*/false) != SlotState::kValid) {
+      return false;
+    }
+    last_epoch_ = report.epoch;
+    if (epoch != nullptr) *epoch = report.epoch;
+    return true;
+  }
+
+  // File pages the committed and stale slots actually need (header slots
+  // included). Pages beyond this are orphaned tails from abandoned larger
+  // commits; sdjoin_scrub --repair truncates them (storage/scrub.h).
+  uint64_t NeededPages() {
+    uint64_t needed = num_slots_;
+    for (const SlotReport& report : ClassifySlots()) {
+      if (report.status != SlotStatus::kCommitted &&
+          report.status != SlotStatus::kStale) {
+        continue;
+      }
+      if (report.payload_pages == 0) continue;
+      needed = std::max<uint64_t>(
+          needed, PayloadPage(report.payload_pages - 1, report.slot) + 1);
+    }
+    return needed;
+  }
+
   const SnapshotStoreStats& stats() const { return stats_; }
   uint64_t last_epoch() const { return last_epoch_; }
+  uint32_t num_slots() const { return num_slots_; }
+  // Allocated pages of the backing store (>= NeededPages()).
+  uint64_t file_pages() const { return file_->num_pages(); }
 
   // Fault-injection layer, when configured; null otherwise.
   storage::FaultInjectingPageFile* injector() const { return injector_; }
+  // Crash-point layer, when configured; null otherwise.
+  storage::CrashPointPageFile* crash_point() const { return crash_; }
 
  private:
   static constexpr uint64_t kMagic = 0x53444A534E415031ULL;  // "SDJSNAP1"
   static constexpr uint32_t kVersion = 1;
   static constexpr size_t kHeaderBytes = 40;
 
-  enum class SlotState { kEmpty, kValid, kInvalid };
+  // kTorn = pages unreadable; kCorrupt = readable but inconsistent. Both
+  // are "invalid" to ReadLatest; the scrub report keeps them apart.
+  enum class SlotState { kEmpty, kValid, kTorn, kCorrupt };
 
   SnapshotStore(const SnapshotStoreOptions& options,
                 std::unique_ptr<storage::PageFile> file,
@@ -403,42 +550,53 @@ class SnapshotStore {
     EnsurePages(num_slots_);
   }
 
-  SlotState ReadSlot(uint32_t slot, std::string* payload, uint64_t* epoch) {
+  // Fully verifies one slot: header readable, magic/version right, payload
+  // pages present and readable, payload checksum matching. Fills *report
+  // with whatever the header revealed (epoch/length/payload_pages stay zero
+  // when the header itself was unreadable). `consume_corrupt_at_open`
+  // preserves the historical ReadLatest behavior of reporting a healed
+  // torn-at-open header exactly once; scrub probes pass false and leave the
+  // memory of the tear intact.
+  SlotState ProbeSlot(uint32_t slot, std::string* payload, SlotReport* report,
+                      bool consume_corrupt_at_open) {
+    report->slot = slot;
     if (corrupt_at_open_[slot]) {
-      corrupt_at_open_[slot] = false;  // report it once
-      return SlotState::kInvalid;
+      if (consume_corrupt_at_open) corrupt_at_open_[slot] = false;
+      return SlotState::kTorn;
     }
     if (file_->num_pages() < num_slots_) return SlotState::kEmpty;
     std::vector<char> buffer(page_size_);
-    if (!ReadWithRetry(slot, buffer.data())) return SlotState::kInvalid;
+    if (!ReadWithRetry(slot, buffer.data())) return SlotState::kTorn;
     uint64_t magic;
     std::memcpy(&magic, buffer.data(), 8);
     if (magic == 0) return SlotState::kEmpty;
-    if (magic != kMagic) return SlotState::kInvalid;
+    if (magic != kMagic) return SlotState::kCorrupt;
     uint32_t version;
     std::memcpy(&version, buffer.data() + 8, 4);
-    if (version != kVersion) return SlotState::kInvalid;
-    uint64_t length;
+    if (version != kVersion) return SlotState::kCorrupt;
     uint64_t checksum;
-    std::memcpy(epoch, buffer.data() + 16, 8);
-    std::memcpy(&length, buffer.data() + 24, 8);
+    std::memcpy(&report->epoch, buffer.data() + 16, 8);
+    std::memcpy(&report->length, buffer.data() + 24, 8);
     std::memcpy(&checksum, buffer.data() + 32, 8);
-    const uint64_t npages = (length + page_size_ - 1) / page_size_;
+    report->payload_pages =
+        (report->length + page_size_ - 1) / page_size_;
+    const uint64_t npages = report->payload_pages;
     if (npages > 0 &&
         PayloadPage(npages - 1, slot) >= file_->num_pages()) {
-      return SlotState::kInvalid;  // header names pages the file lacks
+      return SlotState::kCorrupt;  // header names pages the file lacks
     }
-    payload->resize(length);
+    payload->resize(report->length);
     for (uint64_t i = 0; i < npages; ++i) {
       if (!ReadWithRetry(PayloadPage(i, slot), buffer.data())) {
-        return SlotState::kInvalid;
+        return SlotState::kTorn;
       }
       const size_t offset = i * page_size_;
-      const size_t chunk = std::min<size_t>(page_size_, length - offset);
+      const size_t chunk =
+          std::min<size_t>(page_size_, report->length - offset);
       std::memcpy(payload->data() + offset, buffer.data(), chunk);
     }
     if (storage::Fnv1a64(payload->data(), payload->size()) != checksum) {
-      return SlotState::kInvalid;
+      return SlotState::kCorrupt;
     }
     return SlotState::kValid;
   }
@@ -467,6 +625,7 @@ class SnapshotStore {
   obs::Metrics* const metrics_;
   std::unique_ptr<storage::PageFile> file_;
   storage::FaultInjectingPageFile* injector_ = nullptr;
+  storage::CrashPointPageFile* crash_ = nullptr;
   uint64_t last_epoch_ = 0;
   std::vector<char> corrupt_at_open_;
   SnapshotStoreStats stats_;

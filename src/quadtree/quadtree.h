@@ -84,7 +84,8 @@ class PointQuadtree {
     SDJ_CHECK(extent.IsValid());
     SDJ_CHECK(options.max_depth >= 1 && options.max_depth < 0x4000);
     std::unique_ptr<storage::PageFile> file = storage::CreatePageStore(
-        {options.page_size, options.file_path, options.fault_injection},
+        {options.page_size, options.file_path, options.fault_injection,
+         std::nullopt},
         &injector_);
     SDJ_CHECK(file != nullptr);
     pool_ = std::make_unique<storage::BufferPool>(

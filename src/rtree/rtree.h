@@ -65,6 +65,12 @@ struct RTreeOptions {
   std::string file_path;
   // If set, the page store injects faults from this schedule (testing).
   std::optional<storage::FaultInjectionOptions> fault_injection;
+  // If set, the page store simulates power loss at one exact write/sync op
+  // (testing — see storage::CrashPointPageFile). Because tree construction
+  // uses aborting Pin/NewPage (no recovery path, CLAUDE.md), a crash point
+  // hit during a build aborts the process; crash-point build tests run the
+  // build in a death-test child and scrub the torn file from the parent.
+  std::optional<storage::CrashPointOptions> crash_point;
   // For Open(): truncate a torn final page instead of refusing the file.
   bool recover_truncated_tail = false;
   // Bounded-retry policy for the tree's buffer pool.
@@ -106,8 +112,9 @@ class RTree {
   explicit RTree(const RTreeOptions& options = RTreeOptions())
       : options_(options), codec_(options.encoding) {
     std::unique_ptr<storage::PageFile> file = storage::CreatePageStore(
-        {options.page_size, options.file_path, options.fault_injection},
-        &injector_);
+        {options.page_size, options.file_path, options.fault_injection,
+         options.crash_point},
+        &injector_, &crash_);
     SDJ_CHECK(file != nullptr);
     pool_ = std::make_unique<storage::BufferPool>(
         std::move(file), options.buffer_pages, options.retry);
@@ -133,14 +140,17 @@ class RTree {
   static std::unique_ptr<RTree> Open(const RTreeOptions& options) {
     SDJ_CHECK(!options.file_path.empty());
     storage::FaultInjectingPageFile* injector = nullptr;
+    storage::CrashPointPageFile* crash = nullptr;
     std::unique_ptr<storage::PageFile> file = storage::OpenPageStore(
-        {options.page_size, options.file_path, options.fault_injection},
-        options.recover_truncated_tail, &injector);
+        {options.page_size, options.file_path, options.fault_injection,
+         options.crash_point},
+        options.recover_truncated_tail, &injector, &crash);
     if (file == nullptr || file->num_pages() == 0) return nullptr;
     auto pool = std::make_unique<storage::BufferPool>(
         std::move(file), options.buffer_pages, options.retry);
     std::unique_ptr<RTree> tree(new RTree(options, std::move(pool)));
     tree->injector_ = injector;
+    tree->crash_ = crash;
     if (!tree->LoadMeta()) return nullptr;
     return tree;
   }
@@ -371,6 +381,10 @@ class RTree {
   // Fault-injection layer, when options.fault_injection was set; null
   // otherwise. Borrowed from the pool-owned page-store stack.
   storage::FaultInjectingPageFile* injector() const { return injector_; }
+
+  // Crash-point layer, when options.crash_point was set; null otherwise.
+  // Borrowed from the pool-owned page-store stack.
+  storage::CrashPointPageFile* crash_point() const { return crash_; }
 
  private:
   static constexpr storage::PageId kMetaPage = 0;
@@ -1193,6 +1207,7 @@ class RTree {
   rtree_internal::NodeCodec<Dim> codec_;
   mutable std::unique_ptr<storage::BufferPool> pool_;
   storage::FaultInjectingPageFile* injector_ = nullptr;
+  storage::CrashPointPageFile* crash_ = nullptr;
   uint32_t max_entries_ = 0;
   uint32_t min_entries_ = 0;
   storage::PageId root_ = storage::kInvalidPageId;

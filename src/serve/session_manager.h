@@ -41,6 +41,9 @@
 #ifndef SDJOIN_SERVE_SESSION_MANAGER_H_
 #define SDJOIN_SERVE_SESSION_MANAGER_H_
 
+#include <unistd.h>
+
+#include <algorithm>
 #include <chrono>
 #include <cstdint>
 #include <functional>
@@ -110,6 +113,27 @@ inline const char* SessionStateName(SessionState state) {
   return "unknown";
 }
 
+// Per-session self-healing health (DESIGN.md §16). Orthogonal to
+// SessionState: a degraded session is live and serving, but had to heal
+// past a bad snapshot slot on rehydration; a quarantined one exhausted
+// every committed epoch and was failed in isolation (its store is left
+// intact for offline scrub/repair — one corrupt store never affects its
+// neighbors).
+enum class SessionHealth : uint8_t {
+  kHealthy = 0,
+  kDegraded,     // resumed from an older committed epoch after a scrub
+  kQuarantined,  // no committed epoch restored; session failed, store kept
+};
+
+inline const char* SessionHealthName(SessionHealth health) {
+  switch (health) {
+    case SessionHealth::kHealthy:     return "healthy";
+    case SessionHealth::kDegraded:    return "degraded";
+    case SessionHealth::kQuarantined: return "quarantined";
+  }
+  return "unknown";
+}
+
 // Construction parameters for one SessionManager.
 struct ServeOptions {
   // Durable state directory: the session table and one snapshot file per
@@ -141,6 +165,16 @@ struct ServeOptions {
   // If set, every session snapshot store and the session table inject
   // faults from this schedule (testing).
   std::optional<storage::FaultInjectionOptions> fault_injection;
+  // If set, the *session table* store simulates power loss at one exact
+  // write/sync op (testing — see storage::CrashPointPageFile). Per-session
+  // snapshot stores are unaffected: crash-point tests for those drive a
+  // JoinCursor directly.
+  std::optional<storage::CrashPointOptions> table_crash_point;
+  // Microsecond backoff between self-healing resume attempts after a failed
+  // rehydration (attempt k sleeps backoff << (k-2); the first fallback is
+  // immediate). Attempts are bounded by the number of snapshot slots. 0
+  // disables the sleep.
+  uint32_t heal_backoff_us = 0;
   // Manager-wide observability sink (serve slices, evictions, rehydrations
   // across all sessions). Null = disabled. Each session additionally owns a
   // private sink regardless.
@@ -158,6 +192,11 @@ struct SessionCounters {
   // Checkpoint could not commit even after retries; the session now serves
   // pinned-resident until a later checkpoint commits.
   bool pinned_resident = false;
+  // Self-healing (DESIGN.md §16): scoped scrubs run after a failed
+  // rehydration, and snapshot slots healed (torn/corrupt headers zeroed)
+  // by them.
+  uint64_t scrubs = 0;
+  uint64_t slots_healed = 0;
   // Cursor-side counters, accumulated across engine rebuilds.
   CursorStats cursor;
 };
@@ -171,6 +210,9 @@ struct ServeStats {
   uint64_t pinned_sessions = 0;
   uint64_t failed_sessions = 0;
   uint64_t finished_sessions = 0;
+  // Self-healing outcomes (DESIGN.md §16).
+  uint64_t degraded_sessions = 0;     // healed onto an older committed epoch
+  uint64_t quarantined_sessions = 0;  // no committed epoch restored
   uint64_t recovered_sessions = 0;
   // Table records skipped during recovery: no resolver match, or over the
   // admission cap.
@@ -200,7 +242,8 @@ class SessionManager {
     if (!options_.state_dir.empty()) {
       table_ = SessionTable::Open({options_.state_dir + "/sessions.tbl",
                                    options_.page_size,
-                                   options_.fault_injection, options_.retry,
+                                   options_.fault_injection,
+                                   options_.table_crash_point, options_.retry,
                                    options_.metrics, options_.snapshot_slots});
       if (table_ == nullptr) ++stats_.table_commit_failures;
     }
@@ -394,6 +437,12 @@ class SessionManager {
     const Session* s = FindSession(id);
     return s == nullptr ? SessionCounters{} : s->counters;
   }
+  // Self-healing health (kHealthy for an unknown id — health is a property
+  // of a known session's history, and an unknown id has none).
+  SessionHealth health(SessionId id) const {
+    const Session* s = FindSession(id);
+    return s == nullptr ? SessionHealth::kHealthy : s->health;
+  }
   // The session's engine counters as of its last slice (the copy survives
   // eviction and failure). Zeroed for an unknown id.
   JoinStats session_stats(SessionId id) const {
@@ -440,11 +489,17 @@ class SessionManager {
   const ServeStats& stats() const { return stats_; }
   const ServeOptions& options() const { return options_; }
 
+  // The durable session table; null when state_dir is empty or the table
+  // could not be opened. Crash-point tests count its store's mutation ops;
+  // the scrub tool classifies its slots.
+  SessionTable* table() const { return table_.get(); }
+
  private:
   struct Session {
     SessionId id = 0;
     std::string tag;
     SessionState state = SessionState::kLive;
+    SessionHealth health = SessionHealth::kHealthy;
     EngineFactory factory;
     util::StopSource stop;
     std::unique_ptr<obs::Metrics> metrics;
@@ -537,7 +592,7 @@ class SessionManager {
                                   obs::Op::kSessionRehydrate);
     s->engine = s->factory(s->stop.token());
     if (s->engine == nullptr) {
-      FailSession(s);
+      QuarantineSession(s);
       return false;
     }
     if (s->cursor == nullptr) {
@@ -545,13 +600,15 @@ class SessionManager {
     } else {
       s->cursor->set_engine(s->engine.get());
     }
-    if (s->has_snapshot && !s->cursor->ResumeLatest()) {
+    if (s->has_snapshot && !s->cursor->ResumeLatest() && !SelfHeal(s)) {
       // Restarting from scratch would re-emit results the client already
-      // consumed; an unrestorable snapshot therefore fails the session
-      // (isolated) rather than corrupting its stream.
+      // consumed; a session with no restorable committed epoch is therefore
+      // quarantined — failed in isolation, its store left intact for
+      // offline scrub/repair — rather than corrupting its stream. Its
+      // neighbors never notice.
       SyncCursorStats(s);
       s->engine.reset();
-      FailSession(s);
+      QuarantineSession(s);
       return false;
     }
     SyncCursorStats(s);
@@ -559,6 +616,59 @@ class SessionManager {
     ++s->counters.rehydrations;
     ++stats_.rehydrations;
     return true;
+  }
+
+  // Self-healing fallback (DESIGN.md §16), entered when ResumeLatest could
+  // not restore the newest snapshot. Runs a scrub scoped to this session's
+  // snapshot slots (zeroing torn/corrupt headers so later commits stop
+  // tripping over them), then walks the remaining committed epochs newest
+  // first with bounded backoff — rebuilding the engine before each attempt,
+  // since a restore that failed mid-payload leaves partial state behind.
+  // The newest epoch is retried once post-scrub (its failure may have been
+  // a healed transient fault) before falling back to older epochs. On
+  // success the session serves on, marked kDegraded; false means no
+  // committed epoch restored and the caller quarantines.
+  bool SelfHeal(Session* s) {
+    snapshot::SnapshotStore* store = s->cursor->store();
+    if (store == nullptr) return false;
+    uint64_t healed = 0;
+    const std::vector<snapshot::SnapshotStore::SlotReport> reports =
+        store->ScrubSlots(&healed);
+    ++s->counters.scrubs;
+    s->counters.slots_healed += healed;
+    std::vector<std::pair<uint64_t, uint32_t>> candidates;  // (epoch, slot)
+    for (const auto& report : reports) {
+      if (report.status == snapshot::SlotStatus::kCommitted ||
+          report.status == snapshot::SlotStatus::kStale) {
+        candidates.emplace_back(report.epoch, report.slot);
+      }
+    }
+    std::sort(candidates.rbegin(), candidates.rend());
+    uint32_t attempt = 0;
+    for (const auto& [epoch, slot] : candidates) {
+      if (++attempt > 1 && options_.heal_backoff_us > 0) {
+        ::usleep(options_.heal_backoff_us << (attempt - 2));
+      }
+      s->engine = s->factory(s->stop.token());
+      if (s->engine == nullptr) return false;
+      s->cursor->set_engine(s->engine.get());
+      if (s->cursor->ResumeFromSlot(slot)) {
+        if (s->health == SessionHealth::kHealthy) {
+          s->health = SessionHealth::kDegraded;
+          ++stats_.degraded_sessions;
+        }
+        return true;
+      }
+    }
+    return false;
+  }
+
+  void QuarantineSession(Session* s) {
+    if (s->health != SessionHealth::kQuarantined) {
+      s->health = SessionHealth::kQuarantined;
+      ++stats_.quarantined_sessions;
+    }
+    FailSession(s);
   }
 
   void FinishSession(Session* s) {

@@ -93,6 +93,10 @@ class SessionTable {
 
   const snapshot::SnapshotStoreStats& stats() const { return store_->stats(); }
 
+  // The backing shadow-paged store (crash-point tests count its mutation
+  // ops; the scrub tool classifies its slots).
+  snapshot::SnapshotStore* store() const { return store_.get(); }
+
  private:
   static constexpr uint64_t kMagic = 0x53444A5354424C31ULL;  // "SDJSTBL1"
   static constexpr uint32_t kVersion = 1;

@@ -1,12 +1,52 @@
 #include "storage/fault_injection.h"
 
+#include <cstdio>
 #include <cstring>
 #include <memory>
+#include <string>
 #include <utility>
+#include <vector>
 
 #include "util/check.h"
 
 namespace sdj::storage {
+
+namespace {
+
+void AppendOps(std::string* out, const char* label,
+               const std::vector<uint64_t>& ops) {
+  out->append(" ");
+  out->append(label);
+  out->append("=[");
+  for (size_t i = 0; i < ops.size(); ++i) {
+    char buf[24];
+    std::snprintf(buf, sizeof(buf), i == 0 ? "%llu" : ",%llu",
+                  static_cast<unsigned long long>(ops[i]));
+    out->append(buf);
+  }
+  out->append("]");
+}
+
+}  // namespace
+
+std::string FaultSchedule::ToString(uint64_t seed) const {
+  std::string out = "seed=" + std::to_string(seed);
+  AppendOps(&out, "transient_reads", transient_read_ops);
+  AppendOps(&out, "transient_writes", transient_write_ops);
+  AppendOps(&out, "bit_flips", bit_flip_ops);
+  AppendOps(&out, "torn_writes", torn_write_ops);
+  if (dropped > 0) out += " dropped=" + std::to_string(dropped);
+  return out;
+}
+
+const char* CrashTearModeName(CrashTearMode mode) {
+  switch (mode) {
+    case CrashTearMode::kPartialPage: return "partial-page";
+    case CrashTearMode::kGarbageTail: return "garbage-tail";
+    case CrashTearMode::kDroppedOp:   return "dropped-op";
+  }
+  return "unknown";
+}
 
 FaultInjectingPageFile::FaultInjectingPageFile(
     std::unique_ptr<PageFile> inner, const FaultInjectionOptions& options)
@@ -33,11 +73,13 @@ IoStatus FaultInjectingPageFile::Read(PageId id, char* buffer) {
   if (options_.transient_read_period != 0 &&
       (op + 1) % options_.transient_read_period == 0) {
     ++counters_.transient_read_faults;
+    Record(&schedule_.transient_read_ops, op);
     return IoStatus::kTransient;
   }
   if (options_.transient_read_rate > 0.0 &&
       rng_.NextDouble() < options_.transient_read_rate) {
     ++counters_.transient_read_faults;
+    Record(&schedule_.transient_read_ops, op);
     return IoStatus::kTransient;
   }
   const IoStatus status = inner_->Read(id, buffer);
@@ -48,6 +90,7 @@ IoStatus FaultInjectingPageFile::Read(PageId id, char* buffer) {
     const uint64_t bit = rng_.NextBounded(8ULL * page_size_);
     buffer[bit / 8] ^= static_cast<char>(1u << (bit % 8));
     ++counters_.bit_flips;
+    Record(&schedule_.bit_flip_ops, op);
   }
   return status;
 }
@@ -63,6 +106,7 @@ IoStatus FaultInjectingPageFile::Write(PageId id, const char* buffer) {
     // page held before (zeros for a fresh page). The caller sees a failure,
     // and the on-disk image no longer matches its checksum.
     ++counters_.torn_writes;
+    Record(&schedule_.torn_write_ops, op);
     if (inner_->Read(id, scratch_.data()) != IoStatus::kOk) {
       std::memset(scratch_.data(), 0, page_size_);
     }
@@ -73,11 +117,13 @@ IoStatus FaultInjectingPageFile::Write(PageId id, const char* buffer) {
   if (options_.transient_write_period != 0 &&
       (op + 1) % options_.transient_write_period == 0) {
     ++counters_.transient_write_faults;
+    Record(&schedule_.transient_write_ops, op);
     return IoStatus::kTransient;
   }
   if (options_.transient_write_rate > 0.0 &&
       rng_.NextDouble() < options_.transient_write_rate) {
     ++counters_.transient_write_faults;
+    Record(&schedule_.transient_write_ops, op);
     return IoStatus::kTransient;
   }
   return inner_->Write(id, buffer);
@@ -86,6 +132,59 @@ IoStatus FaultInjectingPageFile::Write(PageId id, const char* buffer) {
 std::unique_ptr<FaultInjectingPageFile> NewFaultInjectingPageFile(
     std::unique_ptr<PageFile> inner, const FaultInjectionOptions& options) {
   return std::make_unique<FaultInjectingPageFile>(std::move(inner), options);
+}
+
+CrashPointPageFile::CrashPointPageFile(std::unique_ptr<PageFile> inner,
+                                       const CrashPointOptions& options)
+    : PageFile(inner->page_size()),
+      inner_(std::move(inner)),
+      options_(options),
+      rng_(options.seed),
+      scratch_(page_size_, '\0') {
+  SDJ_CHECK(inner_ != nullptr);
+}
+
+IoStatus CrashPointPageFile::Write(PageId id, const char* buffer) {
+  if (crashed_) return IoStatus::kFailed;
+  const uint64_t op = mutation_ops_++;
+  if (op != options_.crash_at) return inner_->Write(id, buffer);
+  crashed_ = true;
+  switch (options_.tear) {
+    case CrashTearMode::kPartialPage:
+      if (inner_->Read(id, scratch_.data()) != IoStatus::kOk) {
+        std::memset(scratch_.data(), 0, page_size_);
+      }
+      std::memcpy(scratch_.data(), buffer, page_size_ / 2);
+      (void)inner_->Write(id, scratch_.data());
+      break;
+    case CrashTearMode::kGarbageTail:
+      std::memcpy(scratch_.data(), buffer, page_size_ / 2);
+      for (uint32_t i = page_size_ / 2; i < page_size_; ++i) {
+        scratch_[i] = static_cast<char>(rng_.NextBounded(256));
+      }
+      (void)inner_->Write(id, scratch_.data());
+      break;
+    case CrashTearMode::kDroppedOp:
+      break;  // the write never reaches the media
+  }
+  return IoStatus::kFailed;
+}
+
+IoStatus CrashPointPageFile::Sync() {
+  if (crashed_) return IoStatus::kFailed;
+  const uint64_t op = mutation_ops_++;
+  if (op != options_.crash_at) return inner_->Sync();
+  // A crashing sync is always a dropped op: the flush simply never happened.
+  // (This simulated disk persists unsynced writes, so earlier writes of the
+  // same commit survive — the weakest outcome the commit protocol must
+  // still recover from is modeled by tearing those writes directly.)
+  crashed_ = true;
+  return IoStatus::kFailed;
+}
+
+std::unique_ptr<CrashPointPageFile> NewCrashPointPageFile(
+    std::unique_ptr<PageFile> inner, const CrashPointOptions& options) {
+  return std::make_unique<CrashPointPageFile>(std::move(inner), options);
 }
 
 }  // namespace sdj::storage

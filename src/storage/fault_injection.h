@@ -16,6 +16,7 @@
 
 #include <cstdint>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "storage/page_file.h"
@@ -69,6 +70,104 @@ struct FaultCounters {
   uint64_t torn_writes = 0;
 };
 
+// The exact op indices at which faults fired, recorded as they happen. A
+// randomized test that fails prints this schedule (ToString) so the failure
+// replays deterministically: re-running the same seed over the same op
+// sequence re-injects the identical faults, and the printed indices say
+// which operations to scrutinize — no bisection over seeds required. Each
+// class keeps the first kMaxRecorded indices; overflow is counted, not kept,
+// so long fault-heavy runs (benchmarks) stay bounded.
+struct FaultSchedule {
+  static constexpr size_t kMaxRecorded = 64;
+
+  std::vector<uint64_t> transient_read_ops;
+  std::vector<uint64_t> transient_write_ops;
+  std::vector<uint64_t> bit_flip_ops;    // read ops whose page was flipped
+  std::vector<uint64_t> torn_write_ops;  // write ops torn (scheduled)
+  uint64_t dropped = 0;  // faults beyond kMaxRecorded (counted only)
+
+  // Compact single-line form, e.g.
+  //   "seed=7 transient_reads=[3,19] bit_flips=[12] torn_writes=[]".
+  std::string ToString(uint64_t seed) const;
+};
+
+// How a CrashPointPageFile tears the operation at the crash point. All three
+// model a power loss mid-operation; they differ in what the media keeps.
+enum class CrashTearMode : uint8_t {
+  // The first half of the page persists; the tail keeps its previous bytes
+  // (a classic torn page — caught later by the checksum trailer).
+  kPartialPage = 0,
+  // The first half persists; the tail is overwritten with seeded garbage
+  // (a controller scribbling during power-down).
+  kGarbageTail,
+  // The operation never reaches the media at all (a write absorbed by a
+  // volatile cache, or an fsync that returned without flushing).
+  kDroppedOp,
+};
+
+const char* CrashTearModeName(CrashTearMode mode);
+
+// Crash schedule for one CrashPointPageFile. Write() and Sync() calls share
+// one 0-based mutation-op index; the op at `crash_at` is torn per `tear` and
+// the file latches read-only — every later mutation fails with kFailed, as
+// if the process had lost power at that instant and the surviving image were
+// being inspected. Reads keep working (the post-crash media is readable);
+// recovery code is expected to reopen the file and fall back to the newest
+// committed state.
+struct CrashPointOptions {
+  static constexpr uint64_t kNever = ~0ULL;
+
+  // 0-based index into the interleaved write+sync op sequence. Allocations
+  // are not ops: extending the file only matters once something is written.
+  uint64_t crash_at = kNever;
+  CrashTearMode tear = CrashTearMode::kPartialPage;
+  // Garbage bytes for kGarbageTail.
+  uint64_t seed = 1;
+};
+
+// Decorator simulating power loss at one exact write/sync operation. With
+// crash_at == kNever it is a pure pass-through op counter: a schedule
+// enumerator first runs the workload uncrashed to learn the op count, then
+// replays it once per index in [0, mutation_ops()) — covering 100% of the
+// crash points of the workload (tests/crash_point_test.cc).
+//
+// Layering: sits directly above the backend, below fault injection and
+// checksums (page_store.h), so torn pages fail checksum verification on the
+// next read exactly like real torn media.
+class CrashPointPageFile final : public PageFile {
+ public:
+  CrashPointPageFile(std::unique_ptr<PageFile> inner,
+                     const CrashPointOptions& options);
+
+  PageId num_pages() const override { return inner_->num_pages(); }
+  // Post-crash the file cannot grow; pre-crash allocations pass through
+  // (they are not mutation ops — see CrashPointOptions::crash_at).
+  PageId Allocate() override {
+    return crashed_ ? kInvalidPageId : inner_->Allocate();
+  }
+  IoStatus Read(PageId id, char* buffer) override {
+    return inner_->Read(id, buffer);
+  }
+  IoStatus Write(PageId id, const char* buffer) override;
+  IoStatus Sync() override;
+
+  // Write+sync ops observed before the crash point (the enumerator's count).
+  uint64_t mutation_ops() const { return mutation_ops_; }
+  // Whether the crash point has been reached (the file is now read-only).
+  bool crashed() const { return crashed_; }
+
+ private:
+  std::unique_ptr<PageFile> inner_;
+  const CrashPointOptions options_;
+  uint64_t mutation_ops_ = 0;
+  bool crashed_ = false;
+  Rng rng_;
+  std::vector<char> scratch_;  // merged image for the torn write
+};
+
+std::unique_ptr<CrashPointPageFile> NewCrashPointPageFile(
+    std::unique_ptr<PageFile> inner, const CrashPointOptions& options);
+
 // Decorator injecting the faults described by FaultInjectionOptions.
 class FaultInjectingPageFile final : public PageFile {
  public:
@@ -82,11 +181,26 @@ class FaultInjectingPageFile final : public PageFile {
   IoStatus Sync() override { return inner_->Sync(); }
 
   const FaultCounters& counters() const { return counters_; }
+  // Replay recipe for the faults injected so far (see FaultSchedule).
+  const FaultSchedule& schedule() const { return schedule_; }
+  // The schedule plus this injector's seed, ready to print on test failure.
+  std::string ScheduleString() const {
+    return schedule_.ToString(options_.seed);
+  }
 
  private:
+  void Record(std::vector<uint64_t>* ops, uint64_t index) {
+    if (ops->size() < FaultSchedule::kMaxRecorded) {
+      ops->push_back(index);
+    } else {
+      ++schedule_.dropped;
+    }
+  }
+
   std::unique_ptr<PageFile> inner_;
   const FaultInjectionOptions options_;
   FaultCounters counters_;
+  FaultSchedule schedule_;
   Rng rng_;
   std::vector<char> scratch_;  // previous page image for torn writes
 };

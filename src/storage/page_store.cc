@@ -12,8 +12,17 @@ namespace {
 
 std::unique_ptr<PageFile> Finish(std::unique_ptr<PageFile> backend,
                                  const PageStoreOptions& options,
-                                 FaultInjectingPageFile** injector) {
+                                 FaultInjectingPageFile** injector,
+                                 CrashPointPageFile** crash) {
   if (backend == nullptr) return nullptr;
+  if (options.crash_point.has_value()) {
+    auto crashing =
+        NewCrashPointPageFile(std::move(backend), *options.crash_point);
+    if (crash != nullptr) *crash = crashing.get();
+    backend = std::move(crashing);
+  } else if (crash != nullptr) {
+    *crash = nullptr;
+  }
   if (options.fault_injection.has_value()) {
     auto injecting = NewFaultInjectingPageFile(std::move(backend),
                                                *options.fault_injection);
@@ -28,24 +37,26 @@ std::unique_ptr<PageFile> Finish(std::unique_ptr<PageFile> backend,
 }  // namespace
 
 std::unique_ptr<PageFile> CreatePageStore(const PageStoreOptions& options,
-                                          FaultInjectingPageFile** injector) {
+                                          FaultInjectingPageFile** injector,
+                                          CrashPointPageFile** crash) {
   SDJ_CHECK(options.page_size > 0);
   const uint32_t physical = options.page_size + kPageTrailerSize;
   std::unique_ptr<PageFile> backend =
       options.path.empty() ? NewMemoryPageFile(physical)
                            : NewFilePageFile(options.path, physical);
-  return Finish(std::move(backend), options, injector);
+  return Finish(std::move(backend), options, injector, crash);
 }
 
 std::unique_ptr<PageFile> OpenPageStore(const PageStoreOptions& options,
                                         bool recover_truncated_tail,
-                                        FaultInjectingPageFile** injector) {
+                                        FaultInjectingPageFile** injector,
+                                        CrashPointPageFile** crash) {
   SDJ_CHECK(options.page_size > 0);
   SDJ_CHECK(!options.path.empty());
   std::unique_ptr<PageFile> backend =
       OpenFilePageFile(options.path, options.page_size + kPageTrailerSize,
                        recover_truncated_tail);
-  return Finish(std::move(backend), options, injector);
+  return Finish(std::move(backend), options, injector, crash);
 }
 
 }  // namespace sdj::storage

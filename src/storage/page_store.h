@@ -27,22 +27,28 @@ struct PageStoreOptions {
   std::string path;
   // If set, faults are injected between the backend and the checksum layer.
   std::optional<FaultInjectionOptions> fault_injection;
+  // If set, the store simulates power loss at one exact write/sync op
+  // (testing — see CrashPointPageFile). Sits directly above the backend,
+  // below fault injection, so torn pages fail checksum verification.
+  std::optional<CrashPointOptions> crash_point;
 };
 
 // Creates a fresh store (truncating `path` if file-backed). If `injector` is
 // non-null and fault injection is configured, *injector receives a borrowed
 // pointer to the injection layer (owned by the returned store) for counter
-// inspection. Returns null if the backing file cannot be created.
+// inspection; `crash` likewise receives the crash-point layer when
+// configured. Returns null if the backing file cannot be created.
 std::unique_ptr<PageFile> CreatePageStore(
-    const PageStoreOptions& options,
-    FaultInjectingPageFile** injector = nullptr);
+    const PageStoreOptions& options, FaultInjectingPageFile** injector = nullptr,
+    CrashPointPageFile** crash = nullptr);
 
 // Opens an existing file-backed store previously written through
 // CreatePageStore (options.path must be non-empty). `recover_truncated_tail`
 // forwards to OpenFilePageFile. Returns null on open failure.
 std::unique_ptr<PageFile> OpenPageStore(
     const PageStoreOptions& options, bool recover_truncated_tail = false,
-    FaultInjectingPageFile** injector = nullptr);
+    FaultInjectingPageFile** injector = nullptr,
+    CrashPointPageFile** crash = nullptr);
 
 }  // namespace sdj::storage
 

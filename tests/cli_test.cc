@@ -1,13 +1,16 @@
 // Integration tests for sdjoin_cli's durable-cursor flag matrix (see the
 // header comment in tools/sdjoin_cli.cc): exit codes, suspend/resume stream
 // equality across thread counts, checkpoint fallback after on-disk snapshot
-// corruption, and fault-injected runs. The binary under test is passed as
-// the first command-line argument (wired up in tests/CMakeLists.txt).
+// corruption, and fault-injected runs — plus the sdjoin_scrub exit-code
+// matrix (clean=0, corruption=1, usage=2, unreadable=3; DESIGN.md §16).
+// The binaries under test are passed as command-line arguments: argv[1] =
+// sdjoin_cli, argv[2] = sdjoin_scrub (wired up in tests/CMakeLists.txt).
 #include <sys/stat.h>
 #include <sys/wait.h>
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -16,6 +19,7 @@
 #include "storage/checksum.h"
 
 std::string g_cli_path;
+std::string g_scrub_path;
 
 namespace sdj {
 namespace {
@@ -25,8 +29,8 @@ struct RunResult {
   std::string output;  // stdout and stderr, interleaved
 };
 
-RunResult RunCli(const std::string& args) {
-  const std::string command = g_cli_path + " " + args + " 2>&1";
+RunResult RunBinary(const std::string& binary, const std::string& args) {
+  const std::string command = binary + " " + args + " 2>&1";
   RunResult result;
   std::FILE* pipe = ::popen(command.c_str(), "r");
   if (pipe == nullptr) return result;
@@ -38,6 +42,14 @@ RunResult RunCli(const std::string& args) {
   const int status = ::pclose(pipe);
   result.exit_code = WIFEXITED(status) ? WEXITSTATUS(status) : -1;
   return result;
+}
+
+RunResult RunCli(const std::string& args) {
+  return RunBinary(g_cli_path, args);
+}
+
+RunResult RunScrub(const std::string& args) {
+  return RunBinary(g_scrub_path, args);
 }
 
 std::vector<std::string> SplitLines(const std::string& text) {
@@ -385,14 +397,156 @@ TEST_F(CliTest, ServeSuspendResumeContinuesEveryStream) {
   EXPECT_EQ(continuation, suffix);
 }
 
+// ---- sdjoin_scrub (DESIGN.md §16) ----
+
+// Builds a snapshot store with three committed epochs (the checkpoint run
+// from CorruptNewestSnapshotFallsBackToPreviousCheckpoint) at `snap`.
+void BuildThreeEpochSnapshot(const std::string& snap,
+                             const std::string& join_args) {
+  std::remove(snap.c_str());
+  const RunResult suspended = RunCli(
+      join_args + " --checkpoint-every=50 --suspend-after=120 --snapshot=" +
+      snap);
+  ASSERT_EQ(suspended.exit_code, 4);
+}
+
+TEST_F(CliTest, ScrubUsageAndUnreadableFileExitCodes) {
+  EXPECT_EQ(RunScrub("").exit_code, 2);               // missing --file
+  EXPECT_EQ(RunScrub("--file=x --kind=bogus").exit_code, 2);
+  EXPECT_EQ(RunScrub("--file=x --nonsense").exit_code, 2);
+  // A missing file is unreadable (3) and must NOT be created by the scrub
+  // (SnapshotStore::Open would create one).
+  const std::string missing = ::testing::TempDir() + "/scrub_missing.snap";
+  std::remove(missing.c_str());
+  EXPECT_EQ(RunScrub("--file=" + missing).exit_code, 3);
+  struct stat st;
+  EXPECT_NE(::stat(missing.c_str(), &st), 0);
+}
+
+TEST_F(CliTest, ScrubCleanSnapshotStoreExitsZero) {
+  const std::string snap = ::testing::TempDir() + "/scrub_clean.snap";
+  BuildThreeEpochSnapshot(snap, JoinArgs(""));
+  const RunResult r = RunScrub("--file=" + snap);
+  EXPECT_EQ(r.exit_code, 0) << r.output;
+  EXPECT_NE(r.output.find("verdict: clean"), std::string::npos);
+  EXPECT_NE(r.output.find("committed"), std::string::npos);
+  EXPECT_NE(r.output.find("stale"), std::string::npos);
+}
+
+TEST_F(CliTest, ScrubDetectsTornSlotRepairsAndConverges) {
+  const std::string snap = ::testing::TempDir() + "/scrub_torn.snap";
+  BuildThreeEpochSnapshot(snap, JoinArgs(""));
+  // Epoch 3 (the newest) lives in slot 1; flipping a byte of its first
+  // payload page (page 3) tears the slot. (Tearing the header page instead
+  // would be healed by the store's own open path before scrub ever ran.)
+  CorruptSnapshotPage(snap, /*page=*/3);
+
+  const RunResult found = RunScrub("--file=" + snap);
+  EXPECT_EQ(found.exit_code, 1) << found.output;
+  EXPECT_NE(found.output.find("slot 1: torn"), std::string::npos);
+  EXPECT_NE(found.output.find("slot 0: committed"), std::string::npos);
+  EXPECT_NE(found.output.find("verdict: corrupt"), std::string::npos);
+
+  // Repair quarantines the torn slot (still exit 1: corruption was found —
+  // rerun to verify), then a rescrub comes back clean.
+  const RunResult repaired = RunScrub("--file=" + snap + " --repair");
+  EXPECT_EQ(repaired.exit_code, 1) << repaired.output;
+  EXPECT_NE(repaired.output.find("repair: healed-slots=1"),
+            std::string::npos);
+  const RunResult rescrub = RunScrub("--file=" + snap);
+  EXPECT_EQ(rescrub.exit_code, 0) << rescrub.output;
+  EXPECT_NE(rescrub.output.find("verdict: clean"), std::string::npos);
+
+  // The repaired store still resumes — from the surviving epoch 2.
+  const RunResult resumed = RunCli(JoinArgs("--resume --snapshot=" + snap));
+  EXPECT_EQ(resumed.exit_code, 0);
+}
+
+TEST_F(CliTest, ScrubDetectsOrphanedTailPagesAndTruncatesThem) {
+  const std::string snap = ::testing::TempDir() + "/scrub_orphan.snap";
+  BuildThreeEpochSnapshot(snap, JoinArgs(""));
+  // Append two whole garbage pages beyond what any slot references — the
+  // abandoned remains of a larger commit.
+  {
+    std::FILE* f = std::fopen(snap.c_str(), "ab");
+    ASSERT_NE(f, nullptr);
+    const std::string junk(2 * (4096 + storage::kPageTrailerSize), 'J');
+    ASSERT_EQ(std::fwrite(junk.data(), 1, junk.size(), f), junk.size());
+    std::fclose(f);
+  }
+  const RunResult found = RunScrub("--file=" + snap);
+  EXPECT_EQ(found.exit_code, 1) << found.output;
+  EXPECT_NE(found.output.find("orphaned-tail-pages:"), std::string::npos);
+
+  const RunResult repaired = RunScrub("--file=" + snap + " --repair");
+  EXPECT_EQ(repaired.exit_code, 1) << repaired.output;
+  EXPECT_NE(repaired.output.find("repair: truncated-bytes="),
+            std::string::npos);
+  const RunResult rescrub = RunScrub("--file=" + snap);
+  EXPECT_EQ(rescrub.exit_code, 0) << rescrub.output;
+  // Nothing of value was cut: the store still resumes from epoch 3.
+  const RunResult resumed = RunCli(JoinArgs("--resume --snapshot=" + snap));
+  EXPECT_EQ(resumed.exit_code, 0);
+}
+
+TEST_F(CliTest, ScrubPagesKindDetectsCorruptInteriorPages) {
+  const std::string snap = ::testing::TempDir() + "/scrub_pages.snap";
+  BuildThreeEpochSnapshot(snap, JoinArgs(""));
+  const RunResult clean = RunScrub("--file=" + snap + " --kind=pages");
+  EXPECT_EQ(clean.exit_code, 0) << clean.output;
+
+  CorruptSnapshotPage(snap, /*page=*/2);
+  const RunResult found = RunScrub("--file=" + snap + " --kind=pages");
+  EXPECT_EQ(found.exit_code, 1) << found.output;
+  EXPECT_NE(found.output.find("corrupt-page: 2"), std::string::npos);
+}
+
+TEST_F(CliTest, ScrubPagesKindDetectsLeakedPagesAndTruncates) {
+  const std::string snap = ::testing::TempDir() + "/scrub_leak.snap";
+  BuildThreeEpochSnapshot(snap, JoinArgs(""));
+  const RunResult sized = RunScrub("--file=" + snap + " --kind=pages");
+  ASSERT_EQ(sized.exit_code, 0) << sized.output;
+  // Parse "pages: scanned=<N> ..." to learn the honest page count.
+  const size_t pos = sized.output.find("scanned=");
+  ASSERT_NE(pos, std::string::npos);
+  const uint64_t pages = std::strtoull(
+      sized.output.c_str() + pos + std::strlen("scanned="), nullptr, 10);
+  ASSERT_GT(pages, 2u);
+
+  // Claim the file should be two pages smaller: the extra pages are leaked
+  // (a spill file that grew past its accounted size would look like this).
+  const std::string expect =
+      " --kind=pages --expect-pages=" + std::to_string(pages - 2);
+  const RunResult found = RunScrub("--file=" + snap + expect);
+  EXPECT_EQ(found.exit_code, 1) << found.output;
+  EXPECT_NE(found.output.find("leaked-pages: 2"), std::string::npos);
+
+  const RunResult repaired = RunScrub("--file=" + snap + expect + " --repair");
+  EXPECT_EQ(repaired.exit_code, 1) << repaired.output;
+  const RunResult rescrub = RunScrub("--file=" + snap + expect);
+  EXPECT_EQ(rescrub.exit_code, 0) << rescrub.output;
+}
+
+TEST_F(CliTest, ScrubSubcommandOfCliMatchesStandaloneBinary) {
+  const std::string snap = ::testing::TempDir() + "/scrub_subcmd.snap";
+  BuildThreeEpochSnapshot(snap, JoinArgs(""));
+  const RunResult standalone = RunScrub("--file=" + snap);
+  const RunResult subcommand = RunCli("scrub --file=" + snap);
+  EXPECT_EQ(subcommand.exit_code, standalone.exit_code);
+  EXPECT_EQ(subcommand.output, standalone.output);
+  EXPECT_EQ(RunCli("scrub").exit_code, 2);
+}
+
 }  // namespace
 }  // namespace sdj
 
 int main(int argc, char** argv) {
   ::testing::InitGoogleTest(&argc, argv);
   if (argc > 1) g_cli_path = argv[1];
-  if (g_cli_path.empty()) {
-    std::fprintf(stderr, "usage: cli_test <path-to-sdjoin_cli>\n");
+  if (argc > 2) g_scrub_path = argv[2];
+  if (g_cli_path.empty() || g_scrub_path.empty()) {
+    std::fprintf(stderr,
+                 "usage: cli_test <path-to-sdjoin_cli> <path-to-sdjoin_scrub>\n");
     return 1;
   }
   return RUN_ALL_TESTS();

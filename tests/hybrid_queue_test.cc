@@ -308,17 +308,26 @@ TEST(HybridPairQueue, SpillPageAccountingSurvivesUnrecoveredFaults) {
   for (int round = 0; round < 5; ++round) {
     for (int i = 0; i < 800; ++i) {
       q.Push(MakeEntry(base + (i % 60) * 0.7, seq++));
-      if (i % 97 == 0) ExpectPageInvariant(q);
+      if (i % 97 == 0) {
+        // A failure here prints the exact op-index schedule injected so far,
+        // so the run can be replayed deterministically (DESIGN.md §16).
+        SCOPED_TRACE("fault schedule: " + q.injector()->ScheduleString());
+        ExpectPageInvariant(q);
+      }
     }
     // Entries may be lost to read faults (reported via io_error), but the
     // surviving stream stays ordered and the accounting stays exact.
     double last = 0.0;
     while (!q.Empty()) {
       const double d = q.Pop().distance;
-      ASSERT_GE(d, last);
+      ASSERT_GE(d, last) << "fault schedule: "
+                         << q.injector()->ScheduleString();
       last = d;
     }
-    ExpectPageInvariant(q);
+    {
+      SCOPED_TRACE("fault schedule: " + q.injector()->ScheduleString());
+      ExpectPageInvariant(q);
+    }
     base += 100.0;
   }
   const SpillPageStats s = q.spill_pages();
@@ -326,7 +335,8 @@ TEST(HybridPairQueue, SpillPageAccountingSurvivesUnrecoveredFaults) {
   // The schedule above must actually have exercised a failure path.
   EXPECT_GT(q.spill_fallbacks() + s.abandoned + io.read_failures +
                 io.write_failures,
-            0u);
+            0u)
+      << "fault schedule: " << q.injector()->ScheduleString();
 }
 
 TEST(HybridPairQueue, TieBreakOrderMaintainedWithinHeap) {

@@ -870,6 +870,9 @@ TEST(JoinCursor, FuzzTornCheckpointFallsBackToPreviousSnapshot) {
     retry.backoff_us = 0;
     std::vector<Pair> prefix;
     uint64_t failures = 0;
+    // Replay recipe: on failure, print the exact op indices the injector hit
+    // so the run can be reproduced with a fixed schedule (DESIGN.md §16).
+    std::string schedule;
     // Pair index at which each committed epoch's snapshot was taken.
     std::map<uint64_t, size_t> epoch_to_pairs;
     {
@@ -884,7 +887,8 @@ TEST(JoinCursor, FuzzTornCheckpointFallsBackToPreviousSnapshot) {
       JoinResult<2> r;
       uint64_t seen_checkpoints = 0;
       for (uint64_t i = 0; i < kill_after; ++i) {
-        ASSERT_TRUE(cursor.Next(&r));
+        ASSERT_TRUE(cursor.Next(&r))
+            << "fault schedule: " << cursor.store()->injector()->ScheduleString();
         prefix.push_back(AsTuple(r));
         if (cursor.cursor_stats().checkpoints_written > seen_checkpoints) {
           seen_checkpoints = cursor.cursor_stats().checkpoints_written;
@@ -892,10 +896,12 @@ TEST(JoinCursor, FuzzTornCheckpointFallsBackToPreviousSnapshot) {
         }
       }
       failures = cursor.cursor_stats().checkpoint_failures;
+      schedule = cursor.store()->injector()->ScheduleString();
     }
 
     // Phase 2: resume; invalid slots are skipped, falling back to the
     // newest epoch that committed cleanly.
+    SCOPED_TRACE("fault schedule: " + schedule);
     RTree<2> ta = BuildPointTree(a);
     RTree<2> tb = BuildPointTree(b);
     DistanceJoin<2> join(ta, tb, options);

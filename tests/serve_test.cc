@@ -23,6 +23,7 @@
 
 #include "core/distance_join.h"
 #include "core/semi_join.h"
+#include "core/snapshot.h"
 #include "core/within_join.h"
 #include "data/generators.h"
 #include "join_test_util.h"
@@ -783,6 +784,241 @@ TEST(SessionManager, TornTableCommitFallsBackToPreviousEpoch) {
   std::vector<Pair> stream;
   DrainSession(&manager, id_a, &stream);
   EXPECT_EQ(stream, ref.stream);
+}
+
+// --- serving self-healing (DESIGN.md §16) ------------------------------------
+
+// An unrestorable newest epoch — here, version skew: a fully checksummed
+// snapshot whose payload no engine of this configuration can restore —
+// engages the self-healing fallback: scrub, retry the newest epoch once,
+// then walk older committed epochs. The session resumes from the eviction
+// checkpoint, serves its exact remaining stream, and is marked degraded.
+TEST(SessionManager, SelfHealFallsBackToOlderEpochAndMarksDegraded) {
+  const std::string dir = FreshStateDir("serve_self_heal");
+  DistanceJoinOptions join_options;
+  join_options.max_pairs = 60;
+  const EngineFactory factory =
+      JoinFactory(MakePoints(60, 61), MakePoints(60, 62), join_options);
+  const Reference ref = RunReference(factory);
+
+  serve::ServeOptions options;
+  options.state_dir = dir;
+  options.snapshot_slots = 3;
+  serve::SessionManager<2> manager(options);
+  const auto admit = manager.Admit("heal", factory);
+  ASSERT_EQ(admit.status, ServeStatus::kOk);
+  std::vector<Pair> stream;
+  JoinResult<2> r;
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_EQ(manager.Next(admit.id, &r), ServeStatus::kOk);
+    stream.push_back(AsTuple(r));
+  }
+  ASSERT_TRUE(manager.Checkpoint(admit.id));  // epoch 1
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_EQ(manager.Next(admit.id, &r), ServeStatus::kOk);
+    stream.push_back(AsTuple(r));
+  }
+  ASSERT_TRUE(manager.Evict(admit.id));  // epoch 2: the 10-result checkpoint
+
+  // While the session is evicted, an incompatible epoch 3 lands in its
+  // store: valid pages, valid header, a payload RestoreState must reject.
+  {
+    auto store = snapshot::SnapshotStore::Open(
+        {dir + "/session_" + std::to_string(admit.id) + ".snap", 4096,
+         std::nullopt, std::nullopt, {}, nullptr, 3});
+    ASSERT_NE(store, nullptr);
+    snapshot::Blob junk;
+    junk.PutU64(0xDEADBEEFULL);  // wrong engine fingerprint
+    ASSERT_TRUE(store->WriteSnapshot(junk));
+    EXPECT_EQ(store->last_epoch(), 3u);
+  }
+
+  // The next Next() rehydrates through SelfHeal and the stream continues
+  // exactly where the epoch-2 checkpoint stopped — no duplicates, no gaps.
+  DrainSession(&manager, admit.id, &stream);
+  EXPECT_EQ(stream, ref.stream);
+  ExpectStatsEqual(manager.session_stats(admit.id), ref.stats);
+  EXPECT_EQ(manager.health(admit.id), serve::SessionHealth::kDegraded);
+  EXPECT_EQ(manager.stats().degraded_sessions, 1u);
+  EXPECT_EQ(manager.stats().quarantined_sessions, 0u);
+  const serve::SessionCounters counters = manager.counters(admit.id);
+  EXPECT_EQ(counters.scrubs, 1u);
+  // Nothing was torn — this was a fallback past a rejected epoch, not a
+  // header repair.
+  EXPECT_EQ(counters.slots_healed, 0u);
+  EXPECT_GE(counters.cursor.snapshot_fallbacks, 1u);
+}
+
+// When every slot of a session's store is corrupt, self-healing finds no
+// committed epoch to fall back to: the session is quarantined — explicit
+// kIoError, store left on disk for offline scrub — and its neighbors never
+// notice.
+TEST(SessionManager, QuarantineIsolatesCorruptStoreFromNeighbors) {
+  const std::string dir = FreshStateDir("serve_quarantine");
+  DistanceJoinOptions join_options;
+  join_options.max_pairs = 40;
+  const EngineFactory bad_factory =
+      JoinFactory(MakePoints(50, 63), MakePoints(50, 64), join_options);
+  const EngineFactory good_factory =
+      JoinFactory(MakePoints(50, 65), MakePoints(50, 66), join_options);
+  const Reference good_ref = RunReference(good_factory);
+
+  serve::ServeOptions options;
+  options.state_dir = dir;
+  serve::SessionManager<2> manager(options);
+  const auto bad = manager.Admit("bad", bad_factory);
+  const auto good = manager.Admit("good", good_factory);
+  ASSERT_EQ(bad.status, ServeStatus::kOk);
+  ASSERT_EQ(good.status, ServeStatus::kOk);
+  JoinResult<2> r;
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_EQ(manager.Next(bad.id, &r), ServeStatus::kOk);
+  }
+  ASSERT_TRUE(manager.Evict(bad.id));
+
+  // Corrupt both header slots of the evicted session's store on disk.
+  const std::string snap =
+      dir + "/session_" + std::to_string(bad.id) + ".snap";
+  CorruptPage(snap, 4096, 0);
+  CorruptPage(snap, 4096, 1);
+
+  EXPECT_EQ(manager.Next(bad.id, &r), ServeStatus::kIoError);
+  EXPECT_EQ(manager.state(bad.id), SessionState::kFailed);
+  EXPECT_EQ(manager.health(bad.id), serve::SessionHealth::kQuarantined);
+  EXPECT_EQ(manager.stats().quarantined_sessions, 1u);
+  EXPECT_EQ(manager.stats().failed_sessions, 1u);
+  const serve::SessionCounters counters = manager.counters(bad.id);
+  EXPECT_EQ(counters.scrubs, 1u);
+  EXPECT_EQ(counters.slots_healed, 2u);  // both torn headers quarantined
+  // Terminal, not aborting — and the store survives for offline repair.
+  EXPECT_EQ(manager.Next(bad.id, &r), ServeStatus::kIoError);
+  struct stat st;
+  EXPECT_EQ(::stat(snap.c_str(), &st), 0);
+
+  // The neighbor streams to exhaustion, bit-for-bit.
+  std::vector<Pair> good_stream;
+  DrainSession(&manager, good.id, &good_stream);
+  EXPECT_EQ(good_stream, good_ref.stream);
+  ExpectStatsEqual(manager.session_stats(good.id), good_ref.stats);
+  EXPECT_EQ(manager.health(good.id), serve::SessionHealth::kHealthy);
+}
+
+// Satellite of ISSUE 8, manager level: a crash at EVERY write/sync op of
+// the session-table store loses at most the uncommitted table delta. After
+// restart, Recover() sees exactly one of the committed session sets —
+// {}, {a}, {a,b}, or {a(snapshotted),b} — never a blend, and every
+// recovered session serves its exact stream.
+TEST(SessionManager, TableCrashPointSweepRecoversConsistentSessionSet) {
+  DistanceJoinOptions join_options;
+  join_options.max_pairs = 30;
+  const EngineFactory factory_a =
+      JoinFactory(MakePoints(40, 67), MakePoints(40, 68), join_options);
+  const EngineFactory factory_b =
+      JoinFactory(MakePoints(40, 69), MakePoints(40, 70), join_options);
+  const Reference ref_a = RunReference(factory_a);
+  const Reference ref_b = RunReference(factory_b);
+  constexpr storage::CrashTearMode kModes[] = {
+      storage::CrashTearMode::kPartialPage,
+      storage::CrashTearMode::kGarbageTail,
+      storage::CrashTearMode::kDroppedOp,
+  };
+
+  struct WorkloadResult {
+    uint64_t table_ops = 0;
+    uint64_t commit_failures = 0;
+    SessionId id_a = 0;
+    SessionId id_b = 0;
+  };
+  // Admits two sessions (table epochs 1 and 2), serves six results from the
+  // first, then checkpoints it (epoch 3 records has_snapshot). The table
+  // store crashes at mutation op `crash.crash_at` (kNever = counting pass).
+  const auto run_workload =
+      [&](const std::string& dir,
+          const storage::CrashPointOptions& crash) -> WorkloadResult {
+    serve::ServeOptions options;
+    options.state_dir = dir;
+    options.table_crash_point = crash;
+    serve::SessionManager<2> manager(options);
+    WorkloadResult out;
+    const auto admit_a = manager.Admit("table-a", factory_a);
+    EXPECT_EQ(admit_a.status, ServeStatus::kOk);
+    JoinResult<2> r;
+    for (int i = 0; i < 6; ++i) {
+      EXPECT_EQ(manager.Next(admit_a.id, &r), ServeStatus::kOk);
+    }
+    const auto admit_b = manager.Admit("table-b", factory_b);
+    EXPECT_EQ(admit_b.status, ServeStatus::kOk);
+    // The session-store checkpoint commits regardless of the table's fate;
+    // only the has_snapshot table record is at the crash's mercy.
+    EXPECT_TRUE(manager.Checkpoint(admit_a.id));
+    out.id_a = admit_a.id;
+    out.id_b = admit_b.id;
+    out.commit_failures = manager.stats().table_commit_failures;
+    EXPECT_NE(manager.table(), nullptr);
+    if (manager.table() != nullptr) {
+      out.table_ops = manager.table()->store()->crash_point()->mutation_ops();
+    }
+    return out;
+  };
+
+  const WorkloadResult counting =
+      run_workload(FreshStateDir("serve_table_crash"), {});
+  ASSERT_GT(counting.table_ops, 0u);
+  ASSERT_EQ(counting.commit_failures, 0u);
+
+  for (uint64_t k = 0; k < counting.table_ops; ++k) {
+    SCOPED_TRACE(::testing::Message() << "crash at table op " << k);
+    const std::string dir = FreshStateDir("serve_table_crash");
+    const WorkloadResult crashed = run_workload(
+        dir, storage::CrashPointOptions{k, kModes[k % 3], k + 1});
+    // The crash fails at least one table commit (the previous epoch
+    // survives); serving itself never stops.
+    EXPECT_GE(crashed.commit_failures, 1u);
+
+    serve::ServeOptions options;
+    options.state_dir = dir;
+    serve::SessionManager<2> manager(options);
+    std::map<uint64_t, serve::SessionRecord> records;
+    const size_t recovered = manager.Recover(
+        [&](const serve::SessionRecord& record) -> EngineFactory {
+          records[record.id] = record;
+          if (record.tag == "table-a") return factory_a;
+          if (record.tag == "table-b") return factory_b;
+          ADD_FAILURE() << "unexpected record tag: " << record.tag;
+          return nullptr;
+        });
+    ASSERT_EQ(recovered, records.size());
+    // Exactly one committed epoch's session set — never a blend.
+    ASSERT_LE(recovered, 2u);
+    if (recovered == 1) {
+      ASSERT_TRUE(records.count(crashed.id_a));
+      EXPECT_FALSE(records[crashed.id_a].has_snapshot);  // epoch 1
+    } else if (recovered == 2) {
+      ASSERT_TRUE(records.count(crashed.id_a));
+      ASSERT_TRUE(records.count(crashed.id_b));
+      EXPECT_FALSE(records[crashed.id_b].has_snapshot);  // epochs 2 and 3
+    }
+    // Every recovered session serves its exact stream: from the six-result
+    // checkpoint when the table remembers it, from scratch otherwise.
+    if (records.count(crashed.id_a)) {
+      std::vector<Pair> stream;
+      if (records[crashed.id_a].has_snapshot) {
+        stream.assign(ref_a.stream.begin(), ref_a.stream.begin() + 6);
+      }
+      DrainSession(&manager, crashed.id_a, &stream);
+      EXPECT_EQ(stream, ref_a.stream);
+    }
+    if (records.count(crashed.id_b)) {
+      std::vector<Pair> stream;
+      DrainSession(&manager, crashed.id_b, &stream);
+      EXPECT_EQ(stream, ref_b.stream);
+    }
+    // The recovered table is writable again: admission commits new epochs.
+    const auto fresh = manager.Admit("table-c", factory_a);
+    ASSERT_EQ(fresh.status, ServeStatus::kOk);
+  }
+  std::printf("session-table crash sweep: %llu crash points, all modes\n",
+              static_cast<unsigned long long>(counting.table_ops));
 }
 
 }  // namespace

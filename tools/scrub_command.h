@@ -1,0 +1,204 @@
+// The `scrub` command (DESIGN.md §16), shared by the standalone
+// tools/sdjoin_scrub binary and the `sdjoin_cli scrub` subcommand.
+//
+//   sdjoin_scrub --file=<path> [--kind=snapshot|pages] [--page-size=4096]
+//                [--snapshot-slots=2] [--expect-pages=N] [--repair]
+//
+// Offline verification and repair of sdjoin's checksummed page files:
+//
+//   --kind=snapshot (default)  shadow-paged snapshot stores (join-cursor
+//       checkpoints, serving session tables). Classifies every header slot
+//       (committed / stale / torn / corrupt — core/snapshot.h) and audits
+//       the file tail for pages no surviving slot references. --repair
+//       zeroes torn/corrupt slot headers (dropping an uncommittable newer
+//       epoch so resume lands on the newest *committed* one) and truncates
+//       orphaned tail pages.
+//   --kind=pages  any raw checksummed page file (e.g. a hybrid-queue spill
+//       file). Verifies per-page checksums and the torn-tail invariant;
+//       with --expect-pages=N, pages beyond N are classified as leaked and
+//       --repair truncates them. Corrupt interior pages are reported, never
+//       rewritten — a raw page file carries no redundancy to repair from.
+//
+// Scrub quarantines and reports; it never aborts on corruption. Exit codes:
+// 0 = clean, 1 = corruption found (even if repaired — rerun to verify),
+// 2 = usage error, 3 = file unreadable.
+#ifndef SDJOIN_TOOLS_SCRUB_COMMAND_H_
+#define SDJOIN_TOOLS_SCRUB_COMMAND_H_
+
+#include <sys/stat.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/snapshot.h"
+#include "storage/scrub.h"
+
+namespace sdj::tools {
+
+inline int ScrubUsage() {
+  std::fprintf(stderr,
+               "usage: scrub --file=<path> [--kind=snapshot|pages]\n"
+               "  [--page-size=4096] [--snapshot-slots=2] [--expect-pages=N]\n"
+               "  [--repair]\n"
+               "exit codes: 0 clean, 1 corruption found, 2 usage error,\n"
+               "  3 file unreadable\n");
+  return 2;
+}
+
+// Parses argv[first..) and runs the scrub. See file comment.
+inline int RunScrubCommand(int argc, char** argv, int first) {
+  std::string file;
+  std::string kind = "snapshot";
+  long page_size = 4096;
+  long slots = 2;
+  long expect_pages = -1;
+  bool repair = false;
+  for (int i = first; i < argc; ++i) {
+    const char* arg = argv[i];
+    if (std::strncmp(arg, "--", 2) != 0) return ScrubUsage();
+    const std::string flag(arg + 2);
+    const size_t eq = flag.find('=');
+    const std::string key = flag.substr(0, eq);
+    const std::string value =
+        eq == std::string::npos ? "" : flag.substr(eq + 1);
+    if (key == "file") {
+      file = value;
+    } else if (key == "kind") {
+      kind = value;
+    } else if (key == "page-size") {
+      page_size = std::atol(value.c_str());
+    } else if (key == "snapshot-slots") {
+      slots = std::atol(value.c_str());
+    } else if (key == "expect-pages") {
+      expect_pages = std::atol(value.c_str());
+    } else if (key == "repair") {
+      repair = value.empty() || value == "true";
+    } else {
+      std::fprintf(stderr, "unknown flag: --%s\n", key.c_str());
+      return ScrubUsage();
+    }
+  }
+  if (file.empty() || page_size <= 0 || slots < 2 ||
+      (kind != "snapshot" && kind != "pages")) {
+    return ScrubUsage();
+  }
+  // SnapshotStore::Open creates missing files; a scrub must not.
+  struct stat st;
+  if (::stat(file.c_str(), &st) != 0) {
+    std::fprintf(stderr, "scrub: cannot stat %s\n", file.c_str());
+    return 3;
+  }
+  std::printf("# scrub %s: kind=%s page_size=%ld\n", file.c_str(),
+              kind.c_str(), page_size);
+
+  bool found = false;  // any corruption class observed (repaired or not)
+
+  if (kind == "pages") {
+    const storage::PageScrubReport report =
+        storage::ScrubPages(file, static_cast<uint32_t>(page_size));
+    if (!report.opened) {
+      std::fprintf(stderr, "scrub: cannot read %s\n", file.c_str());
+      return 3;
+    }
+    std::printf("pages: scanned=%llu corrupt=%zu torn-tail-bytes=%llu\n",
+                static_cast<unsigned long long>(report.pages_scanned),
+                report.corrupt_pages.size(),
+                static_cast<unsigned long long>(report.torn_tail_bytes));
+    for (const storage::PageId id : report.corrupt_pages) {
+      std::printf("corrupt-page: %llu\n",
+                  static_cast<unsigned long long>(id));
+    }
+    found = !report.corrupt_pages.empty() || report.torn_tail_bytes > 0;
+    uint64_t keep = report.pages_scanned;
+    if (expect_pages >= 0 &&
+        report.pages_scanned > static_cast<uint64_t>(expect_pages)) {
+      const uint64_t leaked =
+          report.pages_scanned - static_cast<uint64_t>(expect_pages);
+      std::printf("leaked-pages: %llu (file=%llu expected=%ld)\n",
+                  static_cast<unsigned long long>(leaked),
+                  static_cast<unsigned long long>(report.pages_scanned),
+                  expect_pages);
+      found = true;
+      keep = static_cast<uint64_t>(expect_pages);
+    }
+    if (repair && (keep < report.pages_scanned || report.torn_tail_bytes)) {
+      uint64_t removed = 0;
+      if (!storage::TruncateToPages(file, static_cast<uint32_t>(page_size),
+                                    keep, &removed)) {
+        std::fprintf(stderr, "scrub: repair truncation failed\n");
+        return 3;
+      }
+      std::printf("repair: truncated-bytes=%llu\n",
+                  static_cast<unsigned long long>(removed));
+    }
+    std::printf("verdict: %s\n", found ? "corrupt" : "clean");
+    return found ? 1 : 0;
+  }
+
+  // kind == "snapshot": slot classification needs the store's layout logic.
+  uint64_t needed_pages = 0;
+  uint64_t file_pages = 0;
+  {
+    snapshot::SnapshotStoreOptions options;
+    options.path = file;
+    options.page_size = static_cast<uint32_t>(page_size);
+    options.num_slots = static_cast<uint32_t>(slots);
+    std::unique_ptr<snapshot::SnapshotStore> store =
+        snapshot::SnapshotStore::Open(options);
+    if (store == nullptr) {
+      std::fprintf(stderr, "scrub: cannot open %s as a snapshot store\n",
+                   file.c_str());
+      return 3;
+    }
+    uint64_t healed = 0;
+    const std::vector<snapshot::SnapshotStore::SlotReport> reports =
+        repair ? store->ScrubSlots(&healed) : store->ClassifySlots();
+    for (const auto& report : reports) {
+      std::printf("slot %u: %s", report.slot,
+                  snapshot::SlotStatusName(report.status));
+      if (report.status == snapshot::SlotStatus::kCommitted ||
+          report.status == snapshot::SlotStatus::kStale) {
+        std::printf(" epoch=%llu length=%llu payload-pages=%llu",
+                    static_cast<unsigned long long>(report.epoch),
+                    static_cast<unsigned long long>(report.length),
+                    static_cast<unsigned long long>(report.payload_pages));
+      }
+      std::printf("\n");
+      found = found || report.status == snapshot::SlotStatus::kTorn ||
+              report.status == snapshot::SlotStatus::kCorrupt;
+    }
+    if (repair && healed > 0) {
+      std::printf("repair: healed-slots=%llu\n",
+                  static_cast<unsigned long long>(healed));
+    }
+    needed_pages = store->NeededPages();
+    file_pages = store->file_pages();
+  }  // store closed before any truncation below
+  if (file_pages > needed_pages) {
+    std::printf("orphaned-tail-pages: %llu (file=%llu needed=%llu)\n",
+                static_cast<unsigned long long>(file_pages - needed_pages),
+                static_cast<unsigned long long>(file_pages),
+                static_cast<unsigned long long>(needed_pages));
+    found = true;
+  }
+  if (repair && file_pages > needed_pages) {
+    uint64_t removed = 0;
+    if (!storage::TruncateToPages(file, static_cast<uint32_t>(page_size),
+                                  needed_pages, &removed)) {
+      std::fprintf(stderr, "scrub: repair truncation failed\n");
+      return 3;
+    }
+    std::printf("repair: truncated-bytes=%llu\n",
+                static_cast<unsigned long long>(removed));
+  }
+  std::printf("verdict: %s\n", found ? "corrupt" : "clean");
+  return found ? 1 : 0;
+}
+
+}  // namespace sdj::tools
+
+#endif  // SDJOIN_TOOLS_SCRUB_COMMAND_H_

@@ -25,6 +25,12 @@
 //                       [--state-dir=DIR] [--resume] [--checkpoint-every=N]
 //                       [--suspend-after-rounds=N] [--snapshot-slots=2]
 //                       [--inject-faults=<seed>] [--print=3]
+//   sdjoin_cli scrub    --file=store.snap [--kind=snapshot|pages]
+//                       [--page-size=4096] [--snapshot-slots=2]
+//                       [--expect-pages=N] [--repair]
+//                       (offline checksum/slot verification and repair —
+//                       tools/scrub_command.h, DESIGN.md §16; also built
+//                       standalone as sdjoin_scrub)
 //
 // serve multiplexes --sessions concurrent incremental traversals (rotating
 // join / semi-join / Manhattan-join kinds) through one SessionManager
@@ -105,6 +111,8 @@
 #include "serve/session_manager.h"
 #include "storage/fault_injection.h"
 #include "util/stop_token.h"
+
+#include "scrub_command.h"
 
 namespace {
 
@@ -877,8 +885,12 @@ int CmdServe(const Flags& flags) {
 
 int PrintUsage() {
   std::fprintf(stderr,
-               "usage: sdjoin_cli <gen|join|semijoin|nn|stats|serve>"
+               "usage: sdjoin_cli <gen|join|semijoin|nn|stats|serve|scrub>"
                " [--flags]\n"
+               "scrub: scrub --file=<path> [--kind=snapshot|pages]\n"
+               "  [--page-size=4096] [--snapshot-slots=2] [--repair]\n"
+               "  (offline checksum/slot verification and repair; see\n"
+               "  tools/scrub_command.h — exits 1 when corruption is found)\n"
                "serving: serve --a= --b= [--sessions=4] [--batch=32]\n"
                "  [--slice-us=N] [--budget-entries=N] [--state-dir=DIR]\n"
                "  [--suspend-after-rounds=N] [--resume]\n"
@@ -914,5 +926,6 @@ int main(int argc, char** argv) {
   if (command == "nn") return CmdNn(flags);
   if (command == "stats") return CmdStats(flags);
   if (command == "serve") return CmdServe(flags);
+  if (command == "scrub") return sdj::tools::RunScrubCommand(argc, argv, 2);
   return PrintUsage();
 }

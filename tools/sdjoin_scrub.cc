@@ -1,0 +1,8 @@
+// Standalone scrub/repair tool for sdjoin page files. All the logic lives
+// in scrub_command.h (also reachable as `sdjoin_cli scrub`); see its file
+// comment for flags and exit codes.
+#include "scrub_command.h"
+
+int main(int argc, char** argv) {
+  return sdj::tools::RunScrubCommand(argc, argv, 1);
+}
