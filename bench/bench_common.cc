@@ -61,8 +61,18 @@ double Scale() {
   static const double scale = [] {
     const char* env = std::getenv("SDJ_BENCH_SCALE");
     if (env == nullptr) return 1.0;
-    const double v = std::atof(env);
-    if (v <= 0.0 || v > 1.0) return 1.0;
+    // Strict parse: atof's silent 0.0 for garbage (and a NaN passing the
+    // range checks below, both being false) must not leak into dataset
+    // sizing — warn and run at full scale instead.
+    char* end = nullptr;
+    const double v = std::strtod(env, &end);
+    if (end == env || *end != '\0' || !(v > 0.0) || v > 1.0) {
+      std::fprintf(stderr,
+                   "warning: ignoring SDJ_BENCH_SCALE=\"%s\" "
+                   "(want a number in (0, 1]); using 1.0\n",
+                   env);
+      return 1.0;
+    }
     return v;
   }();
   return scale;
@@ -277,7 +287,9 @@ void WriteJson(const std::string& title) {
     JsonStat(f, "spill_fallbacks", s.spill_fallbacks, false);
     JsonStat(f, "batch_kernel_invocations", s.batch_kernel_invocations,
              false);
-    JsonStat(f, "parallel_expansions", s.parallel_expansions, true);
+    JsonStat(f, "parallel_expansions", s.parallel_expansions, false);
+    JsonStat(f, "screened_candidates", s.screened_candidates, false);
+    JsonStat(f, "screen_survivors", s.screen_survivors, true);
     std::fprintf(f, "      },\n");
     JsonMetrics(f, row.metrics);
     std::fprintf(f, "    }%s\n", i + 1 < rows.size() ? "," : "");

@@ -23,8 +23,10 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "geometry/code_screen.h"
 #include "geometry/rect_batch.h"
 #include "geometry/simd.h"
+#include "rtree/node_layout.h"
 
 namespace sdj::bench {
 namespace {
@@ -64,6 +66,50 @@ const RectBatch<2>& Batch() {
   return *batch;
 }
 
+// Synthetic quantized page for the screening rows (DESIGN.md §17): the same
+// 4096 rects as Batch(), encoded on one node grid, plus a prepared query
+// whose cutoff leaves a realistic minority of survivors. ScreenNode runs the
+// integer screen over the raw codes; DecodeMinDist is the work it replaces —
+// decode every entry to f64 and run the exact MinDist kernel.
+struct ScreenWorkload {
+  using QL = rtree_internal::QuantizedNodeLayout<2>;
+  QL::Grid grid;
+  std::vector<uint16_t> codes;  // kLanes entries x [lo0 lo1 hi0 hi1]
+  Rect<2> query;
+  double max_distance = 0.0;
+  code_screen::ScreenQuery<2> screen;
+  size_t survivors = 0;
+};
+
+const ScreenWorkload& ScreenCase() {
+  static const ScreenWorkload* workload = [] {
+    auto* w = new ScreenWorkload;
+    double lo[2] = {0.0, 0.0};
+    double hi[2] = {1010.0, 1010.0};
+    w->grid = ScreenWorkload::QL::MakeGrid(lo, hi);
+    w->codes.resize(kLanes * 4);
+    uint64_t seed = 42;  // identical rect population to Batch()
+    for (size_t i = 0; i < kLanes; ++i) {
+      for (int d = 0; d < 2; ++d) {
+        const double rlo = UnitDouble(&seed) * 1000.0;
+        const double rhi = rlo + UnitDouble(&seed) * 10.0;
+        w->codes[i * 4 + d] = ScreenWorkload::QL::EncodeLo(w->grid, d, rlo);
+        w->codes[i * 4 + 2 + d] = ScreenWorkload::QL::EncodeHi(w->grid, d, rhi);
+      }
+    }
+    w->query = Rect<2>{{450.0, 450.0}, {520.0, 560.0}};
+    w->max_distance = 65.0;  // ~5-10% of the uniform page survives
+    code_screen::Prepare<2>(w->grid.base, w->grid.scale, w->query,
+                            w->max_distance, &w->screen);
+    std::vector<uint8_t> pruned(kLanes);
+    code_screen::ScreenCodesBatch<2>(w->screen, w->codes.data(), kLanes,
+                                     pruned.data(), simd::Isa::kScalar);
+    for (uint8_t p : pruned) w->survivors += p == 0 ? 1 : 0;
+    return w;
+  }();
+  return *workload;
+}
+
 uint64_t Reps() {
   const auto reps = static_cast<uint64_t>(static_cast<double>(kFullReps) *
                                           Scale());
@@ -100,6 +146,83 @@ void RunKernel(benchmark::State& state, const std::string& name,
     Timings()[name][isa] = seconds;
     AddRow({name + "/" + simd::IsaName(isa), lanes, seconds, JoinStats{},
             note});
+  }
+}
+
+// One timing loop shared by the two screening-related series; `body` runs
+// the per-rep work over the whole synthetic page.
+template <typename Body>
+void RunScreenSeries(benchmark::State& state, const std::string& name,
+                     simd::Isa isa, const std::string& note_suffix,
+                     Body body) {
+  const uint64_t reps = Reps();
+  body();  // warm up
+  for (auto _ : state) {
+    WallTimer timer;
+    for (uint64_t r = 0; r < reps; ++r) {
+      body();
+      benchmark::ClobberMemory();
+    }
+    const double seconds = timer.Seconds();
+    state.SetIterationTime(seconds);
+    const uint64_t lanes = reps * kLanes;
+    char note[96];
+    std::snprintf(note, sizeof(note), "%.3g entries/sec%s",
+                  seconds > 0.0 ? static_cast<double>(lanes) / seconds : 0.0,
+                  note_suffix.c_str());
+    Timings()[name][isa] = seconds;
+    AddRow({name + "/" + simd::IsaName(isa), lanes, seconds, JoinStats{},
+            note});
+  }
+}
+
+void RegisterScreening() {
+  for (simd::Isa isa : simd::SupportedIsas()) {
+    benchmark::RegisterBenchmark(
+        (std::string("Kernels/ScreenNode/") + simd::IsaName(isa)).c_str(),
+        [isa](benchmark::State& state) {
+          const ScreenWorkload& w = ScreenCase();
+          static std::vector<uint8_t> pruned(kLanes);
+          char suffix[48];
+          std::snprintf(suffix, sizeof(suffix), ", %.1f%% survive",
+                        100.0 * static_cast<double>(w.survivors) / kLanes);
+          RunScreenSeries(state, "ScreenNode", isa, suffix, [&] {
+            code_screen::ScreenCodesBatch<2>(w.screen, w.codes.data(), kLanes,
+                                             pruned.data(), isa);
+            benchmark::DoNotOptimize(pruned.data());
+          });
+        })
+        ->Iterations(1)
+        ->UseManualTime()
+        ->Unit(benchmark::kMillisecond);
+    benchmark::RegisterBenchmark(
+        (std::string("Kernels/DecodeMinDist/") + simd::IsaName(isa)).c_str(),
+        [isa](benchmark::State& state) {
+          const ScreenWorkload& w = ScreenCase();
+          static RectBatch<2> decoded;
+          static std::vector<double> out(kLanes);
+          decoded.resize(kLanes);
+          RunScreenSeries(state, "DecodeMinDist", isa, "", [&] {
+            // What an unscreened visit pays per entry: decode the four codes
+            // to f64 coordinates, then the exact distance kernel.
+            for (size_t i = 0; i < kLanes; ++i) {
+              Rect<2> r;
+              for (int d = 0; d < 2; ++d) {
+                r.lo[d] = ScreenWorkload::QL::Decode(w.grid, d,
+                                                     w.codes[i * 4 + d]);
+                r.hi[d] = ScreenWorkload::QL::Decode(w.grid, d,
+                                                     w.codes[i * 4 + 2 + d]);
+              }
+              decoded.set(i, r);
+            }
+            MinDistBatch(decoded, w.query, Metric::kEuclidean, out.data(), 0,
+                         kLanes, isa);
+            benchmark::DoNotOptimize(out.data());
+          });
+        })
+        ->Iterations(1)
+        ->UseManualTime()
+        ->Unit(benchmark::kMillisecond);
   }
 }
 
@@ -152,6 +275,7 @@ void RegisterAll() {
           ->Unit(benchmark::kMillisecond);
     }
   }
+  RegisterScreening();
 }
 
 void PrintSpeedups() {
@@ -170,6 +294,21 @@ void PrintSpeedups() {
     }
     std::printf("  %-14s best %s: %.2fx over scalar\n", name.c_str(),
                 simd::IsaName(best), scalar->second / best_s);
+  }
+  // The screening headline (DESIGN.md §17): per ISA, how much cheaper the
+  // integer screen makes a node visit than decoding everything and running
+  // the exact kernel (the acceptance bar is >= 1.5x on AVX2 or wider).
+  const auto screen = Timings().find("ScreenNode");
+  const auto decode = Timings().find("DecodeMinDist");
+  if (screen == Timings().end() || decode == Timings().end()) return;
+  std::printf("\nInteger screening vs decode-then-MinDist (%zu-entry page, "
+              "%.1f%% survivors):\n",
+              kLanes,
+              100.0 * static_cast<double>(ScreenCase().survivors) / kLanes);
+  for (const auto& [isa, seconds] : screen->second) {
+    const auto base = decode->second.find(isa);
+    if (base == decode->second.end() || seconds <= 0.0) continue;
+    std::printf("  %-8s %.2fx\n", simd::IsaName(isa), base->second / seconds);
   }
 }
 

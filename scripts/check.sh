@@ -24,6 +24,13 @@ run_release() {
   # bit-identical when runtime dispatch is disabled, so a wide-vector bug
   # can never hide behind "the tests only ran the fast path".
   SDJ_KERNEL=scalar ctest --preset release
+  echo "=== release: ctest again with SDJ_SCREEN=off ==="
+  # Integer code screening disabled (DESIGN.md §17): screening defaults on
+  # for quantized trees, so the normal pass exercises the screened paths and
+  # this pass proves every engine, golden stream, and cursor is byte-identical
+  # with the screen bypassed — the decode-everything path must never rot into
+  # "only correct because the screen hid it" (or vice versa).
+  SDJ_SCREEN=off ctest --preset release
   echo "=== release: full crash-point sweep (SDJ_CRASH_SPILL_STRIDE=1) ==="
   # Deterministic power-loss enumeration (DESIGN.md §16). The snapshot and
   # session-table sweeps already enumerate every write/sync op in the normal

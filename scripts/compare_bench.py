@@ -20,8 +20,10 @@ A third, opt-in gate targets tail latency: --p99-op=serve_slice compares the
 named phase's p99_us between the runs' metrics blocks and fails when the
 current p99 exceeds the baseline by more than --p99-tolerance (a ratio;
 the default 1.0 allows up to a 2x growth — the phase histograms are
-log-bucketed, so one bucket of drift stays within that). Rows where either
-side lacks the metrics block or has a zero baseline p99 are skipped.
+log-bucketed, so one bucket of drift stays within that). A row whose
+baseline lacks the metrics block or has a zero baseline p99 is skipped,
+but a baseline p99 with no current-side value is a regression — a run
+that silently stopped reporting the gated phase must not pass.
 
 The two files must have been produced at the same SDJ_BENCH_SCALE; comparing
 across scales is a usage error. Likewise, when both files carry a
@@ -154,14 +156,25 @@ def main(argv):
 
         p99_note = ""
         p99_growth = None
+        p99_missing = False
         if p99_op is not None:
             base_p99, cur_p99 = p99_us(base, p99_op), p99_us(cur, p99_op)
-            if base_p99 and cur_p99 is not None:
+            if base_p99 and cur_p99 is None:
+                # The baseline gated this phase but the current run stopped
+                # reporting it — silently skipping would hide a disabled or
+                # renamed metric forever. Only a missing/zero *baseline* p99
+                # opts the row out.
+                p99_missing = True
+                p99_note = f"  {p99_op} p99_us {base_p99:.0f} -> (absent)"
+            elif base_p99 and cur_p99 is not None:
                 p99_growth = (cur_p99 - base_p99) / base_p99
                 p99_note = f"  {p99_op} p99_us {base_p99:.0f} -> {cur_p99:.0f}"
 
         verdict = "ok"
-        if pps_drop > time_tolerance:
+        if p99_missing:
+            verdict = f"REGRESSION {p99_op} p99 missing from current run"
+            regressions += 1
+        elif pps_drop > time_tolerance:
             verdict = f"REGRESSION pairs/sec -{pps_drop:.1%}"
             regressions += 1
         elif io_growth > io_tolerance:

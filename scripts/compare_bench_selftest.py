@@ -99,6 +99,18 @@ def main():
         check("p99-zero-base", run(tool, base, cur, "--p99-op=serve_slice"), 0)
         write(base, {"scale": 1.0, "rows": make_rows()})
         check("p99-no-metrics", run(tool, base, cur, "--p99-op=serve_slice"), 0)
+        # A baseline that gates the phase paired with a current run that
+        # stopped reporting it must fail — not silently skip (a disabled
+        # metric would otherwise pass the gate forever).
+        write(base, {"scale": 1.0, "rows": make_rows(p99_us=100.0)})
+        write(cur, {"scale": 1.0, "rows": make_rows()})
+        check(
+            "p99-missing-current",
+            run(tool, base, cur, "--p99-op=serve_slice"),
+            1,
+        )
+        write(base, {"scale": 1.0, "rows": make_rows()})
+        write(cur, {"scale": 1.0, "rows": make_rows(p99_us=450.0)})
 
         # A baseline row absent from the current run is a regression (as
         # long as something still matches; an empty run is a schema error).

@@ -57,6 +57,7 @@
 #include "core/pair_entry.h"
 #include "core/pair_queue.h"
 #include "core/snapshot.h"
+#include "geometry/code_screen.h"
 #include "geometry/rect_batch.h"
 #include "obs/metrics.h"
 #include "storage/buffer_pool.h"
@@ -252,6 +253,48 @@ class BestFirstEngine {
     return true;
   }
 
+  // Runs a pinned node's screened decode (integer code screening on
+  // quantized pages, DESIGN.md §17) and charges the screening counters.
+  // Returns the number of entries screened out; every one of them is
+  // provably out of range (the classify ladder would verdict kSlotRangeMax),
+  // so the CALLER must charge the same per-entry counters that verdict
+  // charges at its site — the pair stream and all pre-existing counters then
+  // stay byte-identical with screening on or off.
+  size_t ScreenedDecode(const typename Index::PinnedNode& node,
+                        const Rect<Dim>& query, double max_distance,
+                        simd::Isa isa, RectBatch<Dim>* batch,
+                        std::vector<uint64_t>* refs) {
+    size_t dropped = 0;
+    const bool ran = node.DecodeScreened(query, max_distance, isa,
+                                         &screen_scratch_, batch, refs,
+                                         &dropped);
+    if (ran) {
+      stats_.screened_candidates += batch->size() + dropped;
+      stats_.screen_survivors += batch->size();
+    }
+    return dropped;
+  }
+
+  // PinDecode with integer code screening: decodes only the entries that
+  // could possibly lie within `max_distance` of `query`. *screened_out gets
+  // the dropped-entry count (see ScreenedDecode for the caller's counter
+  // obligation); raw pages and unprunable grids behave exactly like
+  // PinDecode with *screened_out == 0.
+  bool PinDecodeScreened(const Index& tree, uint64_t ref,
+                         const Rect<Dim>& query, double max_distance,
+                         simd::Isa isa, RectBatch<Dim>* batch,
+                         std::vector<uint64_t>* refs, bool* leaf, int* level,
+                         size_t* screened_out) {
+    typename Index::PinnedNode node =
+        tree.TryPin(static_cast<storage::PageId>(ref));
+    if (!node.ok()) return false;
+    *screened_out =
+        ScreenedDecode(node, query, max_distance, isa, batch, refs);
+    *leaf = node.is_leaf();
+    *level = node.level();
+    return true;
+  }
+
   // ---- child-item materialization ----
 
   // Turns entry `i` of a decoded node batch into a queue item. `object_kind`
@@ -429,6 +472,8 @@ class BestFirstEngine {
     out->PutU64(s.spill_fallbacks);
     out->PutU64(s.batch_kernel_invocations);
     out->PutU64(s.parallel_expansions);
+    out->PutU64(s.screened_candidates);
+    out->PutU64(s.screen_survivors);
   }
 
   static void ReadStats(snapshot::BlobReader* in, JoinStats* s) {
@@ -452,6 +497,8 @@ class BestFirstEngine {
     s->spill_fallbacks = in->GetU64();
     s->batch_kernel_invocations = in->GetU64();
     s->parallel_expansions = in->GetU64();
+    s->screened_candidates = in->GetU64();
+    s->screen_survivors = in->GetU64();
   }
 
   // Serializes the core state — sequence counter, status, statistics, queue
@@ -567,6 +614,7 @@ class BestFirstEngine {
   std::vector<Entry> slot_entries_;
   std::vector<Entry> accepted_;
   std::vector<uint8_t> slot_state_;
+  code_screen::ScreenScratch<Dim> screen_scratch_;
 
   uint64_t next_seq_ = 0;
   JoinStatus status_ = JoinStatus::kOk;

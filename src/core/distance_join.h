@@ -31,6 +31,7 @@
 #define SDJOIN_CORE_DISTANCE_JOIN_H_
 
 #include <algorithm>
+#include <cmath>
 #include <cstdint>
 #include <functional>
 #include <limits>
@@ -47,6 +48,7 @@
 #include "core/pair_entry.h"
 #include "core/pair_queue.h"
 #include "core/snapshot.h"
+#include "geometry/code_screen.h"
 #include "geometry/distance.h"
 #include "geometry/metrics.h"
 #include "geometry/rect_batch.h"
@@ -158,6 +160,19 @@ struct DistanceJoinOptions {
   // change the pair stream, any statistic, or the snapshot fingerprint.
   // Overridable per process with SDJ_KERNEL and per CLI run with --kernel=.
   simd::Isa kernel_isa = simd::Isa::kAuto;
+
+  // Integer-domain candidate screening on quantized node pages (DESIGN.md
+  // §17): screen entry codes against the query in u16 arithmetic and decode
+  // only possible survivors. Screening removes only entries the classify
+  // ladder would prune as out-of-range, so the pair stream and every
+  // pre-existing statistic are byte-identical with it on or off (only the
+  // screened_candidates/screen_survivors counters differ); it engages only
+  // in configurations where that equivalence is provable (quantized pages,
+  // finite max_distance, forward order, fast-path classify, no windows).
+  // Defaults on; SDJ_SCREEN=off disables per process, --screen= per CLI
+  // run. Unlike kernel_isa this IS part of the snapshot fingerprint, since
+  // the screening counters persist in saved stats.
+  bool screen_codes = code_screen::DefaultEnabled();
 };
 
 // Optional selection criteria on the joined relations (Section 2.2.5's first
@@ -312,6 +327,7 @@ class DistanceJoin
     out->PutBool(options_.exact_object_distance != nullptr);
     out->PutBool(filters_.Empty());
     out->PutBool(minimal_regions_);
+    out->PutBool(options_.screen_codes);
     out->PutU64(tree1_.size());
     out->PutU64(tree2_.size());
     // Policy cursor scalars, then the core section (seq counter, status,
@@ -367,6 +383,7 @@ class DistanceJoin
     }
     if (in->GetBool() != filters_.Empty()) return false;
     if (in->GetBool() != minimal_regions_) return false;
+    if (in->GetBool() != options_.screen_codes) return false;
     if (in->GetU64() != tree1_.size()) return false;
     if (in->GetU64() != tree2_.size()) return false;
     if (!in->ok()) return false;
@@ -415,11 +432,15 @@ class DistanceJoin
   using Base::status_;
   using Base::MarkIoError;
   using Base::PinDecode;
+  using Base::PinDecodeScreened;
+  using Base::ScreenedDecode;
 
   static constexpr uint32_t kStateMagic = 0x534A4A43;  // "SJJC"
   // Version 2: the cursor scalars moved around the shared core section
   // (core/best_first.h SaveCore).
-  static constexpr uint32_t kStateVersion = 2;
+  // Version 3: screen_codes in the fingerprint, screening counters in the
+  // shared stats section.
+  static constexpr uint32_t kStateVersion = 3;
 
   static BestFirstConfig MakeConfig(const DistanceJoinOptions& options) {
     BestFirstConfig config;
@@ -893,6 +914,20 @@ class DistanceJoin
     return options_.min_distance > 0.0 || options_.reverse_order;
   }
 
+  // Integer code screening may drop an entry only when the classify ladder
+  // is guaranteed to reach its `d > max_distance` rung for that entry with
+  // exactly the counter charges the caller reproduces: the fast-path ladder
+  // must be in effect, no window may claim the prune first, max_distance
+  // must be the finite, fixed bound screening was derived against (no
+  // estimator — implied by FastPathActive), and forward order (reverse
+  // keeps far pairs). Quantized-vs-raw pages are resolved per node by
+  // DecodeScreened itself.
+  bool ScreenEligible() const {
+    return options_.screen_codes && FastPathActive() &&
+           !filters_.window1.has_value() && !filters_.window2.has_value() &&
+           std::isfinite(options_.max_distance) && !options_.reverse_order;
+  }
+
   // The core ClassifyAndEnqueue's spec under FastPathActive: the immutable
   // subset of the join's acceptance ladder.
   typename Base::ClassifySpec FastSpec() const {
@@ -915,7 +950,15 @@ class DistanceJoin
   bool ProcessNode1(const Entry& e) {
     bool leaf;
     int level;
-    if (!PinDecode(tree1_, e.item1.ref, &batch1_, &refs1_, &leaf, &level)) {
+    size_t screened = 0;
+    if (ScreenEligible()) {
+      if (!PinDecodeScreened(tree1_, e.item1.ref, e.item2.rect,
+                             options_.max_distance, isa_, &batch1_, &refs1_,
+                             &leaf, &level, &screened)) {
+        return MarkIoError();
+      }
+    } else if (!PinDecode(tree1_, e.item1.ref, &batch1_, &refs1_, &leaf,
+                          &level)) {
       return MarkIoError();
     }
     ++stats_.nodes_expanded;
@@ -932,6 +975,13 @@ class DistanceJoin
     if (FastPathActive()) {
       const bool object_pair = leaf && ObjectKind() == JoinItemKind::kObject &&
                                e.item2.kind == JoinItemKind::kObject;
+      // Screened-out entries would have reached the ladder's range rung:
+      // charge exactly what kSlotRangeMax charges there.
+      if (screened > 0) {
+        stats_.total_distance_calcs += screened;
+        stats_.pruned_by_range += screened;
+        if (object_pair) stats_.object_distance_calcs += screened;
+      }
       this->ClassifyAndEnqueue(
           FastSpec(), n, mind1_.data(), object_pair,
           [&](size_t i) -> const Item& { return left_[i]; },
@@ -952,7 +1002,15 @@ class DistanceJoin
   bool ProcessNode2(const Entry& e) {
     bool leaf;
     int level;
-    if (!PinDecode(tree2_, e.item2.ref, &batch2_, &refs2_, &leaf, &level)) {
+    size_t screened = 0;
+    if (ScreenEligible()) {
+      if (!PinDecodeScreened(tree2_, e.item2.ref, e.item1.rect,
+                             options_.max_distance, isa_, &batch2_, &refs2_,
+                             &leaf, &level, &screened)) {
+        return MarkIoError();
+      }
+    } else if (!PinDecode(tree2_, e.item2.ref, &batch2_, &refs2_, &leaf,
+                          &level)) {
       return MarkIoError();
     }
     ++stats_.nodes_expanded;
@@ -967,6 +1025,11 @@ class DistanceJoin
         const bool object_pair = leaf &&
                                  ObjectKind() == JoinItemKind::kObject &&
                                  e.item1.kind == JoinItemKind::kObject;
+        if (screened > 0) {
+          stats_.total_distance_calcs += screened;
+          stats_.pruned_by_range += screened;
+          if (object_pair) stats_.object_distance_calcs += screened;
+        }
         this->ClassifyAndEnqueue(
             FastSpec(), n, mind2_.data(), object_pair,
             [&](size_t) -> const Item& { return e.item1; },
@@ -1013,6 +1076,8 @@ class DistanceJoin
     bool leaf2;
     int level1;
     int level2;
+    size_t screened1 = 0;
+    size_t screened2 = 0;
     {
       typename Index::PinnedNode node1 =
           tree1_.TryPin(static_cast<storage::PageId>(e.item1.ref));
@@ -1025,10 +1090,21 @@ class DistanceJoin
         estimator_->MarkFirstItemProcessed(EncodeEstimatorItem(
             static_cast<uint8_t>(e.item1.kind), e.item1.level, e.item1.ref));
       }
-      node1.DecodeInto(&batch1_, &refs1_);
+      if (ScreenEligible()) {
+        // ScreenEligible implies no estimator, so EffectiveMax() below is
+        // exactly options_.max_distance — the bound screening prunes by.
+        screened1 =
+            this->ScreenedDecode(node1, e.item2.rect, options_.max_distance,
+                                 isa_, &batch1_, &refs1_);
+        screened2 =
+            this->ScreenedDecode(node2, e.item1.rect, options_.max_distance,
+                                 isa_, &batch2_, &refs2_);
+      } else {
+        node1.DecodeInto(&batch1_, &refs1_);
+        node2.DecodeInto(&batch2_, &refs2_);
+      }
       leaf1 = node1.is_leaf();
       level1 = node1.level();
-      node2.DecodeInto(&batch2_, &refs2_);
       leaf2 = node2.is_leaf();
       level2 = node2.level();
     }
@@ -1040,6 +1116,13 @@ class DistanceJoin
     MinDistBatch(batch2_, e.item1.rect, options_.metric, mind2_.data(), 0,
                  batch2_.size(), isa_);
     stats_.batch_kernel_invocations += 2;
+    // Screened-out entries are exactly entries FilterSide would have
+    // rejected (their MINDIST exceeds eff_max == options_.max_distance):
+    // charge its per-entry counters for them.
+    if (screened1 + screened2 > 0) {
+      stats_.total_distance_calcs += screened1 + screened2;
+      stats_.pruned_by_range += screened1 + screened2;
+    }
     FilterSide(batch1_, refs1_, mind1_, leaf1, level1, eff_max, &left_);
     FilterSide(batch2_, refs2_, mind2_, leaf2, level2, eff_max, &right_);
     const auto by_lo = [](const Item& a, const Item& b) {

@@ -56,6 +56,14 @@ struct JoinStats {
   // Expansions whose child-pair scoring was sharded across worker threads
   // (num_threads > 1 and enough candidates to amortize the handoff).
   uint64_t parallel_expansions = 0;
+  // Entries run through the integer code-screening stage on quantized pages
+  // (DESIGN.md §17), and how many survived to be decoded. Screening only
+  // removes entries the classify ladder would prune as out-of-range — the
+  // pair stream and every counter above are identical with screening on or
+  // off; these two are the only screening-dependent counters, so the golden
+  // fixtures deliberately exclude them.
+  uint64_t screened_candidates = 0;
+  uint64_t screen_survivors = 0;
 };
 
 }  // namespace sdj

@@ -11,12 +11,14 @@
 #ifndef SDJOIN_CORE_WITHIN_JOIN_H_
 #define SDJOIN_CORE_WITHIN_JOIN_H_
 
+#include <cmath>
 #include <cstdint>
 
 #include "core/best_first.h"
 #include "core/hybrid_queue.h"
 #include "core/join_result.h"
 #include "core/pair_entry.h"
+#include "geometry/code_screen.h"
 #include "geometry/metrics.h"
 #include "geometry/rect_batch.h"
 #include "obs/metrics.h"
@@ -38,6 +40,11 @@ struct WithinJoinOptions {
   // SIMD path for the batched kernels (DESIGN.md §15); bit-identical to
   // scalar on every path, so it can never change the pair stream.
   simd::Isa kernel_isa = simd::Isa::kAuto;
+  // Integer code screening on quantized pages (DESIGN.md §17). The within
+  // join always has a fixed finite bound (epsilon) and the one-bound fast
+  // ladder, so screening engages whenever the tree is quantized; the pair
+  // stream and pre-existing stats stay byte-identical either way.
+  bool screen_codes = code_screen::DefaultEnabled();
 };
 
 // Usage mirrors DistanceJoin:
@@ -86,6 +93,7 @@ class IncWithinJoin
     out->PutU8(static_cast<uint8_t>(options_.metric));
     out->PutU8(static_cast<uint8_t>(options_.tie_break));
     out->PutDouble(options_.epsilon);
+    out->PutBool(options_.screen_codes);
     out->PutBool(options_.use_hybrid_queue);
     out->PutDouble(options_.hybrid.tier_width);
     out->PutU64(tree1_.size());
@@ -100,6 +108,7 @@ class IncWithinJoin
     if (in->GetU8() != static_cast<uint8_t>(options_.metric)) return false;
     if (in->GetU8() != static_cast<uint8_t>(options_.tie_break)) return false;
     if (in->GetDouble() != options_.epsilon) return false;
+    if (in->GetBool() != options_.screen_codes) return false;
     if (in->GetBool() != options_.use_hybrid_queue) return false;
     if (in->GetDouble() != options_.hybrid.tier_width) return false;
     if (in->GetU64() != tree1_.size()) return false;
@@ -114,9 +123,12 @@ class IncWithinJoin
   using Base::batch1_, Base::batch2_, Base::refs1_, Base::refs2_;
   using Base::left_, Base::right_, Base::mind1_, Base::mind2_;
   using Base::stats_, Base::MarkIoError, Base::PinDecode;
+  using Base::PinDecodeScreened;
 
   static constexpr uint32_t kStateMagic = 0x534A5745;  // "SJWE"
-  static constexpr uint32_t kStateVersion = 1;
+  // Version 2: screen_codes in the fingerprint, screening counters in the
+  // shared stats section.
+  static constexpr uint32_t kStateVersion = 2;
 
   static BestFirstConfig MakeConfig(const WithinJoinOptions& options) {
     return BestFirstConfig{options.tie_break,  options.use_hybrid_queue,
@@ -150,7 +162,13 @@ class IncWithinJoin
     bool leaf;
     int level;
     const uint64_t ref = second ? e.item2.ref : e.item1.ref;
-    if (!PinDecode(tree, ref, &batch, &refs, &leaf, &level)) {
+    size_t screened = 0;
+    if (options_.screen_codes && std::isfinite(options_.epsilon)) {
+      if (!PinDecodeScreened(tree, ref, fixed.rect, options_.epsilon, isa_,
+                             &batch, &refs, &leaf, &level, &screened)) {
+        return MarkIoError();
+      }
+    } else if (!PinDecode(tree, ref, &batch, &refs, &leaf, &level)) {
       return MarkIoError();
     }
     ++stats_.nodes_expanded;
@@ -161,6 +179,13 @@ class IncWithinJoin
     this->BuildChildItems(batch, refs, leaf, level, JoinItemKind::kObject,
                           &items);
     const bool object_pair = leaf && fixed.kind == JoinItemKind::kObject;
+    // Screened-out entries would have reached the classify ladder's
+    // `d > epsilon` rung: charge exactly what it charges there.
+    if (screened > 0) {
+      stats_.total_distance_calcs += screened;
+      stats_.pruned_by_range += screened;
+      if (object_pair) stats_.object_distance_calcs += screened;
+    }
     this->ClassifyAndEnqueue(
         spec_, batch.size(), mind.data(), object_pair,
         [&](size_t i) -> const Item& { return second ? fixed : items[i]; },

@@ -1,0 +1,418 @@
+// Integer-domain candidate screening over quantized node codes
+// (DESIGN.md §17).
+//
+// A quantized R-tree page (rtree/node_layout.h) stores entry MBRs as u16
+// codes over a per-node grid: coord = base[d] + code * scale[d]. Before
+// decoding a page's entries to doubles, the engines can screen them against
+// the current query rectangle and distance cutoff entirely in u16
+// arithmetic: encode the query once per visited node with INWARD rounding
+// (largest code decoding <= query.lo, smallest code decoding >= query.hi),
+// so any code-space gap between an entry and the query UNDERestimates the
+// real separation; convert the cutoff into a per-dimension code-gap
+// threshold with an error margin wide enough that a screened-out entry's
+// decoded rect is guaranteed to compute MinDist > cutoff in the exact f64
+// kernels. Screening therefore only ever removes entries the classify
+// ladder would discard as out-of-range anyway — the surviving pair stream
+// is byte-identical with screening on or off, which is what lets the
+// engines keep the bit-exactness contract while skipping the f64 decode
+// for the losers.
+//
+// The threshold is metric-independent: for L1, L2, and L-infinity alike, a
+// single dimension's separation is a lower bound on MINDIST, so "some
+// dimension's code gap exceeds its threshold" implies the pair is out of
+// range under any of the three metrics.
+//
+// The batch kernel is pure integer (saturating u16 subtract + compare), so
+// every ISA path is trivially bit-identical; the per-ISA lockstep tests in
+// tests/geometry_distance_test.cc assert it anyway. The 512-bit path needs
+// AVX512BW (u16 lanes); on AVX512F-only hardware it drops to the AVX2 path.
+#ifndef SDJOIN_GEOMETRY_CODE_SCREEN_H_
+#define SDJOIN_GEOMETRY_CODE_SCREEN_H_
+
+#include <cmath>
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <vector>
+
+#include "geometry/metrics.h"
+#include "geometry/rect.h"
+#include "geometry/simd.h"
+
+namespace sdj::code_screen {
+
+inline constexpr uint16_t kMaxCode = 65535;
+
+// Process-wide default for the engines' screen_codes option: SDJ_SCREEN=off
+// (or =0) disables screening, anything else — including unset — enables it.
+// Read once, like simd::DefaultIsa's SDJ_KERNEL.
+inline bool DefaultEnabled() {
+  static const bool enabled = [] {
+    const char* v = std::getenv("SDJ_SCREEN");
+    return v == nullptr ||
+           (std::strcmp(v, "off") != 0 && std::strcmp(v, "0") != 0);
+  }();
+  return enabled;
+}
+
+// Per-node screening state: the inward-rounded query codes and per-dim
+// code-gap thresholds, valid for one (grid, query, cutoff) triple. A
+// dimension that cannot prune (zero/degenerate scale, cutoff too large for
+// the grid's resolution) carries the sentinel triple qlo=0 / qhi=kMaxCode /
+// threshold=kMaxCode, which makes both saturating gaps compare <= threshold
+// for every entry. `active` is false when every dimension is a sentinel —
+// callers should then skip screening and decode everything.
+template <int Dim>
+struct ScreenQuery {
+  bool active = false;
+  uint16_t qlo[Dim];        // largest code with decode <= query.lo (else 0)
+  uint16_t qhi[Dim];        // smallest code with decode >= query.hi
+                            // (else kMaxCode)
+  uint16_t threshold[Dim];  // prune iff some code gap > threshold
+  double eff[Dim];          // error-padded step size, for CodeMinDistLB
+};
+
+namespace screen_internal {
+
+inline uint16_t SatSub(uint16_t a, uint16_t b) {
+  return a > b ? static_cast<uint16_t>(a - b) : static_cast<uint16_t>(0);
+}
+
+inline double DecodeAt(double base, double scale, uint32_t code) {
+  return base + code * scale;
+}
+
+// Largest code whose decode is <= x, or 0 when none qualifies (base > x).
+// 0 doubles as the never-prunes sentinel: the below-query gap
+// SatSub(qlo, entry_hi) is then always 0. Same estimate-plus-ulp-walk shape
+// as node_layout.h's EncodeLo, but with no precondition on x (the query
+// rect may lie anywhere relative to the node's grid).
+inline uint16_t CodeAtMost(double base, double scale, double x) {
+  if (!(x >= base)) return 0;
+  double est = (x - base) / scale;
+  if (!(est >= 0.0)) est = 0.0;
+  if (est > kMaxCode) est = kMaxCode;
+  uint32_t q = static_cast<uint32_t>(est);
+  while (q > 0 && DecodeAt(base, scale, q) > x) --q;
+  while (q < kMaxCode && DecodeAt(base, scale, q + 1) <= x) ++q;
+  return static_cast<uint16_t>(q);
+}
+
+// Smallest code whose decode is >= x, or kMaxCode when none qualifies
+// (x above the grid span). kMaxCode doubles as the never-prunes sentinel:
+// the above-query gap SatSub(entry_lo, qhi) is then always 0.
+inline uint16_t CodeAtLeast(double base, double scale, double x) {
+  if (!(x <= DecodeAt(base, scale, kMaxCode))) return kMaxCode;
+  double est = (x - base) / scale;
+  if (!(est >= 0.0)) est = 0.0;
+  if (est > kMaxCode) est = kMaxCode;
+  uint32_t q = static_cast<uint32_t>(est);
+  while (q < kMaxCode && DecodeAt(base, scale, q) < x) ++q;
+  while (q > 0 && DecodeAt(base, scale, q - 1) >= x) --q;
+  return static_cast<uint16_t>(q);
+}
+
+}  // namespace screen_internal
+
+// Builds the screening state for one visited node. `base`/`scale` are the
+// node grid's Dim-sized arrays; `max_distance` is the engine's current
+// range cutoff (pairs with MinDist > max_distance are discarded).
+//
+// Soundness margin: decoding code c computes fl(base + fl(c * scale)),
+// whose absolute error is < (|base| + kMaxCode*scale) * 2^-51. A code gap
+// of g between inward-rounded query codes and an entry's codes therefore
+// guarantees a real separation >= g*scale - 2*err with
+// err = (|base| + kMaxCode*scale) * 2^-50 (double the bound, for slack).
+// We fold that into an effective step eff = scale - 2*err, walk it two ulps
+// down for the rounding of that very expression, and shave a relative
+// 2^-40 margin so that the exact kernels' own rounding (a subtraction plus
+// the metric combine, a few ulps) can never pull a computed MinDist back
+// under the cutoff: gap > threshold >= max_distance / eff_final implies
+// the f64 kernels compute MinDist(decoded entry, query) > max_distance.
+template <int Dim>
+void Prepare(const double* base, const double* scale, const Rect<Dim>& query,
+             double max_distance, ScreenQuery<Dim>* out) {
+  out->active = false;
+  for (int d = 0; d < Dim; ++d) {
+    out->qlo[d] = 0;
+    out->qhi[d] = kMaxCode;
+    out->threshold[d] = kMaxCode;
+    out->eff[d] = 0.0;
+    const double s = scale[d];
+    if (!(s > 0.0) || !std::isfinite(s) || !std::isfinite(base[d])) continue;
+    const double mag = std::abs(base[d]) + static_cast<double>(kMaxCode) * s;
+    const double err = mag * 0x1p-50;
+    double eff = s - 2.0 * err;
+    eff = std::nextafter(eff, 0.0);
+    eff = std::nextafter(eff, 0.0);
+    if (!(eff > 0.0)) continue;  // grid too coarse-grained to pad: no pruning
+    const double eff_final = eff * (1.0 - 0x1p-40);
+    double ratio = max_distance / eff_final;
+    if (!(ratio >= 0.0)) ratio = 0.0;  // negative cutoff: everything is far
+    // A code gap never exceeds kMaxCode, so a threshold that large can
+    // never fire; leave the sentinel (also covers an infinite cutoff).
+    if (!(ratio < 65534.0)) continue;
+    out->qlo[d] = screen_internal::CodeAtMost(base[d], s, query.lo[d]);
+    out->qhi[d] = screen_internal::CodeAtLeast(base[d], s, query.hi[d]);
+    out->threshold[d] = static_cast<uint16_t>(static_cast<uint32_t>(ratio) + 1);
+    out->eff[d] = eff_final;
+    out->active = true;
+  }
+}
+
+// Scalar screening oracle: true iff the entry is provably out of range.
+// `codes` is one entry's 2*Dim codes in page order (lo codes then hi
+// codes). At most one of the two gaps per dimension is nonzero.
+template <int Dim>
+inline bool ScreenOne(const ScreenQuery<Dim>& q, const uint16_t* codes) {
+  for (int d = 0; d < Dim; ++d) {
+    if (screen_internal::SatSub(codes[d], q.qhi[d]) > q.threshold[d]) {
+      return true;  // entry lies above the query in dimension d
+    }
+    if (screen_internal::SatSub(q.qlo[d], codes[Dim + d]) > q.threshold[d]) {
+      return true;  // entry lies below the query in dimension d
+    }
+  }
+  return false;
+}
+
+// f64 lower bound on what the exact kernels will compute for the decoded
+// entry: per-dimension delta = one-ulp-down(gap * eff), combined with
+// exactly the metric fold the kernels use (monotone in each delta), so
+// CodeMinDistLB <= MinDist(decoded entry, query) holds bit-for-bit. The
+// engines never call this — they compare integer gaps against thresholds —
+// but the missed-candidate property test pins the bound itself.
+template <int Dim>
+double CodeMinDistLB(const ScreenQuery<Dim>& q, const uint16_t* codes,
+                     Metric metric) {
+  double acc = 0.0;
+  for (int d = 0; d < Dim; ++d) {
+    const uint16_t above = screen_internal::SatSub(codes[d], q.qhi[d]);
+    const uint16_t below = screen_internal::SatSub(q.qlo[d], codes[Dim + d]);
+    const uint16_t gap = above > below ? above : below;
+    double delta = static_cast<double>(gap) * q.eff[d];
+    delta = std::nextafter(delta, 0.0);
+    if (!(delta > 0.0)) delta = 0.0;
+    acc = metric_internal::Accumulate(metric, acc, delta);
+  }
+  return metric_internal::Finish(metric, acc);
+}
+
+namespace screen_internal {
+
+// Broadcasts the query's per-dimension constants across a vector register's
+// u16 lanes, one 2*Dim-lane group per entry, matching the page's code
+// layout [lo codes | hi codes]. Lane l of entry group:
+//   l <  Dim (a lo code):  above-gap side — sub = qhi[l],  other side dead
+//   l >= Dim (a hi code):  below-gap side — rsub = qlo[l-Dim], other dead
+// "Dead" sides use 0xFFFF / 0 so their saturating subtraction is always 0.
+template <int Dim>
+inline void FillPatterns(const ScreenQuery<Dim>& q, int lanes, uint16_t* sub,
+                         uint16_t* rsub, uint16_t* thr) {
+  for (int l = 0; l < lanes; ++l) {
+    const int j = l % (2 * Dim);
+    if (j < Dim) {
+      sub[l] = q.qhi[j];
+      rsub[l] = 0;
+      thr[l] = q.threshold[j];
+    } else {
+      sub[l] = 0xFFFF;
+      rsub[l] = q.qlo[j - Dim];
+      thr[l] = q.threshold[j - Dim];
+    }
+  }
+}
+
+template <int Dim>
+void ScreenBatchScalar(const ScreenQuery<Dim>& q, const uint16_t* codes,
+                       size_t n, uint8_t* pruned) {
+  for (size_t i = 0; i < n; ++i) {
+    pruned[i] = ScreenOne(q, codes + i * 2 * Dim) ? 1 : 0;
+  }
+}
+
+#if SDJ_SIMD_X86
+
+// The vector paths evaluate both gap tests for all lanes at once:
+//   above = satsub(satsub(codes, sub), thr)
+//   below = satsub(satsub(rsub, codes), thr)
+// and an entry is pruned iff any lane of its group has (above|below) != 0 —
+// exactly ScreenOne, which the tail and the non-dividing-Dim fallbacks run
+// directly. A vector handles a whole number of entries only when its lane
+// count is divisible by 2*Dim (Dim=3 never divides; it stays scalar).
+
+template <int Dim>
+void ScreenBatchSse2(const ScreenQuery<Dim>& q, const uint16_t* codes,
+                     size_t n, uint8_t* pruned) {
+  constexpr int kGroup = 2 * Dim;
+  if constexpr (8 % kGroup != 0) {
+    ScreenBatchScalar(q, codes, n, pruned);
+  } else {
+    constexpr int kPer = 8 / kGroup;
+    constexpr int kBits = 2 * kGroup;  // movemask_epi8: 2 bits per u16 lane
+    alignas(16) uint16_t psub[8];
+    alignas(16) uint16_t prsub[8];
+    alignas(16) uint16_t pthr[8];
+    FillPatterns(q, 8, psub, prsub, pthr);
+    const __m128i vsub =
+        _mm_load_si128(reinterpret_cast<const __m128i*>(psub));
+    const __m128i vrsub =
+        _mm_load_si128(reinterpret_cast<const __m128i*>(prsub));
+    const __m128i vthr =
+        _mm_load_si128(reinterpret_cast<const __m128i*>(pthr));
+    size_t i = 0;
+    for (; i + kPer <= n; i += kPer) {
+      const __m128i e = _mm_loadu_si128(
+          reinterpret_cast<const __m128i*>(codes + i * kGroup));
+      const __m128i above =
+          _mm_subs_epu16(_mm_subs_epu16(e, vsub), vthr);
+      const __m128i below =
+          _mm_subs_epu16(_mm_subs_epu16(vrsub, e), vthr);
+      const int zeros = _mm_movemask_epi8(_mm_cmpeq_epi16(
+          _mm_or_si128(above, below), _mm_setzero_si128()));
+      for (int g = 0; g < kPer; ++g) {
+        const int group = (zeros >> (g * kBits)) & ((1 << kBits) - 1);
+        pruned[i + g] = group != (1 << kBits) - 1 ? 1 : 0;
+      }
+    }
+    for (; i < n; ++i) {
+      pruned[i] = ScreenOne(q, codes + i * kGroup) ? 1 : 0;
+    }
+  }
+}
+
+#if SDJ_SIMD_WIDE
+
+template <int Dim>
+SDJ_TARGET_AVX2 void ScreenBatchAvx2(const ScreenQuery<Dim>& q,
+                                     const uint16_t* codes, size_t n,
+                                     uint8_t* pruned) {
+  constexpr int kGroup = 2 * Dim;
+  if constexpr (16 % kGroup != 0) {
+    ScreenBatchSse2(q, codes, n, pruned);
+  } else {
+    constexpr int kPer = 16 / kGroup;
+    constexpr int kBits = 2 * kGroup;
+    alignas(32) uint16_t psub[16];
+    alignas(32) uint16_t prsub[16];
+    alignas(32) uint16_t pthr[16];
+    FillPatterns(q, 16, psub, prsub, pthr);
+    const __m256i vsub =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(psub));
+    const __m256i vrsub =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(prsub));
+    const __m256i vthr =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(pthr));
+    size_t i = 0;
+    for (; i + kPer <= n; i += kPer) {
+      const __m256i e = _mm256_loadu_si256(
+          reinterpret_cast<const __m256i*>(codes + i * kGroup));
+      const __m256i above =
+          _mm256_subs_epu16(_mm256_subs_epu16(e, vsub), vthr);
+      const __m256i below =
+          _mm256_subs_epu16(_mm256_subs_epu16(vrsub, e), vthr);
+      const uint32_t zeros =
+          static_cast<uint32_t>(_mm256_movemask_epi8(_mm256_cmpeq_epi16(
+              _mm256_or_si256(above, below), _mm256_setzero_si256())));
+      for (int g = 0; g < kPer; ++g) {
+        const uint32_t group = (zeros >> (g * kBits)) & ((1u << kBits) - 1);
+        pruned[i + g] = group != (1u << kBits) - 1 ? 1 : 0;
+      }
+    }
+    for (; i < n; ++i) {
+      pruned[i] = ScreenOne(q, codes + i * kGroup) ? 1 : 0;
+    }
+  }
+}
+
+template <int Dim>
+SDJ_TARGET_AVX512BW void ScreenBatchAvx512(const ScreenQuery<Dim>& q,
+                                           const uint16_t* codes, size_t n,
+                                           uint8_t* pruned) {
+  constexpr int kGroup = 2 * Dim;
+  if constexpr (32 % kGroup != 0) {
+    ScreenBatchAvx2(q, codes, n, pruned);
+  } else {
+    constexpr int kPer = 32 / kGroup;
+    alignas(64) uint16_t psub[32];
+    alignas(64) uint16_t prsub[32];
+    alignas(64) uint16_t pthr[32];
+    FillPatterns(q, 32, psub, prsub, pthr);
+    const __m512i vsub = _mm512_load_si512(psub);
+    const __m512i vrsub = _mm512_load_si512(prsub);
+    const __m512i vthr = _mm512_load_si512(pthr);
+    size_t i = 0;
+    for (; i + kPer <= n; i += kPer) {
+      const __m512i e = _mm512_loadu_si512(codes + i * kGroup);
+      const __m512i above =
+          _mm512_subs_epu16(_mm512_subs_epu16(e, vsub), vthr);
+      const __m512i below =
+          _mm512_subs_epu16(_mm512_subs_epu16(vrsub, e), vthr);
+      const __m512i any = _mm512_or_si512(above, below);
+      const uint32_t nonzero =
+          static_cast<uint32_t>(_mm512_test_epi16_mask(any, any));
+      for (int g = 0; g < kPer; ++g) {
+        const uint32_t group =
+            (nonzero >> (g * kGroup)) & ((1u << kGroup) - 1);
+        pruned[i + g] = group != 0 ? 1 : 0;
+      }
+    }
+    for (; i < n; ++i) {
+      pruned[i] = ScreenOne(q, codes + i * kGroup) ? 1 : 0;
+    }
+  }
+}
+
+#endif  // SDJ_SIMD_WIDE
+#endif  // SDJ_SIMD_X86
+
+}  // namespace screen_internal
+
+// Screens a whole page's worth of entry codes (contiguous, 2*Dim codes per
+// entry in page order — QuantizedNodeLayout::CopyCodes) against the
+// prepared query. Writes pruned[i] = 1 for entries provably out of range,
+// 0 for survivors. Every ISA path produces identical bytes (pure integer
+// arithmetic); `isa` follows the same request/clamp semantics as the f64
+// kernels in rect_batch.h. AVX-512 additionally requires AVX512BW for the
+// u16 lanes and otherwise runs the AVX2 path.
+template <int Dim>
+void ScreenCodesBatch(const ScreenQuery<Dim>& q, const uint16_t* codes,
+                      size_t n, uint8_t* pruned,
+                      simd::Isa isa = simd::Isa::kAuto) {
+  switch (simd::Resolve(isa)) {
+#if SDJ_SIMD_WIDE
+    case simd::Isa::kAvx512:
+      if (simd::Avx512BwSupported()) {
+        screen_internal::ScreenBatchAvx512(q, codes, n, pruned);
+      } else {
+        screen_internal::ScreenBatchAvx2(q, codes, n, pruned);
+      }
+      return;
+    case simd::Isa::kAvx2:
+      screen_internal::ScreenBatchAvx2(q, codes, n, pruned);
+      return;
+#endif
+#if SDJ_SIMD_X86
+    case simd::Isa::kSse2:
+      screen_internal::ScreenBatchSse2(q, codes, n, pruned);
+      return;
+#endif
+    default:
+      screen_internal::ScreenBatchScalar(q, codes, n, pruned);
+      return;
+  }
+}
+
+// Reusable per-engine buffers for one screened decode: the prepared query,
+// the copied-out entry codes, and the per-entry prune bytes. Owned by the
+// best-first core so node visits don't allocate.
+template <int Dim>
+struct ScreenScratch {
+  ScreenQuery<Dim> query;
+  std::vector<uint16_t> codes;
+  std::vector<uint8_t> pruned;
+};
+
+}  // namespace sdj::code_screen
+
+#endif  // SDJOIN_GEOMETRY_CODE_SCREEN_H_

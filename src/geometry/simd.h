@@ -58,10 +58,14 @@
 #define SDJ_SIMD_WIDE 1
 #define SDJ_TARGET_AVX2 __attribute__((target("avx2")))
 #define SDJ_TARGET_AVX512 __attribute__((target("avx512f")))
+// 512-bit integer (u16) lanes need AVX512BW on top of AVX512F; the code
+// screening kernels (geometry/code_screen.h) are the only users.
+#define SDJ_TARGET_AVX512BW __attribute__((target("avx512f,avx512bw")))
 #else
 #define SDJ_SIMD_WIDE 0
 #define SDJ_TARGET_AVX2
 #define SDJ_TARGET_AVX512
+#define SDJ_TARGET_AVX512BW
 #endif
 
 #if defined(__GNUC__)
@@ -155,6 +159,20 @@ inline bool RuntimeSupported(Isa isa) {
 
 inline bool Supported(Isa isa) {
   return Compiled(isa) && RuntimeSupported(isa);
+}
+
+// Whether the 512-bit u16 integer path (AVX512BW) can run. Kept separate
+// from RuntimeSupported(kAvx512), which gates the f64 kernels on AVX512F
+// alone: a hypothetical F-without-BW machine still runs the double kernels
+// 512 bits wide while the integer screening kernels drop to the AVX2 path
+// (bit-identical output either way, screening is pure integer).
+inline bool Avx512BwSupported() {
+#if SDJ_SIMD_WIDE
+  static const bool ok = __builtin_cpu_supports("avx512bw") != 0;
+  return ok;
+#else
+  return false;
+#endif
 }
 
 // Degrades an explicit request to the nearest supported ISA at or below it.

@@ -19,13 +19,16 @@
 #ifndef SDJOIN_NN_NEIGHBOR_CORE_H_
 #define SDJOIN_NN_NEIGHBOR_CORE_H_
 
+#include <cmath>
 #include <cstdint>
+#include <limits>
 #include <vector>
 
 #include "core/best_first.h"
 #include "core/hybrid_queue.h"
 #include "core/join_result.h"
 #include "core/pair_entry.h"
+#include "geometry/code_screen.h"
 #include "geometry/distance.h"
 #include "geometry/metrics.h"
 #include "geometry/point.h"
@@ -73,6 +76,16 @@ struct IncNeighborOptions {
   // SIMD path for the batched kernels (DESIGN.md §15); bit-identical to
   // scalar on every path, so it can never change the neighbor stream.
   simd::Isa kernel_isa = simd::Isa::kAuto;
+  // Bounded nearest search: entries (nodes or objects) farther than this are
+  // pruned at enqueue instead of waiting in the queue, and the stream ends
+  // (kExhausted) when the radius is out of candidates. Nearest-only: the
+  // farthest engine CHECKs this stays infinite (a far bound would truncate
+  // its stream from the wrong end).
+  double max_distance = std::numeric_limits<double>::infinity();
+  // Integer code screening on quantized pages (DESIGN.md §17); engages when
+  // max_distance is finite. The neighbor stream and pre-existing stats stay
+  // byte-identical with it on or off.
+  bool screen_codes = code_screen::DefaultEnabled();
 };
 
 // The shared engine; `Derived` is the concrete iterator class
@@ -130,6 +143,8 @@ class NeighborEngine
     out->PutU8(static_cast<uint8_t>(options_.tie_break));
     out->PutBool(options_.use_hybrid_queue);
     out->PutDouble(options_.hybrid.tier_width);
+    out->PutDouble(options_.max_distance);
+    out->PutBool(options_.screen_codes);
     for (int d = 0; d < Dim; ++d) out->PutDouble(query_[d]);
     out->PutBool(minimal_regions_);
     out->PutU64(tree_.size());
@@ -148,6 +163,10 @@ class NeighborEngine
     if (in->GetU8() != static_cast<uint8_t>(options_.tie_break)) return false;
     if (in->GetBool() != options_.use_hybrid_queue) return false;
     if (in->GetDouble() != options_.hybrid.tier_width) return false;
+    // NaN-proof compare (an infinite bound round-trips exactly; NaN is
+    // rejected at construction).
+    if (in->GetDouble() != options_.max_distance) return false;
+    if (in->GetBool() != options_.screen_codes) return false;
     for (int d = 0; d < Dim; ++d) {
       if (in->GetDouble() != query_[d]) return false;
     }
@@ -170,6 +189,7 @@ class NeighborEngine
   using Base::status_;
   using Base::MarkIoError;
   using Base::PinDecode;
+  using Base::PinDecodeScreened;
 
   NeighborEngine(const Index& tree, const Point<Dim>& query,
                  const IncNeighborOptions& options)
@@ -183,6 +203,16 @@ class NeighborEngine
     // keys are negated, so the tiered queue is nearest-only (mirroring the
     // join's hybrid-excludes-reverse restriction).
     if (kFarthest) SDJ_CHECK(!options.use_hybrid_queue);
+    // Rejects NaN too (comparisons with NaN are false).
+    SDJ_CHECK(options.max_distance >= 0.0);
+    if (kFarthest) {
+      SDJ_CHECK(options.max_distance ==
+                std::numeric_limits<double>::infinity());
+    }
+    for (int d = 0; d < Dim; ++d) {
+      query_rect_.lo[d] = query_[d];
+      query_rect_.hi[d] = query_[d];
+    }
     Seed();
   }
 
@@ -206,7 +236,16 @@ class NeighborEngine
   bool Expand(const Entry& e) {
     bool leaf;
     int level;
-    if (!PinDecode(tree_, e.item1.ref, &batch1_, &refs1_, &leaf, &level)) {
+    size_t screened = 0;
+    const bool bounded = !kFarthest && std::isfinite(options_.max_distance);
+    if (bounded && options_.screen_codes) {
+      if (!PinDecodeScreened(tree_, e.item1.ref, query_rect_,
+                             options_.max_distance, isa_, &batch1_, &refs1_,
+                             &leaf, &level, &screened)) {
+        return MarkIoError();
+      }
+    } else if (!PinDecode(tree_, e.item1.ref, &batch1_, &refs1_, &leaf,
+                          &level)) {
       return MarkIoError();
     }
     ++stats_.nodes_expanded;
@@ -221,9 +260,20 @@ class NeighborEngine
       MinDistBatch(batch1_, query_, options_.metric, mind1_.data(), 0, n,
                    isa_);
     }
-    stats_.total_distance_calcs += n;
+    // Every entry is charged one distance calc, screened-out ones included
+    // (screening only replaces the f64 evaluation the scalar engine would
+    // have performed for them).
+    stats_.total_distance_calcs += n + screened;
+    stats_.pruned_by_range += screened;
     ++stats_.batch_kernel_invocations;
     for (size_t i = 0; i < n; ++i) {
+      // Bounded nearest search: out-of-radius entries never enter the queue
+      // (identical stream to pruning at pop, since MINDIST is a lower bound
+      // for everything beneath a node).
+      if (bounded && mind1_[i] > options_.max_distance) {
+        ++stats_.pruned_by_range;
+        continue;
+      }
       Entry child;
       child.distance = mind1_[i];
       child.item1 = this->MakeChildItem(batch1_, refs1_, i, leaf, level,
@@ -242,7 +292,9 @@ class NeighborEngine
 
  private:
   static constexpr uint32_t kStateMagic = 0x534A4E4E;  // "SJNN"
-  static constexpr uint32_t kStateVersion = 1;
+  // Version 2: max_distance + screen_codes in the fingerprint, screening
+  // counters in the shared stats section.
+  static constexpr uint32_t kStateVersion = 2;
 
   static BestFirstConfig MakeConfig(const IncNeighborOptions& options) {
     BestFirstConfig config;
@@ -276,6 +328,9 @@ class NeighborEngine
 
   const Index& tree_;
   const Point<Dim> query_;
+  // The query point as a degenerate rectangle, for the code-screening stage
+  // (MINDIST to it equals the point distance in every metric).
+  Rect<Dim> query_rect_;
   const IncNeighborOptions options_;
   // Runtime minimality of the tree's node regions (snapshot fingerprint) and
   // the kernel path, both resolved once at construction.

@@ -140,6 +140,22 @@ class PointQuadtree {
         const {
       Layout::DecodeEntries(data_, rects, refs);
     }
+    // Interface parity with RTree::PinnedNode::DecodeScreened: quadtree
+    // pages store raw doubles, so there are no codes to screen — always a
+    // plain full decode, reporting that screening did not run.
+    bool DecodeScreened(const Rect<Dim>& query, double max_distance,
+                        simd::Isa isa,
+                        code_screen::ScreenScratch<Dim>* scratch,
+                        RectBatch<Dim>* rects, std::vector<uint64_t>* refs,
+                        size_t* screened_out) const {
+      (void)query;
+      (void)max_distance;
+      (void)isa;
+      (void)scratch;
+      *screened_out = 0;
+      Layout::DecodeEntries(data_, rects, refs);
+      return false;
+    }
 
    private:
     storage::BufferPool* pool_;

@@ -174,6 +174,8 @@ struct QuantizedNodeLayout {
 
   // True iff `r` can be encoded under `g` with outward rounding, i.e. the
   // grid's span [base, Decode(kMaxCode)] covers it in every dimension.
+  // NaN coordinates fail both comparisons and so are reported as covered —
+  // use CanRepresent on any path that may see unvalidated rects.
   static bool Fits(const Grid& g, const sdj::Rect<Dim>& r) {
     for (int d = 0; d < Dim; ++d) {
       if (r.lo[d] < g.base[d]) return false;
@@ -182,10 +184,26 @@ struct QuantizedNodeLayout {
     return true;
   }
 
+  // Strict form of Fits for the write paths: additionally rejects rects no
+  // outward-rounded encoding can ever contain — NaN or infinite
+  // coordinates, and inverted intervals. In particular a hi coordinate
+  // above the span of a zero-width grid (scale == 0, hi > base) fails here
+  // via the Fits span check, so EncodeHi's saturated code is never stored.
+  static bool CanRepresent(const Grid& g, const sdj::Rect<Dim>& r) {
+    for (int d = 0; d < Dim; ++d) {
+      if (!std::isfinite(r.lo[d]) || !std::isfinite(r.hi[d])) return false;
+      if (!(r.lo[d] <= r.hi[d])) return false;
+    }
+    return Fits(g, r);
+  }
+
   // Largest code whose decode is <= x (outward for a lo coordinate).
   // Precondition: x >= base[d] (Fits). The float estimate can be off by an
   // ulp in either direction; the fixup loops walk to the exact boundary.
   static uint16_t EncodeLo(const Grid& g, int d, double x) {
+    // Zero-width grid: every code decodes to base <= x (precondition), so
+    // code 0 is exact. (Unlike EncodeHi there is no unrepresentable side:
+    // for a lo coordinate base <= x is outward already.)
     if (g.scale[d] <= 0.0) return 0;
     double est = (x - g.base[d]) / g.scale[d];
     if (!(est >= 0.0)) est = 0.0;
@@ -202,7 +220,12 @@ struct QuantizedNodeLayout {
   // Smallest code whose decode is >= x (outward for a hi coordinate).
   // Precondition: x <= Decode(kMaxCode) (Fits).
   static uint16_t EncodeHi(const Grid& g, int d, double x) {
-    if (g.scale[d] <= 0.0) return 0;
+    // A zero-width grid decodes every code to base, so code 0 is outward
+    // only when base already covers x. When x > base no code can decode
+    // >= x — CanRepresent/Fits reject such rects before any write — but
+    // saturating keeps the decode as close to containing x as the grid
+    // allows, instead of landing it maximally below x.
+    if (g.scale[d] <= 0.0) return x <= g.base[d] ? 0 : kMaxCode;
     double est = (x - g.base[d]) / g.scale[d];
     if (!(est >= 0.0)) est = 0.0;
     if (est > kMaxCode) est = kMaxCode;
@@ -223,10 +246,19 @@ struct QuantizedNodeLayout {
       SDJ_CHECK(std::isfinite(min_lo[d]) && std::isfinite(max_hi[d]));
       SDJ_CHECK(min_lo[d] <= max_hi[d]);
       g.base[d] = min_lo[d];
-      // max_hi - min_lo can overflow to inf for extreme spans; the halved
-      // form cannot, and only needs to be an over-estimate (fixed below).
-      double scale = max_hi[d] / 2.0 / (kMaxCode / 2.0) -
-                     min_lo[d] / 2.0 / (kMaxCode / 2.0);
+      // Estimate from the direct span: within an ulp or two of the minimal
+      // covering scale, so the bump/tighten walk below terminates in a few
+      // steps. (The halved form used previously avoids overflow but
+      // catastrophically cancels for narrow spans at large magnitudes —
+      // the estimate could land at 0.0 and the ulp walk up from the
+      // denormals effectively never terminates.) Only when the direct
+      // difference overflows to inf do we fall back to the halved form,
+      // where the walk is capped anyway.
+      double scale = (max_hi[d] - min_lo[d]) / kMaxCode;
+      if (!std::isfinite(scale)) {
+        scale = max_hi[d] / 2.0 / (kMaxCode / 2.0) -
+                min_lo[d] / 2.0 / (kMaxCode / 2.0);
+      }
       if (scale < 0.0 || !std::isfinite(scale)) scale = 0.0;
       // Bump until the top code really covers max_hi (division may round
       // down), then tighten back while the next-smaller scale still covers.
@@ -342,6 +374,44 @@ struct QuantizedNodeLayout {
       (*refs)[i] = GetRef(page, i);
     }
   }
+
+  // Copies every entry's raw u16 codes (lo codes then hi codes, exactly the
+  // page order) into `out`, contiguous per entry at out[i * 2 * Dim]. `out`
+  // must hold GetCount(page) * 2 * Dim values. This is the feed for the
+  // integer screening kernels (geometry/code_screen.h), which look only at
+  // codes, never refs.
+  static void CopyCodes(const char* page, uint16_t* out) {
+    const uint32_t n = NodeLayout<Dim>::GetCount(page);
+    const char* base = page + kHeaderSize + kGridSize;
+    for (uint32_t i = 0; i < n; ++i) {
+      std::memcpy(out + size_t{i} * 2 * Dim, base + i * kEntrySize,
+                  kCodesSize);
+    }
+  }
+
+  // DecodeEntries restricted to the entries whose `pruned[i]` byte is zero
+  // (integer screening survivors), preserving page order — so downstream
+  // seq assignment sees survivors in the same relative order as a full
+  // decode. Returns the survivor count; rects/refs end up exactly that
+  // size.
+  static uint32_t DecodeEntriesSubset(const char* page, const uint8_t* pruned,
+                                      RectBatch<Dim>* rects,
+                                      std::vector<uint64_t>* refs) {
+    const uint32_t n = NodeLayout<Dim>::GetCount(page);
+    const Grid g = GetGrid(page);
+    rects->resize(n);
+    refs->resize(n);
+    uint32_t kept = 0;
+    for (uint32_t i = 0; i < n; ++i) {
+      if (pruned[i] != 0) continue;
+      rects->set(kept, GetRectWithGrid(page, g, i));
+      (*refs)[kept] = GetRef(page, i);
+      ++kept;
+    }
+    rects->resize(kept);
+    refs->resize(kept);
+    return kept;
+  }
 };
 
 // Runtime switch between the two page encodings. One instance per tree
@@ -406,7 +476,7 @@ class NodeCodec {
       Raw::SetCount(page, count + 1);
       return;
     }
-    if (count == 0 || !Quant::Fits(Quant::GetGrid(page), rect)) {
+    if (count == 0 || !Quant::CanRepresent(Quant::GetGrid(page), rect)) {
       std::vector<std::pair<sdj::Rect<Dim>, uint64_t>> all =
           CollectEntries(page);
       all.push_back({rect, ref});
@@ -425,7 +495,7 @@ class NodeCodec {
       Raw::SetRect(page, i, rect);
       return;
     }
-    if (Quant::Fits(Quant::GetGrid(page), rect)) {
+    if (Quant::CanRepresent(Quant::GetGrid(page), rect)) {
       Quant::SetRect(page, i, rect);
       return;
     }

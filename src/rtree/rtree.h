@@ -24,9 +24,11 @@
 #include <utility>
 #include <vector>
 
+#include "geometry/code_screen.h"
 #include "geometry/distance.h"
 #include "geometry/point.h"
 #include "geometry/rect.h"
+#include "geometry/simd.h"
 #include "rtree/node_layout.h"
 #include "storage/buffer_pool.h"
 #include "storage/fault_injection.h"
@@ -215,6 +217,46 @@ class RTree {
     void DecodeInto(RectBatch<Dim>* rects, std::vector<uint64_t>* refs)
         const {
       codec_.DecodeEntries(data_, rects, refs);
+    }
+    // DecodeInto with integer-domain screening (DESIGN.md §17): on a
+    // quantized page, screens the entry codes against `query` and
+    // `max_distance` and decodes only the survivors (page order preserved).
+    // Every screened-out entry is PROVABLY out of range — the exact kernels
+    // would compute MinDist > max_distance for its decoded rect — so the
+    // caller charges it the same counters the classify ladder charges a
+    // range-pruned entry and the output stream is unchanged. Returns true
+    // iff screening actually ran (quantized page with a prunable grid);
+    // *screened_out gets the number of entries dropped (0 otherwise, with
+    // a plain full decode).
+    bool DecodeScreened(const Rect<Dim>& query, double max_distance,
+                        simd::Isa isa,
+                        code_screen::ScreenScratch<Dim>* scratch,
+                        RectBatch<Dim>* rects, std::vector<uint64_t>* refs,
+                        size_t* screened_out) const {
+      *screened_out = 0;
+      if (!codec_.quantized()) {
+        codec_.DecodeEntries(data_, rects, refs);
+        return false;
+      }
+      using Quant = rtree_internal::QuantizedNodeLayout<Dim>;
+      const typename Quant::Grid g = Quant::GetGrid(data_);
+      code_screen::Prepare<Dim>(g.base, g.scale, query, max_distance,
+                                &scratch->query);
+      if (!scratch->query.active) {
+        codec_.DecodeEntries(data_, rects, refs);
+        return false;
+      }
+      const uint32_t n = codec_.GetCount(data_);
+      scratch->codes.resize(size_t{n} * 2 * Dim);
+      Quant::CopyCodes(data_, scratch->codes.data());
+      scratch->pruned.resize(n);
+      code_screen::ScreenCodesBatch<Dim>(scratch->query,
+                                         scratch->codes.data(), n,
+                                         scratch->pruned.data(), isa);
+      const uint32_t kept = Quant::DecodeEntriesSubset(
+          data_, scratch->pruned.data(), rects, refs);
+      *screened_out = n - kept;
+      return true;
     }
 
    private:

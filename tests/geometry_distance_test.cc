@@ -11,11 +11,13 @@
 
 #include <gtest/gtest.h>
 
+#include "geometry/code_screen.h"
 #include "geometry/metrics.h"
 #include "geometry/point.h"
 #include "geometry/rect.h"
 #include "geometry/rect_batch.h"
 #include "geometry/simd.h"
+#include "rtree/node_layout.h"
 #include "util/rng.h"
 
 namespace sdj {
@@ -601,6 +603,172 @@ TEST(SimdDispatch, ResolveClampsAndNeverUpgrades) {
     EXPECT_TRUE(simd::Supported(got)) << simd::IsaName(isa);
     EXPECT_LE(static_cast<int>(got), static_cast<int>(isa));
   }
+}
+
+// ---- integer code screening (geometry/code_screen.h, DESIGN.md §17) ----
+//
+// Two contracts. (1) Lockstep: the batch screening kernel produces the SAME
+// prune bytes on every dispatchable ISA path, for arbitrary code bytes —
+// it's pure u16 arithmetic, so even nonsense codes (hi < lo) must not
+// become an ISA-dependent wildcard. (2) Soundness: an entry the screen
+// prunes must compute MinDist(decoded rect, query) > max_distance in the
+// exact f64 kernels, under every metric — one missed candidate would change
+// the pair stream, breaking the screening-on/off byte-identity guarantee.
+
+template <int Dim>
+void CheckScreenBatchMatchesScalar(uint64_t seed) {
+  Rng rng(seed);
+  using QL = rtree_internal::QuantizedNodeLayout<Dim>;
+  for (int trial = 0; trial < 50; ++trial) {
+    // Random grid, query, and cutoff; some trials use an inactive (sentinel)
+    // query to pin the nothing-prunes path across ISAs too.
+    double lo[Dim];
+    double hi[Dim];
+    for (int d = 0; d < Dim; ++d) {
+      lo[d] = rng.Uniform(-1e4, 1e4);
+      hi[d] = lo[d] + rng.Uniform(1.0, 1e4);
+    }
+    const typename QL::Grid g = QL::MakeGrid(lo, hi);
+    const Rect<Dim> query = RandomRectN<Dim>(rng, 1.5e4, false);
+    const double max_distance =
+        trial % 5 == 0 ? std::numeric_limits<double>::infinity()
+                       : rng.Uniform(0.0, 2e3);
+    code_screen::ScreenQuery<Dim> sq;
+    code_screen::Prepare<Dim>(g.base, g.scale, query, max_distance, &sq);
+    // 131 entries (not a vector multiple): arbitrary random code bytes.
+    const size_t n = 131;
+    std::vector<uint16_t> codes(n * 2 * Dim);
+    for (uint16_t& c : codes) {
+      c = static_cast<uint16_t>(rng.Uniform(0.0, 65535.999));
+    }
+    std::vector<uint8_t> ref(n, 0xFF);
+    code_screen::ScreenCodesBatch<Dim>(sq, codes.data(), n, ref.data(),
+                                       simd::Isa::kScalar);
+    for (simd::Isa isa : simd::SupportedIsas()) {
+      if (isa == simd::Isa::kScalar) continue;
+      SCOPED_TRACE(simd::IsaName(isa));
+      std::vector<uint8_t> got(n, 0xAA);
+      code_screen::ScreenCodesBatch<Dim>(sq, codes.data(), n, got.data(),
+                                         isa);
+      ASSERT_EQ(std::memcmp(got.data(), ref.data(), n), 0) << trial;
+    }
+  }
+}
+
+TEST(CodeScreen, BatchKernelBitIdenticalToScalar2D) {
+  CheckScreenBatchMatchesScalar<2>(3024);
+}
+
+TEST(CodeScreen, BatchKernelBitIdenticalToScalar3D) {
+  // 2*Dim = 6 divides no vector width; every tier must take the scalar
+  // fallback and still match byte-for-byte.
+  CheckScreenBatchMatchesScalar<3>(3025);
+}
+
+TEST(CodeScreen, BatchKernelBitIdenticalToScalar4D) {
+  CheckScreenBatchMatchesScalar<4>(3026);
+}
+
+// Soundness fuzz: entries are encoded exactly as a page stores them
+// (outward-rounded), then screened; every pruned entry must be out of range
+// for the DECODED rect under the exact kernels, and CodeMinDistLB must
+// lower-bound the exact MINDIST. Grid magnitudes sweep from unit scale to
+// 1e12 offsets, where the error padding in Prepare earns its keep.
+TEST(CodeScreen, NeverDropsInRangeCandidates) {
+  Rng rng(3027);
+  using QL2 = rtree_internal::QuantizedNodeLayout<2>;
+  const Metric metrics[] = {Metric::kEuclidean, Metric::kManhattan,
+                            Metric::kChessboard};
+  size_t pruned_total = 0;
+  size_t kept_total = 0;
+  for (int trial = 0; trial < 400; ++trial) {
+    const double offset =
+        trial % 3 == 0 ? rng.Uniform(-1e12, 1e12) : rng.Uniform(-1e3, 1e3);
+    const double span = trial % 2 == 0 ? rng.Uniform(1.0, 1e3)
+                                       : rng.Uniform(1e-3, 1.0);
+    // Entry rects inside [offset, offset + span]^2; the grid covers them.
+    std::vector<Rect<2>> rects;
+    double lo[2] = {offset, offset};
+    double hi[2] = {offset + span, offset + span};
+    for (int i = 0; i < 64; ++i) {
+      Rect<2> r;
+      for (int d = 0; d < 2; ++d) {
+        const double a = offset + rng.Uniform(0.0, span);
+        const double b = offset + rng.Uniform(0.0, span);
+        r.lo[d] = std::min(a, b);
+        r.hi[d] = std::max(a, b);
+      }
+      rects.push_back(r);
+    }
+    const QL2::Grid g = QL2::MakeGrid(lo, hi);
+    // Query near the grid (sometimes overlapping, sometimes far off) and a
+    // cutoff from subgrid-tiny to span-sized.
+    Rect<2> query;
+    for (int d = 0; d < 2; ++d) {
+      const double a = offset + rng.Uniform(-span, 2.0 * span);
+      const double b = offset + rng.Uniform(-span, 2.0 * span);
+      query.lo[d] = std::min(a, b);
+      query.hi[d] = std::max(a, b);
+    }
+    const double max_distance = rng.Uniform(0.0, span);
+    code_screen::ScreenQuery<2> sq;
+    code_screen::Prepare<2>(g.base, g.scale, query, max_distance, &sq);
+
+    for (const Rect<2>& r : rects) {
+      uint16_t codes[4];
+      for (int d = 0; d < 2; ++d) {
+        codes[d] = QL2::EncodeLo(g, d, r.lo[d]);
+        codes[2 + d] = QL2::EncodeHi(g, d, r.hi[d]);
+      }
+      Rect<2> decoded;
+      for (int d = 0; d < 2; ++d) {
+        decoded.lo[d] = QL2::Decode(g, d, codes[d]);
+        decoded.hi[d] = QL2::Decode(g, d, codes[2 + d]);
+      }
+      const bool pruned = code_screen::ScreenOne<2>(sq, codes);
+      if (pruned) {
+        ++pruned_total;
+      } else {
+        ++kept_total;
+      }
+      for (const Metric metric : metrics) {
+        const double exact = MinDist(decoded, query, metric);
+        // The code-space lower bound never exceeds the exact kernel value.
+        ASSERT_LE(code_screen::CodeMinDistLB<2>(sq, codes, metric), exact)
+            << trial;
+        // Zero missed candidates: pruned implies provably out of range.
+        if (pruned) {
+          ASSERT_GT(exact, max_distance) << trial;
+        }
+      }
+    }
+  }
+  // The fuzz must actually exercise both outcomes to mean anything.
+  EXPECT_GT(pruned_total, 1000u);
+  EXPECT_GT(kept_total, 1000u);
+}
+
+// An inactive screen (degenerate grid, or a cutoff beyond the grid's
+// resolution) must prune nothing on any path.
+TEST(CodeScreen, InactiveQueryPrunesNothing) {
+  using QL1 = rtree_internal::QuantizedNodeLayout<1>;
+  double p = 7.0;
+  const QL1::Grid g = QL1::MakeGrid(&p, &p);  // scale 0
+  Rect<1> query;
+  query.lo[0] = 100.0;
+  query.hi[0] = 200.0;
+  code_screen::ScreenQuery<1> sq;
+  code_screen::Prepare<1>(g.base, g.scale, query, 1.0, &sq);
+  EXPECT_FALSE(sq.active);
+  uint16_t codes[2] = {0, code_screen::kMaxCode};
+  EXPECT_FALSE(code_screen::ScreenOne<1>(sq, codes));
+  // Infinite cutoff on a real grid: also inactive.
+  double lo = 0.0;
+  double hi = 100.0;
+  const QL1::Grid g2 = QL1::MakeGrid(&lo, &hi);
+  code_screen::Prepare<1>(g2.base, g2.scale, query,
+                          std::numeric_limits<double>::infinity(), &sq);
+  EXPECT_FALSE(sq.active);
 }
 
 TEST(RectBatchTest, RoundTripAndResize) {

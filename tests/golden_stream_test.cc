@@ -19,6 +19,7 @@
 
 #include "core/distance_join.h"
 #include "core/semi_join.h"
+#include "core/within_join.h"
 #include "data/generators.h"
 #include "geometry/distance.h"
 #include "join_test_util.h"
@@ -247,6 +248,71 @@ TEST(GoldenStream, SemiJoinMatrix) {
   }
 }
 
+// Quantized trees + a finite cutoff engage the integer code screen
+// (DESIGN.md §17). One fixture per metric pins the screened stream AND
+// stats; screening off and every SIMD dispatch tier must then reproduce the
+// fixture byte-for-byte — the screen may only skip decode/kernel work,
+// never change what the engine reports.
+TEST(GoldenStream, QuantizedScreenedJoin) {
+  for (const Metric metric :
+       {Metric::kEuclidean, Metric::kManhattan, Metric::kChessboard}) {
+    const std::string name =
+        std::string("join_quant_screen_") + MetricName(metric);
+    std::string reference;
+    for (const bool screen : {true, false}) {
+      for (const simd::Isa isa : simd::SupportedIsas()) {
+        SCOPED_TRACE(std::string(MetricName(metric)) +
+                     (screen ? " screen=on " : " screen=off ") +
+                     simd::IsaName(isa));
+        RTree<2> tree1 = test::BuildPointTree(SetA(), 512, /*bulk=*/true,
+                                              NodeEncoding::kQuantized);
+        RTree<2> tree2 = test::BuildPointTree(SetB(), 512, /*bulk=*/true,
+                                              NodeEncoding::kQuantized);
+        DistanceJoinOptions options;
+        options.metric = metric;
+        options.max_distance = 3.0;
+        options.screen_codes = screen;
+        options.kernel_isa = isa;
+        DistanceJoin<2> join(tree1, tree2, options);
+        const std::string actual = DrainJoin(&join, kPairCap);
+        if (reference.empty()) {
+          reference = actual;
+          CheckGolden(name, reference);
+        } else {
+          ASSERT_EQ(actual, reference);
+        }
+      }
+    }
+  }
+}
+
+TEST(GoldenStream, QuantizedScreenedWithinJoin) {
+  const std::string name = "within_quant_screen_l2";
+  std::string reference;
+  for (const bool screen : {true, false}) {
+    for (const simd::Isa isa : simd::SupportedIsas()) {
+      SCOPED_TRACE(std::string(screen ? "screen=on " : "screen=off ") +
+                   simd::IsaName(isa));
+      RTree<2> tree1 = test::BuildPointTree(SetA(), 512, /*bulk=*/true,
+                                            NodeEncoding::kQuantized);
+      RTree<2> tree2 = test::BuildPointTree(SetB(), 512, /*bulk=*/true,
+                                            NodeEncoding::kQuantized);
+      WithinJoinOptions options;
+      options.epsilon = 2.0;
+      options.screen_codes = screen;
+      options.kernel_isa = isa;
+      IncWithinJoin<2> join(tree1, tree2, options);
+      const std::string actual = DrainJoin(&join, kPairCap);
+      if (reference.empty()) {
+        reference = actual;
+        CheckGolden(name, reference);
+      } else {
+        ASSERT_EQ(actual, reference);
+      }
+    }
+  }
+}
+
 void AppendNnStats(std::string* out, const IncNearestStats& s) {
   AppendLine(out, "stat distance_calcs %llu",
              static_cast<unsigned long long>(s.distance_calcs));
@@ -281,6 +347,34 @@ TEST(GoldenStream, IncNearest) {
     IncNearestNeighbor<2> nn(tree, {37.0, 61.0}, metric);
     CheckGolden(std::string("nn_nearest_") + MetricName(metric),
                 DrainNeighbors(&nn, kNeighborCap));
+  }
+}
+
+// Bounded nearest search on a quantized tree: the enqueue-time radius prune
+// plus the code screen. As above, one fixture; screening off and every ISA
+// tier must match it exactly.
+TEST(GoldenStream, QuantizedScreenedNearest) {
+  const std::string name = "nn_quant_screen_l2";
+  std::string reference;
+  for (const bool screen : {true, false}) {
+    for (const simd::Isa isa : simd::SupportedIsas()) {
+      SCOPED_TRACE(std::string(screen ? "screen=on " : "screen=off ") +
+                   simd::IsaName(isa));
+      RTree<2> tree = test::BuildPointTree(SetA(), 512, /*bulk=*/true,
+                                           NodeEncoding::kQuantized);
+      IncNeighborOptions options;
+      options.max_distance = 15.0;
+      options.screen_codes = screen;
+      options.kernel_isa = isa;
+      IncNearestNeighbor<2> nn(tree, {37.0, 61.0}, options);
+      const std::string actual = DrainNeighbors(&nn, kNeighborCap);
+      if (reference.empty()) {
+        reference = actual;
+        CheckGolden(name, reference);
+      } else {
+        ASSERT_EQ(actual, reference);
+      }
+    }
   }
 }
 

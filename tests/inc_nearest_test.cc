@@ -79,6 +79,48 @@ TEST(IncNearestNeighbor, MatchesBruteForceRanking) {
   }
 }
 
+// Bounded nearest search (IncNeighborOptions::max_distance) must equal the
+// unbounded stream truncated at the radius — the enqueue-time prune uses
+// MINDIST, a lower bound on every subtree descendant, so it can never drop
+// an in-radius neighbor or reorder the survivors. Checked on raw and
+// quantized trees (the latter engages the code screen, DESIGN.md §17).
+TEST(IncNearestNeighbor, BoundedSearchTruncatesTheUnboundedStream) {
+  const auto points =
+      data::GenerateUniform(700, Rect<2>({0, 0}, {100, 100}), 31);
+  for (const NodeEncoding encoding :
+       {NodeEncoding::kRaw, NodeEncoding::kQuantized}) {
+    RTreeOptions tree_options;
+    tree_options.page_size = 512;
+    tree_options.encoding = encoding;
+    RTree<2> tree(tree_options);
+    std::vector<RTree<2>::Entry> entries;
+    for (size_t i = 0; i < points.size(); ++i) {
+      entries.push_back({Rect<2>::FromPoint(points[i]), i});
+    }
+    tree.BulkLoad(std::move(entries));
+
+    Rng rng(132);
+    for (int q = 0; q < 10; ++q) {
+      const Point<2> query{rng.Uniform(0, 100), rng.Uniform(0, 100)};
+      const double radius = rng.Uniform(0.0, 30.0);
+      IncNearestNeighbor<2> all(tree, query);
+      IncNeighborOptions options;
+      options.max_distance = radius;
+      IncNearestNeighbor<2> bounded(tree, query, options);
+
+      IncNearestNeighbor<2>::Result expected;
+      IncNearestNeighbor<2>::Result hit;
+      while (all.Next(&expected) && expected.distance <= radius) {
+        ASSERT_TRUE(bounded.Next(&hit)) << "q=" << q;
+        ASSERT_EQ(hit.id, expected.id) << "q=" << q;
+        ASSERT_EQ(hit.distance, expected.distance) << "q=" << q;
+      }
+      EXPECT_FALSE(bounded.Next(&hit)) << "q=" << q;
+      EXPECT_EQ(bounded.status(), JoinStatus::kExhausted);
+    }
+  }
+}
+
 TEST(IncNearestNeighbor, WorksWithManhattanMetric) {
   const auto points =
       data::GenerateUniform(300, Rect<2>({0, 0}, {100, 100}), 31);

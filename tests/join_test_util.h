@@ -17,9 +17,11 @@ namespace sdj::test {
 // Builds a small-node R-tree over `points` with object ids = indices.
 inline RTree<2> BuildPointTree(const std::vector<Point<2>>& points,
                                uint32_t page_size = 512,
-                               bool bulk = true) {
+                               bool bulk = true,
+                               NodeEncoding encoding = NodeEncoding::kRaw) {
   RTreeOptions options;
   options.page_size = page_size;
+  options.encoding = encoding;
   RTree<2> tree(options);
   if (bulk) {
     std::vector<RTree<2>::Entry> entries;

@@ -110,6 +110,126 @@ TEST(QuantizedLayout, EncodeRoundsOutward) {
   }
 }
 
+TEST(QuantizedLayout, EncodeSaturatesOnDegenerateGrid) {
+  // A zero-width grid (scale 0) decodes every code to base. EncodeLo is
+  // always outward there (base <= x for any representable lo); EncodeHi
+  // must return 0 only when base already covers x — for x above base it
+  // saturates to the TOP code instead of silently landing at the bottom
+  // (the old `return 0` produced a decode maximally below x).
+  double p = 3.25;
+  const QL1::Grid g = QL1::MakeGrid(&p, &p);
+  ASSERT_EQ(g.scale[0], 0.0);
+  EXPECT_EQ(QL1::EncodeLo(g, 0, p), 0);
+  EXPECT_EQ(QL1::EncodeHi(g, 0, p), 0);
+  EXPECT_EQ(QL1::EncodeHi(g, 0, p - 1.0), 0);
+  EXPECT_EQ(QL1::EncodeHi(g, 0, p + 1.0), QL1::kMaxCode);
+  EXPECT_EQ(QL1::EncodeHi(g, 0, std::numeric_limits<double>::infinity()),
+            QL1::kMaxCode);
+  // No such rect can be stored: the write paths gate on CanRepresent, which
+  // fails whenever hi exceeds the degenerate span.
+  Rect<1> above;
+  above.lo[0] = p;
+  above.hi[0] = p + 1.0;
+  EXPECT_FALSE(QL1::CanRepresent(g, above));
+  Rect<1> at;
+  at.lo[0] = p;
+  at.hi[0] = p;
+  EXPECT_TRUE(QL1::CanRepresent(g, at));
+}
+
+TEST(QuantizedLayout, CanRepresentRejectsUnencodableRects) {
+  const double kInf = std::numeric_limits<double>::infinity();
+  const double kNan = std::numeric_limits<double>::quiet_NaN();
+  double lo = 0.0;
+  double hi = 100.0;
+  const QL1::Grid g = QL1::MakeGrid(&lo, &hi);
+  const auto rect = [](double l, double h) {
+    Rect<1> r;
+    r.lo[0] = l;
+    r.hi[0] = h;
+    return r;
+  };
+  EXPECT_TRUE(QL1::CanRepresent(g, rect(10.0, 20.0)));
+  // Fits reports NaN rects as covered (both comparisons false); the strict
+  // form must reject them, along with infinities and inverted intervals.
+  EXPECT_TRUE(QL1::Fits(g, rect(kNan, kNan)));
+  EXPECT_FALSE(QL1::CanRepresent(g, rect(kNan, kNan)));
+  EXPECT_FALSE(QL1::CanRepresent(g, rect(10.0, kNan)));
+  EXPECT_FALSE(QL1::CanRepresent(g, rect(kNan, 20.0)));
+  EXPECT_FALSE(QL1::CanRepresent(g, rect(10.0, kInf)));
+  EXPECT_FALSE(QL1::CanRepresent(g, rect(-kInf, 20.0)));
+  EXPECT_FALSE(QL1::CanRepresent(g, rect(20.0, 10.0)));
+  // Out-of-span but otherwise well-formed: rejected by the Fits part.
+  EXPECT_FALSE(QL1::CanRepresent(g, rect(-10.0, 20.0)));
+  EXPECT_FALSE(QL1::CanRepresent(g, rect(10.0, 200.0)));
+}
+
+TEST(QuantizedLayout, MakeGridSurvivesNarrowSpansAtLargeMagnitude) {
+  // Regression: the halved-form scale estimate ((hi/2)/(kMax/2) -
+  // (lo/2)/(kMax/2)) catastrophically cancels for narrow spans at large
+  // magnitudes, landing the estimate at 0.0; the ulp walk up from the
+  // denormals then effectively never terminates. The direct-difference
+  // estimate must produce a positive covering scale immediately.
+  Rng rng(7030);
+  for (int trial = 0; trial < 500; ++trial) {
+    const double mag = rng.Uniform(1e12, 1e15);
+    double lo = mag;
+    double hi = mag + rng.Uniform(1e-3, 1.0);
+    const QL1::Grid g = QL1::MakeGrid(&lo, &hi);
+    ASSERT_TRUE(std::isfinite(g.scale[0]));
+    if (hi > lo) {
+      // Distinct endpoints demand a positive covering scale.
+      ASSERT_GT(g.scale[0], 0.0);
+    }
+    // Near 1e15 a sub-ulp span rounds hi onto lo; the degenerate zero-scale
+    // grid is then correct, and coverage still has to hold.
+    ASSERT_GE(QL1::Decode(g, 0, QL1::kMaxCode), hi);
+  }
+}
+
+TEST(QuantizedLayout, EncodePropertiesHoldOnIeeeSpecialSpans) {
+  // Grids built from IEEE edge-case coordinates (signed zeros, denormals,
+  // huge magnitudes, full-range spans) must keep the outward-rounding
+  // contract for every in-span input: Decode(EncodeLo) <= x and
+  // Decode(EncodeHi) >= x whenever the rect is representable.
+  const double kDen = std::numeric_limits<double>::denorm_min();
+  const double kMin = std::numeric_limits<double>::min();
+  const double kMax = std::numeric_limits<double>::max();
+  const double specials[] = {0.0,  -0.0,   1.0,  -1.0,   kDen,  -kDen,
+                             kMin, -kMin,  kMax, -kMax,  1e-300, 1e300,
+                             -1e300, 42.5, -42.5};
+  Rng rng(7031);
+  for (const double a : specials) {
+    for (const double b : specials) {
+      const double lo = std::min(a, b);
+      const double hi = std::max(a, b);
+      const QL1::Grid g = QL1::MakeGrid(&lo, &hi);
+      ASSERT_TRUE(std::isfinite(g.scale[0])) << lo << " " << hi;
+      ASSERT_GE(g.scale[0], 0.0);
+      ASSERT_LE(QL1::Decode(g, 0, 0), lo);
+      ASSERT_GE(QL1::Decode(g, 0, QL1::kMaxCode), hi);
+      // Endpoints, and a few interior points when the span allows them.
+      std::vector<double> xs = {lo, hi};
+      for (int k = 0; k < 8; ++k) {
+        const double t = rng.Uniform(0.0, 1.0);
+        // Convex blend that never overflows (lo/hi may be +-kMax).
+        const double x = lo * (1.0 - t) + hi * t;
+        if (std::isfinite(x) && x >= lo && x <= hi) xs.push_back(x);
+      }
+      for (const double x : xs) {
+        const uint16_t ql = QL1::EncodeLo(g, 0, x);
+        const uint16_t qh = QL1::EncodeHi(g, 0, x);
+        ASSERT_LE(QL1::Decode(g, 0, ql), x) << lo << " " << hi << " " << x;
+        ASSERT_GE(QL1::Decode(g, 0, qh), x) << lo << " " << hi << " " << x;
+        Rect<1> r;
+        r.lo[0] = x;
+        r.hi[0] = x;
+        ASSERT_TRUE(QL1::CanRepresent(g, r));
+      }
+    }
+  }
+}
+
 TEST(QuantizedLayout, RewriteAllDecodedRectsContainInputs) {
   Rng rng(7003);
   std::vector<char> page(2048, 0);
@@ -400,6 +520,59 @@ TEST(QuantizedRTree, DistanceJoinMatchesBruteForceOverDecodedRects) {
     ++k;
   }
   EXPECT_EQ(k, options.max_pairs);
+}
+
+// The integer code screen (DESIGN.md §17) must be invisible in the output:
+// same pairs, same distances, same pre-existing stats — only the two
+// screening counters (and skipped decode work) may differ. A finite cutoff
+// on quantized trees is exactly the configuration that engages it, so this
+// also asserts the screen actually fires (prunes some entries, passes
+// others) rather than vacuously agreeing.
+TEST(QuantizedRTree, CodeScreenPrunesWithoutChangingTheStream) {
+  Rng rng(7040);
+  const std::vector<Rect<2>> rects1 = RandomRects(rng, 600, 4.0, 400.0);
+  const std::vector<Rect<2>> rects2 = RandomRects(rng, 600, 4.0, 400.0);
+  RTree<2> tree1(QuantizedOptions());
+  RTree<2> tree2(QuantizedOptions());
+  for (size_t i = 0; i < rects1.size(); ++i) tree1.Insert(rects1[i], i);
+  for (size_t i = 0; i < rects2.size(); ++i) tree2.Insert(rects2[i], i);
+
+  auto run = [&](bool screen) {
+    DistanceJoinOptions options;
+    options.max_distance = 10.0;
+    options.screen_codes = screen;
+    DistanceJoin<2> join(tree1, tree2, options);
+    std::vector<JoinResult<2>> pairs;
+    JoinResult<2> pair;
+    while (join.Next(&pair)) pairs.push_back(pair);
+    return std::make_pair(pairs, join.stats());
+  };
+  const auto [on_pairs, on_stats] = run(true);
+  const auto [off_pairs, off_stats] = run(false);
+
+  ASSERT_EQ(on_pairs.size(), off_pairs.size());
+  ASSERT_GT(on_pairs.size(), 0u);
+  for (size_t i = 0; i < on_pairs.size(); ++i) {
+    ASSERT_EQ(on_pairs[i].id1, off_pairs[i].id1) << i;
+    ASSERT_EQ(on_pairs[i].id2, off_pairs[i].id2) << i;
+    ASSERT_EQ(on_pairs[i].distance, off_pairs[i].distance) << i;
+  }
+  EXPECT_EQ(on_stats.pairs_reported, off_stats.pairs_reported);
+  EXPECT_EQ(on_stats.total_distance_calcs, off_stats.total_distance_calcs);
+  EXPECT_EQ(on_stats.object_distance_calcs, off_stats.object_distance_calcs);
+  EXPECT_EQ(on_stats.queue_pushes, off_stats.queue_pushes);
+  EXPECT_EQ(on_stats.queue_pops, off_stats.queue_pops);
+  EXPECT_EQ(on_stats.nodes_expanded, off_stats.nodes_expanded);
+  EXPECT_EQ(on_stats.pruned_by_range, off_stats.pruned_by_range);
+  EXPECT_EQ(on_stats.batch_kernel_invocations,
+            off_stats.batch_kernel_invocations);
+  // The screen did real work...
+  EXPECT_GT(on_stats.screened_candidates, 0u);
+  EXPECT_GT(on_stats.screen_survivors, 0u);
+  EXPECT_LT(on_stats.screen_survivors, on_stats.screened_candidates);
+  // ...and with it off, the counters stay silent.
+  EXPECT_EQ(off_stats.screened_candidates, 0u);
+  EXPECT_EQ(off_stats.screen_survivors, 0u);
 }
 
 // The loose-d_max regression (Section 2.2.3 / 4.2.1): a semi-join over an

@@ -400,6 +400,23 @@ bool ParseKernel(const Flags& flags, sdj::simd::Isa* isa) {
   return true;
 }
 
+// --screen=on|off overrides integer code screening on quantized pages
+// (DESIGN.md §17; default on, or off when SDJ_SCREEN=off). Screening never
+// changes the pair stream, only how out-of-range candidates are rejected.
+bool ParseScreen(const Flags& flags, bool* screen) {
+  const std::string name = flags.Get("screen", *screen ? "on" : "off");
+  if (name == "on") {
+    *screen = true;
+  } else if (name == "off") {
+    *screen = false;
+  } else {
+    std::fprintf(stderr, "unknown screen setting: %s (on|off)\n",
+                 name.c_str());
+    return false;
+  }
+  return true;
+}
+
 bool ParseMetric(const std::string& name, Metric* metric) {
   if (name == "euclidean") {
     *metric = Metric::kEuclidean;
@@ -512,6 +529,7 @@ int CmdJoin(const Flags& flags) {
       return 1;
     }
     if (!ParseKernel(flags, &options.kernel_isa)) return 1;
+    if (!ParseScreen(flags, &options.screen_codes)) return 1;
     const long threads = flags.GetLong("threads", 1);
     if (threads < 1) {
       std::fprintf(stderr, "--threads must be >= 1\n");
@@ -540,6 +558,7 @@ int CmdJoin(const Flags& flags) {
     return 1;
   }
   if (!ParseKernel(flags, &options.kernel_isa)) return 1;
+  if (!ParseScreen(flags, &options.screen_codes)) return 1;
   const std::string policy = flags.Get("policy", "even");
   if (policy == "even") {
     options.node_policy = sdj::NodeProcessingPolicy::kEven;
@@ -603,6 +622,7 @@ int CmdSemiJoin(const Flags& flags) {
     return 1;
   }
   if (!ParseKernel(flags, &options.join.kernel_isa)) return 1;
+  if (!ParseScreen(flags, &options.join.screen_codes)) return 1;
   options.join.max_pairs = static_cast<uint64_t>(flags.GetLong("k", 0));
   const std::string bound = flags.Get("bound", "globalall");
   if (bound == "none") {
@@ -907,6 +927,9 @@ int PrintUsage() {
                "kernels (join/semijoin): --kernel=auto|scalar|sse2|avx2|\n"
                "  avx512 picks the SIMD distance-kernel path (bit-identical\n"
                "  output on every path; unsupported requests degrade)\n"
+               "screening (join/semijoin): --screen=on|off toggles integer\n"
+               "  code screening on quantized pages (default on, or the\n"
+               "  SDJ_SCREEN env setting; never changes the pair stream)\n"
                "exit codes: 0 exhausted, 1 bad input, 2 usage error,\n"
                "  3 io-error (valid prefix), 4 suspended (resumable)\n"
                "see the header of tools/sdjoin_cli.cc for details\n");
