@@ -261,11 +261,21 @@ void WriteJson(const std::string& title) {
                  JsonEscape(row.series).c_str());
     std::fprintf(f, "      \"note\": \"%s\",\n", JsonEscape(row.note).c_str());
     std::fprintf(f, "      \"threads\": %d,\n", row.threads);
+    std::fprintf(f, "      \"shards\": %d,\n", row.shards);
     std::fprintf(f, "      \"pairs\": %llu,\n",
                  static_cast<unsigned long long>(row.pairs));
     std::fprintf(f, "      \"wall_ms\": %.6f,\n", row.seconds * 1e3);
     std::fprintf(f, "      \"node_io\": %llu,\n",
                  static_cast<unsigned long long>(s.node_io));
+    // Sharded-run counters (DESIGN.md §18); zero/empty on serial rows.
+    std::fprintf(f, "      \"shard_merge_pops\": %llu,\n",
+                 static_cast<unsigned long long>(row.shard_merge_pops));
+    std::fprintf(f, "      \"shard_expansions\": [");
+    for (size_t k = 0; k < row.shard_expansions.size(); ++k) {
+      std::fprintf(f, "%s%llu", k == 0 ? "" : ", ",
+                   static_cast<unsigned long long>(row.shard_expansions[k]));
+    }
+    std::fprintf(f, "],\n");
     std::fprintf(f, "      \"stats\": {\n");
     JsonStat(f, "pairs_reported", s.pairs_reported, false);
     JsonStat(f, "object_distance_calcs", s.object_distance_calcs, false);
@@ -306,8 +316,8 @@ void PrintTable(const std::string& title) {
   std::printf("\n=== %s (scale %.3g: |Water|=%zu, |Roads|=%zu) ===\n",
               title.c_str(), Scale(), WaterPoints().size(),
               RoadsPoints().size());
-  std::printf("%-34s %10s %4s %9s %13s %13s %10s %14s  %s\n", "series",
-              "pairs", "thr", "time(s)", "dist.calc", "queue size",
+  std::printf("%-34s %10s %4s %4s %9s %13s %13s %10s %14s  %s\n", "series",
+              "pairs", "thr", "shd", "time(s)", "dist.calc", "queue size",
               "node I/O", "rtry/cks/spill", "note");
   for (const Row& row : Rows()) {
     char resilience[64];
@@ -315,10 +325,10 @@ void PrintTable(const std::string& title) {
                   static_cast<unsigned long long>(row.stats.io_retries),
                   static_cast<unsigned long long>(row.stats.checksum_failures),
                   static_cast<unsigned long long>(row.stats.spill_fallbacks));
-    std::printf("%-34s %10llu %4d %9.3f %13llu %13llu %10llu %14s  %s\n",
+    std::printf("%-34s %10llu %4d %4d %9.3f %13llu %13llu %10llu %14s  %s\n",
                 row.series.c_str(),
                 static_cast<unsigned long long>(row.pairs), row.threads,
-                row.seconds,
+                row.shards, row.seconds,
                 static_cast<unsigned long long>(row.stats.object_distance_calcs),
                 static_cast<unsigned long long>(row.stats.max_queue_size),
                 static_cast<unsigned long long>(row.stats.node_io),

@@ -62,6 +62,13 @@ struct Row {
   // Per-phase latency summaries (DESIGN.md §12); all-zero when the bench did
   // not attach a Metrics sink (SDJ_BENCH_METRICS=0 or an unwired binary).
   obs::MetricsSummary metrics{};
+  // Sharded runs (DESIGN.md §18): effective shard count (1 = serial engine),
+  // merge-level pops, and per-shard nodes_expanded. compare_bench.py keys
+  // rows on (series, threads, shards, pairs) and refuses cross-shard-count
+  // comparisons, so sharded and serial rows never gate each other.
+  int shards = 1;
+  uint64_t shard_merge_pops = 0;
+  std::vector<uint64_t> shard_expansions{};
 };
 
 // Whether benches should attach a Metrics sink to instrumented runs.

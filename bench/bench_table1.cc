@@ -8,8 +8,12 @@
 // at 100k — is the reproduction target.
 #include <benchmark/benchmark.h>
 
+#include <utility>
+
 #include "bench_common.h"
 #include "core/distance_join.h"
+#include "core/env_knobs.h"
+#include "core/shard_merge.h"
 #include "core/within_join.h"
 
 namespace sdj::bench {
@@ -44,8 +48,54 @@ void RunJoin(benchmark::State& state, uint64_t pairs,
     state.counters["dist_calc"] = static_cast<double>(stats.object_distance_calcs);
     state.counters["queue_size"] = static_cast<double>(stats.max_queue_size);
     state.counters["node_io"] = static_cast<double>(stats.node_io);
-    AddRow({series, produced, seconds, stats, "", run_options.num_threads,
+    // Rows record the resolved thread count (0 = "environment default"
+    // would make row keys depend on SDJ_THREADS being unset).
+    AddRow({series, produced, seconds, stats, "",
+            env_knobs::ResolveThreads(run_options.num_threads),
             metrics.Summary()});
+  }
+}
+
+// Sharded series (DESIGN.md §18): the same drain through K independent
+// shard engines behind the k-way frontier merge. The pair stream (and thus
+// the result columns) is bit-identical to the serial run; Node I/O may move
+// because shards pull pages in merge order, not global traversal order.
+void RunShardedJoin(benchmark::State& state, uint64_t pairs,
+                    const DistanceJoinOptions& options,
+                    const std::string& series) {
+  for (auto _ : state) {
+    ColdCaches();
+    obs::Metrics metrics;
+    DistanceJoinOptions run_options = options;
+    if (MetricsEnabled()) {
+      run_options.metrics = &metrics;
+      WaterTree().pool().SetMetrics(&metrics);
+      RoadsTree().pool().SetMetrics(&metrics);
+    }
+    WallTimer timer;
+    ShardedDistanceJoin<2> join(WaterTree(), RoadsTree(), run_options);
+    JoinResult<2> result;
+    uint64_t produced = 0;
+    while (produced < pairs && join.Next(&result)) ++produced;
+    const double seconds = timer.Seconds();
+    if (MetricsEnabled()) {
+      WaterTree().pool().SetMetrics(nullptr);
+      RoadsTree().pool().SetMetrics(nullptr);
+    }
+    state.SetIterationTime(seconds);
+    const JoinStats& stats = join.stats();
+    state.counters["dist_calc"] = static_cast<double>(stats.object_distance_calcs);
+    state.counters["queue_size"] = static_cast<double>(stats.max_queue_size);
+    state.counters["node_io"] = static_cast<double>(stats.node_io);
+    Row row{series, produced, seconds, stats, "",
+            env_knobs::ResolveThreads(run_options.num_threads),
+            metrics.Summary()};
+    row.shards = join.effective_shards();
+    row.shard_merge_pops = join.shard_merge_pops();
+    for (const JoinStats& shard : join.shard_stats()) {
+      row.shard_expansions.push_back(shard.nodes_expanded);
+    }
+    AddRow(row);
   }
 }
 
@@ -79,7 +129,8 @@ void RunWithin(benchmark::State& state, uint64_t k, const std::string& series) {
     state.counters["dist_calc"] = static_cast<double>(stats.object_distance_calcs);
     state.counters["queue_size"] = static_cast<double>(stats.max_queue_size);
     state.counters["node_io"] = static_cast<double>(stats.node_io);
-    AddRow({series, produced, seconds, stats, "", options.num_threads,
+    AddRow({series, produced, seconds, stats, "",
+            env_knobs::ResolveThreads(options.num_threads),
             metrics.Summary()});
   }
 }
@@ -111,6 +162,28 @@ void RegisterAll() {
           options.num_threads = threads;
           RunJoin(state, pairs, options,
                   "Simultaneous/t=" + std::to_string(threads));
+        })
+        ->Iterations(1)
+        ->UseManualTime()
+        ->Unit(benchmark::kMillisecond);
+  }
+  // Sharded grid (shards x threads) on the same Simultaneous drain: shard-
+  // level parallelism vs the classify-only rows above at equal thread
+  // budget (s=4,t=1 and s=2,t=2 vs t=4; s=4,t=2 shows the combined headroom).
+  for (const auto& [shards, threads] :
+       {std::pair<int, int>{2, 1}, {2, 2}, {4, 1}, {4, 2}}) {
+    benchmark::RegisterBenchmark(
+        ("Table1/sharded_s" + std::to_string(shards) + "_t" +
+         std::to_string(threads))
+            .c_str(),
+        [pairs, shards, threads](benchmark::State& state) {
+          DistanceJoinOptions options;
+          options.node_policy = NodeProcessingPolicy::kSimultaneous;
+          options.num_threads = threads;
+          options.shards = shards;
+          RunShardedJoin(state, pairs, options,
+                         "Sharded/s=" + std::to_string(shards) +
+                             ",t=" + std::to_string(threads));
         })
         ->Iterations(1)
         ->UseManualTime()

@@ -31,6 +31,13 @@ run_release() {
   # with the screen bypassed — the decode-everything path must never rot into
   # "only correct because the screen hid it" (or vice versa).
   SDJ_SCREEN=off ctest --preset release
+  echo "=== release: ctest again with SDJ_SHARDS=4 ==="
+  # Sharded execution defaulted on (DESIGN.md §18): every surface that
+  # leaves its shards option at 0 — the whole cli_test durable-cursor
+  # matrix and the Sharded* wrappers — now runs four independent shard
+  # engines behind the k-way frontier merge. The suite must pass unchanged,
+  # proving the sharded stack is a drop-in for the serial pop loop.
+  SDJ_SHARDS=4 ctest --preset release
   echo "=== release: full crash-point sweep (SDJ_CRASH_SPILL_STRIDE=1) ==="
   # Deterministic power-loss enumeration (DESIGN.md §16). The snapshot and
   # session-table sweeps already enumerate every write/sync op in the normal

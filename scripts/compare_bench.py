@@ -7,7 +7,8 @@ Usage:
       [--time-tolerance=0.10] [--io-tolerance=0.10] [--show-phases]
       [--p99-op=OPNAME] [--p99-tolerance=1.0]
 
-Rows are matched by (series, threads, pairs). Two gates per matched row:
+Rows are matched by (series, threads, shards, pairs). Two gates per matched
+row:
 
   * pairs/sec  — pairs / (wall_ms / 1000); a drop of more than
                  --time-tolerance fails. Wall clock is noisy at small
@@ -30,8 +31,11 @@ across scales is a usage error. Likewise, when both files carry a
 "kernel_isa" stamp (the SIMD dispatch tier the run resolved, DESIGN.md §15)
 the stamps must match — wall-clock across different kernel paths is not a
 regression signal. Files written before the stamp existed lack the field
-and are compared without the check. --show-phases prints the current run's
-per-phase latency block (DESIGN.md §12) for every matched row.
+and are compared without the check. The same refusal applies to shard
+counts (DESIGN.md §18): when the sets of per-row "shards" values differ
+between the two files, the runs came from different bench configurations
+and comparing them is a usage error. --show-phases prints the current
+run's per-phase latency block (DESIGN.md §12) for every matched row.
 
 Exit codes: 0 ok, 1 regression detected, 2 usage/schema error.
 """
@@ -50,7 +54,16 @@ def load(path):
 
 
 def row_key(row):
-    return (row["series"], row.get("threads", 1), row["pairs"])
+    return (
+        row["series"],
+        row.get("threads", 1),
+        row.get("shards", 1),
+        row["pairs"],
+    )
+
+
+def shard_counts(doc):
+    return sorted({r.get("shards", 1) for r in doc.get("rows", [])})
 
 
 def pairs_per_sec(row):
@@ -131,6 +144,19 @@ def main(argv):
         )
         return 2
 
+    # Sharded rows (DESIGN.md §18) only gate against rows with the same
+    # shard count: runs whose shard-count sets differ were produced by
+    # different bench configurations, so refuse like a cross-ISA compare.
+    base_shards, cur_shards = shard_counts(baseline), shard_counts(current)
+    if base_shards != cur_shards:
+        print(
+            f"compare_bench: shard-count mismatch — baseline rows ran at "
+            f"shards={base_shards}, current at shards={cur_shards}; "
+            f"regenerate the baseline before comparing",
+            file=sys.stderr,
+        )
+        return 2
+
     base_rows = {row_key(r): r for r in baseline.get("rows", [])}
     cur_rows = {row_key(r): r for r in current.get("rows", [])}
     if not base_rows or not cur_rows:
@@ -146,8 +172,8 @@ def main(argv):
             regressions += 1
             continue
         matched += 1
-        series, threads, pairs = key
-        label = f"{series} t={threads} pairs={pairs}"
+        series, threads, shards, pairs = key
+        label = f"{series} t={threads} s={shards} pairs={pairs}"
 
         base_pps, cur_pps = pairs_per_sec(base), pairs_per_sec(cur)
         pps_drop = (base_pps - cur_pps) / base_pps if base_pps > 0 else 0.0

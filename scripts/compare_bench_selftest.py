@@ -17,7 +17,7 @@ import sys
 import tempfile
 
 
-def make_rows(pps_scale=1.0, node_io=100, p99_us=None):
+def make_rows(pps_scale=1.0, node_io=100, p99_us=None, shards=None):
     # 1000 pairs at wall_ms=100 -> 10000 pairs/sec at pps_scale=1.
     row = {
         "series": "Even/DepthFirst",
@@ -26,6 +26,8 @@ def make_rows(pps_scale=1.0, node_io=100, p99_us=None):
         "wall_ms": 100.0 / pps_scale,
         "node_io": node_io,
     }
+    if shards is not None:
+        row["shards"] = shards
     if p99_us is not None:
         row["metrics"] = {"serve_slice": {"count": 1000, "p99_us": p99_us}}
     return [row]
@@ -142,6 +144,19 @@ def main():
         write(base, {"scale": 1.0, "rows": make_rows()})
         write(cur, {"scale": 1.0, "kernel_isa": "avx512", "rows": make_rows()})
         check("isa-missing-baseline", run(tool, base, cur), 0)
+
+        # Shard counts (DESIGN.md §18): rows key on their shard count, and
+        # runs whose shard-count sets differ are refused like a cross-ISA
+        # compare; an explicit shards=1 matches the field-absent default.
+        write(base, {"scale": 1.0, "rows": make_rows(shards=4)})
+        write(cur, {"scale": 1.0, "rows": make_rows(shards=4)})
+        check("shards-match", run(tool, base, cur), 0)
+        write(cur, {"scale": 1.0, "rows": make_rows(shards=2)})
+        check("shards-mismatch", run(tool, base, cur), 2)
+        write(base, {"scale": 1.0, "rows": make_rows()})
+        write(cur, {"scale": 1.0, "rows": make_rows(shards=1)})
+        check("shards-default-is-one", run(tool, base, cur), 0)
+        write(base, {"scale": 1.0, "rows": make_rows()})
 
         write(cur, {"scale": 1.0, "rows": make_rows()})
         check("unknown-flag", run(tool, base, cur, "--bogus"), 2)

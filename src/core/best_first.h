@@ -179,6 +179,55 @@ class BestFirstEngine {
   // which sessions to checkpoint and evict under pressure.
   size_t queue_size() const { return queue_->Size(); }
 
+  // ---- shard planning (core/shard_plan.h, DESIGN.md §18) ----
+
+  // Runs exactly one pop+expand step of the serial loop, to deepen the
+  // frontier during shard planning. Charges the same counters the serial
+  // loop would (queue_pops here; the expansion charges its own), so a plan
+  // built this way stays stats-identical to a serial prefix. Returns true
+  // only when the head entry was classified kExpand and the expansion
+  // succeeded; any other outcome (empty or errored queue, reportable or
+  // skippable head, I/O failure) returns false and the planner must fall
+  // back to an unsharded engine.
+  bool PumpPlanStep() {
+    if (status_ != JoinStatus::kOk || queue_->Empty() ||
+        queue_->io_error()) {
+      return false;
+    }
+    const Entry& top = queue_->Top();
+    if (!top.item1.is_node() && !top.item2.is_node()) return false;
+    obs::PhaseTimer pop_timer(
+        obs::PopSample(config_.metrics, stats_.queue_pops), obs::Op::kPop);
+    Entry e = queue_->Pop();
+    pop_timer.Stop();
+    ++stats_.queue_pops;
+    ResultT scratch;
+    if (derived().OnPopped(e, &scratch) != PopAction::kExpand) return false;
+    obs::PhaseTimer expand_timer(config_.metrics, obs::Op::kExpansion);
+    return derived().Expand(e);
+  }
+
+  // Copies every live queue entry into *out (unspecified order). Returns
+  // false if the queue could not be fully read (an unreadable hybrid disk
+  // page), in which case the plan must be abandoned.
+  bool CollectPlanEntries(std::vector<PairEntry<Dim>>* out) {
+    out->clear();
+    return queue_->ForEach(
+        [out](const Entry& e) { out->push_back(e); });
+  }
+
+  // Seeds a defer-seeded engine with externally planned entries. Does NOT
+  // charge queue_pushes — the plan's seed engine already charged every push
+  // the serial engine would have — and adopts the planner's sequence
+  // counter so later enqueues tie-break exactly as a serial continuation.
+  void AdoptPlanEntries(const std::vector<PairEntry<Dim>>& entries,
+                        uint64_t next_seq) {
+    queue_->PushBulk(entries.data(), entries.size());
+    next_seq_ = next_seq;
+  }
+
+  uint64_t next_seq() const { return next_seq_; }
+
  protected:
   using Item = JoinItem<Dim>;
   using Entry = PairEntry<Dim>;

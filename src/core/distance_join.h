@@ -41,6 +41,7 @@
 #include <vector>
 
 #include "core/best_first.h"
+#include "core/env_knobs.h"
 #include "core/hybrid_queue.h"
 #include "core/join_result.h"
 #include "core/join_stats.h"
@@ -127,7 +128,23 @@ struct DistanceJoinOptions {
   // handoff are sharded; configurations that consult shared mutable state
   // per candidate (estimation, semi-join bounds, Inside2 filtering, object
   // predicates) always score serially, though still through batch kernels.
-  int num_threads = 1;
+  // 0 = take the SDJ_THREADS environment default (1 when unset); an
+  // explicit value >= 1 always wins (core/env_knobs.h).
+  int num_threads = 0;
+
+  // Partition the pair space across this many independent engines merged
+  // nearest-first by a k-way frontier merge (core/shard_plan.h +
+  // core/shard_merge.h, DESIGN.md §18). Consumed by the Sharded* wrapper
+  // types — a raw DistanceJoin ignores it. 0 = take the SDJ_SHARDS
+  // environment default (1 when unset); explicit values >= 1 win. The
+  // merged stream is bit-identical to the serial engine at any shard count.
+  int shards = 0;
+
+  // Internal (core/shard_plan.h): construct the engine without seeding the
+  // root pair; the shard plan adopts externally planned entries instead.
+  // Not for direct use — an engine built with this and never adopted
+  // reports an empty result.
+  bool defer_seed = false;
 
   // If set, leaf entries are treated as object bounding rectangles and this
   // callback supplies the exact object distance (Figure 3, lines 7-14).
@@ -279,7 +296,7 @@ class DistanceJoin
                             std::numeric_limits<double>::infinity());
     }
     ResetEstimator();
-    if (status_ == JoinStatus::kOk) Seed();
+    if (status_ == JoinStatus::kOk && !options.defer_seed) Seed();
   }
 
   // The currently effective maximum distance (query bound or estimate).
@@ -447,7 +464,7 @@ class DistanceJoin
     config.tie_break = options.tie_break;
     config.use_hybrid_queue = options.use_hybrid_queue;
     config.hybrid = options.hybrid;
-    config.num_threads = options.num_threads;
+    config.num_threads = env_knobs::ResolveThreads(options.num_threads);
     config.stop_token = options.stop_token;
     config.metrics = options.metrics;
     return config;

@@ -64,6 +64,38 @@ struct JoinStats {
   // fixtures deliberately exclude them.
   uint64_t screened_candidates = 0;
   uint64_t screen_survivors = 0;
+
+  // Folds another engine's counters into this one. Every counter is a sum
+  // except max_queue_size: peaks on disjoint queues are concurrent, so the
+  // fleet-wide peak is the max, not the total. This is the ONE aggregation
+  // used everywhere (shard merge, bench reporting) — ad-hoc field sums have
+  // already double-counted once and are banned by tests/shard_stream_test.cc.
+  void MergeFrom(const JoinStats& other) {
+    pairs_reported += other.pairs_reported;
+    object_distance_calcs += other.object_distance_calcs;
+    total_distance_calcs += other.total_distance_calcs;
+    queue_pushes += other.queue_pushes;
+    queue_pops += other.queue_pops;
+    if (other.max_queue_size > max_queue_size) {
+      max_queue_size = other.max_queue_size;
+    }
+    node_io += other.node_io;
+    node_accesses += other.node_accesses;
+    nodes_expanded += other.nodes_expanded;
+    pruned_by_range += other.pruned_by_range;
+    pruned_by_estimate += other.pruned_by_estimate;
+    pruned_by_bound += other.pruned_by_bound;
+    pruned_by_filter += other.pruned_by_filter;
+    filtered_reported += other.filtered_reported;
+    restarts += other.restarts;
+    io_retries += other.io_retries;
+    checksum_failures += other.checksum_failures;
+    spill_fallbacks += other.spill_fallbacks;
+    batch_kernel_invocations += other.batch_kernel_invocations;
+    parallel_expansions += other.parallel_expansions;
+    screened_candidates += other.screened_candidates;
+    screen_survivors += other.screen_survivors;
+  }
 };
 
 }  // namespace sdj

@@ -44,7 +44,11 @@ struct SemiJoinOptions {
 //   DistanceSemiJoin<2> semi(stores, warehouses, options);
 //   JoinResult<2> pair;
 //   while (semi.Next(&pair)) Assign(pair.id1, pair.id2);
-template <int Dim, typename Index = RTree<Dim>>
+// EngineT is the underlying join engine: DistanceJoin by default, or a
+// ShardedDistanceJoin (core/shard_merge.h) for shard-parallel execution.
+// It must accept DistanceJoin's 7-argument constructor shape.
+template <int Dim, typename Index = RTree<Dim>,
+          typename EngineT = DistanceJoin<Dim, Index>>
 class DistanceSemiJoin {
  public:
   using Result = JoinResult<Dim>;
@@ -194,7 +198,7 @@ class DistanceSemiJoin {
   const SemiJoinOptions options_;
   const bool invalid_;     // dense-id precondition failed at construction
   DynamicBitset outside_;  // S_o for the Outside strategy
-  DistanceJoin<Dim, Index> engine_;
+  EngineT engine_;
   uint64_t reported_ = 0;
   uint64_t outside_filtered_ = 0;
 };

@@ -15,6 +15,7 @@
 #include <cstdint>
 
 #include "core/best_first.h"
+#include "core/env_knobs.h"
 #include "core/hybrid_queue.h"
 #include "core/join_result.h"
 #include "core/pair_entry.h"
@@ -34,7 +35,14 @@ struct WithinJoinOptions {
   TieBreakPolicy tie_break = TieBreakPolicy::kDepthFirst;
   bool use_hybrid_queue = false;  // Section 3.2 tiered queue
   HybridQueueOptions hybrid;
-  int num_threads = 1;  // sharded classify, output-identical to serial
+  // Sharded classify, output-identical to serial. 0 = SDJ_THREADS default.
+  int num_threads = 0;
+  // Shard count for the ShardedWithinJoin wrapper (DESIGN.md §18); a raw
+  // IncWithinJoin ignores it. 0 = SDJ_SHARDS default (1 when unset).
+  int shards = 0;
+  // Internal (core/shard_plan.h): skip root seeding; the plan adopts
+  // externally planned entries instead. Not for direct use.
+  bool defer_seed = false;
   util::StopToken stop_token;    // cooperative suspension (DESIGN.md §11)
   obs::Metrics* metrics = nullptr;  // observability sink (DESIGN.md §12)
   // SIMD path for the batched kernels (DESIGN.md §15); bit-identical to
@@ -71,6 +79,7 @@ class IncWithinJoin
     SDJ_CHECK(options.epsilon >= 0.0);
     spec_.max_distance = options.epsilon;
     spec_.metric = options.metric;
+    if (options.defer_seed) return;
     if (tree1.empty() || tree2.empty()) return;
     left_ = {Item{tree1.RootMbr(), tree1.root(),
                   static_cast<int16_t>(tree1.root_level()),
@@ -131,9 +140,12 @@ class IncWithinJoin
   static constexpr uint32_t kStateVersion = 2;
 
   static BestFirstConfig MakeConfig(const WithinJoinOptions& options) {
-    return BestFirstConfig{options.tie_break,  options.use_hybrid_queue,
-                           options.hybrid,     options.num_threads,
-                           options.stop_token, options.metrics};
+    return BestFirstConfig{options.tie_break,
+                           options.use_hybrid_queue,
+                           options.hybrid,
+                           env_knobs::ResolveThreads(options.num_threads),
+                           options.stop_token,
+                           options.metrics};
   }
 
   PopAction OnPopped(const Entry& e, JoinResult<Dim>* out) {

@@ -86,6 +86,12 @@ struct IncNeighborOptions {
   // max_distance is finite. The neighbor stream and pre-existing stats stay
   // byte-identical with it on or off.
   bool screen_codes = code_screen::DefaultEnabled();
+  // Shard count for the ShardedIncNearest/ShardedIncFarthest wrappers
+  // (DESIGN.md §18); the raw engines ignore it. 0 = SDJ_SHARDS default.
+  int shards = 0;
+  // Internal (core/shard_plan.h): skip root seeding; the plan adopts
+  // externally planned entries instead. Not for direct use.
+  bool defer_seed = false;
 };
 
 // The shared engine; `Derived` is the concrete iterator class
@@ -213,7 +219,7 @@ class NeighborEngine
       query_rect_.lo[d] = query_[d];
       query_rect_.hi[d] = query_[d];
     }
-    Seed();
+    if (!options.defer_seed) Seed();
   }
 
   // ---- policy hooks ----

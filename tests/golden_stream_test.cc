@@ -23,8 +23,10 @@
 #include "data/generators.h"
 #include "geometry/distance.h"
 #include "join_test_util.h"
+#include "core/shard_merge.h"
 #include "nn/inc_farthest.h"
 #include "nn/inc_nearest.h"
+#include "nn/sharded_neighbor.h"
 #include "rtree/rtree.h"
 
 namespace sdj {
@@ -385,6 +387,170 @@ TEST(GoldenStream, IncFarthest) {
     IncFarthestNeighbor<2> nn(tree, {37.0, 61.0}, metric);
     CheckGolden(std::string("nn_farthest_") + MetricName(metric),
                 DrainNeighbors(&nn, kNeighborCap));
+  }
+}
+
+// ---- sharded execution (DESIGN.md §18) --------------------------------------
+//
+// One fixture per policy x encoding, recorded from the SERIAL engine; every
+// tested shard count must reproduce it byte-for-byte. Streams only (plus the
+// terminal status): mid-stream statistics depend on how far the bounded
+// shard lookahead ran ahead, which is scheduling-dependent by design — the
+// stats identity at exhaustion is pinned by tests/shard_stream_test.cc.
+
+template <typename Engine>
+std::string DrainJoinStream(Engine* join, uint64_t cap) {
+  std::string out;
+  JoinResult<2> pair;
+  uint64_t produced = 0;
+  while (produced < cap && join->Next(&pair)) {
+    AppendLine(&out, "pair %llu %llu %.17g",
+               static_cast<unsigned long long>(pair.id1),
+               static_cast<unsigned long long>(pair.id2), pair.distance);
+    ++produced;
+  }
+  AppendLine(&out, "status %s", JoinStatusName(join->status()));
+  return out;
+}
+
+template <typename Engine>
+std::string DrainNeighborStream(Engine* nn, uint64_t cap) {
+  std::string out;
+  typename Engine::Result hit;
+  uint64_t produced = 0;
+  while (produced < cap && nn->Next(&hit)) {
+    AppendLine(&out, "hit %llu %.17g", static_cast<unsigned long long>(hit.id),
+               hit.distance);
+    ++produced;
+  }
+  return out;
+}
+
+constexpr int kGoldenShardCounts[] = {1, 2, 4, 7};
+
+const char* EncodingName(NodeEncoding encoding) {
+  return encoding == NodeEncoding::kRaw ? "raw" : "quant";
+}
+
+TEST(GoldenStream, ShardedJoinMatrix) {
+  for (const NodeEncoding encoding :
+       {NodeEncoding::kRaw, NodeEncoding::kQuantized}) {
+    const std::string name = std::string("shard_join_") + EncodingName(encoding);
+    std::string reference;
+    {
+      RTree<2> tree1 = test::BuildPointTree(SetA(), 512, true, encoding);
+      RTree<2> tree2 = test::BuildPointTree(SetB(), 512, true, encoding);
+      DistanceJoin<2> join(tree1, tree2, DistanceJoinOptions{});
+      reference = DrainJoinStream(&join, kPairCap);
+      CheckGolden(name, reference);
+    }
+    for (const int shards : kGoldenShardCounts) {
+      SCOPED_TRACE(name + " shards=" + std::to_string(shards));
+      RTree<2> tree1 = test::BuildPointTree(SetA(), 512, true, encoding);
+      RTree<2> tree2 = test::BuildPointTree(SetB(), 512, true, encoding);
+      DistanceJoinOptions options;
+      options.shards = shards;
+      ShardedDistanceJoin<2> join(tree1, tree2, options);
+      ASSERT_EQ(DrainJoinStream(&join, kPairCap), reference);
+    }
+  }
+}
+
+TEST(GoldenStream, ShardedWithinMatrix) {
+  for (const NodeEncoding encoding :
+       {NodeEncoding::kRaw, NodeEncoding::kQuantized}) {
+    const std::string name =
+        std::string("shard_within_") + EncodingName(encoding);
+    std::string reference;
+    WithinJoinOptions base;
+    base.epsilon = 2.0;
+    {
+      RTree<2> tree1 = test::BuildPointTree(SetA(), 512, true, encoding);
+      RTree<2> tree2 = test::BuildPointTree(SetB(), 512, true, encoding);
+      IncWithinJoin<2> join(tree1, tree2, base);
+      reference = DrainJoinStream(&join, kPairCap);
+      CheckGolden(name, reference);
+    }
+    for (const int shards : kGoldenShardCounts) {
+      SCOPED_TRACE(name + " shards=" + std::to_string(shards));
+      RTree<2> tree1 = test::BuildPointTree(SetA(), 512, true, encoding);
+      RTree<2> tree2 = test::BuildPointTree(SetB(), 512, true, encoding);
+      WithinJoinOptions options = base;
+      options.shards = shards;
+      ShardedWithinJoin<2> join(tree1, tree2, options);
+      ASSERT_EQ(DrainJoinStream(&join, kPairCap), reference);
+    }
+  }
+}
+
+TEST(GoldenStream, ShardedSemiMatrix) {
+  for (const NodeEncoding encoding :
+       {NodeEncoding::kRaw, NodeEncoding::kQuantized}) {
+    const std::string name = std::string("shard_semi_") + EncodingName(encoding);
+    std::string reference;
+    SemiJoinOptions base;
+    base.filter = SemiJoinFilter::kInside2;
+    base.bound = SemiJoinBound::kGlobalAll;
+    {
+      RTree<2> tree1 = test::BuildPointTree(SetA(), 512, true, encoding);
+      RTree<2> tree2 = test::BuildPointTree(SetB(), 512, true, encoding);
+      DistanceSemiJoin<2> semi(tree1, tree2, base);
+      reference = DrainJoinStream(&semi, kPairCap);
+      CheckGolden(name, reference);
+    }
+    for (const int shards : kGoldenShardCounts) {
+      SCOPED_TRACE(name + " shards=" + std::to_string(shards));
+      RTree<2> tree1 = test::BuildPointTree(SetA(), 512, true, encoding);
+      RTree<2> tree2 = test::BuildPointTree(SetB(), 512, true, encoding);
+      SemiJoinOptions options = base;
+      options.join.shards = shards;
+      ShardedDistanceSemiJoin<2> semi(tree1, tree2, options);
+      ASSERT_EQ(DrainJoinStream(&semi, kPairCap), reference);
+    }
+  }
+}
+
+TEST(GoldenStream, ShardedNeighborMatrix) {
+  const Point<2> query{37.0, 61.0};
+  for (const NodeEncoding encoding :
+       {NodeEncoding::kRaw, NodeEncoding::kQuantized}) {
+    {
+      const std::string name = std::string("shard_nn_") + EncodingName(encoding);
+      std::string reference;
+      {
+        RTree<2> tree = test::BuildPointTree(SetA(), 512, true, encoding);
+        IncNearestNeighbor<2> nn(tree, query);
+        reference = DrainNeighborStream(&nn, kNeighborCap);
+        CheckGolden(name, reference);
+      }
+      for (const int shards : kGoldenShardCounts) {
+        SCOPED_TRACE(name + " shards=" + std::to_string(shards));
+        RTree<2> tree = test::BuildPointTree(SetA(), 512, true, encoding);
+        IncNeighborOptions options;
+        options.shards = shards;
+        ShardedIncNearest<2> nn(tree, query, options);
+        ASSERT_EQ(DrainNeighborStream(&nn, kNeighborCap), reference);
+      }
+    }
+    {
+      const std::string name =
+          std::string("shard_far_") + EncodingName(encoding);
+      std::string reference;
+      {
+        RTree<2> tree = test::BuildPointTree(SetA(), 512, true, encoding);
+        IncFarthestNeighbor<2> nn(tree, query);
+        reference = DrainNeighborStream(&nn, kNeighborCap);
+        CheckGolden(name, reference);
+      }
+      for (const int shards : kGoldenShardCounts) {
+        SCOPED_TRACE(name + " shards=" + std::to_string(shards));
+        RTree<2> tree = test::BuildPointTree(SetA(), 512, true, encoding);
+        IncNeighborOptions options;
+        options.shards = shards;
+        ShardedIncFarthest<2> nn(tree, query, options);
+        ASSERT_EQ(DrainNeighborStream(&nn, kNeighborCap), reference);
+      }
+    }
   }
 }
 

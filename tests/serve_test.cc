@@ -23,6 +23,7 @@
 
 #include "core/distance_join.h"
 #include "core/semi_join.h"
+#include "core/shard_merge.h"
 #include "core/snapshot.h"
 #include "core/within_join.h"
 #include "data/generators.h"
@@ -1019,6 +1020,73 @@ TEST(SessionManager, TableCrashPointSweepRecoversConsistentSessionSet) {
   }
   std::printf("session-table crash sweep: %llu crash points, all modes\n",
               static_cast<unsigned long long>(counting.table_ops));
+}
+
+// --- sharded engines behind the serving layer --------------------------------
+
+// A sharded join (DESIGN.md §18) exposes the same JoinCursor-compatible
+// contract as every serial engine, so it erases and serves unchanged.
+EngineFactory ShardedJoinFactory(std::vector<Point<2>> a,
+                                 std::vector<Point<2>> b,
+                                 DistanceJoinOptions options) {
+  return [a = std::move(a), b = std::move(b),
+          options](util::StopToken token)
+             -> std::unique_ptr<serve::ErasedEngine<2>> {
+    auto ctx = std::make_shared<TreePairContext>(a, b);
+    DistanceJoinOptions o = options;
+    o.stop_token = token;
+    auto join = std::make_unique<ShardedDistanceJoin<2>>(ctx->a, ctx->b, o);
+    return serve::Erase<2>(std::move(join), ctx);
+  };
+}
+
+TEST(SessionManager, ShardedEngineServesEvictsAndRecoversLikeSerial) {
+  const auto a = MakePoints(400, 61);
+  const auto b = MakePoints(400, 62);
+  DistanceJoinOptions options;
+  options.max_pairs = 600;
+  // Serial reference: the served sharded session must reproduce this exact
+  // stream across slicing, eviction, and post-crash recovery.
+  const Reference ref = RunReference(JoinFactory(a, b, options));
+
+  DistanceJoinOptions sharded_options = options;
+  sharded_options.shards = 4;
+  const EngineFactory factory = ShardedJoinFactory(a, b, sharded_options);
+
+  serve::ServeOptions serve_options;
+  serve_options.state_dir = FreshStateDir("serve_sharded");
+  std::vector<Pair> stream;
+  SessionId id = 0;
+  {
+    serve::SessionManager<2> manager(serve_options);
+    const auto admit = manager.Admit("sharded", factory);
+    ASSERT_EQ(admit.status, ServeStatus::kOk);
+    id = admit.id;
+    JoinResult<2> r;
+    for (int i = 0; i < 100; ++i) {
+      ASSERT_EQ(manager.Next(id, &r), ServeStatus::kOk);
+      stream.push_back(AsTuple(r));
+    }
+    // Checkpoint-evict mid-stream (shard snapshots + merge cursor), then
+    // rehydrate transparently and keep serving.
+    ASSERT_TRUE(manager.Evict(id));
+    for (int i = 0; i < 50; ++i) {
+      ASSERT_EQ(manager.Next(id, &r), ServeStatus::kOk);
+      stream.push_back(AsTuple(r));
+    }
+    // "Crash" with a committed checkpoint (manager destroyed while evicted).
+    ASSERT_TRUE(manager.Evict(id));
+  }
+  serve::SessionManager<2> manager(serve_options);
+  const size_t recovered = manager.Recover(
+      [&](const serve::SessionRecord&) -> EngineFactory { return factory; });
+  ASSERT_EQ(recovered, 1u);
+  DrainSession(&manager, id, &stream);
+  EXPECT_EQ(stream, ref.stream);
+  // Capped sharded runs report the same pairs even though per-shard
+  // lookahead lets traversal counters run ahead (DESIGN.md §18).
+  EXPECT_EQ(manager.session_stats(id).pairs_reported,
+            ref.stats.pairs_reported);
 }
 
 }  // namespace

@@ -4,7 +4,11 @@
 //   sdjoin_cli join     --a=a.csv --b=b.csv [--k=100] [--max-distance=D]
 //                       [--min-distance=D] [--metric=euclidean|manhattan|
 //                       chessboard] [--policy=even|basic|simultaneous]
-//                       [--reverse] [--estimate] [--threads=N] [--print=10]
+//                       [--reverse] [--estimate] [--threads=N] [--shards=N:
+//                       partition the pair space into N independent engines
+//                       behind a k-way frontier merge (DESIGN.md §18);
+//                       output-identical, 0 = SDJ_SHARDS or 1 — also on
+//                       semijoin and --within] [--print=10]
 //                       [--kernel=auto|scalar|sse2|avx2|avx512: SIMD path
 //                       for the distance kernels (DESIGN.md §15); every
 //                       path is bit-identical, unsupported requests
@@ -97,8 +101,10 @@
 #include <vector>
 
 #include "core/distance_join.h"
+#include "core/env_knobs.h"
 #include "core/join_cursor.h"
 #include "core/semi_join.h"
+#include "core/shard_merge.h"
 #include "core/within_join.h"
 #include "data/dataset_io.h"
 #include "data/generators.h"
@@ -400,6 +406,20 @@ bool ParseKernel(const Flags& flags, sdj::simd::Isa* isa) {
   return true;
 }
 
+// --shards=N partitions the pair space into N independent best-first
+// engines behind the k-way frontier merge (DESIGN.md §18). 0 (the default)
+// defers to SDJ_SHARDS, falling back to 1 (the ordinary serial engines);
+// the stream is output-identical at every shard count.
+bool ParseShards(const Flags& flags, int* shards) {
+  const long value = flags.GetLong("shards", 0);
+  if (value < 0) {
+    std::fprintf(stderr, "--shards must be >= 0 (0 = SDJ_SHARDS or 1)\n");
+    return false;
+  }
+  *shards = static_cast<int>(value);
+  return true;
+}
+
 // --screen=on|off overrides integer code screening on quantized pages
 // (DESIGN.md §17; default on, or off when SDJ_SCREEN=off). Screening never
 // changes the pair stream, only how out-of-range candidates are rejected.
@@ -536,15 +556,23 @@ int CmdJoin(const Flags& flags) {
       return 1;
     }
     options.num_threads = static_cast<int>(threads);
+    if (!ParseShards(flags, &options.shards)) return 1;
     sdj::util::StopSource stop_source;
     options.stop_token = stop_source.token();
     options.metrics = obs.get();
     ta.pool().SetMetrics(obs.get());
     tb.pool().SetMetrics(obs.get());
 
-    sdj::IncWithinJoin<2> join(ta, tb, options);
-    int rc = DriveJoin(&join, flags, &stop_source,
-                       tree_options.fault_injection, obs.get());
+    int rc;
+    if (sdj::env_knobs::ResolveShards(options.shards) >= 2) {
+      sdj::ShardedWithinJoin<2> join(ta, tb, options);
+      rc = DriveJoin(&join, flags, &stop_source,
+                     tree_options.fault_injection, obs.get());
+    } else {
+      sdj::IncWithinJoin<2> join(ta, tb, options);
+      rc = DriveJoin(&join, flags, &stop_source,
+                     tree_options.fault_injection, obs.get());
+    }
     if (faulty) {
       PrintFaultCounters("a", ta.injector());
       PrintFaultCounters("b", tb.injector());
@@ -588,6 +616,7 @@ int CmdJoin(const Flags& flags) {
     return 1;
   }
   options.num_threads = static_cast<int>(threads);
+  if (!ParseShards(flags, &options.shards)) return 1;
   sdj::util::StopSource stop_source;
   options.stop_token = stop_source.token();
 
@@ -595,9 +624,18 @@ int CmdJoin(const Flags& flags) {
   ta.pool().SetMetrics(obs.get());
   tb.pool().SetMetrics(obs.get());
 
-  DistanceJoin<2> join(ta, tb, options);
-  int rc = DriveJoin(&join, flags, &stop_source, tree_options.fault_injection,
-                     obs.get());
+  int rc;
+  if (sdj::env_knobs::ResolveShards(options.shards) >= 2) {
+    // The wrapper itself falls back to a single passthrough engine for
+    // ineligible shapes (--reverse, --estimate), so no flag gymnastics here.
+    sdj::ShardedDistanceJoin<2> join(ta, tb, options);
+    rc = DriveJoin(&join, flags, &stop_source, tree_options.fault_injection,
+                   obs.get());
+  } else {
+    DistanceJoin<2> join(ta, tb, options);
+    rc = DriveJoin(&join, flags, &stop_source, tree_options.fault_injection,
+                   obs.get());
+  }
   if (faulty) {
     PrintFaultCounters("a", ta.injector());
     PrintFaultCounters("b", tb.injector());
@@ -649,6 +687,7 @@ int CmdSemiJoin(const Flags& flags) {
     return 1;
   }
 
+  if (!ParseShards(flags, &options.join.shards)) return 1;
   sdj::util::StopSource stop_source;
   options.join.stop_token = stop_source.token();
 
@@ -656,9 +695,16 @@ int CmdSemiJoin(const Flags& flags) {
   ta.pool().SetMetrics(obs.get());
   tb.pool().SetMetrics(obs.get());
 
-  DistanceSemiJoin<2> semi(ta, tb, options);
-  int rc = DriveJoin(&semi, flags, &stop_source, tree_options.fault_injection,
-                     obs.get());
+  int rc;
+  if (sdj::env_knobs::ResolveShards(options.join.shards) >= 2) {
+    sdj::ShardedDistanceSemiJoin<2> semi(ta, tb, options);
+    rc = DriveJoin(&semi, flags, &stop_source, tree_options.fault_injection,
+                   obs.get());
+  } else {
+    DistanceSemiJoin<2> semi(ta, tb, options);
+    rc = DriveJoin(&semi, flags, &stop_source, tree_options.fault_injection,
+                   obs.get());
+  }
   if (faulty) {
     PrintFaultCounters("a", ta.injector());
     PrintFaultCounters("b", tb.injector());
@@ -922,6 +968,10 @@ int PrintUsage() {
                "  --resume; combine freely with --threads=N (resume may\n"
                "  change the thread count) and --inject-faults=<seed>\n"
                "  (covers the snapshot store; torn snapshots fall back)\n"
+               "sharding (join/semijoin): --shards=N runs N independent\n"
+               "  best-first engines behind a k-way frontier merge\n"
+               "  (DESIGN.md §18; output-identical; 0 = SDJ_SHARDS or 1;\n"
+               "  resume requires the same shard count)\n"
                "observability (join/semijoin): --metrics prints a per-phase\n"
                "  latency table; --trace=<file> writes Chrome-trace JSON\n"
                "kernels (join/semijoin): --kernel=auto|scalar|sse2|avx2|\n"
